@@ -1,0 +1,320 @@
+package kbiplex
+
+// One testing.B benchmark per table/figure of the paper's evaluation,
+// each delegating to the experiment runner in internal/exp at a reduced
+// scale (benchmarks must finish in seconds; use cmd/experiments for the
+// full laptop-scale reproduction and EXPERIMENTS.md for recorded
+// results). Micro-benchmarks of the hot paths follow at the end.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+// benchConfig keeps every figure runner in the seconds range so the
+// default -benchtime works.
+func benchConfig() exp.Config {
+	return exp.Config{MaxEdges: 1200, Timeout: 300 * time.Millisecond, FirstN: 50}
+}
+
+func BenchmarkTable1Stats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Table1Stats(cfg)
+	}
+}
+
+func BenchmarkFig3SolutionGraphs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig3(cfg)
+	}
+}
+
+func BenchmarkFig7aAcrossDatasets(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig7a(cfg)
+	}
+}
+
+func BenchmarkFig7bVaryK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig7bc(cfg, "Writer")
+	}
+}
+
+func BenchmarkFig7dVaryN(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig7de(cfg, "Writer")
+	}
+}
+
+func BenchmarkFig8Delay(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig8a(cfg)
+	}
+}
+
+func BenchmarkFig8bDelayVaryK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig8b(cfg)
+	}
+}
+
+func BenchmarkFig9aScale(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig9a(cfg)
+	}
+}
+
+func BenchmarkFig9bDensity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig9b(cfg)
+	}
+}
+
+func BenchmarkFig10LargeMBP(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig10(cfg, "Writer", []int{5, 6})
+	}
+}
+
+func BenchmarkFig11Ablation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig11ab(cfg)
+	}
+}
+
+func BenchmarkFig11cdAblationVaryK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig11cd(cfg)
+	}
+}
+
+func BenchmarkFig12EnumAlmostSat(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig12(cfg, "Writer")
+	}
+}
+
+func BenchmarkFig13Fraud(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.Fig13(cfg)
+	}
+}
+
+// ---- extension experiments (beyond the paper's evaluation) ----
+
+func BenchmarkExtParallelScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.ExtParallel(cfg)
+	}
+}
+
+func BenchmarkExtDistCluster(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.ExtDist(cfg)
+	}
+}
+
+func BenchmarkExtStoreAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.ExtStore(cfg)
+	}
+}
+
+func BenchmarkExtLargestSearch(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		exp.ExtLargest(cfg)
+	}
+}
+
+// ---- micro-benchmarks of the library's hot paths ----
+
+// BenchmarkEnumerateITraversal measures end-to-end iTraversal throughput
+// (solutions/op reported via custom metric).
+func BenchmarkEnumerateITraversal(b *testing.B) {
+	g := gen.ER(300, 300, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		st, err := Enumerate(g, Options{K: 1, MaxResults: 500}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Solutions
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "solutions/op")
+}
+
+func BenchmarkEnumerateBTraversal(b *testing.B) {
+	g := gen.ER(60, 60, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{K: 1, Algorithm: BTraversal, MaxResults: 100}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateIMB(b *testing.B) {
+	g := gen.ER(25, 25, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{K: 1, Algorithm: IMB, MaxResults: 100}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateInflation(b *testing.B) {
+	g := gen.ER(25, 25, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{K: 1, Algorithm: Inflation, MaxResults: 100}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeMBPWithCore measures the Section 5 path: thresholds plus
+// (θ-k)-core preprocessing.
+func BenchmarkLargeMBPWithCore(b *testing.B) {
+	base := gen.ER(2000, 500, 1.5, 3)
+	g, _, _ := gen.PlantBlock(base, 12, 15, 1, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(g, Options{K: 1, MinLeft: 5, MinRight: 5}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumAlmostSatVariants isolates the Section 4 procedure on one
+// representative almost-satisfying graph.
+func BenchmarkEnumAlmostSatVariants(b *testing.B) {
+	g := gen.ER(200, 200, 4, 7)
+	sols := mustFirst(b, g, 5)
+	h := sols[len(sols)-1]
+	var v int32 = -1
+	for w := int32(0); w < int32(g.NumLeft()); w++ {
+		if !containsInt32(h.L, w) {
+			v = w
+			break
+		}
+	}
+	if v < 0 {
+		b.Skip("no vertex to add")
+	}
+	for _, variant := range []core.EASVariant{core.EASL2R2, core.EASL1R1, core.EASInflation} {
+		b.Run(variant.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.EnumAlmostSatOnce(g, h.L, h.R, v, 1, variant, nil)
+			}
+		})
+	}
+}
+
+func mustFirst(b *testing.B, g *Graph, n int) []Solution {
+	b.Helper()
+	var out []Solution
+	if _, err := Enumerate(g, Options{K: 1, MaxResults: n}, func(s Solution) bool {
+		out = append(out, s)
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if len(out) == 0 {
+		b.Skip("no solutions")
+	}
+	return out
+}
+
+func containsInt32(a []int32, x int32) bool {
+	for _, y := range a {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkEnumerateParallelSpeedup compares 1 vs GOMAXPROCS workers on a
+// graph with enough independent subtrees to parallelize.
+func BenchmarkEnumerateParallelSpeedup(b *testing.B) {
+	g := gen.ER(400, 400, 3, 13)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EnumerateParallel(g, Options{K: 1, MaxResults: 2000}, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDedupStore is the ablation for the solution-store design
+// choice (DESIGN.md): the paper's B-tree versus a Go map, over
+// realistic solution-key workloads.
+func BenchmarkDedupStore(b *testing.B) {
+	keys := make([][]byte, 0, 3000)
+	g := gen.ER(150, 150, 3, 2)
+	if _, err := Enumerate(g, Options{K: 1, MaxResults: 3000}, func(s Solution) bool {
+		keys = append(keys, s.Key())
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if len(keys) == 0 {
+		b.Skip("no keys")
+	}
+	b.Run("btree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var tr btree.Tree
+			for _, k := range keys {
+				tr.Insert(k)
+				tr.Has(k)
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := map[string]struct{}{}
+			for _, k := range keys {
+				m[string(k)] = struct{}{}
+				_, _ = m[string(k)]
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func writeK34(t *testing.T) string {
+	t.Helper()
+	var b bigraph.Builder
+	for v := int32(0); v < 3; v++ {
+		for u := int32(0); u < 4; u++ {
+			b.AddEdge(v, u)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "k34.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigraph.WriteEdgeList(f, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeK34(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "max alpha (non-empty (α,1)-core): 4") {
+		t.Fatalf("K_{3,4} summary wrong:\n%s", out.String())
+	}
+}
+
+func TestRunExtract(t *testing.T) {
+	path := writeK34(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-alpha", "4", "-beta", "3", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(4,3)-core: 3 left, 4 right") {
+		t.Fatalf("K_{3,4} (4,3)-core wrong:\n%s", out.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	path := writeK34(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-sweep", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header + 4x3 non-empty combinations.
+	if len(lines) != 1+12 {
+		t.Fatalf("sweep has %d lines, want 13:\n%s", len(lines), out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run([]string{"/no/such/file"}, &out, &errw); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

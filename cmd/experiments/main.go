@@ -1,0 +1,130 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) at a configurable scale and prints them as
+// markdown (default) or CSV.
+//
+// Usage:
+//
+//	experiments                    # run everything at laptop scale
+//	experiments fig7a fig13        # selected experiments
+//	experiments -maxedges 200000 -timeout 2m fig7a
+//	experiments -csv fig3 > fig3.csv
+//
+// Absolute numbers differ from the paper (synthetic stand-ins, different
+// hardware, reduced scale); the shapes — which algorithm wins, by what
+// order of magnitude, where trends cross — are the reproduction target.
+// EXPERIMENTS.md records a full paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(exp.Config) *exp.Table
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", "dataset statistics", exp.Table1Stats},
+		{"fig3", "solution graphs of the running example", exp.Fig3},
+		{"fig7a", "running time across datasets, 4 algorithms", exp.Fig7a},
+		{"fig7b", "varying k (Writer)", func(c exp.Config) *exp.Table { return exp.Fig7bc(c, "Writer") }},
+		{"fig7c", "varying k (DBLP)", func(c exp.Config) *exp.Table { return exp.Fig7bc(c, "DBLP") }},
+		{"fig7d", "varying #MBPs (Writer)", func(c exp.Config) *exp.Table { return exp.Fig7de(c, "Writer") }},
+		{"fig7e", "varying #MBPs (DBLP)", func(c exp.Config) *exp.Table { return exp.Fig7de(c, "DBLP") }},
+		{"fig8a", "delay across small datasets", exp.Fig8a},
+		{"fig8b", "delay varying k (Divorce)", exp.Fig8b},
+		{"fig9a", "scalability in #vertices (ER)", exp.Fig9a},
+		{"fig9b", "varying edge density (ER)", exp.Fig9b},
+		{"fig10a", "large MBPs varying θ (Writer)", func(c exp.Config) *exp.Table { return exp.Fig10(c, "Writer", []int{5, 6, 7, 8}) }},
+		{"fig10b", "large MBPs varying θ (DBLP)", func(c exp.Config) *exp.Table { return exp.Fig10(c, "DBLP", []int{8, 9, 10, 11}) }},
+		{"fig11ab", "ablation on small datasets", exp.Fig11ab},
+		{"fig11cd", "ablation varying k (Divorce)", exp.Fig11cd},
+		{"fig12a", "EnumAlmostSat variants (Writer)", func(c exp.Config) *exp.Table { return exp.Fig12(c, "Writer") }},
+		{"fig12b", "EnumAlmostSat variants (DBLP)", func(c exp.Config) *exp.Table { return exp.Fig12(c, "DBLP") }},
+		{"fig13", "fraud-detection case study", exp.Fig13},
+		{"anchor", "left- vs right-anchored traversal (Writer)", func(c exp.Config) *exp.Table { return exp.FigAnchor(c, "Writer") }},
+		{"ext-parallel", "extension: parallel enumeration scaling", exp.ExtParallel},
+		{"ext-dist", "extension: simulated distributed enumeration", exp.ExtDist},
+		{"ext-store", "extension: dedup store ablation", exp.ExtStore},
+		{"ext-largest", "extension: largest balanced MBP search", exp.ExtLargest},
+		{"ext-fraud", "extension: random vs biased camouflage", exp.ExtFraud},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		maxEdges = fs.Int("maxedges", 60_000, "dataset stand-in scale cap (0 = paper scale; slow)")
+		timeout  = fs.Duration("timeout", 20*time.Second, "per-run budget standing in for the paper's 24h INF")
+		firstN   = fs.Int("n", 1000, "MBPs collected per run (paper: first 1000)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of markdown")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: experiments [flags] [experiment-id ...]\n")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "\nexperiments:")
+		for _, r := range runners() {
+			fmt.Fprintf(stderr, "  %-8s %s\n", r.id, r.desc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range runners() {
+			fmt.Fprintf(stdout, "%-8s %s\n", r.id, r.desc)
+		}
+		return nil
+	}
+
+	cfg := exp.Config{MaxEdges: *maxEdges, Timeout: *timeout, FirstN: *firstN, Progress: stderr}
+	selected := fs.Args()
+	all := runners()
+	if len(selected) == 0 {
+		for _, r := range all {
+			selected = append(selected, r.id)
+		}
+	}
+	byID := map[string]runner{}
+	for _, r := range all {
+		byID[r.id] = r
+	}
+	for _, id := range selected {
+		r, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Fprintf(stderr, "experiments: running %s (%s)...\n", r.id, r.desc)
+		start := time.Now()
+		tb := r.run(cfg)
+		fmt.Fprintf(stderr, "experiments: %s done in %v\n", r.id, time.Since(start).Round(time.Millisecond))
+		var err error
+		if *csv {
+			err = tb.WriteCSV(stdout)
+		} else {
+			err = tb.WriteMarkdown(stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

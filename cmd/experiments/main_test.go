@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig3", "fig7a", "fig13", "anchor"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunFig3Markdown(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"fig3"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The paper's link counts must appear in the regenerated table.
+	for _, cell := range []string{"76", "41", "21", "13"} {
+		if !strings.Contains(got, cell) {
+			t.Fatalf("fig3 output missing %q:\n%s", cell, got)
+		}
+	}
+}
+
+func TestRunFig3CSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-csv", "fig3"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",") || strings.Contains(out.String(), "|") {
+		t.Fatalf("expected CSV output, got:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"fig99"}, &out, &errw); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestEveryRunnerHasUniqueID(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range runners() {
+		if seen[r.id] {
+			t.Fatalf("duplicate runner id %q", r.id)
+		}
+		seen[r.id] = true
+		if r.desc == "" || r.run == nil {
+			t.Fatalf("runner %q incomplete", r.id)
+		}
+	}
+}

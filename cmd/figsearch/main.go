@@ -1,0 +1,125 @@
+// Command figsearch reconstructs the paper's Figure 1 example graph: a
+// 5x5 bipartite graph consistent with every textual constraint in the
+// paper, scored by how close the solution-graph link counts are to the
+// published 76/41/21/13.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+)
+
+func buildGraph(rows [5]uint8) *bigraph.Graph {
+	var b bigraph.Builder
+	b.SetSize(5, 5)
+	for v := 0; v < 5; v++ {
+		for u := 0; u < 5; u++ {
+			if rows[v]&(1<<uint(u)) != 0 {
+				b.AddEdge(int32(v), int32(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func isMBP(g *bigraph.Graph, L, R []int32, k int) bool {
+	return biplex.IsBiplex(g, L, R, k) && biplex.IsMaximal(g, L, R, k)
+}
+
+func main() {
+	popcount := func(x uint8) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	var found int
+	type result struct {
+		rows  [5]uint8
+		links [4]int64
+		score int
+	}
+	best := result{score: 1 << 30}
+	for v4 := 0; v4 < 32; v4++ {
+		if popcount(uint8(v4)) < 4 { // δ̄(v4,R) ≤ 1
+			continue
+		}
+		for v0 := 0; v0 < 32; v0++ {
+			if popcount(uint8(v0)) > 3 { // δ̄(v0,R) ≥ 2
+				continue
+			}
+			for v1 := 0; v1 < 32; v1++ {
+				if popcount(uint8(v1)) > 3 {
+					continue
+				}
+				for v2 := 0; v2 < 32; v2++ {
+					if popcount(uint8(v2)) > 3 {
+						continue
+					}
+					for v3 := 0; v3 < 32; v3++ {
+						if popcount(uint8(v3)) > 3 {
+							continue
+						}
+						rows := [5]uint8{uint8(v0), uint8(v1), uint8(v2), uint8(v3), uint8(v4)}
+						g := buildGraph(rows)
+						// A: ({v4}, R) is an MBP.
+						if !isMBP(g, []int32{4}, []int32{0, 1, 2, 3, 4}, 1) {
+							continue
+						}
+						// B: ({v0,v1,v4},{u0..u3}) is an MBP.
+						if !isMBP(g, []int32{0, 1, 4}, []int32{0, 1, 2, 3}, 1) {
+							continue
+						}
+						// C: ({v1,v2,v4},{u0,u1,u2}) is an MBP.
+						if !isMBP(g, []int32{1, 2, 4}, []int32{0, 1, 2}, 1) {
+							continue
+						}
+						// D: exactly 10 MBPs at k=1.
+						sols := biplex.BruteForce(g, 1)
+						if len(sols) != 10 {
+							continue
+						}
+						found++
+						// Score by link counts vs 76/41/21/13.
+						it := core.ITraversal(1)
+						itES := it
+						itES.Exclusion = false
+						itESRS := itES
+						itESRS.RightShrinking = false
+						bt := core.BTraversal(1)
+						lG, _, _ := core.SolutionGraphLinks(g, bt)
+						lL, _, _ := core.SolutionGraphLinks(g, itESRS)
+						lR, _, _ := core.SolutionGraphLinks(g, itES)
+						lE, _, _ := core.SolutionGraphLinks(g, it)
+						score := abs(lG-76) + abs(lL-41) + abs(lR-21) + abs(lE-13)
+						if int(score) < best.score {
+							best = result{rows, [4]int64{lG, lL, lR, lE}, int(score)}
+							fmt.Printf("rows=%v links=%v score=%d\n", rows, best.links, best.score)
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("candidates matching text constraints: %d\n", found)
+	fmt.Printf("best rows=%v links=%v score=%d\n", best.rows, best.links, best.score)
+	for v := 0; v < 5; v++ {
+		for u := 0; u < 5; u++ {
+			if best.rows[v]&(1<<uint(u)) != 0 {
+				fmt.Printf("{%d,%d},", v, u)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

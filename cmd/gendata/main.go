@@ -1,0 +1,102 @@
+// Command gendata writes synthetic bipartite graphs as edge-list files.
+//
+// Usage:
+//
+//	gendata -type er -l 50000 -r 50000 -density 10 -seed 1 er.txt
+//	gendata -type zipf -l 10000 -r 5000 -edges 80000 zipf.txt
+//	gendata -type dataset -name Writer -maxedges 60000 writer.txt
+//	gendata -type er -format binary er.bin
+//
+// ER graphs match the paper's synthetic workloads (Figure 9); the zipf
+// generator and dataset stand-ins approximate the real datasets of
+// Table 1 (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bigraph"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		typ      = fs.String("type", "er", "generator: er | zipf | dataset")
+		l        = fs.Int("l", 1000, "number of left vertices (er, zipf)")
+		r        = fs.Int("r", 1000, "number of right vertices (er, zipf)")
+		density  = fs.Float64("density", 10, "edge density |E|/(|L|+|R|) (er)")
+		edges    = fs.Int("edges", 10000, "number of edges (zipf)")
+		skew     = fs.Float64("skew", 1.6, "Zipf exponent (zipf)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		name     = fs.String("name", "Divorce", "dataset stand-in name (dataset)")
+		maxEdges = fs.Int("maxedges", 0, "scale the stand-in down to at most this many edges (dataset; 0 = paper scale)")
+		format   = fs.String("format", "edgelist", "output format: edgelist | mm | binary")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gendata [flags] <output-file>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one output file")
+	}
+
+	var g *bigraph.Graph
+	switch *typ {
+	case "er":
+		g = gen.ER(*l, *r, *density, *seed)
+	case "zipf":
+		g = gen.Zipf(*l, *r, *edges, *skew, *seed)
+	case "dataset":
+		var err error
+		g, _, err = dataset.Load(*name, *maxEdges)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown generator %q", *typ)
+	}
+
+	switch *format {
+	case "edgelist":
+		if err := bigraph.WriteEdgeListFile(fs.Arg(0), g); err != nil {
+			return err
+		}
+	case "binary":
+		if err := bigraph.WriteBinaryFile(fs.Arg(0), g); err != nil {
+			return err
+		}
+	case "mm":
+		f, err := os.Create(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if err := bigraph.WriteMatrixMarket(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want edgelist, mm or binary)", *format)
+	}
+	fmt.Fprintf(stderr, "gendata: wrote %v to %s\n", g, fs.Arg(0))
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func TestRunERFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"edgelist", "mm", "binary"} {
+		path := filepath.Join(dir, "g."+format)
+		var errw bytes.Buffer
+		args := []string{"-type", "er", "-l", "20", "-r", "20", "-density", "2", "-format", format, path}
+		if err := run(args, &errw); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		var g *bigraph.Graph
+		var err error
+		switch format {
+		case "edgelist":
+			g, err = bigraph.ReadEdgeListFile(path)
+		case "binary":
+			g, err = bigraph.ReadBinaryFile(path)
+		case "mm":
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			g, err = bigraph.ReadMatrixMarket(f)
+			f.Close()
+		}
+		if err != nil {
+			t.Fatalf("%s: read back: %v", format, err)
+		}
+		if g.NumLeft() != 20 || g.NumRight() != 20 || g.NumEdges() == 0 {
+			t.Fatalf("%s: bad graph %v", format, g)
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.txt")
+	p2 := filepath.Join(dir, "b.txt")
+	for _, p := range []string{p1, p2} {
+		if err := run([]string{"-type", "zipf", "-l", "30", "-r", "30", "-edges", "100", "-seed", "7", p}, new(bytes.Buffer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRunDatasetStandIn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.txt")
+	if err := run([]string{"-type", "dataset", "-name", "Divorce", path}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bigraph.ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Divorce stand-in is generated at exact paper scale: 9x50, 225.
+	if g.NumLeft() != 9 || g.NumRight() != 50 || g.NumEdges() != 225 {
+		t.Fatalf("Divorce stand-in: %v", g)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var errw bytes.Buffer
+	if err := run([]string{}, &errw); err == nil {
+		t.Fatal("missing output accepted")
+	}
+	path := filepath.Join(t.TempDir(), "x.txt")
+	if err := run([]string{"-type", "nope", path}, &errw); err == nil {
+		t.Fatal("bad generator accepted")
+	}
+	if err := run([]string{"-format", "nope", path}, &errw); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-type", "dataset", "-name", "NoSuchDataset", path}, &errw); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+}

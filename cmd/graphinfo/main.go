@@ -1,0 +1,70 @@
+// Command graphinfo prints the shape of a bipartite graph: sizes,
+// density, degree statistics and histogram, and connected components —
+// the quick look one takes before choosing k and θ for an enumeration.
+//
+// Usage:
+//
+//	graphinfo graph.txt
+//	graphinfo -hist graph.txt     # append degree histograms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bigraph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hist := fs.Bool("hist", false, "print per-side degree histograms")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: graphinfo [flags] <edge-list-file>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one edge-list file")
+	}
+	g, err := bigraph.ReadEdgeListFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := bigraph.ComputeStats(g)
+	fmt.Fprintf(stdout, "vertices: %d left, %d right\n", s.NumLeft, s.NumRight)
+	fmt.Fprintf(stdout, "edges:    %d (density %.3f)\n", s.NumEdges, s.Density)
+	fmt.Fprintf(stdout, "degrees:  left max %d avg %.2f | right max %d avg %.2f\n",
+		s.MaxDegL, s.AvgDegL, s.MaxDegR, s.AvgDegR)
+	fmt.Fprintf(stdout, "components: %d", s.Components)
+	comps := bigraph.ConnectedComponents(g)
+	if len(comps) > 0 {
+		fmt.Fprintf(stdout, " (largest: %d+%d vertices)", len(comps[0].L), len(comps[0].R))
+	}
+	fmt.Fprintln(stdout)
+	if *hist {
+		printHist := func(side string, h []int64) {
+			fmt.Fprintf(stdout, "%s degree histogram:\n", side)
+			for d, c := range h {
+				if c > 0 {
+					fmt.Fprintf(stdout, "  %6d: %d\n", d, c)
+				}
+			}
+		}
+		printHist("left", bigraph.DegreeHistogram(g, false))
+		printHist("right", bigraph.DegreeHistogram(g, true))
+	}
+	return nil
+}

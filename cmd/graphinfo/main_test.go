@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	g := bigraph.FromEdges(3, 4, [][2]int32{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 3},
+	})
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigraph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeSample(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"3 left, 4 right", "edges:    5", "components: 2"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunHistogram(t *testing.T) {
+	path := writeSample(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-hist", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "left degree histogram:") {
+		t.Fatalf("histogram missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run([]string{"/no/such/file"}, &out, &errw); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	kbiplex "repro"
+	"repro/internal/bigraph"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	g := kbiplex.RandomBipartite(6, 6, 1.5, 3)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigraph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeSample(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-k", "1", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "L: ") {
+		t.Fatalf("no solutions printed: %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "found") {
+		t.Fatalf("no stats printed: %q", errw.String())
+	}
+}
+
+func TestRunAlgorithmsAgree(t *testing.T) {
+	path := writeSample(t)
+	counts := map[string]int{}
+	for _, algo := range []string{"itraversal", "btraversal", "imb", "inflation"} {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-algo", algo, path}, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		counts[algo] = strings.Count(out.String(), "L: ")
+	}
+	n := counts["itraversal"]
+	if n == 0 {
+		t.Fatal("no solutions")
+	}
+	for _, c := range counts {
+		if c != n {
+			t.Fatalf("algorithm disagreement: %v", counts)
+		}
+	}
+}
+
+func TestRunMaxResults(t *testing.T) {
+	path := writeSample(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-n", "2", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "L: "); got != 2 {
+		t.Fatalf("-n 2 printed %d solutions", got)
+	}
+}
+
+func TestRunQuietAndParallel(t *testing.T) {
+	path := writeSample(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quiet", "-parallel", "2", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("-quiet printed output: %q", out.String())
+	}
+}
+
+func TestRunSpill(t *testing.T) {
+	path := writeSample(t)
+	var base, spill bytes.Buffer
+	if err := run([]string{"-quiet=false", path}, &base, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spill", t.TempDir(), path}, &spill, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != spill.String() {
+		t.Fatal("spill run output differs from in-memory run")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"/no/such/file"}, &out, &errw); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	path := writeSample(t)
+	if err := run([]string{"-algo", "nope", path}, &out, &errw); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run([]string{"-k", "0", path}, &out, &errw); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

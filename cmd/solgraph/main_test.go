@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPaperStats(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-paper", "-variant", "ge", "-format", "stats"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "10 solutions, 13 links, 10 reachable") {
+		t.Fatalf("unexpected stats output: %q", got)
+	}
+}
+
+func TestRunAllVariantsAllFormats(t *testing.T) {
+	for _, v := range []string{"b", "la", "rs", "ge"} {
+		for _, f := range []string{"dot", "csv", "stats"} {
+			var out, errw bytes.Buffer
+			if err := run([]string{"-paper", "-variant", v, "-format", f}, &out, &errw); err != nil {
+				t.Fatalf("variant %s format %s: %v", v, f, err)
+			}
+			if out.Len() == 0 {
+				t.Fatalf("variant %s format %s: no output", v, f)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run([]string{"-paper", "-variant", "zz"}, &out, &errw); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if err := run([]string{"-paper", "-format", "zz"}, &out, &errw); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"/does/not/exist"}, &out, &errw); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

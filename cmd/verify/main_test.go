@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// writeCase materializes a graph file and a solutions file (optionally
+// corrupted) and returns their paths.
+func writeCase(t *testing.T, drop bool) (graphFile, solFile string) {
+	t.Helper()
+	g := gen.ER(7, 7, 1.5, 9)
+	dir := t.TempDir()
+	graphFile = filepath.Join(dir, "g.txt")
+	f, err := os.Create(graphFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigraph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sols, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop && len(sols) > 1 {
+		sols = sols[1:]
+	}
+	var sb strings.Builder
+	for _, p := range sols {
+		sb.WriteString("L:")
+		for _, v := range p.L {
+			sb.WriteString(" ")
+			sb.WriteString(strings.TrimSpace(string(rune('0' + v%10))))
+			if v >= 10 {
+				t.Fatal("test graph ids must be single digits")
+			}
+		}
+		sb.WriteString(" | R:")
+		for _, u := range p.R {
+			sb.WriteString(" ")
+			sb.WriteString(strings.TrimSpace(string(rune('0' + u%10))))
+		}
+		sb.WriteString("\n")
+	}
+	solFile = filepath.Join(dir, "sols.txt")
+	if err := os.WriteFile(solFile, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return graphFile, solFile
+}
+
+func TestRunCertifies(t *testing.T) {
+	graphFile, solFile := writeCase(t, false)
+	var out, errw bytes.Buffer
+	code, err := run([]string{"-k", "1", graphFile, solFile}, &out, &errw)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") || !strings.Contains(out.String(), "complete") {
+		t.Fatalf("unexpected report: %s", out.String())
+	}
+}
+
+func TestRunFlagsIncomplete(t *testing.T) {
+	graphFile, solFile := writeCase(t, true)
+	var out, errw bytes.Buffer
+	code, err := run([]string{"-k", "1", graphFile, solFile}, &out, &errw)
+	if err != nil || code != 1 {
+		t.Fatalf("incomplete output should exit 1: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "INCOMPLETE") {
+		t.Fatalf("report missing INCOMPLETE: %s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code, _ := run([]string{}, &out, &errw); code != 2 {
+		t.Fatal("missing args should exit 2")
+	}
+	if code, _ := run([]string{"/no/file", "/no/file2"}, &out, &errw); code != 2 {
+		t.Fatal("missing graph should exit 2")
+	}
+}

@@ -1,0 +1,117 @@
+package kbiplex_test
+
+import (
+	"fmt"
+
+	kbiplex "repro"
+)
+
+// The paper's running example (Figure 1): five left vertices v0..v4 and
+// five right vertices u0..u4.
+func paperGraph() *kbiplex.Graph {
+	return kbiplex.NewGraph(5, 5, [][2]int32{
+		{0, 0}, {0, 2}, {0, 3},
+		{1, 1}, {1, 2}, {1, 3},
+		{2, 0}, {2, 2}, {2, 4},
+		{3, 2}, {3, 3}, {3, 4},
+		{4, 0}, {4, 1}, {4, 3}, {4, 4},
+	})
+}
+
+func ExampleEnumerateAll() {
+	g := paperGraph()
+	sols, stats, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("maximal 1-biplexes:", stats.Solutions)
+	fmt.Println("first:", sols[0].L, sols[0].R)
+	// Output:
+	// maximal 1-biplexes: 10
+	// first: [0 1 2 3 4] [2 3]
+}
+
+func ExampleEnumerate() {
+	g := paperGraph()
+	n := 0
+	_, err := kbiplex.Enumerate(g, kbiplex.Options{K: 1}, func(s kbiplex.Solution) bool {
+		n++
+		return n < 3 // stop early after three solutions
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("streamed:", n)
+	// Output:
+	// streamed: 3
+}
+
+func ExampleEnumerate_largeMBPs() {
+	g := paperGraph()
+	// Only MBPs with at least 3 vertices on each side (Section 5's
+	// "large MBP" setting with θ = 3).
+	sols, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1, MinLeft: 3, MinRight: 3})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range sols {
+		fmt.Println(s.L, s.R)
+	}
+	// Output:
+	// [0 1 2 4] [0 2 3]
+	// [0 1 4] [0 1 2 3]
+	// [0 2 3 4] [0 2 3 4]
+	// [1 2 3 4] [2 3 4]
+	// [1 2 4] [0 1 2]
+	// [1 2 4] [1 2 4]
+	// [1 3 4] [1 2 3 4]
+}
+
+func ExampleEnumerate_asymmetricBudgets() {
+	g := paperGraph()
+	// Left vertices may miss up to 2 right members, right vertices only 1
+	// (the per-side generalization noted after Definition 2.1).
+	sols, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{KLeft: 2, KRight: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("maximal (2,1)-biplexes:", len(sols))
+	// Output:
+	// maximal (2,1)-biplexes: 9
+}
+
+func ExampleIsMaximalBiplex() {
+	g := paperGraph()
+	fmt.Println(kbiplex.IsMaximalBiplex(g, []int32{4}, []int32{0, 1, 2, 3, 4}, 1))
+	fmt.Println(kbiplex.IsMaximalBiplex(g, []int32{4}, []int32{0, 1, 2}, 1))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleLargestBalancedMBP() {
+	// A planted 4x4 near-complete block dominates this sparse graph.
+	g := kbiplex.NewGraph(8, 8, [][2]int32{
+		{0, 0}, {0, 1}, {0, 2}, {0, 3},
+		{1, 0}, {1, 1}, {1, 2}, {1, 3},
+		{2, 0}, {2, 1}, {2, 2}, {2, 3},
+		{3, 0}, {3, 1}, {3, 2}, {3, 3},
+		{6, 6}, {7, 7},
+	})
+	s, ok, err := kbiplex.LargestBalancedMBP(g, 1)
+	if err != nil || !ok {
+		panic(err)
+	}
+	fmt.Println("left size:", len(s.L), "right size:", len(s.R))
+	// Output:
+	// left size: 4 right size: 4
+}
+
+func ExampleComputeGraphStats() {
+	g := paperGraph()
+	s := kbiplex.ComputeGraphStats(g)
+	fmt.Printf("%d+%d vertices, %d edges, %d component(s)\n",
+		s.NumLeft, s.NumRight, s.NumEdges, s.Components)
+	// Output:
+	// 5+5 vertices, 16 edges, 1 component(s)
+}

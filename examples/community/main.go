@@ -1,0 +1,78 @@
+// Community search in a collaboration network: authors × papers, where
+// maximal k-biplexes are research groups (authors who co-sign almost all
+// of a paper cluster). Demonstrates large-MBP enumeration with (θ-k)-core
+// preprocessing and the effect of k on the communities found.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"fmt"
+
+	kbiplex "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	// Authors × papers with Zipf-ish degree skew plus two planted
+	// research groups that co-sign paper clusters with a few absences.
+	base := gen.Zipf(600, 900, 2600, 1.4, 5)
+	g, l0, r0 := gen.PlantBlock(base, 8, 12, 2, 21) // group A: 8 authors, 12 papers, 2 absences each
+	g, l1, r1 := gen.PlantBlock(g, 6, 9, 1, 22)     // group B: 6 authors, 9 papers, 1 absence each
+	fmt.Printf("collaboration graph: %v\n", g)
+	fmt.Printf("planted group A: authors %d..%d, papers %d..%d\n", l0, int(l0)+7, r0, int(r0)+11)
+	fmt.Printf("planted group B: authors %d..%d, papers %d..%d\n\n", l1, int(l1)+5, r1, int(r1)+8)
+
+	for _, k := range []int{1, 2} {
+		fmt.Printf("== research groups as maximal %d-biplexes (≥4 authors, ≥5 papers) ==\n", k)
+		var groups []kbiplex.Solution
+		if _, err := kbiplex.Enumerate(g, kbiplex.Options{
+			K: k, MinLeft: 4, MinRight: 5, MaxResults: 1000,
+		}, func(s kbiplex.Solution) bool {
+			groups = append(groups, s)
+			return true
+		}); err != nil {
+			panic(err)
+		}
+
+		// Report the biggest communities.
+		bestSize, shown := 0, 0
+		for _, grp := range groups {
+			if size := len(grp.L) + len(grp.R); size > bestSize {
+				bestSize = size
+			}
+		}
+		for _, grp := range groups {
+			if len(grp.L)+len(grp.R) >= bestSize-2 && shown < 4 {
+				fmt.Printf("  %d authors %v\n  %d papers  %v\n",
+					len(grp.L), grp.L, len(grp.R), grp.R)
+				fmt.Printf("  planted overlap: %s\n\n", overlap(grp, l0, r0, l1, r1))
+				shown++
+			}
+		}
+		fmt.Printf("  total groups found: %d\n\n", len(groups))
+	}
+	fmt.Println("With k=2 the same planted groups surface with more members kept,")
+	fmt.Println("because each author may miss two papers instead of one.")
+}
+
+func overlap(s kbiplex.Solution, l0, r0, l1, r1 int32) string {
+	inA, inB := 0, 0
+	for _, v := range s.L {
+		if v >= l1 {
+			inB++
+		} else if v >= l0 {
+			inA++
+		}
+	}
+	switch {
+	case inA > 0 && inB == 0:
+		return fmt.Sprintf("group A (%d planted authors)", inA)
+	case inB > 0 && inA == 0:
+		return fmt.Sprintf("group B (%d planted authors)", inB)
+	case inA > 0 && inB > 0:
+		return "mixed"
+	default:
+		return "organic (not planted)"
+	}
+}

@@ -1,0 +1,95 @@
+// Fraud detection (the paper's Section 6.3 case study, condensed): plant
+// a camouflage attack in a synthetic review graph and compare how well
+// biclique, 1-biplex and (α,β)-core recover the fake block.
+//
+//	go run ./examples/frauddetection
+package main
+
+import (
+	"fmt"
+
+	kbiplex "repro"
+	"repro/internal/abcore"
+	"repro/internal/biclique"
+	"repro/internal/biplex"
+	"repro/internal/bitruss"
+	"repro/internal/fraud"
+)
+
+func main() {
+	s := fraud.NewScenario(fraud.DefaultConfig())
+	fmt.Printf("review graph: %v (planted: %d fake users, %d fake products)\n\n",
+		s.G, s.NumFakeL, s.NumFakeR)
+
+	thetaL, thetaR := 4, 5
+
+	// Detector 1: large maximal 1-biplexes via the public API (which
+	// applies (θ-k)-core preprocessing internally).
+	var viaBiplex []biplex.Pair
+	if _, err := kbiplex.Enumerate(s.G, kbiplex.Options{
+		K: 1, MinLeft: thetaL, MinRight: thetaR, MaxResults: 5000,
+	}, func(sol kbiplex.Solution) bool {
+		viaBiplex = append(viaBiplex, sol)
+		return true
+	}); err != nil {
+		panic(err)
+	}
+	report("1-biplex  ", s, viaBiplex)
+
+	// Detector 2: large maximal bicliques.
+	var viaBiclique []biplex.Pair
+	biclique.Enumerate(s.G, biclique.Options{ThetaL: thetaL, ThetaR: thetaR, MaxResults: 5000},
+		func(p biplex.Pair) bool {
+			viaBiclique = append(viaBiclique, p.Clone())
+			return true
+		})
+	report("biclique  ", s, viaBiclique)
+
+	// Detector 3: the (α,β)-core with α=θR, β=θL.
+	l, r := abcore.Core(s.G, thetaR, thetaL)
+	var viaCore []biplex.Pair
+	if len(l)+len(r) > 0 {
+		viaCore = append(viaCore, biplex.Pair{L: l, R: r})
+	}
+	report("(α,β)-core", s, viaCore)
+
+	// Detector 4: the k-bitruss (every edge in ≥ k butterflies) — the
+	// edge-local cohesive structure from the paper's related work.
+	edges := bitruss.Decompose(s.G, 8)
+	var viaTruss []biplex.Pair
+	if len(edges) > 0 {
+		sub := bitruss.Subgraph(s.G, edges)
+		var tl, tr []int32
+		for v := int32(0); v < int32(sub.NumLeft()); v++ {
+			if sub.DegL(v) > 0 {
+				tl = append(tl, v)
+			}
+		}
+		for u := int32(0); u < int32(sub.NumRight()); u++ {
+			if sub.DegR(u) > 0 {
+				tr = append(tr, u)
+			}
+		}
+		viaTruss = append(viaTruss, biplex.Pair{L: tl, R: tr})
+	}
+	report("8-bitruss ", s, viaTruss)
+
+	fmt.Println("\nExpected shape (paper Figure 13): 1-biplex wins on F1 among the")
+	fmt.Println("paper's comparators; biclique loses recall because camouflage breaks")
+	fmt.Println("complete blocks; (α,β)-core loses precision because cores are large")
+	fmt.Println("and sparse. The k-bitruss (related work; not part of Figure 13) also")
+	fmt.Println("isolates this particular planted block well — its edge-local")
+	fmt.Println("butterfly threshold happens to align with a single dense block, but")
+	fmt.Println("unlike k-biplex it returns one undifferentiated subgraph rather than")
+	fmt.Println("the individual quasi-complete groups inside it.")
+}
+
+func report(name string, s *fraud.Scenario, found []biplex.Pair) {
+	m := s.Evaluate(found)
+	if !m.Defined {
+		fmt.Printf("%s  found %4d subgraphs   ND (nothing flagged)\n", name, len(found))
+		return
+	}
+	fmt.Printf("%s  found %4d subgraphs   precision %.2f  recall %.2f  F1 %.2f\n",
+		name, len(found), m.Precision, m.Recall, m.F1)
+}

@@ -1,0 +1,83 @@
+// Large-MBP enumeration (Section 5): find only the maximal k-biplexes
+// with both sides of at least a threshold θ, without enumerating
+// everything first. The example plants two large dense blocks in a sparse
+// random background and shows that (1) the thresholded run returns
+// exactly the planted structures and (2) the Section 5 prunings plus the
+// (θ−k)-core preprocessing make it far cheaper than enumerate-then-filter.
+//
+//	go run ./examples/largembp
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	kbiplex "repro"
+)
+
+func main() {
+	const (
+		nl, nr = 60, 60
+		theta  = 8
+		k      = 1
+	)
+
+	// Background: sparse random noise.
+	rng := rand.New(rand.NewSource(7))
+	var edges [][2]int32
+	for v := int32(0); v < nl; v++ {
+		for i := 0; i < 2; i++ {
+			edges = append(edges, [2]int32{v, rng.Int31n(nr)})
+		}
+	}
+	// Two planted 10x10 near-complete blocks: each vertex misses exactly
+	// one counterpart, so the blocks are 1-biplexes but not bicliques.
+	plant := func(l0, r0 int32) {
+		for i := int32(0); i < 10; i++ {
+			for j := int32(0); j < 10; j++ {
+				if i == j {
+					continue // the planted miss
+				}
+				edges = append(edges, [2]int32{l0 + i, r0 + j})
+			}
+		}
+	}
+	plant(10, 20)
+	plant(35, 45)
+	g := kbiplex.NewGraph(nl, nr, edges)
+	fmt.Printf("graph: %d+%d vertices, %d edges, two planted 10x10 1-biplexes\n\n",
+		nl, nr, len(edges))
+
+	// Thresholded enumeration: only MBPs with |L| >= θ and |R| >= θ.
+	start := time.Now()
+	large, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{
+		K: k, MinLeft: theta, MinRight: theta,
+	})
+	if err != nil {
+		panic(err)
+	}
+	thresholded := time.Since(start)
+	fmt.Printf("large MBPs (θ=%d): %d found in %v\n", theta, len(large), thresholded)
+	for _, s := range large {
+		fmt.Printf("  %dx%d block: L=%v...\n", len(s.L), len(s.R), s.L[:3])
+	}
+
+	// The naive route for comparison: enumerate everything, filter after.
+	start = time.Now()
+	count := 0
+	if _, err := kbiplex.Enumerate(g, kbiplex.Options{K: k}, func(s kbiplex.Solution) bool {
+		if len(s.L) >= theta && len(s.R) >= theta {
+			count++
+		}
+		return true
+	}); err != nil {
+		panic(err)
+	}
+	naive := time.Since(start)
+	fmt.Printf("\nenumerate-then-filter finds the same %d large MBPs in %v\n", count, naive)
+	if naive > thresholded {
+		fmt.Printf("pruned run is %.1fx faster (the gap grows with graph size — Figure 10)\n",
+			float64(naive)/float64(thresholded))
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: enumerate the maximal k-biplexes of the paper's running
+// example (Figure 1) and of a small random graph, using the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	kbiplex "repro"
+)
+
+func main() {
+	// The paper's Figure 1 graph: 5 left vertices v0..v4, 5 right
+	// vertices u0..u4.
+	g := kbiplex.NewGraph(5, 5, [][2]int32{
+		{0, 0}, {0, 2}, {0, 3},
+		{1, 1}, {1, 2}, {1, 3},
+		{2, 0}, {2, 2}, {2, 4},
+		{3, 2}, {3, 3}, {3, 4},
+		{4, 0}, {4, 1}, {4, 3}, {4, 4},
+	})
+
+	fmt.Println("== all maximal 1-biplexes of the running example ==")
+	sols, st, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range sols {
+		fmt.Printf("H%d: L=%v R=%v\n", i, s.L, s.R)
+	}
+	fmt.Printf("total: %d MBPs (the paper's Figure 3 has 10 nodes)\n\n", st.Solutions)
+
+	// Streaming enumeration with early stop on a random graph.
+	fmt.Println("== first 5 maximal 2-biplexes of a random 200x200 graph ==")
+	rg := kbiplex.RandomBipartite(200, 200, 3, 42)
+	n := 0
+	if _, err := kbiplex.Enumerate(rg, kbiplex.Options{K: 2}, func(s kbiplex.Solution) bool {
+		fmt.Printf("L=%v R=%v\n", s.L, s.R)
+		n++
+		return n < 5
+	}); err != nil {
+		panic(err)
+	}
+
+	// Verifying a candidate subgraph with the predicate helpers.
+	fmt.Println("\n== predicate helpers ==")
+	fmt.Println("({v4}, all u) is a maximal 1-biplex:",
+		kbiplex.IsMaximalBiplex(g, []int32{4}, []int32{0, 1, 2, 3, 4}, 1))
+	fmt.Println("({v0,v1}, all u) is a 1-biplex:",
+		kbiplex.IsBiplex(g, []int32{0, 1}, []int32{0, 1, 2, 3, 4}, 1))
+}

@@ -1,0 +1,52 @@
+package kbiplex
+
+// Keeps the runnable examples honest: each one must build and run to
+// completion. Skipped with -short (they invoke the go tool).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples invoke the go tool")
+	}
+	cases := map[string]string{
+		"quickstart":     "total: 10 MBPs",
+		"frauddetection": "",
+		"recommend":      "",
+		"community":      "",
+		"largembp":       "large MBPs",
+		"parallel":       "all three runs found the identical",
+		"hereditary":     "must match",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			done := make(chan struct{})
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example %s did not finish within 3 minutes", name)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if want != "" && !strings.Contains(string(out), want) {
+				t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package kbiplex
+
+import (
+	"repro/internal/bigraph"
+)
+
+// GraphStats summarizes a graph's shape: sizes, per-side degree maxima
+// and means, the paper's edge-density measure |E|/(|L|+|R|), and the
+// connected-component count.
+type GraphStats = bigraph.Stats
+
+// ComputeGraphStats gathers GraphStats for g.
+func ComputeGraphStats(g *Graph) GraphStats {
+	return bigraph.ComputeStats(g)
+}
+
+// ConnectedComponents returns the connected components of g as sorted
+// vertex-id set pairs, largest first. Isolated vertices form singleton
+// components. Enumerating each component separately is equivalent to
+// enumerating g when solutions never span components — true for any
+// connected cohesive structure, but NOT for k-biplexes in general (two
+// disconnected vertices tolerate each other within the k budget), so
+// this is an analysis helper, not a sound decomposition step.
+func ConnectedComponents(g *Graph) []bigraph.Component {
+	return bigraph.ConnectedComponents(g)
+}

@@ -1,0 +1,20 @@
+package kbiplex
+
+import "testing"
+
+func TestComputeGraphStats(t *testing.T) {
+	g := NewGraph(3, 4, [][2]int32{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 3},
+	})
+	s := ComputeGraphStats(g)
+	if s.NumLeft != 3 || s.NumRight != 4 || s.NumEdges != 5 || s.Components != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	comps := ConnectedComponents(g)
+	if len(comps) != 2 {
+		t.Fatalf("components: %v", comps)
+	}
+	if comps[0].Size() < comps[1].Size() {
+		t.Fatal("components not ordered largest first")
+	}
+}

@@ -1,0 +1,102 @@
+package kbiplex
+
+// Integration tests: build the command-line tools and exercise them end
+// to end. Skipped with -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestCLIIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds binaries")
+	}
+	dir := t.TempDir()
+	gendata := buildTool(t, dir, "./cmd/gendata")
+	mbpenum := buildTool(t, dir, "./cmd/mbpenum")
+	experiments := buildTool(t, dir, "./cmd/experiments")
+
+	graphFile := filepath.Join(dir, "g.txt")
+
+	// gendata: ER graph.
+	out, err := exec.Command(gendata, "-type", "er", "-l", "60", "-r", "60",
+		"-density", "2", "-seed", "5", graphFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gendata: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(graphFile); err != nil {
+		t.Fatal("gendata produced no file")
+	}
+
+	// mbpenum: sequential and parallel runs must agree on the count.
+	count := func(args ...string) int {
+		t.Helper()
+		full := append(args, graphFile)
+		out, err := exec.Command(mbpenum, full...).Output()
+		if err != nil {
+			t.Fatalf("mbpenum %v: %v", args, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+		if len(lines) == 1 && lines[0] == "" {
+			return 0
+		}
+		return len(lines)
+	}
+	seq := count("-k", "1", "-n", "50")
+	par := count("-k", "1", "-n", "50", "-parallel", "4")
+	if seq != 50 || par != 50 {
+		t.Fatalf("mbpenum counts: seq=%d par=%d want 50", seq, par)
+	}
+
+	// mbpenum with unknown algorithm must fail.
+	if err := exec.Command(mbpenum, "-algo", "nope", graphFile).Run(); err == nil {
+		t.Fatal("mbpenum accepted unknown algorithm")
+	}
+
+	// gendata dataset stand-in.
+	dsFile := filepath.Join(dir, "ds.txt")
+	if out, err := exec.Command(gendata, "-type", "dataset", "-name", "Divorce", dsFile).CombinedOutput(); err != nil {
+		t.Fatalf("gendata dataset: %v\n%s", err, out)
+	}
+
+	// experiments: fig3 must reproduce the exact paper numbers.
+	out, err = exec.Command(experiments, "-maxedges", "1000", "-timeout", "2s", "-n", "20", "fig3").Output()
+	if err != nil {
+		t.Fatalf("experiments fig3: %v", err)
+	}
+	for _, want := range []string{"| 10 | 76 |", "| 10 | 41 |", "| 10 | 21 |", "| 10 | 13 |"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("experiments fig3 output missing %q:\n%s", want, out)
+		}
+	}
+
+	// experiments -list and unknown id handling.
+	out, err = exec.Command(experiments, "-list").Output()
+	if err != nil || !strings.Contains(string(out), "fig13") {
+		t.Fatalf("experiments -list: %v\n%s", err, out)
+	}
+	if err := exec.Command(experiments, "nosuch").Run(); err == nil {
+		t.Fatal("experiments accepted unknown id")
+	}
+
+	// CSV mode emits a header.
+	out, err = exec.Command(experiments, "-csv", "-maxedges", "1000", "fig3").Output()
+	if err != nil || !strings.HasPrefix(string(out), "Framework,Solutions,Links") {
+		t.Fatalf("experiments -csv: %v\n%s", err, out)
+	}
+}

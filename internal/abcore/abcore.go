@@ -1,0 +1,113 @@
+// Package abcore computes (α,β)-cores of bipartite graphs: the maximal
+// vertex subsets in which every left vertex keeps degree at least α and
+// every right vertex degree at least β. It is one of the paper's
+// comparison structures (fraud-detection case study, Section 6.3) and the
+// preprocessing step for large-MBP enumeration: every MBP with both sides
+// of size at least θ lies inside the (θ-k, θ-k)-core (Section 6.1).
+package abcore
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/bitset"
+)
+
+// Core returns the (α,β)-core of g as the surviving vertex id sets,
+// computed by iterated peeling. Empty results mean the core is empty.
+func Core(g *bigraph.Graph, alpha, beta int) (left, right []int32) {
+	aliveL := bitset.New(g.NumLeft())
+	aliveR := bitset.New(g.NumRight())
+	degL := make([]int, g.NumLeft())
+	degR := make([]int, g.NumRight())
+	for v := 0; v < g.NumLeft(); v++ {
+		aliveL.Add(v)
+		degL[v] = g.DegL(int32(v))
+	}
+	for u := 0; u < g.NumRight(); u++ {
+		aliveR.Add(u)
+		degR[u] = g.DegR(int32(u))
+	}
+
+	// Worklist peeling: queue vertices whose degree fell below threshold.
+	type vert struct {
+		id    int32
+		right bool
+	}
+	var queue []vert
+	for v := 0; v < g.NumLeft(); v++ {
+		if degL[v] < alpha {
+			queue = append(queue, vert{int32(v), false})
+		}
+	}
+	for u := 0; u < g.NumRight(); u++ {
+		if degR[u] < beta {
+			queue = append(queue, vert{int32(u), true})
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if x.right {
+			if !aliveR.Contains(int(x.id)) {
+				continue
+			}
+			aliveR.Remove(int(x.id))
+			for _, v := range g.NeighR(x.id) {
+				if aliveL.Contains(int(v)) {
+					degL[v]--
+					if degL[v] == alpha-1 {
+						queue = append(queue, vert{v, false})
+					}
+				}
+			}
+		} else {
+			if !aliveL.Contains(int(x.id)) {
+				continue
+			}
+			aliveL.Remove(int(x.id))
+			for _, u := range g.NeighL(x.id) {
+				if aliveR.Contains(int(u)) {
+					degR[u]--
+					if degR[u] == beta-1 {
+						queue = append(queue, vert{u, true})
+					}
+				}
+			}
+		}
+	}
+	return aliveL.Slice(), aliveR.Slice()
+}
+
+// ThetaCore returns the induced subgraph of the (θ-k, θ-k)-core together
+// with the id maps back to g (new id -> original id). Enumerating large
+// MBPs (both sides ≥ θ) on the returned subgraph is equivalent to
+// enumerating them on g: every large MBP survives the peeling, and a
+// core-maximal large k-biplex is also maximal in g.
+func ThetaCore(g *bigraph.Graph, theta, k int) (sub *bigraph.Graph, lback, rback []int32) {
+	return ThetaCoreLR(g, theta, theta, k)
+}
+
+// ThetaCoreLR is the asymmetric form of ThetaCore for MBPs with
+// |L| ≥ thetaL and |R| ≥ thetaR: inside such an MBP every left vertex
+// connects at least thetaR-k right vertices and every right vertex at
+// least thetaL-k left vertices, so the (thetaR-k, thetaL-k)-core contains
+// all of them.
+func ThetaCoreLR(g *bigraph.Graph, thetaL, thetaR, k int) (sub *bigraph.Graph, lback, rback []int32) {
+	return ThetaCoreLRK(g, thetaL, thetaR, k, k)
+}
+
+// ThetaCoreLRK generalizes ThetaCoreLR to per-side biplex budgets: in a
+// (kL, kR)-biplex with |L| ≥ thetaL and |R| ≥ thetaR, every left vertex
+// connects at least thetaR-kL right vertices and every right vertex at
+// least thetaL-kR left vertices.
+func ThetaCoreLRK(g *bigraph.Graph, thetaL, thetaR, kL, kR int) (sub *bigraph.Graph, lback, rback []int32) {
+	alpha := thetaR - kL
+	if alpha < 0 {
+		alpha = 0
+	}
+	beta := thetaL - kR
+	if beta < 0 {
+		beta = 0
+	}
+	l, r := Core(g, alpha, beta)
+	return g.InducedSubgraph(l, r)
+}

@@ -1,0 +1,154 @@
+package abcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+func TestCoreOnBiclique(t *testing.T) {
+	// Complete 3x3 plus a pendant edge 3-3.
+	var edges [][2]int32
+	for v := int32(0); v < 3; v++ {
+		for u := int32(0); u < 3; u++ {
+			edges = append(edges, [2]int32{v, u})
+		}
+	}
+	edges = append(edges, [2]int32{3, 3})
+	g := bigraph.FromEdges(4, 4, edges)
+	l, r := Core(g, 2, 2)
+	if len(l) != 3 || len(r) != 3 {
+		t.Fatalf("(2,2)-core = %v,%v want the 3x3 block", l, r)
+	}
+	l, r = Core(g, 1, 1)
+	if len(l) != 4 || len(r) != 4 {
+		t.Fatalf("(1,1)-core = %v,%v want everything", l, r)
+	}
+	l, r = Core(g, 4, 1)
+	if len(l) != 0 {
+		t.Fatalf("(4,1)-core left = %v want empty", l)
+	}
+}
+
+func TestCoreZeroThresholdKeepsAll(t *testing.T) {
+	g := gen.ER(10, 10, 1, 3)
+	l, r := Core(g, 0, 0)
+	if len(l) != 10 || len(r) != 10 {
+		t.Fatalf("(0,0)-core dropped vertices: %d,%d", len(l), len(r))
+	}
+}
+
+// TestCoreFixpoint checks the defining property on random graphs: inside
+// the core every degree meets the threshold, and the core is maximal
+// (peeling the complement one step further never re-qualifies a vertex —
+// equivalently, running Core on the core subgraph is the identity).
+func TestCoreFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ER(3+rng.Intn(15), 3+rng.Intn(15), 0.5+rng.Float64()*3, seed)
+		alpha, beta := 1+rng.Intn(3), 1+rng.Intn(3)
+		l, r := Core(g, alpha, beta)
+		sub, _, _ := g.InducedSubgraph(l, r)
+		for v := int32(0); v < int32(sub.NumLeft()); v++ {
+			if sub.DegL(v) < alpha {
+				return false
+			}
+		}
+		for u := int32(0); u < int32(sub.NumRight()); u++ {
+			if sub.DegR(u) < beta {
+				return false
+			}
+		}
+		l2, r2 := Core(sub, alpha, beta)
+		return len(l2) == sub.NumLeft() && len(r2) == sub.NumRight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThetaCorePreservesLargeMBPs verifies the preprocessing claim: brute
+// force large MBPs of g equal large MBPs of the (θ-k)-core subgraph.
+func TestThetaCorePreservesLargeMBPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.ER(4+rng.Intn(4), 4+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		k := 1
+		theta := 2 + rng.Intn(2)
+
+		var want []biplex.Pair
+		for _, p := range biplex.BruteForce(g, k) {
+			if len(p.L) >= theta && len(p.R) >= theta {
+				want = append(want, p)
+			}
+		}
+
+		sub, lback, rback := ThetaCore(g, theta, k)
+		var got []biplex.Pair
+		for _, p := range biplex.BruteForce(sub, k) {
+			if len(p.L) < theta || len(p.R) < theta {
+				continue
+			}
+			q := biplex.Pair{}
+			for _, v := range p.L {
+				q.L = append(q.L, lback[v])
+			}
+			for _, u := range p.R {
+				q.R = append(q.R, rback[u])
+			}
+			got = append(got, q)
+		}
+		biplex.SortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: core gave %d large MBPs, direct %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: large MBP sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestThetaCoreLRKAsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ER(5+rng.Intn(4), 5+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		kL, kR := 2, 1
+		thetaL, thetaR := 2, 3
+		var want []biplex.Pair
+		for _, p := range biplex.BruteForceLR(g, kL, kR) {
+			if len(p.L) >= thetaL && len(p.R) >= thetaR {
+				want = append(want, p)
+			}
+		}
+		sub, lback, rback := ThetaCoreLRK(g, thetaL, thetaR, kL, kR)
+		var got []biplex.Pair
+		for _, p := range biplex.BruteForceLR(sub, kL, kR) {
+			if len(p.L) < thetaL || len(p.R) < thetaR {
+				continue
+			}
+			q := biplex.Pair{}
+			for _, v := range p.L {
+				q.L = append(q.L, lback[v])
+			}
+			for _, u := range p.R {
+				q.R = append(q.R, rback[u])
+			}
+			got = append(got, q)
+		}
+		biplex.SortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: sets differ", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package biclique
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+// bruteBicliques lists maximal bicliques via the k=0 brute-force biplex
+// oracle.
+func bruteBicliques(g *bigraph.Graph) []biplex.Pair {
+	return biplex.BruteForce(g, 0)
+}
+
+func collect(g *bigraph.Graph, opts Options) []biplex.Pair {
+	var out []biplex.Pair
+	Enumerate(g, opts, func(p biplex.Pair) bool {
+		out = append(out, p.Clone())
+		return true
+	})
+	biplex.SortPairs(out)
+	return out
+}
+
+func TestVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.ER(2+rng.Intn(5), 2+rng.Intn(5), 0.5+rng.Float64()*2, rng.Int63())
+		got := collect(g, Options{})
+		want := bruteBicliques(g)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs oracle %d\n%v\n%v", trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	var edges [][2]int32
+	for v := int32(0); v < 3; v++ {
+		for u := int32(0); u < 4; u++ {
+			edges = append(edges, [2]int32{v, u})
+		}
+	}
+	g := bigraph.FromEdges(3, 4, edges)
+	got := collect(g, Options{ThetaL: 1, ThetaR: 1})
+	if len(got) != 1 || len(got[0].L) != 3 || len(got[0].R) != 4 {
+		t.Fatalf("complete graph bicliques = %v", got)
+	}
+}
+
+func TestSizeConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ER(5, 5, 1.5, rng.Int63())
+		tl, tr := 2, 2
+		got := collect(g, Options{ThetaL: tl, ThetaR: tr})
+		var want []biplex.Pair
+		for _, p := range bruteBicliques(g) {
+			if len(p.L) >= tl && len(p.R) >= tr {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: constrained %d vs %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestMaxResultsAndStop(t *testing.T) {
+	g := gen.ER(6, 6, 2, 2)
+	all := collect(g, Options{})
+	if len(all) < 2 {
+		t.Skip("not enough bicliques")
+	}
+	got := collect(g, Options{MaxResults: 1})
+	if len(got) != 1 {
+		t.Fatalf("MaxResults=1 gave %d", len(got))
+	}
+	n := 0
+	Enumerate(g, Options{}, func(biplex.Pair) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("stop after %d", n)
+	}
+}

@@ -1,0 +1,261 @@
+// Package bicoreindex builds the full (α,β)-core decomposition index of a
+// bipartite graph, following the index-based approach of Liu et al.
+// ("Efficient (α,β)-core computation: an index-based approach", WWW 2019),
+// which the paper cites as [28] and uses both as a comparison structure
+// and as the (θ−k)-core preprocessing step for large-MBP enumeration.
+//
+// The index stores, for every left vertex v and every α it can support,
+// the maximum β such that v belongs to the (α,β)-core (and symmetrically
+// for right vertices). Membership queries then cost O(1) and extracting a
+// whole (α,β)-core costs time linear in its size — no per-query peeling,
+// which is what makes repeated large-MBP runs with growing θ (Figure 10)
+// cheap.
+//
+// Convention (matching package abcore): in the (α,β)-core every left
+// vertex keeps degree ≥ α and every right vertex degree ≥ β.
+package bicoreindex
+
+import (
+	"repro/internal/bigraph"
+)
+
+// Index is the materialized (α,β)-core decomposition.
+type Index struct {
+	g *bigraph.Graph
+	// betaL[v][a-1] is the maximum β with v in the (a,β)-core; the slice
+	// length is the maximum α for which v appears in any core at all.
+	betaL [][]int32
+	// alphaR[u][b-1] is the maximum α with u in the (α,b)-core.
+	alphaR [][]int32
+}
+
+// Build computes the full decomposition. Time O(αmax · |E|) with αmax the
+// largest α of any non-empty (α,1)-core; space O(Σ_v αmax(v)).
+func Build(g *bigraph.Graph) *Index {
+	idx := &Index{
+		g:      g,
+		betaL:  make([][]int32, g.NumLeft()),
+		alphaR: make([][]int32, g.NumRight()),
+	}
+	// Sweep the α dimension: for each α, peel to the (α,1)-core and then
+	// compute per-vertex maximum β by bucket peeling on right degrees.
+	for alpha := 1; ; alpha++ {
+		betaOfL, betaOfR, any := maxBetaForAlpha(g, alpha)
+		if !any {
+			break
+		}
+		for v, b := range betaOfL {
+			if b > 0 {
+				idx.betaL[v] = append(idx.betaL[v], b)
+			}
+		}
+		_ = betaOfR
+	}
+	// Sweep the β dimension symmetrically on the transposed graph.
+	gt := g.Transpose()
+	for beta := 1; ; beta++ {
+		alphaOfR, _, any := maxBetaForAlpha(gt, beta)
+		if !any {
+			break
+		}
+		for u, a := range alphaOfR {
+			if a > 0 {
+				idx.alphaR[u] = append(idx.alphaR[u], a)
+			}
+		}
+	}
+	return idx
+}
+
+// maxBetaForAlpha computes, for a fixed α, the maximum β per surviving
+// vertex: betaOfL[v] (resp. betaOfR[u]) is the largest β with v (resp. u)
+// in the (α,β)-core, or 0 if the vertex is not even in the (α,1)-core.
+// any reports whether any vertex survived.
+//
+// The computation peels β = 1, 2, …: before each level, left vertices
+// with degree < α cascade out; then right vertices with degree < β are
+// removed (cascading through the α constraint), and every vertex removed
+// while processing level β has maximum β-value β−1 (vertices removed at
+// level 1 have value 0 and are reported as absent). Vertices surviving
+// all levels get the final β.
+func maxBetaForAlpha(g *bigraph.Graph, alpha int) (betaOfL, betaOfR []int32, any bool) {
+	nl, nr := g.NumLeft(), g.NumRight()
+	betaOfL = make([]int32, nl)
+	betaOfR = make([]int32, nr)
+	aliveL := make([]bool, nl)
+	aliveR := make([]bool, nr)
+	degL := make([]int, nl)
+	degR := make([]int, nr)
+	liveR := 0
+	for v := 0; v < nl; v++ {
+		aliveL[v] = true
+		degL[v] = g.DegL(int32(v))
+	}
+	for u := 0; u < nr; u++ {
+		aliveR[u] = true
+		degR[u] = g.DegR(int32(u))
+		liveR++
+	}
+
+	// removeL / removeR cascade removals at the current β level.
+	var queueL, queueR []int32
+	var beta int
+	removeR := func(u int32) {
+		aliveR[u] = false
+		liveR--
+		betaOfR[u] = int32(beta - 1)
+		for _, v := range g.NeighR(u) {
+			if aliveL[v] {
+				degL[v]--
+				if degL[v] == alpha-1 {
+					queueL = append(queueL, v)
+				}
+			}
+		}
+	}
+	removeL := func(v int32) {
+		aliveL[v] = false
+		betaOfL[v] = int32(beta - 1)
+		for _, u := range g.NeighL(v) {
+			if aliveR[u] {
+				degR[u]--
+				if degR[u] == beta-1 {
+					queueR = append(queueR, u)
+				}
+			}
+		}
+	}
+	drain := func() {
+		for len(queueL) > 0 || len(queueR) > 0 {
+			if n := len(queueL); n > 0 {
+				v := queueL[n-1]
+				queueL = queueL[:n-1]
+				if aliveL[v] {
+					removeL(v)
+				}
+				continue
+			}
+			n := len(queueR)
+			u := queueR[n-1]
+			queueR = queueR[:n-1]
+			if aliveR[u] {
+				removeR(u)
+			}
+		}
+	}
+
+	// Level β = 1: enforce the α constraint (and β ≥ 1 requires right
+	// degree ≥ 1).
+	for beta = 1; liveR > 0; beta++ {
+		for v := int32(0); v < int32(nl); v++ {
+			if beta == 1 && aliveL[v] && degL[v] < alpha {
+				queueL = append(queueL, v)
+			}
+		}
+		for u := int32(0); u < int32(nr); u++ {
+			if aliveR[u] && degR[u] < beta {
+				queueR = append(queueR, u)
+			}
+		}
+		drain()
+		// Vertices alive after processing level β are in the (α,β)-core.
+		for v := 0; v < nl; v++ {
+			if aliveL[v] {
+				betaOfL[v] = int32(beta)
+				any = true
+			}
+		}
+		for u := 0; u < nr; u++ {
+			if aliveR[u] {
+				betaOfR[u] = int32(beta)
+				any = true
+			}
+		}
+	}
+	return betaOfL, betaOfR, any
+}
+
+// MaxBetaLeft returns the maximum β such that left vertex v belongs to
+// the (alpha,β)-core, or 0 if it is in no such core.
+func (idx *Index) MaxBetaLeft(v int32, alpha int) int {
+	if alpha < 1 || alpha > len(idx.betaL[v]) {
+		return 0
+	}
+	return int(idx.betaL[v][alpha-1])
+}
+
+// MaxAlphaRight returns the maximum α such that right vertex u belongs to
+// the (α,beta)-core, or 0 if it is in no such core.
+func (idx *Index) MaxAlphaRight(u int32, beta int) int {
+	if beta < 1 || beta > len(idx.alphaR[u]) {
+		return 0
+	}
+	return int(idx.alphaR[u][beta-1])
+}
+
+// InCoreLeft reports whether left vertex v belongs to the (alpha,beta)-core.
+func (idx *Index) InCoreLeft(v int32, alpha, beta int) bool {
+	if alpha < 1 {
+		alpha = 1
+	}
+	if beta < 1 {
+		return idx.g.DegL(v) >= alpha || idx.MaxBetaLeft(v, alpha) >= 1
+	}
+	return idx.MaxBetaLeft(v, alpha) >= beta
+}
+
+// InCoreRight reports whether right vertex u belongs to the (alpha,beta)-core.
+func (idx *Index) InCoreRight(u int32, alpha, beta int) bool {
+	if beta < 1 {
+		beta = 1
+	}
+	if alpha < 1 {
+		return idx.g.DegR(u) >= beta || idx.MaxAlphaRight(u, beta) >= 1
+	}
+	return idx.MaxAlphaRight(u, beta) >= alpha
+}
+
+// Core extracts the (alpha,beta)-core vertex sets from the index in time
+// linear in the graph's vertex count. alpha and beta below 1 are clamped
+// to 1 (the decomposition is defined for positive degrees).
+func (idx *Index) Core(alpha, beta int) (left, right []int32) {
+	if alpha < 1 {
+		alpha = 1
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	for v := int32(0); v < int32(idx.g.NumLeft()); v++ {
+		if idx.MaxBetaLeft(v, alpha) >= beta {
+			left = append(left, v)
+		}
+	}
+	for u := int32(0); u < int32(idx.g.NumRight()); u++ {
+		if idx.MaxAlphaRight(u, beta) >= alpha {
+			right = append(right, u)
+		}
+	}
+	return left, right
+}
+
+// MaxAlpha returns the largest α with a non-empty (α,1)-core.
+func (idx *Index) MaxAlpha() int {
+	m := 0
+	for v := range idx.betaL {
+		if len(idx.betaL[v]) > m {
+			m = len(idx.betaL[v])
+		}
+	}
+	return m
+}
+
+// MaxBeta returns the largest β with a non-empty (1,β)-core.
+func (idx *Index) MaxBeta() int {
+	m := 0
+	for u := range idx.alphaR {
+		if len(idx.alphaR[u]) > m {
+			m = len(idx.alphaR[u])
+		}
+	}
+	return m
+}

@@ -1,0 +1,211 @@
+package bicoreindex
+
+import (
+	"testing"
+
+	"repro/internal/abcore"
+	"repro/internal/bigraph"
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+// TestIndexMatchesPeeling cross-checks every (α,β) combination of the
+// index against the direct peeling of package abcore.
+func TestIndexMatchesPeeling(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := gen.ER(20, 25, 3, seed)
+		idx := Build(g)
+		amax, bmax := idx.MaxAlpha(), idx.MaxBeta()
+		if amax == 0 || bmax == 0 {
+			t.Fatalf("seed %d: degenerate decomposition (amax=%d bmax=%d)", seed, amax, bmax)
+		}
+		for alpha := 1; alpha <= amax+1; alpha++ {
+			for beta := 1; beta <= bmax+1; beta++ {
+				wantL, wantR := abcore.Core(g, alpha, beta)
+				gotL, gotR := idx.Core(alpha, beta)
+				if !equalIDs(gotL, wantL) || !equalIDs(gotR, wantR) {
+					t.Fatalf("seed %d (α=%d,β=%d): index core (%v,%v) != peeled (%v,%v)",
+						seed, alpha, beta, gotL, gotR, wantL, wantR)
+				}
+				// Membership queries agree with the extracted sets.
+				ls := bitset.FromSlice(g.NumLeft(), wantL)
+				for v := int32(0); v < int32(g.NumLeft()); v++ {
+					if idx.InCoreLeft(v, alpha, beta) != ls.Contains(int(v)) {
+						t.Fatalf("seed %d (α=%d,β=%d): InCoreLeft(%d) wrong", seed, alpha, beta, v)
+					}
+				}
+				rs := bitset.FromSlice(g.NumRight(), wantR)
+				for u := int32(0); u < int32(g.NumRight()); u++ {
+					if idx.InCoreRight(u, alpha, beta) != rs.Contains(int(u)) {
+						t.Fatalf("seed %d (α=%d,β=%d): InCoreRight(%d) wrong", seed, alpha, beta, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMonotoneInAlphaBeta checks the lattice property: cores shrink as
+// either parameter grows.
+func TestMonotoneInAlphaBeta(t *testing.T) {
+	g := gen.ER(30, 30, 4, 7)
+	idx := Build(g)
+	for alpha := 1; alpha <= idx.MaxAlpha(); alpha++ {
+		for beta := 1; beta <= idx.MaxBeta(); beta++ {
+			l0, r0 := idx.Core(alpha, beta)
+			l1, _ := idx.Core(alpha+1, beta)
+			_, r2 := idx.Core(alpha, beta+1)
+			if len(l1) > len(l0) {
+				t.Fatalf("(α=%d→%d, β=%d): left core grew %d→%d", alpha, alpha+1, beta, len(l0), len(l1))
+			}
+			if len(r2) > len(r0) {
+				t.Fatalf("(α=%d, β=%d→%d): right core grew %d→%d", alpha, beta, beta+1, len(r0), len(r2))
+			}
+		}
+	}
+}
+
+// TestMaxBetaIsTight verifies βmax is achieved but not exceeded.
+func TestMaxBetaIsTight(t *testing.T) {
+	g := gen.ER(15, 15, 2.5, 3)
+	idx := Build(g)
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		for alpha := 1; alpha <= len(idx.betaL[v]); alpha++ {
+			bm := idx.MaxBetaLeft(v, alpha)
+			if bm < 1 {
+				t.Fatalf("stored zero βmax for v=%d α=%d", v, alpha)
+			}
+			inL, _ := abcore.Core(g, alpha, bm)
+			if !containsID(inL, v) {
+				t.Fatalf("v=%d not in (%d,%d)-core though βmax says so", v, alpha, bm)
+			}
+			outL, _ := abcore.Core(g, alpha, bm+1)
+			if containsID(outL, v) {
+				t.Fatalf("v=%d in (%d,%d)-core though βmax=%d", v, alpha, bm+1, bm)
+			}
+		}
+	}
+}
+
+func containsID(a []int32, x int32) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	// K_{3,4}: every left vertex has degree 4, every right degree 3. The
+	// (α,β)-core is the whole graph for α ≤ 4, β ≤ 3 and empty beyond.
+	var b bigraph.Builder
+	for v := int32(0); v < 3; v++ {
+		for u := int32(0); u < 4; u++ {
+			b.AddEdge(v, u)
+		}
+	}
+	g := b.Build()
+	idx := Build(g)
+	if idx.MaxAlpha() != 4 || idx.MaxBeta() != 3 {
+		t.Fatalf("K_{3,4}: MaxAlpha=%d MaxBeta=%d, want 4 and 3", idx.MaxAlpha(), idx.MaxBeta())
+	}
+	for alpha := 1; alpha <= 4; alpha++ {
+		for beta := 1; beta <= 3; beta++ {
+			l, r := idx.Core(alpha, beta)
+			if len(l) != 3 || len(r) != 4 {
+				t.Fatalf("K_{3,4} (α=%d,β=%d): core %dx%d, want 3x4", alpha, beta, len(l), len(r))
+			}
+		}
+	}
+	if l, r := idx.Core(5, 1); len(l) != 0 || len(r) != 0 {
+		t.Fatalf("K_{3,4} (5,1)-core should be empty, got %dx%d", len(l), len(r))
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	// One left hub connected to 5 right leaves: (1,1)-core is everything,
+	// (1,2)-core is empty (leaves have degree 1).
+	var b bigraph.Builder
+	for u := int32(0); u < 5; u++ {
+		b.AddEdge(0, u)
+	}
+	g := b.Build()
+	idx := Build(g)
+	l, r := idx.Core(1, 1)
+	if len(l) != 1 || len(r) != 5 {
+		t.Fatalf("star (1,1)-core: %dx%d, want 1x5", len(l), len(r))
+	}
+	if l, r := idx.Core(1, 2); len(l) != 0 || len(r) != 0 {
+		t.Fatalf("star (1,2)-core should be empty, got %dx%d", len(l), len(r))
+	}
+	if l, r := idx.Core(5, 1); len(l) != 1 || len(r) != 5 {
+		t.Fatalf("star (5,1)-core: %dx%d, want 1x5", len(l), len(r))
+	}
+}
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	empty := bigraph.FromEdges(0, 0, nil)
+	idx := Build(empty)
+	if idx.MaxAlpha() != 0 || idx.MaxBeta() != 0 {
+		t.Fatal("empty graph should have empty decomposition")
+	}
+	var b bigraph.Builder
+	b.SetSize(3, 3)
+	edgeless := b.Build()
+	idx = Build(edgeless)
+	if l, r := idx.Core(1, 1); len(l) != 0 || len(r) != 0 {
+		t.Fatalf("edgeless (1,1)-core should be empty, got %dx%d", len(l), len(r))
+	}
+}
+
+func TestPaperExampleCore(t *testing.T) {
+	g := dataset.PaperExample()
+	idx := Build(g)
+	for alpha := 1; alpha <= idx.MaxAlpha(); alpha++ {
+		for beta := 1; beta <= idx.MaxBeta(); beta++ {
+			wantL, wantR := abcore.Core(g, alpha, beta)
+			gotL, gotR := idx.Core(alpha, beta)
+			if !equalIDs(gotL, wantL) || !equalIDs(gotR, wantR) {
+				t.Fatalf("(α=%d,β=%d) mismatch", alpha, beta)
+			}
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	g := gen.ER(2000, 2000, 8, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g)
+	}
+}
+
+func BenchmarkQueryVsPeel(b *testing.B) {
+	g := gen.ER(2000, 2000, 8, 42)
+	idx := Build(g)
+	b.Run("IndexCore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Core(3, 3)
+		}
+	})
+	b.Run("PeelCore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			abcore.Core(g, 3, 3)
+		}
+	})
+}

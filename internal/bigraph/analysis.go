@@ -1,0 +1,204 @@
+package bigraph
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Component is one connected component, as sorted vertex id sets.
+type Component struct {
+	L []int32
+	R []int32
+}
+
+// Size returns the vertex count of the component.
+func (c Component) Size() int { return len(c.L) + len(c.R) }
+
+// ConnectedComponents returns the connected components of g (isolated
+// vertices form singleton components), largest first; ties broken by the
+// smallest contained id for determinism.
+func ConnectedComponents(g *Graph) []Component {
+	seenL := bitset.New(g.NumLeft())
+	seenR := bitset.New(g.NumRight())
+	var comps []Component
+
+	// explore runs a BFS from a seed vertex on the given side.
+	explore := func(seed int32, right bool) Component {
+		var c Component
+		type vert struct {
+			id    int32
+			right bool
+		}
+		queue := []vert{{seed, right}}
+		if right {
+			seenR.Add(int(seed))
+		} else {
+			seenL.Add(int(seed))
+		}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if x.right {
+				c.R = append(c.R, x.id)
+				for _, v := range g.NeighR(x.id) {
+					if !seenL.Contains(int(v)) {
+						seenL.Add(int(v))
+						queue = append(queue, vert{v, false})
+					}
+				}
+			} else {
+				c.L = append(c.L, x.id)
+				for _, u := range g.NeighL(x.id) {
+					if !seenR.Contains(int(u)) {
+						seenR.Add(int(u))
+						queue = append(queue, vert{u, true})
+					}
+				}
+			}
+		}
+		sortIDs(c.L)
+		sortIDs(c.R)
+		return c
+	}
+
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if !seenL.Contains(int(v)) {
+			comps = append(comps, explore(v, false))
+		}
+	}
+	for u := int32(0); u < int32(g.NumRight()); u++ {
+		if !seenR.Contains(int(u)) {
+			comps = append(comps, explore(u, true))
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Size() != comps[j].Size() {
+			return comps[i].Size() > comps[j].Size()
+		}
+		return firstID(comps[i]) < firstID(comps[j])
+	})
+	return comps
+}
+
+func firstID(c Component) int64 {
+	best := int64(1) << 62
+	if len(c.L) > 0 {
+		best = int64(c.L[0])
+	}
+	if len(c.R) > 0 && int64(c.R[0])+int64(1<<31) < best {
+		// Right ids ordered after all left ids for tie-breaking.
+		best = int64(c.R[0]) + int64(1<<31)
+	}
+	return best
+}
+
+func sortIDs(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component with the id maps back to g. An empty graph returns itself.
+func LargestComponent(g *Graph) (*Graph, []int32, []int32) {
+	comps := ConnectedComponents(g)
+	if len(comps) == 0 {
+		return g, nil, nil
+	}
+	return g.InducedSubgraph(comps[0].L, comps[0].R)
+}
+
+// ProjectLeft returns the left projection of g as an adjacency list:
+// proj[v] lists the left vertices sharing at least minCommon common right
+// neighbors with v (v excluded), sorted ascending. minCommon below 1 is
+// treated as 1. The projection is how one-mode analyses (e.g. clique
+// detection on co-review graphs) consume bipartite data.
+func ProjectLeft(g *Graph, minCommon int) [][]int32 {
+	if minCommon < 1 {
+		minCommon = 1
+	}
+	proj := make([][]int32, g.NumLeft())
+	counts := make(map[int32]int)
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		clear(counts)
+		for _, u := range g.NeighL(v) {
+			for _, w := range g.NeighR(u) {
+				if w != v {
+					counts[w]++
+				}
+			}
+		}
+		for w, c := range counts {
+			if c >= minCommon {
+				proj[v] = append(proj[v], w)
+			}
+		}
+		sortIDs(proj[v])
+	}
+	return proj
+}
+
+// ProjectRight is the mirror of ProjectLeft for the right side.
+func ProjectRight(g *Graph, minCommon int) [][]int32 {
+	return ProjectLeft(g.Transpose(), minCommon)
+}
+
+// DegreeHistogram returns deg -> count for the requested side (left when
+// right is false). Indices run from 0 to the maximum degree.
+func DegreeHistogram(g *Graph, right bool) []int64 {
+	n, deg := g.NumLeft(), g.DegL
+	if right {
+		n, deg = g.NumRight(), g.DegR
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := deg(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int64, maxDeg+1)
+	for v := 0; v < n; v++ {
+		hist[deg(int32(v))]++
+	}
+	return hist
+}
+
+// Stats summarizes a graph's shape for dataset tables and logs.
+type Stats struct {
+	NumLeft, NumRight, NumEdges int
+	// MaxDegL and MaxDegR are the per-side maximum degrees.
+	MaxDegL, MaxDegR int
+	// AvgDegL and AvgDegR are the per-side mean degrees.
+	AvgDegL, AvgDegR float64
+	// Density is |E| / (|L| + |R|), the paper's edge-density measure.
+	Density float64
+	// Components is the number of connected components.
+	Components int
+}
+
+// ComputeStats gathers Stats for g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		NumLeft:  g.NumLeft(),
+		NumRight: g.NumRight(),
+		NumEdges: g.NumEdges(),
+		Density:  g.Density(),
+	}
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if d := g.DegL(v); d > s.MaxDegL {
+			s.MaxDegL = d
+		}
+	}
+	for u := int32(0); u < int32(g.NumRight()); u++ {
+		if d := g.DegR(u); d > s.MaxDegR {
+			s.MaxDegR = d
+		}
+	}
+	if g.NumLeft() > 0 {
+		s.AvgDegL = float64(g.NumEdges()) / float64(g.NumLeft())
+	}
+	if g.NumRight() > 0 {
+		s.AvgDegR = float64(g.NumEdges()) / float64(g.NumRight())
+	}
+	s.Components = len(ConnectedComponents(g))
+	return s
+}

@@ -1,0 +1,146 @@
+package bigraph
+
+import (
+	"testing"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components plus an isolated vertex on each side.
+	var b Builder
+	b.SetSize(5, 5)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0) // component A: L{0,1} R{0}
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 2)
+	b.AddEdge(3, 2) // component B: L{2,3} R{1,2}
+	// L4, R3, R4 isolated.
+	g := b.Build()
+	comps := ConnectedComponents(g)
+	if len(comps) != 5 {
+		t.Fatalf("want 5 components, got %d: %v", len(comps), comps)
+	}
+	if comps[0].Size() != 4 || len(comps[0].L) != 2 || len(comps[0].R) != 2 {
+		t.Fatalf("largest component wrong: %v", comps[0])
+	}
+	if comps[1].Size() != 3 {
+		t.Fatalf("second component wrong: %v", comps[1])
+	}
+	total := 0
+	for _, c := range comps {
+		total += c.Size()
+	}
+	if total != 10 {
+		t.Fatalf("components cover %d vertices, want 10", total)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	if got := ConnectedComponents(FromEdges(0, 0, nil)); len(got) != 0 {
+		t.Fatalf("empty graph has %d components", len(got))
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	var b Builder
+	b.SetSize(4, 4)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(3, 3)
+	g := b.Build()
+	sub, lback, rback := LargestComponent(g)
+	if sub.NumLeft() != 2 || sub.NumRight() != 2 || sub.NumEdges() != 3 {
+		t.Fatalf("largest component: %v", sub)
+	}
+	if lback[0] != 0 || lback[1] != 1 || rback[0] != 0 || rback[1] != 1 {
+		t.Fatalf("id maps wrong: %v %v", lback, rback)
+	}
+}
+
+func TestProjectLeft(t *testing.T) {
+	// v0 and v1 share two right neighbors; v2 shares one with each.
+	g := FromEdges(3, 3, [][2]int32{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 1}, {2, 2},
+	})
+	p1 := ProjectLeft(g, 1)
+	if !idsEqual(p1[0], []int32{1, 2}) || !idsEqual(p1[1], []int32{0, 2}) || !idsEqual(p1[2], []int32{0, 1}) {
+		t.Fatalf("minCommon=1 projection wrong: %v", p1)
+	}
+	p2 := ProjectLeft(g, 2)
+	if !idsEqual(p2[0], []int32{1}) || !idsEqual(p2[1], []int32{0}) || len(p2[2]) != 0 {
+		t.Fatalf("minCommon=2 projection wrong: %v", p2)
+	}
+}
+
+func TestProjectRightMirrorsLeft(t *testing.T) {
+	g := FromEdges(3, 3, [][2]int32{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 1}, {2, 2},
+	})
+	pr := ProjectRight(g, 1)
+	pl := ProjectLeft(g.Transpose(), 1)
+	if len(pr) != len(pl) {
+		t.Fatal("ProjectRight disagrees with transposed ProjectLeft")
+	}
+	for i := range pr {
+		if !idsEqual(pr[i], pl[i]) {
+			t.Fatalf("row %d: %v vs %v", i, pr[i], pl[i])
+		}
+	}
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(3, 4, [][2]int32{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 3},
+	})
+	hl := DegreeHistogram(g, false)
+	// Left degrees: 3, 1, 1.
+	if hl[1] != 2 || hl[3] != 1 || len(hl) != 4 {
+		t.Fatalf("left histogram %v", hl)
+	}
+	hr := DegreeHistogram(g, true)
+	// Right degrees: 2, 1, 1, 1.
+	if hr[1] != 3 || hr[2] != 1 || len(hr) != 3 {
+		t.Fatalf("right histogram %v", hr)
+	}
+	var sumL, sumR int64
+	for d, c := range hl {
+		sumL += int64(d) * c
+	}
+	for d, c := range hr {
+		sumR += int64(d) * c
+	}
+	if sumL != int64(g.NumEdges()) || sumR != int64(g.NumEdges()) {
+		t.Fatalf("histogram degree sums %d/%d, want %d", sumL, sumR, g.NumEdges())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := FromEdges(3, 4, [][2]int32{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 3},
+	})
+	s := ComputeStats(g)
+	if s.NumLeft != 3 || s.NumRight != 4 || s.NumEdges != 5 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MaxDegL != 3 || s.MaxDegR != 2 {
+		t.Fatalf("max degrees: %+v", s)
+	}
+	if s.Components != 2 {
+		t.Fatalf("components: %+v", s)
+	}
+	if s.Density != 5.0/7.0 {
+		t.Fatalf("density: %+v", s)
+	}
+}

@@ -1,0 +1,272 @@
+// Package bigraph implements the bipartite graph substrate used throughout
+// the repository: an immutable CSR (compressed sparse row) representation
+// with sorted adjacency on both sides, a mutable builder, and the degree /
+// neighborhood helpers (Γ, δ and their complements) from the paper's
+// Section 2.
+//
+// Vertices on each side are identified by dense int32 ids: left vertices
+// are 0..NumLeft()-1 and right vertices are 0..NumRight()-1, in two
+// independent id spaces.
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected bipartite graph G = (L ∪ R, E) in CSR
+// form. Use a Builder to construct one.
+type Graph struct {
+	numLeft  int
+	numRight int
+
+	// CSR for the left side: neighbors (right ids) of left vertex v are
+	// adjL[offL[v]:offL[v+1]], sorted ascending. Symmetrically for the
+	// right side.
+	offL []int64
+	adjL []int32
+	offR []int64
+	adjR []int32
+}
+
+// NumLeft returns |L|.
+func (g *Graph) NumLeft() int { return g.numLeft }
+
+// NumRight returns |R|.
+func (g *Graph) NumRight() int { return g.numRight }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.adjL) }
+
+// DegL returns δ(v, R), the degree of left vertex v.
+func (g *Graph) DegL(v int32) int { return int(g.offL[v+1] - g.offL[v]) }
+
+// DegR returns δ(u, L), the degree of right vertex u.
+func (g *Graph) DegR(u int32) int { return int(g.offR[u+1] - g.offR[u]) }
+
+// NeighL returns Γ(v, R): the sorted right neighbors of left vertex v.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) NeighL(v int32) []int32 { return g.adjL[g.offL[v]:g.offL[v+1]] }
+
+// NeighR returns Γ(u, L): the sorted left neighbors of right vertex u.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) NeighR(u int32) []int32 { return g.adjR[g.offR[u]:g.offR[u+1]] }
+
+// HasEdge reports whether (v, u) ∈ E for left vertex v and right vertex u.
+func (g *Graph) HasEdge(v, u int32) bool {
+	a := g.NeighL(v)
+	b := g.NeighR(u)
+	// Binary-search the shorter list.
+	if len(a) <= len(b) {
+		return containsSorted(a, u)
+	}
+	return containsSorted(b, v)
+}
+
+func containsSorted(a []int32, x int32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// Density returns |E| / (|L| + |R|), the edge density used by the paper's
+// synthetic experiments.
+func (g *Graph) Density() float64 {
+	n := g.numLeft + g.numRight
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// Edges calls fn for every edge (v, u), ordered by v then u. If fn returns
+// false, iteration stops.
+func (g *Graph) Edges(fn func(v, u int32) bool) {
+	for v := int32(0); v < int32(g.numLeft); v++ {
+		for _, u := range g.NeighL(v) {
+			if !fn(v, u) {
+				return
+			}
+		}
+	}
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("bigraph{|L|=%d |R|=%d |E|=%d}", g.numLeft, g.numRight, g.NumEdges())
+}
+
+// Transpose returns the mirror graph with the left and right sides
+// swapped. It shares the underlying storage with g (both are immutable),
+// so the call is O(1). The left-anchored machinery run on Transpose(g)
+// yields the paper's symmetric "right-anchored" variant.
+func (g *Graph) Transpose() *Graph {
+	return &Graph{
+		numLeft:  g.numRight,
+		numRight: g.numLeft,
+		offL:     g.offR,
+		adjL:     g.adjR,
+		offR:     g.offL,
+		adjR:     g.adjL,
+	}
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are coalesced. The zero value is ready to use.
+type Builder struct {
+	numLeft  int
+	numRight int
+	edges    []edge
+}
+
+type edge struct{ v, u int32 }
+
+// SetSize reserves vertex counts so isolated vertices survive Build.
+// Adding an edge beyond the declared sizes extends them automatically.
+func (b *Builder) SetSize(numLeft, numRight int) {
+	if numLeft > b.numLeft {
+		b.numLeft = numLeft
+	}
+	if numRight > b.numRight {
+		b.numRight = numRight
+	}
+}
+
+// AddEdge records the edge (v, u) between left vertex v and right vertex u.
+func (b *Builder) AddEdge(v, u int32) {
+	if v < 0 || u < 0 {
+		panic("bigraph: negative vertex id")
+	}
+	if int(v) >= b.numLeft {
+		b.numLeft = int(v) + 1
+	}
+	if int(u) >= b.numRight {
+		b.numRight = int(u) + 1
+	}
+	b.edges = append(b.edges, edge{v, u})
+}
+
+// NumEdgesAdded reports how many edges have been recorded so far,
+// counting duplicates.
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph and resets nothing; the builder
+// may keep accumulating for a later Build.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].v != b.edges[j].v {
+			return b.edges[i].v < b.edges[j].v
+		}
+		return b.edges[i].u < b.edges[j].u
+	})
+	// Deduplicate in place.
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	b.edges = dedup
+
+	g := &Graph{numLeft: b.numLeft, numRight: b.numRight}
+	g.offL = make([]int64, b.numLeft+1)
+	g.offR = make([]int64, b.numRight+1)
+	for _, e := range b.edges {
+		g.offL[e.v+1]++
+		g.offR[e.u+1]++
+	}
+	for i := 1; i <= b.numLeft; i++ {
+		g.offL[i] += g.offL[i-1]
+	}
+	for i := 1; i <= b.numRight; i++ {
+		g.offR[i] += g.offR[i-1]
+	}
+	g.adjL = make([]int32, len(b.edges))
+	g.adjR = make([]int32, len(b.edges))
+	nextL := make([]int64, b.numLeft)
+	nextR := make([]int64, b.numRight)
+	for _, e := range b.edges {
+		g.adjL[g.offL[e.v]+nextL[e.v]] = e.u
+		nextL[e.v]++
+		g.adjR[g.offR[e.u]+nextR[e.u]] = e.v
+		nextR[e.u]++
+	}
+	// adjL is filled in (v,u)-sorted order so each list is sorted; adjR is
+	// filled in v-ascending order per u, also sorted. No per-list sort
+	// needed.
+	return g
+}
+
+// FromEdges is a convenience constructor for tests and examples.
+func FromEdges(numLeft, numRight int, edges [][2]int32) *Graph {
+	var b Builder
+	b.SetSize(numLeft, numRight)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the induced bipartite subgraph G[L' ∪ R'] with
+// vertices relabeled densely (0..len-1 on each side), together with the
+// id maps from new ids back to original ids.
+func (g *Graph) InducedSubgraph(lset, rset []int32) (*Graph, []int32, []int32) {
+	lmap := make(map[int32]int32, len(lset))
+	rmap := make(map[int32]int32, len(rset))
+	lback := make([]int32, len(lset))
+	rback := make([]int32, len(rset))
+	for i, v := range lset {
+		lmap[v] = int32(i)
+		lback[i] = v
+	}
+	for i, u := range rset {
+		rmap[u] = int32(i)
+		rback[i] = u
+	}
+	var b Builder
+	b.SetSize(len(lset), len(rset))
+	for _, v := range lset {
+		for _, u := range g.NeighL(v) {
+			if nu, ok := rmap[u]; ok {
+				b.AddEdge(lmap[v], nu)
+			}
+		}
+	}
+	return b.Build(), lback, rback
+}
+
+// Validate checks internal CSR invariants; it is used by tests and after
+// deserialization.
+func (g *Graph) Validate() error {
+	if len(g.offL) != g.numLeft+1 || len(g.offR) != g.numRight+1 {
+		return fmt.Errorf("bigraph: offset array sizes wrong")
+	}
+	if len(g.adjL) != len(g.adjR) {
+		return fmt.Errorf("bigraph: adjacency arrays disagree: %d vs %d", len(g.adjL), len(g.adjR))
+	}
+	for v := int32(0); v < int32(g.numLeft); v++ {
+		ns := g.NeighL(v)
+		for i, u := range ns {
+			if u < 0 || int(u) >= g.numRight {
+				return fmt.Errorf("bigraph: left %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && ns[i-1] >= u {
+				return fmt.Errorf("bigraph: left %d adjacency not strictly sorted", v)
+			}
+		}
+	}
+	for u := int32(0); u < int32(g.numRight); u++ {
+		ns := g.NeighR(u)
+		for i, v := range ns {
+			if v < 0 || int(v) >= g.numLeft {
+				return fmt.Errorf("bigraph: right %d has out-of-range neighbor %d", u, v)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("bigraph: right %d adjacency not strictly sorted", u)
+			}
+			if !containsSorted(g.NeighL(v), u) {
+				return fmt.Errorf("bigraph: edge (%d,%d) present in adjR but not adjL", v, u)
+			}
+		}
+	}
+	return nil
+}

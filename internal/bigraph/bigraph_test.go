@@ -1,0 +1,245 @@
+package bigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Graph {
+	// L = {0,1,2}, R = {0,1}, edges: 0-0, 0-1, 2-1 (and a duplicate).
+	var b Builder
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(0, 1) // duplicate, must coalesce
+	return b.Build()
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := sample()
+	if g.NumLeft() != 3 || g.NumRight() != 2 {
+		t.Fatalf("sizes = %d,%d want 3,2", g.NumLeft(), g.NumRight())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (dedup)", g.NumEdges())
+	}
+	if g.DegL(0) != 2 || g.DegL(1) != 0 || g.DegL(2) != 1 {
+		t.Fatalf("left degrees wrong: %d %d %d", g.DegL(0), g.DegL(1), g.DegL(2))
+	}
+	if g.DegR(0) != 1 || g.DegR(1) != 2 {
+		t.Fatalf("right degrees wrong: %d %d", g.DegR(0), g.DegR(1))
+	}
+	if !g.HasEdge(0, 0) || !g.HasEdge(2, 1) || g.HasEdge(1, 0) || g.HasEdge(2, 0) {
+		t.Fatal("HasEdge answers wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSetSizeKeepsIsolatedVertices(t *testing.T) {
+	var b Builder
+	b.SetSize(5, 7)
+	b.AddEdge(0, 0)
+	g := b.Build()
+	if g.NumLeft() != 5 || g.NumRight() != 7 {
+		t.Fatalf("sizes = %d,%d want 5,7", g.NumLeft(), g.NumRight())
+	}
+	if g.DegL(4) != 0 || g.DegR(6) != 0 {
+		t.Fatal("isolated vertex has nonzero degree")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	g := sample()
+	want := 3.0 / 5.0
+	if got := g.Density(); got != want {
+		t.Fatalf("Density = %v, want %v", got, want)
+	}
+	var empty Builder
+	if got := empty.Build().Density(); got != 0 {
+		t.Fatalf("empty Density = %v, want 0", got)
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := sample()
+	var got [][2]int32
+	g.Edges(func(v, u int32) bool {
+		got = append(got, [2]int32{v, u})
+		return true
+	})
+	want := [][2]int32{{0, 0}, {0, 1}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Edges yielded %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges yielded %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	g.Edges(func(v, u int32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d edges", n)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// 2x3 with edges forming a path.
+	g := FromEdges(2, 3, [][2]int32{{0, 0}, {0, 1}, {1, 1}, {1, 2}})
+	sub, lback, rback := g.InducedSubgraph([]int32{1}, []int32{1, 2})
+	if sub.NumLeft() != 1 || sub.NumRight() != 2 || sub.NumEdges() != 2 {
+		t.Fatalf("induced = %v", sub)
+	}
+	if lback[0] != 1 || rback[0] != 1 || rback[1] != 2 {
+		t.Fatal("back maps wrong")
+	}
+	if !sub.HasEdge(0, 0) || !sub.HasEdge(0, 1) {
+		t.Fatal("induced edges wrong")
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	// 1-based KONECT-style input with comments.
+	in := "% comment\n# another\n1 1\n1 2\n3 2\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != 3 || g.NumRight() != 2 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	if !g.HasEdge(0, 0) || !g.HasEdge(2, 1) {
+		t.Fatal("1-based shift not applied")
+	}
+
+	// 0-based input: no shift.
+	g, err = ReadEdgeList(strings.NewReader("0 0\n2 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 0) || !g.HasEdge(2, 1) {
+		t.Fatal("0-based ids shifted incorrectly")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"1\n", "a b\n", "1 b\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := FromEdges(4, 5, [][2]int32{{0, 0}, {0, 4}, {3, 2}, {2, 2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges = %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+	g.Edges(func(v, u int32) bool {
+		if !g2.HasEdge(v, u) {
+			t.Errorf("edge (%d,%d) lost in round trip", v, u)
+		}
+		return true
+	})
+}
+
+// TestQuickAdjacencyMirror checks on random graphs that adjL and adjR
+// describe the same edge set and degrees sum consistently.
+func TestQuickAdjacencyMirror(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		var b Builder
+		b.SetSize(nl, nr)
+		m := rng.Intn(60)
+		for i := 0; i < m; i++ {
+			b.AddEdge(int32(rng.Intn(nl)), int32(rng.Intn(nr)))
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		sumL, sumR := 0, 0
+		for v := int32(0); v < int32(nl); v++ {
+			sumL += g.DegL(v)
+			for _, u := range g.NeighL(v) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		for u := int32(0); u < int32(nr); u++ {
+			sumR += g.DegR(u)
+		}
+		return sumL == g.NumEdges() && sumR == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := FromEdges(3, 2, [][2]int32{{0, 0}, {0, 1}, {2, 1}})
+	tr := g.Transpose()
+	if tr.NumLeft() != 2 || tr.NumRight() != 3 {
+		t.Fatalf("transpose sizes %d,%d", tr.NumLeft(), tr.NumRight())
+	}
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d", tr.NumEdges())
+	}
+	g.Edges(func(v, u int32) bool {
+		if !tr.HasEdge(u, v) {
+			t.Errorf("edge (%d,%d) missing after transpose", u, v)
+		}
+		return true
+	})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Double transpose round-trips.
+	tt := tr.Transpose()
+	if tt.NumLeft() != g.NumLeft() || tt.NumEdges() != g.NumEdges() {
+		t.Fatal("double transpose diverged")
+	}
+	if tr.DegL(1) != g.DegR(1) || tr.DegR(0) != g.DegL(0) {
+		t.Fatal("transposed degrees wrong")
+	}
+}
+
+func TestRoundTripExactWithHeader(t *testing.T) {
+	// 1-based-looking ids and isolated vertices both survive a write/read
+	// cycle thanks to the declared header.
+	var b Builder
+	b.SetSize(6, 7)
+	b.AddEdge(1, 1)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumLeft() != 6 || g2.NumRight() != 7 {
+		t.Fatalf("sizes lost: %v", g2)
+	}
+	if !g2.HasEdge(1, 1) || !g2.HasEdge(5, 6) {
+		t.Fatal("ids shifted despite header")
+	}
+}

@@ -1,0 +1,200 @@
+package bigraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Binary graph format: a compact, checksummed serialization for datasets
+// too large to re-parse from text on every run (gendata writes it for the
+// synthetic scalability ladders of Figure 9).
+//
+// Layout (little-endian):
+//
+//	magic "KBPGRF1\n"
+//	uvarint numLeft | uvarint numRight | uvarint numEdges
+//	per left vertex: uvarint degree
+//	per left vertex: its neighbors as uvarint deltas (first absolute+1,
+//	  then gap to the previous neighbor, exploiting sorted adjacency)
+//	uint32 CRC32 (IEEE) of everything after the magic
+var binMagic = [8]byte{'K', 'B', 'P', 'G', 'R', 'F', '1', '\n'}
+
+// WriteBinary serializes g.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := mw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(g.NumLeft())); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(g.NumRight())); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if err := writeUvarint(uint64(g.DegL(v))); err != nil {
+			return err
+		}
+	}
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		prev := int64(-1)
+		for _, u := range g.NeighL(v) {
+			if err := writeUvarint(uint64(int64(u) - prev)); err != nil {
+				return err
+			}
+			prev = int64(u)
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary, verifying the
+// checksum and CSR invariants.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("bigraph: binary: short magic: %w", err)
+	}
+	if m != binMagic {
+		return nil, fmt.Errorf("bigraph: binary: bad magic")
+	}
+	crc := crc32.NewIEEE()
+	cr := &crcByteReader{br: br, crc: crc}
+
+	numLeft, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("bigraph: binary: header: %w", err)
+	}
+	numRight, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("bigraph: binary: header: %w", err)
+	}
+	numEdges, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("bigraph: binary: header: %w", err)
+	}
+	const maxSide = 1 << 31
+	if numLeft > maxSide || numRight > maxSide || numEdges > (1<<40) {
+		return nil, fmt.Errorf("bigraph: binary: implausible sizes %d/%d/%d", numLeft, numRight, numEdges)
+	}
+
+	g := &Graph{numLeft: int(numLeft), numRight: int(numRight)}
+	g.offL = make([]int64, numLeft+1)
+	for v := uint64(0); v < numLeft; v++ {
+		d, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: binary: degree of %d: %w", v, err)
+		}
+		g.offL[v+1] = g.offL[v] + int64(d)
+	}
+	if uint64(g.offL[numLeft]) != numEdges {
+		return nil, fmt.Errorf("bigraph: binary: degrees sum to %d, header says %d edges", g.offL[numLeft], numEdges)
+	}
+	g.adjL = make([]int32, numEdges)
+	g.offR = make([]int64, numRight+1)
+	for v := uint64(0); v < numLeft; v++ {
+		prev := int64(-1)
+		for i := g.offL[v]; i < g.offL[v+1]; i++ {
+			gap, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("bigraph: binary: adjacency of %d: %w", v, err)
+			}
+			u := prev + int64(gap)
+			if gap == 0 || u >= int64(numRight) {
+				return nil, fmt.Errorf("bigraph: binary: vertex %d has invalid neighbor %d", v, u)
+			}
+			g.adjL[i] = int32(u)
+			g.offR[u+1]++
+			prev = u
+		}
+	}
+	var want [4]byte
+	if _, err := io.ReadFull(br, want[:]); err != nil {
+		return nil, fmt.Errorf("bigraph: binary: missing checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(want[:]) != crc.Sum32() {
+		return nil, fmt.Errorf("bigraph: binary: checksum mismatch")
+	}
+
+	// Rebuild the right-side CSR.
+	for u := uint64(0); u < numRight; u++ {
+		g.offR[u+1] += g.offR[u]
+	}
+	g.adjR = make([]int32, numEdges)
+	next := make([]int64, numRight)
+	for v := int32(0); v < int32(numLeft); v++ {
+		for _, u := range g.NeighL(v) {
+			g.adjR[g.offR[u]+next[u]] = v
+			next[u]++
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("bigraph: binary: %w", err)
+	}
+	return g, nil
+}
+
+// WriteBinaryFile writes g to path via WriteBinary.
+func WriteBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a graph from path via ReadBinary.
+func ReadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// crcByteReader reads bytes while folding them into a CRC.
+type crcByteReader struct {
+	br  *bufio.Reader
+	crc io.Writer
+	buf [1]byte
+}
+
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	c.buf[0] = b
+	c.crc.Write(c.buf[:])
+	return b, nil
+}

@@ -1,0 +1,62 @@
+package bigraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary ensures the binary reader never panics and that any
+// accepted input yields a structurally valid graph that round-trips.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(g *Graph) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(sampleGraph()))
+	f.Add(seed(FromEdges(0, 0, nil)))
+	f.Add([]byte("KBPGRF1\n"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a graph at all"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadMatrixMarket ensures the MatrixMarket parser never panics and
+// that accepted inputs validate.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3.5\n")
+	f.Add("")
+	f.Add("%%MatrixMarket\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v (input %q)", err, input)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package bigraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList ensures the parser never panics and that every
+// successfully parsed graph passes structural validation and round-trips
+// through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 1\n2 2\n")
+	f.Add("% c\n0 0\n")
+	f.Add("")
+	f.Add("999999999999999999999 1\n")
+	f.Add("1 2 extra fields ok\n")
+	f.Add("#\n\n\n3 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v (input %q)", err, input)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("edge count changed in round trip: %d vs %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}

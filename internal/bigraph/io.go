@@ -1,0 +1,117 @@
+package bigraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a bipartite edge list in the KONECT-compatible
+// format used by the paper's datasets: one "v u" pair per line (1-based or
+// 0-based, auto-detected per file by presence of a 0 id), '%' or '#'
+// comment lines, arbitrary whitespace. Left and right ids live in
+// independent id spaces.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	var b Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type pair struct{ v, u int64 }
+	var pairs []pair
+	minID := int64(1 << 62)
+	line := 0
+	declared := false // a WriteEdgeList header fixes sizes and 0-based ids
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || txt[0] == '%' || txt[0] == '#' {
+			var dl, dr, de int
+			if n, _ := fmt.Sscanf(txt, "%% bipartite edge list: |L|=%d |R|=%d |E|=%d", &dl, &dr, &de); n == 3 {
+				b.SetSize(dl, dr)
+				declared = true
+			}
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bigraph: line %d: want at least 2 fields, got %q", line, txt)
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: line %d: bad left id: %v", line, err)
+		}
+		u, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: line %d: bad right id: %v", line, err)
+		}
+		if v < 0 || u < 0 {
+			return nil, fmt.Errorf("bigraph: line %d: negative id", line)
+		}
+		if v < minID {
+			minID = v
+		}
+		if u < minID {
+			minID = u
+		}
+		pairs = append(pairs, pair{v, u})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// KONECT files are 1-based; shift down when no 0 appears. Files
+	// written by WriteEdgeList declare their sizes and are always
+	// 0-based.
+	shift := int64(0)
+	if !declared && len(pairs) > 0 && minID >= 1 {
+		shift = 1
+	}
+	for _, p := range pairs {
+		b.AddEdge(int32(p.v-shift), int32(p.u-shift))
+	}
+	return b.Build(), nil
+}
+
+// ReadEdgeListFile opens path and parses it with ReadEdgeList.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as 0-based "v u" lines with a header
+// comment, the inverse of ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% bipartite edge list: |L|=%d |R|=%d |E|=%d\n", g.NumLeft(), g.NumRight(), g.NumEdges())
+	var err error
+	g.Edges(func(v, u int32) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", v, u)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path via WriteEdgeList.
+func WriteEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

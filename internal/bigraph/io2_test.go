@@ -1,0 +1,176 @@
+package bigraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"os"
+)
+
+func randomGraph(t testing.TB, nl, nr int, edges [][2]int32) *Graph {
+	t.Helper()
+	return FromEdges(nl, nr, edges)
+}
+
+func sampleGraph() *Graph {
+	return FromEdges(4, 5, [][2]int32{
+		{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4},
+	})
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumLeft() != b.NumLeft() || a.NumRight() != b.NumRight() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumLeft()); v++ {
+		na, nb := a.NeighL(v), b.NeighL(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("MatrixMarket round trip changed the graph")
+	}
+}
+
+func TestMatrixMarketAcceptsValues(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% weighted bipartite graph
+3 2 3
+1 1 0.5
+2 2 1.25
+3 1 -7
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != 3 || g.NumRight() != 2 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if !g.HasEdge(2, 0) {
+		t.Fatal("missing edge from value line")
+	}
+}
+
+func TestMatrixMarketRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%NotMatrixMarket\n1 1 0\n",
+		"symmetric":    "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 1\n",
+		"no size":      "%%MatrixMarket matrix coordinate pattern general\n% only comments\n",
+		"short size":   "%%MatrixMarket matrix coordinate pattern general\n3 3\n",
+		"bad size":     "%%MatrixMarket matrix coordinate pattern general\na b c\n",
+		"out of range": "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+		"zero id":      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+		"wrong count":  "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n",
+		"bad row":      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx 1\n",
+		"short entry":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		sampleGraph(),
+		FromEdges(0, 0, nil),
+		FromEdges(3, 3, nil), // isolated vertices only
+		FromEdges(1, 1, [][2]int32{{0, 0}}),
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatalf("graph %d: binary round trip changed the graph", i)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("file round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Truncations at every prefix length must error, never panic.
+	for n := 0; n < len(clean); n++ {
+		if _, err := ReadBinary(bytes.NewReader(clean[:n])); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", n)
+		}
+	}
+	// A flipped payload byte must fail the checksum (or a structural
+	// check before it).
+	for i := 8; i < len(clean); i++ {
+		bad := append([]byte(nil), clean...)
+		bad[i] ^= 0x10
+		if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("accepted bit flip at offset %d", i)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), clean...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestReadBinaryFileMissing(t *testing.T) {
+	_, err := ReadBinaryFile(filepath.Join(t.TempDir(), "missing.bin"))
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("want a not-exist error, got %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package bigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph() *Graph {
+	rng := rand.New(rand.NewSource(3))
+	var b Builder
+	b.SetSize(5000, 5000)
+	for i := 0; i < 50000; i++ {
+		b.AddEdge(rng.Int31n(5000), rng.Int31n(5000))
+	}
+	return b.Build()
+}
+
+// BenchmarkIOFormats compares parse throughput of the three graph
+// serializations on the same 50k-edge graph.
+func BenchmarkIOFormats(b *testing.B) {
+	g := benchGraph()
+	var edgeList, mm, bin bytes.Buffer
+	if err := WriteEdgeList(&edgeList, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteMatrixMarket(&mm, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("sizes: edgelist=%dB mm=%dB binary=%dB", edgeList.Len(), mm.Len(), bin.Len())
+
+	b.Run("ReadEdgeList", func(b *testing.B) {
+		b.SetBytes(int64(edgeList.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadEdgeList(bytes.NewReader(edgeList.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ReadMatrixMarket", func(b *testing.B) {
+		b.SetBytes(int64(mm.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadMatrixMarket(bytes.NewReader(mm.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ReadBinary", func(b *testing.B) {
+		b.SetBytes(int64(bin.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadBinary(bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	edges := make([][2]int32, 50000)
+	for i := range edges {
+		edges[i] = [2]int32{rng.Int31n(5000), rng.Int31n(5000)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bd Builder
+		bd.SetSize(5000, 5000)
+		for _, e := range edges {
+			bd.AddEdge(e[0], e[1])
+		}
+		bd.Build()
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}

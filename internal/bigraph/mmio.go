@@ -1,0 +1,118 @@
+package bigraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a bipartite graph stored as a MatrixMarket
+// coordinate file: rows are left vertices, columns right vertices, and
+// each nonzero entry an edge. The "%%MatrixMarket matrix coordinate
+// <field> general" header is required; pattern, integer and real fields
+// are accepted (any value columns beyond the coordinates are ignored, so
+// weighted matrices load as unweighted graphs). Ids are 1-based as the
+// format prescribes.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("bigraph: MatrixMarket: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("bigraph: MatrixMarket: bad header %q", sc.Text())
+	}
+	for _, tok := range header[4:] {
+		if tok == "symmetric" || tok == "skew-symmetric" || tok == "hermitian" {
+			return nil, fmt.Errorf("bigraph: MatrixMarket: %s matrices are square, not bipartite; want general", tok)
+		}
+	}
+
+	// Skip comments to the size line.
+	var sizeLine string
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "%") {
+			continue
+		}
+		sizeLine = txt
+		break
+	}
+	if sizeLine == "" {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("bigraph: MatrixMarket: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: size line needs rows cols nnz, got %q", line, sizeLine)
+	}
+	rows, err1 := strconv.Atoi(dims[0])
+	cols, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: bad size line %q", line, sizeLine)
+	}
+
+	var b Builder
+	b.SetSize(rows, cols)
+	seen := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "%") {
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: want row and col, got %q", line, txt)
+		}
+		i, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: bad row: %v", line, err)
+		}
+		j, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: bad col: %v", line, err)
+		}
+		if i < 1 || int(i) > rows || j < 1 || int(j) > cols {
+			return nil, fmt.Errorf("bigraph: MatrixMarket: line %d: entry (%d,%d) outside %dx%d", line, i, j, rows, cols)
+		}
+		b.AddEdge(int32(i-1), int32(j-1))
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("bigraph: MatrixMarket: header declares %d entries, file has %d", nnz, seen)
+	}
+	return b.Build(), nil
+}
+
+// WriteMatrixMarket writes the graph as a MatrixMarket coordinate pattern
+// file, the inverse of ReadMatrixMarket.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general")
+	fmt.Fprintf(bw, "%d %d %d\n", g.NumLeft(), g.NumRight(), g.NumEdges())
+	var err error
+	g.Edges(func(v, u int32) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", v+1, u+1)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

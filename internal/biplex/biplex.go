@@ -1,0 +1,219 @@
+// Package biplex defines the k-biplex semantics from the paper's
+// Section 2 — the predicate itself, maximality, and a brute-force
+// reference enumerator used as the correctness oracle for every
+// enumeration algorithm in this repository.
+package biplex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bigraph"
+	"repro/internal/bitset"
+	"repro/internal/vskey"
+)
+
+// Pair is a candidate solution: a pair of sorted vertex-id sets, the left
+// and right sides of an induced subgraph.
+type Pair struct {
+	L []int32
+	R []int32
+}
+
+// Key returns the canonical byte key of the pair.
+func (p Pair) Key() []byte { return vskey.Encode(nil, p.L, p.R) }
+
+// String renders the pair like "({0,2},{1})".
+func (p Pair) String() string {
+	return fmt.Sprintf("(%v,%v)", p.L, p.R)
+}
+
+// Clone returns a deep copy of the pair.
+func (p Pair) Clone() Pair {
+	return Pair{L: append([]int32(nil), p.L...), R: append([]int32(nil), p.R...)}
+}
+
+// Size returns the total number of vertices, |L| + |R|.
+func (p Pair) Size() int { return len(p.L) + len(p.R) }
+
+// ContainsLeft reports whether left vertex v belongs to the pair.
+func (p Pair) ContainsLeft(v int32) bool { return containsSortedID(p.L, v) }
+
+// ContainsRight reports whether right vertex u belongs to the pair.
+func (p Pair) ContainsRight(u int32) bool { return containsSortedID(p.R, u) }
+
+func containsSortedID(a []int32, x int32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// Equal reports whether two pairs contain exactly the same vertex sets.
+func (p Pair) Equal(q Pair) bool {
+	if len(p.L) != len(q.L) || len(p.R) != len(q.R) {
+		return false
+	}
+	for i := range p.L {
+		if p.L[i] != q.L[i] {
+			return false
+		}
+	}
+	for i := range p.R {
+		if p.R[i] != q.R[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortPairs orders pairs by their canonical keys, giving a deterministic
+// order for comparing enumeration outputs.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		return string(ps[i].Key()) < string(ps[j].Key())
+	})
+}
+
+// IsBiplex reports whether the induced subgraph G[L ∪ R] is a k-biplex:
+// every v ∈ L disconnects at most k vertices of R and every u ∈ R
+// disconnects at most k vertices of L (Definition 2.1).
+func IsBiplex(g *bigraph.Graph, L, R []int32, k int) bool {
+	rset := bitset.FromSlice(g.NumRight(), R)
+	for _, v := range L {
+		if missFromSet(g.NeighL(v), rset, len(R), k) > k {
+			return false
+		}
+	}
+	lset := bitset.FromSlice(g.NumLeft(), L)
+	for _, u := range R {
+		if missFromSet(g.NeighR(u), lset, len(L), k) > k {
+			return false
+		}
+	}
+	return true
+}
+
+// missFromSet returns min(k+1, |set| - |neigh ∩ set|): the number of
+// members of set missing from neigh, clamped just above k so callers can
+// compare against k without paying for an exact count.
+func missFromSet(neigh []int32, set *bitset.Set, setLen, k int) int {
+	hits := 0
+	need := setLen - k // hits below this mean a violation
+	for _, x := range neigh {
+		if set.Contains(int(x)) {
+			hits++
+			if hits >= need {
+				return setLen - hits // already ≤ k
+			}
+		}
+	}
+	return setLen - hits
+}
+
+// IsMaximal reports whether the k-biplex (L, R) is maximal in G: no single
+// vertex from either side can be added while preserving the k-biplex
+// property (Definition 2.3). The input must already be a k-biplex.
+func IsMaximal(g *bigraph.Graph, L, R []int32, k int) bool {
+	lset := bitset.FromSlice(g.NumLeft(), L)
+	rset := bitset.FromSlice(g.NumRight(), R)
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if !lset.Contains(int(v)) && CanAddLeft(g, lset, rset, len(L), len(R), v, k) {
+			return false
+		}
+	}
+	for u := int32(0); u < int32(g.NumRight()); u++ {
+		if !rset.Contains(int(u)) && CanAddRight(g, lset, rset, len(L), len(R), u, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAddLeft reports whether adding left vertex v to the k-biplex
+// represented by (lset, rset) keeps it a k-biplex. nl and nr are the set
+// cardinalities (callers track them to avoid recounting).
+func CanAddLeft(g *bigraph.Graph, lset, rset *bitset.Set, nl, nr int, v int32, k int) bool {
+	// v itself must miss at most k members of R.
+	hits := 0
+	for _, u := range g.NeighL(v) {
+		if rset.Contains(int(u)) {
+			hits++
+		}
+	}
+	if nr-hits > k {
+		return false
+	}
+	// Every u ∈ R disconnected from v must still have slack.
+	ok := true
+	rset.ForEach(func(u int) bool {
+		if g.HasEdge(v, int32(u)) {
+			return true
+		}
+		if missFromSet(g.NeighR(int32(u)), lset, nl, k-1) > k-1 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// CanAddRight is the mirror of CanAddLeft for a right vertex u.
+func CanAddRight(g *bigraph.Graph, lset, rset *bitset.Set, nl, nr int, u int32, k int) bool {
+	hits := 0
+	for _, v := range g.NeighR(u) {
+		if lset.Contains(int(v)) {
+			hits++
+		}
+	}
+	if nl-hits > k {
+		return false
+	}
+	ok := true
+	lset.ForEach(func(v int) bool {
+		if g.HasEdge(int32(v), u) {
+			return true
+		}
+		if missFromSet(g.NeighL(int32(v)), rset, nr, k-1) > k-1 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ExtendGreedy grows (L, R) into a maximal k-biplex by repeatedly adding
+// the smallest-id addable vertex, left side scanned before right. The
+// restrict sets, when non-nil, limit which vertices may be added (used by
+// the engine for left-only extension). The input must be a k-biplex.
+func ExtendGreedy(g *bigraph.Graph, p Pair, k int, allowL, allowR *bitset.Set) Pair {
+	lset := bitset.FromSlice(g.NumLeft(), p.L)
+	rset := bitset.FromSlice(g.NumRight(), p.R)
+	nl, nr := len(p.L), len(p.R)
+	for {
+		added := false
+		for v := int32(0); v < int32(g.NumLeft()); v++ {
+			if lset.Contains(int(v)) || (allowL != nil && !allowL.Contains(int(v))) {
+				continue
+			}
+			if CanAddLeft(g, lset, rset, nl, nr, v, k) {
+				lset.Add(int(v))
+				nl++
+				added = true
+			}
+		}
+		for u := int32(0); u < int32(g.NumRight()); u++ {
+			if rset.Contains(int(u)) || (allowR != nil && !allowR.Contains(int(u))) {
+				continue
+			}
+			if CanAddRight(g, lset, rset, nl, nr, u, k) {
+				rset.Add(int(u))
+				nr++
+				added = true
+			}
+		}
+		if !added {
+			return Pair{L: lset.Slice(), R: rset.Slice()}
+		}
+	}
+}

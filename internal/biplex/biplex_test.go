@@ -1,0 +1,229 @@
+package biplex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigraph"
+	"repro/internal/bitset"
+	"repro/internal/gen"
+)
+
+// path4 is L={0,1}, R={0,1} with edges 0-0, 0-1, 1-1 (a path of 4).
+func path4() *bigraph.Graph {
+	return bigraph.FromEdges(2, 2, [][2]int32{{0, 0}, {0, 1}, {1, 1}})
+}
+
+func TestIsBiplex(t *testing.T) {
+	g := path4()
+	cases := []struct {
+		L, R []int32
+		k    int
+		want bool
+	}{
+		{[]int32{0, 1}, []int32{0, 1}, 1, true},  // each vertex misses ≤1
+		{[]int32{0, 1}, []int32{0, 1}, 0, false}, // vertex 1 misses u0
+		{[]int32{0}, []int32{0, 1}, 0, true},     // complete biclique side
+		{nil, []int32{0, 1}, 0, true},            // empty left is vacuous
+		{[]int32{0, 1}, nil, 3, true},
+		{nil, nil, 0, true},
+	}
+	for _, c := range cases {
+		if got := IsBiplex(g, c.L, c.R, c.k); got != c.want {
+			t.Errorf("IsBiplex(%v,%v,k=%d) = %v, want %v", c.L, c.R, c.k, got, c.want)
+		}
+	}
+}
+
+func TestHereditaryProperty(t *testing.T) {
+	// Lemma 2.2 on random graphs: any sub-pair of a k-biplex is a k-biplex.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ER(6, 6, 2, seed)
+		k := 1 + rng.Intn(2)
+		for _, p := range BruteForce(g, k) {
+			// Random subset of each side.
+			var subL, subR []int32
+			for _, v := range p.L {
+				if rng.Intn(2) == 0 {
+					subL = append(subL, v)
+				}
+			}
+			for _, u := range p.R {
+				if rng.Intn(2) == 0 {
+					subR = append(subR, u)
+				}
+			}
+			if !IsBiplex(g, subL, subR, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	g := path4()
+	// ({0,1},{0,1}) with k=1 is the whole graph, trivially maximal.
+	if !IsMaximal(g, []int32{0, 1}, []int32{0, 1}, 1) {
+		t.Fatal("whole graph not maximal")
+	}
+	// ({0},{0,1}) with k=1 is not maximal: vertex 1 can join (misses u0 only).
+	if IsMaximal(g, []int32{0}, []int32{0, 1}, 1) {
+		t.Fatal("extendable pair reported maximal")
+	}
+}
+
+func TestBruteForceK0IsBicliques(t *testing.T) {
+	// k=0 biplexes are bicliques; on a complete 2x2 graph the only maximal
+	// one (with nonempty sides) is the whole graph.
+	g := bigraph.FromEdges(2, 2, [][2]int32{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	got := BruteForce(g, 0)
+	if len(got) != 1 || len(got[0].L) != 2 || len(got[0].R) != 2 {
+		t.Fatalf("BruteForce k=0 on complete 2x2 = %v", got)
+	}
+}
+
+func TestBruteForceEmptyGraph(t *testing.T) {
+	g := bigraph.FromEdges(2, 2, nil)
+	got := BruteForce(g, 1)
+	// No edges: with k=1 a left vertex tolerates ≤1 missing right vertex,
+	// so ({v},{u}) pairs (1 miss each) are biplexes; maximal solutions are
+	// constrained. Just validate the oracle's own postconditions.
+	for _, p := range got {
+		if !IsBiplex(g, p.L, p.R, 1) || !IsMaximal(g, p.L, p.R, 1) {
+			t.Fatalf("oracle emitted non-maximal or non-biplex %v", p)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("expected at least one maximal solution")
+	}
+}
+
+func TestBruteForcePostconditions(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(5, 5, 2, seed)
+		k := 1 + int(uint64(seed)%2)
+		sols := BruteForce(g, k)
+		seen := map[string]bool{}
+		for _, p := range sols {
+			key := string(p.Key())
+			if seen[key] {
+				return false // duplicate
+			}
+			seen[key] = true
+			if !IsBiplex(g, p.L, p.R, k) || !IsMaximal(g, p.L, p.R, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanAddMirrorsBruteCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ER(6, 6, 2, seed)
+		k := 1
+		sols := BruteForce(g, k)
+		if len(sols) == 0 {
+			return true
+		}
+		p := sols[rng.Intn(len(sols))]
+		lset := bitset.FromSlice(g.NumLeft(), p.L)
+		rset := bitset.FromSlice(g.NumRight(), p.R)
+		// A maximal solution admits no additions.
+		for v := int32(0); v < int32(g.NumLeft()); v++ {
+			if !lset.Contains(int(v)) && CanAddLeft(g, lset, rset, len(p.L), len(p.R), v, k) {
+				return false
+			}
+		}
+		for u := int32(0); u < int32(g.NumRight()); u++ {
+			if !rset.Contains(int(u)) && CanAddRight(g, lset, rset, len(p.L), len(p.R), u, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendGreedyProducesMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(6, 6, 2, seed)
+		k := 1
+		got := ExtendGreedy(g, Pair{}, k, nil, nil)
+		return IsBiplex(g, got.L, got.R, k) && IsMaximal(g, got.L, got.R, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendGreedyRespectsAllowSets(t *testing.T) {
+	g := path4()
+	k := 1
+	// Disallow all right additions: starting from ({},{0,1}) only left
+	// vertices may be added.
+	allowR := bitset.New(g.NumRight()) // empty: nothing allowed
+	got := ExtendGreedy(g, Pair{R: []int32{0, 1}}, k, nil, allowR)
+	if len(got.R) != 2 {
+		t.Fatalf("right side changed: %v", got)
+	}
+	if len(got.L) == 0 {
+		t.Fatalf("no left vertex added: %v", got)
+	}
+}
+
+func TestPairKeyDeterministic(t *testing.T) {
+	p := Pair{L: []int32{1, 3}, R: []int32{0}}
+	q := Pair{L: []int32{1, 3}, R: []int32{0}}
+	if string(p.Key()) != string(q.Key()) {
+		t.Fatal("equal pairs produced different keys")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestPairClone(t *testing.T) {
+	p := Pair{L: []int32{1}, R: []int32{2}}
+	c := p.Clone()
+	c.L[0] = 9
+	if p.L[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestPairHelpers(t *testing.T) {
+	p := Pair{L: []int32{1, 4, 7}, R: []int32{0, 2}}
+	if p.Size() != 5 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if !p.ContainsLeft(4) || p.ContainsLeft(5) || p.ContainsLeft(-1) {
+		t.Fatal("ContainsLeft wrong")
+	}
+	if !p.ContainsRight(0) || p.ContainsRight(1) {
+		t.Fatal("ContainsRight wrong")
+	}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not Equal")
+	}
+	q.R[0] = 9
+	if p.Equal(q) {
+		t.Fatal("Equal ignores contents")
+	}
+	if p.Equal(Pair{L: p.L}) {
+		t.Fatal("Equal ignores lengths")
+	}
+}

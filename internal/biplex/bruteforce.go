@@ -1,0 +1,105 @@
+package biplex
+
+import (
+	"math/bits"
+
+	"repro/internal/bigraph"
+)
+
+// maxBruteSide bounds the side sizes BruteForce accepts; beyond this the
+// 2^(|L|+|R|) subset scan is no longer a practical oracle.
+const maxBruteSide = 14
+
+// BruteForce enumerates every maximal k-biplex of g by scanning all
+// subset pairs. It is exponential and exists purely as the correctness
+// oracle for the real algorithms; it panics when a side exceeds 14
+// vertices.
+//
+// Semantics note: a pair with an empty side is a k-biplex vacuously; it is
+// reported only when maximal (e.g. (∅, R) when no left vertex can join all
+// of R). Every enumeration algorithm in this repository follows the same
+// convention.
+func BruteForce(g *bigraph.Graph, k int) []Pair {
+	nl, nr := g.NumLeft(), g.NumRight()
+	if nl > maxBruteSide || nr > maxBruteSide {
+		panic("biplex: BruteForce input too large")
+	}
+	// notAdjL[v] = bitmask over right ids NOT adjacent to v; mirrored for
+	// the right side.
+	notAdjL := make([]uint32, nl)
+	notAdjR := make([]uint32, nr)
+	fullR := uint32(1<<nr) - 1
+	fullL := uint32(1<<nl) - 1
+	for v := 0; v < nl; v++ {
+		var adj uint32
+		for _, u := range g.NeighL(int32(v)) {
+			adj |= 1 << uint(u)
+		}
+		notAdjL[v] = fullR &^ adj
+	}
+	for u := 0; u < nr; u++ {
+		var adj uint32
+		for _, v := range g.NeighR(int32(u)) {
+			adj |= 1 << uint(v)
+		}
+		notAdjR[u] = fullL &^ adj
+	}
+
+	isBiplex := func(ml, mr uint32) bool {
+		for rest := ml; rest != 0; rest &= rest - 1 {
+			v := bits.TrailingZeros32(rest)
+			if bits.OnesCount32(notAdjL[v]&mr) > k {
+				return false
+			}
+		}
+		for rest := mr; rest != 0; rest &= rest - 1 {
+			u := bits.TrailingZeros32(rest)
+			if bits.OnesCount32(notAdjR[u]&ml) > k {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []Pair
+	for ml := uint32(0); ; ml++ {
+		for mr := uint32(0); ; mr++ {
+			if isBiplex(ml, mr) && bruteMaximal(ml, mr, nl, nr, isBiplex) {
+				out = append(out, maskPair(ml, mr))
+			}
+			if mr == fullR {
+				break
+			}
+		}
+		if ml == fullL {
+			break
+		}
+	}
+	SortPairs(out)
+	return out
+}
+
+func bruteMaximal(ml, mr uint32, nl, nr int, isBiplex func(uint32, uint32) bool) bool {
+	for v := 0; v < nl; v++ {
+		if ml&(1<<uint(v)) == 0 && isBiplex(ml|1<<uint(v), mr) {
+			return false
+		}
+	}
+	for u := 0; u < nr; u++ {
+		if mr&(1<<uint(u)) == 0 && isBiplex(ml, mr|1<<uint(u)) {
+			return false
+		}
+	}
+	return true
+}
+
+func maskPair(ml, mr uint32) Pair {
+	var p Pair
+	for rest := ml; rest != 0; rest &= rest - 1 {
+		p.L = append(p.L, int32(bits.TrailingZeros32(rest)))
+	}
+	for rest := mr; rest != 0; rest &= rest - 1 {
+		p.R = append(p.R, int32(bits.TrailingZeros32(rest)))
+	}
+	return p
+}

@@ -1,0 +1,187 @@
+package biplex
+
+import (
+	"math/bits"
+
+	"repro/internal/bigraph"
+	"repro/internal/bitset"
+)
+
+// Per-side generalization of the k-biplex predicate, noted after
+// Definition 2.1 in the paper: left vertices may miss up to kL members of
+// R' and right vertices up to kR members of L'. The symmetric functions
+// in biplex.go are the kL == kR special case.
+
+// IsBiplexLR reports whether (L, R) induces a (kL, kR)-biplex of g.
+func IsBiplexLR(g *bigraph.Graph, L, R []int32, kL, kR int) bool {
+	rset := bitset.FromSlice(g.NumRight(), R)
+	for _, v := range L {
+		if missFromSet(g.NeighL(v), rset, len(R), kL) > kL {
+			return false
+		}
+	}
+	lset := bitset.FromSlice(g.NumLeft(), L)
+	for _, u := range R {
+		if missFromSet(g.NeighR(u), lset, len(L), kR) > kR {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalLR reports whether the (kL, kR)-biplex (L, R) is maximal.
+func IsMaximalLR(g *bigraph.Graph, L, R []int32, kL, kR int) bool {
+	lset := bitset.FromSlice(g.NumLeft(), L)
+	rset := bitset.FromSlice(g.NumRight(), R)
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if !lset.Contains(int(v)) && CanAddLeftLR(g, lset, rset, len(L), len(R), v, kL, kR) {
+			return false
+		}
+	}
+	for u := int32(0); u < int32(g.NumRight()); u++ {
+		if !rset.Contains(int(u)) && CanAddRightLR(g, lset, rset, len(L), len(R), u, kL, kR) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAddLeftLR reports whether adding left vertex v preserves the
+// (kL, kR)-biplex property.
+func CanAddLeftLR(g *bigraph.Graph, lset, rset *bitset.Set, nl, nr int, v int32, kL, kR int) bool {
+	hits := 0
+	for _, u := range g.NeighL(v) {
+		if rset.Contains(int(u)) {
+			hits++
+		}
+	}
+	if nr-hits > kL {
+		return false
+	}
+	ok := true
+	rset.ForEach(func(u int) bool {
+		if g.HasEdge(v, int32(u)) {
+			return true
+		}
+		if missFromSet(g.NeighR(int32(u)), lset, nl, kR-1) > kR-1 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// CanAddRightLR is the mirror of CanAddLeftLR for a right vertex u.
+func CanAddRightLR(g *bigraph.Graph, lset, rset *bitset.Set, nl, nr int, u int32, kL, kR int) bool {
+	hits := 0
+	for _, v := range g.NeighR(u) {
+		if lset.Contains(int(v)) {
+			hits++
+		}
+	}
+	if nl-hits > kR {
+		return false
+	}
+	ok := true
+	lset.ForEach(func(v int) bool {
+		if g.HasEdge(int32(v), u) {
+			return true
+		}
+		if missFromSet(g.NeighL(int32(v)), rset, nr, kL-1) > kL-1 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ExtendGreedyLR grows (L, R) to a maximal (kL, kR)-biplex the way
+// ExtendGreedy does for the symmetric case.
+func ExtendGreedyLR(g *bigraph.Graph, p Pair, kL, kR int, allowL, allowR *bitset.Set) Pair {
+	lset := bitset.FromSlice(g.NumLeft(), p.L)
+	rset := bitset.FromSlice(g.NumRight(), p.R)
+	nl, nr := len(p.L), len(p.R)
+	for {
+		added := false
+		for v := int32(0); v < int32(g.NumLeft()); v++ {
+			if lset.Contains(int(v)) || (allowL != nil && !allowL.Contains(int(v))) {
+				continue
+			}
+			if CanAddLeftLR(g, lset, rset, nl, nr, v, kL, kR) {
+				lset.Add(int(v))
+				nl++
+				added = true
+			}
+		}
+		for u := int32(0); u < int32(g.NumRight()); u++ {
+			if rset.Contains(int(u)) || (allowR != nil && !allowR.Contains(int(u))) {
+				continue
+			}
+			if CanAddRightLR(g, lset, rset, nl, nr, u, kL, kR) {
+				rset.Add(int(u))
+				nr++
+				added = true
+			}
+		}
+		if !added {
+			return Pair{L: lset.Slice(), R: rset.Slice()}
+		}
+	}
+}
+
+// BruteForceLR is the (kL, kR) generalization of the BruteForce oracle.
+func BruteForceLR(g *bigraph.Graph, kL, kR int) []Pair {
+	nl, nr := g.NumLeft(), g.NumRight()
+	if nl > maxBruteSide || nr > maxBruteSide {
+		panic("biplex: BruteForceLR input too large")
+	}
+	notAdjL := make([]uint32, nl)
+	notAdjR := make([]uint32, nr)
+	fullR := uint32(1<<nr) - 1
+	fullL := uint32(1<<nl) - 1
+	for v := 0; v < nl; v++ {
+		var adj uint32
+		for _, u := range g.NeighL(int32(v)) {
+			adj |= 1 << uint(u)
+		}
+		notAdjL[v] = fullR &^ adj
+	}
+	for u := 0; u < nr; u++ {
+		var adj uint32
+		for _, v := range g.NeighR(int32(u)) {
+			adj |= 1 << uint(v)
+		}
+		notAdjR[u] = fullL &^ adj
+	}
+	isBiplex := func(ml, mr uint32) bool {
+		for rest := ml; rest != 0; rest &= rest - 1 {
+			if bits.OnesCount32(notAdjL[bits.TrailingZeros32(rest)]&mr) > kL {
+				return false
+			}
+		}
+		for rest := mr; rest != 0; rest &= rest - 1 {
+			if bits.OnesCount32(notAdjR[bits.TrailingZeros32(rest)]&ml) > kR {
+				return false
+			}
+		}
+		return true
+	}
+	var out []Pair
+	for ml := uint32(0); ; ml++ {
+		for mr := uint32(0); ; mr++ {
+			if isBiplex(ml, mr) && bruteMaximal(ml, mr, nl, nr, isBiplex) {
+				out = append(out, maskPair(ml, mr))
+			}
+			if mr == fullR {
+				break
+			}
+		}
+		if ml == fullL {
+			break
+		}
+	}
+	SortPairs(out)
+	return out
+}

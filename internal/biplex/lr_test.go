@@ -1,0 +1,121 @@
+package biplex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/gen"
+)
+
+// TestLRSymmetricAgreesWithPlain: with kL == kR every LR function must
+// agree with its symmetric counterpart.
+func TestLRSymmetricAgreesWithPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ER(5, 5, 1.5, seed)
+		k := 1 + rng.Intn(2)
+		plain := BruteForce(g, k)
+		lr := BruteForceLR(g, k, k)
+		if len(plain) != len(lr) {
+			return false
+		}
+		for i := range plain {
+			if !plain[i].Equal(lr[i]) {
+				return false
+			}
+		}
+		for _, p := range plain {
+			if !IsBiplexLR(g, p.L, p.R, k, k) || !IsMaximalLR(g, p.L, p.R, k, k) {
+				return false
+			}
+		}
+		// Greedy extensions coincide too.
+		a := ExtendGreedy(g, Pair{}, k, nil, nil)
+		b := ExtendGreedyLR(g, Pair{}, k, k, nil, nil)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBruteForceLRPostconditions: oracle output is maximal and unique for
+// asymmetric budgets.
+func TestBruteForceLRPostconditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ER(4+rng.Intn(3), 4+rng.Intn(3), 1+rng.Float64()*2, rng.Int63())
+		kL, kR := 1+rng.Intn(2), 1+rng.Intn(3)
+		seen := map[string]bool{}
+		for _, p := range BruteForceLR(g, kL, kR) {
+			key := string(p.Key())
+			if seen[key] {
+				t.Fatalf("duplicate %v", p)
+			}
+			seen[key] = true
+			if !IsBiplexLR(g, p.L, p.R, kL, kR) {
+				t.Fatalf("non-biplex %v (kL=%d kR=%d)", p, kL, kR)
+			}
+			if !IsMaximalLR(g, p.L, p.R, kL, kR) {
+				t.Fatalf("non-maximal %v (kL=%d kR=%d)", p, kL, kR)
+			}
+		}
+	}
+}
+
+// TestAsymmetryMatters: on the path graph, (kL, kR) budgets act on the
+// correct sides.
+func TestAsymmetryMatters(t *testing.T) {
+	// L={0,1}, R={0,1}, edges 0-0, 0-1, 1-1: v1 misses u0; u0 misses v1.
+	g := path4()
+	full := []int32{0, 1}
+	// kL=1 lets v1 miss u0, kR=1 lets u0 miss v1; both needed.
+	if !IsBiplexLR(g, full, full, 1, 1) {
+		t.Fatal("(1,1) rejected")
+	}
+	if IsBiplexLR(g, full, full, 0, 1) || IsBiplexLR(g, full, full, 1, 0) {
+		t.Fatal("one-sided zero budget accepted")
+	}
+}
+
+// TestCanAddLR checks the incremental adders against the predicate.
+func TestCanAddLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		g := gen.ER(5, 5, 1.5, rng.Int63())
+		kL, kR := 1+rng.Intn(2), 1+rng.Intn(2)
+		sols := BruteForceLR(g, kL, kR)
+		if len(sols) == 0 {
+			continue
+		}
+		p := sols[rng.Intn(len(sols))]
+		lset := bitset.FromSlice(g.NumLeft(), p.L)
+		rset := bitset.FromSlice(g.NumRight(), p.R)
+		for v := int32(0); v < int32(g.NumLeft()); v++ {
+			if !lset.Contains(int(v)) && CanAddLeftLR(g, lset, rset, len(p.L), len(p.R), v, kL, kR) {
+				t.Fatalf("maximal solution %v extendable by left %d", p, v)
+			}
+		}
+		for u := int32(0); u < int32(g.NumRight()); u++ {
+			if !rset.Contains(int(u)) && CanAddRightLR(g, lset, rset, len(p.L), len(p.R), u, kL, kR) {
+				t.Fatalf("maximal solution %v extendable by right %d", p, u)
+			}
+		}
+	}
+}
+
+// TestExtendGreedyLRMaximal: greedy extension lands on maximal
+// (kL, kR)-biplexes.
+func TestExtendGreedyLRMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ER(6, 6, 2, seed)
+		kL, kR := 2, 1
+		got := ExtendGreedyLR(g, Pair{}, kL, kR, nil, nil)
+		return IsBiplexLR(g, got.L, got.R, kL, kR) && IsMaximalLR(g, got.L, got.R, kL, kR)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package bitset provides a dense bitset over non-negative integer ids.
+//
+// It is the workhorse membership structure of the enumeration engine:
+// almost-satisfying graphs, candidate sets, and exclusion sets are all
+// represented as bitsets scoped to the vertex-id space of one side of the
+// bipartite graph.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity dense bitset. The zero value is an empty set of
+// capacity zero; use New to allocate capacity.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set able to hold ids in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromSlice returns a set of capacity n containing the given ids.
+func FromSlice(n int, ids []int32) *Set {
+	s := New(n)
+	for _, id := range ids {
+		s.Add(int(id))
+	}
+	return s
+}
+
+// Cap reports the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts id into the set.
+func (s *Set) Add(id int) {
+	s.words[id/wordBits] |= 1 << (uint(id) % wordBits)
+}
+
+// Remove deletes id from the set.
+func (s *Set) Remove(id int) {
+	s.words[id/wordBits] &^= 1 << (uint(id) % wordBits)
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id int) bool {
+	if id < 0 || id >= s.n {
+		return false
+	}
+	return s.words[id/wordBits]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Count returns the number of ids in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have the
+// same capacity.
+func (s *Set) CopyFrom(o *Set) {
+	if s.n != o.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, o.words)
+}
+
+// Union sets s = s ∪ o.
+func (s *Set) Union(o *Set) {
+	s.checkCap(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	s.checkCap(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract sets s = s \ o.
+func (s *Set) Subtract(o *Set) {
+	s.checkCap(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Intersects reports whether s ∩ o is non-empty.
+func (s *Set) Intersects(o *Set) bool {
+	m := len(s.words)
+	if len(o.words) < m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same ids.
+func (s *Set) Equal(o *Set) bool {
+	m := len(s.words)
+	if len(o.words) > m {
+		m = len(o.words)
+	}
+	for i := 0; i < m; i++ {
+		var sw, ow uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if sw != ow {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every id in the set in ascending order. If fn
+// returns false, iteration stops.
+func (s *Set) ForEach(fn func(id int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the ids of the set, ascending, to dst and returns the
+// extended slice.
+func (s *Set) AppendTo(dst []int32) []int32 {
+	s.ForEach(func(id int) bool {
+		dst = append(dst, int32(id))
+		return true
+	})
+	return dst
+}
+
+// Slice returns the ids in the set in ascending order.
+func (s *Set) Slice() []int32 {
+	return s.AppendTo(make([]int32, 0, s.Count()))
+}
+
+// Next returns the smallest id >= from contained in the set, or -1 when
+// there is none.
+func (s *Set) Next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := s.words[wi] >> (uint(from) % wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set like "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) checkCap(o *Set) {
+	if len(o.words) > len(s.words) {
+		panic("bitset: operand capacity exceeds receiver")
+	}
+}

@@ -1,0 +1,233 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, id := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(id)
+		if !s.Contains(id) {
+			t.Fatalf("Contains(%d) = false after Add", id)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	if s.Contains(-1) || s.Contains(1000) {
+		t.Fatal("Contains out of range must be false")
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatal("double Add changed count")
+	}
+	s.Remove(3)
+	s.Remove(3)
+	if s.Count() != 0 {
+		t.Fatal("double Remove changed count")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int32{1, 2, 3, 50, 99})
+	b := FromSlice(100, []int32{2, 3, 4, 99})
+
+	u := a.Clone()
+	u.Union(b)
+	wantU := []int32{1, 2, 3, 4, 50, 99}
+	if got := u.Slice(); !equalSlices(got, wantU) {
+		t.Fatalf("Union = %v, want %v", got, wantU)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	wantI := []int32{2, 3, 99}
+	if got := i.Slice(); !equalSlices(got, wantI) {
+		t.Fatalf("Intersect = %v, want %v", got, wantI)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	wantD := []int32{1, 50}
+	if got := d.Slice(); !equalSlices(got, wantD) {
+		t.Fatalf("Subtract = %v, want %v", got, wantD)
+	}
+
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	if a.Intersects(FromSlice(100, []int32{7, 8})) {
+		t.Fatal("Intersects = true, want false")
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Fatal("intersection must be a subset of both operands")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a.SubsetOf(b) = true, want false")
+	}
+}
+
+func TestEqualAcrossCapacities(t *testing.T) {
+	a := FromSlice(64, []int32{1, 5})
+	b := FromSlice(200, []int32{1, 5})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with same members but different capacity must be Equal")
+	}
+	b.Add(150)
+	if a.Equal(b) {
+		t.Fatal("Equal = true after adding 150 to b")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromSlice(200, []int32{3, 64, 130, 199})
+	cases := []struct{ from, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130},
+		{131, 199}, {199, 199}, {200, -1}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(50).Next(0); got != -1 {
+		t.Errorf("Next on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int32{1, 2, 3, 4})
+	var seen []int
+	s.ForEach(func(id int) bool {
+		seen = append(seen, id)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("early stop visited %v", seen)
+	}
+}
+
+func TestClearAndCopyFrom(t *testing.T) {
+	s := FromSlice(100, []int32{5, 10})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("not empty after Clear")
+	}
+	o := FromSlice(100, []int32{7, 70})
+	s.CopyFrom(o)
+	if !s.Equal(o) {
+		t.Fatal("CopyFrom did not copy contents")
+	}
+	s.Add(1)
+	if o.Contains(1) {
+		t.Fatal("CopyFrom aliases the source")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int32{1, 5, 9}).String(); got != "{1, 5, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String of empty = %q", got)
+	}
+}
+
+// TestQuickModel checks the bitset against a map model with random ops.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		model := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			id := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(id)
+				model[id] = true
+			case 1:
+				s.Remove(id)
+				delete(model, id)
+			case 2:
+				if s.Contains(id) != model[id] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		var want []int32
+		for id := range model {
+			want = append(want, int32(id))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return equalSlices(s.Slice(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeMorgan checks (A ∪ B) \ B ⊆ A and related laws on random sets.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(256)
+		a, b := New(n), New(n)
+		for i := 0; i < n/2; i++ {
+			a.Add(rng.Intn(n))
+			b.Add(rng.Intn(n))
+		}
+		// (a ∪ b) \ b == a \ b
+		u := a.Clone()
+		u.Union(b)
+		u.Subtract(b)
+		d := a.Clone()
+		d.Subtract(b)
+		if !u.Equal(d) {
+			return false
+		}
+		// |a| + |b| == |a ∪ b| + |a ∩ b|
+		un := a.Clone()
+		un.Union(b)
+		in := a.Clone()
+		in.Intersect(b)
+		return a.Count()+b.Count() == un.Count()+in.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalSlices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

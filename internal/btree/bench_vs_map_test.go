@@ -1,0 +1,54 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkInsertVsMap quantifies the cost of the ordered B-tree the paper
+// prescribes against Go's built-in hash map (the obvious alternative for a
+// dedup-only store — see also core's BenchmarkDedupStores for the
+// end-to-end effect).
+func BenchmarkInsertVsMap(b *testing.B) {
+	keys := make([][]byte, 1<<14)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("solution-key-%08d", i*2654435761%len(keys)))
+	}
+	b.Run("BTree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var t Tree
+			for _, k := range keys {
+				t.Insert(k)
+			}
+		}
+	})
+	b.Run("Map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[string]struct{})
+			for _, k := range keys {
+				if _, ok := m[string(k)]; !ok {
+					m[string(k)] = struct{}{}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkHasHit measures membership probes on a populated tree.
+func BenchmarkHasHit(b *testing.B) {
+	var t Tree
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", i))
+		t.Insert(keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !t.Has(keys[i%len(keys)]) {
+			b.Fatal("lost key")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package btree implements an in-memory B-tree over byte-slice keys.
+//
+// The paper's Algorithm 1 and 2 store discovered solutions in a B-tree
+// keyed by the vertex set of the solution to deduplicate traversal; this
+// package is that substrate. Only the operations the traversal needs are
+// provided: Insert (reporting prior presence), Has, Len, and ordered
+// iteration.
+package btree
+
+import "bytes"
+
+// degree is the minimum branching factor t: nodes other than the root hold
+// between t-1 and 2t-1 keys.
+const degree = 16
+
+// Tree is a B-tree set of byte-slice keys. The zero value is an empty tree
+// ready to use. Keys are copied on insert, so callers may reuse buffers.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	keys     [][]byte
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) bool {
+	n := t.root
+	for n != nil {
+		i, eq := n.search(key)
+		if eq {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Insert adds key to the tree. It returns true if the key was newly
+// inserted and false if it was already present.
+func (t *Tree) Insert(key []byte) bool {
+	if t.root == nil {
+		t.root = &node{keys: [][]byte{cloneKey(key)}}
+		t.size = 1
+		return true
+	}
+	if len(t.root.keys) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(key) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+// Ascend calls fn on every key in ascending order; iteration stops when fn
+// returns false. The callback must not retain or modify the key.
+func (t *Tree) Ascend(fn func(key []byte) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *node) ascend(fn func([]byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, k := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(k) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.keys)].ascend(fn)
+	}
+	return true
+}
+
+// search returns the index of the first key >= key and whether it equals
+// key.
+func (n *node) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	eq := lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+	return lo, eq
+}
+
+func (n *node) insertNonFull(key []byte) bool {
+	for {
+		i, eq := n.search(key)
+		if eq {
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = cloneKey(key)
+			return true
+		}
+		if len(n.children[i].keys) == 2*degree-1 {
+			n.splitChild(i)
+			cmp := bytes.Compare(key, n.keys[i])
+			if cmp == 0 {
+				return false
+			}
+			if cmp > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i, hoisting its median key
+// into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	median := child.keys[degree-1]
+	right := &node{keys: append([][]byte(nil), child.keys[degree:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[degree:]...)
+		child.children = child.children[:degree]
+	}
+	child.keys = child.keys[:degree-1]
+
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func cloneKey(k []byte) []byte {
+	c := make([]byte, len(k))
+	copy(c, k)
+	return c
+}

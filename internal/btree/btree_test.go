@@ -1,0 +1,163 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	if tr.Has([]byte("x")) {
+		t.Fatal("empty Has = true")
+	}
+	n := 0
+	tr.Ascend(func([]byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty Ascend visited keys")
+	}
+}
+
+func TestInsertHas(t *testing.T) {
+	var tr Tree
+	keys := []string{"b", "a", "c", "aa", ""}
+	for _, k := range keys {
+		if !tr.Insert([]byte(k)) {
+			t.Fatalf("Insert(%q) = false on first insert", k)
+		}
+	}
+	for _, k := range keys {
+		if tr.Insert([]byte(k)) {
+			t.Fatalf("Insert(%q) = true on duplicate", k)
+		}
+		if !tr.Has([]byte(k)) {
+			t.Fatalf("Has(%q) = false", k)
+		}
+	}
+	if tr.Has([]byte("zz")) {
+		t.Fatal("Has(zz) = true")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+}
+
+func TestKeysCopied(t *testing.T) {
+	var tr Tree
+	buf := []byte("hello")
+	tr.Insert(buf)
+	buf[0] = 'x'
+	if !tr.Has([]byte("hello")) {
+		t.Fatal("tree aliased the caller's buffer")
+	}
+	if tr.Has([]byte("xello")) {
+		t.Fatal("mutation leaked into the tree")
+	}
+}
+
+func TestAscendOrderLarge(t *testing.T) {
+	var tr Tree
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Insert([]byte(fmt.Sprintf("%08d", i)))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	var prev []byte
+	count := 0
+	tr.Ascend(func(k []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order violated: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("Ascend visited %d, want %d", count, n)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%03d", i)))
+	}
+	n := 0
+	tr.Ascend(func([]byte) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestQuickVsMap drives random inserts and membership queries against a
+// map model.
+func TestQuickVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		model := map[string]bool{}
+		for op := 0; op < 500; op++ {
+			k := make([]byte, rng.Intn(8))
+			for i := range k {
+				k[i] = byte('a' + rng.Intn(4))
+			}
+			switch rng.Intn(2) {
+			case 0:
+				inserted := tr.Insert(k)
+				if inserted == model[string(k)] {
+					return false // Insert result must be !present
+				}
+				model[string(k)] = true
+			case 1:
+				if tr.Has(k) != model[string(k)] {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var want []string
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		tr.Ascend(func(k []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree
+	buf := make([]byte, 8)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			buf[j] = byte(i >> (8 * j))
+		}
+		tr.Insert(buf)
+	}
+}

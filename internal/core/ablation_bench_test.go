@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+
+	"repro/internal/btree"
+	"repro/internal/diskstore"
+	"repro/internal/gen"
+)
+
+// mapStore is the flat-hash alternative to the paper's B-tree dedup store.
+type mapStore map[string]struct{}
+
+func (m mapStore) Insert(key []byte) bool {
+	if _, ok := m[string(key)]; ok {
+		return false
+	}
+	m[string(key)] = struct{}{}
+	return true
+}
+
+// TestStoreChoiceDoesNotChangeOutput pins the ablation's precondition:
+// the dedup store is interchangeable.
+func TestStoreChoiceDoesNotChangeOutput(t *testing.T) {
+	g := gen.ER(14, 14, 2.5, 5)
+	base := ITraversal(1)
+	want, _, err := Collect(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := diskstore.Open(diskstore.Options{Dir: t.TempDir(), FlushKeys: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for name, store := range map[string]SolutionStore{
+		"map":  mapStore{},
+		"disk": ds,
+	} {
+		opts := base
+		opts.Store = store
+		got, _, err := Collect(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s store: %d MBPs, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s store: mismatch at %d", name, i)
+			}
+		}
+	}
+}
+
+// BenchmarkDedupStores is the store ablation DESIGN.md calls out: the
+// paper prescribes a B-tree (ordered, O(log n) probes); a hash map trades
+// order for speed; the disk store trades speed for unbounded capacity.
+func BenchmarkDedupStores(b *testing.B) {
+	g := gen.ER(60, 60, 4, 42)
+	run := func(b *testing.B, mk func(b *testing.B) SolutionStore) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := ITraversal(1)
+			opts.Store = mk(b)
+			if _, err := Enumerate(g, opts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("BTree", func(b *testing.B) {
+		run(b, func(*testing.B) SolutionStore { return &btree.Tree{} })
+	})
+	b.Run("Map", func(b *testing.B) {
+		run(b, func(*testing.B) SolutionStore { return mapStore{} })
+	})
+	b.Run("Disk", func(b *testing.B) {
+		run(b, func(b *testing.B) SolutionStore {
+			ds, err := diskstore.Open(diskstore.Options{Dir: b.TempDir(), FlushKeys: 1 << 12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { ds.Close() })
+			return ds
+		})
+	})
+}
+
+// naiveRightAddable is the reference implementation of the right-shrinking
+// test: scan every right vertex outside rp/h.R. rightAddable's pigeonhole
+// optimization must agree with it.
+func naiveRightAddable(e *engine, lcur, rp, hR []int32, kL, kR int) bool {
+	g := e.g
+	inSet := func(a []int32, x int32) bool { return sortedContains(a, x) }
+	for u := int32(0); u < int32(g.NumRight()); u++ {
+		if inSet(rp, u) || inSet(hR, u) {
+			continue
+		}
+		// u's own budget.
+		miss := 0
+		for _, w := range lcur {
+			if !g.HasEdge(w, u) {
+				miss++
+			}
+		}
+		if miss > kR {
+			continue
+		}
+		// Members of lcur at exactly kL misses within rp must connect u.
+		ok := true
+		for _, w := range lcur {
+			wMiss := len(rp) - sortedIntersectCount(g.NeighL(w), rp)
+			if wMiss == kL && !g.HasEdge(w, u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRightAddablePigeonholeAgreesWithNaive probes the pigeonhole-
+// optimized rightAddable against the naive full scan on every emitted
+// solution with every possible added left vertex.
+func TestRightAddablePigeonholeAgreesWithNaive(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		for seed := int64(0); seed < 8; seed++ {
+			g := gen.ER(12, 12, 2, seed)
+			e := &engine{g: g, gT: g.Transpose(), opts: ITraversal(k), kL: k, kR: k, store: &btree.Tree{}}
+			checked := 0
+			_, err := Enumerate(g, ITraversal(k), func(p biplex.Pair) bool {
+				for v := int32(0); v < int32(g.NumLeft()); v++ {
+					if sortedContains(p.L, v) {
+						continue
+					}
+					lcur := sortedInsert(append([]int32(nil), p.L...), v)
+					vMiss := len(p.R) - sortedIntersectCount(g.NeighL(v), p.R)
+					got := e.rightAddable(g, p, lcur, p.R, vMiss, v, k, k)
+					want := naiveRightAddable(e, lcur, p.R, p.R, k, k)
+					if got != want {
+						t.Fatalf("k=%d seed=%d: rightAddable=%v naive=%v for v=%d on %v",
+							k, seed, got, want, v, p)
+					}
+					checked++
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if checked == 0 {
+				t.Fatal("no probes executed")
+			}
+		}
+	}
+}
+
+// BenchmarkRightAddable compares the pigeonhole candidate pool against the
+// naive full right-side scan (the ablation behind Section 3.4's filter).
+func BenchmarkRightAddable(b *testing.B) {
+	g := gen.ER(400, 400, 6, 42)
+	e := &engine{g: g, gT: g.Transpose(), opts: ITraversal(1), kL: 1, kR: 1, store: &btree.Tree{}}
+	var sols []biplex.Pair
+	opts := ITraversal(1)
+	opts.MaxResults = 50
+	if _, err := Enumerate(g, opts, func(p biplex.Pair) bool {
+		sols = append(sols, p.Clone())
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	type probe struct {
+		p    biplex.Pair
+		lcur []int32
+		vm   int
+		v    int32
+	}
+	var probes []probe
+	for _, p := range sols {
+		for v := int32(0); v < int32(g.NumLeft()) && len(probes) < 500; v++ {
+			if sortedContains(p.L, v) {
+				continue
+			}
+			lcur := sortedInsert(append([]int32(nil), p.L...), v)
+			vm := len(p.R) - sortedIntersectCount(g.NeighL(v), p.R)
+			probes = append(probes, probe{p, lcur, vm, v})
+		}
+	}
+	b.Run("Pigeonhole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := probes[i%len(probes)]
+			e.rightAddable(g, pr.p, pr.lcur, pr.p.R, pr.vm, pr.v, 1, 1)
+		}
+	})
+	b.Run("NaiveScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := probes[i%len(probes)]
+			naiveRightAddable(e, pr.lcur, pr.p.R, pr.p.R, 1, 1)
+		}
+	})
+}

@@ -1,0 +1,551 @@
+// Package core implements the paper's primary contribution: reverse-search
+// enumeration of maximal k-biplexes (MBPs) on a bipartite graph.
+//
+// One engine covers the whole design space of Section 3:
+//
+//   - bTraversal  — the basic framework: arbitrary initial solution,
+//     almost-satisfying graphs formed with vertices of both sides, no link
+//     pruning (Algorithm 1).
+//   - iTraversal  — initial solution H0 = (L0, R), left-anchored traversal,
+//     right-shrinking traversal and the exclusion strategy (Algorithm 2),
+//     which together sparsify the solution graph by orders of magnitude
+//     while keeping every MBP reachable, and give polynomial delay.
+//
+// The ablation variants of Figure 11 (iTraversal-ES, iTraversal-ES-RS) are
+// obtained by toggling Options fields.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/bitset"
+	"repro/internal/btree"
+	"repro/internal/vskey"
+)
+
+// Options configures one enumeration run.
+type Options struct {
+	// K is the biplex parameter k ≥ 1.
+	K int
+
+	// KLeft and KRight, when positive, override K per side: left vertices
+	// may miss up to KLeft right members and right vertices up to KRight
+	// left members (the per-side generalization noted after Definition
+	// 2.1). The Inflation EnumAlmostSat variant requires KLeft == KRight
+	// (the (k+1)-plex correspondence is inherently symmetric).
+	KLeft, KRight int
+
+	// LeftAnchored restricts Step 1 to left vertices (Section 3.3).
+	LeftAnchored bool
+	// RightShrinking discards local solutions that extend with a right
+	// vertex and extends with left vertices only (Section 3.4).
+	RightShrinking bool
+	// Exclusion enables the exclusion strategy (Section 3.5).
+	Exclusion bool
+	// InitialRightFull starts from H0 = (L0, R) as iTraversal does;
+	// otherwise the initial solution is an arbitrary greedy MBP.
+	InitialRightFull bool
+
+	// Variant selects the EnumAlmostSat implementation.
+	Variant EASVariant
+
+	// ThetaL and ThetaR, when positive, enumerate only large MBPs
+	// (|L| ≥ ThetaL and |R| ≥ ThetaR) with the prunings of Section 5.
+	// They require RightShrinking and InitialRightFull. The paper's
+	// symmetric "large MBP" setting is ThetaL = ThetaR = θ.
+	ThetaL, ThetaR int
+
+	// MaxResults stops the run after this many solutions were emitted
+	// (0 = enumerate everything).
+	MaxResults int
+
+	// CountLinks records solution-graph links in Stats (Figures 3, 11).
+	// Links are counted after the framework's prunings, so the count is
+	// the link count of the operative solution graph G, G_L, G_R or G_E.
+	CountLinks bool
+
+	// OnLink, when non-nil, receives every discovered solution-graph link
+	// after the framework's prunings (the same events CountLinks counts).
+	// The pairs are valid only during the call; package solgraph uses this
+	// hook to materialize the solution graph explicitly.
+	OnLink func(from, to biplex.Pair)
+
+	// Cancel, when non-nil, is polled during the traversal; returning
+	// true aborts the run cooperatively (the experiment harness uses it
+	// to implement the paper's 24h "INF" limit at laptop scale).
+	Cancel func() bool
+
+	// Store, when non-nil, replaces the default in-memory B-tree as the
+	// solution deduplication store — e.g. a diskstore.Store for runs whose
+	// solution set exceeds memory. Insert must report true exactly when
+	// the key was absent.
+	Store SolutionStore
+}
+
+// SolutionStore is the deduplication store contract: Insert returns true
+// when the key was new. *btree.Tree and *diskstore.Store satisfy it.
+type SolutionStore interface {
+	Insert(key []byte) bool
+}
+
+// ITraversal returns the options of the paper's full iTraversal.
+func ITraversal(k int) Options {
+	return Options{
+		K:                k,
+		LeftAnchored:     true,
+		RightShrinking:   true,
+		Exclusion:        true,
+		InitialRightFull: true,
+		Variant:          EASL2R2,
+	}
+}
+
+// BTraversal returns the options of the baseline bTraversal framework.
+// The EnumAlmostSat variant matches iTraversal's (as in Figure 11's
+// controlled comparison); pass Variant EASInflation for the paper's
+// original bTraversal implementation.
+func BTraversal(k int) Options {
+	return Options{K: k, Variant: EASL2R2}
+}
+
+// Stats reports counters accumulated during a run.
+type Stats struct {
+	// Solutions is the number of MBPs emitted (after any Theta filter).
+	Solutions int64
+	// Stored is the number of distinct solutions inserted into the
+	// deduplication B-tree (traversed solution-graph nodes).
+	Stored int64
+	// Links is the number of solution-graph links discovered; only
+	// populated when Options.CountLinks is set.
+	Links int64
+	// EASCalls counts EnumAlmostSat invocations.
+	EASCalls int64
+	// LocalSolutions counts local solutions across all EAS calls.
+	LocalSolutions int64
+	// MaxDepth is the deepest DFS recursion reached.
+	MaxDepth int
+	// Expansions counts iThreeStep invocations (solution expansions); the
+	// alternating-output trick guarantees at least one solution is output
+	// every two consecutive expansions, which is what makes the delay
+	// polynomial (Section 3.5).
+	Expansions int64
+}
+
+// EmitFunc receives each enumerated MBP. The pair's slices are owned by
+// the callee and remain valid after the call. Returning false stops the
+// enumeration early.
+type EmitFunc func(p biplex.Pair) bool
+
+// Enumerate runs the configured framework over g and streams every MBP to
+// emit. It returns the run statistics.
+func Enumerate(g *bigraph.Graph, opts Options, emit EmitFunc) (Stats, error) {
+	kL, kR := opts.KLeft, opts.KRight
+	if kL == 0 {
+		kL = opts.K
+	}
+	if kR == 0 {
+		kR = opts.K
+	}
+	if kL < 1 || kR < 1 {
+		return Stats{}, errors.New("core: K (or KLeft/KRight) must be at least 1")
+	}
+	if opts.Variant == EASInflation && kL != kR {
+		return Stats{}, errors.New("core: the Inflation variant requires KLeft == KRight")
+	}
+	if (opts.ThetaL > 0 || opts.ThetaR > 0) && (!opts.RightShrinking || !opts.InitialRightFull) {
+		return Stats{}, errors.New("core: Theta pruning requires the right-shrinking framework (the paper's bTraversal cannot prune small MBPs)")
+	}
+	store := SolutionStore(&btree.Tree{})
+	if opts.Store != nil {
+		store = opts.Store
+	}
+	e := &engine{g: g, gT: g.Transpose(), opts: opts, kL: kL, kR: kR, emit: emit, store: store}
+	e.run()
+	return e.stats, nil
+}
+
+type engine struct {
+	g      *bigraph.Graph
+	gT     *bigraph.Graph
+	opts   Options
+	kL, kR int
+
+	// store deduplicates solutions; sequential runs use a plain B-tree
+	// unless Options.Store overrides it, parallel runs inject a
+	// lock-guarded shared store.
+	store SolutionStore
+	// onChild, when non-nil, replaces recursion: each newly stored
+	// solution is handed to it instead of being visited depth-first
+	// (single-level expansion for the parallel driver).
+	onChild func(p biplex.Pair)
+	stats   Stats
+	emit    EmitFunc
+	stopped bool
+	keyBuf  []byte
+}
+
+func (e *engine) run() {
+	// H0 = (L0, R) for iTraversal (Section 3.2); an arbitrary greedy MBP
+	// for bTraversal.
+	h0 := initialSolution(e.g, e.kL, e.kR, e.opts.InitialRightFull)
+	e.keyBuf = vskey.Encode(e.keyBuf[:0], h0.L, h0.R)
+	e.store.Insert(e.keyBuf)
+	e.stats.Stored++
+	var excl *bitset.Set
+	if e.opts.Exclusion {
+		excl = bitset.New(e.g.NumLeft())
+	}
+	e.visit(h0, excl, 0)
+}
+
+// visit processes one newly discovered solution. Output happens before or
+// after the expansion in an alternating manner (Uno's trick), which makes
+// the delay of the full framework polynomial: at least one solution is
+// output every two consecutive expansions.
+func (e *engine) visit(h biplex.Pair, excl *bitset.Set, depth int) {
+	if depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = depth
+	}
+	if depth%2 == 0 {
+		e.output(h)
+		if e.stopped {
+			return
+		}
+	}
+	e.expand(h, excl, depth)
+	if e.stopped {
+		return
+	}
+	if depth%2 == 1 {
+		e.output(h)
+	}
+}
+
+func (e *engine) output(h biplex.Pair) {
+	if len(h.L) < e.opts.ThetaL || len(h.R) < e.opts.ThetaR {
+		return
+	}
+	e.stats.Solutions++
+	if e.emit != nil && !e.emit(h) {
+		e.stopped = true
+		return
+	}
+	if e.opts.MaxResults > 0 && e.stats.Solutions >= int64(e.opts.MaxResults) {
+		e.stopped = true
+	}
+}
+
+// expand runs the (i)ThreeStep procedure from solution h.
+func (e *engine) expand(h biplex.Pair, excl *bitset.Set, depth int) {
+	e.stats.Expansions++
+	// Solution pruning: with right-shrinking traversal, every solution
+	// reachable from h keeps R' ⊆ R, so a small right side is final.
+	if e.opts.ThetaR > 0 && len(h.R) < e.opts.ThetaR {
+		return
+	}
+	// Left-side pruning via the exclusion set (Section 5).
+	if e.opts.ThetaL > 0 && e.opts.Exclusion && e.g.NumLeft()-excl.Count() < e.opts.ThetaL {
+		return
+	}
+
+	// Step 1 over left vertices.
+	e.expandSide(e.g, h, excl, depth, false)
+	if e.stopped {
+		return
+	}
+	// Step 1 over right vertices (bTraversal only).
+	if !e.opts.LeftAnchored {
+		mirror := biplex.Pair{L: h.R, R: h.L}
+		e.expandSide(e.gT, mirror, nil, depth, true)
+	}
+}
+
+// expandSide forms almost-satisfying graphs by adding vertices of g's left
+// side. When mirrored is true, g is the transposed graph and solutions are
+// swapped back before further processing.
+func (e *engine) expandSide(g *bigraph.Graph, h biplex.Pair, excl *bitset.Set, depth int, mirrored bool) {
+	// In the mirrored orientation the roles of the two sides — and with
+	// them the budgets and thresholds — swap. Only bTraversal (no Theta
+	// support) reaches the mirrored path, so the theta swap is defensive.
+	kL, kR := e.kL, e.kR
+	thetaR := e.opts.ThetaR
+	if mirrored {
+		kL, kR = e.kR, e.kL
+		thetaR = e.opts.ThetaL
+	}
+
+	// δ̄(u, L) for u ∈ R, shared by every EAS call from this frame.
+	missL := make(map[int32]int, len(h.R))
+	for _, u := range h.R {
+		missL[u] = len(h.L) - sortedIntersectCount(g.NeighR(u), h.L)
+	}
+
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		if e.stopped {
+			return
+		}
+		if e.opts.Cancel != nil && e.opts.Cancel() {
+			e.stopped = true
+			return
+		}
+		if sortedContains(h.L, v) {
+			continue
+		}
+		if excl != nil && excl.Contains(int(v)) {
+			continue // exclusion strategy: v's solutions were covered
+		}
+		degInR := sortedIntersectCount(g.NeighL(v), h.R)
+		if thetaR > 0 && degInR+kL < thetaR {
+			continue // almost-satisfying graph pruning (Section 5)
+		}
+		in := easInput{
+			g: g, kL: kL, kR: kR, L: h.L, R: h.R, missL: missL, v: v,
+			variant: e.opts.Variant, cancel: e.opts.Cancel,
+		}
+		if thetaR > 0 {
+			in.minRight = thetaR
+		}
+		e.stats.EASCalls++
+		locals, _ := enumAlmostSat(in, func(lp, rp []int32) bool {
+			e.processLocal(g, h, v, lp, rp, excl, depth, mirrored)
+			return !e.stopped
+		})
+		e.stats.LocalSolutions += int64(locals)
+
+		if excl != nil && !e.stopped {
+			excl.Add(int(v))
+		}
+	}
+}
+
+// processLocal takes one local solution (lp ∪ {v}, rp) of the
+// almost-satisfying graph (h.L ∪ {v}, h.R), applies the right-shrinking
+// filter, extends it to a full solution, applies exclusion pruning,
+// deduplicates and recurses.
+func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp []int32, excl *bitset.Set, depth int, mirrored bool) {
+	kL, kR := e.kL, e.kR
+	if mirrored {
+		kL, kR = e.kR, e.kL
+	}
+	lcur := sortedInsert(append([]int32(nil), lp...), v)
+
+	if e.opts.RightShrinking && e.rightAddable(g, h, lcur, rp, len(rp)-sortedIntersectCount(g.NeighL(v), rp) /* = |R''| misses of v */, v, kL, kR) {
+		return // non-right-shrinking link (Algorithm 2 line 7)
+	}
+
+	// Step 3: extension to a maximal k-biplex.
+	var hl, hr []int32
+	if e.opts.RightShrinking {
+		hl, hr = extendLeftOnly(g, lcur, rp, kL, kR), rp
+	} else {
+		hl, hr = extendBothSides(g, lcur, rp, kL, kR)
+	}
+
+	if excl != nil {
+		blocked := false
+		for _, w := range hl {
+			if excl.Contains(int(w)) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			return // exclusion strategy prunes this link
+		}
+	}
+
+	if e.opts.CountLinks {
+		e.stats.Links++
+	}
+
+	var hp biplex.Pair
+	if mirrored {
+		hp = biplex.Pair{L: append([]int32(nil), hr...), R: hl}
+	} else {
+		hp = biplex.Pair{L: hl, R: append([]int32(nil), hr...)}
+	}
+
+	if e.opts.OnLink != nil {
+		from := h
+		if mirrored {
+			// h arrived in the transposed orientation; swap it back.
+			from = biplex.Pair{L: h.R, R: h.L}
+		}
+		e.opts.OnLink(from, hp)
+	}
+	e.keyBuf = vskey.Encode(e.keyBuf[:0], hp.L, hp.R)
+	if !e.store.Insert(e.keyBuf) {
+		return // already traversed
+	}
+	e.stats.Stored++
+
+	if e.onChild != nil {
+		e.onChild(hp)
+		return
+	}
+
+	var childExcl *bitset.Set
+	if excl != nil {
+		childExcl = excl.Clone()
+	} else if e.opts.Exclusion {
+		childExcl = bitset.New(e.g.NumLeft())
+	}
+	e.visit(hp, childExcl, depth+1)
+}
+
+// rightAddable reports whether some right vertex u ∉ rp of the full graph
+// can join (lcur, rp) while preserving the k-biplex property. Vertices of
+// h.R \ rp need no test — the local solution is maximal within the
+// almost-satisfying graph — but testing them too is harmless; only
+// vertices outside h.R are scanned here plus none of rp.
+func (e *engine) rightAddable(g *bigraph.Graph, h biplex.Pair, lcur, rp []int32, vMiss int, v int32, kL, kR int) bool {
+	// Ltight: members of lcur whose misses toward rp are already kL; an
+	// addable u must connect all of them.
+	var ltight []int32
+	for _, w := range lcur {
+		var miss int
+		if w == v {
+			miss = vMiss
+		} else {
+			miss = len(rp) - sortedIntersectCount(g.NeighL(w), rp)
+		}
+		if miss == kL {
+			ltight = append(ltight, w)
+		}
+	}
+
+	inRp := func(u int32) bool { return sortedContains(rp, u) }
+	inHR := func(u int32) bool { return sortedContains(h.R, u) }
+
+	check := func(u int32) bool {
+		// u's own constraint.
+		nu := g.NeighR(u)
+		if len(lcur)-sortedIntersectCount(nu, lcur) > kR {
+			return false
+		}
+		// Members at k misses must all connect u.
+		for _, w := range ltight {
+			if !sortedContains(nu, w) {
+				return false
+			}
+		}
+		// Non-tight members missing u gain one miss, still ≤ k; only the
+		// tight ones could overflow, and they were just checked.
+		return true
+	}
+
+	if len(lcur) <= kR {
+		// Any right vertex satisfies its own constraint; addability is
+		// governed by the tight members (or by nothing at all).
+		if len(ltight) == 0 {
+			// Any vertex outside rp (and outside h.R, which is already
+			// maximal-checked) is addable if one exists.
+			if g.NumRight() > len(h.R) {
+				return true
+			}
+			return false
+		}
+		for _, u := range g.NeighL(ltight[0]) {
+			if !inRp(u) && !inHR(u) && check(u) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pigeonhole: an addable u misses at most kR members of lcur, so it is
+	// adjacent to at least one of ANY kR+1 members. Take the kR+1 members
+	// with the smallest degrees; the union of their neighbor lists is the
+	// complete candidate pool, typically tiny.
+	pool := smallestDegreeMembers(g, lcur, kR+1)
+	seen := make(map[int32]struct{})
+	for _, w := range pool {
+		for _, u := range g.NeighL(w) {
+			if inRp(u) || inHR(u) {
+				continue
+			}
+			if _, dup := seen[u]; dup {
+				continue
+			}
+			seen[u] = struct{}{}
+			if check(u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// smallestDegreeMembers returns up to n members of lcur with the smallest
+// left degrees (selection by repeated scan; n is k+1, a small constant).
+func smallestDegreeMembers(g *bigraph.Graph, lcur []int32, n int) []int32 {
+	if n >= len(lcur) {
+		return lcur
+	}
+	picked := make([]int32, 0, n)
+	used := make([]bool, len(lcur))
+	for len(picked) < n {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for i, w := range lcur {
+			if !used[i] && g.DegL(w) < bestDeg {
+				best, bestDeg = i, g.DegL(w)
+			}
+		}
+		used[best] = true
+		picked = append(picked, lcur[best])
+	}
+	return picked
+}
+
+// SolutionGraphLinks runs the framework with link counting and returns the
+// number of links of the operative solution graph together with the
+// number of solutions, the measurement behind Figures 3 and 11.
+func SolutionGraphLinks(g *bigraph.Graph, opts Options) (links, solutions int64, err error) {
+	opts.CountLinks = true
+	opts.MaxResults = 0
+	st, err := Enumerate(g, opts, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Links, st.Stored, nil
+}
+
+// Collect is a convenience wrapper that gathers every enumerated MBP into
+// a slice sorted by canonical key.
+func Collect(g *bigraph.Graph, opts Options) ([]biplex.Pair, Stats, error) {
+	var out []biplex.Pair
+	st, err := Enumerate(g, opts, func(p biplex.Pair) bool {
+		out = append(out, p.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	biplex.SortPairs(out)
+	return out, st, nil
+}
+
+// Describe summarizes options for logs and experiment tables.
+func Describe(o Options) string {
+	name := "custom"
+	switch {
+	case o.LeftAnchored && o.RightShrinking && o.Exclusion && o.InitialRightFull:
+		name = "iTraversal"
+	case o.LeftAnchored && o.RightShrinking && o.InitialRightFull:
+		name = "iTraversal-ES"
+	case o.LeftAnchored && o.InitialRightFull:
+		name = "iTraversal-ES-RS"
+	case !o.LeftAnchored && !o.RightShrinking && !o.Exclusion:
+		name = "bTraversal"
+	}
+	return fmt.Sprintf("%s(k=%d,%s)", name, o.K, o.Variant)
+}
+
+// sortInt32 sorts ids ascending (exported-size helper for tests).
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

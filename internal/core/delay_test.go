@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/btree"
+	"repro/internal/gen"
+)
+
+// TestAlternatingOutputDelayBound verifies the Uno-trick invariant behind
+// the polynomial-delay guarantee (Section 3.5): during a full iTraversal
+// run, at most two expansions (iThreeStep calls) happen between
+// consecutive solution outputs, including before the first and after the
+// last output.
+func TestAlternatingOutputDelayBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ER(4+rng.Intn(8), 4+rng.Intn(8), 1+rng.Float64()*2, rng.Int63())
+		k := 1 + rng.Intn(2)
+
+		e := &engine{g: g, gT: g.Transpose(), opts: ITraversal(k), kL: k, kR: k, store: &btree.Tree{}}
+		last := int64(0)
+		maxGap := int64(0)
+		e.emit = func(biplex.Pair) bool {
+			if gap := e.stats.Expansions - last; gap > maxGap {
+				maxGap = gap
+			}
+			last = e.stats.Expansions
+			return true
+		}
+		e.run()
+		if gap := e.stats.Expansions - last; gap > maxGap {
+			maxGap = gap
+		}
+		if maxGap > 2 {
+			t.Fatalf("trial %d k=%d: %d expansions between outputs (want ≤ 2, total %d expansions, %d solutions)",
+				trial, k, maxGap, e.stats.Expansions, e.stats.Solutions)
+		}
+	}
+}
+
+// TestExpansionsEqualsStored confirms every stored solution is expanded
+// exactly once in a full run.
+func TestExpansionsEqualsStored(t *testing.T) {
+	g := gen.ER(10, 10, 2, 3)
+	st, err := Enumerate(g, ITraversal(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expansions != st.Stored {
+		t.Fatalf("Expansions = %d, Stored = %d", st.Expansions, st.Stored)
+	}
+	if st.Solutions != st.Stored {
+		t.Fatalf("Solutions = %d, Stored = %d (full run must emit everything)", st.Solutions, st.Stored)
+	}
+}

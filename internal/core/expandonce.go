@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+)
+
+// InitialSolution computes the framework's starting MBP for g under opts:
+// H0 = (L0, R) when InitialRightFull is set (iTraversal, Section 3.2) and
+// an arbitrary greedy MBP otherwise (bTraversal).
+func InitialSolution(g *bigraph.Graph, opts Options) (biplex.Pair, error) {
+	kL, kR := opts.KLeft, opts.KRight
+	if kL == 0 {
+		kL = opts.K
+	}
+	if kR == 0 {
+		kR = opts.K
+	}
+	if kL < 1 || kR < 1 {
+		return biplex.Pair{}, errors.New("core: K (or KLeft/KRight) must be at least 1")
+	}
+	return initialSolution(g, kL, kR, opts.InitialRightFull), nil
+}
+
+// initialSolution is the shared implementation behind InitialSolution, the
+// sequential engine and the parallel driver.
+func initialSolution(g *bigraph.Graph, kL, kR int, rightFull bool) biplex.Pair {
+	if rightFull {
+		r := make([]int32, g.NumRight())
+		for i := range r {
+			r[i] = int32(i)
+		}
+		return biplex.Pair{L: extendLeftOnly(g, nil, r, kL, kR), R: r}
+	}
+	return biplex.ExtendGreedyLR(g, biplex.Pair{}, kL, kR, nil, nil)
+}
+
+// ExpandOnce runs a single (i)ThreeStep expansion from solution h and
+// hands every discovered link target to sink, without deduplication and
+// without recursing — the primitive a distributed driver needs: the
+// expanding node cannot know which children are new (ownership of the
+// deduplication store is partitioned), so it forwards every link target
+// to the child's owner. The exclusion strategy is order-dependent and is
+// disabled. sink returning false aborts the expansion.
+func ExpandOnce(g *bigraph.Graph, opts Options, h biplex.Pair, sink func(p biplex.Pair) bool) (Stats, error) {
+	kL, kR := opts.KLeft, opts.KRight
+	if kL == 0 {
+		kL = opts.K
+	}
+	if kR == 0 {
+		kR = opts.K
+	}
+	if kL < 1 || kR < 1 {
+		return Stats{}, errors.New("core: K (or KLeft/KRight) must be at least 1")
+	}
+	if sink == nil {
+		return Stats{}, errors.New("core: ExpandOnce requires a sink")
+	}
+	opts.Exclusion = false
+	e := &engine{g: g, gT: g.Transpose(), opts: opts, kL: kL, kR: kR, store: admitAll{}}
+	e.onChild = func(p biplex.Pair) {
+		if !sink(p) {
+			e.stopped = true
+		}
+	}
+	e.expand(h, nil, 0)
+	return e.stats, nil
+}
+
+// admitAll is the store that never deduplicates: every discovered child is
+// considered new, so ExpandOnce reports every link target.
+type admitAll struct{}
+
+func (admitAll) Insert([]byte) bool { return true }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+	"repro/internal/vskey"
+)
+
+func TestInitialSolutionRightFull(t *testing.T) {
+	g := gen.ER(10, 8, 1.5, 1)
+	h0, err := InitialSolution(g, ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h0.R) != g.NumRight() {
+		t.Fatalf("H0 right side has %d vertices, want all %d", len(h0.R), g.NumRight())
+	}
+	if !biplex.IsBiplex(g, h0.L, h0.R, 1) {
+		t.Fatal("H0 is not a 1-biplex")
+	}
+	if !biplex.IsMaximal(g, h0.L, h0.R, 1) {
+		t.Fatal("H0 is not maximal")
+	}
+}
+
+func TestInitialSolutionGreedy(t *testing.T) {
+	g := gen.ER(10, 8, 1.5, 1)
+	h0, err := InitialSolution(g, BTraversal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !biplex.IsBiplex(g, h0.L, h0.R, 2) || !biplex.IsMaximal(g, h0.L, h0.R, 2) {
+		t.Fatalf("greedy H0 %v is not a maximal 2-biplex", h0)
+	}
+}
+
+func TestInitialSolutionValidation(t *testing.T) {
+	g := gen.ER(4, 4, 1, 1)
+	if _, err := InitialSolution(g, Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+// TestExpandOnceCoversReachableChildren checks that the union of
+// ExpandOnce targets over all solutions covers every non-initial solution
+// (that is what makes the distributed driver complete).
+func TestExpandOnceCoversReachableChildren(t *testing.T) {
+	g := gen.ER(9, 9, 1.8, 4)
+	opts := ITraversal(1)
+	opts.Exclusion = false
+	all, _, err := Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := InitialSolution(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]bool{string(vskey.Encode(nil, h0.L, h0.R)): true}
+	for _, h := range all {
+		if _, err := ExpandOnce(g, opts, h, func(child biplex.Pair) bool {
+			targets[string(vskey.Encode(nil, child.L, child.R))] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range all {
+		if !targets[string(vskey.Encode(nil, h.L, h.R))] {
+			t.Fatalf("solution %v is no ExpandOnce target and not H0", h)
+		}
+	}
+}
+
+// TestExpandOnceEmitsValidSolutions checks every target is itself a
+// maximal k-biplex.
+func TestExpandOnceEmitsValidSolutions(t *testing.T) {
+	g := gen.ER(10, 10, 2, 6)
+	opts := ITraversal(1)
+	h0, err := InitialSolution(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := ExpandOnce(g, opts, h0, func(child biplex.Pair) bool {
+		n++
+		if !biplex.IsBiplex(g, child.L, child.R, 1) || !biplex.IsMaximal(g, child.L, child.R, 1) {
+			t.Fatalf("ExpandOnce target %v is not a maximal 1-biplex", child)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("H0 has no children on a random graph (implausible)")
+	}
+}
+
+func TestExpandOnceSinkStop(t *testing.T) {
+	g := gen.ER(10, 10, 2, 6)
+	opts := ITraversal(1)
+	h0, err := InitialSolution(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := ExpandOnce(g, opts, h0, func(biplex.Pair) bool {
+		n++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("sink=false did not stop the expansion: %d calls", n)
+	}
+}
+
+func TestExpandOnceValidation(t *testing.T) {
+	g := gen.ER(4, 4, 1, 1)
+	if _, err := ExpandOnce(g, Options{}, biplex.Pair{}, func(biplex.Pair) bool { return true }); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := ExpandOnce(g, ITraversal(1), biplex.Pair{}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bigraph"
+)
+
+// extendLeftOnly grows the (kL, kR)-biplex (L, R) into one maximal with
+// respect to left-vertex additions, adding candidates in ascending id
+// order (the paper's "pre-set order", Algorithm 2 Step 3). kL bounds the
+// misses of the vertices being added, kR the misses of the fixed right
+// members. The right side never changes; the new sorted left side is
+// returned.
+//
+// A single ascending pass is sufficient: adding a vertex only tightens
+// every remaining constraint, so a vertex rejected once can never become
+// addable later in the pass.
+//
+// This is the engine's hottest function; it avoids maps entirely:
+// candidate counting sorts the concatenated neighbor lists of R, and the
+// per-member miss counters are positional over the sorted R.
+func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
+	// Miss counts of right members are computed lazily: only positions a
+	// candidate actually misses are ever needed (at most kL per
+	// candidate), so initializing all |R| counters up front would
+	// dominate the engine's runtime on large right sides. delta tracks
+	// increments from vertices added during this pass.
+	var missArr []int // eager, small right sides
+	var missBase, delta map[int32]int
+	if len(R) <= 64 {
+		missArr = make([]int, len(R))
+		for i, u := range R {
+			missArr[i] = len(L) - sortedIntersectCount(g.NeighR(u), L)
+		}
+	} else {
+		missBase = make(map[int32]int)
+	}
+	missAt := func(i int32) int {
+		if missArr != nil {
+			return missArr[i]
+		}
+		m, ok := missBase[i]
+		if !ok {
+			u := R[i]
+			m = len(L) - sortedIntersectCount(g.NeighR(u), L)
+			missBase[i] = m
+		}
+		return m + delta[i]
+	}
+
+	cands := leftCandidates(g, L, R, kL)
+
+	var added []int32
+	missPos := make([]int32, 0, kL+1)
+	for _, w := range cands {
+		// Merge Γ(w) against R collecting missed positions; bail once the
+		// own budget is blown.
+		nw := g.NeighL(w)
+		missPos = missPos[:0]
+		j := 0
+		ok := true
+		for i, u := range R {
+			for j < len(nw) && nw[j] < u {
+				j++
+			}
+			if j < len(nw) && nw[j] == u {
+				continue
+			}
+			if len(missPos) == kL {
+				ok = false // more than kL misses
+				break
+			}
+			missPos = append(missPos, int32(i))
+		}
+		if !ok {
+			continue
+		}
+		for _, i := range missPos {
+			if missAt(i) > kR-1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		added = append(added, w) // cands ascend, so added stays sorted
+		for _, i := range missPos {
+			if missArr != nil {
+				missArr[i]++
+				continue
+			}
+			if delta == nil {
+				delta = make(map[int32]int)
+			}
+			delta[i]++
+		}
+	}
+	if len(added) == 0 {
+		return append([]int32(nil), L...)
+	}
+	return sortedMerge(make([]int32, 0, len(L)+len(added)), L, added)
+}
+
+// leftCandidates returns, ascending, the left vertices outside L that
+// connect at least |R|-kL members of R (a necessary condition for
+// addability).
+func leftCandidates(g *bigraph.Graph, L, R []int32, kL int) []int32 {
+	if len(R) <= kL {
+		// Every left vertex satisfies its own constraint, including ones
+		// with no neighbor in R.
+		cands := make([]int32, 0, g.NumLeft()-len(L))
+		for w := int32(0); w < int32(g.NumLeft()); w++ {
+			if !sortedContains(L, w) {
+				cands = append(cands, w)
+			}
+		}
+		return cands
+	}
+	// Pigeonhole: an addable w misses at most kL members of R, so it is
+	// adjacent to at least one of ANY kL+1 members. The union of the
+	// neighbor lists of the kL+1 smallest-degree members is therefore a
+	// complete candidate pool (a superset of the addable vertices; the
+	// caller verifies each candidate exactly).
+	// Any kL+1 members form a valid pool; scan a bounded prefix for
+	// small-degree picks so the selection itself stays O(1) in |R|.
+	pick := kL + 1
+	var pool []int32
+	if pick >= len(R) {
+		pool = R
+	} else {
+		scan := len(R)
+		if scan > 64 {
+			scan = 64
+		}
+		pool = make([]int32, 0, pick)
+		degs := make([]int, 0, pick)
+		for _, u := range R[:scan] {
+			d := g.DegR(u)
+			if len(pool) < pick {
+				pool = append(pool, u)
+				degs = append(degs, d)
+			} else {
+				maxI := 0
+				for i := 1; i < len(degs); i++ {
+					if degs[i] > degs[maxI] {
+						maxI = i
+					}
+				}
+				if d < degs[maxI] {
+					pool[maxI], degs[maxI] = u, d
+				}
+			}
+		}
+	}
+	var all []int32
+	for _, u := range pool {
+		all = append(all, g.NeighR(u)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var cands []int32
+	for i, w := range all {
+		if i > 0 && all[i-1] == w {
+			continue
+		}
+		if !sortedContains(L, w) {
+			cands = append(cands, w)
+		}
+	}
+	return cands
+}
+
+// extendBothSides grows the (kL, kR)-biplex (L, R) to a maximal one by
+// alternately scanning both sides in ascending order until a fixpoint, the
+// extension used by the frameworks that do not employ right-shrinking
+// traversal. On the transposed pass the side budgets swap.
+func extendBothSides(g *bigraph.Graph, L, R []int32, kL, kR int) ([]int32, []int32) {
+	curL := append([]int32(nil), L...)
+	curR := append([]int32(nil), R...)
+	gT := g.Transpose()
+	for {
+		nl := extendLeftOnly(g, curL, curR, kL, kR)
+		nr := extendLeftOnly(gT, curR, nl, kR, kL)
+		if len(nl) == len(curL) && len(nr) == len(curR) {
+			return nl, nr
+		}
+		curL, curR = nl, nr
+	}
+}

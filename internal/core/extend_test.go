@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/bitset"
+	"repro/internal/gen"
+)
+
+// TestExtendLeftOnlyMaximal verifies that after extension no further left
+// vertex is addable and the right side is untouched.
+func TestExtendLeftOnlyMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.ER(6, 6, 1.5, rng.Int63())
+		k := 1 + rng.Intn(2)
+		// Start from (∅, R) — always a k-biplex.
+		r := make([]int32, g.NumRight())
+		for i := range r {
+			r[i] = int32(i)
+		}
+		l := extendLeftOnly(g, nil, r, k, k)
+		if !biplex.IsBiplex(g, l, r, k) {
+			t.Fatalf("extension broke the biplex: (%v,%v)", l, r)
+		}
+		// No left vertex addable: compare against greedy with right side
+		// frozen.
+		p := biplex.ExtendGreedy(g, biplex.Pair{L: l, R: r}, k, nil, bitset.New(g.NumRight()))
+		if len(p.L) != len(l) {
+			t.Fatalf("left extension not maximal: %v vs %v", l, p.L)
+		}
+	}
+}
+
+// TestExtendLeftOnlyDeterministic ensures the pre-set ascending order.
+func TestExtendLeftOnlyDeterministic(t *testing.T) {
+	g := gen.ER(8, 8, 2, 4)
+	r := []int32{0, 1, 2}
+	a := extendLeftOnly(g, nil, r, 1, 1)
+	b := extendLeftOnly(g, nil, r, 1, 1)
+	if !eqIDs(a, b) {
+		t.Fatal("extension not deterministic")
+	}
+}
+
+// TestExtendLeftOnlySmallR exercises the |R| <= k special path where every
+// left vertex is a candidate.
+func TestExtendLeftOnlySmallR(t *testing.T) {
+	g := gen.ER(5, 5, 0.5, 9)
+	// R of size 1 with k=1: every left vertex satisfies its own constraint
+	// (misses ≤ 1), but the right vertex can tolerate only one missing
+	// left member, so the result is bounded by deg(u)+k.
+	r := []int32{0}
+	l := extendLeftOnly(g, nil, r, 1, 1)
+	if !biplex.IsBiplex(g, l, r, 1) {
+		t.Fatalf("result (%v,%v) not a 1-biplex", l, r)
+	}
+	if want := g.DegR(0) + 1; len(l) != want {
+		t.Fatalf("left side = %v, want size %d (deg+k)", l, want)
+	}
+	p := biplex.ExtendGreedy(g, biplex.Pair{L: l, R: r}, 1, nil, bitset.New(g.NumRight()))
+	if len(p.L) != len(l) {
+		t.Fatalf("not left-maximal: %v vs %v", l, p.L)
+	}
+}
+
+// TestExtendBothSidesMatchesGreedy compares against the reference
+// implementation in the biplex package.
+func TestExtendBothSidesMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.ER(6, 6, 1.5, rng.Int63())
+		k := 1
+		l, r := extendBothSides(g, nil, nil, k, k)
+		if !biplex.IsBiplex(g, l, r, k) || !biplex.IsMaximal(g, l, r, k) {
+			t.Fatalf("extendBothSides produced non-maximal (%v,%v)", l, r)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+// TestAsymmetricKVsOracle is the correctness gate for the per-side
+// generalization (kL ≠ kR): every framework that supports it must match
+// the generalized brute-force oracle.
+func TestAsymmetricKVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	budgets := [][2]int{{1, 2}, {2, 1}, {1, 3}, {3, 1}, {2, 3}}
+	for trial := 0; trial < 40; trial++ {
+		g := gen.ER(2+rng.Intn(5), 2+rng.Intn(5), 0.5+rng.Float64()*2, rng.Int63())
+		kb := budgets[trial%len(budgets)]
+		kL, kR := kb[0], kb[1]
+		want := biplex.BruteForceLR(g, kL, kR)
+
+		for _, tc := range []struct {
+			name string
+			opts Options
+		}{
+			{"iTraversal", ITraversal(1)},
+			{"iTraversal-ES", func() Options { o := ITraversal(1); o.Exclusion = false; return o }()},
+			{"iTraversal-ES-RS", func() Options {
+				o := ITraversal(1)
+				o.Exclusion = false
+				o.RightShrinking = false
+				return o
+			}()},
+			{"bTraversal", BTraversal(1)},
+			{"iTraversal-L1R1", func() Options { o := ITraversal(1); o.Variant = EASL1R1; return o }()},
+		} {
+			opts := tc.opts
+			opts.K = 0
+			opts.KLeft, opts.KRight = kL, kR
+			got, _, err := Collect(g, opts)
+			if err != nil {
+				t.Fatalf("%s kL=%d kR=%d: %v", tc.name, kL, kR, err)
+			}
+			if !equalSets(got, want) {
+				t.Fatalf("%s kL=%d kR=%d trial %d: got %d solutions, oracle %d\n got  %v\n want %v\n edges %v",
+					tc.name, kL, kR, trial, len(got), len(want), got, want, dumpEdges(g))
+			}
+		}
+	}
+}
+
+// TestAsymmetricTheta combines per-side budgets with per-side size
+// thresholds.
+func TestAsymmetricTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ER(4+rng.Intn(4), 4+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		kL, kR := 1, 2
+		thetaL, thetaR := 2, 3
+		var want []biplex.Pair
+		for _, p := range biplex.BruteForceLR(g, kL, kR) {
+			if len(p.L) >= thetaL && len(p.R) >= thetaR {
+				want = append(want, p)
+			}
+		}
+		opts := ITraversal(1)
+		opts.K = 0
+		opts.KLeft, opts.KRight = kL, kR
+		opts.ThetaL, opts.ThetaR = thetaL, thetaR
+		got, _, err := Collect(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSets(got, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+// TestInflationRejectsAsymmetricK: the (k+1)-plex correspondence is
+// symmetric, so the Inflation variant must refuse kL ≠ kR.
+func TestInflationRejectsAsymmetricK(t *testing.T) {
+	g := gen.ER(3, 3, 1, 1)
+	opts := ITraversal(1)
+	opts.Variant = EASInflation
+	opts.KLeft, opts.KRight = 1, 2
+	if _, err := Enumerate(g, opts, nil); err == nil {
+		t.Fatal("Inflation accepted kL != kR")
+	}
+}
+
+// TestKLKROverrideSemantics: KLeft/KRight override K; zero fields fall
+// back to K.
+func TestKLKROverrideSemantics(t *testing.T) {
+	g := gen.ER(4, 4, 1.5, 2)
+	base, _, err := Collect(g, ITraversal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ITraversal(1)
+	opts.KLeft, opts.KRight = 2, 2
+	viaLR, _, err := Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(base, viaLR) {
+		t.Fatal("KLeft=KRight=2 differs from K=2")
+	}
+	// Only one side overridden: KLeft=2 with K=1 means kR=1.
+	opts = ITraversal(1)
+	opts.KLeft = 2
+	gotMixed, _, err := Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := biplex.BruteForceLR(g, 2, 1)
+	if !equalSets(gotMixed, want) {
+		t.Fatalf("KLeft=2,K=1: got %v want %v", gotMixed, want)
+	}
+}

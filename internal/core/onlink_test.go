@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+	"repro/internal/vskey"
+)
+
+// TestOnLinkMatchesCountLinks verifies the hook fires exactly once per
+// counted link for every framework variant, including bTraversal's
+// mirrored (right-side) expansions.
+func TestOnLinkMatchesCountLinks(t *testing.T) {
+	g := gen.ER(8, 8, 1.6, 11)
+	for _, opts := range []Options{BTraversal(1), ITraversal(1)} {
+		var hookCalls int64
+		opts.CountLinks = true
+		opts.OnLink = func(from, to biplex.Pair) {
+			hookCalls++
+		}
+		st, err := Enumerate(g, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hookCalls != st.Links {
+			t.Fatalf("%s: OnLink fired %d times, Stats.Links = %d", Describe(opts), hookCalls, st.Links)
+		}
+	}
+}
+
+// TestOnLinkEndpointsAreSolutions checks both endpoints of every link are
+// maximal k-biplexes in the correct (un-mirrored) orientation.
+func TestOnLinkEndpointsAreSolutions(t *testing.T) {
+	g := gen.ER(7, 9, 1.5, 3) // asymmetric sides catch orientation bugs
+	opts := BTraversal(1)     // bTraversal exercises the mirrored path
+	opts.OnLink = func(from, to biplex.Pair) {
+		for _, p := range []biplex.Pair{from, to} {
+			if !biplex.IsBiplex(g, p.L, p.R, 1) || !biplex.IsMaximal(g, p.L, p.R, 1) {
+				t.Fatalf("link endpoint %v is not a maximal 1-biplex", p)
+			}
+		}
+	}
+	if _, err := Enumerate(g, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnLinkFromIsAlreadyStored checks link sources were discovered
+// before they emit links (the DFS invariant the solution graph relies
+// on).
+func TestOnLinkFromIsAlreadyStored(t *testing.T) {
+	g := gen.ER(8, 8, 1.8, 9)
+	seen := map[string]bool{}
+	opts := ITraversal(1)
+	h0, err := InitialSolution(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen[string(vskey.Encode(nil, h0.L, h0.R))] = true
+	opts.OnLink = func(from, to biplex.Pair) {
+		if !seen[string(vskey.Encode(nil, from.L, from.R))] {
+			t.Fatalf("link from undiscovered solution %v", from)
+		}
+		seen[string(vskey.Encode(nil, to.L, to.R))] = true
+	}
+	if _, err := Enumerate(g, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/btree"
+	"repro/internal/vskey"
+)
+
+// EnumerateParallel enumerates MBPs with several workers — the "efficient
+// parallel implementation" the paper lists as future work (Section 8).
+//
+// The sparsified solution graph is a static structure whose reachability
+// from H0 does not depend on visit order, so a multi-source DFS with a
+// shared visited store covers exactly the solutions reachable from H0:
+// every worker marks a solution in the shared deduplication store before
+// expanding it, so each solution is expanded exactly once across the
+// pool, and the union of the workers' traversals equals the sequential
+// traversal's reach.
+//
+// The exclusion strategy's pruning is justified by the sequential visit
+// order, so it is disabled here: parallel runs use iTraversal-ES
+// semantics (still left-anchored and right-shrinking). Workers ≤ 0
+// selects GOMAXPROCS. Emission order is nondeterministic; the solution
+// set equals the sequential one. Delay guarantees do not transfer.
+func EnumerateParallel(g *bigraph.Graph, opts Options, workers int, emit EmitFunc) (Stats, error) {
+	opts.Exclusion = false
+	opts.CountLinks = false
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kL, kR := opts.KLeft, opts.KRight
+	if kL == 0 {
+		kL = opts.K
+	}
+	if kR == 0 {
+		kR = opts.K
+	}
+	if kL < 1 || kR < 1 {
+		return Stats{}, errors.New("core: K (or KLeft/KRight) must be at least 1")
+	}
+	if opts.Variant == EASInflation && kL != kR {
+		return Stats{}, errors.New("core: the Inflation variant requires KLeft == KRight")
+	}
+	if (opts.ThetaL > 0 || opts.ThetaR > 0) && (!opts.RightShrinking || !opts.InitialRightFull) {
+		return Stats{}, errors.New("core: Theta pruning requires the right-shrinking framework")
+	}
+
+	gT := g.Transpose()
+	h0 := initialSolution(g, kL, kR, opts.InitialRightFull)
+
+	sh := &parShared{emit: emit, maxResults: opts.MaxResults, thetaL: opts.ThetaL, thetaR: opts.ThetaR}
+	sh.cond = sync.NewCond(&sh.mu)
+	sh.store.Insert(vskey.Encode(nil, h0.L, h0.R))
+	sh.stored = 1
+	sh.output(h0)
+	sh.push(h0)
+
+	// Workers cooperatively cancel when the shared run stops or the
+	// caller's cancel fires.
+	userCancel := opts.Cancel
+	opts.Cancel = func() bool {
+		if userCancel != nil && userCancel() {
+			return true
+		}
+		return sh.stoppedNow()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := &engine{g: g, gT: gT, opts: opts, kL: kL, kR: kR, store: sh}
+			e.onChild = func(child biplex.Pair) {
+				if sh.output(child) {
+					sh.push(child)
+				}
+			}
+			for {
+				h, ok := sh.pop()
+				if !ok {
+					return
+				}
+				e.stopped = false
+				e.expand(h, nil, 0)
+				sh.finish()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return Stats{Solutions: sh.solutions, Stored: sh.stored}, nil
+}
+
+// parShared is the cross-worker state: the dedup store (as a
+// solutionStore), the work queue, and emission accounting.
+type parShared struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	store   btree.Tree
+	stored  int64
+	queue   []biplex.Pair
+	active  int
+	stopped bool
+
+	emitMu     sync.Mutex
+	emit       EmitFunc
+	solutions  int64
+	maxResults int
+	thetaL     int
+	thetaR     int
+}
+
+// Insert implements solutionStore with locking.
+func (s *parShared) Insert(key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.store.Insert(key) {
+		return false
+	}
+	s.stored++
+	return true
+}
+
+// output emits the solution (theta-filtered) and reports whether the run
+// is still live.
+func (s *parShared) output(p biplex.Pair) bool {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.stoppedNow() {
+		return false
+	}
+	if len(p.L) >= s.thetaL && len(p.R) >= s.thetaR {
+		s.solutions++
+		stop := false
+		if s.emit != nil && !s.emit(p) {
+			stop = true
+		}
+		if s.maxResults > 0 && s.solutions >= int64(s.maxResults) {
+			stop = true
+		}
+		if stop {
+			s.mu.Lock()
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return false
+		}
+	}
+	return true
+}
+
+func (s *parShared) stoppedNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+func (s *parShared) push(p biplex.Pair) {
+	s.mu.Lock()
+	s.queue = append(s.queue, p)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// pop blocks until work is available or the pool drains; ok=false means
+// the worker should exit.
+func (s *parShared) pop() (biplex.Pair, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return biplex.Pair{}, false
+		}
+		if len(s.queue) > 0 {
+			p := s.queue[len(s.queue)-1]
+			s.queue = s.queue[:len(s.queue)-1]
+			s.active++
+			return p, true
+		}
+		if s.active == 0 {
+			s.cond.Broadcast() // wake everyone for shutdown
+			return biplex.Pair{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish marks one unit of work complete.
+func (s *parShared) finish() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && len(s.queue) == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}

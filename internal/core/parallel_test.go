@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+// TestParallelMatchesSequential is the parallel driver's correctness
+// gate: identical solution sets for 1, 2 and 8 workers across random
+// graphs and parameters (run with -race to exercise the locking).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ER(4+rng.Intn(8), 4+rng.Intn(8), 1+rng.Float64()*2, rng.Int63())
+		k := 1 + rng.Intn(2)
+		want, _, err := Collect(g, ITraversal(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			var mu sync.Mutex
+			var got []biplex.Pair
+			st, err := EnumerateParallel(g, ITraversal(k), workers, func(p biplex.Pair) bool {
+				mu.Lock()
+				got = append(got, p.Clone())
+				mu.Unlock()
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			biplex.SortPairs(got)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d workers=%d k=%d: %d solutions, sequential %d",
+					trial, workers, k, len(got), len(want))
+			}
+			if st.Solutions != int64(len(want)) {
+				t.Fatalf("stats.Solutions = %d, want %d", st.Solutions, len(want))
+			}
+		}
+	}
+}
+
+// TestParallelTheta checks the large-MBP path under parallelism.
+func TestParallelTheta(t *testing.T) {
+	g := gen.ER(10, 10, 2, 7)
+	theta := 3
+	opts := ITraversal(1)
+	opts.ThetaL, opts.ThetaR = theta, theta
+	want, _, err := Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []biplex.Pair
+	if _, err := EnumerateParallel(g, opts, 4, func(p biplex.Pair) bool {
+		mu.Lock()
+		got = append(got, p.Clone())
+		mu.Unlock()
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(got)
+	if !equalSets(got, want) {
+		t.Fatalf("parallel theta: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestParallelMaxResults checks early stop propagates across workers.
+func TestParallelMaxResults(t *testing.T) {
+	g := gen.ER(12, 12, 2.5, 3)
+	all, _, err := Collect(g, ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Skip("not enough solutions")
+	}
+	opts := ITraversal(1)
+	opts.MaxResults = 5
+	var mu sync.Mutex
+	n := 0
+	st, err := EnumerateParallel(g, opts, 4, func(biplex.Pair) bool {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || st.Solutions != 5 {
+		t.Fatalf("MaxResults=5: emitted %d (stats %d)", n, st.Solutions)
+	}
+}
+
+// TestParallelEmitStop checks that an emit returning false halts the
+// whole pool.
+func TestParallelEmitStop(t *testing.T) {
+	g := gen.ER(12, 12, 2.5, 5)
+	var mu sync.Mutex
+	n := 0
+	if _, err := EnumerateParallel(g, ITraversal(1), 4, func(biplex.Pair) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("emitted %d after stop at 3", n)
+	}
+}
+
+// TestParallelValidation mirrors the sequential validation rules.
+func TestParallelValidation(t *testing.T) {
+	g := gen.ER(3, 3, 1, 1)
+	if _, err := EnumerateParallel(g, Options{K: 0}, 2, nil); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	bad := BTraversal(1)
+	bad.ThetaR = 2
+	if _, err := EnumerateParallel(g, bad, 2, nil); err == nil {
+		t.Fatal("theta without right-shrinking accepted")
+	}
+}
+
+// TestParallelAsymmetric checks kL/kR under parallelism.
+func TestParallelAsymmetric(t *testing.T) {
+	g := gen.ER(6, 6, 1.5, 11)
+	want := biplex.BruteForceLR(g, 2, 1)
+	opts := ITraversal(1)
+	opts.K = 0
+	opts.KLeft, opts.KRight = 2, 1
+	var mu sync.Mutex
+	var got []biplex.Pair
+	if _, err := EnumerateParallel(g, opts, 3, func(p biplex.Pair) bool {
+		mu.Lock()
+		got = append(got, p.Clone())
+		mu.Unlock()
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(got)
+	if !equalSets(got, want) {
+		t.Fatalf("parallel asymmetric: %d vs oracle %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/abcore"
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+)
+
+// LargestBalanced returns a maximal (kL,kR)-biplex of g maximizing
+// min(|L|, |R|); ok is false when no MBP with both sides non-empty
+// exists. It binary-searches the balanced threshold θ — "an MBP with both
+// sides ≥ θ exists" is monotone in θ — and each probe runs the Section 5
+// pruned enumeration on the (θ−k)-core with MaxResults = 1, so no probe
+// enumerates more than one solution.
+func LargestBalanced(g *bigraph.Graph, kL, kR int) (biplex.Pair, bool, error) {
+	if kL < 1 || kR < 1 {
+		return biplex.Pair{}, false, errors.New("core: budgets must be at least 1")
+	}
+	probe := func(theta int) (biplex.Pair, bool, error) {
+		run, lback, rback := abcore.ThetaCoreLRK(g, theta, theta, kL, kR)
+		if run.NumLeft() < theta || run.NumRight() < theta {
+			return biplex.Pair{}, false, nil
+		}
+		opts := ITraversal(1)
+		opts.K, opts.KLeft, opts.KRight = 0, kL, kR
+		opts.ThetaL, opts.ThetaR = theta, theta
+		opts.MaxResults = 1
+		var found biplex.Pair
+		ok := false
+		_, err := Enumerate(run, opts, func(p biplex.Pair) bool {
+			found = biplex.Pair{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
+			for i, v := range p.L {
+				found.L[i] = lback[v]
+			}
+			for i, u := range p.R {
+				found.R[i] = rback[u]
+			}
+			ok = true
+			return false
+		})
+		return found, ok, err
+	}
+
+	hi := g.NumLeft()
+	if g.NumRight() < hi {
+		hi = g.NumRight()
+	}
+	if hi < 1 {
+		return biplex.Pair{}, false, nil
+	}
+	best, ok, err := probe(1)
+	if err != nil || !ok {
+		return biplex.Pair{}, false, err
+	}
+	lo := 1
+	// Invariant: a solution exists at θ = lo; none is known above hi.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		s, ok, err := probe(mid)
+		if err != nil {
+			return biplex.Pair{}, false, err
+		}
+		if ok {
+			best, lo = s, mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, true, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import "sort"
+
+// Helpers over sorted []int32 vertex-id sets. Solutions are kept as sorted
+// slices (not bitsets over the full vertex space) so that per-frame state
+// stays proportional to the solution size even on very large graphs.
+
+// sortedContains reports whether x occurs in the ascending slice a.
+func sortedContains(a []int32, x int32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// sortedIntersectCount returns |a ∩ b| for ascending slices.
+func sortedIntersectCount(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// Galloping when the size gap is large, merge otherwise.
+	if len(b) > 8*len(a) {
+		n := 0
+		for _, x := range a {
+			if sortedContains(b, x) {
+				n++
+			}
+		}
+		return n
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// sortedIntersect appends a ∩ b to dst and returns it.
+func sortedIntersect(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// sortedSubtract appends a \ b to dst and returns it.
+func sortedSubtract(dst, a, b []int32) []int32 {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// sortedMerge appends the ascending union of a and b (assumed disjoint)
+// to dst and returns it.
+func sortedMerge(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// sortedInsert returns a with x inserted in order (no-op if present).
+func sortedInsert(a []int32, x int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i < len(a) && a[i] == x {
+		return a
+	}
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	return a
+}

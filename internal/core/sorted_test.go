@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ids(xs ...int32) []int32 { return xs }
+
+func TestSortedContains(t *testing.T) {
+	a := ids(1, 3, 5, 7)
+	for _, x := range a {
+		if !sortedContains(a, x) {
+			t.Errorf("sortedContains(%v, %d) = false", a, x)
+		}
+	}
+	for _, x := range ids(0, 2, 8) {
+		if sortedContains(a, x) {
+			t.Errorf("sortedContains(%v, %d) = true", a, x)
+		}
+	}
+	if sortedContains(nil, 1) {
+		t.Error("sortedContains(nil, 1) = true")
+	}
+}
+
+func TestSortedSetOps(t *testing.T) {
+	a := ids(1, 2, 4, 8)
+	b := ids(2, 3, 8, 9)
+	if got := sortedIntersect(nil, a, b); !eqIDs(got, ids(2, 8)) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := sortedSubtract(nil, a, b); !eqIDs(got, ids(1, 4)) {
+		t.Errorf("subtract = %v", got)
+	}
+	if got := sortedMerge(nil, ids(1, 4), ids(2, 3, 9)); !eqIDs(got, ids(1, 2, 3, 4, 9)) {
+		t.Errorf("merge = %v", got)
+	}
+	if got := sortedIntersectCount(a, b); got != 2 {
+		t.Errorf("intersect count = %d", got)
+	}
+}
+
+func TestSortedInsert(t *testing.T) {
+	a := ids(1, 5)
+	a = sortedInsert(a, 3)
+	if !eqIDs(a, ids(1, 3, 5)) {
+		t.Fatalf("insert mid = %v", a)
+	}
+	a = sortedInsert(a, 0)
+	a = sortedInsert(a, 9)
+	a = sortedInsert(a, 3) // duplicate: no-op
+	if !eqIDs(a, ids(0, 1, 3, 5, 9)) {
+		t.Fatalf("inserts = %v", a)
+	}
+}
+
+func TestIntersectCountGallopPath(t *testing.T) {
+	// Force the galloping branch: |b| > 8|a|.
+	var b []int32
+	for i := int32(0); i < 100; i += 2 {
+		b = append(b, i)
+	}
+	a := ids(0, 51, 98)
+	if got := sortedIntersectCount(a, b); got != 2 {
+		t.Fatalf("gallop count = %d, want 2", got)
+	}
+}
+
+func TestInsertionSortInt32(t *testing.T) {
+	a := ids(5, 1, 4, 1, 3)
+	insertionSortInt32(a)
+	if !eqIDs(a, ids(1, 1, 3, 4, 5)) {
+		t.Fatalf("sorted = %v", a)
+	}
+	insertionSortInt32(nil) // must not panic
+}
+
+// TestQuickSetOpsVsMaps validates the sorted-set algebra against map
+// models on random inputs.
+func TestQuickSetOpsVsMaps(t *testing.T) {
+	gen := func(rng *rand.Rand) []int32 {
+		m := map[int32]bool{}
+		for i := 0; i < rng.Intn(30); i++ {
+			m[int32(rng.Intn(40))] = true
+		}
+		var out []int32
+		for x := range m {
+			out = append(out, x)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		inter := sortedIntersect(nil, a, b)
+		sub := sortedSubtract(nil, a, b)
+		if len(inter)+len(sub) != len(a) {
+			return false
+		}
+		if sortedIntersectCount(a, b) != len(inter) {
+			return false
+		}
+		for _, x := range inter {
+			if !sortedContains(a, x) || !sortedContains(b, x) {
+				return false
+			}
+		}
+		for _, x := range sub {
+			if !sortedContains(a, x) || sortedContains(b, x) {
+				return false
+			}
+		}
+		// merge of disjoint parts reconstructs a.
+		if !eqIDs(sortedMerge(nil, inter, sub), a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eqIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

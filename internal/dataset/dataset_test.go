@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+)
+
+// TestPaperExampleConstraints re-verifies every textual property the
+// paper states about the Figure 1 running example with k=1.
+func TestPaperExampleConstraints(t *testing.T) {
+	g := PaperExample()
+	if g.NumLeft() != 5 || g.NumRight() != 5 || g.NumEdges() != 16 {
+		t.Fatalf("shape: %v", g)
+	}
+	k := 1
+	mustMBP := func(L, R []int32) {
+		t.Helper()
+		if !biplex.IsBiplex(g, L, R, k) {
+			t.Fatalf("(%v,%v) not a 1-biplex", L, R)
+		}
+		if !biplex.IsMaximal(g, L, R, k) {
+			t.Fatalf("(%v,%v) not maximal", L, R)
+		}
+	}
+	// H0 = ({v4}, R) — Section 3.2.
+	mustMBP([]int32{4}, []int32{0, 1, 2, 3, 4})
+	// H1 = ({v0,v1,v4}, {u0,u1,u2,u3}) — Example 3.2.
+	mustMBP([]int32{0, 1, 4}, []int32{0, 1, 2, 3})
+	// H'' = ({v1,v2,v4}, {u0,u1,u2}) — Example 3.2.
+	mustMBP([]int32{1, 2, 4}, []int32{0, 1, 2})
+	// Exactly 10 MBPs (Figure 3 has 10 solution nodes).
+	if sols := biplex.BruteForce(g, k); len(sols) != 10 {
+		t.Fatalf("MBP count = %d, want 10", len(sols))
+	}
+}
+
+// TestPaperExampleLinkCounts reproduces Figure 3: 76 links for
+// bTraversal's G, 41 for G_L, 21 for G_R, 13 for G_E.
+func TestPaperExampleLinkCounts(t *testing.T) {
+	g := PaperExample()
+	it := core.ITraversal(1)
+	itES := it
+	itES.Exclusion = false
+	itESRS := itES
+	itESRS.RightShrinking = false
+	bt := core.BTraversal(1)
+
+	cases := []struct {
+		name string
+		opts core.Options
+		want int64
+	}{
+		{"G (bTraversal)", bt, 76},
+		{"G_L (left-anchored)", itESRS, 41},
+		{"G_R (right-shrinking)", itES, 21},
+		{"G_E (iTraversal)", it, 13},
+	}
+	for _, c := range cases {
+		links, sols, err := core.SolutionGraphLinks(g, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sols != 10 {
+			t.Errorf("%s: %d solutions, want 10", c.name, sols)
+		}
+		if links != c.want {
+			t.Errorf("%s: %d links, want %d", c.name, links, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Table1) != 10 {
+		t.Fatalf("Table1 has %d datasets, want 10", len(Table1))
+	}
+	if _, err := ByName("NoSuch"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	info, err := ByName("Writer")
+	if err != nil || info.E != 144340 {
+		t.Fatalf("ByName(Writer) = %+v, %v", info, err)
+	}
+	if len(Names()) != 10 || Names()[0] != "Divorce" {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestLoadSmallAtPaperScale(t *testing.T) {
+	g, info, err := Load("Divorce", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != info.L || g.NumRight() != info.R {
+		t.Fatalf("sizes %d,%d want %d,%d", g.NumLeft(), g.NumRight(), info.L, info.R)
+	}
+	// Zipf resampling can fall slightly short of E on dense inputs.
+	if g.NumEdges() < info.E*9/10 {
+		t.Fatalf("edges %d, want about %d", g.NumEdges(), info.E)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadScalesDown(t *testing.T) {
+	g, _, err := Load("DBLP", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() > 20000 {
+		t.Fatalf("edges %d exceed cap", g.NumEdges())
+	}
+	if g.NumLeft() < 100 || g.NumRight() < 100 {
+		t.Fatalf("scaled sizes too small: %d,%d", g.NumLeft(), g.NumRight())
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _, _ := Load("Crime", 0)
+	b, _, _ := Load("Crime", 0)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("Load not deterministic")
+	}
+	same := true
+	a.Edges(func(v, u int32) bool {
+		if !b.HasEdge(v, u) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("Load not deterministic")
+	}
+}
+
+func TestLoadRealFileOverride(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "Divorce.txt"), []byte("0 0\n1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(DataDirEnv, dir)
+	g, info, err := Load("Divorce", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "Divorce" {
+		t.Fatalf("info = %+v", info)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("real file not used: %v", g)
+	}
+	// Datasets without a file fall back to the stand-in.
+	g2, _, err := Load("Cfat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() < 700 {
+		t.Fatalf("fallback stand-in wrong: %v", g2)
+	}
+	// A malformed real file is an error, not a silent fallback.
+	if err := os.WriteFile(filepath.Join(dir, "Crime.txt"), []byte("bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load("Crime", 0); err == nil {
+		t.Fatal("malformed real file silently ignored")
+	}
+}

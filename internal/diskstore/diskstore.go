@@ -1,0 +1,627 @@
+// Package diskstore provides a disk-backed deduplication store for
+// solution keys, letting the traversal engines handle solution sets larger
+// than memory. The paper's Algorithm 1/2 keep found solutions in an
+// in-memory B-tree; on billion-edge inputs (Figure 9(a)) the number of
+// MBPs can exceed memory, so this package spills the set to disk with an
+// LSM-flavoured layout:
+//
+//   - new keys accumulate in an in-memory B-tree memtable;
+//   - a full memtable flushes to an immutable sorted run file;
+//   - each run carries an in-memory Bloom filter and a sparse index
+//     (every indexStride-th key with its file offset), so a membership
+//     probe costs at most one block read;
+//   - when the number of runs exceeds Options.MaxRuns they are k-way
+//     merged into a single run.
+//
+// Run file format (all integers little-endian):
+//
+//	magic "KBPRUN1\n" | uint32 keyCount | (uvarint len | key)* | uint32 CRC32
+//
+// The CRC covers everything between the magic and the checksum. Keys
+// within a run are strictly ascending and unique across the whole store
+// (Insert checks membership before admitting a key).
+package diskstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/btree"
+)
+
+var magic = [8]byte{'K', 'B', 'P', 'R', 'U', 'N', '1', '\n'}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the directory that holds run files. It must exist.
+	Dir string
+	// FlushKeys is the number of memtable keys that triggers a flush to a
+	// run file (default 1 << 16).
+	FlushKeys int
+	// MaxRuns triggers a full merge when the number of run files exceeds
+	// it (default 8).
+	MaxRuns int
+	// BloomBitsPerKey sizes the per-run Bloom filters (default 10, ~1%
+	// false positives, which only cost an extra block read).
+	BloomBitsPerKey int
+}
+
+func (o *Options) fill() {
+	if o.FlushKeys <= 0 {
+		o.FlushKeys = 1 << 16
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 8
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+}
+
+// Store is a disk-backed set of byte keys. It is not safe for concurrent
+// use; wrap it in a mutex to share it (core.EnumerateParallel's shared
+// store does exactly that for its own store).
+type Store struct {
+	opts   Options
+	mem    btree.Tree
+	runs   []*run
+	nextID int
+	count  int64 // total distinct keys
+	err    error // first I/O error; the store degrades to memory-only
+}
+
+// Open creates a store over dir, loading any run files a previous store
+// left there (so a crashed enumeration can resume deduplication).
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("diskstore: Options.Dir is required")
+	}
+	st, err := os.Stat(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("diskstore: %s is not a directory", opts.Dir)
+	}
+	s := &Store{opts: opts}
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "*.run"))
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, err := loadRun(name, opts.BloomBitsPerKey)
+		if err != nil {
+			s.closeRuns()
+			return nil, err
+		}
+		s.runs = append(s.runs, r)
+		s.count += int64(r.count)
+		if id := runID(name); id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	return s, nil
+}
+
+func runID(name string) int {
+	var id int
+	fmt.Sscanf(filepath.Base(name), "%06d.run", &id)
+	return id
+}
+
+// Insert adds key to the set and reports whether it was absent. It
+// satisfies the traversal engines' solution-store contract. I/O failures
+// do not lose keys: the store records the first error (see Err) and keeps
+// deduplicating from memory.
+func (s *Store) Insert(key []byte) bool {
+	if s.Has(key) {
+		return false
+	}
+	s.mem.Insert(key)
+	s.count++
+	if s.err == nil && s.mem.Len() >= s.opts.FlushKeys {
+		if err := s.flush(); err != nil {
+			s.err = err
+		}
+	}
+	return true
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key []byte) bool {
+	if s.mem.Has(key) {
+		return true
+	}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		ok, err := s.runs[i].contains(key)
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			continue
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct keys inserted.
+func (s *Store) Len() int64 { return s.count }
+
+// Runs returns the current number of on-disk run files (observability and
+// tests).
+func (s *Store) Runs() int { return len(s.runs) }
+
+// Err returns the first I/O error the store encountered, if any. A store
+// with a non-nil Err still deduplicates correctly, holding everything it
+// could not spill in memory.
+func (s *Store) Err() error { return s.err }
+
+// Flush forces the memtable to disk (normally done automatically).
+func (s *Store) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.flush()
+}
+
+// Close flushes nothing (the store is a cache of what is already safe) and
+// releases the run file handles. The run files remain on disk.
+func (s *Store) Close() error {
+	s.closeRuns()
+	return s.err
+}
+
+func (s *Store) closeRuns() {
+	for _, r := range s.runs {
+		r.close()
+	}
+	s.runs = nil
+}
+
+func (s *Store) flush() error {
+	if s.mem.Len() == 0 {
+		return nil
+	}
+	name := filepath.Join(s.opts.Dir, fmt.Sprintf("%06d.run", s.nextID))
+	r, err := writeRun(name, s.mem.Len(), s.opts.BloomBitsPerKey, func(emit func(key []byte) error) error {
+		var inner error
+		s.mem.Ascend(func(key []byte) bool {
+			inner = emit(key)
+			return inner == nil
+		})
+		return inner
+	})
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	s.runs = append(s.runs, r)
+	s.mem = btree.Tree{}
+	if len(s.runs) > s.opts.MaxRuns {
+		return s.compact()
+	}
+	return nil
+}
+
+// compact merges every run into one. Runs hold disjoint key sets (Insert
+// screens duplicates), so the merge never sees equal keys; it still
+// tolerates them for robustness.
+func (s *Store) compact() error {
+	total := 0
+	cursors := make([]*runCursor, len(s.runs))
+	for i, r := range s.runs {
+		c, err := r.cursor()
+		if err != nil {
+			for _, cc := range cursors[:i] {
+				cc.close()
+			}
+			return err
+		}
+		cursors[i] = c
+		total += r.count
+	}
+	name := filepath.Join(s.opts.Dir, fmt.Sprintf("%06d.run", s.nextID))
+	merged, err := writeRun(name, total, s.opts.BloomBitsPerKey, func(emit func(key []byte) error) error {
+		return mergeCursors(cursors, emit)
+	})
+	for _, c := range cursors {
+		c.close()
+	}
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	old := s.runs
+	s.runs = []*run{merged}
+	for _, r := range old {
+		r.close()
+		os.Remove(r.path)
+	}
+	return nil
+}
+
+// mergeCursors streams the ascending union of the cursors, dropping
+// duplicate keys.
+func mergeCursors(cursors []*runCursor, emit func(key []byte) error) error {
+	var last []byte
+	havePrev := false
+	for {
+		best := -1
+		for i, c := range cursors {
+			if !c.valid {
+				continue
+			}
+			if best == -1 || bytes.Compare(c.key, cursors[best].key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		c := cursors[best]
+		if !havePrev || !bytes.Equal(last, c.key) {
+			if err := emit(c.key); err != nil {
+				return err
+			}
+			last = append(last[:0], c.key...)
+			havePrev = true
+		}
+		if err := c.next(); err != nil {
+			return err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Run files.
+
+// indexStride is the sparse-index granularity: one retained key per this
+// many keys, bounding a probe to one ~stride-key block read.
+const indexStride = 64
+
+type run struct {
+	path  string
+	f     *os.File
+	count int
+	bloom bloom
+	// Sparse index: sparseKeys[i] is the (i*indexStride)-th key of the
+	// run, located at file offset sparseOffs[i]; dataEnd is the offset
+	// just past the last key.
+	sparseKeys [][]byte
+	sparseOffs []int64
+	dataEnd    int64
+}
+
+func (r *run) close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}
+
+// writeRun streams keys (ascending) from produce into a new run file and
+// returns the opened run. count is the exact number of keys produce will
+// emit; it is validated.
+func writeRun(path string, count, bloomBits int, produce func(emit func(key []byte) error) error) (*run, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
+
+	if _, err := bw.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(count))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+
+	r := &run{path: path, count: count, bloom: newBloom(count, bloomBits)}
+	offset := int64(len(magic) + 4)
+	written := 0
+	var lenBuf [binary.MaxVarintLen64]byte
+	emit := func(key []byte) error {
+		if written%indexStride == 0 {
+			r.sparseKeys = append(r.sparseKeys, append([]byte(nil), key...))
+			r.sparseOffs = append(r.sparseOffs, offset)
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+		if _, err := w.Write(lenBuf[:n]); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		if _, err := w.Write(key); err != nil {
+			return fmt.Errorf("diskstore: %w", err)
+		}
+		r.bloom.add(key)
+		offset += int64(n + len(key))
+		written++
+		return nil
+	}
+	if err := produce(emit); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if written != count {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("diskstore: run writer promised %d keys, produced %d", count, written)
+	}
+	r.dataEnd = offset
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	// Reopen read-only for probes.
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	r.f = rf
+	return r, nil
+}
+
+// loadRun reads a run file back, verifying the checksum and rebuilding the
+// Bloom filter and sparse index.
+func loadRun(path string, bloomBits int) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s: short header: %w", path, err)
+	}
+	if m != magic {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s: bad magic", path)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	var hdr [4]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s: short header: %w", path, err)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[:]))
+	r := &run{path: path, count: count, bloom: newBloom(count, bloomBits)}
+	offset := int64(len(magic) + 4)
+	var prev []byte
+	cr := &countingByteReader{r: tr}
+	for i := 0; i < count; i++ {
+		keyStart := offset + cr.n
+		klen, err := binary.ReadUvarint(cr)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("diskstore: %s: truncated at key %d: %w", path, i, err)
+		}
+		if klen > 1<<20 {
+			f.Close()
+			return nil, fmt.Errorf("diskstore: %s: implausible key length %d", path, klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(tr, key); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("diskstore: %s: truncated at key %d: %w", path, i, err)
+		}
+		cr.n += int64(klen)
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			f.Close()
+			return nil, fmt.Errorf("diskstore: %s: keys out of order at %d", path, i)
+		}
+		if i%indexStride == 0 {
+			r.sparseKeys = append(r.sparseKeys, key)
+			r.sparseOffs = append(r.sparseOffs, keyStart)
+		}
+		r.bloom.add(key)
+		prev = key
+	}
+	r.dataEnd = offset + cr.n
+	var want [4]byte
+	if _, err := io.ReadFull(br, want[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s: missing checksum: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(want[:]) != crc.Sum32() {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %s: checksum mismatch", path)
+	}
+	r.f = f
+	return r, nil
+}
+
+// countingByteReader adapts an io.Reader to io.ByteReader while counting
+// consumed bytes.
+type countingByteReader struct {
+	r   io.Reader
+	n   int64
+	buf [1]byte
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(c.r, c.buf[:]); err != nil {
+		return 0, err
+	}
+	c.n++
+	return c.buf[0], nil
+}
+
+// contains probes the run for key: Bloom filter, then sparse index, then
+// one block read.
+func (r *run) contains(key []byte) (bool, error) {
+	if r.count == 0 || !r.bloom.mayContain(key) {
+		return false, nil
+	}
+	// Find the last sparse entry with sparseKeys[i] <= key.
+	i := sort.Search(len(r.sparseKeys), func(i int) bool {
+		return bytes.Compare(r.sparseKeys[i], key) > 0
+	}) - 1
+	if i < 0 {
+		return false, nil
+	}
+	start := r.sparseOffs[i]
+	end := r.dataEnd
+	if i+1 < len(r.sparseOffs) {
+		end = r.sparseOffs[i+1]
+	}
+	block := make([]byte, end-start)
+	if _, err := r.f.ReadAt(block, start); err != nil {
+		return false, fmt.Errorf("diskstore: %s: block read: %w", r.path, err)
+	}
+	for len(block) > 0 {
+		klen, n := binary.Uvarint(block)
+		if n <= 0 || int(klen) > len(block)-n {
+			return false, fmt.Errorf("diskstore: %s: corrupt block at %d", r.path, start)
+		}
+		k := block[n : n+int(klen)]
+		switch bytes.Compare(k, key) {
+		case 0:
+			return true, nil
+		case 1:
+			return false, nil // past the key; ascending order
+		}
+		block = block[n+int(klen):]
+	}
+	return false, nil
+}
+
+// cursor returns a sequential reader over the run's keys (for compaction).
+func (r *run) cursor() (*runCursor, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	if _, err := br.Discard(len(magic) + 4); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	c := &runCursor{f: f, br: br, remaining: r.count}
+	if err := c.next(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+type runCursor struct {
+	f         *os.File
+	br        *bufio.Reader
+	key       []byte
+	remaining int
+	valid     bool
+}
+
+func (c *runCursor) next() error {
+	if c.remaining == 0 {
+		c.valid = false
+		return nil
+	}
+	klen, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		c.valid = false
+		return fmt.Errorf("diskstore: cursor: %w", err)
+	}
+	if cap(c.key) < int(klen) {
+		c.key = make([]byte, klen)
+	}
+	c.key = c.key[:klen]
+	if _, err := io.ReadFull(c.br, c.key); err != nil {
+		c.valid = false
+		return fmt.Errorf("diskstore: cursor: %w", err)
+	}
+	c.remaining--
+	c.valid = true
+	return nil
+}
+
+func (c *runCursor) close() { c.f.Close() }
+
+// ---------------------------------------------------------------------------
+// Bloom filter.
+
+// bloom is a standard double-hashing Bloom filter (Kirsch–Mitzenmacher):
+// k probe positions derived from two FNV-based hashes.
+type bloom struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+}
+
+func newBloom(keys, bitsPerKey int) bloom {
+	if keys < 1 {
+		keys = 1
+	}
+	nbits := uint64(keys * bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	hashes := int(float64(bitsPerKey) * 0.69) // ln 2
+	if hashes < 1 {
+		hashes = 1
+	}
+	if hashes > 12 {
+		hashes = 12
+	}
+	return bloom{bits: make([]uint64, (nbits+63)/64), nbits: nbits, hashes: hashes}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	// Second hash: rehash with a salt byte to decorrelate.
+	h.Write([]byte{0x9e})
+	return h1, h.Sum64()
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,481 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestModelAgainstMap drives the store with random inserts (with
+// duplicates) and compares every Insert verdict against a plain map,
+// using a tiny flush threshold to force many runs and compactions.
+func TestModelAgainstMap(t *testing.T) {
+	s := mustOpen(t, Options{FlushKeys: 16, MaxRuns: 3})
+	model := map[string]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", rng.Intn(1200)))
+		got := s.Insert(key)
+		want := !model[string(key)]
+		if got != want {
+			t.Fatalf("insert %d (%s): got %v want %v", i, key, got, want)
+		}
+		model[string(key)] = true
+	}
+	if s.Err() != nil {
+		t.Fatalf("store error: %v", s.Err())
+	}
+	if s.Len() != int64(len(model)) {
+		t.Fatalf("Len: got %d want %d", s.Len(), len(model))
+	}
+	for k := range model {
+		if !s.Has([]byte(k)) {
+			t.Fatalf("lost key %s", k)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("absent-%04d", i))
+		if s.Has(k) {
+			t.Fatalf("phantom key %s", k)
+		}
+	}
+}
+
+func TestCompactionReducesRuns(t *testing.T) {
+	s := mustOpen(t, Options{FlushKeys: 8, MaxRuns: 2})
+	for i := 0; i < 200; i++ {
+		s.Insert([]byte(fmt.Sprintf("k%06d", i)))
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if s.Runs() > 3 {
+		t.Fatalf("compaction left %d runs with MaxRuns=2", s.Runs())
+	}
+	for i := 0; i < 200; i++ {
+		if !s.Has([]byte(fmt.Sprintf("k%06d", i))) {
+			t.Fatalf("key %d lost across compaction", i)
+		}
+	}
+}
+
+func TestReopenSeesFlushedKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, FlushKeys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Insert([]byte(fmt.Sprintf("persist-%02d", i)))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 20 {
+		t.Fatalf("reopened store reports %d keys, want 20", s2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		key := []byte(fmt.Sprintf("persist-%02d", i))
+		if s2.Insert(key) {
+			t.Fatalf("reopened store forgot key %s", key)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	if _, err := Open(Options{Dir: filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: f}); err == nil {
+		t.Fatal("plain file accepted as Dir")
+	}
+}
+
+// corruptRun opens a store, spills keys, and returns the single run file.
+func corruptSetup(t *testing.T) (dir, runFile string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := Open(Options{Dir: dir, FlushKeys: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Insert([]byte(fmt.Sprintf("corrupt-%02d", i)))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	runs, err := filepath.Glob(filepath.Join(dir, "*.run"))
+	if err != nil || len(runs) == 0 {
+		t.Fatalf("no runs written: %v", err)
+	}
+	return dir, runs[0]
+}
+
+func TestOpenRejectsTruncatedRun(t *testing.T) {
+	dir, runFile := corruptSetup(t)
+	data, err := os.ReadFile(runFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(runFile, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("truncated run accepted")
+	}
+}
+
+func TestOpenRejectsBitFlip(t *testing.T) {
+	dir, runFile := corruptSetup(t)
+	data, err := os.ReadFile(runFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(runFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("bit-flipped run accepted")
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	dir, runFile := corruptSetup(t)
+	data, err := os.ReadFile(runFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "NOTARUN\n")
+	if err := os.WriteFile(runFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestBinaryKeys exercises keys with arbitrary bytes (the vskey codec
+// produces binary keys, not ASCII).
+func TestBinaryKeys(t *testing.T) {
+	s := mustOpen(t, Options{FlushKeys: 32})
+	rng := rand.New(rand.NewSource(9))
+	keys := make([][]byte, 300)
+	for i := range keys {
+		k := make([]byte, 1+rng.Intn(40))
+		rng.Read(k)
+		keys[i] = k
+	}
+	fresh := 0
+	for _, k := range keys {
+		if s.Insert(k) {
+			fresh++
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if s.Insert(k) {
+			t.Fatalf("duplicate admitted after flush: %x", k)
+		}
+	}
+	if s.Len() != int64(fresh) {
+		t.Fatalf("Len %d != fresh %d", s.Len(), fresh)
+	}
+}
+
+// TestInsertIdempotentProperty is a property-based check: for any key
+// sequence, the second insert of a key always reports false.
+func TestInsertIdempotentProperty(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	err := quick.Check(func(keys [][]byte) bool {
+		n++
+		sub := filepath.Join(dir, fmt.Sprintf("case%03d", n))
+		if err := os.Mkdir(sub, 0o755); err != nil {
+			return false
+		}
+		s, err := Open(Options{Dir: sub, FlushKeys: 4})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, k := range keys {
+			s.Insert(k)
+			if s.Insert(k) {
+				return false
+			}
+		}
+		return s.Err() == nil
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFlushIsNoop(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs() != 0 {
+		t.Fatalf("empty flush created %d runs", s.Runs())
+	}
+}
+
+func TestBloomFalseNegativeFree(t *testing.T) {
+	b := newBloom(1000, 10)
+	keys := make([][]byte, 1000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range keys {
+		k := make([]byte, 16)
+		rng.Read(k)
+		keys[i] = k
+		b.add(k)
+	}
+	for _, k := range keys {
+		if !b.mayContain(k) {
+			t.Fatalf("bloom false negative for %x", k)
+		}
+	}
+	// False-positive rate sanity: should be well below 10% at 10 bits/key.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		k := make([]byte, 16)
+		rng.Read(k)
+		if b.mayContain(k) {
+			fp++
+		}
+	}
+	if fp > 1000 {
+		t.Fatalf("bloom false-positive rate implausible: %d/10000", fp)
+	}
+}
+
+func TestMergeCursorsDedups(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, keys ...string) *run {
+		r, err := writeRun(filepath.Join(dir, name), len(keys), 10, func(emit func([]byte) error) error {
+			for _, k := range keys {
+				if err := emit([]byte(k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.close)
+		return r
+	}
+	r1 := write("a.run", "a", "c", "e")
+	r2 := write("b.run", "b", "c", "d")
+	c1, err := r1.cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.close()
+	c2, err := r2.cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	var got []string
+	if err := mergeCursors([]*runCursor{c1, c2}, func(k []byte) error {
+		got = append(got, string(k))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("merge got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunContainsBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	// More keys than one index stride so the sparse index has >1 entry.
+	n := indexStride*3 + 7
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", i*2)) // even keys only
+	}
+	r, err := writeRun(filepath.Join(dir, "x.run"), n, 10, func(emit func([]byte) error) error {
+		for _, k := range keys {
+			if err := emit(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	for i, k := range keys {
+		ok, err := r.contains(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("key %d (%s) not found", i, k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i*2+1)) // odd keys absent
+		ok, err := r.contains(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("phantom key %s", k)
+		}
+	}
+	// Keys before the first and after the last.
+	for _, k := range [][]byte{[]byte("aaa"), []byte("zzz")} {
+		ok, err := r.contains(k)
+		if err != nil || ok {
+			t.Fatalf("boundary key %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestRunRoundTripPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	n := 500
+	rng := rand.New(rand.NewSource(2))
+	set := map[string]bool{}
+	for len(set) < n {
+		k := make([]byte, 4+rng.Intn(12))
+		rng.Read(k)
+		set[string(k)] = true
+	}
+	keys := make([][]byte, 0, n)
+	for k := range set {
+		keys = append(keys, []byte(k))
+	}
+	sortByteSlices(keys)
+	path := filepath.Join(dir, "rt.run")
+	r, err := writeRun(path, n, 10, func(emit func([]byte) error) error {
+		for _, k := range keys {
+			if err := emit(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.close()
+	r2, err := loadRun(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.close()
+	c, err := r2.cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	i := 0
+	for c.valid {
+		if !bytes.Equal(c.key, keys[i]) {
+			t.Fatalf("key %d: got %x want %x", i, c.key, keys[i])
+		}
+		i++
+		if err := c.next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if i != n {
+		t.Fatalf("cursor yielded %d keys, want %d", i, n)
+	}
+}
+
+func sortByteSlices(a [][]byte) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && bytes.Compare(a[j-1], a[j]) > 0; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func BenchmarkInsertFresh(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	var key [12]byte
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		s.Insert(key[:])
+	}
+	if s.Err() != nil {
+		b.Fatal(s.Err())
+	}
+}
+
+func BenchmarkHasAfterSpill(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), FlushKeys: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		s.Insert([]byte(fmt.Sprintf("bench-%08d", i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Has([]byte(fmt.Sprintf("bench-%08d", i%n)))
+	}
+}

@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"bytes"
+	"repro/internal/gen"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps every runner fast enough for the unit-test suite.
+func tinyConfig() Config {
+	return Config{MaxEdges: 1500, Timeout: time.Second, FirstN: 50}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"note"},
+	}
+	tb.AddRow("1", "two, with comma")
+	var md, csv bytes.Buffer
+	if err := tb.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| 1 | two, with comma |") {
+		t.Fatalf("markdown output:\n%s", md.String())
+	}
+	if !strings.Contains(csv.String(), `"two, with comma"`) {
+		t.Fatalf("csv output:\n%s", csv.String())
+	}
+}
+
+func TestFig3MatchesPaperExactly(t *testing.T) {
+	tb := Fig3(tinyConfig())
+	want := map[string]string{
+		"bTraversal (G)":         "76",
+		"iTraversal-ES-RS (G_L)": "41",
+		"iTraversal-ES (G_R)":    "21",
+		"iTraversal (G_E)":       "13",
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "10" {
+			t.Errorf("%s: %s solutions, want 10", row[0], row[1])
+		}
+		if got := row[2]; got != want[row[0]] {
+			t.Errorf("%s: %s links, want %s", row[0], got, want[row[0]])
+		}
+	}
+}
+
+func TestTable1Stats(t *testing.T) {
+	tb := Table1Stats(tinyConfig())
+	if len(tb.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		edges, err := strconv.Atoi(row[7])
+		if err != nil || edges <= 0 {
+			t.Fatalf("row %v has bad loaded edge count", row)
+		}
+		if edges > 1500 {
+			t.Fatalf("row %v exceeds MaxEdges", row)
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	tb := Fig7a(tinyConfig())
+	if len(tb.Rows) != 10 || len(tb.Header) != 5 {
+		t.Fatalf("shape %dx%d", len(tb.Rows), len(tb.Header))
+	}
+	// iTraversal must produce a numeric time on every dataset at this
+	// scale (it is the scalable one).
+	for _, row := range tb.Rows {
+		if row[4] == "INF" || row[4] == "OUT" {
+			t.Errorf("iTraversal failed on %s at tiny scale", row[0])
+		}
+	}
+}
+
+func TestFig9aRunsAtTinyScale(t *testing.T) {
+	cfg := tinyConfig()
+	tb := Fig9a(cfg)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig11LinkOrdering(t *testing.T) {
+	tb := Fig11ab(tinyConfig())
+	// Per dataset, links must be monotone decreasing down the ablation
+	// order whenever all four counted.
+	byDataset := map[string][]string{}
+	for _, row := range tb.Rows {
+		byDataset[row[0]] = append(byDataset[row[0]], row[2])
+	}
+	for name, links := range byDataset {
+		if len(links) != 4 {
+			t.Fatalf("%s: %d frameworks", name, len(links))
+		}
+		prev := int64(1 << 62)
+		for i, s := range links {
+			if s == "UPP" {
+				prev = 1 << 62 // unknown; skip comparison
+				continue
+			}
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				t.Fatalf("%s row %d: bad link count %q", name, i, s)
+			}
+			if n > prev {
+				t.Errorf("%s: links increased along ablation: %v", name, links)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study takes tens of seconds")
+	}
+	// Short timeouts truncate the DFS inside the low-id (real) region and
+	// never reach the planted block, so this test runs with a real
+	// budget. θR=6 is the most discriminating row: bicliques are gone,
+	// 1-biplex recovers the block fully.
+	cfg := tinyConfig()
+	cfg.Timeout = 30 * time.Second
+	tb := Fig13(cfg)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := tb.Rows[3] // θR = 6
+	if row[1] != "ND" {
+		t.Errorf("biclique at θR=6 = %q, want ND (camouflage breaks complete blocks)", row[1])
+	}
+	if row[2] == "ND" {
+		t.Fatal("1-biplex ND at θR=6")
+	}
+	var p, r, f float64
+	if _, err := sscanMetrics(row[2], &p, &r, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.8 {
+		t.Errorf("1-biplex F1 at θR=6 = %.2f, want ≥ 0.8 (paper: 0.92)", f)
+	}
+}
+
+func sscanMetrics(cell string, p, r, f *float64) (int, error) {
+	parts := strings.Split(cell, "/")
+	if len(parts) != 3 {
+		return 0, &strconv.NumError{Func: "metrics", Num: cell, Err: strconv.ErrSyntax}
+	}
+	var err error
+	for i, dst := range []*float64{p, r, f} {
+		if *dst, err = strconv.ParseFloat(parts[i], 64); err != nil {
+			return i, err
+		}
+	}
+	return 3, nil
+}
+
+func TestDeadlineHelper(t *testing.T) {
+	if deadline(0) != nil {
+		t.Fatal("zero budget must mean no cancellation")
+	}
+	c := deadline(time.Nanosecond)
+	tripped := false
+	for i := 0; i < 10_000; i++ {
+		if c() {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("deadline never tripped")
+	}
+}
+
+func TestRunResultCell(t *testing.T) {
+	if got := (runResult{outOfMem: true}).cell(); got != "OUT" {
+		t.Fatalf("OUT cell = %q", got)
+	}
+	if got := (runResult{timedOut: true}).cell(); got != "INF" {
+		t.Fatalf("INF cell = %q", got)
+	}
+	if got := (runResult{dur: 1500 * time.Millisecond}).cell(); got != "1.5" {
+		t.Fatalf("duration cell = %q", got)
+	}
+}
+
+func TestFaPlexenOutBudget(t *testing.T) {
+	// A graph whose inflation exceeds the edge budget must report OUT
+	// without materializing anything.
+	g := gen.ER(30000, 30000, 0.001, 1)
+	r := runFaPlexen(g, 1, 10, time.Second)
+	if !r.outOfMem {
+		t.Fatalf("expected OUT, got %+v", r)
+	}
+}
+
+func TestMeasureDelay(t *testing.T) {
+	gap, completed := measureDelay(0, func(cancel func() bool, tick func()) {
+		if cancel != nil {
+			t.Error("zero budget must produce nil cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+		tick()
+		time.Sleep(20 * time.Millisecond)
+		tick()
+	})
+	if !completed {
+		t.Fatal("zero budget must count as completed")
+	}
+	if gap < 15*time.Millisecond {
+		t.Fatalf("max gap = %v, want ≥ 20ms-ish", gap)
+	}
+}

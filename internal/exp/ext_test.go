@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyExtConfig keeps the extension workloads small enough for unit tests.
+func tinyExtConfig() Config {
+	return Config{MaxEdges: 2000, Timeout: 30 * time.Second, FirstN: 200}
+}
+
+func checkTable(t *testing.T, tb *Table, wantRows int) {
+	t.Helper()
+	if tb.ID == "" || tb.Title == "" || len(tb.Header) == 0 {
+		t.Fatalf("incomplete table: %+v", tb)
+	}
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tb.ID, len(tb.Rows), wantRows)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("%s row %d: %d cells, header has %d", tb.ID, i, len(row), len(tb.Header))
+		}
+	}
+	var md bytes.Buffer
+	if err := tb.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), tb.ID) {
+		t.Fatalf("%s: markdown missing id", tb.ID)
+	}
+}
+
+func TestExtParallel(t *testing.T) {
+	tb := ExtParallel(tinyExtConfig())
+	checkTable(t, tb, 4)
+	// Every worker count finds the same number of MBPs.
+	first := tb.Rows[0][2]
+	for _, row := range tb.Rows {
+		if row[2] != first {
+			t.Fatalf("worker counts disagree on MBPs: %v", tb.Rows)
+		}
+	}
+}
+
+func TestExtDist(t *testing.T) {
+	tb := ExtDist(tinyExtConfig())
+	checkTable(t, tb, 8)
+	first := tb.Rows[0][3]
+	for _, row := range tb.Rows {
+		if row[3] != first {
+			t.Fatalf("cluster configurations disagree on MBPs: %v", tb.Rows)
+		}
+	}
+}
+
+func TestExtStore(t *testing.T) {
+	tb := ExtStore(tinyExtConfig())
+	checkTable(t, tb, 3)
+	first := tb.Rows[0][2]
+	for _, row := range tb.Rows {
+		if row[2] != first {
+			t.Fatalf("stores disagree on MBPs: %v", tb.Rows)
+		}
+	}
+}
+
+func TestExtLargest(t *testing.T) {
+	c := tinyExtConfig()
+	tb := ExtLargest(c)
+	checkTable(t, tb, 4)
+	for _, row := range tb.Rows {
+		if row[3] == "0" {
+			t.Fatalf("dataset %s found no balanced MBP", row[0])
+		}
+	}
+}
+
+func TestExtFraud(t *testing.T) {
+	tb := ExtFraud(tinyExtConfig())
+	checkTable(t, tb, 4)
+	for _, row := range tb.Rows {
+		if row[1] == "ND" {
+			t.Fatalf("1-biplex detector found nothing under the random attack: %v", row)
+		}
+	}
+}

@@ -1,0 +1,562 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/abcore"
+	"repro/internal/biclique"
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fraud"
+	"repro/internal/gen"
+	"repro/internal/imb"
+	"repro/internal/inflate"
+	"repro/internal/kplex"
+	"repro/internal/quasi"
+)
+
+// Table1Stats reproduces Table 1: dataset statistics, reporting both the
+// paper's sizes and the loaded stand-in's actual sizes at the configured
+// scale.
+func Table1Stats(cfg Config) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Real datasets (synthetic stand-ins; see DESIGN.md)",
+		Header: []string{"Name", "Category", "L (paper)", "R (paper)", "E (paper)", "L (loaded)", "R (loaded)", "E (loaded)"},
+	}
+	for _, name := range dataset.Names() {
+		g, info, err := dataset.Load(name, cfg.MaxEdges)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(info.Name, info.Category,
+			fmt.Sprint(info.L), fmt.Sprint(info.R), fmt.Sprint(info.E),
+			fmt.Sprint(g.NumLeft()), fmt.Sprint(g.NumRight()), fmt.Sprint(g.NumEdges()))
+	}
+	return t
+}
+
+// ablationOptions returns the four Figure 3 / Figure 11 frameworks in
+// paper order.
+func ablationOptions(k int) []struct {
+	Name string
+	Opts core.Options
+} {
+	it := core.ITraversal(k)
+	itES := it
+	itES.Exclusion = false
+	itESRS := itES
+	itESRS.RightShrinking = false
+	bt := core.BTraversal(k)
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"bTraversal (G)", bt},
+		{"iTraversal-ES-RS (G_L)", itESRS},
+		{"iTraversal-ES (G_R)", itES},
+		{"iTraversal (G_E)", it},
+	}
+}
+
+// Fig3 reproduces Figure 3: solution-graph sizes of the running example.
+func Fig3(Config) *Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Solution graphs of the running example (paper: 76/41/21/13 links, 10 nodes)",
+		Header: []string{"Framework", "Solutions", "Links"},
+	}
+	g := dataset.PaperExample()
+	for _, a := range ablationOptions(1) {
+		links, sols, err := core.SolutionGraphLinks(g, a.Opts)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(a.Name, fmt.Sprint(sols), fmt.Sprint(links))
+	}
+	return t
+}
+
+// Fig7a reproduces Figure 7(a): running time of the four algorithms for
+// the first FirstN MBPs with k=1 on every dataset.
+func Fig7a(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig7a",
+		Title:  fmt.Sprintf("Running time (s), first %d MBPs, k=1", cfg.FirstN),
+		Header: []string{"Dataset", "iMB", "FaPlexen", "bTraversal", "iTraversal"},
+		Notes:  []string{fmt.Sprintf("INF = exceeded %v; OUT = inflation over the edge budget.", cfg.Timeout)},
+	}
+	for _, name := range dataset.Names() {
+		g, _, err := dataset.Load(name, cfg.MaxEdges)
+		if err != nil {
+			panic(err)
+		}
+		cfg.progressf("fig7a %s: iMB...", name)
+		rIMB := runIMB(g, 1, 0, 0, cfg.FirstN, cfg.Timeout)
+		cfg.progressf("fig7a %s: FaPlexen...", name)
+		rFaP := runFaPlexen(g, 1, cfg.FirstN, cfg.Timeout)
+		cfg.progressf("fig7a %s: bTraversal...", name)
+		rBT := runCore(g, core.BTraversal(1), cfg.FirstN, cfg.Timeout)
+		cfg.progressf("fig7a %s: iTraversal...", name)
+		rIT := runCore(g, core.ITraversal(1), cfg.FirstN, cfg.Timeout)
+		t.AddRow(name, rIMB.cell(), rFaP.cell(), rBT.cell(), rIT.cell())
+	}
+	return t
+}
+
+// Fig7bc reproduces Figure 7(b)/(c): running time varying k on one
+// dataset, bTraversal vs iTraversal.
+func Fig7bc(cfg Config, name string) *Table {
+	t := &Table{
+		ID:     "fig7bc-" + name,
+		Title:  fmt.Sprintf("Running time (s) varying k on %s, first %d MBPs", name, cfg.FirstN),
+		Header: []string{"k", "bTraversal", "iTraversal"},
+	}
+	g, _, err := dataset.Load(name, cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	for k := 1; k <= 5; k++ {
+		cfg.progressf("fig7bc %s k=%d", name, k)
+		rBT := runCore(g, core.BTraversal(k), cfg.FirstN, cfg.Timeout)
+		rIT := runCore(g, core.ITraversal(k), cfg.FirstN, cfg.Timeout)
+		t.AddRow(fmt.Sprint(k), rBT.cell(), rIT.cell())
+	}
+	return t
+}
+
+// Fig7de reproduces Figure 7(d)/(e): running time varying the number of
+// returned MBPs, bTraversal vs iTraversal, k=1.
+func Fig7de(cfg Config, name string) *Table {
+	t := &Table{
+		ID:     "fig7de-" + name,
+		Title:  fmt.Sprintf("Running time (s) varying #MBPs on %s, k=1", name),
+		Header: []string{"#MBPs", "bTraversal", "iTraversal"},
+	}
+	g, _, err := dataset.Load(name, cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range []int{1, 10, 100, 1000, 10_000, 100_000} {
+		rBT := runCore(g, core.BTraversal(1), n, cfg.Timeout)
+		rIT := runCore(g, core.ITraversal(1), n, cfg.Timeout)
+		t.AddRow(fmt.Sprint(n), rBT.cell(), rIT.cell())
+	}
+	return t
+}
+
+// Fig8a reproduces Figure 8(a): delay of the four algorithms on the small
+// datasets with k=1 (full enumeration).
+func Fig8a(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig8a",
+		Title:  "Delay (s), k=1 (maximum gap between consecutive outputs over a full enumeration)",
+		Header: []string{"Dataset", "iTraversal", "iMB", "FaPlexen", "bTraversal"},
+		Notes:  []string{"INF = enumeration did not finish within the budget; the recorded gap is then a lower bound."},
+	}
+	for _, name := range dataset.SmallNames {
+		g, _, err := dataset.Load(name, cfg.MaxEdges)
+		if err != nil {
+			panic(err)
+		}
+		cfg.progressf("fig8a %s", name)
+		t.AddRow(name,
+			delayCell(delayCore(g, core.ITraversal(1), cfg.Timeout)),
+			delayCell(delayIMB(g, 1, cfg.Timeout)),
+			delayCell(delayFaPlexen(g, 1, cfg.Timeout)),
+			delayCell(delayCore(g, core.BTraversal(1), cfg.Timeout)),
+		)
+	}
+	return t
+}
+
+// Fig8b reproduces Figure 8(b): delay varying k on Divorce.
+func Fig8b(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig8b",
+		Title:  "Delay (s) varying k (Divorce)",
+		Header: []string{"k", "iMB", "bTraversal", "FaPlexen", "iTraversal"},
+	}
+	g, _, err := dataset.Load("Divorce", cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	for k := 1; k <= 4; k++ {
+		t.AddRow(fmt.Sprint(k),
+			delayCell(delayIMB(g, k, cfg.Timeout)),
+			delayCell(delayCore(g, core.BTraversal(k), cfg.Timeout)),
+			delayCell(delayFaPlexen(g, k, cfg.Timeout)),
+			delayCell(delayCore(g, core.ITraversal(k), cfg.Timeout)),
+		)
+	}
+	return t
+}
+
+type delayResult struct {
+	gap       time.Duration
+	completed bool
+}
+
+func delayCell(r delayResult) string {
+	if !r.completed {
+		return "INF(≥" + fmtDur(r.gap) + ")"
+	}
+	return fmtDur(r.gap)
+}
+
+func delayCore(g *bigraph.Graph, opts core.Options, budget time.Duration) delayResult {
+	gap, completed := measureDelay(budget, func(cancel func() bool, tick func()) {
+		opts.Cancel = cancel
+		if _, err := core.Enumerate(g, opts, func(biplex.Pair) bool {
+			tick()
+			return true
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return delayResult{gap, completed}
+}
+
+func delayIMB(g *bigraph.Graph, k int, budget time.Duration) delayResult {
+	gap, completed := measureDelay(budget, func(cancel func() bool, tick func()) {
+		imb.Enumerate(g, imb.Options{K: k, Cancel: cancel}, func(biplex.Pair) bool {
+			tick()
+			return true
+		})
+	})
+	return delayResult{gap, completed}
+}
+
+func delayFaPlexen(g *bigraph.Graph, k int, budget time.Duration) delayResult {
+	nl, nr := int64(g.NumLeft()), int64(g.NumRight())
+	if nl*(nl-1)/2+nr*(nr-1)/2+int64(g.NumEdges()) > faPlexenEdgeBudget {
+		return delayResult{0, false}
+	}
+	gap, completed := measureDelay(budget, func(cancel func() bool, tick func()) {
+		ig := inflate.Inflate(g)
+		kplex.EnumerateMaximalCancel(ig, k+1, cancel, func([]int32) bool {
+			tick()
+			return true
+		})
+	})
+	return delayResult{gap, completed}
+}
+
+// Fig9a reproduces Figure 9(a): scalability in the number of vertices on
+// ER graphs with edge density 10, first FirstN MBPs, k=1. The paper scans
+// 10K..100M vertices; the default laptop scale scans 1K..100K (override
+// with cfg.MaxEdges = 0 at your own patience).
+func Fig9a(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig9a",
+		Title:  fmt.Sprintf("Running time (s) on ER graphs, density 10, first %d MBPs, k=1", cfg.FirstN),
+		Header: []string{"#Vertices", "bTraversal", "iTraversal"},
+	}
+	sizes := []int{1_000, 10_000, 100_000}
+	if cfg.MaxEdges == 0 {
+		sizes = []int{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+	}
+	for _, n := range sizes {
+		cfg.progressf("fig9a n=%d", n)
+		g := gen.ER(n/2, n/2, 10, int64(n))
+		rBT := runCore(g, core.BTraversal(1), cfg.FirstN, cfg.Timeout)
+		rIT := runCore(g, core.ITraversal(1), cfg.FirstN, cfg.Timeout)
+		t.AddRow(fmt.Sprint(n), rBT.cell(), rIT.cell())
+	}
+	return t
+}
+
+// Fig9b reproduces Figure 9(b): varying edge density on ER graphs with
+// 100K vertices (paper) / 10K vertices (default laptop scale).
+func Fig9b(cfg Config) *Table {
+	n := 10_000
+	if cfg.MaxEdges == 0 {
+		n = 100_000
+	}
+	t := &Table{
+		ID:     "fig9b",
+		Title:  fmt.Sprintf("Running time (s) on ER graphs with %d vertices, varying density, first %d MBPs, k=1", n, cfg.FirstN),
+		Header: []string{"Density", "bTraversal", "iTraversal"},
+	}
+	for _, density := range []float64{0.1, 1, 10, 100} {
+		cfg.progressf("fig9b density=%g", density)
+		g := gen.ER(n/2, n/2, density, int64(n)+7)
+		rBT := runCore(g, core.BTraversal(1), cfg.FirstN, cfg.Timeout)
+		rIT := runCore(g, core.ITraversal(1), cfg.FirstN, cfg.Timeout)
+		t.AddRow(fmt.Sprint(density), rBT.cell(), rIT.cell())
+	}
+	return t
+}
+
+// Fig10 reproduces Figure 10: enumerating large MBPs (both sides ≥ θ)
+// with (θ-k)-core preprocessing, iMB vs iTraversal, k=1.
+func Fig10(cfg Config, name string, thetas []int) *Table {
+	t := &Table{
+		ID:     "fig10-" + name,
+		Title:  fmt.Sprintf("Large-MBP enumeration time (s) varying θ on %s, k=1, with (θ-k)-core preprocessing", name),
+		Header: []string{"θ", "iMB", "iTraversal", "core |L|", "core |R|", "large MBPs"},
+	}
+	g, _, err := dataset.Load(name, cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	k := 1
+	for _, theta := range thetas {
+		sub, _, _ := abcore.ThetaCore(g, theta, k)
+
+		t0 := time.Now()
+		cancel := deadline(cfg.Timeout)
+		stIMB := imb.Enumerate(sub, imb.Options{K: k, ThetaL: theta, ThetaR: theta, Cancel: cancel}, nil)
+		dIMB := time.Since(t0)
+		imbCell := fmtDur(dIMB)
+		if cfg.Timeout > 0 && dIMB > cfg.Timeout {
+			imbCell = "INF"
+		}
+
+		opts := core.ITraversal(k)
+		opts.ThetaL, opts.ThetaR = theta, theta
+		rIT := runCore(sub, opts, 0, cfg.Timeout)
+		n := fmt.Sprint(rIT.solutions)
+		if rIT.timedOut || (cfg.Timeout > 0 && dIMB > cfg.Timeout) {
+			n += "+"
+		}
+		_ = stIMB
+		t.AddRow(fmt.Sprint(theta), imbCell, rIT.cell(),
+			fmt.Sprint(sub.NumLeft()), fmt.Sprint(sub.NumRight()), n)
+	}
+	return t
+}
+
+// Fig11ab reproduces Figure 11(a)/(b): solution-graph link counts and
+// running time of the ablation frameworks on the small datasets, k=1.
+func Fig11ab(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig11ab",
+		Title:  "Ablation on small datasets, k=1: solution-graph links and full-enumeration time (s)",
+		Header: []string{"Dataset", "Framework", "Links", "Time"},
+		Notes:  []string{"UPP = link counting aborted at the budget (paper uses 10^10)."},
+	}
+	for _, name := range dataset.SmallNames {
+		g, _, err := dataset.Load(name, cfg.MaxEdges)
+		if err != nil {
+			panic(err)
+		}
+		for _, a := range ablationOptions(1) {
+			opts := a.Opts
+			opts.CountLinks = true
+			opts.Cancel = deadline(cfg.Timeout)
+			t0 := time.Now()
+			st, err := core.Enumerate(g, opts, nil)
+			if err != nil {
+				panic(err)
+			}
+			d := time.Since(t0)
+			links, cell := fmt.Sprint(st.Links), fmtDur(d)
+			if cfg.Timeout > 0 && d > cfg.Timeout {
+				links, cell = "UPP", "INF"
+			}
+			t.AddRow(name, a.Name, links, cell)
+		}
+	}
+	return t
+}
+
+// Fig11cd reproduces Figure 11(c)/(d): ablation varying k on Divorce.
+func Fig11cd(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig11cd",
+		Title:  "Ablation varying k (Divorce): links and time (s)",
+		Header: []string{"k", "Framework", "Links", "Time"},
+	}
+	g, _, err := dataset.Load("Divorce", cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	for k := 1; k <= 3; k++ {
+		for _, a := range ablationOptions(k) {
+			opts := a.Opts
+			opts.CountLinks = true
+			cancel := deadline(cfg.Timeout)
+			opts.Cancel = cancel
+			t0 := time.Now()
+			st, err := core.Enumerate(g, opts, nil)
+			if err != nil {
+				panic(err)
+			}
+			d := time.Since(t0)
+			links := fmt.Sprint(st.Links)
+			cell := fmtDur(d)
+			if cfg.Timeout > 0 && d > cfg.Timeout {
+				links = "UPP"
+				cell = "INF"
+			}
+			t.AddRow(fmt.Sprint(k), a.Name, links, cell)
+		}
+	}
+	return t
+}
+
+// Fig12 reproduces Figure 12: average EnumAlmostSat running time over
+// random almost-satisfying graphs built from the dataset's first MBPs.
+func Fig12(cfg Config, name string) *Table {
+	t := &Table{
+		ID:     "fig12-" + name,
+		Title:  fmt.Sprintf("EnumAlmostSat variants on %s: average time (s) per call over random almost-satisfying graphs", name),
+		Header: []string{"k", "Inflation", "L1.0+R1.0", "L1.0+R2.0", "L2.0+R1.0", "L2.0+R2.0"},
+	}
+	g, _, err := dataset.Load(name, cfg.MaxEdges)
+	if err != nil {
+		panic(err)
+	}
+	variants := []core.EASVariant{core.EASInflation, core.EASL1R1, core.EASL1R2, core.EASL2R1, core.EASL2R2}
+	for k := 1; k <= 4; k++ {
+		cfg.progressf("fig12 %s k=%d", name, k)
+		sols := collectFirstN(g, k, cfg.FirstN, cfg.Timeout)
+		// Build (solution, v) probes as the paper does: a random left
+		// vertex outside each collected MBP.
+		rng := rand.New(rand.NewSource(int64(k)))
+		type probe struct {
+			p biplex.Pair
+			v int32
+		}
+		var probes []probe
+		for _, p := range sols {
+			if len(p.L) >= g.NumLeft() {
+				continue
+			}
+			for tries := 0; tries < 32; tries++ {
+				v := int32(rng.Intn(g.NumLeft()))
+				if !containsID(p.L, v) {
+					probes = append(probes, probe{p, v})
+					break
+				}
+			}
+		}
+		if len(probes) == 0 {
+			t.AddRow(fmt.Sprint(k), "-", "-", "-", "-", "-")
+			continue
+		}
+		row := []string{fmt.Sprint(k)}
+		for _, variant := range variants {
+			cancel := deadline(cfg.Timeout)
+			t0 := time.Now()
+			done := 0
+			for _, pr := range probes {
+				core.EnumAlmostSatOnce(g, pr.p.L, pr.p.R, pr.v, k, variant, cancel)
+				done++
+				if cfg.Timeout > 0 && time.Since(t0) > cfg.Timeout {
+					break
+				}
+			}
+			avg := time.Since(t0) / time.Duration(done)
+			cell := fmtDur(avg)
+			if done < len(probes) {
+				cell = "INF(≥" + fmtDur(avg) + ")"
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig13 reproduces Figure 13: the fraud-detection case study. θL is fixed
+// at 4 while θR varies, as in the paper.
+func Fig13(cfg Config) *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Fraud detection under random camouflage attack: precision / recall / F1",
+		Header: []string{"θR(α)", "biclique", "1-biplex", "2-biplex", "(α,β)-core", "0.01-QB", "0.2-QB", "0.3-QB"},
+		Notes: []string{
+			"Cells are P/R/F1; ND = structure found nothing.",
+			"Scenario: scaled-down Amazon-style review graph with planted camouflage attack (internal/fraud).",
+		},
+	}
+	s := fraud.NewScenario(fraud.DefaultConfig())
+	thetaL := 4
+	for thetaR := 3; thetaR <= 7; thetaR++ {
+		cfg.progressf("fig13 thetaR=%d", thetaR)
+		row := []string{fmt.Sprint(thetaR)}
+		row = append(row, metricsCell(s.Evaluate(findBicliques(s, thetaL, thetaR, cfg))))
+		row = append(row, metricsCell(s.Evaluate(findBiplexes(s, 1, thetaL, thetaR, cfg))))
+		row = append(row, metricsCell(s.Evaluate(findBiplexes(s, 2, thetaL, thetaR, cfg))))
+		row = append(row, metricsCell(s.Evaluate(findABCore(s, thetaR, thetaL))))
+		for _, delta := range []float64{0.01, 0.2, 0.3} {
+			row = append(row, metricsCell(s.Evaluate(quasi.Find(s.G, quasi.Options{
+				Delta: delta, ThetaL: thetaL, ThetaR: thetaR, MaxResults: 200,
+			}))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func metricsCell(m fraud.Metrics) string {
+	if !m.Defined {
+		return "ND"
+	}
+	return fmt.Sprintf("%.2f/%.2f/%.2f", m.Precision, m.Recall, m.F1)
+}
+
+func findBicliques(s *fraud.Scenario, thetaL, thetaR int, cfg Config) []biplex.Pair {
+	// A biclique is a 0-biplex; peel to the matching core first.
+	sub, lback, rback := abcore.ThetaCoreLR(s.G, thetaL, thetaR, 0)
+	var out []biplex.Pair
+	biclique.Enumerate(sub, biclique.Options{
+		ThetaL: thetaL, ThetaR: thetaR, MaxResults: 5000, Cancel: deadline(cfg.Timeout),
+	}, func(p biplex.Pair) bool {
+		out = append(out, mapBack(p, lback, rback))
+		return true
+	})
+	return out
+}
+
+func findBiplexes(s *fraud.Scenario, k, thetaL, thetaR int, cfg Config) []biplex.Pair {
+	// (θ-k)-core preprocessing, as in Section 6.1.
+	sub, lback, rback := abcore.ThetaCoreLR(s.G, thetaL, thetaR, k)
+	opts := core.ITraversal(k)
+	opts.ThetaL, opts.ThetaR = thetaL, thetaR
+	opts.MaxResults = 5000
+	opts.Cancel = deadline(cfg.Timeout)
+	var out []biplex.Pair
+	if _, err := core.Enumerate(sub, opts, func(p biplex.Pair) bool {
+		out = append(out, mapBack(p, lback, rback))
+		return true
+	}); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// mapBack translates a solution on an induced subgraph to original ids.
+func mapBack(p biplex.Pair, lback, rback []int32) biplex.Pair {
+	q := biplex.Pair{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
+	for i, v := range p.L {
+		q.L[i] = lback[v]
+	}
+	for i, u := range p.R {
+		q.R[i] = rback[u]
+	}
+	return q
+}
+
+func findABCore(s *fraud.Scenario, alpha, beta int) []biplex.Pair {
+	l, r := abcore.Core(s.G, alpha, beta)
+	if len(l) == 0 && len(r) == 0 {
+		return nil
+	}
+	return []biplex.Pair{{L: l, R: r}}
+}
+
+func containsID(a []int32, x int32) bool {
+	for _, y := range a {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Smoke tests for the runners not covered in exp_test.go: each must
+// produce a well-formed table at tiny scale within its budget.
+
+func TestFig7bcShape(t *testing.T) {
+	tb := Fig7bc(tinyConfig(), "Divorce")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (k=1..5)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 3 {
+			t.Fatalf("row %v", row)
+		}
+	}
+}
+
+func TestFig7deShape(t *testing.T) {
+	tb := Fig7de(tinyConfig(), "Divorce")
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" || tb.Rows[5][0] != "100000" {
+		t.Fatalf("first/last #MBPs: %v / %v", tb.Rows[0], tb.Rows[5])
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	tb := Fig8a(tinyConfig())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want the 4 small datasets", len(tb.Rows))
+	}
+	// iTraversal's delay column must be a plain number (it completes) on
+	// Divorce at paper scale.
+	if strings.HasPrefix(tb.Rows[0][1], "INF") {
+		t.Errorf("iTraversal delay on Divorce = %q, expected completion", tb.Rows[0][1])
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Timeout = 3 * time.Second
+	tb := Fig8b(cfg)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want k=1..4", len(tb.Rows))
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	tb := Fig9b(tinyConfig())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tb := Fig10(tinyConfig(), "Divorce", []int{3, 4})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Core sizes shrink (or stay equal) as θ grows.
+	if tb.Rows[0][3] < tb.Rows[1][3] {
+		t.Errorf("core left size grew with θ: %v vs %v", tb.Rows[0], tb.Rows[1])
+	}
+}
+
+func TestFig11cdShape(t *testing.T) {
+	tb := Fig11cd(tinyConfig())
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d, want 3 k-values × 4 frameworks", len(tb.Rows))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.FirstN = 10
+	tb := Fig12(cfg, "Divorce")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want k=1..4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %v", row)
+		}
+	}
+}
+
+func TestFigAnchorShape(t *testing.T) {
+	tb := FigAnchor(tinyConfig(), "Divorce")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want k=1..4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 3 || row[1] == "" || row[2] == "" {
+			t.Fatalf("row %v", row)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/imb"
+	"repro/internal/inflate"
+	"repro/internal/kplex"
+)
+
+// runResult is one timed algorithm invocation.
+type runResult struct {
+	dur       time.Duration
+	solutions int64
+	timedOut  bool
+	outOfMem  bool // FaPlexen's inflation refusal ("OUT" in Figure 7a)
+}
+
+func (r runResult) cell() string {
+	switch {
+	case r.outOfMem:
+		return "OUT"
+	case r.timedOut:
+		return "INF"
+	default:
+		return fmtDur(r.dur)
+	}
+}
+
+// runCore times one engine run collecting up to firstN MBPs.
+func runCore(g *bigraph.Graph, opts core.Options, firstN int, timeout time.Duration) runResult {
+	cancel := deadline(timeout)
+	opts.Cancel = cancel
+	opts.MaxResults = firstN
+	t0 := time.Now()
+	st, err := core.Enumerate(g, opts, nil)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	d := time.Since(t0)
+	timedOut := timeout > 0 && d > timeout && (firstN == 0 || st.Solutions < int64(firstN))
+	return runResult{dur: d, solutions: st.Solutions, timedOut: timedOut}
+}
+
+// runIMB times one iMB run collecting up to firstN MBPs.
+func runIMB(g *bigraph.Graph, k, thetaL, thetaR, firstN int, timeout time.Duration) runResult {
+	opts := imb.Options{K: k, ThetaL: thetaL, ThetaR: thetaR, MaxResults: firstN, Cancel: deadline(timeout)}
+	t0 := time.Now()
+	st := imb.Enumerate(g, opts, nil)
+	d := time.Since(t0)
+	timedOut := timeout > 0 && d > timeout && (firstN == 0 || st.Solutions < int64(firstN))
+	return runResult{dur: d, solutions: st.Solutions, timedOut: timedOut}
+}
+
+// faPlexenEdgeBudget caps the materialized inflated graph: beyond this
+// many edges the baseline is declared OUT, the analogue of the paper's
+// 32GB memory limit. The paper reports FaPlexen OUT from Marvel onward
+// (its inflation produces >200M edges at full scale); the budget is set
+// so the same cutoff holds at the reduced default scale.
+const faPlexenEdgeBudget = 50_000_000
+
+// runFaPlexen times the graph-inflation baseline: inflate g, enumerate
+// maximal (k+1)-plexes, map back to MBPs.
+func runFaPlexen(g *bigraph.Graph, k, firstN int, timeout time.Duration) runResult {
+	nl, nr := int64(g.NumLeft()), int64(g.NumRight())
+	inflEdges := nl*(nl-1)/2 + nr*(nr-1)/2 + int64(g.NumEdges())
+	if inflEdges > faPlexenEdgeBudget {
+		return runResult{outOfMem: true}
+	}
+	cancel := deadline(timeout)
+	t0 := time.Now()
+	ig := inflate.Inflate(g)
+	var n int64
+	kplex.EnumerateMaximalCancel(ig, k+1, cancel, func(members []int32) bool {
+		n++
+		return firstN == 0 || n < int64(firstN)
+	})
+	d := time.Since(t0)
+	timedOut := timeout > 0 && d > timeout && (firstN == 0 || n < int64(firstN))
+	return runResult{dur: d, solutions: n, timedOut: timedOut}
+}
+
+// measureDelay runs fn to completion (or budget) and reports the maximum
+// gap between consecutive outputs, including start→first and last→end
+// (the paper's delay definition in Section 3.5).
+func measureDelay(budget time.Duration, fn func(cancel func() bool, tick func())) (maxGap time.Duration, completed bool) {
+	cancel := deadline(budget)
+	start := time.Now()
+	last := start
+	tick := func() {
+		now := time.Now()
+		if gap := now.Sub(last); gap > maxGap {
+			maxGap = gap
+		}
+		last = now
+	}
+	fn(cancel, tick)
+	end := time.Now()
+	if gap := end.Sub(last); gap > maxGap {
+		maxGap = gap
+	}
+	completed = budget <= 0 || end.Sub(start) <= budget
+	return maxGap, completed
+}
+
+// collectFirstN gathers the first n MBPs of g under iTraversal, used to
+// seed Figure 12's random almost-satisfying graphs. The budget bounds the
+// collection itself: at large k the expansion of a single solution can be
+// astronomically wide (γ = O(|Renum|^k)), so an uncancellable collection
+// could stall the whole harness.
+func collectFirstN(g *bigraph.Graph, k, n int, budget time.Duration) []biplex.Pair {
+	opts := core.ITraversal(k)
+	opts.MaxResults = n
+	opts.Cancel = deadline(budget)
+	var out []biplex.Pair
+	if _, err := core.Enumerate(g, opts, func(p biplex.Pair) bool {
+		out = append(out, p.Clone())
+		return true
+	}); err != nil {
+		panic("exp: " + err.Error())
+	}
+	return out
+}

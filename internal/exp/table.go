@@ -1,0 +1,133 @@
+// Package exp is the experiment harness: one runner per table and figure
+// of the paper's evaluation (Section 6), each producing a Table that
+// cmd/experiments renders and EXPERIMENTS.md records. Absolute numbers
+// differ from the paper (different hardware, synthetic dataset stand-ins,
+// reduced default scale); the reproduction target is the shape — who
+// wins, by what order of magnitude, and where trends cross.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result in row/column form.
+type Table struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		return strings.Join(out, ",")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Config controls the scale of every experiment runner.
+type Config struct {
+	// Progress, when non-nil, receives one line per experiment cell so
+	// long runs are observable (cmd/experiments wires it to stderr).
+	Progress io.Writer
+
+	// MaxEdges caps the synthetic stand-in dataset sizes (0 = paper
+	// scale). The default keeps every figure reproducible in minutes on a
+	// laptop.
+	MaxEdges int
+	// Timeout is the per-algorithm-run budget standing in for the paper's
+	// 24h INF limit; timed-out cells render as "INF".
+	Timeout time.Duration
+	// FirstN is the number of MBPs collected per run, following the
+	// paper's "first 1,000 MBPs" protocol.
+	FirstN int
+}
+
+// DefaultConfig returns laptop-scale settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxEdges: 60_000,
+		Timeout:  20 * time.Second,
+		FirstN:   1000,
+	}
+}
+
+// fmtDur renders a duration the way the paper's log-scale plots read:
+// seconds with three significant decimals.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.4g", d.Seconds())
+}
+
+// progressf logs one progress line when the config asks for it.
+func (c Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, "    "+format+"\n", args...)
+	}
+}
+
+// deadline returns a cancel func that trips after the budget. A zero
+// budget never cancels.
+func deadline(budget time.Duration) func() bool {
+	if budget <= 0 {
+		return nil
+	}
+	t0 := time.Now()
+	n := 0
+	return func() bool {
+		// Poll the clock every 256 calls to keep the check cheap.
+		n++
+		if n%256 != 0 {
+			return false
+		}
+		return time.Since(t0) > budget
+	}
+}

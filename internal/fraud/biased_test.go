@@ -1,0 +1,127 @@
+package fraud
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+)
+
+// detectBiplex runs the 1-biplex detector with the case study's best
+// thresholds (θL=4, θR=5 per Figure 13) and returns its metrics.
+func detectBiplex(t *testing.T, s *Scenario) Metrics {
+	t.Helper()
+	opts := core.ITraversal(1)
+	opts.ThetaL, opts.ThetaR = 4, 5
+	var found []biplex.Pair
+	if _, err := core.Enumerate(s.G, opts, func(p biplex.Pair) bool {
+		found = append(found, p.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s.Evaluate(found)
+}
+
+// TestBiasedCamouflage contrasts the two attack models on the biplex
+// detector. The planted block is identical under both, so recall stays
+// perfect either way; but biased camouflage concentrates the fake users'
+// cover traffic on a small pool of popular products, manufacturing
+// quasi-dense decoy blocks between fake users and real products — so
+// precision degrades relative to the random attack (the effect FRAUDAR
+// designed the biased attack to have on density-based detectors).
+func TestBiasedCamouflage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RealUsers, cfg.RealProducts, cfg.RealReviews = 800, 120, 1000
+	cfg.PowerUsers, cfg.PopularProducts, cfg.PowerPerUser = 60, 40, 8
+
+	random := cfg
+	biased := cfg
+	biased.Biased = true
+
+	mRandom := detectBiplex(t, NewScenario(random))
+	mBiased := detectBiplex(t, NewScenario(biased))
+
+	if !mRandom.Defined || !mBiased.Defined {
+		t.Fatalf("1-biplex detector found nothing: random=%+v biased=%+v", mRandom, mBiased)
+	}
+	// The planted block survives both attacks: full recall.
+	if mRandom.Recall < 0.9 || mBiased.Recall < 0.9 {
+		t.Fatalf("camouflage broke biplex recall: random=%+v biased=%+v", mRandom, mBiased)
+	}
+	// Biased camouflage is the strictly harder attack for a
+	// density-based detector: precision must not improve under it.
+	if mBiased.Precision > mRandom.Precision {
+		t.Fatalf("biased camouflage should not raise precision: random=%+v biased=%+v",
+			mRandom, mBiased)
+	}
+}
+
+// TestBiasedTargetsPopularProducts checks the attack mechanics: under the
+// biased attack, camouflage edges land on the popularity-ranked pool.
+func TestBiasedTargetsPopularProducts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RealUsers, cfg.RealProducts, cfg.RealReviews = 400, 80, 500
+	cfg.PowerUsers, cfg.PopularProducts, cfg.PowerPerUser = 40, 25, 8
+	cfg.Biased = true
+	s := NewScenario(cfg)
+
+	// Rank real products by organic degree (excluding fake users).
+	type prodDeg struct {
+		id  int32
+		deg int
+	}
+	camoTargets := map[int32]int{}
+	for i := 0; i < cfg.FakeUsers; i++ {
+		fu := s.FakeL0 + int32(i)
+		for _, u := range s.G.NeighL(fu) {
+			if u < s.FakeR0 {
+				camoTargets[u]++
+			}
+		}
+	}
+	if len(camoTargets) == 0 {
+		t.Fatal("no camouflage edges")
+	}
+	// Every camouflage target must be one of the PopularProducts most
+	// popular real products... which we cannot recompute exactly here
+	// (degrees shifted by the attack itself), so assert the weaker,
+	// deterministic property: the number of distinct camouflage targets
+	// is at most the configured pool size.
+	if len(camoTargets) > cfg.PopularProducts {
+		t.Fatalf("biased camouflage spread over %d products, pool is %d",
+			len(camoTargets), cfg.PopularProducts)
+	}
+}
+
+// TestRandomVsBiasedSpread contrasts the two attacks: random camouflage
+// touches many more distinct products than the biased pool allows.
+func TestRandomVsBiasedSpread(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RealUsers, cfg.RealProducts, cfg.RealReviews = 400, 200, 500
+	cfg.CamoPerUser = 8
+
+	spread := func(biased bool) int {
+		c := cfg
+		c.Biased = biased
+		s := NewScenario(c)
+		targets := map[int32]bool{}
+		for i := 0; i < c.FakeUsers; i++ {
+			fu := s.FakeL0 + int32(i)
+			for _, u := range s.G.NeighL(fu) {
+				if u < s.FakeR0 {
+					targets[u] = true
+				}
+			}
+		}
+		return len(targets)
+	}
+
+	rnd, bia := spread(false), spread(true)
+	if bia > cfg.PopularProducts {
+		t.Fatalf("biased spread %d exceeds pool %d", bia, cfg.PopularProducts)
+	}
+	if rnd <= bia {
+		t.Fatalf("random camouflage (%d products) should spread wider than biased (%d)", rnd, bia)
+	}
+}

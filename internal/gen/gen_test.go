@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestERDeterministic(t *testing.T) {
+	a := ER(50, 60, 3, 7)
+	b := ER(50, 60, 3, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	eq := true
+	a.Edges(func(v, u int32) bool {
+		if !b.HasEdge(v, u) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	if !eq {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestERSeedMatters(t *testing.T) {
+	a := ER(50, 60, 3, 7)
+	b := ER(50, 60, 3, 8)
+	diff := false
+	a.Edges(func(v, u int32) bool {
+		if !b.HasEdge(v, u) {
+			diff = true
+			return false
+		}
+		return true
+	})
+	if !diff {
+		t.Fatal("different seeds produced identical graphs (vanishingly unlikely)")
+	}
+}
+
+func TestERTargetsDensity(t *testing.T) {
+	g := ER(100, 100, 10, 1)
+	want := 10 * (100 + 100)
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERDenseFallback(t *testing.T) {
+	// density so high the shuffle path triggers (target > 0.5*max).
+	g := ER(20, 20, 6, 3) // target 240 of max 400
+	if g.NumEdges() != 240 {
+		t.Fatalf("edges = %d, want 240", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERClampsAtComplete(t *testing.T) {
+	g := ER(5, 5, 100, 1)
+	if g.NumEdges() != 25 {
+		t.Fatalf("edges = %d, want complete 25", g.NumEdges())
+	}
+}
+
+func TestERZeroDensity(t *testing.T) {
+	g := ER(10, 10, 0, 1)
+	if g.NumEdges() != 0 {
+		t.Fatalf("edges = %d, want 0", g.NumEdges())
+	}
+	if g.NumLeft() != 10 || g.NumRight() != 10 {
+		t.Fatal("vertex counts must survive zero density")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	g := Zipf(1000, 800, 5000, 1.5, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != 1000 || g.NumRight() != 800 {
+		t.Fatalf("sizes %d,%d", g.NumLeft(), g.NumRight())
+	}
+	if g.NumEdges() < 3000 {
+		t.Fatalf("too many duplicates: %d edges of 5000 samples", g.NumEdges())
+	}
+	// Heavy tail: max degree should dwarf the average.
+	maxDeg, sum := 0, 0
+	for v := int32(0); v < int32(g.NumLeft()); v++ {
+		d := g.DegL(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.NumLeft())
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("degree distribution not skewed: max %d avg %.2f", maxDeg, avg)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Zipf(100, 100, 500, 1.6, 9)
+	b := Zipf(100, 100, 500, 1.6, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("Zipf not deterministic")
+	}
+}
+
+func TestPlantBlock(t *testing.T) {
+	base := ER(30, 30, 2, 5)
+	g, l0, r0 := PlantBlock(base, 4, 6, 1, 11)
+	if g.NumLeft() != 34 || g.NumRight() != 36 {
+		t.Fatalf("sizes after plant: %d,%d", g.NumLeft(), g.NumRight())
+	}
+	if l0 != 30 || r0 != 30 {
+		t.Fatalf("block offsets %d,%d", l0, r0)
+	}
+	// Every planted left vertex must connect exactly blockRight-miss block
+	// right vertices.
+	for i := int32(0); i < 4; i++ {
+		deg := 0
+		for _, u := range g.NeighL(l0 + i) {
+			if u >= r0 {
+				deg++
+			}
+		}
+		if deg != 5 {
+			t.Fatalf("planted vertex %d has block degree %d, want 5", i, deg)
+		}
+	}
+	// Original edges preserved.
+	base.Edges(func(v, u int32) bool {
+		if !g.HasEdge(v, u) {
+			t.Fatalf("edge (%d,%d) lost", v, u)
+		}
+		return true
+	})
+}
+
+// TestQuickERValid checks structural validity over random parameters.
+func TestQuickERValid(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := 1 + int(seed%13+13)%13
+		nr := 1 + int(seed%17+17)%17
+		g := ER(nl, nr, 2, seed)
+		return g.Validate() == nil && g.NumEdges() <= nl*nr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

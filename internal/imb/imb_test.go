@@ -1,0 +1,121 @@
+package imb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+func collect(gSeed int64, nl, nr int, density float64, opts Options) ([]biplex.Pair, Stats) {
+	g := gen.ER(nl, nr, density, gSeed)
+	var out []biplex.Pair
+	st := Enumerate(g, opts, func(p biplex.Pair) bool {
+		out = append(out, p.Clone())
+		return true
+	})
+	biplex.SortPairs(out)
+	return out, st
+}
+
+// TestVsOracle: unconstrained iMB must reproduce the brute-force MBP set.
+func TestVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		nl, nr := 2+rng.Intn(5), 2+rng.Intn(5)
+		seed := rng.Int63()
+		k := 1 + rng.Intn(2)
+		g := gen.ER(nl, nr, 0.5+rng.Float64()*2, seed)
+		want := biplex.BruteForce(g, k)
+		var got []biplex.Pair
+		Enumerate(g, Options{K: k}, func(p biplex.Pair) bool {
+			got = append(got, p.Clone())
+			return true
+		})
+		biplex.SortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d k=%d: %d vs oracle %d", trial, k, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: solution sets differ", trial)
+			}
+		}
+	}
+}
+
+// TestSizeConstraints: constrained output equals the filtered oracle.
+func TestSizeConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		seed := rng.Int63()
+		g := gen.ER(5, 5, 1+rng.Float64()*2, seed)
+		k := 1
+		tl, tr := 1+rng.Intn(3), 1+rng.Intn(3)
+		var want []biplex.Pair
+		for _, p := range biplex.BruteForce(g, k) {
+			if len(p.L) >= tl && len(p.R) >= tr {
+				want = append(want, p)
+			}
+		}
+		var got []biplex.Pair
+		Enumerate(g, Options{K: k, ThetaL: tl, ThetaR: tr}, func(p biplex.Pair) bool {
+			got = append(got, p.Clone())
+			return true
+		})
+		biplex.SortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d θ=(%d,%d): %d vs %d", trial, tl, tr, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: constrained sets differ", trial)
+			}
+		}
+	}
+}
+
+// TestPruningReducesBranches: tightening θ must not increase the number
+// of explored branches (the point of iMB's size pruning).
+func TestPruningReducesBranches(t *testing.T) {
+	g := gen.ER(7, 7, 2, 44)
+	loose := Enumerate(g, Options{K: 1}, nil)
+	tight := Enumerate(g, Options{K: 1, ThetaL: 3, ThetaR: 3}, nil)
+	if tight.Branches > loose.Branches {
+		t.Fatalf("pruned run explored more branches: %d > %d", tight.Branches, loose.Branches)
+	}
+}
+
+func TestMaxResults(t *testing.T) {
+	got, st := collect(5, 6, 6, 2, Options{K: 1, MaxResults: 2})
+	if len(got) != 2 || st.Solutions != 2 {
+		t.Fatalf("MaxResults=2 gave %d", len(got))
+	}
+}
+
+func TestEmitStop(t *testing.T) {
+	g := gen.ER(6, 6, 2, 9)
+	n := 0
+	Enumerate(g, Options{K: 1}, func(biplex.Pair) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("emitted %d after stop", n)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := gen.ER(3, 3, 0, 1)
+	want := biplex.BruteForce(g, 1)
+	var got []biplex.Pair
+	Enumerate(g, Options{K: 1}, func(p biplex.Pair) bool {
+		got = append(got, p.Clone())
+		return true
+	})
+	biplex.SortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("edgeless graph: %d vs %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,96 @@
+package inflate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/gen"
+	"repro/internal/kplex"
+)
+
+func TestInflateStructure(t *testing.T) {
+	g := bigraph.FromEdges(3, 2, [][2]int32{{0, 0}, {2, 1}})
+	inf := Inflate(g)
+	if inf.N() != 5 {
+		t.Fatalf("N = %d, want 5", inf.N())
+	}
+	// Same-side pairs are edges.
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}} {
+		if !inf.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing same-side edge %v", e)
+		}
+	}
+	// Bipartite edges cross-side only where present.
+	if !inf.HasEdge(0, 3) || !inf.HasEdge(2, 4) {
+		t.Fatal("missing bipartite edges")
+	}
+	if inf.HasEdge(0, 4) || inf.HasEdge(1, 3) {
+		t.Fatal("spurious bipartite edges")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	l, r := Split([]int32{0, 2, 3, 4}, 3)
+	if len(l) != 2 || l[0] != 0 || l[1] != 2 {
+		t.Fatalf("left = %v", l)
+	}
+	if len(r) != 2 || r[0] != 0 || r[1] != 1 {
+		t.Fatalf("right = %v", r)
+	}
+}
+
+func TestInflateInducedMatchesInflateOfInduced(t *testing.T) {
+	g := gen.ER(6, 6, 2, 3)
+	lset := []int32{0, 2, 5}
+	rset := []int32{1, 3}
+	direct := InflateInduced(g, lset, rset)
+	sub, _, _ := g.InducedSubgraph(lset, rset)
+	viaSub := Inflate(sub)
+	if direct.N() != viaSub.N() {
+		t.Fatalf("vertex counts differ: %d vs %d", direct.N(), viaSub.N())
+	}
+	for a := 0; a < direct.N(); a++ {
+		for b := a + 1; b < direct.N(); b++ {
+			if direct.HasEdge(a, b) != viaSub.HasEdge(a, b) {
+				t.Fatalf("edge (%d,%d) differs", a, b)
+			}
+		}
+	}
+}
+
+// TestCorrespondence verifies the paper's core reduction: maximal
+// (k+1)-plexes of the inflated graph are exactly the maximal k-biplexes of
+// the bipartite graph.
+func TestCorrespondence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 2+rng.Intn(4), 2+rng.Intn(4)
+		g := gen.ER(nl, nr, 1.5, seed)
+		k := 1 + rng.Intn(2)
+
+		var viaPlex []biplex.Pair
+		kplex.EnumerateMaximal(Inflate(g), k+1, func(m []int32) bool {
+			l, r := Split(append([]int32(nil), m...), nl)
+			viaPlex = append(viaPlex, biplex.Pair{L: l, R: r})
+			return true
+		})
+		biplex.SortPairs(viaPlex)
+
+		want := biplex.BruteForce(g, k)
+		if len(viaPlex) != len(want) {
+			return false
+		}
+		for i := range want {
+			if string(viaPlex[i].Key()) != string(want[i].Key()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package kplex enumerates maximal k-plexes on general (non-bipartite)
+// graphs.
+//
+// A k-plex is a vertex set S in which every member is adjacent to at least
+// |S|-k other members (equivalently, each vertex "disconnects" at most k
+// vertices of S counting itself, the convention used by the paper when it
+// relates k-biplexes on a bipartite graph to (k+1)-plexes on its inflated
+// general graph).
+//
+// The enumerator is a Bron–Kerbosch-style binary branching with candidate
+// and exclusion filtering, the same algorithmic family as FaPlexen, the
+// baseline the paper compares against. Like FaPlexen it has exponential
+// delay; it exists as a baseline and as the implementation of the
+// "Inflation" variant of EnumAlmostSat (Figure 12).
+package kplex
+
+import (
+	"repro/internal/bitset"
+)
+
+// Graph is a simple undirected general graph with adjacency stored as one
+// bitset row per vertex.
+type Graph struct {
+	n   int
+	adj []*bitset.Set
+}
+
+// NewGraph returns an edgeless graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]*bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a].Add(b)
+	g.adj[b].Add(a)
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b int) bool { return g.adj[a].Contains(b) }
+
+// Adj returns the adjacency bitset of v. Callers must not modify it.
+func (g *Graph) Adj(v int) *bitset.Set { return g.adj[v] }
+
+// EnumerateMaximal enumerates every maximal k-plex of g (k >= 1), calling
+// emit with the member ids in ascending order. The slice passed to emit is
+// reused between calls; emit must copy it to retain it. Returning false
+// from emit stops the enumeration.
+func EnumerateMaximal(g *Graph, k int, emit func(members []int32) bool) {
+	EnumerateMaximalCancel(g, k, nil, emit)
+}
+
+// EnumerateMaximalCancel is EnumerateMaximal with a cooperative cancel
+// hook polled at every branch (timeout support for baseline runs, whose
+// delay between emissions is exponential in the worst case).
+func EnumerateMaximalCancel(g *Graph, k int, cancel func() bool, emit func(members []int32) bool) {
+	if g.n == 0 {
+		return
+	}
+	e := &enumerator{g: g, k: k, emit: emit, cancel: cancel}
+	cand := bitset.New(g.n)
+	for i := 0; i < g.n; i++ {
+		cand.Add(i)
+	}
+	e.run(newState(g.n), cand, bitset.New(g.n))
+}
+
+type enumerator struct {
+	g       *Graph
+	k       int
+	emit    func([]int32) bool
+	cancel  func() bool
+	stopped bool
+	buf     []int32
+	ops     int // coarse work counter driving extra cancel polls
+}
+
+// pollCancel samples the cancel hook roughly every 4096 units of work so
+// even a single expensive branch (dense inflated graphs have huge
+// candidate sets) stays responsive to timeouts.
+func (e *enumerator) pollCancel(work int) bool {
+	if e.cancel == nil || e.stopped {
+		return e.stopped
+	}
+	e.ops += work
+	if e.ops >= 4096 {
+		e.ops = 0
+		if e.cancel() {
+			e.stopped = true
+		}
+	}
+	return e.stopped
+}
+
+// state tracks the current k-plex P with per-member degrees inside P.
+type state struct {
+	p     *bitset.Set
+	size  int
+	degIn []int // degIn[v] = |Γ(v) ∩ P| for every vertex v
+}
+
+func newState(n int) *state {
+	return &state{p: bitset.New(n), degIn: make([]int, n)}
+}
+
+// canAdd reports whether P ∪ {u} is a k-plex.
+func (e *enumerator) canAdd(s *state, u int) bool {
+	// u itself: deg_P(u) >= |P|+1-k.
+	if s.degIn[u] < s.size+1-e.k {
+		return false
+	}
+	// Existing members not adjacent to u lose one unit of slack.
+	ok := true
+	s.p.ForEach(func(w int) bool {
+		if w != u && !e.g.HasEdge(u, w) && s.degIn[w] < s.size+1-e.k {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func (s *state) add(g *Graph, u int) {
+	s.p.Add(u)
+	s.size++
+	g.Adj(u).ForEach(func(w int) bool {
+		s.degIn[w]++
+		return true
+	})
+}
+
+func (s *state) remove(g *Graph, u int) {
+	s.p.Remove(u)
+	s.size--
+	g.Adj(u).ForEach(func(w int) bool {
+		s.degIn[w]--
+		return true
+	})
+}
+
+// run explores P with candidate set cand (vertices u where P∪{u} is a
+// k-plex) and exclusion set excl (processed vertices that may still extend
+// P, used for the maximality test).
+func (e *enumerator) run(s *state, cand, excl *bitset.Set) {
+	if e.stopped {
+		return
+	}
+	if e.cancel != nil && e.cancel() {
+		e.stopped = true
+		return
+	}
+	u := cand.Next(0)
+	if u < 0 {
+		// Leaf: P is maximal iff no excluded vertex can still extend it.
+		maximal := true
+		excl.ForEach(func(x int) bool {
+			if e.canAdd(s, x) {
+				maximal = false
+				return false
+			}
+			return true
+		})
+		if maximal {
+			e.buf = s.p.AppendTo(e.buf[:0])
+			if !e.emit(e.buf) {
+				e.stopped = true
+			}
+		}
+		return
+	}
+
+	// Branch 1: include u.
+	s.add(e.g, u)
+	candIn := bitset.New(cand.Cap())
+	cand.ForEach(func(w int) bool {
+		if e.pollCancel(s.size) {
+			return false
+		}
+		if w != u && e.canAdd(s, w) {
+			candIn.Add(w)
+		}
+		return true
+	})
+	if e.stopped {
+		s.remove(e.g, u)
+		return
+	}
+	exclIn := bitset.New(excl.Cap())
+	excl.ForEach(func(x int) bool {
+		if e.canAdd(s, x) {
+			exclIn.Add(x)
+		}
+		return true
+	})
+	e.run(s, candIn, exclIn)
+	s.remove(e.g, u)
+	if e.stopped {
+		return
+	}
+
+	// Branch 2: exclude u.
+	candOut := cand.Clone()
+	candOut.Remove(u)
+	exclOut := excl.Clone()
+	exclOut.Add(u)
+	e.run(s, candOut, exclOut)
+}
+
+// IsKPlex reports whether the vertex set s is a k-plex of g.
+func IsKPlex(g *Graph, s []int32, k int) bool {
+	set := bitset.New(g.N())
+	for _, v := range s {
+		set.Add(int(v))
+	}
+	for _, v := range s {
+		deg := 0
+		g.Adj(int(v)).ForEach(func(w int) bool {
+			if set.Contains(w) {
+				deg++
+			}
+			return true
+		})
+		if deg < len(s)-k {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalKPlex reports whether s is a k-plex no single vertex can extend.
+func IsMaximalKPlex(g *Graph, s []int32, k int) bool {
+	if !IsKPlex(g, s, k) {
+		return false
+	}
+	set := bitset.New(g.N())
+	for _, v := range s {
+		set.Add(int(v))
+	}
+	for u := 0; u < g.N(); u++ {
+		if set.Contains(u) {
+			continue
+		}
+		ext := append(append([]int32(nil), s...), int32(u))
+		if IsKPlex(g, ext, k) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package kplex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 0-2, 2-3.
+func sample() *Graph {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func collect(g *Graph, k int) [][]int32 {
+	var out [][]int32
+	EnumerateMaximal(g, k, func(m []int32) bool {
+		out = append(out, append([]int32(nil), m...))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func less(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func TestMaximalCliques(t *testing.T) {
+	// k=1 plexes are cliques. Triangle+pendant has maximal cliques
+	// {0,1,2} and {2,3}.
+	got := collect(sample(), 1)
+	want := [][]int32{{0, 1, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("cliques = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !eq(got[i], want[i]) {
+			t.Fatalf("cliques = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTwoPlexesOnSample(t *testing.T) {
+	// Every emitted set must be a maximal 2-plex, none missing compared to
+	// a brute-force scan.
+	g := sample()
+	got := collect(g, 2)
+	brute := bruteMaximalKPlexes(g, 2)
+	if len(got) != len(brute) {
+		t.Fatalf("got %v, brute %v", got, brute)
+	}
+	for i := range brute {
+		if !eq(got[i], brute[i]) {
+			t.Fatalf("got %v, brute %v", got, brute)
+		}
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	if got := collect(NewGraph(0), 1); len(got) != 0 {
+		t.Fatalf("empty graph produced %v", got)
+	}
+	got := collect(NewGraph(1), 1)
+	if len(got) != 1 || !eq(got[0], []int32{0}) {
+		t.Fatalf("singleton graph produced %v", got)
+	}
+	// Two isolated vertices, k=2: {0,1} is a 2-plex (each misses one).
+	got = collect(NewGraph(2), 2)
+	if len(got) != 1 || !eq(got[0], []int32{0, 1}) {
+		t.Fatalf("two isolated vertices k=2 produced %v", got)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	g := NewGraph(6) // 6 isolated vertices, k=1: six maximal cliques
+	n := 0
+	EnumerateMaximal(g, 1, func([]int32) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop emitted %d", n)
+	}
+}
+
+func TestIsKPlexHelpers(t *testing.T) {
+	g := sample()
+	if !IsKPlex(g, []int32{0, 1, 2}, 1) {
+		t.Fatal("triangle not a 1-plex")
+	}
+	if IsKPlex(g, []int32{0, 1, 3}, 1) {
+		t.Fatal("{0,1,3} reported as clique")
+	}
+	// Vertex 3 has only one neighbor in the whole set, so the set is a
+	// 3-plex (4-1 >= 4-3) but not a 2-plex.
+	if IsKPlex(g, []int32{0, 1, 2, 3}, 2) {
+		t.Fatal("whole sample reported as 2-plex")
+	}
+	if !IsKPlex(g, []int32{0, 1, 2, 3}, 3) {
+		t.Fatal("whole sample not a 3-plex")
+	}
+	if !IsMaximalKPlex(g, []int32{0, 1, 2, 3}, 3) {
+		t.Fatal("whole sample not maximal as a 3-plex")
+	}
+	if IsMaximalKPlex(g, []int32{2, 3}, 2) {
+		t.Fatal("{2,3} maximal as a 2-plex, but it extends")
+	}
+}
+
+// bruteMaximalKPlexes enumerates maximal k-plexes by subset scan (n <= 16).
+func bruteMaximalKPlexes(g *Graph, k int) [][]int32 {
+	n := g.N()
+	if n > 16 {
+		panic("brute input too large")
+	}
+	isPlex := func(mask uint32) bool {
+		var members []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				members = append(members, int32(v))
+			}
+		}
+		return IsKPlex(g, members, k)
+	}
+	var out [][]int32
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		if !isPlex(mask) {
+			continue
+		}
+		maximal := true
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) == 0 && isPlex(mask|1<<uint(v)) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			var members []int32
+			for v := 0; v < n; v++ {
+				if mask&(1<<uint(v)) != 0 {
+					members = append(members, int32(v))
+				}
+			}
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// TestQuickVsBrute cross-checks the enumerator against the subset scan on
+// random graphs for k in 1..3.
+func TestQuickVsBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := NewGraph(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+		k := 1 + rng.Intn(3)
+		got := collect(g, k)
+		want := bruteMaximalKPlexes(g, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !eq(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

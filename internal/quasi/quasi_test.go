@@ -1,0 +1,146 @@
+package quasi
+
+import (
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/gen"
+)
+
+func TestIsQuasiBiclique(t *testing.T) {
+	// Complete 3x3 minus one edge (0,0).
+	var edges [][2]int32
+	for v := int32(0); v < 3; v++ {
+		for u := int32(0); u < 3; u++ {
+			if v == 0 && u == 0 {
+				continue
+			}
+			edges = append(edges, [2]int32{v, u})
+		}
+	}
+	g := bigraph.FromEdges(3, 3, edges)
+	L := []int32{0, 1, 2}
+	R := []int32{0, 1, 2}
+	// One miss out of 3 per affected vertex: needs δ ≥ 1/3.
+	if IsQuasiBiclique(g, L, R, 0.2) {
+		t.Fatal("δ=0.2 should reject one missing edge in a 3x3")
+	}
+	if !IsQuasiBiclique(g, L, R, 0.34) {
+		t.Fatal("δ=0.34 should accept one missing edge in a 3x3")
+	}
+	// δ=0 means biclique.
+	if !IsQuasiBiclique(g, []int32{1, 2}, R, 0) {
+		t.Fatal("complete sub-block rejected at δ=0")
+	}
+	if IsQuasiBiclique(g, L, R, 0) {
+		t.Fatal("incomplete block accepted at δ=0")
+	}
+}
+
+func TestIsQuasiBicliqueEmptySides(t *testing.T) {
+	g := bigraph.FromEdges(2, 2, nil)
+	if !IsQuasiBiclique(g, nil, nil, 0.1) {
+		t.Fatal("empty pair rejected")
+	}
+	if !IsQuasiBiclique(g, []int32{0}, nil, 0.1) {
+		t.Fatal("one-sided pair rejected")
+	}
+}
+
+func TestFindRecoversPlantedBlock(t *testing.T) {
+	// Sparse background plus a planted near-complete 6x8 block with one
+	// miss per planted left vertex.
+	base := gen.ER(40, 40, 1, 7)
+	g, l0, r0 := gen.PlantBlock(base, 6, 8, 1, 3)
+	got := Find(g, Options{Delta: 0.2, ThetaL: 4, ThetaR: 4, MaxResults: 5})
+	if len(got) == 0 {
+		t.Fatal("no δ-QB found despite planted block")
+	}
+	// At least one result must be dominated by planted vertices.
+	found := false
+	for _, p := range got {
+		planted := 0
+		for _, v := range p.L {
+			if v >= l0 {
+				planted++
+			}
+		}
+		for _, u := range p.R {
+			if u >= r0 {
+				planted++
+			}
+		}
+		if planted >= (len(p.L)+len(p.R))*3/4 {
+			found = true
+		}
+		// Every reported subgraph must actually satisfy the property.
+		if !IsQuasiBiclique(g, p.L, p.R, 0.2) {
+			t.Fatalf("reported non-δ-QB %v", p)
+		}
+		if len(p.L) < 4 || len(p.R) < 4 {
+			t.Fatalf("size constraint violated: %v", p)
+		}
+	}
+	if !found {
+		t.Fatalf("planted block not recovered: %v", got)
+	}
+}
+
+func TestFindDeterministic(t *testing.T) {
+	g := gen.ER(30, 30, 3, 11)
+	a := Find(g, Options{Delta: 0.3, ThetaL: 2, ThetaR: 2, MaxResults: 3})
+	b := Find(g, Options{Delta: 0.3, ThetaL: 2, ThetaR: 2, MaxResults: 3})
+	if len(a) != len(b) {
+		t.Fatal("Find not deterministic")
+	}
+	for i := range a {
+		if string(a[i].Key()) != string(b[i].Key()) {
+			t.Fatal("Find not deterministic")
+		}
+	}
+}
+
+func TestFindRespectsMaxResults(t *testing.T) {
+	g := gen.ER(30, 30, 4, 13)
+	got := Find(g, Options{Delta: 0.5, ThetaL: 1, ThetaR: 1, MaxResults: 2})
+	if len(got) > 2 {
+		t.Fatalf("MaxResults=2 returned %d", len(got))
+	}
+}
+
+func TestMissesHelper(t *testing.T) {
+	cases := []struct {
+		neigh, set []int32
+		want       int
+	}{
+		{nil, nil, 0},
+		{nil, []int32{1, 2}, 2},
+		{[]int32{1, 2}, []int32{1, 2}, 0},
+		{[]int32{1, 3}, []int32{1, 2, 3, 4}, 2},
+		{[]int32{5}, []int32{1}, 1},
+	}
+	for _, c := range cases {
+		if got := misses(c.neigh, c.set); got != c.want {
+			t.Errorf("misses(%v,%v) = %d, want %d", c.neigh, c.set, got, c.want)
+		}
+	}
+}
+
+func TestTopByCount(t *testing.T) {
+	cnt := map[int32]int{4: 2, 1: 5, 9: 2, 3: 5}
+	got := topByCount(cnt, 3)
+	// Order: count desc, then id asc → 1, 3, then one of the twos (4).
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("topByCount = %v", got)
+	}
+	if got := topByCount(map[int32]int{}, 5); len(got) != 0 {
+		t.Fatalf("empty topByCount = %v", got)
+	}
+}
+
+func TestFindEmptyGraph(t *testing.T) {
+	g := bigraph.FromEdges(3, 3, nil)
+	if got := Find(g, Options{Delta: 0.2, ThetaL: 1, ThetaR: 1}); len(got) != 0 {
+		t.Fatalf("edgeless graph yielded %v", got)
+	}
+}

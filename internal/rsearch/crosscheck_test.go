@@ -1,0 +1,49 @@
+package rsearch
+
+import (
+	"testing"
+
+	"repro/internal/biclique"
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+// TestBicliquesCrossImplementation validates two fully independent
+// maximal-biclique enumerators against each other: the reverse-search
+// instantiation here and the set-enumeration backtracker in package
+// biclique. A bug would have to be implemented twice, in two different
+// algorithms, to slip through.
+func TestBicliquesCrossImplementation(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := gen.ER(9, 9, 1.2+0.3*float64(seed%4), seed)
+
+		sys := Bicliques(g)
+		sets, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mine []biplex.Pair
+		for _, set := range sets {
+			l, r := sys.Split(set)
+			mine = append(mine, biplex.Pair{L: l, R: r})
+		}
+		biplex.SortPairs(mine)
+
+		var other []biplex.Pair
+		biclique.Enumerate(g, biclique.Options{}, func(p biplex.Pair) bool {
+			other = append(other, p.Clone())
+			return true
+		})
+		biplex.SortPairs(other)
+
+		if len(mine) != len(other) {
+			t.Fatalf("seed %d: reverse search found %d maximal bicliques, backtracker %d",
+				seed, len(mine), len(other))
+		}
+		for i := range mine {
+			if !mine[i].Equal(other[i]) {
+				t.Fatalf("seed %d: mismatch at %d: %v vs %v", seed, i, mine[i], other[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package rsearch
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/kplex"
+)
+
+// IndependentSetSystem is the hereditary system of independent sets of a
+// general graph. Its input-restricted problem has the unique local solution
+// (base \ N(v)) ∪ {v}, so reverse search over it reproduces the classic
+// Tsukiyama et al. enumeration of maximal independent sets.
+type IndependentSetSystem struct {
+	g *kplex.Graph
+}
+
+// IndependentSets wraps a general graph as an independent-set system.
+func IndependentSets(g *kplex.Graph) *IndependentSetSystem {
+	return &IndependentSetSystem{g: g}
+}
+
+// N returns the universe size.
+func (s *IndependentSetSystem) N() int { return s.g.N() }
+
+// Feasible reports whether set spans no edge.
+func (s *IndependentSetSystem) Feasible(set []int32) bool {
+	for i, v := range set {
+		for _, w := range set[i+1:] {
+			if s.g.HasEdge(int(v), int(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LocalSolutions emits the unique set maximal within base ∪ {v} containing
+// v: drop v's neighbors, keep everything else.
+func (s *IndependentSetSystem) LocalSolutions(base []int32, v int32, emit func([]int32) bool) {
+	sol := make([]int32, 0, len(base)+1)
+	for _, w := range base {
+		if !s.g.HasEdge(int(v), int(w)) {
+			sol = append(sol, w)
+		}
+	}
+	emit(insertSorted(sol, v))
+}
+
+// CliqueSystem is the hereditary system of cliques of a general graph; the
+// complement view of IndependentSetSystem. Reverse search over it
+// reproduces Makino–Uno style maximal clique enumeration.
+type CliqueSystem struct {
+	g *kplex.Graph
+}
+
+// Cliques wraps a general graph as a clique system.
+func Cliques(g *kplex.Graph) *CliqueSystem {
+	return &CliqueSystem{g: g}
+}
+
+// N returns the universe size.
+func (s *CliqueSystem) N() int { return s.g.N() }
+
+// Feasible reports whether set is pairwise adjacent.
+func (s *CliqueSystem) Feasible(set []int32) bool {
+	for i, v := range set {
+		for _, w := range set[i+1:] {
+			if !s.g.HasEdge(int(v), int(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LocalSolutions emits the unique set maximal within base ∪ {v} containing
+// v: keep v's neighbors, drop everything else.
+func (s *CliqueSystem) LocalSolutions(base []int32, v int32, emit func([]int32) bool) {
+	sol := make([]int32, 0, len(base)+1)
+	for _, w := range base {
+		if s.g.HasEdge(int(v), int(w)) {
+			sol = append(sol, w)
+		}
+	}
+	emit(insertSorted(sol, v))
+}
+
+// BicliqueSystem is the hereditary system of bicliques (complete bipartite
+// induced subgraphs) of a bipartite graph — exactly the k = 0 limit of the
+// paper's k-biplex. Universe ids: left vertex v is id v, right vertex u is
+// id NumLeft + u.
+type BicliqueSystem struct {
+	g  *bigraph.Graph
+	nl int32
+}
+
+// Bicliques wraps a bipartite graph as a biclique system.
+func Bicliques(g *bigraph.Graph) *BicliqueSystem {
+	return &BicliqueSystem{g: g, nl: int32(g.NumLeft())}
+}
+
+// N returns |L| + |R|.
+func (s *BicliqueSystem) N() int { return s.g.NumLeft() + s.g.NumRight() }
+
+// Split separates a universe set into the bipartite (L, R) pair.
+func (s *BicliqueSystem) Split(set []int32) (left, right []int32) {
+	for _, x := range set {
+		if x < s.nl {
+			left = append(left, x)
+		} else {
+			right = append(right, x-s.nl)
+		}
+	}
+	return left, right
+}
+
+// Feasible reports whether every left member connects every right member.
+func (s *BicliqueSystem) Feasible(set []int32) bool {
+	left, right := s.Split(set)
+	for _, v := range left {
+		for _, u := range right {
+			if !s.g.HasEdge(v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LocalSolutions emits the unique local solution: adding left vertex v
+// forces the removal of exactly the right members not adjacent to v (and
+// symmetrically for a right vertex).
+func (s *BicliqueSystem) LocalSolutions(base []int32, v int32, emit func([]int32) bool) {
+	sol := make([]int32, 0, len(base)+1)
+	if v < s.nl {
+		for _, x := range base {
+			if x < s.nl || s.g.HasEdge(v, x-s.nl) {
+				sol = append(sol, x)
+			}
+		}
+	} else {
+		u := v - s.nl
+		for _, x := range base {
+			if x >= s.nl || s.g.HasEdge(x, u) {
+				sol = append(sol, x)
+			}
+		}
+	}
+	emit(insertSorted(sol, v))
+}
+
+// BiplexSystem is the k-biplex property expressed as a generic hereditary
+// system, with no specialized input-restricted solver: enumerating it
+// through Enumerate exercises the generic minimal removal-set fallback and
+// must agree with the specialized engine in package core — the
+// cross-validation behind the generalized framework. Universe ids follow
+// BicliqueSystem's convention.
+type BiplexSystem struct {
+	g  *bigraph.Graph
+	k  int
+	nl int32
+}
+
+// Biplexes wraps a bipartite graph as a k-biplex system.
+func Biplexes(g *bigraph.Graph, k int) *BiplexSystem {
+	return &BiplexSystem{g: g, k: k, nl: int32(g.NumLeft())}
+}
+
+// N returns |L| + |R|.
+func (s *BiplexSystem) N() int { return s.g.NumLeft() + s.g.NumRight() }
+
+// K returns the biplex parameter.
+func (s *BiplexSystem) K() int { return s.k }
+
+// Split separates a universe set into the bipartite (L, R) pair.
+func (s *BiplexSystem) Split(set []int32) (left, right []int32) {
+	for _, x := range set {
+		if x < s.nl {
+			left = append(left, x)
+		} else {
+			right = append(right, x-s.nl)
+		}
+	}
+	return left, right
+}
+
+// Feasible reports whether the set induces a k-biplex.
+func (s *BiplexSystem) Feasible(set []int32) bool {
+	left, right := s.Split(set)
+	return biplex.IsBiplex(s.g, left, right, s.k)
+}
+
+// Pairs converts universe sets to biplex.Pair values.
+func (s *BiplexSystem) Pairs(sets [][]int32) []biplex.Pair {
+	out := make([]biplex.Pair, len(sets))
+	for i, set := range sets {
+		l, r := s.Split(set)
+		out[i] = biplex.Pair{L: l, R: r}
+	}
+	biplex.SortPairs(out)
+	return out
+}

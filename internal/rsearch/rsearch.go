@@ -1,0 +1,396 @@
+// Package rsearch generalizes the paper's reverse-search framework to any
+// hereditary set system, the direction the paper's conclusion (Section 8)
+// proposes: "adapt the proposed reverse search-based algorithm to enumerate
+// some other cohesive subgraphs over bipartite graphs".
+//
+// A hereditary set system over the universe {0, …, N−1} is a feasibility
+// predicate closed under subsets. Reverse search enumerates all maximal
+// feasible sets by a DFS over an implicit, strongly connected solution
+// graph [Cohen, Kimelfeld, Sagiv; JCSS 2008]: from a maximal set S, for
+// every vertex v ∉ S it solves the input-restricted problem — enumerate the
+// sets that are maximal within S ∪ {v} and contain v — and greedily extends
+// each local solution back to a maximal set.
+//
+// Systems that can solve the input-restricted problem directly implement
+// LocalEnumerator (independent sets, cliques and bicliques have a unique
+// local solution per vertex); all others fall back to a generic minimal
+// removal-set search that needs nothing beyond Feasible. The fallback makes
+// this engine a literal generalization of the paper's bTraversal: package
+// core's tests cross-check it against the specialized k-biplex engine.
+package rsearch
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/vskey"
+)
+
+// System describes a hereditary set system over the universe {0, …, N−1}.
+// Feasible must be closed under subsets and accept the empty set.
+type System interface {
+	// N returns the universe size.
+	N() int
+	// Feasible reports whether the strictly ascending set satisfies the
+	// property. It must not retain the slice.
+	Feasible(set []int32) bool
+}
+
+// LocalEnumerator is the fast path for systems that can solve the
+// input-restricted problem directly: enumerate every set that contains v,
+// is feasible, and is maximal within base ∪ {v}. base is a maximal feasible
+// set not containing v, so every local solution is a strict subset of
+// base ∪ {v}. Emit receives each local solution (strictly ascending,
+// ownership passes to the callee); returning false stops the enumeration.
+type LocalEnumerator interface {
+	System
+	LocalSolutions(base []int32, v int32, emit func(sol []int32) bool)
+}
+
+// Options configures an enumeration run.
+type Options struct {
+	// MaxResults stops the run after this many maximal sets (0 = all).
+	MaxResults int
+	// MaxRemove caps the removal-set size explored by the generic
+	// input-restricted solver (0 = no cap). Systems implementing
+	// LocalEnumerator ignore it. Capping trades completeness for speed and
+	// is only safe when every local solution is known to be reachable by
+	// removing at most MaxRemove elements (e.g. k-biplexes under single-
+	// vertex additions never need more than k+1 removals per side).
+	MaxRemove int
+	// Cancel, when non-nil, is polled during the run; returning true
+	// aborts cooperatively.
+	Cancel func() bool
+}
+
+// Stats reports counters accumulated during a run.
+type Stats struct {
+	// Solutions is the number of maximal sets emitted.
+	Solutions int64
+	// Stored is the number of distinct solutions inserted into the
+	// deduplication store (solution-graph nodes).
+	Stored int64
+	// Expansions counts ThreeStep invocations; the alternating-output
+	// trick bounds the delay by two expansions.
+	Expansions int64
+	// LocalCalls counts input-restricted subproblems solved.
+	LocalCalls int64
+	// MaxDepth is the deepest DFS recursion reached.
+	MaxDepth int
+}
+
+// EmitFunc receives each maximal set (strictly ascending). The slice is
+// owned by the callee. Returning false stops the enumeration.
+type EmitFunc func(set []int32) bool
+
+// Enumerate lists every maximal feasible set of sys. It returns run
+// statistics and an error only for invalid arguments.
+func Enumerate(sys System, opts Options, emit EmitFunc) (Stats, error) {
+	if sys == nil {
+		return Stats{}, errors.New("rsearch: nil system")
+	}
+	if opts.MaxRemove < 0 || opts.MaxResults < 0 {
+		return Stats{}, errors.New("rsearch: negative option")
+	}
+	if !sys.Feasible(nil) {
+		return Stats{}, errors.New("rsearch: the empty set must be feasible in a hereditary system")
+	}
+	e := &rengine{sys: sys, opts: opts, emit: emit, store: &btree.Tree{}}
+	if le, ok := sys.(LocalEnumerator); ok {
+		e.local = le
+	}
+	e.run()
+	return e.stats, nil
+}
+
+// Collect gathers every maximal set into a slice sorted by canonical key.
+func Collect(sys System, opts Options) ([][]int32, Stats, error) {
+	var out [][]int32
+	st, err := Enumerate(sys, opts, func(set []int32) bool {
+		out = append(out, append([]int32(nil), set...))
+		return true
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	sort.Slice(out, func(i, j int) bool { return lessInt32(out[i], out[j]) })
+	return out, st, nil
+}
+
+type rengine struct {
+	sys     System
+	local   LocalEnumerator // nil → generic fallback
+	opts    Options
+	emit    EmitFunc
+	store   *btree.Tree
+	stats   Stats
+	stopped bool
+	keyBuf  []byte
+}
+
+func (e *rengine) run() {
+	h0 := e.extendMaximal(nil)
+	e.keyBuf = vskey.Encode(e.keyBuf[:0], h0, nil)
+	e.store.Insert(e.keyBuf)
+	e.stats.Stored++
+	e.visit(h0, 0)
+}
+
+// visit outputs before or after the expansion in an alternating manner
+// (Uno's trick), so at least one solution is emitted every two expansions.
+func (e *rengine) visit(s []int32, depth int) {
+	if depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = depth
+	}
+	if depth%2 == 0 {
+		e.output(s)
+		if e.stopped {
+			return
+		}
+	}
+	e.expand(s, depth)
+	if e.stopped {
+		return
+	}
+	if depth%2 == 1 {
+		e.output(s)
+	}
+}
+
+func (e *rengine) output(s []int32) {
+	e.stats.Solutions++
+	if e.emit != nil && !e.emit(s) {
+		e.stopped = true
+		return
+	}
+	if e.opts.MaxResults > 0 && e.stats.Solutions >= int64(e.opts.MaxResults) {
+		e.stopped = true
+	}
+}
+
+// expand runs the ThreeStep procedure from maximal set s.
+func (e *rengine) expand(s []int32, depth int) {
+	e.stats.Expansions++
+	n := int32(e.sys.N())
+	for v := int32(0); v < n; v++ {
+		if e.stopped {
+			return
+		}
+		if e.opts.Cancel != nil && e.opts.Cancel() {
+			e.stopped = true
+			return
+		}
+		if containsSorted(s, v) {
+			continue
+		}
+		e.stats.LocalCalls++
+		e.localSolutions(s, v, func(sol []int32) bool {
+			e.processLocal(sol, depth)
+			return !e.stopped
+		})
+	}
+}
+
+// processLocal extends one local solution to a maximal set, deduplicates
+// and recurses.
+func (e *rengine) processLocal(sol []int32, depth int) {
+	full := e.extendMaximal(sol)
+	e.keyBuf = vskey.Encode(e.keyBuf[:0], full, nil)
+	if !e.store.Insert(e.keyBuf) {
+		return
+	}
+	e.stats.Stored++
+	e.visit(full, depth+1)
+}
+
+// localSolutions dispatches the input-restricted problem to the system's
+// fast path or the generic minimal removal-set search.
+func (e *rengine) localSolutions(base []int32, v int32, emit func([]int32) bool) {
+	if e.local != nil {
+		e.local.LocalSolutions(base, v, emit)
+		return
+	}
+	e.genericLocal(base, v, emit)
+}
+
+// genericLocal enumerates the minimal removal sets X ⊆ base such that
+// (base \ X) ∪ {v} is feasible. By heredity, minimal removal sets
+// correspond one-to-one to the sets maximal within base ∪ {v} containing
+// v: adding back any w ∈ X would embed a feasible superset of a set the
+// minimality of X rules out. The search proceeds by removal-set size with
+// superset pruning, mirroring the paper's L2.0 refinement (Section 4.4).
+func (e *rengine) genericLocal(base []int32, v int32, emit func([]int32) bool) {
+	maxRemove := len(base)
+	if e.opts.MaxRemove > 0 && e.opts.MaxRemove < maxRemove {
+		maxRemove = e.opts.MaxRemove
+	}
+	cand := insertSorted(append([]int32(nil), base...), v)
+	if e.sys.Feasible(cand) {
+		// Removing nothing works; the unique minimal removal set is ∅.
+		if !emit(cand) {
+			e.stopped = true
+		}
+		return
+	}
+	var minimal [][]int32 // found minimal removal sets, for superset pruning
+	idx := make([]int, 0, maxRemove)
+	scratch := make([]int32, 0, len(base)+1)
+	for size := 1; size <= maxRemove; size++ {
+		e.removalSets(base, v, idx[:0], 0, size, &minimal, scratch, emit)
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// removalSets recursively chooses `size` indices of base to remove,
+// skipping supersets of already-found minimal removal sets.
+func (e *rengine) removalSets(base []int32, v int32, idx []int, from, size int, minimal *[][]int32, scratch []int32, emit func([]int32) bool) {
+	if e.stopped {
+		return
+	}
+	if len(idx) == size {
+		rem := make([]int32, size)
+		for i, j := range idx {
+			rem[i] = base[j]
+		}
+		for _, m := range *minimal {
+			if subsetSorted(m, rem) {
+				return // superset of a minimal removal set (L2.0 pruning)
+			}
+		}
+		set := scratch[:0]
+		j := 0
+		for _, x := range base {
+			if j < len(rem) && rem[j] == x {
+				j++
+				continue
+			}
+			set = append(set, x)
+		}
+		set = insertSorted(set, v)
+		if e.sys.Feasible(set) {
+			*minimal = append(*minimal, rem)
+			if !emit(append([]int32(nil), set...)) {
+				e.stopped = true
+			}
+		}
+		return
+	}
+	for i := from; i <= len(base)-(size-len(idx)); i++ {
+		e.removalSets(base, v, append(idx, i), i+1, size, minimal, scratch, emit)
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// extendMaximal grows set into a maximal feasible set by repeatedly adding
+// the smallest-id addable vertex (the pre-set order the paper's Step 3
+// prescribes so each local solution extends to exactly one solution).
+func (e *rengine) extendMaximal(set []int32) []int32 {
+	out := append([]int32(nil), set...)
+	n := int32(e.sys.N())
+	buf := make([]int32, 0, len(out)+1)
+	for {
+		added := false
+		for v := int32(0); v < n; v++ {
+			if containsSorted(out, v) {
+				continue
+			}
+			buf = append(buf[:0], out...)
+			buf = insertSorted(buf, v)
+			if e.sys.Feasible(buf) {
+				out = insertSorted(out, v)
+				added = true
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+// BruteForce enumerates every maximal feasible set by explicit subset
+// enumeration. It is the test oracle for small universes (N ≤ ~20) and
+// needs nothing but Feasible.
+func BruteForce(sys System) [][]int32 {
+	n := sys.N()
+	if n > 24 {
+		panic("rsearch: BruteForce universe too large")
+	}
+	var feasible []uint32
+	set := make([]int32, 0, n)
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		set = set[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				set = append(set, int32(v))
+			}
+		}
+		if sys.Feasible(set) {
+			feasible = append(feasible, mask)
+		}
+	}
+	var out [][]int32
+	for _, m := range feasible {
+		maximal := true
+		for _, m2 := range feasible {
+			if m2 != m && m2&m == m {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			s := make([]int32, 0, n)
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					s = append(s, int32(v))
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessInt32(out[i], out[j]) })
+	return out
+}
+
+func containsSorted(a []int32, x int32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}
+
+// insertSorted inserts x into ascending a, returning the extended slice.
+// x must not already be present.
+func insertSorted(a []int32, x int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	return a
+}
+
+// subsetSorted reports whether ascending a is a subset of ascending b.
+func subsetSorted(a, b []int32) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+func lessInt32(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,426 @@
+package rsearch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kplex"
+)
+
+func randGeneral(n int, p float64, seed int64) *kplex.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := kplex.NewGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < p {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+func complement(g *kplex.Graph) *kplex.Graph {
+	out := kplex.NewGraph(g.N())
+	for a := 0; a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			if !g.HasEdge(a, b) {
+				out.AddEdge(a, b)
+			}
+		}
+	}
+	return out
+}
+
+func TestIndependentSetsMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := randGeneral(10, 0.3, seed)
+		sys := IndependentSets(g)
+		got, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := BruteForce(sys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: got %v want %v", seed, got, want)
+		}
+	}
+}
+
+func TestCliquesMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := randGeneral(10, 0.5, seed)
+		sys := Cliques(g)
+		got, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := BruteForce(sys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: got %d cliques want %d", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestCliquesAreComplementIndependentSets(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randGeneral(11, 0.4, seed)
+		cl, _, err := Collect(Cliques(g), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, _, err := Collect(IndependentSets(complement(g)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cl, is) {
+			t.Fatalf("seed %d: cliques of G != independent sets of complement(G)", seed)
+		}
+	}
+}
+
+func TestBicliquesMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := gen.ER(5, 5, 1.5, seed)
+		sys := Bicliques(g)
+		got, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := BruteForce(sys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: got %v want %v", seed, got, want)
+		}
+	}
+}
+
+// TestBiplexGenericMatchesSpecializedEngine is the headline cross-check:
+// the generic hereditary engine with the minimal removal-set fallback must
+// enumerate exactly the MBPs the specialized engine of package core finds.
+func TestBiplexGenericMatchesSpecializedEngine(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		for seed := int64(0); seed < 12; seed++ {
+			g := gen.ER(5, 5, 1.2+0.2*float64(seed%3), seed)
+			sys := Biplexes(g, k)
+			sets, _, err := Collect(sys, Options{})
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			got := sys.Pairs(sets)
+			want, _, err := core.Collect(g, core.ITraversal(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d seed=%d: generic found %d MBPs, core found %d", k, seed, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("k=%d seed=%d: mismatch at %d: %v vs %v", k, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBiplexGenericMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := gen.ER(4, 5, 1.4, 100+seed)
+		sys := Biplexes(g, 1)
+		sets, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sys.Pairs(sets)
+		want := biplex.BruteForce(g, 1)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: generic %d vs brute %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("seed %d: mismatch %v vs %v", seed, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEmittedSetsAreMaximalFeasible checks the two output invariants on a
+// larger instance than the brute-force oracle can handle.
+func TestEmittedSetsAreMaximalFeasible(t *testing.T) {
+	g := randGeneral(40, 0.15, 7)
+	sys := IndependentSets(g)
+	n := int32(sys.N())
+	count := 0
+	_, err := Enumerate(sys, Options{}, func(set []int32) bool {
+		count++
+		if !sys.Feasible(set) {
+			t.Fatalf("emitted infeasible set %v", set)
+		}
+		for v := int32(0); v < n; v++ {
+			if containsSorted(set, v) {
+				continue
+			}
+			ext := insertSorted(append([]int32(nil), set...), v)
+			if sys.Feasible(ext) {
+				t.Fatalf("emitted non-maximal set %v (can add %d)", set, v)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no maximal independent sets found")
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	g := randGeneral(25, 0.25, 3)
+	seen := map[string]bool{}
+	_, err := Enumerate(Cliques(g), Options{}, func(set []int32) bool {
+		key := string(encodeKey(set))
+		if seen[key] {
+			t.Fatalf("duplicate maximal clique %v", set)
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeKey(set []int32) []byte {
+	out := make([]byte, 0, 4*len(set))
+	for _, v := range set {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+func TestMaxResultsStopsEarly(t *testing.T) {
+	g := randGeneral(20, 0.2, 5)
+	st, err := Enumerate(IndependentSets(g), Options{MaxResults: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions != 3 {
+		t.Fatalf("MaxResults=3 emitted %d", st.Solutions)
+	}
+}
+
+func TestCancelAborts(t *testing.T) {
+	g := randGeneral(20, 0.2, 5)
+	calls := 0
+	st, err := Enumerate(IndependentSets(g), Options{Cancel: func() bool {
+		calls++
+		return calls > 10
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Collect(IndependentSets(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions >= int64(len(full)) {
+		t.Skipf("graph too small to observe the abort (%d solutions)", len(full))
+	}
+	if st.Solutions == 0 {
+		t.Fatal("cancel aborted before the first solution was emitted")
+	}
+}
+
+func TestEmitFalseStops(t *testing.T) {
+	g := randGeneral(20, 0.2, 5)
+	emitted := 0
+	st, err := Enumerate(IndependentSets(g), Options{}, func([]int32) bool {
+		emitted++
+		return emitted < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions != 2 || emitted != 2 {
+		t.Fatalf("emit=false did not stop: %d emitted", emitted)
+	}
+}
+
+// TestDelayInvariant verifies the alternating-output mechanism: the number
+// of expansions never exceeds 2x+1 where x is the number of outputs, the
+// property that yields the polynomial delay bound.
+func TestDelayInvariant(t *testing.T) {
+	g := randGeneral(18, 0.25, 9)
+	st, err := Enumerate(IndependentSets(g), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expansions > 2*st.Solutions+1 {
+		t.Fatalf("expansions %d exceed 2*solutions+1 = %d", st.Expansions, 2*st.Solutions+1)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := Enumerate(nil, Options{}, nil); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	g := randGeneral(4, 0.5, 1)
+	if _, err := Enumerate(IndependentSets(g), Options{MaxResults: -1}, nil); err == nil {
+		t.Fatal("negative MaxResults accepted")
+	}
+	if _, err := Enumerate(infeasibleEmpty{}, Options{}, nil); err == nil {
+		t.Fatal("system with infeasible empty set accepted")
+	}
+}
+
+type infeasibleEmpty struct{}
+
+func (infeasibleEmpty) N() int                { return 3 }
+func (infeasibleEmpty) Feasible([]int32) bool { return false }
+
+func TestEmptyUniverse(t *testing.T) {
+	g := kplex.NewGraph(0)
+	sets, st, err := Collect(IndependentSets(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0]) != 0 {
+		t.Fatalf("empty universe should yield exactly the empty maximal set, got %v", sets)
+	}
+	if st.Solutions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEdgelessGraphSingleSolution(t *testing.T) {
+	g := kplex.NewGraph(6)
+	sets, _, err := Collect(IndependentSets(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0]) != 6 {
+		t.Fatalf("edgeless graph: want the full vertex set, got %v", sets)
+	}
+}
+
+func TestCompleteGraphAllSingletons(t *testing.T) {
+	n := 5
+	g := kplex.NewGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.AddEdge(a, b)
+		}
+	}
+	sets, _, err := Collect(IndependentSets(g), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != n {
+		t.Fatalf("complete graph: want %d singleton sets, got %v", n, sets)
+	}
+	for i, s := range sets {
+		if len(s) != 1 || s[0] != int32(i) {
+			t.Fatalf("unexpected maximal independent set %v", s)
+		}
+	}
+}
+
+// TestBicliqueStarGraph pins down the biclique semantics on a star: the
+// center with all leaves is one maximal biclique; the side of all leaves
+// alone is only maximal when it cannot absorb the center.
+func TestBicliqueStarGraph(t *testing.T) {
+	// Left {0} connected to right {0,1,2}.
+	g := bigraph.FromEdges(1, 3, [][2]int32{{0, 0}, {0, 1}, {0, 2}})
+	sys := Bicliques(g)
+	sets, _, err := Collect(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(sys)
+	if !reflect.DeepEqual(sets, want) {
+		t.Fatalf("star: got %v want %v", sets, want)
+	}
+	// The single maximal biclique is everything: {v0} ∪ {u0,u1,u2}.
+	if len(sets) != 1 || len(sets[0]) != 4 {
+		t.Fatalf("star graph: want one maximal biclique of size 4, got %v", sets)
+	}
+}
+
+func TestGenericMaxRemoveCapMatchesUncapped(t *testing.T) {
+	// For k-biplexes, adding one vertex to a solution never requires
+	// removing more than k+1 vertices from either side in a local solution
+	// (Section 4: |R''| ≤ k and |L̄| ≤ |R''₂| ≤ k, plus the added side).
+	// A cap of 2(k+1) therefore preserves completeness.
+	k := 1
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.ER(5, 4, 1.3, 50+seed)
+		sys := Biplexes(g, k)
+		capped, _, err := Collect(sys, Options{MaxRemove: 2 * (k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncapped, _, err := Collect(sys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(capped, uncapped) {
+			t.Fatalf("seed %d: MaxRemove cap changed the output", seed)
+		}
+	}
+}
+
+func TestSubsetSorted(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int32{1}, true},
+		{[]int32{1}, nil, false},
+		{[]int32{1, 3}, []int32{1, 2, 3}, true},
+		{[]int32{1, 4}, []int32{1, 2, 3}, false},
+		{[]int32{2}, []int32{1, 2, 3}, true},
+	}
+	for _, c := range cases {
+		if got := subsetSorted(c.a, c.b); got != c.want {
+			t.Errorf("subsetSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkIndependentSets(b *testing.B) {
+	g := randGeneral(60, 0.1, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(IndependentSets(g), Options{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBicliquesReverseSearch(b *testing.B) {
+	g := gen.ER(30, 30, 3, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(Bicliques(g), Options{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiplexGenericFallback(b *testing.B) {
+	g := gen.ER(6, 6, 1.5, 42)
+	sys := Biplexes(g, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enumerate(sys, Options{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

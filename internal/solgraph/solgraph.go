@@ -1,0 +1,215 @@
+// Package solgraph materializes the implicit solution graph the traversal
+// frameworks walk: nodes are maximal k-biplexes, links are the (multigraph)
+// edges the ThreeStep procedure discovers. The paper only ever counts
+// links (Figures 3 and 11); this package records them explicitly, which
+// supports the Figure 3 renderings, DOT/CSV export for inspection, and
+// structural assertions in tests (reachability from H0, strict monotone
+// sparsification).
+//
+// Building the graph costs one full enumeration with the link hook
+// enabled, so it is intended for the paper's running example and other
+// small inputs.
+package solgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/vskey"
+)
+
+// Node is one solution-graph node: a maximal k-biplex.
+type Node struct {
+	// ID is the node's dense index in Graph.Nodes, assigned in discovery
+	// order (the initial solution is always ID 0).
+	ID int
+	// Pair is the solution itself.
+	Pair biplex.Pair
+}
+
+// Link is one directed solution-graph link. The solution graph is a
+// multigraph: parallel links between the same nodes are preserved.
+type Link struct {
+	From, To int
+}
+
+// Graph is an explicit solution graph.
+type Graph struct {
+	// Nodes lists every solution discovered, initial solution first.
+	Nodes []Node
+	// Links lists every discovered link in discovery order.
+	Links []Link
+}
+
+// Build enumerates g under opts and records the operative solution graph
+// (G, G_L, G_R or G_E depending on the framework toggles in opts).
+func Build(g *bigraph.Graph, opts core.Options) (*Graph, error) {
+	sg := &Graph{}
+	ids := map[string]int{}
+	intern := func(p biplex.Pair) int {
+		key := string(vskey.Encode(nil, p.L, p.R))
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := len(sg.Nodes)
+		ids[key] = id
+		sg.Nodes = append(sg.Nodes, Node{ID: id, Pair: p.Clone()})
+		return id
+	}
+
+	h0, err := core.InitialSolution(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	intern(h0)
+
+	opts.CountLinks = true
+	opts.OnLink = func(from, to biplex.Pair) {
+		sg.Links = append(sg.Links, Link{From: intern(from), To: intern(to)})
+	}
+	opts.MaxResults = 0
+	if _, err := core.Enumerate(g, opts, nil); err != nil {
+		return nil, err
+	}
+	return sg, nil
+}
+
+// NumNodes returns the number of solutions.
+func (sg *Graph) NumNodes() int { return len(sg.Nodes) }
+
+// NumLinks returns the number of links, counting multiplicities.
+func (sg *Graph) NumLinks() int { return len(sg.Links) }
+
+// OutDegrees returns the per-node out-degree (multigraph).
+func (sg *Graph) OutDegrees() []int {
+	out := make([]int, len(sg.Nodes))
+	for _, l := range sg.Links {
+		out[l.From]++
+	}
+	return out
+}
+
+// ReachableFromInitial reports how many nodes a DFS from node 0 (the
+// initial solution) reaches — the frameworks' correctness requires it to
+// equal NumNodes().
+func (sg *Graph) ReachableFromInitial() int {
+	if len(sg.Nodes) == 0 {
+		return 0
+	}
+	adj := make([][]int, len(sg.Nodes))
+	for _, l := range sg.Links {
+		adj[l.From] = append(adj[l.From], l.To)
+	}
+	seen := make([]bool, len(sg.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count
+}
+
+// WriteDOT renders the solution graph in Graphviz DOT format. Parallel
+// links are collapsed into one edge labelled with the multiplicity.
+func (sg *Graph) WriteDOT(w io.Writer, title string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", title)
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range sg.Nodes {
+		label := fmt.Sprintf("H%d\\nL=%v\\nR=%v", n.ID, n.Pair.L, n.Pair.R)
+		fmt.Fprintf(bw, "  n%d [label=\"%s\"];\n", n.ID, label)
+	}
+	type key struct{ from, to int }
+	mult := map[key]int{}
+	var order []key
+	for _, l := range sg.Links {
+		k := key{l.From, l.To}
+		if mult[k] == 0 {
+			order = append(order, k)
+		}
+		mult[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].to < order[j].to
+	})
+	for _, k := range order {
+		if m := mult[k]; m > 1 {
+			fmt.Fprintf(bw, "  n%d -> n%d [label=\"x%d\"];\n", k.from, k.to, m)
+		} else {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", k.from, k.to)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteCSV writes two sections: a node table (id, left set, right set) and
+// a link table (from, to), separated by a blank line.
+func (sg *Graph) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "id,left,right")
+	for _, n := range sg.Nodes {
+		fmt.Fprintf(bw, "%d,%s,%s\n", n.ID, joinIDs(n.Pair.L), joinIDs(n.Pair.R))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "from,to")
+	for _, l := range sg.Links {
+		fmt.Fprintf(bw, "%d,%d\n", l.From, l.To)
+	}
+	return bw.Flush()
+}
+
+func joinIDs(ids []int32) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%d", ids[0])
+	for _, v := range ids[1:] {
+		out += fmt.Sprintf(" %d", v)
+	}
+	return out
+}
+
+// Variant names the four framework configurations of Figure 3.
+type Variant struct {
+	// Name is the paper's label for the solution graph.
+	Name string
+	// Opts is the framework configuration that produces it.
+	Opts core.Options
+}
+
+// Figure3Variants returns the four configurations of Figure 3 in paper
+// order: G (bTraversal), G_L (left-anchored), G_R (right-shrinking),
+// G_E (full iTraversal).
+func Figure3Variants(k int) []Variant {
+	b := core.BTraversal(k)
+	gl := b
+	gl.LeftAnchored = true
+	gl.InitialRightFull = true
+	gr := gl
+	gr.RightShrinking = true
+	ge := core.ITraversal(k)
+	return []Variant{
+		{Name: "G (bTraversal)", Opts: b},
+		{Name: "G_L (left-anchored)", Opts: gl},
+		{Name: "G_R (right-shrinking)", Opts: gr},
+		{Name: "G_E (iTraversal)", Opts: ge},
+	}
+}

@@ -1,0 +1,189 @@
+package solgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+// TestFigure3Counts pins the explicit solution graphs of the running
+// example to the paper's published numbers: 10 solutions throughout,
+// 76 → 41 → 21 → 13 links under the successive sparsifications.
+func TestFigure3Counts(t *testing.T) {
+	g := dataset.PaperExample()
+	wantLinks := []int{76, 41, 21, 13}
+	for i, v := range Figure3Variants(1) {
+		sg, err := Build(g, v.Opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if sg.NumNodes() != 10 {
+			t.Errorf("%s: %d nodes, want 10", v.Name, sg.NumNodes())
+		}
+		if sg.NumLinks() != wantLinks[i] {
+			t.Errorf("%s: %d links, want %d", v.Name, sg.NumLinks(), wantLinks[i])
+		}
+		if r := sg.ReachableFromInitial(); r != sg.NumNodes() {
+			t.Errorf("%s: only %d of %d nodes reachable from H0", v.Name, r, sg.NumNodes())
+		}
+	}
+}
+
+// TestLinkCountsAgreeWithEngineCounter cross-checks the explicit graph
+// against core's CountLinks counter on random graphs.
+func TestLinkCountsAgreeWithEngineCounter(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.ER(7, 7, 1.6, seed)
+		for _, v := range Figure3Variants(1) {
+			sg, err := Build(g, v.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			links, sols, err := core.SolutionGraphLinks(g, v.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(sg.NumLinks()) != links {
+				t.Errorf("seed %d %s: explicit %d links, counter %d", seed, v.Name, sg.NumLinks(), links)
+			}
+			if int64(sg.NumNodes()) != sols {
+				t.Errorf("seed %d %s: explicit %d nodes, counter %d", seed, v.Name, sg.NumNodes(), sols)
+			}
+		}
+	}
+}
+
+// TestMonotoneSparsification asserts the paper's qualitative claim: each
+// successive technique only removes links.
+func TestMonotoneSparsification(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := gen.ER(8, 8, 1.8, 20+seed)
+		var prev int
+		for i, v := range Figure3Variants(1) {
+			sg, err := Build(g, v.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && sg.NumLinks() > prev {
+				t.Errorf("seed %d: %s has %d links, more than the previous variant's %d",
+					seed, v.Name, sg.NumLinks(), prev)
+			}
+			prev = sg.NumLinks()
+		}
+	}
+}
+
+func TestInitialSolutionIsNodeZero(t *testing.T) {
+	g := dataset.PaperExample()
+	opts := core.ITraversal(1)
+	sg, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := core.InitialSolution(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sg.Nodes[0].Pair.Equal(h0) {
+		t.Fatalf("node 0 is %v, want the initial solution %v", sg.Nodes[0].Pair, h0)
+	}
+	// iTraversal's H0 = (L0, R) must carry the full right side.
+	if len(sg.Nodes[0].Pair.R) != g.NumRight() {
+		t.Fatalf("H0 right side has %d vertices, want %d", len(sg.Nodes[0].Pair.R), g.NumRight())
+	}
+}
+
+func TestOutDegreesSumToLinks(t *testing.T) {
+	g := dataset.PaperExample()
+	sg, err := Build(g, core.BTraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, d := range sg.OutDegrees() {
+		sum += d
+	}
+	if sum != sg.NumLinks() {
+		t.Fatalf("out-degrees sum %d != links %d", sum, sg.NumLinks())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := dataset.PaperExample()
+	sg, err := Build(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sg.WriteDOT(&buf, "G_E"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph \"G_E\" {") {
+		t.Fatalf("DOT header missing: %q", out[:40])
+	}
+	if got := strings.Count(out, "[label=\"H"); got != sg.NumNodes() {
+		t.Fatalf("DOT has %d node lines, want %d", got, sg.NumNodes())
+	}
+	if !strings.Contains(out, "->") {
+		t.Fatal("DOT has no edges")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("DOT not closed")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := dataset.PaperExample()
+	sg, err := Build(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + nodes + blank + header + links
+	want := 1 + sg.NumNodes() + 1 + 1 + sg.NumLinks()
+	if len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if lines[0] != "id,left,right" {
+		t.Fatalf("bad node header %q", lines[0])
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := gen.ER(8, 8, 1.5, 3)
+	a, err := Build(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("Build is not deterministic")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link order differs at %d", i)
+		}
+	}
+}
+
+func BenchmarkBuildPaperExample(b *testing.B) {
+	g := dataset.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, core.ITraversal(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

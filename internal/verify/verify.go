@@ -1,0 +1,173 @@
+// Package verify independently certifies enumeration output: every
+// reported solution must be a k-biplex, maximal, and unique, and on
+// graphs small enough for the brute-force oracle the output must be
+// complete. It is the audit tool a downstream user runs against any
+// enumerator's output (including this repository's own — cmd/verify wires
+// it to mbpenum's output format), deliberately sharing no code with the
+// traversal engines beyond the k-biplex predicate itself.
+package verify
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/vskey"
+)
+
+// Violation describes one failed check.
+type Violation struct {
+	// Index is the 0-based position of the offending solution in the
+	// input (-1 for completeness violations).
+	Index int
+	// Kind is one of "not-biplex", "not-maximal", "duplicate",
+	// "out-of-range", "missing".
+	Kind string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Index >= 0 {
+		return fmt.Sprintf("solution %d: %s: %s", v.Index, v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Checked is the number of solutions examined.
+	Checked int
+	// Violations lists every failed check (empty = certified).
+	Violations []Violation
+	// Complete is true when the completeness check ran and passed; it
+	// only runs when the graph is small enough for the oracle.
+	Complete bool
+	// OracleRan reports whether the completeness check ran at all.
+	OracleRan bool
+}
+
+// OK reports whether every executed check passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// maxOracleVertices bounds the brute-force completeness check: beyond
+// this many total vertices the subset enumeration is infeasible.
+const maxOracleVertices = 22
+
+// Solutions checks the given solutions against g. Soundness checks
+// (k-biplex, maximality, duplicates, id ranges) always run; the
+// completeness check runs only when |L|+|R| ≤ 22.
+func Solutions(g *bigraph.Graph, k int, sols []biplex.Pair) *Report {
+	rep := &Report{Checked: len(sols)}
+	seen := map[string]int{}
+	for i, p := range sols {
+		if !idsInRange(p.L, g.NumLeft()) || !idsInRange(p.R, g.NumRight()) {
+			rep.Violations = append(rep.Violations, Violation{i, "out-of-range",
+				fmt.Sprintf("ids outside %dx%d", g.NumLeft(), g.NumRight())})
+			continue
+		}
+		l := sortedCopy(p.L)
+		r := sortedCopy(p.R)
+		key := string(vskey.Encode(nil, l, r))
+		if j, dup := seen[key]; dup {
+			rep.Violations = append(rep.Violations, Violation{i, "duplicate",
+				fmt.Sprintf("same vertex sets as solution %d", j)})
+			continue
+		}
+		seen[key] = i
+		if !biplex.IsBiplex(g, l, r, k) {
+			rep.Violations = append(rep.Violations, Violation{i, "not-biplex",
+				fmt.Sprintf("some vertex misses more than %d counterparts", k)})
+			continue
+		}
+		if !biplex.IsMaximal(g, l, r, k) {
+			rep.Violations = append(rep.Violations, Violation{i, "not-maximal",
+				"another vertex can join without breaking the property"})
+		}
+	}
+
+	if g.NumLeft()+g.NumRight() <= maxOracleVertices {
+		rep.OracleRan = true
+		rep.Complete = true
+		for _, want := range biplex.BruteForce(g, k) {
+			key := string(vskey.Encode(nil, want.L, want.R))
+			if _, ok := seen[key]; !ok {
+				rep.Complete = false
+				rep.Violations = append(rep.Violations, Violation{-1, "missing",
+					fmt.Sprintf("MBP %v absent from the output", want)})
+			}
+		}
+	}
+	return rep
+}
+
+func idsInRange(ids []int32, n int) bool {
+	for _, x := range ids {
+		if x < 0 || int(x) >= n {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(a []int32) []int32 {
+	out := append([]int32(nil), a...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParseSolutions reads solutions in mbpenum's output format, one per
+// line: "L: v v ... | R: u u ..." (empty sides allowed). Blank lines and
+// '#' comments are skipped.
+func ParseSolutions(r io.Reader) ([]biplex.Pair, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []biplex.Pair
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		left, right, ok := strings.Cut(txt, "|")
+		if !ok {
+			return nil, fmt.Errorf("verify: line %d: missing '|' separator", line)
+		}
+		l, err := parseSide(left, "L:")
+		if err != nil {
+			return nil, fmt.Errorf("verify: line %d: %w", line, err)
+		}
+		r2, err := parseSide(right, "R:")
+		if err != nil {
+			return nil, fmt.Errorf("verify: line %d: %w", line, err)
+		}
+		out = append(out, biplex.Pair{L: l, R: r2})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSide(s, prefix string) ([]int32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, prefix) {
+		return nil, fmt.Errorf("side does not start with %q", prefix)
+	}
+	fields := strings.Fields(strings.TrimPrefix(s, prefix))
+	ids := make([]int32, 0, len(fields))
+	for _, f := range fields {
+		x, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q: %v", f, err)
+		}
+		ids = append(ids, int32(x))
+	}
+	return ids, nil
+}

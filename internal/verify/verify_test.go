@@ -1,0 +1,221 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestCertifiesCorrectOutput(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := gen.ER(8, 8, 1.6, seed)
+		sols, _, err := core.Collect(g, core.ITraversal(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Solutions(g, 1, sols)
+		if !rep.OK() {
+			t.Fatalf("seed %d: correct output rejected: %v", seed, rep.Violations)
+		}
+		if !rep.OracleRan || !rep.Complete {
+			t.Fatalf("seed %d: completeness check should run and pass on a 16-vertex graph: %+v", seed, rep)
+		}
+	}
+}
+
+func TestFlagsNonBiplex(t *testing.T) {
+	g := gen.ER(6, 6, 1.5, 1)
+	// The full vertex sets are almost surely not a 1-biplex.
+	bad := []biplex.Pair{{L: []int32{0, 1, 2, 3, 4, 5}, R: []int32{0, 1, 2, 3, 4, 5}}}
+	if biplex.IsBiplex(g, bad[0].L, bad[0].R, 1) {
+		t.Skip("random graph happens to be a biplex")
+	}
+	rep := Solutions(g, 1, bad)
+	if rep.OK() || rep.Violations[0].Kind != "not-biplex" {
+		t.Fatalf("non-biplex not flagged: %+v", rep)
+	}
+}
+
+func TestFlagsNonMaximal(t *testing.T) {
+	g := gen.ER(8, 8, 1.6, 2)
+	sols, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := sols[0]
+	if len(full.L) < 2 {
+		t.Skip("first solution too small to truncate")
+	}
+	// Dropping a left vertex keeps the biplex property (hereditary) but
+	// usually breaks maximality.
+	trunc := biplex.Pair{L: full.L[1:], R: full.R}
+	if biplex.IsMaximal(g, trunc.L, trunc.R, 1) {
+		t.Skip("truncation happened to stay maximal")
+	}
+	rep := Solutions(g, 1, []biplex.Pair{trunc})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "not-maximal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-maximal solution not flagged: %+v", rep.Violations)
+	}
+}
+
+func TestFlagsDuplicates(t *testing.T) {
+	g := gen.ER(8, 8, 1.6, 3)
+	sols, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append(sols, sols[0])
+	rep := Solutions(g, 1, dup)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "duplicate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate not flagged: %+v", rep.Violations)
+	}
+}
+
+func TestFlagsMissing(t *testing.T) {
+	g := gen.ER(8, 8, 1.6, 4)
+	sols, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) < 2 {
+		t.Skip("too few solutions")
+	}
+	rep := Solutions(g, 1, sols[1:]) // drop one
+	if rep.Complete {
+		t.Fatal("incomplete output certified as complete")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "missing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing solution not flagged: %+v", rep.Violations)
+	}
+}
+
+func TestFlagsOutOfRange(t *testing.T) {
+	g := gen.ER(4, 4, 1, 5)
+	rep := Solutions(g, 1, []biplex.Pair{{L: []int32{99}, R: []int32{0}}})
+	if rep.OK() || rep.Violations[0].Kind != "out-of-range" {
+		t.Fatalf("out-of-range ids not flagged: %+v", rep)
+	}
+}
+
+func TestOracleSkippedOnLargeGraphs(t *testing.T) {
+	g := gen.ER(50, 50, 2, 6)
+	sols, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Solutions(g, 1, sols[:min(10, len(sols))])
+	if rep.OracleRan {
+		t.Fatal("oracle should not run on a 100-vertex graph")
+	}
+	if !rep.OK() {
+		t.Fatalf("sound subset rejected: %v", rep.Violations)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestParseSolutions(t *testing.T) {
+	in := `# comment
+L: 0 2 | R: 1
+L: | R: 0 1 2
+
+L: 3 | R:
+`
+	sols, err := ParseSolutions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 {
+		t.Fatalf("parsed %d solutions, want 3", len(sols))
+	}
+	if len(sols[0].L) != 2 || len(sols[0].R) != 1 {
+		t.Fatalf("first solution wrong: %v", sols[0])
+	}
+	if len(sols[1].L) != 0 || len(sols[1].R) != 3 {
+		t.Fatalf("second solution wrong: %v", sols[1])
+	}
+}
+
+func TestParseSolutionsErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no separator": "L: 1 2 R: 3\n",
+		"bad prefix":   "X: 1 | R: 2\n",
+		"bad id":       "L: x | R: 2\n",
+	} {
+		if _, err := ParseSolutions(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRoundTripWithEngineOutput pipes the engines' own text format back
+// through the parser and verifier.
+func TestRoundTripWithEngineOutput(t *testing.T) {
+	g := gen.ER(9, 9, 1.8, 7)
+	sols, _, err := core.Collect(g, core.ITraversal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, p := range sols {
+		sb.WriteString("L:")
+		for _, v := range p.L {
+			sb.WriteString(" ")
+			sb.WriteString(itoa(v))
+		}
+		sb.WriteString(" | R:")
+		for _, u := range p.R {
+			sb.WriteString(" ")
+			sb.WriteString(itoa(u))
+		}
+		sb.WriteString("\n")
+	}
+	parsed, err := ParseSolutions(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Solutions(g, 2, parsed)
+	if !rep.OK() {
+		t.Fatalf("round-tripped output rejected: %v", rep.Violations)
+	}
+}
+
+func itoa(x int32) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}

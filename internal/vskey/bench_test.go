@@ -1,0 +1,58 @@
+package vskey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n, size int) [][]int32 {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]int32, n)
+	for i := range sets {
+		seen := map[int32]bool{}
+		for len(seen) < size {
+			seen[rng.Int31n(1<<20)] = true
+		}
+		s := make([]int32, 0, size)
+		for v := range seen {
+			s = append(s, v)
+		}
+		insertionSort(s)
+		sets[i] = s
+	}
+	return sets
+}
+
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	sets := benchSets(64, 20)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sets[i%len(sets)]
+		buf = Encode(buf[:0], s, s)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	sets := benchSets(64, 20)
+	keys := make([][]byte, len(sets))
+	for i, s := range sets {
+		keys[i] = Encode(nil, s, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

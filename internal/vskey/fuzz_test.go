@@ -1,0 +1,37 @@
+package vskey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures Decode never panics on arbitrary bytes and that any
+// successfully decoded key re-encodes to the identical canonical bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(Encode(nil, []int32{0, 5, 9}, []int32{2}))
+	f.Add(Encode(nil, nil, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Canonical round trip: decoded ids must be strictly ascending
+		// (otherwise Encode panics) and re-encode byte-identically.
+		for i := 1; i < len(l); i++ {
+			if l[i] <= l[i-1] {
+				t.Fatalf("decoded non-ascending left ids %v from %x", l, data)
+			}
+		}
+		for i := 1; i < len(r); i++ {
+			if r[i] <= r[i-1] {
+				t.Fatalf("decoded non-ascending right ids %v from %x", r, data)
+			}
+		}
+		if re := Encode(nil, l, r); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data)
+		}
+	})
+}

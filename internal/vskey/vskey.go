@@ -1,0 +1,87 @@
+// Package vskey encodes solution vertex sets into canonical byte keys.
+//
+// A solution (L', R') is identified by its two sorted vertex-id sets. The
+// codec emits the left ids delta-encoded as uvarints, a 0x00 separator
+// (safe because deltas are encoded +1), then the right ids the same way.
+// Canonicality: equal solutions yield byte-equal keys, and distinct
+// solutions yield distinct keys, so the keys can index the B-tree
+// deduplication store.
+package vskey
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode appends the canonical key of the solution (left, right) to dst
+// and returns the extended slice. Both slices must be sorted ascending
+// with no duplicates; Encode panics otherwise because a non-canonical key
+// would corrupt deduplication.
+func Encode(dst []byte, left, right []int32) []byte {
+	dst = encodeSide(dst, left)
+	dst = append(dst, 0)
+	dst = encodeSide(dst, right)
+	return dst
+}
+
+func encodeSide(dst []byte, ids []int32) []byte {
+	prev := int32(-1)
+	var buf [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		if id <= prev {
+			panic(fmt.Sprintf("vskey: ids not strictly ascending: %d after %d", id, prev))
+		}
+		// Delta+1 is >= 1, so encoded bytes are never the 0x00 separator's
+		// lone zero varint.
+		n := binary.PutUvarint(buf[:], uint64(id-prev))
+		dst = append(dst, buf[:n]...)
+		prev = id
+	}
+	return dst
+}
+
+// Decode parses a key produced by Encode back into the two id sets.
+func Decode(key []byte) (left, right []int32, err error) {
+	left, rest, err := decodeSide(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) == 0 || rest[0] != 0 {
+		return nil, nil, fmt.Errorf("vskey: missing separator")
+	}
+	right, rest, err = decodeSide(rest[1:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("vskey: %d trailing bytes", len(rest))
+	}
+	return left, right, nil
+}
+
+func decodeSide(b []byte) (ids []int32, rest []byte, err error) {
+	prev := int32(-1)
+	for len(b) > 0 && b[0] != 0 {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("vskey: bad uvarint")
+		}
+		// Canonicality: deltas are at least 1 (ids strictly ascend) and
+		// must use the minimal varint encoding, so that Decode accepts
+		// exactly the byte strings Encode produces.
+		if d == 0 {
+			return nil, nil, fmt.Errorf("vskey: zero delta")
+		}
+		if n > 1 && d < 1<<(7*(n-1)) {
+			return nil, nil, fmt.Errorf("vskey: non-minimal varint")
+		}
+		b = b[n:]
+		id := prev + int32(d)
+		if id < 0 {
+			return nil, nil, fmt.Errorf("vskey: id overflow")
+		}
+		ids = append(ids, id)
+		prev = id
+	}
+	return ids, b, nil
+}

@@ -1,0 +1,127 @@
+package vskey
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []struct{ l, r []int32 }{
+		{nil, nil},
+		{[]int32{0}, nil},
+		{nil, []int32{0}},
+		{[]int32{0, 1, 2}, []int32{5, 1000, 1 << 20}},
+		{[]int32{7}, []int32{7}},
+	}
+	for _, c := range cases {
+		key := Encode(nil, c.l, c.r)
+		l, r, err := Decode(key)
+		if err != nil {
+			t.Fatalf("Decode(%v,%v): %v", c.l, c.r, err)
+		}
+		if !eq(l, c.l) || !eq(r, c.r) {
+			t.Fatalf("round trip (%v,%v) -> (%v,%v)", c.l, c.r, l, r)
+		}
+	}
+}
+
+func TestDistinctSolutionsDistinctKeys(t *testing.T) {
+	// The classic ambiguity: ({0,1},{}) vs ({0},{1}) vs ({},{0,1}).
+	a := Encode(nil, []int32{0, 1}, nil)
+	b := Encode(nil, []int32{0}, []int32{1})
+	c := Encode(nil, nil, []int32{0, 1})
+	if bytes.Equal(a, b) || bytes.Equal(b, c) || bytes.Equal(a, c) {
+		t.Fatal("distinct solutions share keys")
+	}
+}
+
+func TestPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unsorted input")
+		}
+	}()
+	Encode(nil, []int32{2, 1}, nil)
+}
+
+func TestPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate ids")
+		}
+	}()
+	Encode(nil, []int32{1, 1}, nil)
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("Decode without separator succeeded")
+	}
+	// Appending varint bytes just extends the right side, so trailing-byte
+	// detection is exercised with a second separator instead.
+	key := Encode(nil, []int32{1}, []int32{2})
+	if _, _, err := Decode(append(key, 0, 1)); err == nil {
+		t.Error("Decode with a second separator succeeded")
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	prefix := []byte("prefix")
+	key := Encode(prefix, []int32{3}, []int32{4})
+	if !bytes.HasPrefix(key, prefix) {
+		t.Fatal("Encode did not append to dst")
+	}
+	l, r, err := Decode(key[len(prefix):])
+	if err != nil || !eq(l, []int32{3}) || !eq(r, []int32{4}) {
+		t.Fatalf("decoded (%v,%v,%v)", l, r, err)
+	}
+}
+
+// TestQuickRoundTripAndInjectivity round-trips random sets and checks that
+// different sets get different keys.
+func TestQuickRoundTripAndInjectivity(t *testing.T) {
+	gen := func(rng *rand.Rand) []int32 {
+		n := rng.Intn(12)
+		m := map[int32]bool{}
+		for len(m) < n {
+			m[int32(rng.Intn(1<<16))] = true
+		}
+		out := make([]int32, 0, n)
+		for id := range m {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l1, r1 := gen(rng), gen(rng)
+		l2, r2 := gen(rng), gen(rng)
+		k1 := Encode(nil, l1, r1)
+		k2 := Encode(nil, l2, r2)
+		dl1, dr1, err := Decode(k1)
+		if err != nil || !eq(dl1, l1) || !eq(dr1, r1) {
+			return false
+		}
+		same := eq(l1, l2) && eq(r1, r2)
+		return bytes.Equal(k1, k2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

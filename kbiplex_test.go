@@ -1,0 +1,189 @@
+package kbiplex
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+func TestEnumerateAllAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	algos := []Algorithm{ITraversal, BTraversal, IMB, Inflation}
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ER(2+rng.Intn(5), 2+rng.Intn(5), 0.5+rng.Float64()*2, rng.Int63())
+		k := 1 + rng.Intn(2)
+		want := biplex.BruteForce(g, k)
+		for _, algo := range algos {
+			got, st, err := EnumerateAll(g, Options{K: k, Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			if len(got) != len(want) || st.Solutions != int64(len(want)) {
+				t.Fatalf("%v trial %d: %d solutions, oracle %d", algo, trial, len(got), len(want))
+			}
+			for i := range want {
+				if string(got[i].Key()) != string(want[i].Key()) {
+					t.Fatalf("%v trial %d: solution sets differ", algo, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestLargeMBPThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.ER(4+rng.Intn(4), 4+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		k := 1
+		minL, minR := 2, 3
+		var want []Solution
+		for _, p := range biplex.BruteForce(g, k) {
+			if len(p.L) >= minL && len(p.R) >= minR {
+				want = append(want, p)
+			}
+		}
+		for _, algo := range []Algorithm{ITraversal, BTraversal, IMB, Inflation} {
+			got, _, err := EnumerateAll(g, Options{K: k, Algorithm: algo, MinLeft: minL, MinRight: minR})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v trial %d: %d large MBPs, oracle %d", algo, trial, len(got), len(want))
+			}
+			for i := range want {
+				if string(got[i].Key()) != string(want[i].Key()) {
+					t.Fatalf("%v trial %d: large-MBP sets differ", algo, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := NewGraph(2, 2, [][2]int32{{0, 0}})
+	if _, _, err := EnumerateAll(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, _, err := EnumerateAll(g, Options{K: 1, MinLeft: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, _, err := EnumerateAll(g, Options{K: 1, Algorithm: Algorithm(42)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMaxResultsAcrossAlgorithms(t *testing.T) {
+	g := gen.ER(6, 6, 2, 9)
+	all, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Skip("not enough solutions")
+	}
+	for _, algo := range []Algorithm{ITraversal, BTraversal, IMB, Inflation} {
+		got, _, err := EnumerateAll(g, Options{K: 1, Algorithm: algo, MaxResults: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("%v: MaxResults=2 gave %d", algo, len(got))
+		}
+	}
+}
+
+func TestEmitOwnership(t *testing.T) {
+	g := gen.ER(5, 5, 2, 1)
+	var first Solution
+	n := 0
+	if _, err := Enumerate(g, Options{K: 1}, func(s Solution) bool {
+		if n == 0 {
+			first = s
+		} else if n == 1 && len(first.L) > 0 {
+			// Mutate the second solution; the first must be unaffected.
+			s.L[0] = -99
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range first.L {
+		if v < 0 {
+			t.Fatal("emitted solutions share storage")
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	g := gen.ER(20, 20, 3, 4)
+	calls := 0
+	st, err := Enumerate(g, Options{K: 1, Cancel: func() bool {
+		calls++
+		return calls > 50
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must have stopped early: a 20x20 density-3 graph has far
+	// more MBPs than could be found in ~50 candidate steps.
+	if st.Solutions > 10000 {
+		t.Fatalf("cancel ignored: %d solutions", st.Solutions)
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("% demo\n1 1\n1 2\n2 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != 2 || g.NumRight() != 2 || g.NumEdges() != 3 {
+		t.Fatalf("loaded %v", g)
+	}
+	if _, err := LoadEdgeList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	g := NewGraph(2, 2, [][2]int32{{0, 0}, {0, 1}, {1, 1}})
+	if !IsBiplex(g, []int32{0, 1}, []int32{0, 1}, 1) {
+		t.Fatal("IsBiplex false on the path graph")
+	}
+	if !IsMaximalBiplex(g, []int32{0, 1}, []int32{0, 1}, 1) {
+		t.Fatal("IsMaximalBiplex false on the whole graph")
+	}
+	if IsMaximalBiplex(g, []int32{0}, []int32{0, 1}, 1) {
+		t.Fatal("extendable pair reported maximal")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for a, want := range map[Algorithm]string{
+		ITraversal: "iTraversal", BTraversal: "bTraversal",
+		IMB: "iMB", Inflation: "Inflation", Algorithm(9): "Algorithm(9)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	g := RandomBipartite(10, 12, 2, 7)
+	if g.NumLeft() != 10 || g.NumRight() != 12 {
+		t.Fatalf("sizes %d,%d", g.NumLeft(), g.NumRight())
+	}
+	if g.NumEdges() != 44 {
+		t.Fatalf("edges %d, want 44", g.NumEdges())
+	}
+}

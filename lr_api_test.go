@@ -1,0 +1,92 @@
+package kbiplex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+// TestAsymmetricBudgetsAPI drives the per-side generalization through the
+// public API for every algorithm that supports it.
+func TestAsymmetricBudgetsAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		g := gen.ER(3+rng.Intn(4), 3+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		kL, kR := 1+rng.Intn(2), 1+rng.Intn(3)
+		want := biplex.BruteForceLR(g, kL, kR)
+		for _, algo := range []Algorithm{ITraversal, BTraversal, IMB} {
+			got, _, err := EnumerateAll(g, Options{KLeft: kL, KRight: kR, Algorithm: algo})
+			if err != nil {
+				t.Fatalf("%v kL=%d kR=%d: %v", algo, kL, kR, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v kL=%d kR=%d trial %d: %d vs oracle %d",
+					algo, kL, kR, trial, len(got), len(want))
+			}
+			for i := range want {
+				if string(got[i].Key()) != string(want[i].Key()) {
+					t.Fatalf("%v kL=%d kR=%d trial %d: sets differ", algo, kL, kR, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestAsymmetricBudgetsWithThresholds combines KLeft/KRight with
+// MinLeft/MinRight (exercising the generalized core preprocessing).
+func TestAsymmetricBudgetsWithThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		g := gen.ER(4+rng.Intn(4), 4+rng.Intn(4), 1+rng.Float64()*2, rng.Int63())
+		kL, kR := 2, 1
+		minL, minR := 2, 3
+		var want []Solution
+		for _, p := range biplex.BruteForceLR(g, kL, kR) {
+			if len(p.L) >= minL && len(p.R) >= minR {
+				want = append(want, p)
+			}
+		}
+		got, _, err := EnumerateAll(g, Options{
+			KLeft: kL, KRight: kR, MinLeft: minL, MinRight: minR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i].Key()) != string(want[i].Key()) {
+				t.Fatalf("trial %d: sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestInflationAsymmetricRejected(t *testing.T) {
+	g := NewGraph(2, 2, [][2]int32{{0, 0}})
+	if _, _, err := EnumerateAll(g, Options{KLeft: 1, KRight: 2, Algorithm: Inflation}); err == nil {
+		t.Fatal("Inflation accepted asymmetric budgets")
+	}
+}
+
+// TestBiplexLRPredicates spot-checks the asymmetric predicate semantics.
+func TestBiplexLRPredicates(t *testing.T) {
+	// Path of 4: L={0,1}, R={0,1}, edges 0-0, 0-1, 1-1.
+	g := NewGraph(2, 2, [][2]int32{{0, 0}, {0, 1}, {1, 1}})
+	// Vertex 1 misses u0 (1 miss), u0 misses v1 (1 miss): needs kL>=1 and
+	// kR>=1.
+	if !biplex.IsBiplexLR(g, []int32{0, 1}, []int32{0, 1}, 1, 1) {
+		t.Fatal("(1,1) rejected")
+	}
+	// With kL=0 the left side may not miss anything: rejected.
+	if biplex.IsBiplexLR(g, []int32{0, 1}, []int32{0, 1}, 0, 1) {
+		t.Fatal("(0,1) accepted despite v1 missing u0")
+	}
+	// kR=0 symmetric.
+	if biplex.IsBiplexLR(g, []int32{0, 1}, []int32{0, 1}, 1, 0) {
+		t.Fatal("(1,0) accepted despite u0 missing v1")
+	}
+}

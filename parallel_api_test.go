@@ -1,0 +1,75 @@
+package kbiplex
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/gen"
+)
+
+func TestEnumerateParallelAPI(t *testing.T) {
+	g := gen.ER(15, 15, 2, 31)
+	want, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Solution
+	st, err := EnumerateParallel(g, Options{K: 1}, 4, func(s Solution) bool {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(got)
+	if len(got) != len(want) || st.Solutions != int64(len(want)) {
+		t.Fatalf("parallel: %d solutions, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i].Key()) != string(want[i].Key()) {
+			t.Fatal("parallel and sequential sets differ")
+		}
+	}
+}
+
+func TestEnumerateParallelThresholds(t *testing.T) {
+	base := gen.ER(200, 100, 1.5, 4)
+	g, _, _ := gen.PlantBlock(base, 8, 10, 1, 5)
+	want, _, err := EnumerateAll(g, Options{K: 1, MinLeft: 4, MinRight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Solution
+	if _, err := EnumerateParallel(g, Options{K: 1, MinLeft: 4, MinRight: 4}, 0, func(s Solution) bool {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("parallel thresholds: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i].Key()) != string(want[i].Key()) {
+			t.Fatal("threshold sets differ")
+		}
+	}
+}
+
+func TestEnumerateParallelValidation(t *testing.T) {
+	g := NewGraph(2, 2, [][2]int32{{0, 0}})
+	if _, err := EnumerateParallel(g, Options{K: 1, Algorithm: IMB}, 2, nil); err == nil {
+		t.Fatal("non-ITraversal algorithm accepted")
+	}
+	if _, err := EnumerateParallel(g, Options{K: 0}, 2, nil); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

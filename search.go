@@ -1,0 +1,18 @@
+package kbiplex
+
+import (
+	"repro/internal/core"
+)
+
+// LargestBalancedMBP returns a maximal k-biplex maximizing
+// min(|L|, |R|), the "balanced" notion of size used by maximum-biclique
+// search; ok is false when the graph has no MBP with both sides
+// non-empty. It binary-searches the threshold θ — an MBP with both sides
+// ≥ θ exists monotonically in θ — and each probe runs the Section 5
+// pruned enumeration on the (θ−k)-core with MaxResults = 1, so no full
+// enumeration happens. This is the discovery problem of the paper's
+// companion work [47] ("On Efficient Large Maximal Biplex Discovery")
+// solved with this repository's machinery.
+func LargestBalancedMBP(g *Graph, k int) (Solution, bool, error) {
+	return core.LargestBalanced(g, k, k)
+}

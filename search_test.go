@@ -1,0 +1,103 @@
+package kbiplex
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+)
+
+// bruteLargestBalanced finds max over all MBPs of min(|L|,|R|) via the
+// brute-force oracle.
+func bruteLargestBalanced(g *Graph, k int) int {
+	best := 0
+	for _, p := range biplex.BruteForce(g, k) {
+		m := len(p.L)
+		if len(p.R) < m {
+			m = len(p.R)
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+func TestLargestBalancedMBPVsOracle(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := RandomBipartite(7, 7, 1.2+float64(seed%4)*0.4, seed)
+		for _, k := range []int{1, 2} {
+			want := bruteLargestBalanced(g, k)
+			s, ok, err := LargestBalancedMBP(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			if ok {
+				got = len(s.L)
+				if len(s.R) < got {
+					got = len(s.R)
+				}
+				if !IsMaximalBiplex(g, s.L, s.R, k) {
+					t.Fatalf("seed %d k=%d: result %v is not a maximal %d-biplex", seed, k, s, k)
+				}
+			}
+			if got != want {
+				t.Fatalf("seed %d k=%d: balanced size %d, oracle %d", seed, k, got, want)
+			}
+		}
+	}
+}
+
+func TestLargestBalancedMBPPlantedBlock(t *testing.T) {
+	// A planted 8x8 biclique inside noise must be found with balanced
+	// size at least 8 (the k-slack can absorb a little noise beyond it).
+	var edges [][2]int32
+	for i := int32(0); i < 8; i++ {
+		for j := int32(0); j < 8; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	edges = append(edges, [2]int32{20, 20}, [2]int32{21, 20}, [2]int32{22, 21})
+	g := NewGraph(24, 24, edges)
+	s, ok, err := LargestBalancedMBP(g, 1)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	m := len(s.L)
+	if len(s.R) < m {
+		m = len(s.R)
+	}
+	if m < 8 {
+		t.Fatalf("planted 8x8 block missed: balanced size %d (%v)", m, s)
+	}
+}
+
+func TestLargestBalancedMBPDegenerate(t *testing.T) {
+	// Empty graph: no MBP with both sides non-empty.
+	g := NewGraph(0, 0, nil)
+	if _, ok, err := LargestBalancedMBP(g, 1); err != nil || ok {
+		t.Fatalf("empty graph: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := LargestBalancedMBP(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// A single edge: the MBP (v0,u0) has balanced size 1.
+	g = NewGraph(1, 1, [][2]int32{{0, 0}})
+	s, ok, err := LargestBalancedMBP(g, 1)
+	if err != nil || !ok {
+		t.Fatalf("single edge: ok=%v err=%v", ok, err)
+	}
+	if len(s.L) != 1 || len(s.R) != 1 {
+		t.Fatalf("single edge: %v", s)
+	}
+}
+
+func BenchmarkLargestBalancedMBP(b *testing.B) {
+	g := RandomBipartite(150, 150, 5, 11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LargestBalancedMBP(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package kbiplex
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSpillDirMatchesInMemory checks that a disk-backed deduplication
+// store produces exactly the in-memory enumeration output and actually
+// spills run files.
+func TestSpillDirMatchesInMemory(t *testing.T) {
+	g := RandomBipartite(14, 14, 2.5, 11)
+	want, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 10 {
+		t.Fatalf("test graph too small: %d MBPs", len(want))
+	}
+	for _, alg := range []Algorithm{ITraversal, BTraversal} {
+		dir := t.TempDir()
+		got, _, err := EnumerateAll(g, Options{K: 1, Algorithm: alg, SpillDir: dir})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v with SpillDir: %d MBPs, want %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%v with SpillDir: mismatch at %d", alg, i)
+			}
+		}
+	}
+}
+
+func TestSpillDirErrors(t *testing.T) {
+	g := RandomBipartite(4, 4, 1, 1)
+	if _, _, err := EnumerateAll(g, Options{K: 1, Algorithm: IMB, SpillDir: t.TempDir()}); err == nil {
+		t.Fatal("SpillDir accepted for iMB")
+	}
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, _, err := EnumerateAll(g, Options{K: 1, SpillDir: missing}); err == nil {
+		t.Fatal("missing SpillDir accepted")
+	}
+}
