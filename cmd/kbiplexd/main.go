@@ -1,0 +1,133 @@
+// Command kbiplexd serves maximal k-biplex enumeration over HTTP.
+//
+// Usage:
+//
+//	kbiplexd -addr :8377 -load orders=orders.txt -load web=web.txt
+//	kbiplexd -max-results 10000 -query-timeout 30s -spill /var/tmp/kbiplex
+//
+// Graphs preloaded with -load (and any loaded later via POST /graphs)
+// are each wrapped in a query engine that caches the transpose and
+// (α,β)-core preprocessing across requests. Endpoints:
+//
+//	GET    /healthz                  liveness
+//	GET    /stats                    server counters
+//	GET    /graphs                   list graphs
+//	POST   /graphs                   load a graph (inline edges / random; file paths need -allow-path-load)
+//	GET    /graphs/{name}            graph shape + engine stats
+//	DELETE /graphs/{name}            unload
+//	GET    /graphs/{name}/enumerate  NDJSON stream of MBPs (k, k_left, k_right, algorithm,
+//	                                 min_left, min_right, max_results, workers)
+//	GET    /graphs/{name}/largest    largest balanced MBP (k)
+//
+// Cancelling a request (client disconnect) or hitting -query-timeout
+// stops the underlying enumeration. SIGINT/SIGTERM shut the server down
+// gracefully, aborting in-flight enumerations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	kbiplex "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "kbiplexd:", err)
+		os.Exit(1)
+	}
+}
+
+// loadFlags collects repeated -load name=path flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return errors.New("want name=edgelist-path")
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kbiplexd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8377", "listen address")
+		maxResults   = fs.Int("max-results", 0, "cap every query's result count (0 = unlimited)")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-query deadline (0 = none)")
+		spill        = fs.String("spill", "", "directory for disk-backed per-query deduplication (must exist)")
+		allowPath    = fs.Bool("allow-path-load", false, "let POST /graphs read edge-list files from server paths")
+		loads        loadFlags
+	)
+	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv := server.New(server.Config{
+		MaxResults:    *maxResults,
+		QueryTimeout:  *queryTimeout,
+		SpillDir:      *spill,
+		AllowPathLoad: *allowPath,
+	})
+	for _, l := range loads {
+		name, path, _ := strings.Cut(l, "=")
+		g, err := kbiplex.LoadEdgeList(path)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", l, err)
+		}
+		if err := srv.AddGraph(name, g); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "kbiplexd: loaded %s: |L|=%d |R|=%d |E|=%d\n",
+			name, g.NumLeft(), g.NumRight(), g.NumEdges())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "kbiplexd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler: srv,
+		// Request contexts derive from ctx, so SIGINT/SIGTERM aborts
+		// in-flight enumerations instead of waiting them out.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "kbiplexd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return hs.Close()
+		}
+		return nil
+	}
+}

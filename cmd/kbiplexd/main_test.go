@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port with a
+// preloaded graph, enumerates over HTTP, and shuts it down via context
+// cancellation (the SIGINT path).
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(edge, []byte("0 0\n0 1\n1 1\n2 0\n2 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-addr", "127.0.0.1:0", "-load", "toy=" + edge}, pw, io.Discard)
+		pw.Close()
+		done <- err
+	}()
+
+	// run prints "loaded ..." then "listening on <addr>".
+	var addr string
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "kbiplexd: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line; run exited: %v", <-done)
+	}
+	go io.Copy(io.Discard, pr) // drain the shutdown message
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/graphs/toy/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[len(lines)-1], `"done":true`) {
+		t.Fatalf("enumerate stream: %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-load", "noequals"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("malformed -load accepted")
+	}
+	if err := run(context.Background(), []string{"-load", fmt.Sprintf("x=%s", filepath.Join(t.TempDir(), "missing.txt"))}, io.Discard, io.Discard); err == nil {
+		t.Fatal("missing edge-list file accepted")
+	}
+	if err := run(context.Background(), []string{"stray"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+}

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -62,18 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	var algorithm kbiplex.Algorithm
-	switch strings.ToLower(*algo) {
-	case "itraversal":
-		algorithm = kbiplex.ITraversal
-	case "btraversal":
-		algorithm = kbiplex.BTraversal
-	case "imb":
-		algorithm = kbiplex.IMB
-	case "inflation":
-		algorithm = kbiplex.Inflation
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	algorithm, err := kbiplex.ParseAlgorithm(strings.ToLower(*algo))
+	if err != nil {
+		return err
 	}
 
 	opts := kbiplex.Options{
@@ -82,9 +75,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxResults: *n,
 		SpillDir:   *spill,
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		t0 := time.Now()
-		opts.Cancel = func() bool { return time.Since(t0) > *timeout }
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var mu sync.Mutex
@@ -99,11 +94,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	var st kbiplex.Stats
 	if *parallel != 1 && algorithm == kbiplex.ITraversal {
-		st, err = kbiplex.EnumerateParallel(g, opts, *parallel, emitFn)
+		st, err = kbiplex.EnumerateParallelCtx(ctx, g, opts, *parallel, emitFn)
 	} else {
-		st, err = kbiplex.Enumerate(g, opts, emitFn)
+		st, err = kbiplex.EnumerateCtx(ctx, g, opts, emitFn)
 	}
-	if err != nil {
+	// A -timeout expiry is a bounded run, not a failure: report what was
+	// found within the budget, as the Cancel-based implementation did.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	if *stats {

@@ -1,0 +1,232 @@
+package kbiplex
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ctxTestGraph is large enough that a full enumeration emits well over a
+// hundred MBPs, so mid-run cancellation is observable.
+func ctxTestGraph() *Graph {
+	return RandomBipartite(20, 20, 2.5, 7)
+}
+
+func TestEnumerateCtxCancelSequential(t *testing.T) {
+	g := ctxTestGraph()
+	full, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 50 {
+		t.Fatalf("test graph too small: %d MBPs", len(full))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	st, err := EnumerateCtx(ctx, g, Options{K: 1}, func(Solution) bool {
+		seen++
+		if seen == 5 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if seen >= len(full) {
+		t.Fatalf("cancellation did not cut the run short: saw %d of %d", seen, len(full))
+	}
+	if st.Solutions != int64(seen) {
+		t.Fatalf("Stats.Solutions %d != emitted %d", st.Solutions, seen)
+	}
+}
+
+func TestEnumerateCtxDeadline(t *testing.T) {
+	g := ctxTestGraph()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := EnumerateCtx(ctx, g, Options{K: 1}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestEnumerateParallelCtxCancel(t *testing.T) {
+	g := ctxTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	_, err := EnumerateParallelCtx(ctx, g, Options{K: 1}, 4, func(Solution) bool {
+		if seen.Add(1) == 5 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	full, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got >= int64(len(full)) {
+		t.Fatalf("cancellation did not cut the parallel run short: saw %d of %d", got, len(full))
+	}
+}
+
+func TestAllMatchesEnumerateAll(t *testing.T) {
+	g := RandomBipartite(12, 12, 2, 3)
+	want, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Solution
+	for s, err := range All(context.Background(), g, Options{K: 1}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d solutions, want %d", len(got), len(want))
+	}
+}
+
+func TestAllEarlyBreak(t *testing.T) {
+	g := ctxTestGraph()
+	seen := 0
+	for _, err := range All(context.Background(), g, Options{K: 1}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("broke at 3, saw %d", seen)
+	}
+}
+
+func TestAllValidationError(t *testing.T) {
+	g := RandomBipartite(4, 4, 1, 1)
+	yields := 0
+	var last error
+	for _, err := range All(context.Background(), g, Options{K: 0}) {
+		yields++
+		last = err
+	}
+	if yields != 1 || last == nil {
+		t.Fatalf("want exactly one error yield, got %d yields (last err %v)", yields, last)
+	}
+}
+
+func TestAllCtxCancelYieldsError(t *testing.T) {
+	g := ctxTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	var sawErr error
+	for _, err := range All(ctx, g, Options{K: 1}) {
+		if err != nil {
+			sawErr = err
+			continue
+		}
+		seen++
+		if seen == 4 {
+			cancel()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("want a context.Canceled yield, got %v after %d solutions", sawErr, seen)
+	}
+}
+
+// TestMaxResultsUniform pins the redesigned quota semantics: every
+// algorithm emits exactly MaxResults solutions — the pre-redesign
+// BTraversal/Inflation paths checked the quota only around the emit
+// callback, not through one shared guard.
+func TestMaxResultsUniform(t *testing.T) {
+	g := RandomBipartite(12, 12, 2, 3)
+	full, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 6 {
+		t.Fatalf("test graph too small: %d MBPs", len(full))
+	}
+	for _, alg := range []Algorithm{ITraversal, BTraversal, IMB, Inflation} {
+		emitted := 0
+		st, err := Enumerate(g, Options{K: 1, Algorithm: alg, MaxResults: 5}, func(Solution) bool {
+			emitted++
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if emitted != 5 || st.Solutions != 5 {
+			t.Fatalf("%v: emitted %d / stats %d, want exactly 5", alg, emitted, st.Solutions)
+		}
+	}
+}
+
+// TestDeprecatedCancelStillWorks keeps the Options.Cancel shim honest:
+// it aborts the run with a nil error, as before the redesign.
+func TestDeprecatedCancelStillWorks(t *testing.T) {
+	g := ctxTestGraph()
+	seen := 0
+	stop := false
+	st, err := Enumerate(g, Options{K: 1, Cancel: func() bool { return stop }}, func(Solution) bool {
+		seen++
+		if seen == 5 {
+			stop = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions >= int64(len(full)) {
+		t.Fatalf("Options.Cancel did not cut the run short: %d of %d", st.Solutions, len(full))
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"": ITraversal, "itraversal": ITraversal, "iTraversal": ITraversal,
+		"btraversal": BTraversal, "imb": IMB, "inflation": Inflation,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Options{K: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Options{
+		{K: 0},
+		{K: 1, MinLeft: -1},
+		{KLeft: 1, KRight: 2, Algorithm: Inflation},
+		{K: 1, Algorithm: IMB, SpillDir: "x"},
+		{K: 1, Algorithm: Algorithm(99)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package kbiplex
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEngineMatchesPackageLevel(t *testing.T) {
+	// Kept small: the K=2 case below is exponentially costlier per vertex.
+	base := RandomBipartite(22, 18, 1.5, 4)
+	e := NewEngine(base, EngineConfig{})
+	for _, opts := range []Options{
+		{K: 1},
+		{K: 1, Algorithm: IMB},
+		{K: 1, MinLeft: 3, MinRight: 3},
+		{K: 2, MinLeft: 5, MinRight: 3},
+	} {
+		want, _, err := EnumerateAll(base, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Solution
+		st, err := e.Enumerate(context.Background(), opts, func(s Solution) bool {
+			got = append(got, s)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if int(st.Solutions) != len(want) || len(got) != len(want) {
+			t.Fatalf("%+v: engine %d solutions, package %d", opts, st.Solutions, len(want))
+		}
+	}
+}
+
+func TestEngineThetaQueriesShareCoreCache(t *testing.T) {
+	g := RandomBipartite(50, 50, 2, 8)
+	e := NewEngine(g, EngineConfig{})
+	want, _, err := EnumerateAll(g, Options{K: 1, MinLeft: 3, MinRight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var got []Solution
+		for s, err := range e.All(context.Background(), Options{K: 1, MinLeft: 3, MinRight: 3}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, s)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d solutions, want %d", i, len(got), len(want))
+		}
+	}
+	st := e.Stats()
+	if st.CachedCores != 1 {
+		t.Fatalf("CachedCores = %d, want 1 (two identical θ queries share one entry)", st.CachedCores)
+	}
+	if !st.CoreIndexBuilt {
+		t.Fatal("core index not built by θ queries")
+	}
+	if st.Queries != 2 {
+		t.Fatalf("Queries = %d, want 2", st.Queries)
+	}
+}
+
+func TestEngineMaxResultsClamp(t *testing.T) {
+	g := RandomBipartite(15, 15, 2, 5)
+	e := NewEngine(g, EngineConfig{MaxResults: 3})
+	st, err := e.Enumerate(context.Background(), Options{K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions != 3 {
+		t.Fatalf("engine cap ignored: %d solutions", st.Solutions)
+	}
+	// A query asking for less than the cap keeps its own limit.
+	st, err = e.Enumerate(context.Background(), Options{K: 1, MaxResults: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions != 2 {
+		t.Fatalf("query limit overridden: %d solutions", st.Solutions)
+	}
+}
+
+func TestEngineTimeout(t *testing.T) {
+	g := RandomBipartite(40, 40, 3, 2)
+	e := NewEngine(g, EngineConfig{Timeout: time.Nanosecond})
+	_, err := e.Enumerate(context.Background(), Options{K: 1}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestEngineSpillDir(t *testing.T) {
+	g := RandomBipartite(14, 14, 2.5, 11)
+	want, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	e := NewEngine(g, EngineConfig{SpillDir: dir})
+	st, err := e.Enumerate(context.Background(), Options{K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(st.Solutions) != len(want) {
+		t.Fatalf("spilled run: %d solutions, want %d", st.Solutions, len(want))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("per-query spill dir not cleaned up: %v", ents)
+	}
+}
+
+func TestEngineLargestBalanced(t *testing.T) {
+	g := RandomBipartite(30, 30, 2.5, 6)
+	want, wok, err := LargestBalancedMBP(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, EngineConfig{})
+	got, gok, err := e.LargestBalanced(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gok != wok {
+		t.Fatalf("ok mismatch: engine %v, package %v", gok, wok)
+	}
+	bal := func(s Solution) int { return min(len(s.L), len(s.R)) }
+	if wok && bal(got) != bal(want) {
+		t.Fatalf("balanced size %d, want %d", bal(got), bal(want))
+	}
+	if !IsMaximalBiplex(g, got.L, got.R, 1) {
+		t.Fatal("engine returned a non-maximal biplex")
+	}
+}
+
+// TestEngineConcurrentQueries hammers one engine from many goroutines
+// with a mix of query shapes; run under -race this is the shared-cache
+// safety test. Every query's result is checked against the sequential
+// reference.
+func TestEngineConcurrentQueries(t *testing.T) {
+	g := RandomBipartite(40, 40, 2, 12)
+	plain, _, err := EnumerateAll(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, _, err := EnumerateAll(g, Options{K: 1, MinLeft: 3, MinRight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBal, _, err := LargestBalancedMBP(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(g, EngineConfig{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			switch i % 4 {
+			case 0:
+				st, err := e.Enumerate(ctx, Options{K: 1}, nil)
+				if err == nil && int(st.Solutions) != len(plain) {
+					err = errors.New("plain query count mismatch")
+				}
+				errc <- err
+			case 1:
+				st, err := e.Enumerate(ctx, Options{K: 1, MinLeft: 3, MinRight: 3}, nil)
+				if err == nil && int(st.Solutions) != len(theta) {
+					err = errors.New("theta query count mismatch")
+				}
+				errc <- err
+			case 2:
+				st, err := e.EnumerateParallel(ctx, Options{K: 1}, 2, nil)
+				if err == nil && int(st.Solutions) != len(plain) {
+					err = errors.New("parallel query count mismatch")
+				}
+				errc <- err
+			case 3:
+				s, ok, err := e.LargestBalanced(ctx, 1)
+				if err == nil && (!ok || min(len(s.L), len(s.R)) != min(len(wantBal.L), len(wantBal.R))) {
+					err = errors.New("largest-balanced mismatch")
+				}
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().Active; got != 0 {
+		t.Fatalf("Active = %d after all queries finished", got)
+	}
+}

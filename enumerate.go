@@ -1,0 +1,220 @@
+package kbiplex
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/diskstore"
+	"repro/internal/imb"
+	"repro/internal/inflate"
+	"repro/internal/kplex"
+)
+
+// EnumerateCtx streams every maximal k-biplex of g to emit. The emit
+// callback owns the solution it receives; returning false stops the run
+// with a nil error. Cancelling ctx (or its deadline expiring) aborts the
+// enumeration cooperatively and returns ctx's error; solutions emitted
+// before the cancellation are counted in Stats.
+func EnumerateCtx(ctx context.Context, g *Graph, opts Options, emit func(Solution) bool) (Stats, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Stats{Algorithm: opts.Algorithm}, err
+	}
+	return enumerateEnv(ctx, prepare(g, o), o, emit)
+}
+
+// EnumerateParallelCtx enumerates with a pool of workers sharing one
+// deduplication store — the parallel implementation the paper lists as
+// future work. Only the default ITraversal algorithm is supported; the
+// order-dependent exclusion strategy is disabled internally, emission
+// order is nondeterministic, and emit may be called concurrently from
+// several goroutines (it must be safe for that). workers <= 0 selects
+// GOMAXPROCS. The solution set is identical to the sequential one.
+// Cancelling ctx stops every worker and returns ctx's error.
+func EnumerateParallelCtx(ctx context.Context, g *Graph, opts Options, workers int, emit func(Solution) bool) (Stats, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Stats{}, err
+	}
+	if o.Algorithm != ITraversal {
+		return Stats{}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
+	}
+	return enumerateParallelEnv(ctx, prepare(g, o), o, workers, emit)
+}
+
+// All returns an iterator over every maximal k-biplex of g. Breaking out
+// of the range loop stops the underlying enumeration immediately; no
+// solutions are buffered beyond the one in flight. A validation failure,
+// or ctx being cancelled mid-run, yields one final (zero Solution, err)
+// pair and ends the sequence; err is nil on every other pair, so callers
+// that pre-validated with Options.Validate and pass a non-cancellable
+// context may ignore it.
+func All(ctx context.Context, g *Graph, opts Options) iter.Seq2[Solution, error] {
+	return func(yield func(Solution, error) bool) {
+		broke := false
+		_, err := EnumerateCtx(ctx, g, opts, func(s Solution) bool {
+			if !yield(s, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(Solution{}, err)
+		}
+	}
+}
+
+// Enumerate streams every maximal k-biplex of g to emit. The emit
+// callback owns the solution it receives; returning false stops the run.
+//
+// Deprecated: use EnumerateCtx (or All) — context cancellation composes
+// with deadlines and HTTP request lifetimes, which Options.Cancel cannot.
+func Enumerate(g *Graph, opts Options, emit func(Solution) bool) (Stats, error) {
+	return EnumerateCtx(context.Background(), g, opts, emit)
+}
+
+// EnumerateParallel enumerates with a pool of workers; see
+// EnumerateParallelCtx for the semantics.
+//
+// Deprecated: use EnumerateParallelCtx.
+func EnumerateParallel(g *Graph, opts Options, workers int, emit func(Solution) bool) (Stats, error) {
+	return EnumerateParallelCtx(context.Background(), g, opts, workers, emit)
+}
+
+// EnumerateAll collects every MBP into a slice ordered by canonical key.
+func EnumerateAll(g *Graph, opts Options) ([]Solution, Stats, error) {
+	var out []Solution
+	st, err := Enumerate(g, opts, func(s Solution) bool {
+		out = append(out, s)
+		return true
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	biplex.SortPairs(out)
+	return out, st, nil
+}
+
+// mergeCancel folds ctx and the deprecated Options.Cancel hook into the
+// single poll function internal/core understands; nil when neither can
+// ever fire, so the hot loop skips the poll entirely.
+func mergeCancel(ctx context.Context, user func() bool) func() bool {
+	done := ctx.Done()
+	if done == nil && user == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return user != nil && user()
+	}
+}
+
+// enumerateEnv runs one prepared sequential enumeration. o must be
+// normalized. Every sequential algorithm funnels its solutions through
+// one relay that back-maps ids, counts, and enforces MaxResults both
+// before and after emitting — uniformly, where the pre-redesign code
+// let BTraversal and Inflation check the quota only after the callback.
+func enumerateEnv(ctx context.Context, ev env, o Options, emit func(Solution) bool) (Stats, error) {
+	st := Stats{Algorithm: o.Algorithm}
+	cancel := mergeCancel(ctx, o.Cancel)
+
+	var store core.SolutionStore
+	if o.SpillDir != "" {
+		// A modest memtable keeps the memory ceiling low — spilling is the
+		// whole point of asking for a SpillDir.
+		ds, err := diskstore.Open(diskstore.Options{Dir: o.SpillDir, FlushKeys: 1 << 13})
+		if err != nil {
+			return st, err
+		}
+		defer ds.Close()
+		store = ds
+	}
+
+	relay := func(p Solution) bool {
+		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
+			return false // quota already filled
+		}
+		st.Solutions++
+		ok := true
+		if emit != nil {
+			ok = emit(ev.remap(p))
+		}
+		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
+			return false
+		}
+		return ok
+	}
+
+	switch o.Algorithm {
+	case ITraversal:
+		c := ev.reverseOptions(o)
+		c.Cancel = cancel
+		c.Store = store
+		if _, err := core.Enumerate(ev.run, c, func(p Solution) bool { return relay(p) }); err != nil {
+			return st, err
+		}
+	case BTraversal:
+		c := ev.reverseOptions(o)
+		c.Cancel = cancel
+		c.Store = store
+		// bTraversal cannot prune small MBPs (Section 5); post-filter.
+		if _, err := core.Enumerate(ev.run, c, func(p Solution) bool {
+			if len(p.L) < o.MinLeft || len(p.R) < o.MinRight {
+				return true
+			}
+			return relay(p)
+		}); err != nil {
+			return st, err
+		}
+	case IMB:
+		imb.Enumerate(ev.run, imb.Options{
+			KLeft: o.KLeft, KRight: o.KRight, ThetaL: o.MinLeft, ThetaR: o.MinRight,
+			MaxResults: o.MaxResults, Cancel: cancel,
+		}, func(p Solution) bool { return relay(p) })
+	case Inflation:
+		ig := inflate.Inflate(ev.run)
+		kplex.EnumerateMaximalCancel(ig, o.KLeft+1, cancel, func(members []int32) bool {
+			l, r := inflate.Split(append([]int32(nil), members...), ev.run.NumLeft())
+			if len(l) < o.MinLeft || len(r) < o.MinRight {
+				return true
+			}
+			return relay(Solution{L: l, R: r})
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// enumerateParallelEnv runs one prepared parallel enumeration; o must be
+// normalized and Algorithm must be ITraversal. MaxResults and the Theta
+// filter are enforced inside the parallel driver (its shared, locked
+// counter), so the relay only back-maps.
+func enumerateParallelEnv(ctx context.Context, ev env, o Options, workers int, emit func(Solution) bool) (Stats, error) {
+	c := ev.reverseOptions(o)
+	c.Cancel = mergeCancel(ctx, o.Cancel)
+	st := Stats{Algorithm: ITraversal}
+	cst, err := core.EnumerateParallel(ev.run, c, workers, func(p Solution) bool {
+		if emit == nil {
+			return true
+		}
+		return emit(ev.remap(p))
+	})
+	st.Solutions = cst.Solutions
+	if err != nil {
+		return st, err
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	kbiplex "repro"
@@ -31,16 +32,19 @@ func main() {
 	}
 	fmt.Printf("total: %d MBPs (the paper's Figure 3 has 10 nodes)\n\n", st.Solutions)
 
-	// Streaming enumeration with early stop on a random graph.
+	// Streaming enumeration as an iterator: solutions arrive one at a
+	// time and breaking out of the loop stops the run immediately.
 	fmt.Println("== first 5 maximal 2-biplexes of a random 200x200 graph ==")
 	rg := kbiplex.RandomBipartite(200, 200, 3, 42)
 	n := 0
-	if _, err := kbiplex.Enumerate(rg, kbiplex.Options{K: 2}, func(s kbiplex.Solution) bool {
+	for s, err := range kbiplex.All(context.Background(), rg, kbiplex.Options{K: 2}) {
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("L=%v R=%v\n", s.L, s.R)
-		n++
-		return n < 5
-	}); err != nil {
-		panic(err)
+		if n++; n == 5 {
+			break
+		}
 	}
 
 	// Verifying a candidate subgraph with the predicate helpers.

@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		"community":      "",
 		"largembp":       "large MBPs",
 		"parallel":       "all three runs found the identical",
+		"service":        "stream done",
 		"hereditary":     "must match",
 	}
 	for name, want := range cases {

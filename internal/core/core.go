@@ -84,6 +84,13 @@ type Options struct {
 	// solution set exceeds memory. Insert must report true exactly when
 	// the key was absent.
 	Store SolutionStore
+
+	// Transpose, when non-nil, is g's precomputed transpose and is used
+	// instead of recomputing it. Long-lived callers that run many
+	// enumerations over the same graph (a query engine, the distributed
+	// driver's per-expansion ExpandOnce calls) supply it to avoid the
+	// O(|E|) transposition on every run.
+	Transpose *bigraph.Graph
 }
 
 // SolutionStore is the deduplication store contract: Insert returns true
@@ -163,7 +170,11 @@ func Enumerate(g *bigraph.Graph, opts Options, emit EmitFunc) (Stats, error) {
 	if opts.Store != nil {
 		store = opts.Store
 	}
-	e := &engine{g: g, gT: g.Transpose(), opts: opts, kL: kL, kR: kR, emit: emit, store: store}
+	gT := opts.Transpose
+	if gT == nil {
+		gT = g.Transpose()
+	}
+	e := &engine{g: g, gT: gT, opts: opts, kL: kL, kR: kR, emit: emit, store: store}
 	e.run()
 	return e.stats, nil
 }

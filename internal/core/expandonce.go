@@ -59,7 +59,11 @@ func ExpandOnce(g *bigraph.Graph, opts Options, h biplex.Pair, sink func(p biple
 		return Stats{}, errors.New("core: ExpandOnce requires a sink")
 	}
 	opts.Exclusion = false
-	e := &engine{g: g, gT: g.Transpose(), opts: opts, kL: kL, kR: kR, store: admitAll{}}
+	gT := opts.Transpose
+	if gT == nil {
+		gT = g.Transpose()
+	}
+	e := &engine{g: g, gT: gT, opts: opts, kL: kL, kR: kR, store: admitAll{}}
 	e.onChild = func(p biplex.Pair) {
 		if !sink(p) {
 			e.stopped = true

@@ -50,7 +50,10 @@ func EnumerateParallel(g *bigraph.Graph, opts Options, workers int, emit EmitFun
 		return Stats{}, errors.New("core: Theta pruning requires the right-shrinking framework")
 	}
 
-	gT := g.Transpose()
+	gT := opts.Transpose
+	if gT == nil {
+		gT = g.Transpose()
+	}
 	h0 := initialSolution(g, kL, kR, opts.InitialRightFull)
 
 	sh := &parShared{emit: emit, maxResults: opts.MaxResults, thetaL: opts.ThetaL, thetaR: opts.ThetaR}

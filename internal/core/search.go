@@ -15,6 +15,14 @@ import (
 // pruned enumeration on the (θ−k)-core with MaxResults = 1, so no probe
 // enumerates more than one solution.
 func LargestBalanced(g *bigraph.Graph, kL, kR int) (biplex.Pair, bool, error) {
+	return LargestBalancedCancel(g, kL, kR, nil)
+}
+
+// LargestBalancedCancel is LargestBalanced with cooperative cancellation:
+// cancel, when non-nil, is polled inside every probe's enumeration and
+// between probes; once it returns true the search stops and returns the
+// best solution found so far with ok reporting whether one exists.
+func LargestBalancedCancel(g *bigraph.Graph, kL, kR int, cancel func() bool) (biplex.Pair, bool, error) {
 	if kL < 1 || kR < 1 {
 		return biplex.Pair{}, false, errors.New("core: budgets must be at least 1")
 	}
@@ -27,6 +35,7 @@ func LargestBalanced(g *bigraph.Graph, kL, kR int) (biplex.Pair, bool, error) {
 		opts.K, opts.KLeft, opts.KRight = 0, kL, kR
 		opts.ThetaL, opts.ThetaR = theta, theta
 		opts.MaxResults = 1
+		opts.Cancel = cancel
 		var found biplex.Pair
 		ok := false
 		_, err := Enumerate(run, opts, func(p biplex.Pair) bool {
@@ -47,6 +56,15 @@ func LargestBalanced(g *bigraph.Graph, kL, kR int) (biplex.Pair, bool, error) {
 	if g.NumRight() < hi {
 		hi = g.NumRight()
 	}
+	return BalancedSearch(hi, cancel, probe)
+}
+
+// BalancedSearch is the θ binary search shared by LargestBalanced and
+// the query engine's cached variant: probe(θ) must report some MBP with
+// both sides ≥ θ when one exists ("a solution exists at θ" is monotone
+// in θ), hi is an upper bound on the answer, and stop, when non-nil,
+// ends the search between probes with the best solution found so far.
+func BalancedSearch(hi int, stop func() bool, probe func(theta int) (biplex.Pair, bool, error)) (biplex.Pair, bool, error) {
 	if hi < 1 {
 		return biplex.Pair{}, false, nil
 	}
@@ -57,6 +75,9 @@ func LargestBalanced(g *bigraph.Graph, kL, kR int) (biplex.Pair, bool, error) {
 	lo := 1
 	// Invariant: a solution exists at θ = lo; none is known above hi.
 	for lo < hi {
+		if stop != nil && stop() {
+			return best, true, nil
+		}
 		mid := (lo + hi + 1) / 2
 		s, ok, err := probe(mid)
 		if err != nil {

@@ -1,0 +1,185 @@
+// Package dist simulates a hash-partitioned distributed MBP enumeration —
+// the distributed implementation the paper lists as future work (Section
+// 8), modeled faithfully enough to measure what matters in a real
+// deployment: message volume and ownership balance.
+//
+// The sparsified solution graph is partitioned by hashing each solution's
+// canonical key over the cluster nodes. A node expands only the solutions
+// it owns; every link target discovered during an expansion is forwarded
+// to the target's hash owner as a message (the expander cannot know
+// whether the target was already traversed — the deduplication store is
+// partitioned with the solutions). The owner deduplicates against its
+// local store and expands each solution exactly once, so the union of all
+// nodes' traversals equals the single-machine traversal's reach and the
+// solution set matches the sequential enumeration exactly.
+//
+// The optional sender cache replays a standard combiner optimization:
+// each node remembers the keys it has already forwarded and suppresses
+// repeat messages, trading per-node memory for network volume.
+package dist
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/vskey"
+)
+
+// Options configures a simulated run.
+type Options struct {
+	// Nodes is the cluster size (≥ 1).
+	Nodes int
+	// K is the biplex parameter k ≥ 1.
+	K int
+	// MaxResults stops the run after this many solutions were discovered
+	// cluster-wide (0 = enumerate everything).
+	MaxResults int
+	// SenderCache enables the per-node forwarded-key cache that suppresses
+	// duplicate messages to the same owner.
+	SenderCache bool
+	// Cancel, when non-nil, is polled between expansions; returning true
+	// aborts the run cooperatively.
+	Cancel func() bool
+}
+
+// NodeStats reports one node's share of the run.
+type NodeStats struct {
+	// Owned is the number of solutions whose hash owner is this node.
+	Owned int64
+	// Sent is the number of messages this node forwarded to owners.
+	Sent int64
+	// Expansions is the number of solution expansions this node ran.
+	Expansions int64
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	// Solutions is the number of distinct MBPs discovered cluster-wide.
+	Solutions int64
+	// Messages is the total number of link targets forwarded to their
+	// hash owners.
+	Messages int64
+	// Nodes holds the per-node breakdown.
+	Nodes []NodeStats
+}
+
+// node is one simulated cluster member: its partition of the
+// deduplication store, its work queue, and (optionally) its sender cache.
+type node struct {
+	store btree.Tree
+	queue []biplex.Pair
+	sent  map[string]struct{}
+}
+
+// Enumerate runs the simulation and streams every discovered MBP to emit
+// (which may be nil). Emission happens at the owning node's insert, so the
+// order is a deterministic interleaving but not the sequential engine's
+// order; the solution set is identical. The traversal uses iTraversal
+// without the order-dependent exclusion strategy (iTraversal-ES), the same
+// semantics as the parallel implementation.
+func Enumerate(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, error) {
+	if o.Nodes < 1 {
+		return Stats{}, errors.New("dist: Options.Nodes must be at least 1")
+	}
+	if o.K < 1 {
+		return Stats{}, errors.New("dist: Options.K must be at least 1")
+	}
+
+	opts := core.ITraversal(o.K)
+	opts.Exclusion = false
+	opts.Transpose = g.Transpose()
+	opts.Cancel = o.Cancel
+
+	st := Stats{Nodes: make([]NodeStats, o.Nodes)}
+	nodes := make([]*node, o.Nodes)
+	for i := range nodes {
+		nodes[i] = &node{}
+		if o.SenderCache {
+			nodes[i].sent = make(map[string]struct{})
+		}
+	}
+	stopped := false
+
+	// deliver hands solution p to its hash owner: dedup, count, emit,
+	// enqueue for expansion. It reports whether the run should continue.
+	deliver := func(p biplex.Pair) bool {
+		key := vskey.Encode(nil, p.L, p.R)
+		own := owner(key, o.Nodes)
+		if !nodes[own].store.Insert(key) {
+			return true // already traversed by its owner
+		}
+		st.Nodes[own].Owned++
+		st.Solutions++
+		if emit != nil && !emit(p) {
+			stopped = true
+			return false
+		}
+		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
+			stopped = true
+			return false
+		}
+		nodes[own].queue = append(nodes[own].queue, p)
+		return true
+	}
+
+	h0, err := core.InitialSolution(g, opts)
+	if err != nil {
+		return st, err
+	}
+	// The driver seeds H0 at its owner directly; only link targets
+	// discovered during expansions count as messages.
+	deliver(h0)
+
+	// Round-robin scheduling: each node drains one queued solution per
+	// turn, which keeps the simulated cluster in lock-step without
+	// favoring the node that owns H0.
+	for !stopped {
+		idle := true
+		for i, nd := range nodes {
+			if stopped {
+				break
+			}
+			if o.Cancel != nil && o.Cancel() {
+				stopped = true
+				break
+			}
+			if len(nd.queue) == 0 {
+				continue
+			}
+			idle = false
+			h := nd.queue[len(nd.queue)-1]
+			nd.queue = nd.queue[:len(nd.queue)-1]
+			st.Nodes[i].Expansions++
+			_, err := core.ExpandOnce(g, opts, h, func(p biplex.Pair) bool {
+				key := string(vskey.Encode(nil, p.L, p.R))
+				if nd.sent != nil {
+					if _, dup := nd.sent[key]; dup {
+						return true // sender cache: already forwarded
+					}
+					nd.sent[key] = struct{}{}
+				}
+				st.Messages++
+				st.Nodes[i].Sent++
+				return deliver(p.Clone())
+			})
+			if err != nil {
+				return st, err
+			}
+		}
+		if idle {
+			break
+		}
+	}
+	return st, nil
+}
+
+// owner maps a canonical solution key to its hash owner.
+func owner(key []byte, nodes int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(nodes))
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestMatchesSequential checks that the simulated cluster discovers
+// exactly the sequential solution set, for several cluster sizes, with
+// and without the sender cache.
+func TestMatchesSequential(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	want, _, err := core.Collect(g, core.ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 5 {
+		t.Fatalf("test graph too small: %d MBPs", len(want))
+	}
+	for _, nodes := range []int{1, 2, 4} {
+		for _, cache := range []bool{false, true} {
+			var got []biplex.Pair
+			st, err := Enumerate(g, Options{Nodes: nodes, K: 1, SenderCache: cache}, func(p biplex.Pair) bool {
+				got = append(got, p.Clone())
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Solutions != int64(len(want)) || len(got) != len(want) {
+				t.Fatalf("nodes=%d cache=%v: %d solutions, want %d", nodes, cache, st.Solutions, len(want))
+			}
+			biplex.SortPairs(got)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("nodes=%d cache=%v: solution sets differ at %d", nodes, cache, i)
+				}
+			}
+			var owned int64
+			for _, ns := range st.Nodes {
+				owned += ns.Owned
+			}
+			if owned != st.Solutions {
+				t.Fatalf("nodes=%d: owned sum %d != solutions %d", nodes, owned, st.Solutions)
+			}
+		}
+	}
+}
+
+// TestSenderCacheReducesMessages checks the cache never increases and
+// (on a workload with re-discovered links) strictly decreases messages.
+func TestSenderCacheReducesMessages(t *testing.T) {
+	g := gen.ER(14, 14, 2.5, 3)
+	plain, err := Enumerate(g, Options{Nodes: 4, K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Enumerate(g, Options{Nodes: 4, K: 1, SenderCache: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Solutions != plain.Solutions {
+		t.Fatalf("solutions differ: %d vs %d", cached.Solutions, plain.Solutions)
+	}
+	if cached.Messages > plain.Messages {
+		t.Fatalf("sender cache increased messages: %d > %d", cached.Messages, plain.Messages)
+	}
+	if plain.Messages <= plain.Solutions {
+		t.Fatalf("workload has no duplicate links (messages %d, solutions %d): test is vacuous", plain.Messages, plain.Solutions)
+	}
+}
+
+// TestMaxResults checks the cluster-wide stop condition.
+func TestMaxResults(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	st, err := Enumerate(g, Options{Nodes: 3, K: 1, MaxResults: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions != 4 {
+		t.Fatalf("MaxResults=4 yielded %d solutions", st.Solutions)
+	}
+}
+
+// TestCancel checks cooperative cancellation between expansions.
+func TestCancel(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	calls := 0
+	st, err := Enumerate(g, Options{Nodes: 2, K: 1, Cancel: func() bool {
+		calls++
+		return calls > 3
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Enumerate(g, Options{Nodes: 2, K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Solutions >= full.Solutions {
+		t.Fatalf("cancel did not cut the run short: %d vs %d", st.Solutions, full.Solutions)
+	}
+}
+
+// TestValidation checks option validation.
+func TestValidation(t *testing.T) {
+	g := gen.ER(4, 4, 1, 1)
+	if _, err := Enumerate(g, Options{Nodes: 0, K: 1}, nil); err == nil {
+		t.Fatal("Nodes=0 accepted")
+	}
+	if _, err := Enumerate(g, Options{Nodes: 2, K: 0}, nil); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

@@ -1,0 +1,464 @@
+// Package server exposes the kbiplex query engine over HTTP. One Server
+// manages a set of named graphs, each wrapped in a kbiplex.Engine so the
+// transpose and (α,β)-core preprocessing are computed once and shared by
+// every query against that graph.
+//
+// Endpoints (all responses JSON; enumeration streams NDJSON):
+//
+//	GET    /healthz                       liveness + uptime
+//	GET    /stats                         server-wide and per-graph counters
+//	GET    /graphs                        list loaded graphs
+//	POST   /graphs                        load a graph (inline edges, file path, or random)
+//	GET    /graphs/{name}                 one graph's shape and engine stats
+//	DELETE /graphs/{name}                 unload a graph
+//	GET    /graphs/{name}/enumerate       stream MBPs as NDJSON
+//	GET    /graphs/{name}/largest?k=1     largest balanced MBP
+//
+// Cancellation propagates from the HTTP request context through the
+// engine into internal/core: a client that disconnects (or a server
+// write timeout that fires) stops the underlying enumeration.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kbiplex "repro"
+)
+
+// maxSide and maxRandomEdges bound what POST /graphs will materialize:
+// vertex ids and counts are allocation sizes (bigraph offsets grow with
+// the largest id), so a few dozen request bytes must not be able to
+// demand gigabytes.
+const (
+	maxSide        = 1 << 24
+	maxRandomEdges = 1 << 27
+)
+
+// Config bounds what the service accepts and what each query may cost.
+type Config struct {
+	// MaxResults caps every enumeration query (0 = unlimited); it is
+	// passed through to each graph's Engine.
+	MaxResults int
+	// QueryTimeout is the per-query deadline (0 = none).
+	QueryTimeout time.Duration
+	// SpillDir, when non-empty, lets reverse-search queries spill their
+	// deduplication stores to per-query subdirectories under it.
+	SpillDir string
+	// AllowPathLoad permits POST /graphs bodies that name an edge-list
+	// file on the server's filesystem. Off by default: a network-exposed
+	// service should not read arbitrary local paths.
+	AllowPathLoad bool
+	// MaxLoadBytes caps a POST /graphs request body (default 64 MiB).
+	MaxLoadBytes int64
+}
+
+// Server routes HTTP traffic onto kbiplex engines. Create one with New;
+// it is safe for concurrent use.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu     sync.RWMutex
+	graphs map[string]*kbiplex.Engine
+
+	start    time.Time
+	queries  atomic.Int64
+	streamed atomic.Int64
+}
+
+// New builds a server with no graphs loaded.
+func New(cfg Config) *Server {
+	if cfg.MaxLoadBytes <= 0 {
+		cfg.MaxLoadBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		graphs: make(map[string]*kbiplex.Engine),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	s.mux.HandleFunc("GET /graphs/{name}", s.handleGraphInfo)
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
+	s.mux.HandleFunc("GET /graphs/{name}/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("GET /graphs/{name}/largest", s.handleLargest)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AddGraph registers g under name, replacing any previous graph with
+// that name. It is how embedders (and kbiplexd's -load flag) preload
+// graphs without going through HTTP.
+func (s *Server) AddGraph(name string, g *kbiplex.Graph) error {
+	if name == "" {
+		return errors.New("server: graph name must be non-empty")
+	}
+	eng := kbiplex.NewEngine(g, kbiplex.EngineConfig{
+		MaxResults: s.cfg.MaxResults,
+		Timeout:    s.cfg.QueryTimeout,
+		SpillDir:   s.cfg.SpillDir,
+	})
+	s.mu.Lock()
+	s.graphs[name] = eng
+	s.mu.Unlock()
+	return nil
+}
+
+// engine looks up a graph's engine by name.
+func (s *Server) engine(name string) (*kbiplex.Engine, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	eng, ok := s.graphs[name]
+	return eng, ok
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// graphInfo is the per-graph stats document.
+type graphInfo struct {
+	Name      string `json:"name"`
+	NumLeft   int    `json:"num_left"`
+	NumRight  int    `json:"num_right"`
+	NumEdges  int    `json:"num_edges"`
+	Queries   int64  `json:"queries"`
+	Active    int64  `json:"active_queries"`
+	Solutions int64  `json:"solutions_served"`
+}
+
+func (s *Server) graphInfos() []graphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]graphInfo, 0, len(s.graphs))
+	for name, eng := range s.graphs {
+		st := eng.Stats()
+		out = append(out, graphInfo{
+			Name: name, NumLeft: st.NumLeft, NumRight: st.NumRight, NumEdges: st.NumEdges,
+			Queries: st.Queries, Active: st.Active, Solutions: st.Solutions,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	infos := s.graphInfos()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":     time.Since(s.start).Seconds(),
+		"queries":            s.queries.Load(),
+		"solutions_streamed": s.streamed.Load(),
+		"graphs":             infos,
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.graphInfos())
+}
+
+// loadRequest is the POST /graphs body. Exactly one of Edges, Path and
+// Random must be set.
+type loadRequest struct {
+	Name     string     `json:"name"`
+	NumLeft  int        `json:"num_left"`
+	NumRight int        `json:"num_right"`
+	Edges    [][2]int32 `json:"edges"`
+	Path     string     `json:"path"`
+	Random   *struct {
+		NumLeft  int     `json:"num_left"`
+		NumRight int     `json:"num_right"`
+		Density  float64 `json:"density"`
+		Seed     int64   `json:"seed"`
+	} `json:"random"`
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxLoadBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("name is required"))
+		return
+	}
+	sources := 0
+	for _, set := range []bool{req.Edges != nil, req.Path != "", req.Random != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, errors.New("exactly one of edges, path, random must be set"))
+		return
+	}
+	var g *kbiplex.Graph
+	switch {
+	case req.Edges != nil:
+		if req.NumLeft < 0 || req.NumRight < 0 || req.NumLeft > maxSide || req.NumRight > maxSide {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("num_left/num_right must be in [0, %d]", maxSide))
+			return
+		}
+		for _, edge := range req.Edges {
+			if edge[0] < 0 || edge[1] < 0 {
+				writeError(w, http.StatusBadRequest, errors.New("edge ids must be non-negative"))
+				return
+			}
+			if int(edge[0]) >= maxSide || int(edge[1]) >= maxSide {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("edge ids must be below %d", maxSide))
+				return
+			}
+		}
+		g = kbiplex.NewGraph(req.NumLeft, req.NumRight, req.Edges)
+	case req.Path != "":
+		if !s.cfg.AllowPathLoad {
+			writeError(w, http.StatusForbidden, errors.New("loading from server paths is disabled"))
+			return
+		}
+		var err error
+		g, err = kbiplex.LoadEdgeList(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Random != nil:
+		rr := req.Random
+		if rr.NumLeft <= 0 || rr.NumRight <= 0 || rr.Density <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("random needs positive num_left, num_right, density"))
+			return
+		}
+		if rr.NumLeft > maxSide || rr.NumRight > maxSide ||
+			rr.Density*float64(rr.NumLeft+rr.NumRight) > maxRandomEdges {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("random graph too large (sides ≤ %d, edges ≤ %d)", maxSide, maxRandomEdges))
+			return
+		}
+		g = kbiplex.RandomBipartite(rr.NumLeft, rr.NumRight, rr.Density, rr.Seed)
+	}
+	if err := s.AddGraph(req.Name, g); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": req.Name, "num_left": g.NumLeft(), "num_right": g.NumRight(), "num_edges": g.NumEdges(),
+	})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	eng, ok := s.engine(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
+		return
+	}
+	st := eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": name, "num_left": st.NumLeft, "num_right": st.NumRight, "num_edges": st.NumEdges,
+		"queries": st.Queries, "active_queries": st.Active, "solutions_served": st.Solutions,
+		"cached_cores": st.CachedCores, "core_index_built": st.CoreIndexBuilt,
+	})
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// queryOptions parses the enumeration parameters shared by /enumerate
+// and /largest from the URL query string.
+func queryOptions(r *http.Request) (kbiplex.Options, int, error) {
+	q := r.URL.Query()
+	var opts kbiplex.Options
+	var workers int
+	intField := func(key string, dst *int) error {
+		v := q.Get(key)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("parameter %s: %w", key, err)
+		}
+		*dst = n
+		return nil
+	}
+	for key, dst := range map[string]*int{
+		"k": &opts.K, "k_left": &opts.KLeft, "k_right": &opts.KRight,
+		"min_left": &opts.MinLeft, "min_right": &opts.MinRight,
+		"max_results": &opts.MaxResults, "workers": &workers,
+	} {
+		if err := intField(key, dst); err != nil {
+			return opts, 0, err
+		}
+	}
+	if !q.Has("k") && !q.Has("k_left") && !q.Has("k_right") {
+		opts.K = 1
+	}
+	alg, err := kbiplex.ParseAlgorithm(q.Get("algorithm"))
+	if err != nil {
+		return opts, 0, err
+	}
+	opts.Algorithm = alg
+	if workers != 0 && alg != kbiplex.ITraversal {
+		return opts, 0, errors.New("parameter workers requires the iTraversal algorithm")
+	}
+	return opts, workers, nil
+}
+
+// solutionLine is one streamed NDJSON solution.
+type solutionLine struct {
+	L []int32 `json:"l"`
+	R []int32 `json:"r"`
+}
+
+// summaryLine terminates an NDJSON stream: exactly one of Done or Error
+// is set.
+type summaryLine struct {
+	Done      bool   `json:"done,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Solutions int64  `json:"solutions"`
+	Algorithm string `json:"algorithm,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engine(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", r.PathValue("name")))
+		return
+	}
+	opts, workers, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject unrunnable options while a clean status code is still
+	// possible; past this point errors travel in the NDJSON trailer.
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	start := time.Now()
+	var streamErr error
+	emit := func(sol kbiplex.Solution) bool {
+		if err := enc.Encode(solutionLine{L: sol.L, R: sol.R}); err != nil {
+			streamErr = err
+			return false
+		}
+		s.streamed.Add(1)
+		// Flush per solution: enumeration delay, not buffering, should
+		// govern when the client sees the next result.
+		rc.Flush()
+		return true
+	}
+
+	var st kbiplex.Stats
+	if workers > 1 || workers < 0 {
+		// The parallel driver calls emit from many goroutines; the
+		// encoder and flusher are not concurrency-safe, so serialize.
+		var mu sync.Mutex
+		st, err = eng.EnumerateParallel(r.Context(), opts, workers, func(sol kbiplex.Solution) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return emit(sol)
+		})
+	} else {
+		st, err = eng.Enumerate(r.Context(), opts, emit)
+	}
+	if err == nil {
+		err = streamErr
+	}
+
+	sum := summaryLine{
+		Solutions: st.Solutions,
+		Algorithm: st.Algorithm.String(),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	if err != nil {
+		sum.Error = err.Error()
+	} else {
+		sum.Done = true
+	}
+	enc.Encode(sum)
+	rc.Flush()
+}
+
+func (s *Server) handleLargest(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.engine(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", r.PathValue("name")))
+		return
+	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be a positive integer"))
+			return
+		}
+		k = n
+	}
+	s.queries.Add(1)
+	start := time.Now()
+	sol, found, err := eng.LargestBalanced(r.Context(), k)
+	if err != nil {
+		status := http.StatusInternalServerError
+		// Covers both the client hanging up and the engine's own
+		// per-query deadline: a configured budget is not a server fault.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := map[string]any{
+		"found":      found,
+		"elapsed_ms": time.Since(start).Milliseconds(),
+	}
+	if found {
+		resp["l"] = sol.L
+		resp["r"] = sol.R
+		resp["balanced_size"] = min(len(sol.L), len(sol.R))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func loadRandomGraph(t *testing.T, ts *httptest.Server, name string, nl, nr int, density float64, seed int64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"name":%q,"random":{"num_left":%d,"num_right":%d,"density":%g,"seed":%d}}`,
+		name, nl, nr, density, seed)
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("loading graph: status %d: %s", resp.StatusCode, buf.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var got map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, got)
+	}
+}
+
+// TestEnumerateRoundTrip loads a graph over HTTP, streams an enumeration
+// and checks the NDJSON against the in-process API on the same seed.
+func TestEnumerateRoundTrip(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/graphs/er/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var sols []kbiplex.Solution
+	var summary summaryLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			solutionLine
+			summaryLine
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Done || line.Error != "" {
+			summary = line.summaryLine
+			continue
+		}
+		sols = append(sols, kbiplex.Solution{L: line.L, R: line.R})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Done || summary.Error != "" {
+		t.Fatalf("stream did not finish cleanly: %+v", summary)
+	}
+	if len(sols) != len(want) || summary.Solutions != int64(len(want)) {
+		t.Fatalf("streamed %d solutions (summary %d), want %d", len(sols), summary.Solutions, len(want))
+	}
+	for _, s := range sols {
+		if !kbiplex.IsMaximalBiplex(g, s.L, s.R, 1) {
+			t.Fatalf("streamed non-MBP %v", s)
+		}
+	}
+}
+
+func TestEnumerateParallelWorkers(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/graphs/er/enumerate?k=1&workers=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n := 0
+	var summary summaryLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done || line.Error != "" {
+			summary = line
+			continue
+		}
+		n++
+	}
+	if !summary.Done || n != len(want) {
+		t.Fatalf("parallel stream: %d solutions, done=%v, want %d", n, summary.Done, len(want))
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 6, 6, 1, 1)
+	for _, url := range []string{
+		ts.URL + "/graphs/nope/enumerate?k=1",
+		ts.URL + "/graphs/er/enumerate?k=0",
+		ts.URL + "/graphs/er/enumerate?k=abc",
+		ts.URL + "/graphs/er/enumerate?algorithm=quantum",
+		ts.URL + "/graphs/er/enumerate?k=1&workers=2&algorithm=imb",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 4xx", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"random":{"num_left":2,"num_right":2,"density":1}}`, // no name
+		`{"name":"x"}`, // no source
+		`{"name":"x","edges":[[0,0]],"random":{"num_left":2,"num_right":2,"density":1}}`, // two sources
+		`{"name":"x","path":"/etc/passwd"}`,                                              // path loading disabled
+		`{"name":"x","edges":[[-1,0]]}`,                                                  // negative id
+		`{"name":"x","edges":[[2147483647,0]]}`,                                          // allocation-bomb id
+		`{"name":"x","random":{"num_left":20000000,"num_right":20000000,"density":1}}`,   // oversized random
+		`{"name":"x","random":{"num_left":100,"num_right":100,"density":1e9}}`,           // edge-count bomb
+	} {
+		resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("body %s: status %d, want 4xx", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestGraphLifecycle(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "a", 6, 6, 1, 1)
+	loadRandomGraph(t, ts, "b", 6, 6, 1, 2)
+
+	var list []graphInfo
+	getJSON(t, ts.URL+"/graphs", &list)
+	if len(list) != 2 {
+		t.Fatalf("listed %d graphs, want 2", len(list))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/a", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/graphs", &list)
+	if len(list) != 1 || list[0].Name != "b" {
+		t.Fatalf("after delete: %+v", list)
+	}
+	if resp := getJSON(t, ts.URL+"/graphs/a", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted graph still served: %d", resp.StatusCode)
+	}
+}
+
+func TestLargest(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 15, 15, 2.5, 6)
+	var got struct {
+		Found        bool    `json:"found"`
+		L            []int32 `json:"l"`
+		R            []int32 `json:"r"`
+		BalancedSize int     `json:"balanced_size"`
+	}
+	resp := getJSON(t, ts.URL+"/graphs/er/largest?k=1", &got)
+	if resp.StatusCode != http.StatusOK || !got.Found {
+		t.Fatalf("largest: %d %+v", resp.StatusCode, got)
+	}
+	g := kbiplex.RandomBipartite(15, 15, 2.5, 6)
+	want, ok, err := kbiplex.LargestBalancedMBP(g, 1)
+	if err != nil || !ok {
+		t.Fatalf("reference search: %v %v", ok, err)
+	}
+	if got.BalancedSize != min(len(want.L), len(want.R)) {
+		t.Fatalf("balanced size %d, want %d", got.BalancedSize, min(len(want.L), len(want.R)))
+	}
+	if !kbiplex.IsMaximalBiplex(g, got.L, got.R, 1) {
+		t.Fatal("largest returned a non-maximal biplex")
+	}
+}
+
+// TestCancelStopsEnumeration is the end-to-end cancellation test: a
+// client starts streaming an enumeration that would run far longer than
+// the test, cancels the request after a few solutions, and the server's
+// underlying enumeration must stop (observed via active_queries).
+func TestCancelStopsEnumeration(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Large and dense enough that a full k=1 enumeration is effectively
+	// unbounded at test scale.
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/graphs/big/enumerate?k=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 3 && sc.Scan(); i++ {
+	}
+	// The stream is alive and producing; now hang up.
+	cancel()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var info struct {
+			Active int64 `json:"active_queries"`
+		}
+		getJSON(t, ts.URL+"/graphs/big", &info)
+		if info.Active == 0 {
+			return // enumeration goroutine exited: cancellation propagated
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("enumeration still active %v after client cancel", 15*time.Second)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestQueryTimeoutEndsStream checks the server-side deadline: the NDJSON
+// trailer reports the deadline error instead of done.
+func TestQueryTimeoutEndsStream(t *testing.T) {
+	ts := newTestServer(t, Config{QueryTimeout: 50 * time.Millisecond})
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+	resp, err := http.Get(ts.URL + "/graphs/big/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last summaryLine
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done || line.Error != "" {
+			last, sawSummary = line, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary || last.Done || !strings.Contains(last.Error, "deadline") {
+		t.Fatalf("want a deadline-error trailer, got %+v (summary seen: %v)", last, sawSummary)
+	}
+}
+
+// TestMaxResultsCap checks the server-wide result cap reaches the engine.
+func TestMaxResultsCap(t *testing.T) {
+	ts := newTestServer(t, Config{MaxResults: 4})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	resp, err := http.Get(ts.URL + "/graphs/er/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n := 0
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done {
+			done = true
+			continue
+		}
+		if line.Error == "" {
+			n++
+		}
+	}
+	if !done || n != 4 {
+		t.Fatalf("capped stream: %d solutions, done=%v, want 4", n, done)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 10, 10, 2, 3)
+	resp, err := http.Get(ts.URL + "/graphs/er/enumerate?k=1&max_results=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var st struct {
+		Queries  int64       `json:"queries"`
+		Streamed int64       `json:"solutions_streamed"`
+		Graphs   []graphInfo `json:"graphs"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Queries != 1 || len(st.Graphs) != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -10,31 +10,36 @@
 // graph with polynomial delay — together with the paper's baselines
 // (bTraversal, iMB, graph inflation + maximal (k+1)-plex enumeration).
 //
-// Quick start:
+// Quick start — solutions stream as an iterator, and the context bounds
+// the run:
 //
 //	g := kbiplex.NewGraph(2, 2, [][2]int32{{0, 0}, {0, 1}, {1, 1}})
-//	sols, _, _ := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
-//	for _, s := range sols {
+//	for s, err := range kbiplex.All(context.Background(), g, kbiplex.Options{K: 1}) {
+//		if err != nil {
+//			log.Fatal(err)
+//		}
 //		fmt.Println(s.L, s.R)
 //	}
+//
+// Breaking out of the loop stops the enumeration; a context deadline or
+// cancellation aborts it mid-run. The callback forms EnumerateCtx and
+// EnumerateParallelCtx expose the same runs with explicit Stats, and
+// EnumerateAll collects everything into a sorted slice.
+//
+// Services that answer many queries over the same graph should build an
+// Engine: it snapshots the graph once, caches the transpose and the
+// (α,β)-core preprocessing across queries, and enforces per-query result
+// and deadline limits — see Engine, and cmd/kbiplexd for the HTTP
+// service built on it.
 //
 // Graphs are immutable once built; vertex ids are dense int32 values with
 // the two sides in independent id spaces.
 package kbiplex
 
 import (
-	"errors"
-	"fmt"
-
-	"repro/internal/abcore"
 	"repro/internal/bigraph"
 	"repro/internal/biplex"
-	"repro/internal/core"
-	"repro/internal/diskstore"
 	"repro/internal/gen"
-	"repro/internal/imb"
-	"repro/internal/inflate"
-	"repro/internal/kplex"
 )
 
 // Graph is an immutable bipartite graph in CSR form. Construct one with
@@ -64,259 +69,6 @@ func LoadEdgeList(path string) (*Graph, error) {
 // edge density |E|/(|L|+|R|), deterministically per seed.
 func RandomBipartite(numLeft, numRight int, density float64, seed int64) *Graph {
 	return gen.ER(numLeft, numRight, density, seed)
-}
-
-// Algorithm selects the enumeration algorithm.
-type Algorithm int
-
-const (
-	// ITraversal is the paper's contribution: reverse search with
-	// left-anchored traversal, right-shrinking traversal and the
-	// exclusion strategy; polynomial delay. The default.
-	ITraversal Algorithm = iota
-	// BTraversal is the unpruned reverse-search baseline.
-	BTraversal
-	// IMB is the backtracking baseline with size-constraint pruning.
-	IMB
-	// Inflation inflates the graph and enumerates maximal (k+1)-plexes.
-	Inflation
-)
-
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case ITraversal:
-		return "iTraversal"
-	case BTraversal:
-		return "bTraversal"
-	case IMB:
-		return "iMB"
-	case Inflation:
-		return "Inflation"
-	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
-}
-
-// Options configures an enumeration.
-type Options struct {
-	// K is the biplex parameter (k ≥ 1).
-	K int
-	// KLeft and KRight, when positive, override K per side: left vertices
-	// may miss up to KLeft right members and right vertices up to KRight
-	// left members — the per-side generalization the paper notes after
-	// Definition 2.1. The Inflation algorithm requires KLeft == KRight.
-	KLeft, KRight int
-	// Algorithm selects the enumerator; the zero value is ITraversal.
-	Algorithm Algorithm
-	// MinLeft and MinRight, when positive, restrict output to large MBPs
-	// (|L| ≥ MinLeft, |R| ≥ MinRight). With ITraversal this engages the
-	// paper's Section 5 prunings plus (θ-k)-core preprocessing instead of
-	// post-filtering.
-	MinLeft, MinRight int
-	// MaxResults stops after this many MBPs (0 = all).
-	MaxResults int
-	// Cancel, when non-nil, is polled during the run; returning true
-	// aborts the enumeration cooperatively.
-	Cancel func() bool
-	// SpillDir, when non-empty, backs the solution deduplication store
-	// with sorted run files in that directory (which must exist), letting
-	// ITraversal and BTraversal handle solution sets larger than memory.
-	// An I/O failure degrades gracefully to in-memory deduplication; the
-	// enumeration output is unaffected either way.
-	SpillDir string
-}
-
-// Stats summarizes a finished run.
-type Stats struct {
-	// Solutions is the number of MBPs emitted.
-	Solutions int64
-	// Algorithm echoes the algorithm used.
-	Algorithm Algorithm
-}
-
-// Enumerate streams every maximal k-biplex of g to emit. The emit
-// callback owns the solution it receives; returning false stops the run.
-func Enumerate(g *Graph, opts Options, emit func(Solution) bool) (Stats, error) {
-	kL, kR := opts.KLeft, opts.KRight
-	if kL == 0 {
-		kL = opts.K
-	}
-	if kR == 0 {
-		kR = opts.K
-	}
-	if kL < 1 || kR < 1 {
-		return Stats{}, errors.New("kbiplex: Options.K (or KLeft/KRight) must be at least 1")
-	}
-	if opts.MinLeft < 0 || opts.MinRight < 0 {
-		return Stats{}, errors.New("kbiplex: size thresholds must be non-negative")
-	}
-	if opts.Algorithm == Inflation && kL != kR {
-		return Stats{}, errors.New("kbiplex: the Inflation algorithm requires KLeft == KRight")
-	}
-	st := Stats{Algorithm: opts.Algorithm}
-
-	var store core.SolutionStore
-	if opts.SpillDir != "" {
-		if opts.Algorithm != ITraversal && opts.Algorithm != BTraversal {
-			return st, errors.New("kbiplex: SpillDir applies only to the reverse-search algorithms (ITraversal, BTraversal)")
-		}
-		// A modest memtable keeps the memory ceiling low — spilling is the
-		// whole point of asking for a SpillDir.
-		ds, err := diskstore.Open(diskstore.Options{Dir: opts.SpillDir, FlushKeys: 1 << 13})
-		if err != nil {
-			return st, err
-		}
-		defer ds.Close()
-		store = ds
-	}
-
-	// Large-MBP preprocessing: every qualifying MBP lives inside the
-	// (MinRight-k, MinLeft-k)-core, and core-maximal implies g-maximal
-	// for them, so the enumeration can run on the (smaller) core.
-	run := g
-	var lback, rback []int32
-	mapped := false
-	if (opts.MinLeft > 0 || opts.MinRight > 0) && opts.Algorithm != BTraversal {
-		run, lback, rback = abcore.ThetaCoreLRK(g, opts.MinLeft, opts.MinRight, kL, kR)
-		mapped = true
-	}
-	relay := func(p Solution) bool {
-		st.Solutions++
-		if emit == nil {
-			return true
-		}
-		if mapped {
-			q := Solution{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
-			for i, v := range p.L {
-				q.L[i] = lback[v]
-			}
-			for i, u := range p.R {
-				q.R[i] = rback[u]
-			}
-			return emit(q)
-		}
-		return emit(p.Clone())
-	}
-
-	switch opts.Algorithm {
-	case ITraversal:
-		c := core.ITraversal(1)
-		c.K, c.KLeft, c.KRight = 0, kL, kR
-		c.ThetaL, c.ThetaR = opts.MinLeft, opts.MinRight
-		c.MaxResults = opts.MaxResults
-		c.Cancel = opts.Cancel
-		c.Store = store
-		if _, err := core.Enumerate(run, c, func(p Solution) bool { return relay(p) }); err != nil {
-			return st, err
-		}
-	case BTraversal:
-		// bTraversal cannot prune small MBPs (Section 5); post-filter.
-		c := core.BTraversal(1)
-		c.K, c.KLeft, c.KRight = 0, kL, kR
-		c.Cancel = opts.Cancel
-		c.Store = store
-		if _, err := core.Enumerate(run, c, func(p Solution) bool {
-			if len(p.L) < opts.MinLeft || len(p.R) < opts.MinRight {
-				return true
-			}
-			ok := relay(p)
-			if opts.MaxResults > 0 && st.Solutions >= int64(opts.MaxResults) {
-				return false
-			}
-			return ok
-		}); err != nil {
-			return st, err
-		}
-	case IMB:
-		imb.Enumerate(run, imb.Options{
-			KLeft: kL, KRight: kR, ThetaL: opts.MinLeft, ThetaR: opts.MinRight,
-			MaxResults: opts.MaxResults, Cancel: opts.Cancel,
-		}, func(p Solution) bool { return relay(p) })
-	case Inflation:
-		ig := inflate.Inflate(run)
-		kplex.EnumerateMaximalCancel(ig, kL+1, opts.Cancel, func(members []int32) bool {
-			l, r := inflate.Split(append([]int32(nil), members...), run.NumLeft())
-			if len(l) < opts.MinLeft || len(r) < opts.MinRight {
-				return true
-			}
-			ok := relay(Solution{L: l, R: r})
-			if opts.MaxResults > 0 && st.Solutions >= int64(opts.MaxResults) {
-				return false
-			}
-			return ok
-		})
-	default:
-		return st, fmt.Errorf("kbiplex: unknown algorithm %v", opts.Algorithm)
-	}
-	return st, nil
-}
-
-// EnumerateParallel enumerates with a pool of workers sharing one
-// deduplication store — the parallel implementation the paper lists as
-// future work. Only the default ITraversal algorithm is supported; the
-// order-dependent exclusion strategy is disabled internally, emission
-// order is nondeterministic, and emit may be called concurrently from
-// several goroutines (it must be safe for that). workers <= 0 selects
-// GOMAXPROCS. The solution set is identical to the sequential one.
-func EnumerateParallel(g *Graph, opts Options, workers int, emit func(Solution) bool) (Stats, error) {
-	if opts.Algorithm != ITraversal {
-		return Stats{}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
-	}
-	kL, kR := opts.KLeft, opts.KRight
-	if kL == 0 {
-		kL = opts.K
-	}
-	if kR == 0 {
-		kR = opts.K
-	}
-	if kL < 1 || kR < 1 {
-		return Stats{}, errors.New("kbiplex: Options.K (or KLeft/KRight) must be at least 1")
-	}
-	run := g
-	var lback, rback []int32
-	mapped := false
-	if opts.MinLeft > 0 || opts.MinRight > 0 {
-		run, lback, rback = abcore.ThetaCoreLRK(g, opts.MinLeft, opts.MinRight, kL, kR)
-		mapped = true
-	}
-	c := core.ITraversal(1)
-	c.K, c.KLeft, c.KRight = 0, kL, kR
-	c.ThetaL, c.ThetaR = opts.MinLeft, opts.MinRight
-	c.MaxResults = opts.MaxResults
-	c.Cancel = opts.Cancel
-	st := Stats{Algorithm: ITraversal}
-	cst, err := core.EnumerateParallel(run, c, workers, func(p Solution) bool {
-		if emit == nil {
-			return true
-		}
-		if mapped {
-			q := Solution{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
-			for i, v := range p.L {
-				q.L[i] = lback[v]
-			}
-			for i, u := range p.R {
-				q.R[i] = rback[u]
-			}
-			return emit(q)
-		}
-		return emit(p.Clone())
-	})
-	st.Solutions = cst.Solutions
-	return st, err
-}
-
-// EnumerateAll collects every MBP into a slice ordered by canonical key.
-func EnumerateAll(g *Graph, opts Options) ([]Solution, Stats, error) {
-	var out []Solution
-	st, err := Enumerate(g, opts, func(s Solution) bool {
-		out = append(out, s)
-		return true
-	})
-	if err != nil {
-		return nil, st, err
-	}
-	biplex.SortPairs(out)
-	return out, st, nil
 }
 
 // IsBiplex reports whether (L, R) induces a k-biplex of g.

@@ -1,0 +1,199 @@
+package kbiplex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/abcore"
+	"repro/internal/core"
+)
+
+// Algorithm selects the enumeration algorithm.
+type Algorithm int
+
+const (
+	// ITraversal is the paper's contribution: reverse search with
+	// left-anchored traversal, right-shrinking traversal and the
+	// exclusion strategy; polynomial delay. The default.
+	ITraversal Algorithm = iota
+	// BTraversal is the unpruned reverse-search baseline.
+	BTraversal
+	// IMB is the backtracking baseline with size-constraint pruning.
+	IMB
+	// Inflation inflates the graph and enumerates maximal (k+1)-plexes.
+	Inflation
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case ITraversal:
+		return "iTraversal"
+	case BTraversal:
+		return "bTraversal"
+	case IMB:
+		return "iMB"
+	case Inflation:
+		return "Inflation"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a case-sensitive algorithm name ("iTraversal",
+// "bTraversal", "iMB", "Inflation" — or the all-lowercase forms used by
+// the command-line tools and the HTTP service) to its Algorithm value.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "", "iTraversal", "itraversal":
+		return ITraversal, nil
+	case "bTraversal", "btraversal":
+		return BTraversal, nil
+	case "iMB", "imb":
+		return IMB, nil
+	case "Inflation", "inflation":
+		return Inflation, nil
+	}
+	return 0, fmt.Errorf("kbiplex: unknown algorithm %q", name)
+}
+
+// Options configures an enumeration.
+type Options struct {
+	// K is the biplex parameter (k ≥ 1).
+	K int
+	// KLeft and KRight, when positive, override K per side: left vertices
+	// may miss up to KLeft right members and right vertices up to KRight
+	// left members — the per-side generalization the paper notes after
+	// Definition 2.1. The Inflation algorithm requires KLeft == KRight.
+	KLeft, KRight int
+	// Algorithm selects the enumerator; the zero value is ITraversal.
+	Algorithm Algorithm
+	// MinLeft and MinRight, when positive, restrict output to large MBPs
+	// (|L| ≥ MinLeft, |R| ≥ MinRight). With ITraversal this engages the
+	// paper's Section 5 prunings plus (θ-k)-core preprocessing instead of
+	// post-filtering.
+	MinLeft, MinRight int
+	// MaxResults stops after this many MBPs (0 = all).
+	MaxResults int
+	// Cancel, when non-nil, is polled during the run; returning true
+	// aborts the enumeration cooperatively.
+	//
+	// Deprecated: pass a cancellable or deadlined context.Context to
+	// EnumerateCtx, EnumerateParallelCtx or All instead. Cancel is still
+	// honored (combined with the context) so existing callers keep
+	// working.
+	Cancel func() bool
+	// SpillDir, when non-empty, backs the solution deduplication store
+	// with sorted run files in that directory (which must exist), letting
+	// ITraversal and BTraversal handle solution sets larger than memory.
+	// An I/O failure degrades gracefully to in-memory deduplication; the
+	// enumeration output is unaffected either way. EnumerateParallelCtx
+	// ignores it (the parallel driver's shared store is in-memory).
+	SpillDir string
+}
+
+// normalize validates o and returns a copy with the per-side budgets
+// resolved (KLeft/KRight defaulted from K) and negative counters
+// clamped. Every entry point — sequential, parallel, iterator, Engine —
+// funnels through this one path, so validation and k-defaulting cannot
+// drift between them.
+func (o Options) normalize() (Options, error) {
+	if o.KLeft == 0 {
+		o.KLeft = o.K
+	}
+	if o.KRight == 0 {
+		o.KRight = o.K
+	}
+	if o.KLeft < 1 || o.KRight < 1 {
+		return o, errors.New("kbiplex: Options.K (or KLeft/KRight) must be at least 1")
+	}
+	if o.MinLeft < 0 || o.MinRight < 0 {
+		return o, errors.New("kbiplex: size thresholds must be non-negative")
+	}
+	if o.MaxResults < 0 {
+		o.MaxResults = 0
+	}
+	if o.Algorithm == Inflation && o.KLeft != o.KRight {
+		return o, errors.New("kbiplex: the Inflation algorithm requires KLeft == KRight")
+	}
+	if o.SpillDir != "" && o.Algorithm != ITraversal && o.Algorithm != BTraversal {
+		return o, errors.New("kbiplex: SpillDir applies only to the reverse-search algorithms (ITraversal, BTraversal)")
+	}
+	switch o.Algorithm {
+	case ITraversal, BTraversal, IMB, Inflation:
+	default:
+		return o, fmt.Errorf("kbiplex: unknown algorithm %v", o.Algorithm)
+	}
+	return o, nil
+}
+
+// Validate reports whether o describes a runnable enumeration, without
+// running anything. Services use it to reject bad requests before
+// committing to a streamed response.
+func (o Options) Validate() error {
+	_, err := o.normalize()
+	return err
+}
+
+// env is one prepared enumeration: the (possibly core-reduced) graph the
+// run executes on, the vertex-id back-maps into the original graph, and
+// an optional precomputed transpose. The package-level entry points
+// build one per call; an Engine serves them from its caches.
+type env struct {
+	run          *Graph
+	transpose    *Graph // run's transpose, when already known
+	lback, rback []int32
+	mapped       bool
+}
+
+// prepare applies the large-MBP preprocessing to a normalized o: every
+// qualifying MBP lives inside the (MinRight-k, MinLeft-k)-core, and
+// core-maximal implies g-maximal for them, so the enumeration can run on
+// the (smaller) core. BTraversal cannot prune small MBPs (Section 5) and
+// post-filters instead.
+func prepare(g *Graph, o Options) env {
+	if (o.MinLeft > 0 || o.MinRight > 0) && o.Algorithm != BTraversal {
+		run, lback, rback := abcore.ThetaCoreLRK(g, o.MinLeft, o.MinRight, o.KLeft, o.KRight)
+		return env{run: run, lback: lback, rback: rback, mapped: true}
+	}
+	return env{run: g}
+}
+
+// remap translates a solution of the reduced graph back to original
+// vertex ids, cloning so the caller owns the slices either way.
+func (ev env) remap(p Solution) Solution {
+	if !ev.mapped {
+		return p.Clone()
+	}
+	q := Solution{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
+	for i, v := range p.L {
+		q.L[i] = ev.lback[v]
+	}
+	for i, u := range p.R {
+		q.R[i] = ev.rback[u]
+	}
+	return q
+}
+
+// reverseOptions maps a normalized o to the internal/core options of the
+// reverse-search algorithms (ITraversal and BTraversal only).
+func (ev env) reverseOptions(o Options) core.Options {
+	var c core.Options
+	if o.Algorithm == ITraversal {
+		c = core.ITraversal(1)
+		c.ThetaL, c.ThetaR = o.MinLeft, o.MinRight
+		c.MaxResults = o.MaxResults
+	} else {
+		c = core.BTraversal(1)
+	}
+	c.K, c.KLeft, c.KRight = 0, o.KLeft, o.KRight
+	c.Transpose = ev.transpose
+	return c
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	// Solutions is the number of MBPs emitted.
+	Solutions int64
+	// Algorithm echoes the algorithm used.
+	Algorithm Algorithm
+}

@@ -1,10 +1,12 @@
 package kbiplex
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
-// LargestBalancedMBP returns a maximal k-biplex maximizing
+// LargestBalancedMBPCtx returns a maximal k-biplex maximizing
 // min(|L|, |R|), the "balanced" notion of size used by maximum-biclique
 // search; ok is false when the graph has no MBP with both sides
 // non-empty. It binary-searches the threshold θ — an MBP with both sides
@@ -12,7 +14,21 @@ import (
 // pruned enumeration on the (θ−k)-core with MaxResults = 1, so no full
 // enumeration happens. This is the discovery problem of the paper's
 // companion work [47] ("On Efficient Large Maximal Biplex Discovery")
-// solved with this repository's machinery.
+// solved with this repository's machinery. Cancelling ctx aborts the
+// search and returns ctx's error.
+func LargestBalancedMBPCtx(ctx context.Context, g *Graph, k int) (Solution, bool, error) {
+	s, ok, err := core.LargestBalancedCancel(g, k, k, mergeCancel(ctx, nil))
+	if err != nil {
+		return s, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Solution{}, false, err
+	}
+	return s, ok, nil
+}
+
+// LargestBalancedMBP searches without a context; see
+// LargestBalancedMBPCtx.
 func LargestBalancedMBP(g *Graph, k int) (Solution, bool, error) {
-	return core.LargestBalanced(g, k, k)
+	return LargestBalancedMBPCtx(context.Background(), g, k)
 }
