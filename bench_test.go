@@ -8,6 +8,7 @@ package kbiplex
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -18,9 +19,20 @@ import (
 )
 
 // benchConfig keeps every figure runner in the seconds range so the
-// default -benchtime works.
+// default -benchtime works. The per-run timeout defaults to 300ms but is
+// overridable via KBIPLEX_BENCH_TIMEOUT (any time.Duration string, e.g.
+// "2s"): slow CI runners time runs out mid-figure at 300ms, which skews
+// the figures toward their INF branches and flakes delay assertions.
 func benchConfig() exp.Config {
-	return exp.Config{MaxEdges: 1200, Timeout: 300 * time.Millisecond, FirstN: 50}
+	timeout := 300 * time.Millisecond
+	if v := os.Getenv("KBIPLEX_BENCH_TIMEOUT"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			panic(fmt.Sprintf("invalid KBIPLEX_BENCH_TIMEOUT %q: want a positive Go duration like 2s", v))
+		}
+		timeout = d
+	}
+	return exp.Config{MaxEdges: 1200, Timeout: timeout, FirstN: 50}
 }
 
 func BenchmarkTable1Stats(b *testing.B) {

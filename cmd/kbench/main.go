@@ -1,0 +1,133 @@
+// Command kbench runs the repository's benchmark harness (internal/bench)
+// and emits a machine-readable report, optionally diffing it against a
+// committed baseline as a regression gate.
+//
+// Usage:
+//
+//	kbench [-quick|-full] [-run regexp] [-o report.json]
+//	       [-baseline BENCH_PR2.json [-threshold 0.25] [-time-threshold 0]]
+//	kbench -list
+//
+// Exit codes: 0 success, 1 baseline regression, 2 usage or runtime error.
+// See BENCHMARKS.md for the scenario catalog and the baseline workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quick     = fs.Bool("quick", false, "run the quick profile (the default; CI smoke subset)")
+		full      = fs.Bool("full", false, "run every scenario (recorded baselines, perf work)")
+		filter    = fs.String("run", "", "only run scenarios whose name matches this regexp")
+		out       = fs.String("o", "", "write the JSON report to this file (default: stdout)")
+		baseline  = fs.String("baseline", "", "diff against this baseline report; regressions exit 1")
+		threshold = fs.Float64("threshold", 0.25, "tolerated relative allocs/op growth for -baseline (0 = strict, negative disables)")
+		timeThr   = fs.Float64("time-threshold", 0, "when >0, also gate -baseline on relative ns/op growth (same-machine baselines only)")
+		list      = fs.Bool("list", false, "list the scenario catalog and exit")
+		quiet     = fs.Bool("q", false, "suppress per-scenario progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "kbench: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *quick && *full {
+		fmt.Fprintln(stderr, "kbench: -quick and -full are mutually exclusive")
+		return 2
+	}
+	profile := bench.ProfileQuick
+	if *full {
+		profile = bench.ProfileFull
+	}
+
+	cfg := bench.RunConfig{Profile: profile}
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(stderr, "kbench: bad -run pattern: %v\n", err)
+			return 2
+		}
+		cfg.Filter = re
+	}
+
+	if *list {
+		scenarios, err := bench.Select(bench.RunConfig{Profile: bench.ProfileFull, Filter: cfg.Filter})
+		if err != nil {
+			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			return 2
+		}
+		for _, s := range scenarios {
+			tag := "full "
+			if s.Quick {
+				tag = "quick"
+			}
+			fmt.Fprintf(stdout, "%-28s %s  %s\n", s.Name, tag, s.Doc)
+		}
+		return 0
+	}
+
+	if !*quiet {
+		cfg.Progress = func(line string) { fmt.Fprintln(stderr, line) }
+	}
+	rep, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "kbench: %v\n", err)
+		return 2
+	}
+	if len(rep.Scenarios) == 0 {
+		fmt.Fprintln(stderr, "kbench: no scenarios selected")
+		return 2
+	}
+
+	data, err := bench.EncodeReport(rep)
+	if err != nil {
+		fmt.Fprintf(stderr, "kbench: %v\n", err)
+		return 2
+	}
+	if *out == "" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			return 2
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "kbench: %v\n", err)
+		return 2
+	}
+
+	if *baseline == "" {
+		return 0
+	}
+	base, err := bench.LoadReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "kbench: %v\n", err)
+		return 2
+	}
+	opts := bench.DefaultDiffOptions()
+	opts.AllocThreshold = *threshold
+	opts.TimeThreshold = *timeThr
+	regs := bench.Compare(base, rep, opts)
+	if len(regs) == 0 {
+		fmt.Fprintf(stderr, "kbench: no regressions vs %s\n", *baseline)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(stderr, "kbench: REGRESSION: %s\n", r)
+	}
+	return 1
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestListShowsCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"micro/expand-once", "service/ndjson-stream", "figure/solution-graphs"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	cases := [][]string{
+		{"-quick", "-full"},
+		{"-run", "["},
+		{"-nonsense"},
+		{"unexpected-positional"},
+		{"-run", "no-such-scenario"}, // selects nothing
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestBaselineGateEndToEnd drives the real flow on the cheapest
+// scenario: record a report, diff an unchanged tree (exit 0), then diff
+// against a doctored baseline (exit 1) and a missing one (exit 2).
+func TestBaselineGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed benchmarks")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "base.json")
+
+	var out, errb bytes.Buffer
+	args := []string{"-quick", "-q", "-run", "^micro/graph-build$", "-o", report}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("recording run exited %d: %s", code, errb.String())
+	}
+
+	errb.Reset()
+	if code := run(append(args, "-baseline", report), &out, &errb); code != 0 {
+		t.Fatalf("unchanged tree vs own baseline exited %d: %s", code, errb.String())
+	}
+
+	// Doctor the baseline so the current tree looks like a regression.
+	base, err := bench.LoadReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Scenarios {
+		base.Scenarios[i].Count++
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	if err := bench.WriteReport(doctored, base); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run(append(args, "-baseline", doctored), &out, &errb); code != 1 {
+		t.Fatalf("count mismatch exited %d, want 1: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "REGRESSION") {
+		t.Fatalf("regression not reported: %s", errb.String())
+	}
+
+	if code := run(append(args, "-baseline", filepath.Join(dir, "absent.json")), &out, &errb); code != 2 {
+		t.Fatal("missing baseline file must exit 2")
+	}
+
+	// The emitted file must be loadable by the library (schema check).
+	if _, err := os.Stat(report); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.LoadReport(report); err != nil {
+		t.Fatalf("emitted report fails to load: %v", err)
+	}
+}

@@ -79,6 +79,15 @@ func NewEngine(g *Graph, cfg EngineConfig) *Engine {
 // Graph returns the engine's graph snapshot.
 func (e *Engine) Graph() *Graph { return e.g }
 
+// Warm materializes the engine's shared per-graph view state ahead of
+// the first query. Today that is only the transpose — an O(1) mirror
+// view, so the call is cheap and the latency win is nil; it exists as
+// the hook where genuinely expensive shared state belongs if it grows
+// (the (α,β)-core index stays lazy deliberately: it is O(αmax·|E|) and
+// only large-MBP queries need it, so building it per loaded graph would
+// tax every caller for a workload most never run).
+func (e *Engine) Warm() { e.transposed() }
+
 // EngineStats is a point-in-time snapshot of an engine's activity.
 type EngineStats struct {
 	// Queries counts queries started (enumerations, and one per

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteReport writes the report as indented JSON, the format committed
+// as BENCH_*.json baselines.
+func WriteReport(path string, r *Report) error {
+	data, err := EncodeReport(r)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// EncodeReport renders the report the way WriteReport persists it.
+func EncodeReport(r *Report) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadReport reads a report and validates its schema.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeReport(data)
+}
+
+// DecodeReport parses report JSON and validates its schema.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: malformed report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: report schema %q, this build reads %q", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// DiffOptions tunes the baseline comparison.
+type DiffOptions struct {
+	// AllocThreshold is the tolerated relative growth of allocs/op
+	// (0.25 = 25%; 0 = no headroom beyond AllocSlack; negative disables
+	// the gate). Allocation counts are near-deterministic for a given
+	// tree, so this is the primary machine-independent regression gate.
+	AllocThreshold float64
+	// AllocSlack ignores absolute growth up to this many allocs/op, so
+	// pool warm-up jitter on tiny scenarios cannot trip the relative
+	// threshold.
+	AllocSlack int64
+	// TimeThreshold, when positive, additionally gates on ns/op growth.
+	// Wall-clock comparisons are only meaningful against a baseline
+	// recorded on the same machine, so it is off by default.
+	TimeThreshold float64
+}
+
+// DefaultDiffOptions matches the CI gate: 25% allocation headroom, a
+// small absolute slack, and no wall-clock gating.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{AllocThreshold: 0.25, AllocSlack: 16}
+}
+
+// Regression is one baseline violation.
+type Regression struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"` // "count", "allocs_per_op", "ns_per_op", "missing"
+	Base     float64 `json:"base"`
+	Current  float64 `json:"current"`
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "missing":
+		return fmt.Sprintf("%s: present in baseline but not in this run", r.Scenario)
+	case "count":
+		return fmt.Sprintf("%s: result count changed %v -> %v (correctness cross-check)", r.Scenario, int64(r.Base), int64(r.Current))
+	default:
+		return fmt.Sprintf("%s: %s regressed %.6g -> %.6g (%+.1f%%)",
+			r.Scenario, r.Metric, r.Base, r.Current, 100*(r.Current-r.Base)/r.Base)
+	}
+}
+
+// Compare diffs the current report against a baseline and returns every
+// regression. Scenarios are matched by name; ones absent from the
+// baseline are new and pass. Ones present in the baseline but missing
+// from the current run are flagged only when the profiles match (a
+// quick run diffed against a full baseline legitimately covers fewer
+// scenarios).
+func Compare(baseline, current *Report, o DiffOptions) []Regression {
+	cur := make(map[string]Result, len(current.Scenarios))
+	for _, r := range current.Scenarios {
+		cur[r.Name] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Scenarios {
+		now, ok := cur[base.Name]
+		if !ok {
+			if baseline.Profile == current.Profile {
+				regs = append(regs, Regression{Scenario: base.Name, Metric: "missing"})
+			}
+			continue
+		}
+		if base.HasCount && now.HasCount && base.Count != now.Count {
+			regs = append(regs, Regression{
+				Scenario: base.Name, Metric: "count",
+				Base: float64(base.Count), Current: float64(now.Count),
+			})
+		}
+		if o.AllocThreshold >= 0 && base.AllocsPerOp > 0 {
+			limit := float64(base.AllocsPerOp) * (1 + o.AllocThreshold)
+			if float64(now.AllocsPerOp) > limit && now.AllocsPerOp-base.AllocsPerOp > o.AllocSlack {
+				regs = append(regs, Regression{
+					Scenario: base.Name, Metric: "allocs_per_op",
+					Base: float64(base.AllocsPerOp), Current: float64(now.AllocsPerOp),
+				})
+			}
+		}
+		if o.TimeThreshold > 0 && base.NsPerOp > 0 {
+			if now.NsPerOp > base.NsPerOp*(1+o.TimeThreshold) {
+				regs = append(regs, Regression{
+					Scenario: base.Name, Metric: "ns_per_op",
+					Base: base.NsPerOp, Current: now.NsPerOp,
+				})
+			}
+		}
+	}
+	return regs
+}

@@ -1,0 +1,164 @@
+// Package bench is the repository's benchmark harness: a catalog of
+// named, seeded, deterministic scenarios covering the figure runners of
+// internal/exp and the library's hot paths (core expansion, enumeration,
+// index construction, and end-to-end NDJSON streaming through
+// internal/server), plus a machine-readable report format and a baseline
+// diff used as a CI regression gate.
+//
+// cmd/kbench is the command-line front end; BENCHMARKS.md documents the
+// scenario catalog and the baseline workflow.
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"testing"
+)
+
+// SchemaVersion identifies the report JSON layout. Bump it on any
+// incompatible change; Compare refuses mismatched schemas.
+const SchemaVersion = "kbench/v1"
+
+// Profile names the two scenario subsets cmd/kbench exposes.
+const (
+	ProfileQuick = "quick" // CI smoke subset, completes in well under two minutes
+	ProfileFull  = "full"  // everything, for recorded baselines and perf work
+)
+
+// Scenario is one named benchmark: a standard testing.B body plus an
+// untimed deterministic count used as a correctness cross-check (same
+// tree and seed ⇒ same count; an optimization PR that changes a count
+// changed behavior, not just speed). Count may be nil for scenarios
+// whose results are inherently timing-dependent (delay measurements).
+type Scenario struct {
+	// Name is the stable identifier, "group/short-name"; baselines are
+	// matched by it.
+	Name string
+	// Group is the catalog section: "micro", "figure" or "service".
+	Group string
+	// Doc is the one-line description shown by kbench -list.
+	Doc string
+	// Quick marks scenarios included in the quick profile.
+	Quick bool
+	// Run is the timed body, a regular benchmark function.
+	Run func(b *testing.B)
+	// Count returns the scenario's deterministic result count.
+	Count func() int64
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Group       string             `json:"group"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Count       int64              `json:"count"`
+	HasCount    bool               `json:"has_count"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the top-level kbench output, written as JSON (BENCH_*.json).
+type Report struct {
+	Schema    string   `json:"schema"`
+	Profile   string   `json:"profile"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// RunConfig selects and observes a harness run.
+type RunConfig struct {
+	// Profile is ProfileQuick or ProfileFull.
+	Profile string
+	// Filter, when non-nil, restricts the run to matching scenario names.
+	Filter *regexp.Regexp
+	// Progress, when non-nil, receives one line per scenario.
+	Progress func(line string)
+}
+
+// Select returns the catalog subset a config would run.
+func Select(cfg RunConfig) ([]Scenario, error) {
+	if cfg.Profile != ProfileQuick && cfg.Profile != ProfileFull {
+		return nil, fmt.Errorf("bench: unknown profile %q", cfg.Profile)
+	}
+	var out []Scenario
+	for _, s := range Scenarios() {
+		if cfg.Profile == ProfileQuick && !s.Quick {
+			continue
+		}
+		if cfg.Filter != nil && !cfg.Filter.MatchString(s.Name) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Run measures the selected scenarios and assembles the report.
+func Run(cfg RunConfig) (*Report, error) {
+	scenarios, err := Select(cfg)
+	if err != nil {
+		return nil, err
+	}
+	profile := cfg.Profile
+	if cfg.Filter != nil {
+		// A filtered run covers a subset; marking the profile keeps
+		// Compare from flagging the unselected scenarios as missing.
+		profile += "+filtered"
+	}
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Profile:   profile,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range scenarios {
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("running %s", s.Name))
+		}
+		r := Measure(s)
+		rep.Scenarios = append(rep.Scenarios, r)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("  %s: %.0f ns/op, %d allocs/op, count=%d",
+				s.Name, r.NsPerOp, r.AllocsPerOp, r.Count))
+		}
+	}
+	return rep, nil
+}
+
+// Measure runs one scenario: the untimed count first (it doubles as a
+// warm-up that fills engine caches, so timed iterations measure steady
+// state), then the timed body via testing.Benchmark.
+func Measure(s Scenario) Result {
+	res := Result{Name: s.Name, Group: s.Group}
+	if s.Count != nil {
+		res.Count = s.Count()
+		res.HasCount = true
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		s.Run(b)
+	})
+	res.Iters = br.N
+	if br.N > 0 {
+		res.NsPerOp = float64(br.T.Nanoseconds()) / float64(br.N)
+	}
+	res.AllocsPerOp = br.AllocsPerOp()
+	res.BytesPerOp = br.AllocedBytesPerOp()
+	if br.Bytes > 0 && br.T > 0 {
+		res.MBPerS = float64(br.Bytes) * float64(br.N) / 1e6 / br.T.Seconds()
+	}
+	if len(br.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(br.Extra))
+		for k, v := range br.Extra {
+			res.Extra[k] = v
+		}
+	}
+	return res
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+// TestScenarioCountsDeterministic is the harness's core promise: two
+// independently constructed catalogs (fresh graphs, same seeds) report
+// identical result counts, which is what lets a committed baseline act
+// as a correctness cross-check.
+func TestScenarioCountsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counts run full enumerations")
+	}
+	first := map[string]int64{}
+	for _, s := range Scenarios() {
+		if s.Count != nil {
+			first[s.Name] = s.Count()
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("no scenario exposes a count")
+	}
+	for _, s := range Scenarios() {
+		if s.Count == nil {
+			continue
+		}
+		if got := s.Count(); got != first[s.Name] {
+			t.Errorf("%s: count not deterministic: %d then %d", s.Name, first[s.Name], got)
+		}
+	}
+}
+
+func TestCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	quick := 0
+	for _, s := range Scenarios() {
+		if s.Name == "" || s.Group == "" || s.Doc == "" || s.Run == nil {
+			t.Fatalf("incomplete scenario %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Quick {
+			quick++
+		}
+	}
+	if quick < 3 {
+		t.Fatalf("quick profile has only %d scenarios", quick)
+	}
+}
+
+func TestSelectProfilesAndFilter(t *testing.T) {
+	all, err := Select(RunConfig{Profile: ProfileFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := Select(RunConfig{Profile: ProfileQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) >= len(all) {
+		t.Fatalf("quick (%d) should be a strict subset of full (%d)", len(quick), len(all))
+	}
+	micro, err := Select(RunConfig{Profile: ProfileFull, Filter: regexp.MustCompile(`^micro/`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range micro {
+		if s.Group != "micro" {
+			t.Fatalf("filter leaked scenario %q", s.Name)
+		}
+	}
+	if _, err := Select(RunConfig{Profile: "nope"}); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+}
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Profile:   ProfileQuick,
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Scenarios: []Result{
+			{Name: "micro/a", Group: "micro", Iters: 100, NsPerOp: 1000, AllocsPerOp: 200, BytesPerOp: 4096, Count: 42, HasCount: true},
+			{Name: "service/b", Group: "service", Iters: 10, NsPerOp: 5e6, AllocsPerOp: 9000, BytesPerOp: 1 << 20, MBPerS: 12.5, Count: 7, HasCount: true, Extra: map[string]float64{"solutions/op": 7}},
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	data, err := EncodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the report:\n%+v\n%+v", r, got)
+	}
+}
+
+func TestDecodeReportRejectsWrongSchema(t *testing.T) {
+	if _, err := DecodeReport([]byte(`{"schema":"kbench/v0","scenarios":[]}`)); err == nil {
+		t.Fatal("wrong schema must be rejected")
+	}
+	if _, err := DecodeReport([]byte(`{not json`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestCompareUnchangedTreePasses(t *testing.T) {
+	if regs := Compare(sampleReport(), sampleReport(), DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("identical reports produced regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios[1].AllocsPerOp = 9000 * 2 // +100% > 25%
+	regs := Compare(base, cur, DefaultDiffOptions())
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" || regs[0].Scenario != "service/b" {
+		t.Fatalf("want one allocs_per_op regression on service/b, got %v", regs)
+	}
+	// Improvements never flag.
+	cur.Scenarios[1].AllocsPerOp = 10
+	if regs := Compare(base, cur, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareAllocSlackAbsorbsTinyGrowth(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	base.Scenarios[0].AllocsPerOp = 10
+	cur.Scenarios[0].AllocsPerOp = 20 // +100% but only +10 absolute
+	if regs := Compare(base, cur, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("slack should absorb +10 allocs on a tiny scenario: %v", regs)
+	}
+}
+
+func TestCompareThresholdZeroIsStrictNegativeDisables(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios[1].AllocsPerOp += 100 // +1.1%, above the 16-alloc slack
+	o := DefaultDiffOptions()
+	o.AllocThreshold = 0
+	regs := Compare(base, cur, o)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("-threshold 0 must gate strictly, got %v", regs)
+	}
+	o.AllocThreshold = -1
+	if regs := Compare(base, cur, o); len(regs) != 0 {
+		t.Fatalf("negative threshold must disable the gate: %v", regs)
+	}
+}
+
+func TestCompareFlagsCountChange(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios[0].Count = 43
+	regs := Compare(base, cur, DefaultDiffOptions())
+	if len(regs) != 1 || regs[0].Metric != "count" {
+		t.Fatalf("want one count regression, got %v", regs)
+	}
+}
+
+func TestCompareTimeThresholdOptIn(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios[0].NsPerOp = base.Scenarios[0].NsPerOp * 3
+	if regs := Compare(base, cur, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("ns/op must not gate by default: %v", regs)
+	}
+	o := DefaultDiffOptions()
+	o.TimeThreshold = 0.25
+	regs := Compare(base, cur, o)
+	if len(regs) != 1 || regs[0].Metric != "ns_per_op" {
+		t.Fatalf("want one ns_per_op regression, got %v", regs)
+	}
+}
+
+func TestCompareMissingScenario(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios = cur.Scenarios[:1]
+	regs := Compare(base, cur, DefaultDiffOptions())
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("same-profile missing scenario must flag, got %v", regs)
+	}
+	// A quick run against a full baseline legitimately covers less.
+	cur.Profile = ProfileFull + "+filtered"
+	if regs := Compare(base, cur, DefaultDiffOptions()); len(regs) != 0 {
+		t.Fatalf("cross-profile missing scenario must not flag: %v", regs)
+	}
+}
+
+// TestMeasurePlumbing checks the testing.Benchmark adapter end to end on
+// a synthetic scenario: allocs, throughput and custom metrics land in
+// the Result.
+func TestMeasurePlumbing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a timed benchmark")
+	}
+	s := Scenario{
+		Name:  "test/synthetic",
+		Group: "test",
+		Doc:   "synthetic",
+		Count: func() int64 { return 5 },
+		Run: func(b *testing.B) {
+			b.SetBytes(1 << 20)
+			for i := 0; i < b.N; i++ {
+				benchSink = make([]byte, 1024)
+			}
+			b.ReportMetric(5, "solutions/op")
+		},
+	}
+	r := Measure(s)
+	if r.Iters <= 0 || r.NsPerOp <= 0 {
+		t.Fatalf("no timing recorded: %+v", r)
+	}
+	if !r.HasCount || r.Count != 5 {
+		t.Fatalf("count not recorded: %+v", r)
+	}
+	if r.AllocsPerOp < 1 {
+		t.Fatalf("allocs not recorded: %+v", r)
+	}
+	if r.MBPerS <= 0 {
+		t.Fatalf("MB/s not recorded: %+v", r)
+	}
+	if r.Extra["solutions/op"] != 5 {
+		t.Fatalf("extra metric not recorded: %+v", r)
+	}
+}
+
+// benchSink keeps the synthetic benchmark's allocation observable.
+var benchSink []byte

@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+	"repro/internal/bicoreindex"
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// Fixed seeds: every scenario is deterministic given its seed, which is
+// what makes the counts usable as correctness cross-checks.
+const (
+	seedExpand    = 11
+	seedITrav     = 7
+	seedBTrav     = 5
+	seedParallel  = 13
+	seedCoreIndex = 3
+	seedBuild     = 17
+	seedService   = 23
+)
+
+// benchExpConfig scales the figure runners down to benchmark size, like
+// bench_test.go does, but with a timeout generous enough that runs
+// complete (completion is what keeps the counts deterministic on slow
+// runners).
+func benchExpConfig() exp.Config {
+	return exp.Config{MaxEdges: 800, Timeout: 5 * time.Second, FirstN: 30}
+}
+
+// Scenarios returns the full catalog. Each call returns fresh closures
+// with shared lazy setup: a scenario's Count and Run see the same
+// graph/engine, built on first use so that kbench -list stays instant.
+func Scenarios() []Scenario {
+	return []Scenario{
+		expandOnceScenario(),
+		enumerateITraversalScenario(),
+		enumerateBTraversalScenario(),
+		enumerateParallelScenario(),
+		bicoreIndexScenario(),
+		graphBuildScenario(),
+		fig3Scenario(),
+		table1Scenario(),
+		delayScenario(),
+		ndjsonStreamScenario(),
+	}
+}
+
+// --- micro: core hot paths ---
+
+func expandOnceScenario() Scenario {
+	type env struct {
+		g    *bigraph.Graph
+		opts core.Options
+		h    biplex.Pair
+	}
+	setup := sync.OnceValue(func() env {
+		g := gen.ER(200, 200, 3, seedExpand)
+		opts := core.ITraversal(1)
+		opts.Transpose = g.Transpose() // engine-style reuse across ops
+		h, err := core.InitialSolution(g, opts)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return env{g: g, opts: opts, h: h}
+	})
+	links := func() int64 {
+		e := setup()
+		var n int64
+		if _, err := core.ExpandOnce(e.g, e.opts, e.h, func(biplex.Pair) bool {
+			n++
+			return true
+		}); err != nil {
+			panic("bench: " + err.Error())
+		}
+		return n
+	}
+	return Scenario{
+		Name:  "micro/expand-once",
+		Group: "micro",
+		Doc:   "single iThreeStep expansion from H0 (core.ExpandOnce), transpose reused",
+		Quick: true,
+		Count: links,
+		Run: func(b *testing.B) {
+			e := setup()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ExpandOnce(e.g, e.opts, e.h, func(biplex.Pair) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+func enumerateITraversalScenario() Scenario {
+	eng := sync.OnceValue(func() *kbiplex.Engine {
+		e := kbiplex.NewEngine(gen.ER(30, 30, 2, seedITrav), kbiplex.EngineConfig{})
+		e.Warm()
+		return e
+	})
+	run := func() int64 {
+		st, err := eng().Enumerate(context.Background(), kbiplex.Options{K: 1}, nil)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return st.Solutions
+	}
+	return Scenario{
+		Name:  "micro/enumerate-itraversal",
+		Group: "micro",
+		Doc:   "full iTraversal enumeration through a warmed Engine",
+		Quick: true,
+		Count: run,
+		Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		},
+	}
+}
+
+func enumerateBTraversalScenario() Scenario {
+	type env struct {
+		g    *bigraph.Graph
+		opts core.Options
+	}
+	setup := sync.OnceValue(func() env {
+		g := gen.ER(20, 20, 1.5, seedBTrav)
+		opts := core.BTraversal(1)
+		opts.Transpose = g.Transpose()
+		return env{g: g, opts: opts}
+	})
+	run := func() int64 {
+		e := setup()
+		st, err := core.Enumerate(e.g, e.opts, nil)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return st.Solutions
+	}
+	return Scenario{
+		Name:  "micro/enumerate-btraversal",
+		Group: "micro",
+		Doc:   "full bTraversal enumeration (unpruned baseline framework)",
+		Quick: true,
+		Count: run,
+		Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		},
+	}
+}
+
+func enumerateParallelScenario() Scenario {
+	eng := sync.OnceValue(func() *kbiplex.Engine {
+		e := kbiplex.NewEngine(gen.ER(50, 50, 2, seedParallel), kbiplex.EngineConfig{})
+		e.Warm()
+		return e
+	})
+	run := func() int64 {
+		st, err := eng().EnumerateParallel(context.Background(), kbiplex.Options{K: 1}, 4, nil)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return st.Solutions
+	}
+	return Scenario{
+		Name:  "micro/enumerate-parallel",
+		Group: "micro",
+		Doc:   "full enumeration with 4 workers through a warmed Engine",
+		Count: run,
+		Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		},
+	}
+}
+
+func bicoreIndexScenario() Scenario {
+	g := sync.OnceValue(func() *bigraph.Graph {
+		return gen.ER(1500, 1500, 4, seedCoreIndex)
+	})
+	return Scenario{
+		Name:  "micro/bicoreindex-build",
+		Group: "micro",
+		Doc:   "(α,β)-core decomposition index construction",
+		Quick: true,
+		Count: func() int64 {
+			idx := bicoreindex.Build(g())
+			l, r := idx.Core(2, 2)
+			return int64(idx.MaxAlpha())<<32 | int64(len(l)+len(r))
+		},
+		Run: func(b *testing.B) {
+			gr := g()
+			for i := 0; i < b.N; i++ {
+				bicoreindex.Build(gr)
+			}
+		},
+	}
+}
+
+func graphBuildScenario() Scenario {
+	type env struct {
+		nl, nr int
+		edges  [][2]int32
+	}
+	setup := sync.OnceValue(func() env {
+		g := gen.ER(2000, 2000, 4, seedBuild)
+		edges := make([][2]int32, 0, g.NumEdges())
+		g.Edges(func(v, u int32) bool {
+			edges = append(edges, [2]int32{v, u})
+			return true
+		})
+		return env{nl: g.NumLeft(), nr: g.NumRight(), edges: edges}
+	})
+	build := func() *bigraph.Graph {
+		e := setup()
+		var bld bigraph.Builder
+		bld.SetSize(e.nl, e.nr)
+		for _, ed := range e.edges {
+			bld.AddEdge(ed[0], ed[1])
+		}
+		return bld.Build()
+	}
+	return Scenario{
+		Name:  "micro/graph-build",
+		Group: "micro",
+		Doc:   "adjacency construction from an edge list plus transpose view",
+		Quick: true,
+		Count: func() int64 { return int64(build().NumEdges()) },
+		Run: func(b *testing.B) {
+			setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := build()
+				// The transpose is an O(1) mirror view; touching it here
+				// documents that the build is the entire cost.
+				if g.Transpose().NumLeft() != g.NumRight() {
+					b.Fatal("transpose mismatch")
+				}
+			}
+		},
+	}
+}
+
+// --- figure: scaled-down paper experiment runners ---
+
+func fig3Scenario() Scenario {
+	return Scenario{
+		Name:  "figure/solution-graphs",
+		Group: "figure",
+		Doc:   "Figure 3 runner: solution-graph sizes of the paper's running example",
+		Quick: true,
+		Count: func() int64 {
+			// The running example's iTraversal solution graph is fixed.
+			links, sols, err := core.SolutionGraphLinks(dataset.PaperExample(), core.ITraversal(1))
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			return links<<16 | sols
+		},
+		Run: func(b *testing.B) {
+			cfg := benchExpConfig()
+			for i := 0; i < b.N; i++ {
+				exp.Fig3(cfg)
+			}
+		},
+	}
+}
+
+func table1Scenario() Scenario {
+	return Scenario{
+		Name:  "figure/table1-stats",
+		Group: "figure",
+		Doc:   "Table 1 runner: dataset stand-in loading and statistics",
+		Count: func() int64 {
+			var n int64
+			t := exp.Table1Stats(benchExpConfig())
+			for _, row := range t.Rows {
+				n += int64(len(row))
+			}
+			return n
+		},
+		Run: func(b *testing.B) {
+			cfg := benchExpConfig()
+			for i := 0; i < b.N; i++ {
+				exp.Table1Stats(cfg)
+			}
+		},
+	}
+}
+
+func delayScenario() Scenario {
+	return Scenario{
+		Name:  "figure/delay",
+		Group: "figure",
+		Doc:   "Figure 8a runner: maximum enumeration delay (timing-based, no count)",
+		Run: func(b *testing.B) {
+			cfg := benchExpConfig()
+			for i := 0; i < b.N; i++ {
+				exp.Fig8a(cfg)
+			}
+		},
+	}
+}
+
+// --- service: Engine end-to-end through internal/server ---
+
+func ndjsonStreamScenario() Scenario {
+	type env struct {
+		url       string
+		client    *http.Client
+		bytesPerQ int64
+		solutions int64
+	}
+	setup := sync.OnceValue(func() env {
+		srv := server.New(server.Config{})
+		if err := srv.AddGraph("bench", gen.ER(40, 40, 2, seedService)); err != nil {
+			panic("bench: " + err.Error())
+		}
+		ts := httptest.NewServer(srv)
+		// The test server is deliberately never closed: it lives for the
+		// benchmark process and one leaked listener is cheaper than
+		// rebuilding the engine (and its caches) per measurement.
+		e := env{
+			url:    ts.URL + "/graphs/bench/enumerate?k=1",
+			client: ts.Client(),
+		}
+		bytes, lines := streamOnce(e.client, e.url)
+		e.bytesPerQ, e.solutions = bytes, lines-1 // minus the summary line
+		return e
+	})
+	return Scenario{
+		Name:  "service/ndjson-stream",
+		Group: "service",
+		Doc:   "end-to-end NDJSON enumeration streaming via internal/server (MB/s)",
+		Quick: true,
+		Count: func() int64 { return setup().solutions },
+		Run: func(b *testing.B) {
+			e := setup()
+			b.SetBytes(e.bytesPerQ)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bytes, _ := streamOnce(e.client, e.url); bytes != e.bytesPerQ {
+					b.Fatalf("response size changed mid-run: %d vs %d", bytes, e.bytesPerQ)
+				}
+			}
+		},
+	}
+}
+
+// streamOnce drains one NDJSON enumeration response, returning the byte
+// and line counts.
+func streamOnce(c *http.Client, url string) (bytes, lines int64) {
+	resp, err := c.Get(url)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("bench: enumerate returned %s", resp.Status))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		bytes += int64(len(sc.Bytes())) + 1 // +1: the newline
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		panic("bench: " + err.Error())
+	}
+	return bytes, lines
+}

@@ -247,3 +247,53 @@ func (s *Set) checkCap(o *Set) {
 		panic("bitset: operand capacity exceeds receiver")
 	}
 }
+
+// Pool is a free list of equal-capacity sets. The enumeration engine
+// clones an exclusion set per traversal step; recycling the clones
+// through a Pool removes that allocation from the hot path. A Pool is
+// NOT safe for concurrent use — each engine (worker) owns its own.
+type Pool struct {
+	n    int
+	free []*Set
+}
+
+// NewPool returns a pool of sets with capacity for ids in [0, n).
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// Get returns an empty set of the pool's capacity, reusing a returned
+// one when available.
+func (p *Pool) Get() *Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		s.Clear()
+		return s
+	}
+	return New(p.n)
+}
+
+// GetCopy returns a set with the contents of o, reusing a returned set
+// when available. o must have the pool's capacity.
+func (p *Pool) GetCopy(o *Set) *Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		s.CopyFrom(o) // overwrites every word; no Clear needed
+		return s
+	}
+	return o.Clone()
+}
+
+// Put returns s to the pool for reuse. s must have the pool's capacity
+// and must not be used after Put.
+func (p *Pool) Put(s *Set) {
+	if s == nil {
+		return
+	}
+	if s.n != p.n {
+		panic("bitset: Put capacity mismatch")
+	}
+	p.free = append(p.free, s)
+}

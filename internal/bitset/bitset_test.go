@@ -231,3 +231,52 @@ func equalSlices(a, b []int32) bool {
 	}
 	return true
 }
+
+func TestPoolGetPut(t *testing.T) {
+	p := NewPool(100)
+	a := p.Get()
+	if a.Cap() != 100 || !a.Empty() {
+		t.Fatalf("Get: cap=%d empty=%v, want 100/true", a.Cap(), a.Empty())
+	}
+	a.Add(7)
+	a.Add(64)
+	p.Put(a)
+	b := p.Get() // must come back cleared
+	if b != a {
+		t.Fatal("Get did not reuse the returned set")
+	}
+	if !b.Empty() {
+		t.Fatalf("reused set not cleared: %v", b)
+	}
+}
+
+func TestPoolGetCopy(t *testing.T) {
+	p := NewPool(130)
+	src := New(130)
+	src.Add(0)
+	src.Add(129)
+	dirty := p.Get()
+	dirty.Add(5)
+	p.Put(dirty)
+	c := p.GetCopy(src)
+	if c != dirty {
+		t.Fatal("GetCopy did not reuse the returned set")
+	}
+	if !c.Equal(src) {
+		t.Fatalf("GetCopy = %v, want %v", c, src)
+	}
+	// A fresh pool clones.
+	c2 := NewPool(130).GetCopy(src)
+	if c2 == src || !c2.Equal(src) {
+		t.Fatal("GetCopy on empty pool must clone")
+	}
+}
+
+func TestPoolPutMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put with wrong capacity did not panic")
+		}
+	}()
+	NewPool(10).Put(New(20))
+}

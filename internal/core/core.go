@@ -197,6 +197,49 @@ type engine struct {
 	emit    EmitFunc
 	stopped bool
 	keyBuf  []byte
+
+	// Reusable per-engine scratch. An engine is single-goroutine (the
+	// parallel driver builds one engine per worker), so plain fields
+	// suffice; each buffer's last use strictly precedes the recursion or
+	// the next iteration that overwrites it.
+	exclPool  *bitset.Pool       // recycled exclusion-set clones
+	lcurBuf   []int32            // processLocal's L' ∪ {v}
+	raLtight  []int32            // rightAddable's tight-member scratch
+	raSeen    map[int32]struct{} // rightAddable's candidate dedup
+	missLFree []map[int32]int    // expandSide's per-frame δ̄(u, L) maps
+}
+
+// getExcl returns a cleared exclusion set from the engine's pool.
+func (e *engine) getExcl() *bitset.Set {
+	if e.exclPool == nil {
+		e.exclPool = bitset.NewPool(e.g.NumLeft())
+	}
+	return e.exclPool.Get()
+}
+
+// getExclCopy returns a pooled copy of excl.
+func (e *engine) getExclCopy(excl *bitset.Set) *bitset.Set {
+	if e.exclPool == nil {
+		e.exclPool = bitset.NewPool(e.g.NumLeft())
+	}
+	return e.exclPool.GetCopy(excl)
+}
+
+// getMissL pops a cleared map for one expandSide frame; frames at
+// different recursion depths interleave, so the free list is a stack.
+func (e *engine) getMissL() map[int32]int {
+	if k := len(e.missLFree); k > 0 {
+		m := e.missLFree[k-1]
+		e.missLFree[k-1] = nil
+		e.missLFree = e.missLFree[:k-1]
+		clear(m)
+		return m
+	}
+	return make(map[int32]int)
+}
+
+func (e *engine) putMissL(m map[int32]int) {
+	e.missLFree = append(e.missLFree, m)
 }
 
 func (e *engine) run() {
@@ -289,8 +332,11 @@ func (e *engine) expandSide(g *bigraph.Graph, h biplex.Pair, excl *bitset.Set, d
 		thetaR = e.opts.ThetaL
 	}
 
-	// δ̄(u, L) for u ∈ R, shared by every EAS call from this frame.
-	missL := make(map[int32]int, len(h.R))
+	// δ̄(u, L) for u ∈ R, shared by every EAS call from this frame. The
+	// map outlives the recursion below (EAS callbacks reference it), so
+	// it comes from a stack-discipline free list, not a single buffer.
+	missL := e.getMissL()
+	defer e.putMissL(missL)
 	for _, u := range h.R {
 		missL[u] = len(h.L) - sortedIntersectCount(g.NeighR(u), h.L)
 	}
@@ -342,7 +388,10 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 	if mirrored {
 		kL, kR = e.kR, e.kL
 	}
-	lcur := sortedInsert(append([]int32(nil), lp...), v)
+	// lcur lives in engine scratch: its last use (the extension below)
+	// precedes both the recursion and the next emit callback.
+	e.lcurBuf = sortedInsert(append(e.lcurBuf[:0], lp...), v)
+	lcur := e.lcurBuf
 
 	if e.opts.RightShrinking && e.rightAddable(g, h, lcur, rp, len(rp)-sortedIntersectCount(g.NeighL(v), rp) /* = |R''| misses of v */, v, kL, kR) {
 		return // non-right-shrinking link (Algorithm 2 line 7)
@@ -401,11 +450,15 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 
 	var childExcl *bitset.Set
 	if excl != nil {
-		childExcl = excl.Clone()
+		childExcl = e.getExclCopy(excl)
 	} else if e.opts.Exclusion {
-		childExcl = bitset.New(e.g.NumLeft())
+		childExcl = e.getExcl()
 	}
 	e.visit(hp, childExcl, depth+1)
+	if childExcl != nil {
+		// The child's subtree is fully traversed; recycle its clone.
+		e.exclPool.Put(childExcl)
+	}
 }
 
 // rightAddable reports whether some right vertex u ∉ rp of the full graph
@@ -415,8 +468,10 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 // vertices outside h.R are scanned here plus none of rp.
 func (e *engine) rightAddable(g *bigraph.Graph, h biplex.Pair, lcur, rp []int32, vMiss int, v int32, kL, kR int) bool {
 	// Ltight: members of lcur whose misses toward rp are already kL; an
-	// addable u must connect all of them.
-	var ltight []int32
+	// addable u must connect all of them. rightAddable never recurses,
+	// so the engine-level scratch cannot be aliased by a deeper frame.
+	ltight := e.raLtight[:0]
+	defer func() { e.raLtight = ltight[:0] }()
 	for _, w := range lcur {
 		var miss int
 		if w == v {
@@ -473,7 +528,12 @@ func (e *engine) rightAddable(g *bigraph.Graph, h biplex.Pair, lcur, rp []int32,
 	// with the smallest degrees; the union of their neighbor lists is the
 	// complete candidate pool, typically tiny.
 	pool := smallestDegreeMembers(g, lcur, kR+1)
-	seen := make(map[int32]struct{})
+	if e.raSeen == nil {
+		e.raSeen = make(map[int32]struct{})
+	} else {
+		clear(e.raSeen)
+	}
+	seen := e.raSeen
 	for _, w := range pool {
 		for _, u := range g.NeighL(w) {
 			if inRp(u) || inHR(u) {

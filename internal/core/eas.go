@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/bigraph"
 )
 
@@ -72,17 +74,36 @@ type easEmit func(Lp, Rp []int32) bool
 // and maximal within the almost-satisfying graph (Algorithm 3). It
 // returns the number of local solutions emitted and false if emit stopped
 // the enumeration.
+// easPool recycles easRun state across EnumAlmostSat invocations — one
+// runs per candidate vertex per expansion, making this the engine's
+// highest-frequency allocation site. Recursion re-enters enumAlmostSat
+// (emit → processLocal → visit → expandSide), so each invocation checks
+// a run out of the pool for its own exclusive use.
+var easPool = sync.Pool{New: func() any { return new(easRun) }}
+
 func enumAlmostSat(in easInput, emit easEmit) (int, bool) {
 	if in.variant == EASInflation {
 		return enumAlmostSatInflation(in, emit)
 	}
-	e := &easRun{easInput: in, emit: emit}
+	e := easPool.Get().(*easRun)
+	e.easInput = in
+	e.emit = emit
+	e.count = 0
+	e.stopped = false
+	e.r1, e.r2, e.rsel = e.r1[:0], e.r2[:0], e.rsel[:0]
+	defer func() {
+		// Drop references into the caller's graph and solution before
+		// pooling; the scratch buffers keep their capacity.
+		e.easInput = easInput{}
+		e.emit = nil
+		easPool.Put(e)
+	}()
 
 	// Partition R into Rkeep = Γ(v, R) (in every local solution, Lemma
 	// 4.1) and Renum = R \ Rkeep.
 	nv := in.g.NeighL(in.v)
-	e.rkeep = sortedIntersect(nil, in.R, nv)
-	e.renum = sortedSubtract(nil, in.R, nv)
+	e.rkeep = sortedIntersect(e.rkeep[:0], in.R, nv)
+	e.renum = sortedSubtract(e.renum[:0], in.R, nv)
 
 	switch in.variant {
 	case EASL1R1, EASL2R1:
@@ -115,11 +136,19 @@ type easRun struct {
 
 	// Per-R'' scratch, rebuilt by processRSel.
 	rp      []int32       // R' = rkeep ∪ R''
+	rselBuf []int32       // sorted copy of rsel
 	rtight  []int32       // {u ∈ R'' : δ̄(u, L) = k}
 	missRp  map[int32]int // δ̄(v', R') for v' ∈ L
 	lremo   []int32
 	minimal [][]int32 // successful minimal removal sets (L2.0 pruning)
 	lsel    []int32   // currently selected removal set L̄
+
+	// Per-candidate scratch, rebuilt by tryCandidate. The emitted L'
+	// aliases lpBuf, which the easEmit contract permits (slices are valid
+	// only during the call).
+	ltight  []int32
+	lbarBuf []int32
+	lpBuf   []int32
 }
 
 // enumR1 enumerates R” ⊆ renum with |R”| ≤ k (refined enumeration on R,
@@ -238,7 +267,8 @@ func (e *easRun) processRSel() {
 	}
 	// R'' must be sorted for the merge; rsel is built r1-then-r2 under
 	// R2.0, so order is not guaranteed — copy and sort via merge-insert.
-	rsel := append([]int32(nil), e.rsel...)
+	rsel := append(e.rselBuf[:0], e.rsel...)
+	e.rselBuf = rsel
 	insertionSortInt32(rsel)
 
 	e.rp = sortedMerge(e.rp[:0], e.rkeep, rsel)
@@ -265,17 +295,14 @@ func (e *easRun) processRSel() {
 		e.missRp[vp] = len(e.rp) - sortedIntersectCount(e.g.NeighL(vp), e.rp)
 	}
 
-	// Lremo: left vertices missing at least one Rtight member.
+	// Lremo: left vertices missing at least one Rtight member. The break
+	// after the append guarantees each vp is appended at most once.
 	e.lremo = e.lremo[:0]
 	if len(e.rtight) > 0 {
-		seen := map[int32]bool{}
 		for _, vp := range e.L {
 			for _, u := range e.rtight {
 				if !sortedContains(e.g.NeighR(u), vp) {
-					if !seen[vp] {
-						seen[vp] = true
-						e.lremo = append(e.lremo, vp)
-					}
+					e.lremo = append(e.lremo, vp)
 					break
 				}
 			}
@@ -371,7 +398,7 @@ func (e *easRun) tryCandidate(rsel []int32) {
 
 	// Ltight: members of L' already at k misses w.r.t. R'; any addable
 	// right vertex must connect all of them.
-	var ltight []int32
+	ltight := e.ltight[:0]
 	for _, vp := range e.L {
 		if len(e.lsel) > 0 && sortedContains32(e.lsel, vp) {
 			continue
@@ -380,6 +407,7 @@ func (e *easRun) tryCandidate(rsel []int32) {
 			ltight = append(ltight, vp)
 		}
 	}
+	e.ltight = ltight
 
 	// (c) No u* ∈ Renum \ R'' may be addable. If |R''| = k, v's budget is
 	// exhausted and nothing is addable.
@@ -405,15 +433,25 @@ func (e *easRun) tryCandidate(rsel []int32) {
 		}
 	}
 
-	// Local solution. Build L' = L \ L̄.
+	// Local solution. Build L' = L \ L̄ in reusable scratch: the emit
+	// contract limits the slices' validity to the call.
 	lp := e.L
 	if len(e.lsel) > 0 {
-		lbar := append([]int32(nil), e.lsel...)
+		lbar := append(e.lbarBuf[:0], e.lsel...)
+		e.lbarBuf = lbar
 		insertionSortInt32(lbar)
-		lp = sortedSubtract(nil, e.L, lbar)
+		e.lpBuf = sortedSubtract(e.lpBuf[:0], e.L, lbar)
+		lp = e.lpBuf
 	}
 	if useL2 {
-		e.minimal = append(e.minimal, append([]int32(nil), e.lsel...))
+		// Reuse the truncated entries' backing arrays from earlier R''
+		// selections of this run.
+		if n := len(e.minimal); n < cap(e.minimal) {
+			e.minimal = e.minimal[:n+1]
+			e.minimal[n] = append(e.minimal[n][:0], e.lsel...)
+		} else {
+			e.minimal = append(e.minimal, append([]int32(nil), e.lsel...))
+		}
 	}
 	e.count++
 	if !e.emit(lp, e.rp) {

@@ -2,25 +2,48 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/bigraph"
 )
+
+// extendScratch bundles the transient buffers of one extendLeftOnly
+// call. The function is the engine's hottest and does not recurse, so a
+// call checks a scratch out of extendPool, uses it exclusively, and
+// returns it before returning — only the result slice is freshly
+// allocated (it is retained by callers as part of a solution).
+type extendScratch struct {
+	missArr  []int
+	missPos  []int32
+	added    []int32
+	cands    []int32
+	all      []int32
+	pool     []int32
+	degs     []int
+	missBase map[int32]int
+	delta    map[int32]int
+}
+
+var extendPool = sync.Pool{New: func() any { return new(extendScratch) }}
 
 // extendLeftOnly grows the (kL, kR)-biplex (L, R) into one maximal with
 // respect to left-vertex additions, adding candidates in ascending id
 // order (the paper's "pre-set order", Algorithm 2 Step 3). kL bounds the
 // misses of the vertices being added, kR the misses of the fixed right
 // members. The right side never changes; the new sorted left side is
-// returned.
+// returned and never aliases L or the internal scratch.
 //
 // A single ascending pass is sufficient: adding a vertex only tightens
 // every remaining constraint, so a vertex rejected once can never become
 // addable later in the pass.
 //
-// This is the engine's hottest function; it avoids maps entirely:
-// candidate counting sorts the concatenated neighbor lists of R, and the
-// per-member miss counters are positional over the sorted R.
+// This avoids maps for small right sides entirely: candidate counting
+// sorts the concatenated neighbor lists of R, and the per-member miss
+// counters are positional over the sorted R.
 func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
+	sc := extendPool.Get().(*extendScratch)
+	defer extendPool.Put(sc)
+
 	// Miss counts of right members are computed lazily: only positions a
 	// candidate actually misses are ever needed (at most kL per
 	// candidate), so initializing all |R| counters up front would
@@ -29,12 +52,18 @@ func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
 	var missArr []int // eager, small right sides
 	var missBase, delta map[int32]int
 	if len(R) <= 64 {
-		missArr = make([]int, len(R))
-		for i, u := range R {
-			missArr[i] = len(L) - sortedIntersectCount(g.NeighR(u), L)
+		missArr = sc.missArr[:0]
+		for _, u := range R {
+			missArr = append(missArr, len(L)-sortedIntersectCount(g.NeighR(u), L))
 		}
+		sc.missArr = missArr
 	} else {
-		missBase = make(map[int32]int)
+		if sc.missBase == nil {
+			sc.missBase = make(map[int32]int)
+		} else {
+			clear(sc.missBase)
+		}
+		missBase = sc.missBase
 	}
 	missAt := func(i int32) int {
 		if missArr != nil {
@@ -49,10 +78,10 @@ func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
 		return m + delta[i]
 	}
 
-	cands := leftCandidates(g, L, R, kL)
+	cands := leftCandidates(g, L, R, kL, sc)
 
-	var added []int32
-	missPos := make([]int32, 0, kL+1)
+	added := sc.added[:0]
+	missPos := sc.missPos[:0]
 	for _, w := range cands {
 		// Merge Γ(w) against R collecting missed positions; bail once the
 		// own budget is blown.
@@ -92,11 +121,17 @@ func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
 				continue
 			}
 			if delta == nil {
-				delta = make(map[int32]int)
+				if sc.delta == nil {
+					sc.delta = make(map[int32]int)
+				} else {
+					clear(sc.delta)
+				}
+				delta = sc.delta
 			}
 			delta[i]++
 		}
 	}
+	sc.added, sc.missPos = added, missPos
 	if len(added) == 0 {
 		return append([]int32(nil), L...)
 	}
@@ -105,12 +140,14 @@ func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
 
 // leftCandidates returns, ascending, the left vertices outside L that
 // connect at least |R|-kL members of R (a necessary condition for
-// addability).
-func leftCandidates(g *bigraph.Graph, L, R []int32, kL int) []int32 {
+// addability). The result aliases sc and is valid until the next use of
+// sc.
+func leftCandidates(g *bigraph.Graph, L, R []int32, kL int, sc *extendScratch) []int32 {
+	cands := sc.cands[:0]
+	defer func() { sc.cands = cands }()
 	if len(R) <= kL {
 		// Every left vertex satisfies its own constraint, including ones
 		// with no neighbor in R.
-		cands := make([]int32, 0, g.NumLeft()-len(L))
 		for w := int32(0); w < int32(g.NumLeft()); w++ {
 			if !sortedContains(L, w) {
 				cands = append(cands, w)
@@ -134,8 +171,8 @@ func leftCandidates(g *bigraph.Graph, L, R []int32, kL int) []int32 {
 		if scan > 64 {
 			scan = 64
 		}
-		pool = make([]int32, 0, pick)
-		degs := make([]int, 0, pick)
+		pool = sc.pool[:0]
+		degs := sc.degs[:0]
 		for _, u := range R[:scan] {
 			d := g.DegR(u)
 			if len(pool) < pick {
@@ -153,13 +190,14 @@ func leftCandidates(g *bigraph.Graph, L, R []int32, kL int) []int32 {
 				}
 			}
 		}
+		sc.pool, sc.degs = pool, degs
 	}
-	var all []int32
+	all := sc.all[:0]
 	for _, u := range pool {
 		all = append(all, g.NeighR(u)...)
 	}
+	sc.all = all
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	var cands []int32
 	for i, w := range all {
 		if i > 0 && all[i-1] == w {
 			continue

@@ -111,6 +111,9 @@ func (s *Server) AddGraph(name string, g *kbiplex.Graph) error {
 		Timeout:    s.cfg.QueryTimeout,
 		SpillDir:   s.cfg.SpillDir,
 	})
+	// Materialize the engine's shared view state at load time. Cheap
+	// today (see Engine.Warm); the core index intentionally stays lazy.
+	eng.Warm()
 	s.mu.Lock()
 	s.graphs[name] = eng
 	s.mu.Unlock()
