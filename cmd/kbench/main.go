@@ -5,7 +5,7 @@
 // Usage:
 //
 //	kbench [-quick|-full] [-run regexp] [-o report.json]
-//	       [-baseline BENCH_PR2.json [-threshold 0.25] [-time-threshold 0]]
+//	       [-baseline BENCH_PR3.json [-threshold 0.25] [-time-threshold 0]]
 //	kbench -list
 //
 // Exit codes: 0 success, 1 baseline regression, 2 usage or runtime error.

@@ -3,25 +3,34 @@
 // Usage:
 //
 //	kbiplexd -addr :8377 -load orders=orders.txt -load web=web.txt
+//	kbiplexd -data-dir /var/lib/kbiplex -mem-budget-mb 4096
 //	kbiplexd -max-results 10000 -query-timeout 30s -spill /var/tmp/kbiplex
 //
 // Graphs preloaded with -load (and any loaded later via POST /graphs)
 // are each wrapped in a query engine that caches the transpose and
-// (α,β)-core preprocessing across requests. Endpoints:
+// (α,β)-core preprocessing across requests. With -data-dir the daemon
+// is durable: graphs loaded with persist=true are written as
+// CRC-checked binary snapshots under that directory, recovered and
+// warmed at the next boot, and -mem-budget-mb bounds resident graph
+// memory by evicting cold engines (they re-hydrate from snapshot on
+// demand). Endpoints:
 //
 //	GET    /healthz                  liveness
-//	GET    /stats                    server counters
+//	GET    /stats                    server + store counters
+//	POST   /graphs                   load a graph (inline edges / random / binary
+//	                                 snapshot body; file paths need -allow-path-load;
+//	                                 persist=true snapshots it under -data-dir)
 //	GET    /graphs                   list graphs
-//	POST   /graphs                   load a graph (inline edges / random; file paths need -allow-path-load)
 //	GET    /graphs/{name}            graph shape + engine stats
-//	DELETE /graphs/{name}            unload
+//	DELETE /graphs/{name}            unload (snapshot included)
 //	GET    /graphs/{name}/enumerate  NDJSON stream of MBPs (k, k_left, k_right, algorithm,
 //	                                 min_left, min_right, max_results, workers)
 //	GET    /graphs/{name}/largest    largest balanced MBP (k)
 //
 // Cancelling a request (client disconnect) or hitting -query-timeout
 // stops the underlying enumeration. SIGINT/SIGTERM shut the server down
-// gracefully, aborting in-flight enumerations.
+// gracefully: in-flight enumerations abort, and the catalog manifest is
+// flushed before exit.
 package main
 
 import (
@@ -73,6 +82,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		queryTimeout = fs.Duration("query-timeout", 0, "per-query deadline (0 = none)")
 		spill        = fs.String("spill", "", "directory for disk-backed per-query deduplication (must exist)")
 		allowPath    = fs.Bool("allow-path-load", false, "let POST /graphs read edge-list files from server paths")
+		dataDir      = fs.String("data-dir", "", "persistent catalog directory: persist=true graphs snapshot here and are recovered at boot")
+		memBudgetMB  = fs.Int64("mem-budget-mb", 0, "resident graph memory budget in MiB; cold persisted engines are evicted past it (0 = unlimited)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -83,15 +94,47 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if *memBudgetMB != 0 && *dataDir == "" {
+		return errors.New("-mem-budget-mb needs -data-dir (eviction re-hydrates from snapshots)")
+	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxResults:    *maxResults,
 		QueryTimeout:  *queryTimeout,
 		SpillDir:      *spill,
 		AllowPathLoad: *allowPath,
+		DataDir:       *dataDir,
+		MemoryBudget:  *memBudgetMB << 20,
 	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *dataDir != "" {
+		// Boot-time warm: every graph the catalog recovered hydrates now,
+		// so the first query after a restart pays no snapshot-load
+		// latency. A corrupt snapshot is reported, not fatal: the rest of
+		// the catalog still serves.
+		srv.WarmAll(func(name string, err error) {
+			fmt.Fprintf(stderr, "kbiplexd: warming %s: %v\n", name, err)
+		})
+		for _, gi := range srv.Infos() {
+			if gi.Resident {
+				fmt.Fprintf(stdout, "kbiplexd: recovered %s: |L|=%d |R|=%d |E|=%d\n",
+					gi.Name, gi.NumLeft, gi.NumRight, gi.NumEdges)
+			}
+		}
+	}
 	for _, l := range loads {
 		name, path, _ := strings.Cut(l, "=")
+		for _, gi := range srv.Infos() {
+			if gi.Name == name && gi.Persisted {
+				// -load replaces by name, and replacing a persisted graph
+				// with an ephemeral one deletes its snapshot — almost
+				// certainly not what a boot flag should do silently.
+				return fmt.Errorf("-load %s collides with persisted graph %q in %s; DELETE it over HTTP first or drop the -load flag", l, name, *dataDir)
+			}
+		}
 		g, err := kbiplex.LoadEdgeList(path)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", l, err)
@@ -126,8 +169,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
-			return hs.Close()
+			hs.Close()
 		}
+		// The deferred srv.Close flushes the catalog manifest after the
+		// listener is quiet.
 		return nil
 	}
 }

@@ -3,11 +3,15 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	kbiplex "repro"
+	"repro/internal/store"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +86,128 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// startDaemon boots run() with the given args on an ephemeral port and
+// returns the base URL, a cancel that triggers the SIGTERM path, and
+// the run error channel.
+func startDaemon(t *testing.T, args ...string) (base string, stop func(), done chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done = make(chan error, 1)
+	go func() {
+		err := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), pw, io.Discard)
+		pw.Close()
+		done <- err
+	}()
+	var addr string
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "kbiplexd: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("no listening line; run exited: %v", <-done)
+	}
+	go io.Copy(io.Discard, pr) // drain the shutdown message
+	return "http://" + addr, cancel, done
+}
+
+// waitShutdown cancels the daemon and waits for run to return cleanly.
+func waitShutdown(t *testing.T, stop func(), done chan error) {
+	t.Helper()
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestRestartRoundTrip is the durability acceptance test: load a graph
+// with persist=true, stop the daemon, restart it on the same -data-dir,
+// and the graph must be listed and queryable without re-POSTing.
+func TestRestartRoundTrip(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "catalog")
+
+	base, stop, done := startDaemon(t, "-data-dir", dataDir)
+	body := `{"name":"durable","random":{"num_left":10,"num_right":10,"density":2,"seed":5},"persist":true}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("persist load: status %d", resp.StatusCode)
+	}
+	var before string
+	if resp, err = http.Get(base + "/graphs/durable/enumerate?k=1"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = string(b)
+	waitShutdown(t, stop, done)
+
+	base2, stop2, done2 := startDaemon(t, "-data-dir", dataDir)
+	defer waitShutdown(t, stop2, done2)
+
+	// The recovered graph answers info and enumeration identically, with
+	// no POST against the new process.
+	resp, err = http.Get(base2 + "/graphs/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		NumEdges  int  `json:"num_edges"`
+		Persisted bool `json:"persisted"`
+		Resident  bool `json:"resident"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered info: status %d err %v", resp.StatusCode, err)
+	}
+	if !info.Persisted || !info.Resident {
+		t.Fatalf("recovered graph should be persisted and warmed at boot: %+v", info)
+	}
+	var list []struct {
+		Name string `json:"name"`
+	}
+	resp, err = http.Get(base2 + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil || len(list) != 1 || list[0].Name != "durable" {
+		t.Fatalf("recovered enumeration list: %v %+v", err, list)
+	}
+	resp, err = http.Get(base2 + "/graphs/durable/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripElapsed := func(s string) string {
+		return regexp.MustCompile(`"elapsed_ms":\d+`).ReplaceAllString(s, `"elapsed_ms":X`)
+	}
+	if stripElapsed(string(b)) != stripElapsed(before) {
+		t.Fatalf("post-restart stream differs:\nbefore: %q\nafter:  %q", before, b)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-load", "noequals"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("malformed -load accepted")
@@ -91,5 +217,42 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"stray"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("stray positional argument accepted")
+	}
+	if err := run(context.Background(), []string{"-mem-budget-mb", "64"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-mem-budget-mb without -data-dir accepted")
+	}
+}
+
+// TestLoadCollidesWithPersistedGraph: a -load flag naming a persisted
+// catalog graph must fail boot instead of silently destroying the
+// snapshot (AddGraph replaces, and an ephemeral replacement unlinks).
+func TestLoadCollidesWithPersistedGraph(t *testing.T) {
+	dataDir := t.TempDir()
+	cat, err := store.Open(store.Config{Dir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add("toy", kbiplex.RandomBipartite(4, 4, 1, 1), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	edge := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(edge, []byte("0 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-load", "toy=" + edge}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "persisted graph") {
+		t.Fatalf("colliding -load not refused: %v", err)
+	}
+	// The snapshot must have survived the refused boot.
+	c2, err := store.Open(store.Config{Dir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Engine("toy"); err != nil {
+		t.Fatalf("snapshot damaged by refused boot: %v", err)
 	}
 }

@@ -48,15 +48,19 @@ type Engine struct {
 	transposeOnce sync.Once
 	transpose     *Graph
 
-	idxOnce sync.Once
-	idx     *bicoreindex.Index
+	// idxMu serializes index construction; the pointer itself is read
+	// and written under mu so Release can drop it.
+	idxMu sync.Mutex
+	idx   *bicoreindex.Index
 
 	mu    sync.Mutex
 	cores map[coreKey]*coreEntry
 
-	queries   atomic.Int64
-	active    atomic.Int64
-	solutions atomic.Int64
+	queries    atomic.Int64
+	active     atomic.Int64
+	solutions  atomic.Int64
+	coreHits   atomic.Int64
+	coreMisses atomic.Int64
 }
 
 // coreKey identifies one cached (α,β)-core reduction. Queries with
@@ -99,6 +103,10 @@ type EngineStats struct {
 	Solutions int64
 	// CachedCores counts materialized (α,β)-core reductions.
 	CachedCores int
+	// CoreHits and CoreMisses count queries whose (α,β)-core reduction
+	// was served from the cache vs. built (a miss also covers uncached
+	// builds when the cache is full).
+	CoreHits, CoreMisses int64
 	// CoreIndexBuilt reports whether the core-decomposition index has
 	// been built.
 	CoreIndexBuilt bool
@@ -111,16 +119,14 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	cached := len(e.cores)
 	e.mu.Unlock()
-	built := false
-	// idxOnce has no query API; the pointer is only ever set under it.
-	if e.idxLoaded() != nil {
-		built = true
-	}
+	built := e.idxLoaded() != nil
 	return EngineStats{
 		Queries:        e.queries.Load(),
 		Active:         e.active.Load(),
 		Solutions:      e.solutions.Load(),
 		CachedCores:    cached,
+		CoreHits:       e.coreHits.Load(),
+		CoreMisses:     e.coreMisses.Load(),
 		CoreIndexBuilt: built,
 		NumLeft:        e.g.NumLeft(),
 		NumRight:       e.g.NumRight(),
@@ -257,7 +263,12 @@ func (e *Engine) prepared(o Options) env {
 	if alpha == 0 && beta == 0 {
 		return env{run: e.g, transpose: e.transposed()}
 	}
-	entry := e.coreEntry(coreKey{alpha, beta})
+	entry, existed := e.coreEntry(coreKey{alpha, beta})
+	if existed {
+		e.coreHits.Add(1)
+	} else {
+		e.coreMisses.Add(1)
+	}
 	if entry == nil {
 		return e.buildCoreEnv(alpha, beta)
 	}
@@ -284,20 +295,21 @@ func (e *Engine) buildCoreEnv(alpha, beta int) env {
 // thresholds grow server memory without limit.
 const maxCachedCores = 64
 
-// coreEntry returns the cache slot for k, or nil when the cache is full
-// and k is absent — the caller then builds an uncached reduction.
-func (e *Engine) coreEntry(k coreKey) *coreEntry {
+// coreEntry returns the cache slot for k and whether it already
+// existed; the slot is nil when the cache is full and k is absent — the
+// caller then builds an uncached reduction.
+func (e *Engine) coreEntry(k coreKey) (*coreEntry, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	entry, ok := e.cores[k]
 	if !ok {
 		if len(e.cores) >= maxCachedCores {
-			return nil
+			return nil, false
 		}
 		entry = &coreEntry{}
 		e.cores[k] = entry
 	}
-	return entry
+	return entry, ok
 }
 
 func (e *Engine) transposed() *Graph {
@@ -308,14 +320,18 @@ func (e *Engine) transposed() *Graph {
 // index lazily builds the (α,β)-core decomposition index — a one-time
 // O(αmax·|E|) cost that repeated large-MBP queries amortize; one-shot
 // callers should use the package-level functions, which peel per call.
+// Release drops the index, so unlike a sync.Once the build can recur.
 func (e *Engine) index() *bicoreindex.Index {
-	e.idxOnce.Do(func() {
-		idx := bicoreindex.Build(e.g)
-		e.mu.Lock()
-		e.idx = idx
-		e.mu.Unlock()
-	})
-	return e.idx
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if idx := e.idxLoaded(); idx != nil {
+		return idx
+	}
+	idx := bicoreindex.Build(e.g)
+	e.mu.Lock()
+	e.idx = idx
+	e.mu.Unlock()
+	return idx
 }
 
 // idxLoaded reads the index pointer without building it.
@@ -323,4 +339,23 @@ func (e *Engine) idxLoaded() *bicoreindex.Index {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.idx
+}
+
+// Release drops the engine's rebuildable derived state: every cached
+// (α,β)-core reduction (each holds an induced subgraph of up to O(|E|))
+// and the core-decomposition index. Unloading a graph without releasing
+// its engine would strand that memory until the last query reference
+// dies; the HTTP server's DELETE path and the catalog's eviction both
+// call Release so deletes actually return memory.
+//
+// Release is safe under concurrency: in-flight queries keep the cache
+// entries they already hold (freed when they finish), and later queries
+// transparently rebuild what they need. The cached transpose is left in
+// place — it is an O(1) mirror view sharing the graph's storage, so it
+// holds no memory of its own.
+func (e *Engine) Release() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cores = make(map[coreKey]*coreEntry)
+	e.idx = nil
 }

@@ -210,3 +210,65 @@ func TestEngineConcurrentQueries(t *testing.T) {
 		t.Fatalf("Active = %d after all queries finished", got)
 	}
 }
+
+// TestEngineRelease is the regression test for unload leaking derived
+// state: Release must drop every cached core reduction and the core
+// index, and the engine must still answer (rebuilding lazily) if a
+// straggler queries it afterwards.
+func TestEngineRelease(t *testing.T) {
+	g := RandomBipartite(50, 50, 2, 8)
+	e := NewEngine(g, EngineConfig{})
+	opts := Options{K: 1, MinLeft: 3, MinRight: 3}
+	want, err := e.Enumerate(context.Background(), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CachedCores == 0 || !st.CoreIndexBuilt {
+		t.Fatalf("θ query built no cached state: %+v", st)
+	}
+	if st.CoreMisses != 1 {
+		t.Fatalf("CoreMisses = %d, want 1 (first θ query builds)", st.CoreMisses)
+	}
+
+	e.Release()
+	st = e.Stats()
+	if st.CachedCores != 0 {
+		t.Fatalf("Release left CachedCores = %d, want 0", st.CachedCores)
+	}
+	if st.CoreIndexBuilt {
+		t.Fatal("Release left the core index")
+	}
+
+	// A late query transparently rebuilds and agrees with the original.
+	got, err := e.Enumerate(context.Background(), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Solutions != want.Solutions {
+		t.Fatalf("post-Release enumeration found %d solutions, want %d", got.Solutions, want.Solutions)
+	}
+	st = e.Stats()
+	if st.CachedCores != 1 || !st.CoreIndexBuilt {
+		t.Fatalf("post-Release query did not rebuild: %+v", st)
+	}
+}
+
+// TestEngineCoreHitCounters checks the cache observability: repeated θ
+// queries hit, distinct θ values miss.
+func TestEngineCoreHitCounters(t *testing.T) {
+	e := NewEngine(RandomBipartite(50, 50, 2, 8), EngineConfig{})
+	run := func(theta int) {
+		t.Helper()
+		if _, err := e.Enumerate(context.Background(), Options{K: 1, MinLeft: theta, MinRight: theta}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(3)
+	run(3)
+	run(4)
+	st := e.Stats()
+	if st.CoreMisses != 2 || st.CoreHits != 1 {
+		t.Fatalf("CoreHits/CoreMisses = %d/%d, want 1/2", st.CoreHits, st.CoreMisses)
+	}
+}

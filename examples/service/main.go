@@ -21,10 +21,14 @@ import (
 
 func main() {
 	// A server with per-query limits, as a deployment would set them.
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxResults:   100_000,
 		QueryTimeout: time.Minute,
 	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
 	if err := srv.AddGraph("demo", kbiplex.RandomBipartite(300, 300, 3, 7)); err != nil {
 		panic(err)
 	}

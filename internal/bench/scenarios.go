@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // Fixed seeds: every scenario is deterministic given its seed, which is
@@ -31,6 +33,7 @@ const (
 	seedCoreIndex = 3
 	seedBuild     = 17
 	seedService   = 23
+	seedStore     = 29
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -56,6 +59,7 @@ func Scenarios() []Scenario {
 		table1Scenario(),
 		delayScenario(),
 		ndjsonStreamScenario(),
+		snapshotRoundtripScenario(),
 	}
 }
 
@@ -329,7 +333,10 @@ func ndjsonStreamScenario() Scenario {
 		solutions int64
 	}
 	setup := sync.OnceValue(func() env {
-		srv := server.New(server.Config{})
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
 		if err := srv.AddGraph("bench", gen.ER(40, 40, 2, seedService)); err != nil {
 			panic("bench: " + err.Error())
 		}
@@ -359,6 +366,57 @@ func ndjsonStreamScenario() Scenario {
 				if bytes, _ := streamOnce(e.client, e.url); bytes != e.bytesPerQ {
 					b.Fatalf("response size changed mid-run: %d vs %d", bytes, e.bytesPerQ)
 				}
+			}
+		},
+	}
+}
+
+// --- store: snapshot durability hot path ---
+
+func snapshotRoundtripScenario() Scenario {
+	type env struct {
+		cat *store.Catalog
+		g   *bigraph.Graph
+	}
+	setup := sync.OnceValue(func() env {
+		dir, err := os.MkdirTemp("", "kbench-store-")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		// Like the leaked test server above, the directory lives for the
+		// benchmark process; rebuilding a catalog per measurement would
+		// time the setup, not the snapshot path.
+		cat, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return env{cat: cat, g: gen.ER(1500, 1500, 4, seedStore)}
+	})
+	roundtrip := func() int64 {
+		e := setup()
+		if _, err := e.cat.Add("bench", e.g, true); err != nil {
+			panic("bench: " + err.Error())
+		}
+		if !e.cat.Evict("bench") {
+			panic("bench: evict failed")
+		}
+		eng, err := e.cat.Engine("bench")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return int64(eng.Graph().NumEdges())
+	}
+	return Scenario{
+		Name:  "store/snapshot-roundtrip",
+		Group: "store",
+		Doc:   "catalog persist + evict + re-hydrate: snapshot write, manifest commit, CRC-checked read",
+		Quick: true,
+		Count: roundtrip,
+		Run: func(b *testing.B) {
+			setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				roundtrip()
 			}
 		},
 	}

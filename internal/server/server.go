@@ -1,16 +1,21 @@
 // Package server exposes the kbiplex query engine over HTTP. One Server
-// manages a set of named graphs, each wrapped in a kbiplex.Engine so the
-// transpose and (α,β)-core preprocessing are computed once and shared by
-// every query against that graph.
+// manages a set of named graphs through a persistent catalog
+// (internal/store): each graph is wrapped in a kbiplex.Engine so the
+// transpose and (α,β)-core preprocessing are computed once and shared
+// by every query against that graph, and graphs loaded with persist=true
+// survive restarts as CRC-checked binary snapshots under the data
+// directory. A memory budget, when set, lets the catalog evict cold
+// engines and re-hydrate them from their snapshots on demand.
 //
 // Endpoints (all responses JSON; enumeration streams NDJSON):
 //
 //	GET    /healthz                       liveness + uptime
-//	GET    /stats                         server-wide and per-graph counters
-//	GET    /graphs                        list loaded graphs
-//	POST   /graphs                        load a graph (inline edges, file path, or random)
+//	GET    /stats                         server, store and per-graph counters
+//	GET    /graphs                        list cataloged graphs
+//	POST   /graphs                        load a graph (inline edges, file path,
+//	                                      random, or a binary snapshot body)
 //	GET    /graphs/{name}                 one graph's shape and engine stats
-//	DELETE /graphs/{name}                 unload a graph
+//	DELETE /graphs/{name}                 unload a graph (snapshot included)
 //	GET    /graphs/{name}/enumerate       stream MBPs as NDJSON
 //	GET    /graphs/{name}/largest?k=1     largest balanced MBP
 //
@@ -24,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/store"
 )
 
 // maxSide and maxRandomEdges bound what POST /graphs will materialize:
@@ -42,7 +49,12 @@ const (
 	maxRandomEdges = 1 << 27
 )
 
-// Config bounds what the service accepts and what each query may cost.
+// SnapshotContentType is the POST /graphs media type for raw binary
+// snapshot bodies (kbiplex.WriteBinaryGraph output). Name and persist
+// travel as query parameters since the body is opaque.
+const SnapshotContentType = "application/x-kbiplex-snapshot"
+
+// Config bounds the service's durability, memory and per-query costs.
 type Config struct {
 	// MaxResults caps every enumeration query (0 = unlimited); it is
 	// passed through to each graph's Engine.
@@ -58,32 +70,52 @@ type Config struct {
 	AllowPathLoad bool
 	// MaxLoadBytes caps a POST /graphs request body (default 64 MiB).
 	MaxLoadBytes int64
+	// DataDir, when non-empty, is the persistent catalog directory:
+	// graphs loaded with persist=true are snapshotted there and recovered
+	// on the next start. Empty disables persistence.
+	DataDir string
+	// MemoryBudget caps the estimated resident bytes of loaded graphs
+	// (0 = unlimited); the catalog evicts the least-recently-used
+	// persisted engines past it. See store.Config.MemoryBudget.
+	MemoryBudget int64
 }
 
-// Server routes HTTP traffic onto kbiplex engines. Create one with New;
-// it is safe for concurrent use.
+// Server routes HTTP traffic onto kbiplex engines owned by a persistent
+// graph catalog. Create one with New; it is safe for concurrent use.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-
-	mu     sync.RWMutex
-	graphs map[string]*kbiplex.Engine
+	cfg     Config
+	mux     *http.ServeMux
+	catalog *store.Catalog
 
 	start    time.Time
 	queries  atomic.Int64
 	streamed atomic.Int64
 }
 
-// New builds a server with no graphs loaded.
-func New(cfg Config) *Server {
+// New builds a server over the catalog in cfg.DataDir (or a memory-only
+// catalog when unset), recovering any previously persisted graphs. The
+// recovered graphs stay cold until queried or warmed (see WarmAll).
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxLoadBytes <= 0 {
 		cfg.MaxLoadBytes = 64 << 20
 	}
+	catalog, err := store.Open(store.Config{
+		Dir:          cfg.DataDir,
+		MemoryBudget: cfg.MemoryBudget,
+		Engine: kbiplex.EngineConfig{
+			MaxResults: cfg.MaxResults,
+			Timeout:    cfg.QueryTimeout,
+			SpillDir:   cfg.SpillDir,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		graphs: make(map[string]*kbiplex.Engine),
-		start:  time.Now(),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		catalog: catalog,
+		start:   time.Now(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -93,39 +125,58 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
 	s.mux.HandleFunc("GET /graphs/{name}/enumerate", s.handleEnumerate)
 	s.mux.HandleFunc("GET /graphs/{name}/largest", s.handleLargest)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// AddGraph registers g under name, replacing any previous graph with
-// that name. It is how embedders (and kbiplexd's -load flag) preload
-// graphs without going through HTTP.
+// AddGraph registers g under name as a memory-only graph, replacing any
+// previous graph with that name. It is how embedders (and kbiplexd's
+// -load flag) preload graphs without going through HTTP; use
+// AddGraphPersist to also snapshot the graph to the data directory.
 func (s *Server) AddGraph(name string, g *kbiplex.Graph) error {
-	if name == "" {
-		return errors.New("server: graph name must be non-empty")
-	}
-	eng := kbiplex.NewEngine(g, kbiplex.EngineConfig{
-		MaxResults: s.cfg.MaxResults,
-		Timeout:    s.cfg.QueryTimeout,
-		SpillDir:   s.cfg.SpillDir,
-	})
-	// Materialize the engine's shared view state at load time. Cheap
-	// today (see Engine.Warm); the core index intentionally stays lazy.
-	eng.Warm()
-	s.mu.Lock()
-	s.graphs[name] = eng
-	s.mu.Unlock()
-	return nil
+	_, err := s.catalog.Add(name, g, false)
+	return err
 }
 
-// engine looks up a graph's engine by name.
-func (s *Server) engine(name string) (*kbiplex.Engine, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	eng, ok := s.graphs[name]
-	return eng, ok
+// AddGraphPersist registers g under name and snapshots it to the data
+// directory so it survives restarts. It fails when the server was built
+// without a DataDir.
+func (s *Server) AddGraphPersist(name string, g *kbiplex.Graph) error {
+	_, err := s.catalog.Add(name, g, true)
+	return err
+}
+
+// WarmAll hydrates every cold cataloged graph (typically the ones
+// recovered from the data directory at startup). Per-graph failures go
+// to report when non-nil; the failed graphs stay cataloged.
+func (s *Server) WarmAll(report func(name string, err error)) {
+	s.catalog.Warm(report)
+}
+
+// Infos lists the cataloged graphs (resident or not), sorted by name.
+func (s *Server) Infos() []store.Info { return s.catalog.Infos() }
+
+// Close flushes the catalog manifest and releases resident engines.
+// In-flight queries keep the engine references they hold.
+func (s *Server) Close() error { return s.catalog.Close() }
+
+// engine resolves a graph name to its (possibly re-hydrated) engine,
+// writing the HTTP error itself when resolution fails.
+func (s *Server) engine(w http.ResponseWriter, name string) (*kbiplex.Engine, bool) {
+	eng, err := s.catalog.Engine(name)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
+		} else {
+			// The graph is cataloged but its snapshot would not load —
+			// an operational fault, not a client one.
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, false
+	}
+	return eng, true
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -135,38 +186,56 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// graphInfo is the per-graph stats document.
+// graphInfo is the per-graph stats document. Engine counters are zero
+// for graphs that are cataloged but not resident (not yet hydrated, or
+// evicted under memory pressure).
 type graphInfo struct {
 	Name      string `json:"name"`
 	NumLeft   int    `json:"num_left"`
 	NumRight  int    `json:"num_right"`
 	NumEdges  int    `json:"num_edges"`
+	Persisted bool   `json:"persisted"`
+	Resident  bool   `json:"resident"`
 	Queries   int64  `json:"queries"`
 	Active    int64  `json:"active_queries"`
 	Solutions int64  `json:"solutions_served"`
 }
 
 func (s *Server) graphInfos() []graphInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]graphInfo, 0, len(s.graphs))
-	for name, eng := range s.graphs {
-		st := eng.Stats()
-		out = append(out, graphInfo{
-			Name: name, NumLeft: st.NumLeft, NumRight: st.NumRight, NumEdges: st.NumEdges,
-			Queries: st.Queries, Active: st.Active, Solutions: st.Solutions,
-		})
+	infos := s.catalog.Infos()
+	out := make([]graphInfo, 0, len(infos))
+	for _, info := range infos {
+		gi := graphInfo{
+			Name: info.Name, NumLeft: info.NumLeft, NumRight: info.NumRight, NumEdges: info.NumEdges,
+			Persisted: info.Persisted, Resident: info.Resident,
+		}
+		if eng, ok := s.catalog.EngineIfResident(info.Name); ok {
+			st := eng.Stats()
+			gi.Queries, gi.Active, gi.Solutions = st.Queries, st.Active, st.Solutions
+		}
+		out = append(out, gi)
 	}
 	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	infos := s.graphInfos()
+	st := s.catalog.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds":     time.Since(s.start).Seconds(),
 		"queries":            s.queries.Load(),
 		"solutions_streamed": s.streamed.Load(),
 		"graphs":             infos,
+		"store": map[string]any{
+			"graphs":         st.Graphs,
+			"persisted":      st.Persisted,
+			"resident":       st.Resident,
+			"resident_bytes": st.ResidentBytes,
+			"memory_budget":  st.MemoryBudget,
+			"hits":           st.Hits,
+			"hydrations":     st.Hydrations,
+			"evictions":      st.Evictions,
+		},
 	})
 }
 
@@ -174,14 +243,16 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.graphInfos())
 }
 
-// loadRequest is the POST /graphs body. Exactly one of Edges, Path and
-// Random must be set.
+// loadRequest is the POST /graphs JSON body. Exactly one of Edges, Path
+// and Random must be set; Persist additionally snapshots the graph to
+// the server's data directory.
 type loadRequest struct {
 	Name     string     `json:"name"`
 	NumLeft  int        `json:"num_left"`
 	NumRight int        `json:"num_right"`
 	Edges    [][2]int32 `json:"edges"`
 	Path     string     `json:"path"`
+	Persist  bool       `json:"persist"`
 	Random   *struct {
 		NumLeft  int     `json:"num_left"`
 		NumRight int     `json:"num_right"`
@@ -191,6 +262,10 @@ type loadRequest struct {
 }
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct == SnapshotContentType {
+		s.handleLoadSnapshot(w, r)
+		return
+	}
 	var req loadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxLoadBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -253,36 +328,109 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		g = kbiplex.RandomBipartite(rr.NumLeft, rr.NumRight, rr.Density, rr.Seed)
 	}
-	if err := s.AddGraph(req.Name, g); err != nil {
+	s.finishLoad(w, req.Name, g, req.Persist)
+}
+
+// handleLoadSnapshot loads a raw binary snapshot body. The body is
+// opaque bytes, so name and persist travel as query parameters:
+//
+//	POST /graphs?name=orders&persist=true
+//	Content-Type: application/x-kbiplex-snapshot
+func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("query parameter name is required for snapshot bodies"))
+		return
+	}
+	persist, err := parseBoolParam(r, "persist")
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	g, err := kbiplex.ReadBinaryGraph(http.MaxBytesReader(w, r.Body, s.cfg.MaxLoadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
+		return
+	}
+	if g.NumLeft() > maxSide || g.NumRight() > maxSide {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("snapshot sides must be at most %d", maxSide))
+		return
+	}
+	s.finishLoad(w, name, g, persist)
+}
+
+// finishLoad registers the decoded graph and writes the 201 response.
+func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph, persist bool) {
+	var err error
+	if persist {
+		err = s.AddGraphPersist(name, g)
+	} else {
+		err = s.AddGraph(name, g)
+	}
+	if err != nil {
+		// The request itself was already validated (name, decoded graph),
+		// so a catalog failure here is the server's fault — a full disk,
+		// an unwritable data dir — not the client's. The one structural
+		// case gets its own code: persist against a dir-less deployment.
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNoDir) {
+			status = http.StatusNotImplemented
+		}
+		writeError(w, status, err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": req.Name, "num_left": g.NumLeft(), "num_right": g.NumRight(), "num_edges": g.NumEdges(),
+		"name": name, "num_left": g.NumLeft(), "num_right": g.NumRight(), "num_edges": g.NumEdges(),
+		"persisted": persist,
 	})
+}
+
+// parseBoolParam reads an optional boolean query parameter.
+func parseBoolParam(r *http.Request, key string) (bool, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("parameter %s: %w", key, err)
+	}
+	return b, nil
 }
 
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	eng, ok := s.engine(name)
+	info, ok := s.catalog.Info(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
 		return
 	}
-	st := eng.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"name": name, "num_left": st.NumLeft, "num_right": st.NumRight, "num_edges": st.NumEdges,
-		"queries": st.Queries, "active_queries": st.Active, "solutions_served": st.Solutions,
-		"cached_cores": st.CachedCores, "core_index_built": st.CoreIndexBuilt,
-	})
+	doc := map[string]any{
+		"name": name, "num_left": info.NumLeft, "num_right": info.NumRight, "num_edges": info.NumEdges,
+		"persisted": info.Persisted, "resident": info.Resident,
+	}
+	// Engine counters only exist while the engine is resident; a cold
+	// (recovered or evicted) graph still answers from the manifest.
+	if eng, ok := s.catalog.EngineIfResident(name); ok {
+		st := eng.Stats()
+		doc["queries"] = st.Queries
+		doc["active_queries"] = st.Active
+		doc["solutions_served"] = st.Solutions
+		doc["cached_cores"] = st.CachedCores
+		doc["core_cache_hits"] = st.CoreHits
+		doc["core_cache_misses"] = st.CoreMisses
+		doc["core_index_built"] = st.CoreIndexBuilt
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	_, ok := s.graphs[name]
-	delete(s.graphs, name)
-	s.mu.Unlock()
+	ok, err := s.catalog.Delete(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
 		return
@@ -290,30 +438,57 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// maxQueryParam bounds every numeric query parameter: far above any
+// meaningful value, far below where downstream arithmetic could
+// overflow.
+const maxQueryParam = 1<<31 - 1
+
 // queryOptions parses the enumeration parameters shared by /enumerate
-// and /largest from the URL query string.
+// and /largest from the URL query string. Values are bounds-checked
+// here so malformed requests fail with a 400 instead of leaking into
+// Options normalization (where, e.g., a negative max_results would
+// silently mean "unlimited").
 func queryOptions(r *http.Request) (kbiplex.Options, int, error) {
 	q := r.URL.Query()
 	var opts kbiplex.Options
 	var workers int
-	intField := func(key string, dst *int) error {
+	intField := func(key string, dst *int, minValue int) error {
 		v := q.Get(key)
 		if v == "" {
 			return nil
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil {
+			if errors.Is(err, strconv.ErrRange) {
+				return fmt.Errorf("parameter %s: value %s overflows", key, v)
+			}
 			return fmt.Errorf("parameter %s: %w", key, err)
+		}
+		if n < minValue {
+			return fmt.Errorf("parameter %s must be at least %d, got %d", key, minValue, n)
+		}
+		if n > maxQueryParam {
+			return fmt.Errorf("parameter %s must be at most %d, got %d", key, maxQueryParam, n)
 		}
 		*dst = n
 		return nil
 	}
-	for key, dst := range map[string]*int{
-		"k": &opts.K, "k_left": &opts.KLeft, "k_right": &opts.KRight,
-		"min_left": &opts.MinLeft, "min_right": &opts.MinRight,
-		"max_results": &opts.MaxResults, "workers": &workers,
+	// workers alone may be negative: workers=-1 means "all cores" to the
+	// parallel driver.
+	for _, p := range []struct {
+		key      string
+		dst      *int
+		minValue int
+	}{
+		{"k", &opts.K, 1},
+		{"k_left", &opts.KLeft, 1},
+		{"k_right", &opts.KRight, 1},
+		{"min_left", &opts.MinLeft, 0},
+		{"min_right", &opts.MinRight, 0},
+		{"max_results", &opts.MaxResults, 0},
+		{"workers", &workers, -maxQueryParam},
 	} {
-		if err := intField(key, dst); err != nil {
+		if err := intField(p.key, p.dst, p.minValue); err != nil {
 			return opts, 0, err
 		}
 	}
@@ -348,11 +523,6 @@ type summaryLine struct {
 }
 
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engine(r.PathValue("name"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", r.PathValue("name")))
-		return
-	}
 	opts, workers, err := queryOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -362,6 +532,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	// possible; past this point errors travel in the NDJSON trailer.
 	if err := opts.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng, ok := s.engine(w, r.PathValue("name"))
+	if !ok {
 		return
 	}
 	s.queries.Add(1)
@@ -417,19 +591,18 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLargest(w http.ResponseWriter, r *http.Request) {
-	eng, ok := s.engine(r.PathValue("name"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", r.PathValue("name")))
-		return
-	}
 	k := 1
 	if v := r.URL.Query().Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be a positive integer"))
+		if err != nil || n < 1 || n > maxQueryParam {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter k must be a positive integer at most %d", maxQueryParam))
 			return
 		}
 		k = n
+	}
+	eng, ok := s.engine(w, r.PathValue("name"))
+	if !ok {
+		return
 	}
 	s.queries.Add(1)
 	start := time.Now()

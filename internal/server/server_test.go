@@ -16,10 +16,22 @@ import (
 )
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
-	t.Helper()
-	ts := httptest.NewServer(New(cfg))
-	t.Cleanup(ts.Close)
+	ts, _ := newTestServerPair(t, cfg)
 	return ts
+}
+
+// newTestServerPair also returns the Server for tests that assert on
+// catalog or engine state directly.
+func newTestServerPair(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -365,5 +377,236 @@ func TestStats(t *testing.T) {
 	getJSON(t, ts.URL+"/stats", &st)
 	if st.Queries != 1 || len(st.Graphs) != 1 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestQueryParamValidation table-tests the hardened parameter parsing:
+// negative and overflowing numeric parameters must fail with 400 before
+// reaching Options normalization (where, e.g., a negative max_results
+// would silently mean "unlimited").
+func TestQueryParamValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 6, 6, 1, 1)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"k=-1", http.StatusBadRequest},
+		{"k=0", http.StatusBadRequest},
+		{"k_left=-3", http.StatusBadRequest},
+		{"k_right=0", http.StatusBadRequest},
+		{"k=1&min_left=-1", http.StatusBadRequest},
+		{"k=1&min_right=-2", http.StatusBadRequest},
+		{"k=1&max_results=-5", http.StatusBadRequest},
+		{"k=1&max_results=2147483648", http.StatusBadRequest},        // > 2^31-1
+		{"k=99999999999999999999", http.StatusBadRequest},            // overflows int64
+		{"k=1&min_left=99999999999999999999", http.StatusBadRequest}, // overflows int64
+		{"k=3000000000", http.StatusBadRequest},                      // fits int64, > 2^31-1
+		{"k=1&max_results=0", http.StatusOK},                         // explicit "unlimited" stays valid
+		{"k=1&workers=-1", http.StatusOK},                            // negative workers = all cores
+		{"k=1&min_left=2&min_right=2&max_results=3", http.StatusOK},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + "/graphs/er/enumerate?" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("enumerate?%s: status %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestPersistRestartRoundTrip loads a graph with persist=true, tears the
+// server down, and brings a fresh server up over the same data dir: the
+// graph must be listed, queryable and identical without re-POSTing.
+func TestPersistRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv := newTestServerPair(t, Config{DataDir: dir})
+	body := `{"name":"keep","random":{"num_left":12,"num_right":12,"density":2,"seed":3},"persist":true}`
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("persist load: status %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := newTestServerPair(t, Config{DataDir: dir})
+	var info struct {
+		Persisted bool `json:"persisted"`
+		Resident  bool `json:"resident"`
+		NumEdges  int  `json:"num_edges"`
+	}
+	if resp := getJSON(t, ts2.URL+"/graphs/keep", &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered graph info: status %d", resp.StatusCode)
+	}
+	if !info.Persisted || info.Resident {
+		t.Fatalf("recovered graph should be persisted and cold, got %+v", info)
+	}
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	if info.NumEdges != g.NumEdges() {
+		t.Fatalf("recovered num_edges %d, want %d", info.NumEdges, g.NumEdges())
+	}
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := countStreamed(t, ts2.URL+"/graphs/keep/enumerate?k=1")
+	if n != len(want) {
+		t.Fatalf("recovered enumeration streamed %d solutions, want %d", n, len(want))
+	}
+}
+
+// countStreamed drains an NDJSON enumeration and returns the solution
+// count, failing the test unless the stream ends with done:true.
+func countStreamed(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enumerate: status %d", resp.StatusCode)
+	}
+	n := 0
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done {
+			done = true
+		} else if line.Error != "" {
+			t.Fatalf("stream error: %s", line.Error)
+		} else {
+			n++
+		}
+	}
+	if !done {
+		t.Fatal("stream did not end with done:true")
+	}
+	return n
+}
+
+// TestSnapshotUpload posts a binary snapshot body and checks the graph
+// serves the same solutions as its in-process source.
+func TestSnapshotUpload(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	g := kbiplex.RandomBipartite(10, 10, 2, 5)
+	var buf bytes.Buffer
+	if err := kbiplex.WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/graphs?name=snap", SnapshotContentType, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("snapshot upload: status %d", resp.StatusCode)
+	}
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countStreamed(t, ts.URL+"/graphs/snap/enumerate?k=1"); n != len(want) {
+		t.Fatalf("uploaded snapshot streamed %d solutions, want %d", n, len(want))
+	}
+
+	// Garbage bytes and a missing name must both 400.
+	resp, err = http.Post(ts.URL+"/graphs?name=bad", SnapshotContentType, strings.NewReader("not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage snapshot: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/graphs", SnapshotContentType, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless snapshot: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPersistWithoutDataDir: persist=true against a memory-only server
+// is a deployment mismatch, reported as 501.
+func TestPersistWithoutDataDir(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{"name":"x","random":{"num_left":4,"num_right":4,"density":1,"seed":1},"persist":true}`
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("persist without data dir: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestDeleteReleasesEngine is the regression test for DELETE leaking
+// engine memory: after populating the (α,β)-core cache, deleting the
+// graph must drop the cache (CachedCores back to zero).
+func TestDeleteReleasesEngine(t *testing.T) {
+	ts, srv := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "er", 15, 15, 2.5, 6)
+	// A thresholded query materializes a core reduction in the cache.
+	if n := countStreamed(t, ts.URL+"/graphs/er/enumerate?k=1&min_left=2&min_right=2"); n == 0 {
+		t.Fatal("thresholded query found nothing; the cache assertion would be vacuous")
+	}
+	eng, ok := srv.catalog.EngineIfResident("er")
+	if !ok {
+		t.Fatal("graph not resident")
+	}
+	if st := eng.Stats(); st.CachedCores == 0 {
+		t.Fatalf("expected a cached core after a thresholded query, got %+v", st)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/er", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if st := eng.Stats(); st.CachedCores != 0 {
+		t.Fatalf("delete left %d cached cores; engine memory not released", st.CachedCores)
+	}
+}
+
+// TestStatsStoreSection checks /stats carries the catalog counters.
+func TestStatsStoreSection(t *testing.T) {
+	ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	body := `{"name":"p","random":{"num_left":6,"num_right":6,"density":1,"seed":2},"persist":true}`
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var st struct {
+		Store struct {
+			Graphs    int   `json:"graphs"`
+			Persisted int   `json:"persisted"`
+			Resident  int   `json:"resident"`
+			Hits      int64 `json:"hits"`
+		} `json:"store"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Store.Graphs != 1 || st.Store.Persisted != 1 || st.Store.Resident != 1 {
+		t.Fatalf("store stats: %+v", st.Store)
 	}
 }

@@ -1,0 +1,230 @@
+package store
+
+// Durability tests: every way a crash or bit-rot can mangle the data
+// directory, and the recovery each must get. The discipline under test
+// is the package's crash-safety contract — temp-file + atomic rename
+// for all writes, manifest referencing only published files, snapshots
+// self-checksummed — so corruption is always detected, never served.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedDir builds a catalog with two persisted graphs and returns its
+// dir plus each graph's snapshot path.
+func seedDir(t *testing.T) (dir string, snapshots map[string]string) {
+	t.Helper()
+	dir = t.TempDir()
+	c := openCatalog(t, Config{Dir: dir})
+	mustAdd(t, c, "alpha", testGraph(1), true)
+	mustAdd(t, c, "beta", testGraph(2), true)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, map[string]string{
+		"alpha": filepath.Join(dir, fileForName("alpha")),
+		"beta":  filepath.Join(dir, fileForName("beta")),
+	}
+}
+
+// TestCorruptSnapshotCRC flips one payload byte: the catalog must open
+// (listing the graph) but refuse to hydrate it, and the other graph
+// must be unaffected.
+func TestCorruptSnapshotCRC(t *testing.T) {
+	dir, snaps := seedDir(t)
+	data, err := os.ReadFile(snaps["alpha"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snaps["alpha"], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := openCatalog(t, Config{Dir: dir})
+	if len(c.Infos()) != 2 {
+		t.Fatalf("catalog should still list both graphs: %+v", c.Infos())
+	}
+	_, err = c.Engine("alpha")
+	if err == nil {
+		t.Fatal("corrupt snapshot hydrated without error")
+	}
+	if eng, err2 := c.Engine("beta"); err2 != nil || eng == nil {
+		t.Fatalf("intact graph affected by sibling corruption: %v", err2)
+	}
+	// The failure is persistent, not sticky-fatal: retrying reports the
+	// same error rather than panicking or wedging the catalog.
+	if _, err2 := c.Engine("alpha"); err2 == nil {
+		t.Fatal("second hydration attempt of corrupt snapshot succeeded")
+	}
+	if c.Stats().Resident != 1 {
+		t.Fatalf("resident count after corrupt hydration: %+v", c.Stats())
+	}
+}
+
+// TestTruncatedSnapshot cuts a snapshot short (the classic torn write —
+// though the rename discipline makes it unreachable in normal
+// operation, disks misbehave).
+func TestTruncatedSnapshot(t *testing.T) {
+	dir, snaps := seedDir(t)
+	if err := os.Truncate(snaps["beta"], 10); err != nil {
+		t.Fatal(err)
+	}
+	c := openCatalog(t, Config{Dir: dir})
+	if _, err := c.Engine("beta"); err == nil {
+		t.Fatal("truncated snapshot hydrated without error")
+	}
+	if _, err := c.Engine("alpha"); err != nil {
+		t.Fatalf("intact graph affected: %v", err)
+	}
+}
+
+// TestTornManifest overwrites the manifest with truncated JSON: Open
+// must set it aside and rebuild the catalog by rescanning the
+// (self-checksummed) snapshot files.
+func TestTornManifest(t *testing.T) {
+	dir, _ := seedDir(t)
+	manifest := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := openCatalog(t, Config{Dir: dir})
+	infos := c.Infos()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("rescan recovered %+v, want alpha+beta", infos)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := c.Engine(name); err != nil {
+			t.Fatalf("recovered graph %s does not hydrate: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(manifest + ".corrupt"); err != nil {
+		t.Fatalf("torn manifest not set aside: %v", err)
+	}
+	// The rebuilt manifest is durable: a second open must not rescan.
+	c.Close()
+	c2 := openCatalog(t, Config{Dir: dir})
+	if len(c2.Infos()) != 2 {
+		t.Fatalf("rebuilt manifest lost graphs: %+v", c2.Infos())
+	}
+}
+
+// TestMissingManifest deletes the manifest entirely (same recovery path
+// as torn, minus the .corrupt aside).
+func TestMissingManifest(t *testing.T) {
+	dir, _ := seedDir(t)
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	c := openCatalog(t, Config{Dir: dir})
+	if len(c.Infos()) != 2 {
+		t.Fatalf("rescan after deleted manifest recovered %+v", c.Infos())
+	}
+}
+
+// TestTornManifestWithCorruptSnapshot: rescans fully verify snapshots,
+// so a corrupt one is quarantined instead of adopted.
+func TestTornManifestWithCorruptSnapshot(t *testing.T) {
+	dir, snaps := seedDir(t)
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snaps["alpha"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01 // break the trailer CRC
+	if err := os.WriteFile(snaps["alpha"], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := openCatalog(t, Config{Dir: dir})
+	infos := c.Infos()
+	if len(infos) != 1 || infos[0].Name != "beta" {
+		t.Fatalf("rescan adopted a corrupt snapshot: %+v", infos)
+	}
+	if _, err := os.Stat(snaps["alpha"] + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+// TestManifestEntryWithMissingFile simulates a crash between Delete's
+// unlink and its manifest rewrite: the dangling entry is dropped and
+// the manifest repaired.
+func TestManifestEntryWithMissingFile(t *testing.T) {
+	dir, snaps := seedDir(t)
+	if err := os.Remove(snaps["alpha"]); err != nil {
+		t.Fatal(err)
+	}
+	c := openCatalog(t, Config{Dir: dir})
+	infos := c.Infos()
+	if len(infos) != 1 || infos[0].Name != "beta" {
+		t.Fatalf("dangling manifest entry served: %+v", infos)
+	}
+	c.Close()
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "alpha") {
+		t.Fatal("repaired manifest still references the missing snapshot")
+	}
+}
+
+// TestForeignManifest: a manifest that parses but carries another
+// kbcatalog schema belongs to an incompatible build — Open must refuse
+// rather than rebuild over (and thereby downgrade) that build's state.
+// Non-catalog JSON, by contrast, is just corruption: rebuild.
+func TestForeignManifest(t *testing.T) {
+	dir, _ := seedDir(t)
+	manifest := filepath.Join(dir, manifestName)
+	if err := os.WriteFile(manifest, []byte(`{"schema":"kbcatalog/v999","graphs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("newer-schema manifest not refused: %v", err)
+	}
+
+	if err := os.WriteFile(manifest, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := openCatalog(t, Config{Dir: dir})
+	if len(c.Infos()) != 2 {
+		t.Fatalf("non-catalog-JSON recovery got %+v", c.Infos())
+	}
+}
+
+// TestSwappedSnapshotsDetected: two internally-valid snapshots swapped
+// on disk pass bigraph's payload CRC but not the manifest's whole-file
+// checksum — hydration must refuse both.
+func TestSwappedSnapshotsDetected(t *testing.T) {
+	dir, snaps := seedDir(t)
+	a, err := os.ReadFile(snaps["alpha"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(snaps["beta"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps["alpha"], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snaps["beta"], a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := openCatalog(t, Config{Dir: dir})
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := c.Engine(name); err == nil || !strings.Contains(err.Error(), "manifest") {
+			t.Fatalf("swapped snapshot %s served: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,732 @@
+// Package store is the persistent graph catalog behind the kbiplex
+// service: it owns graph lifecycle end-to-end, from durable on-disk
+// snapshots to the in-memory query engines built over them.
+//
+// On disk a catalog is a directory of immutable per-graph binary
+// snapshots (the bigraph binio format, CRC-checked on every read) plus
+// one versioned JSON manifest recording each graph's name, format,
+// shape and checksum. Every mutation follows the same crash-safe
+// discipline: new bytes land in a temp file first and are published
+// with an atomic rename, and the manifest is rewritten the same way
+// after the data files it references are in place. Open recovers
+// cleanly from whatever a crash left behind — stray temp files are
+// swept, manifest entries whose snapshot vanished are dropped, and a
+// torn (unparseable) manifest is set aside and rebuilt by rescanning
+// the snapshot files themselves.
+//
+// In memory the catalog manages one kbiplex.Engine per graph under an
+// optional byte budget: engines hydrate from their snapshot on first
+// use, a clock-ordered LRU evicts the coldest persisted engines when
+// the estimated resident bytes exceed the budget, and evicted graphs
+// re-hydrate transparently on the next query. Ephemeral graphs (added
+// with persist=false) have no snapshot to fall back on and are never
+// evicted. Hit, hydration and eviction counters are exposed through
+// Stats for the service's /stats endpoint.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	kbiplex "repro"
+	"repro/internal/bigraph"
+)
+
+// ManifestSchema identifies the manifest JSON layout; Open refuses
+// manifests written by an incompatible build.
+const ManifestSchema = "kbcatalog/v1"
+
+// SnapshotFormat names the snapshot encoding recorded per manifest
+// entry (the bigraph binio magic, sans newline).
+const SnapshotFormat = "kbpgrf1"
+
+// snapshotExt is the snapshot filename suffix.
+const snapshotExt = ".kbg"
+
+// manifestName is the catalog's manifest filename.
+const manifestName = "manifest.json"
+
+// tmpPrefix marks in-flight temp files; Open sweeps leftovers. Snapshot
+// filenames cannot collide with it (see fileForName).
+const tmpPrefix = ".tmp-"
+
+// ErrNotFound reports a name the catalog does not hold.
+var ErrNotFound = errors.New("store: graph not found")
+
+// ErrNoDir reports a persistence request against a memory-only catalog.
+var ErrNoDir = errors.New("store: persistence disabled (catalog has no data directory)")
+
+// Config configures a catalog.
+type Config struct {
+	// Dir is the data directory for snapshots and the manifest; it is
+	// created if missing. Empty means memory-only: graphs live and die
+	// with the process and persist=true adds are rejected.
+	Dir string
+	// MemoryBudget caps the estimated resident bytes of hydrated graph
+	// snapshots (0 = unlimited). When an add or hydration pushes the
+	// estimate past the budget, the least-recently-used persisted
+	// engines are evicted until it fits; ephemeral graphs are pinned.
+	MemoryBudget int64
+	// Engine configures every engine the catalog builds.
+	Engine kbiplex.EngineConfig
+}
+
+// Info describes one cataloged graph without forcing hydration.
+type Info struct {
+	Name      string
+	NumLeft   int
+	NumRight  int
+	NumEdges  int
+	Persisted bool // has an on-disk snapshot to re-hydrate from
+	Resident  bool // engine currently in memory
+}
+
+// Stats is a point-in-time snapshot of the catalog's counters.
+type Stats struct {
+	// Graphs, Persisted and Resident count cataloged graphs, ones with
+	// on-disk snapshots, and ones with an engine in memory.
+	Graphs, Persisted, Resident int
+	// ResidentBytes is the estimated memory held by resident graph
+	// snapshots (CSR arrays; engine caches are not included).
+	ResidentBytes int64
+	// MemoryBudget echoes Config.MemoryBudget.
+	MemoryBudget int64
+	// Hits counts Engine calls answered by a resident engine,
+	// Hydrations counts snapshot loads (cold opens and re-hydrations
+	// after eviction), and Evictions counts engines dropped under
+	// memory pressure or by Evict.
+	Hits, Hydrations, Evictions int64
+}
+
+// manifest is the on-disk catalog index.
+type manifest struct {
+	Schema string          `json:"schema"`
+	Graphs []manifestEntry `json:"graphs"`
+}
+
+// manifestEntry records one persisted graph.
+type manifestEntry struct {
+	Name     string `json:"name"`
+	File     string `json:"file"`
+	Format   string `json:"format"`
+	NumLeft  int    `json:"num_left"`
+	NumRight int    `json:"num_right"`
+	NumEdges int    `json:"num_edges"`
+	// CRC32 is the snapshot's embedded payload checksum — the trailing
+	// four bytes of the binio format, which fingerprint the content.
+	// Hydration compares it so a snapshot swapped or regenerated behind
+	// the catalog's back — internally valid but not the recorded file —
+	// is refused, not served. Zero means unrecorded (no check). (A CRC
+	// of the *whole* file would be useless: a stream ending in its own
+	// CRC hashes to a constant residue, the same for every snapshot.)
+	CRC32     uint32 `json:"crc32"`
+	SavedUnix int64  `json:"saved_unix"`
+}
+
+// entry is one cataloged graph. The engine pointer and accounting
+// fields are guarded by Catalog.mu; hydrate serializes slow snapshot
+// loads per entry so other graphs' queries never wait on them.
+type entry struct {
+	manifestEntry
+	persisted bool
+
+	hydrate sync.Mutex // held while loading the snapshot
+	eng     *kbiplex.Engine
+	bytes   int64 // footprint estimate while resident
+	lastUse int64 // catalog clock value of the last Engine/Add touch
+	deleted bool  // set by Delete; late hydrations must not resurrect
+}
+
+// Catalog is a set of named graphs with durable snapshots and
+// budget-managed engines. It is safe for concurrent use.
+type Catalog struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	clock   int64
+	stats   Stats
+}
+
+// Open loads (or initializes) the catalog in cfg.Dir. Graphs recorded
+// in the manifest become available immediately but stay cold: their
+// snapshots are read on first use (or via Warm). See the package
+// comment for the crash-recovery behavior.
+func Open(cfg Config) (*Catalog, error) {
+	c := &Catalog{cfg: cfg, entries: make(map[string]*entry)}
+	c.stats.MemoryBudget = cfg.MemoryBudget
+	if cfg.Dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Sweep temp files a crash left mid-publish; they were never part
+	// of the durable state.
+	stray, _ := filepath.Glob(filepath.Join(cfg.Dir, tmpPrefix+"*"))
+	for _, p := range stray {
+		os.Remove(p)
+	}
+
+	m, rescan, err := readManifest(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if rescan {
+		m, err = rebuildManifest(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirty := rescan
+	for _, me := range m.Graphs {
+		if _, err := os.Stat(filepath.Join(cfg.Dir, me.File)); err != nil {
+			// The snapshot is gone (a crash between Delete's unlink and
+			// its manifest rewrite): drop the entry rather than serve a
+			// graph that cannot hydrate.
+			dirty = true
+			continue
+		}
+		c.entries[me.Name] = &entry{manifestEntry: me, persisted: true}
+	}
+	if dirty {
+		if err := c.writeManifestLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// readManifest parses the manifest. rescan=true means the manifest is
+// missing or torn and the directory should be rebuilt from snapshots. A
+// manifest that parses cleanly but carries a different kbcatalog schema
+// is neither: it belongs to an incompatible build, and rebuilding would
+// silently discard that build's metadata, so Open refuses instead.
+func readManifest(dir string) (m manifest, rescan bool, err error) {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, true, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err == nil && m.Schema != ManifestSchema &&
+		strings.HasPrefix(m.Schema, "kbcatalog/") {
+		return manifest{}, false, fmt.Errorf("store: manifest schema %q; this build reads %q", m.Schema, ManifestSchema)
+	}
+	if err != nil || m.Schema != ManifestSchema {
+		// Torn (or non-catalog) manifest: set it aside for inspection
+		// and recover from the (self-checksummed) snapshots.
+		os.Rename(path, path+".corrupt")
+		return manifest{}, true, nil
+	}
+	return m, false, nil
+}
+
+// rebuildManifest reconstructs the manifest by scanning and fully
+// verifying every snapshot file in dir. Unreadable or corrupt snapshots
+// are set aside with a .corrupt suffix rather than adopted.
+func rebuildManifest(dir string) (manifest, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+snapshotExt))
+	if err != nil {
+		return manifest{}, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(paths)
+	m := manifest{Schema: ManifestSchema}
+	for _, p := range paths {
+		name, ok := nameForFile(filepath.Base(p))
+		if !ok {
+			continue
+		}
+		g, sum, err := readSnapshotChecked(p)
+		if err != nil {
+			os.Rename(p, p+".corrupt")
+			continue
+		}
+		m.Graphs = append(m.Graphs, manifestEntry{
+			Name: name, File: filepath.Base(p), Format: SnapshotFormat,
+			NumLeft: g.NumLeft(), NumRight: g.NumRight(), NumEdges: g.NumEdges(),
+			CRC32: sum, SavedUnix: time.Now().Unix(),
+		})
+	}
+	return m, nil
+}
+
+// readSnapshotChecked decodes a snapshot (which verifies the embedded
+// payload CRC against the content) and returns that CRC — the checksum
+// the manifest records.
+func readSnapshotChecked(path string) (*bigraph.Graph, uint32, error) {
+	g, err := bigraph.ReadBinaryFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	sum, err := snapshotChecksum(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, sum, nil
+}
+
+// snapshotChecksum reads a snapshot's embedded payload CRC — the
+// trailing four little-endian bytes of the binio format.
+func snapshotChecksum(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(-4, io.SeekEnd); err != nil {
+		return 0, fmt.Errorf("%s: reading checksum trailer: %w", path, err)
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return 0, fmt.Errorf("%s: reading checksum trailer: %w", path, err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// fileForName maps a graph name to its snapshot filename: URL path
+// escaping keeps arbitrary names filesystem-safe, and a leading dot is
+// re-escaped so no snapshot can collide with the temp-file prefix.
+func fileForName(name string) string {
+	esc := url.PathEscape(name)
+	if strings.HasPrefix(esc, ".") {
+		esc = "%2E" + esc[1:]
+	}
+	return esc + snapshotExt
+}
+
+// nameForFile inverts fileForName.
+func nameForFile(file string) (string, bool) {
+	esc, ok := strings.CutSuffix(file, snapshotExt)
+	if !ok {
+		return "", false
+	}
+	name, err := url.PathUnescape(esc)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// graphBytes estimates the resident size of a graph snapshot: both CSR
+// offset arrays plus both adjacency arrays (the transpose is a mirror
+// view sharing the same storage).
+func graphBytes(g *kbiplex.Graph) int64 {
+	return 8*int64(g.NumLeft()+g.NumRight()+2) + 2*4*int64(g.NumEdges())
+}
+
+// Add registers g under name, replacing any previous graph with that
+// name. With persist=true the graph is first written to an immutable
+// snapshot (temp file + atomic rename + directory fsync) and recorded
+// in the manifest, so it survives restarts; persist=false graphs are
+// memory-only and pinned. The returned engine is warmed and ready to
+// serve queries. On error the catalog does not hold the new graph (a
+// failed replacement leaves the name absent, matching the error the
+// caller reports).
+func (c *Catalog) Add(name string, g *kbiplex.Graph, persist bool) (*kbiplex.Engine, error) {
+	if name == "" {
+		return nil, errors.New("store: graph name must be non-empty")
+	}
+	if persist && c.cfg.Dir == "" {
+		return nil, ErrNoDir
+	}
+	e := &entry{persisted: persist}
+	e.Name = name
+	e.NumLeft, e.NumRight, e.NumEdges = g.NumLeft(), g.NumRight(), g.NumEdges()
+	var tmp string
+	if persist {
+		// The slow part — serializing the graph — runs unlocked so bulk
+		// loads of different graphs overlap; only the publication rename
+		// happens under the catalog lock, which keeps the snapshot file,
+		// the entry and the manifest consistent under concurrent Adds of
+		// the same name.
+		var err error
+		tmp, e.CRC32, err = c.writeTempSnapshot(g)
+		if err != nil {
+			return nil, err
+		}
+		e.File = fileForName(name)
+		e.Format = SnapshotFormat
+		e.SavedUnix = time.Now().Unix()
+	}
+	eng := kbiplex.NewEngine(g, c.cfg.Engine)
+	eng.Warm()
+	e.eng = eng
+	e.bytes = graphBytes(g)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if persist {
+		if err := os.Rename(tmp, filepath.Join(c.cfg.Dir, e.File)); err != nil {
+			os.Remove(tmp)
+			return nil, fmt.Errorf("store: publishing snapshot: %w", err)
+		}
+	}
+	old, hadOld := c.entries[name]
+	if hadOld {
+		c.dropResidentLocked(old)
+		old.deleted = true
+		if old.persisted && !persist {
+			// The replacement is ephemeral: the stale snapshot must not
+			// resurrect the old graph on restart.
+			os.Remove(filepath.Join(c.cfg.Dir, old.File))
+		}
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.entries[name] = e
+	c.stats.ResidentBytes += e.bytes
+	c.evictForBudgetLocked(e)
+	if c.cfg.Dir != "" {
+		if err := c.writeManifestLocked(); err != nil {
+			// Roll back so memory matches the durable state the caller
+			// will be told about: the name ends up absent. (A replaced
+			// predecessor is already gone — its snapshot was overwritten
+			// or unlinked above — so "absent" is the one consistent
+			// outcome still reachable.)
+			c.dropResidentLocked(e)
+			e.deleted = true
+			delete(c.entries, name)
+			if persist {
+				os.Remove(filepath.Join(c.cfg.Dir, e.File))
+			}
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// writeTempSnapshot serializes g into an fsynced temp file in the
+// catalog dir, returning its path and payload checksum. The caller
+// publishes it with a rename.
+func (c *Catalog) writeTempSnapshot(g *kbiplex.Graph) (string, uint32, error) {
+	f, err := os.CreateTemp(c.cfg.Dir, tmpPrefix+"*")
+	if err != nil {
+		return "", 0, fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (string, uint32, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := bigraph.WriteBinary(f, g); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	sum, err := snapshotChecksum(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("store: %w", err)
+	}
+	return tmp, sum, nil
+}
+
+// syncDir fsyncs a directory so preceding renames/unlinks in it survive
+// power loss — on POSIX, durable renames need the parent flushed too.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeManifestLocked atomically rewrites the manifest from the current
+// entries. Caller holds c.mu.
+func (c *Catalog) writeManifestLocked() error {
+	m := manifest{Schema: ManifestSchema}
+	for _, e := range c.entries {
+		if e.persisted {
+			m.Graphs = append(m.Graphs, e.manifestEntry)
+		}
+	}
+	sort.Slice(m.Graphs, func(i, j int) bool { return m.Graphs[i].Name < m.Graphs[j].Name })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.CreateTemp(c.cfg.Dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(c.cfg.Dir, manifestName)); err != nil {
+		return fail(err)
+	}
+	// One directory fsync covers the manifest rename and any snapshot
+	// renames/unlinks the same mutation performed before it: every
+	// durable change funnels through this rewrite last.
+	if err := syncDir(c.cfg.Dir); err != nil {
+		return fmt.Errorf("store: syncing catalog dir: %w", err)
+	}
+	return nil
+}
+
+// Engine returns name's engine, hydrating it from its snapshot if it is
+// not resident. Concurrent callers for the same cold graph share one
+// load; callers for other graphs are never blocked by it.
+func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	c.clock++
+	e.lastUse = c.clock
+	if e.eng != nil {
+		c.stats.Hits++
+		eng := e.eng
+		c.mu.Unlock()
+		return eng, nil
+	}
+	c.mu.Unlock()
+
+	e.hydrate.Lock()
+	defer e.hydrate.Unlock()
+	c.mu.Lock()
+	if e.deleted {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if e.eng != nil { // another caller hydrated while we waited
+		c.stats.Hits++
+		eng := e.eng
+		c.mu.Unlock()
+		return eng, nil
+	}
+	c.mu.Unlock()
+
+	g, sum, err := readSnapshotChecked(filepath.Join(c.cfg.Dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("store: hydrating %q: %w", name, err)
+	}
+	// Beyond the snapshot's own payload CRC, the file must be the one
+	// the manifest recorded — this catches an internally-valid snapshot
+	// swapped or regenerated behind the catalog's back. (A zero manifest
+	// checksum means "unrecorded" and skips the comparison.)
+	if e.CRC32 != 0 && sum != e.CRC32 {
+		return nil, fmt.Errorf("store: hydrating %q: snapshot checksum %08x does not match manifest %08x", name, sum, e.CRC32)
+	}
+	eng := kbiplex.NewEngine(g, c.cfg.Engine)
+	eng.Warm()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.deleted {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.eng = eng
+	e.bytes = graphBytes(g)
+	c.stats.ResidentBytes += e.bytes
+	c.stats.Hydrations++
+	c.clock++
+	e.lastUse = c.clock
+	c.evictForBudgetLocked(e)
+	return eng, nil
+}
+
+// evictForBudgetLocked evicts least-recently-used persisted engines
+// until the resident estimate fits the budget. keep (the entry being
+// served) and ephemeral entries are never evicted. Caller holds c.mu.
+func (c *Catalog) evictForBudgetLocked(keep *entry) {
+	if c.cfg.MemoryBudget <= 0 {
+		return
+	}
+	for c.stats.ResidentBytes > c.cfg.MemoryBudget {
+		var victim *entry
+		for _, e := range c.entries {
+			if e == keep || e.eng == nil || !e.persisted {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.dropResidentLocked(victim)
+		c.stats.Evictions++
+	}
+}
+
+// dropResidentLocked releases an entry's resident engine, returning its
+// cache memory. Caller holds c.mu.
+func (c *Catalog) dropResidentLocked(e *entry) {
+	if e.eng == nil {
+		return
+	}
+	e.eng.Release()
+	e.eng = nil
+	c.stats.ResidentBytes -= e.bytes
+	e.bytes = 0
+}
+
+// Evict drops name's resident engine, keeping its snapshot, and reports
+// whether an engine was resident. Ephemeral graphs cannot be evicted
+// (there is nothing to re-hydrate them from).
+func (c *Catalog) Evict(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || !e.persisted || e.eng == nil {
+		return false
+	}
+	c.dropResidentLocked(e)
+	c.stats.Evictions++
+	return true
+}
+
+// Delete removes name from the catalog: the engine is released, the
+// snapshot (if any) is unlinked before the manifest drops the entry, so
+// a crash in between is recovered as a clean delete. It reports whether
+// the graph existed.
+func (c *Catalog) Delete(name string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return false, nil
+	}
+	c.dropResidentLocked(e)
+	e.deleted = true
+	delete(c.entries, name)
+	if e.persisted {
+		os.Remove(filepath.Join(c.cfg.Dir, e.File))
+		if err := c.writeManifestLocked(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Info returns name's catalog record without hydrating it.
+func (c *Catalog) Info(name string) (Info, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return Info{}, false
+	}
+	return c.infoLocked(e), true
+}
+
+func (c *Catalog) infoLocked(e *entry) Info {
+	return Info{
+		Name: e.Name, NumLeft: e.NumLeft, NumRight: e.NumRight, NumEdges: e.NumEdges,
+		Persisted: e.persisted, Resident: e.eng != nil,
+	}
+}
+
+// Infos lists every cataloged graph, sorted by name.
+func (c *Catalog) Infos() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, c.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EngineIfResident returns name's engine only when it is already in
+// memory — stats paths use it to report engine counters without
+// triggering a hydration.
+func (c *Catalog) EngineIfResident(name string) (*kbiplex.Engine, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.eng == nil {
+		return nil, false
+	}
+	return e.eng, true
+}
+
+// Warm hydrates every cold cataloged graph, honoring the memory budget
+// (under a tight budget the LRU may immediately re-evict earlier
+// graphs). Per-graph failures — e.g. a snapshot corrupted on disk — go
+// to report (when non-nil) and do not stop the sweep; the failed graph
+// stays cataloged and its queries keep returning the hydration error.
+func (c *Catalog) Warm(report func(name string, err error)) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.entries))
+	for name, e := range c.entries {
+		if e.eng == nil {
+			names = append(names, name)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := c.Engine(name); err != nil && report != nil {
+			report(name, err)
+		}
+	}
+}
+
+// Stats snapshots the catalog's counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Graphs = len(c.entries)
+	for _, e := range c.entries {
+		if e.persisted {
+			st.Persisted++
+		}
+		if e.eng != nil {
+			st.Resident++
+		}
+	}
+	return st
+}
+
+// Close flushes the manifest and releases every resident engine. The
+// catalog must not be used afterwards.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	if c.cfg.Dir != "" {
+		err = c.writeManifestLocked()
+	}
+	for _, e := range c.entries {
+		c.dropResidentLocked(e)
+	}
+	return err
+}

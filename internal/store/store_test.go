@@ -1,0 +1,308 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	kbiplex "repro"
+)
+
+// testGraph builds a deterministic graph distinguishable by seed.
+func testGraph(seed int64) *kbiplex.Graph {
+	return kbiplex.RandomBipartite(12, 12, 2, seed)
+}
+
+func openCatalog(t *testing.T, cfg Config) *Catalog {
+	t.Helper()
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustAdd(t *testing.T, c *Catalog, name string, g *kbiplex.Graph, persist bool) *kbiplex.Engine {
+	t.Helper()
+	eng, err := c.Add(name, g, persist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// solutionsOf enumerates through an engine, as a behavioral fingerprint
+// of the underlying graph.
+func solutionsOf(t *testing.T, eng *kbiplex.Engine) int64 {
+	t.Helper()
+	st, err := eng.Enumerate(context.Background(), kbiplex.Options{K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Solutions
+}
+
+func TestMemoryOnlyLifecycle(t *testing.T) {
+	c := openCatalog(t, Config{})
+	mustAdd(t, c, "a", testGraph(1), false)
+
+	if _, err := c.Engine("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Engine("missing"); err == nil {
+		t.Fatal("missing graph did not error")
+	}
+	if _, err := c.Add("p", testGraph(2), true); err != ErrNoDir {
+		t.Fatalf("persist on memory-only catalog: err = %v, want ErrNoDir", err)
+	}
+	if ok, _ := c.Delete("a"); !ok {
+		t.Fatal("delete reported the graph missing")
+	}
+	if ok, _ := c.Delete("a"); ok {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := openCatalog(t, Config{Dir: dir})
+	g := testGraph(7)
+	want := solutionsOf(t, mustAdd(t, c, "orders/2024", g, true)) // a name needing escaping
+	mustAdd(t, c, "ephemeral", testGraph(8), false)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openCatalog(t, Config{Dir: dir})
+	infos := c2.Infos()
+	if len(infos) != 1 || infos[0].Name != "orders/2024" {
+		t.Fatalf("recovered %+v, want just orders/2024 (ephemeral graphs die with the process)", infos)
+	}
+	if infos[0].Resident {
+		t.Fatal("recovered graph should be cold until queried")
+	}
+	if infos[0].NumEdges != g.NumEdges() {
+		t.Fatalf("manifest num_edges %d, want %d", infos[0].NumEdges, g.NumEdges())
+	}
+	eng, err := c2.Engine("orders/2024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionsOf(t, eng); got != want {
+		t.Fatalf("recovered graph enumerates %d solutions, want %d", got, want)
+	}
+	st := c2.Stats()
+	if st.Hydrations != 1 {
+		t.Fatalf("stats after one cold query: %+v", st)
+	}
+}
+
+func TestReplaceAndDeleteCleanDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := openCatalog(t, Config{Dir: dir})
+	mustAdd(t, c, "g", testGraph(1), true)
+
+	// Replacing a persisted graph with an ephemeral one must drop the
+	// stale snapshot, or a restart would resurrect the old bytes.
+	mustAdd(t, c, "g", testGraph(2), false)
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "*"+snapshotExt)); len(snaps) != 0 {
+		t.Fatalf("stale snapshot survived ephemeral replacement: %v", snaps)
+	}
+
+	mustAdd(t, c, "g", testGraph(3), true)
+	if ok, err := c.Delete("g"); !ok || err != nil {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "*"+snapshotExt)); len(snaps) != 0 {
+		t.Fatalf("delete left snapshots behind: %v", snaps)
+	}
+	c.Close()
+	c2 := openCatalog(t, Config{Dir: dir})
+	if infos := c2.Infos(); len(infos) != 0 {
+		t.Fatalf("deleted graph resurrected after reopen: %+v", infos)
+	}
+}
+
+// TestDeleteReleasesEngine: deleting must return the engine's cache
+// memory — CachedCores drops to zero even for callers still holding the
+// engine.
+func TestDeleteReleasesEngine(t *testing.T) {
+	c := openCatalog(t, Config{})
+	eng := mustAdd(t, c, "g", kbiplex.RandomBipartite(15, 15, 2.5, 6), false)
+	if _, err := eng.Enumerate(context.Background(), kbiplex.Options{K: 1, MinLeft: 2, MinRight: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CachedCores == 0 {
+		t.Fatalf("thresholded query cached no core: %+v", st)
+	}
+	if ok, _ := c.Delete("g"); !ok {
+		t.Fatal("delete failed")
+	}
+	if st := eng.Stats(); st.CachedCores != 0 {
+		t.Fatalf("delete left %d cached cores", st.CachedCores)
+	}
+}
+
+// TestEvictionUnderBudget: with a budget fitting roughly one graph, the
+// second add evicts the first, and the evicted graph transparently
+// re-hydrates on demand.
+func TestEvictionUnderBudget(t *testing.T) {
+	g1, g2 := testGraph(1), testGraph(2)
+	budget := graphBytes(g1) + graphBytes(g2)/2
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget})
+	want1 := solutionsOf(t, mustAdd(t, c, "one", g1, true))
+	mustAdd(t, c, "two", g2, true)
+
+	st := c.Stats()
+	if st.Evictions == 0 || st.Resident != 1 {
+		t.Fatalf("expected the budget to evict one graph: %+v", st)
+	}
+	info, _ := c.Info("one")
+	if info.Resident {
+		t.Fatal("LRU should have evicted the older graph")
+	}
+	eng, err := c.Engine("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionsOf(t, eng); got != want1 {
+		t.Fatalf("re-hydrated graph enumerates %d, want %d", got, want1)
+	}
+	if st := c.Stats(); st.Hydrations != 1 {
+		t.Fatalf("re-hydration not counted: %+v", st)
+	}
+}
+
+// TestEphemeralPinned: ephemeral graphs have no snapshot and must never
+// be evicted, even under an impossible budget.
+func TestEphemeralPinned(t *testing.T) {
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: 1})
+	mustAdd(t, c, "pinned", testGraph(1), false)
+	if info, _ := c.Info("pinned"); !info.Resident {
+		t.Fatal("ephemeral graph evicted despite having no snapshot")
+	}
+	if c.Evict("pinned") {
+		t.Fatal("Evict dropped an ephemeral graph")
+	}
+}
+
+func TestHitCounters(t *testing.T) {
+	c := openCatalog(t, Config{Dir: t.TempDir()})
+	mustAdd(t, c, "g", testGraph(1), true)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Engine("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Hydrations != 0 {
+		t.Fatalf("resident engine lookups: %+v", st)
+	}
+	c.Evict("g")
+	if _, err := c.Engine("g"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hydrations != 1 || st.Evictions != 1 {
+		t.Fatalf("after evict + reload: %+v", st)
+	}
+}
+
+func TestWarmHydratesAll(t *testing.T) {
+	dir := t.TempDir()
+	c := openCatalog(t, Config{Dir: dir})
+	mustAdd(t, c, "a", testGraph(1), true)
+	mustAdd(t, c, "b", testGraph(2), true)
+	c.Close()
+
+	c2 := openCatalog(t, Config{Dir: dir})
+	c2.Warm(func(name string, err error) { t.Errorf("warming %s: %v", name, err) })
+	st := c2.Stats()
+	if st.Resident != 2 || st.Hydrations != 2 {
+		t.Fatalf("warm left the catalog cold: %+v", st)
+	}
+}
+
+func TestNameEscapingRoundTrip(t *testing.T) {
+	for _, name := range []string{"plain", "with/slash", "sp ace", "döt.küb", ".", "..", ".hidden", "%41"} {
+		file := fileForName(name)
+		if filepath.Base(file) != file {
+			t.Errorf("fileForName(%q) = %q escapes the directory", name, file)
+		}
+		back, ok := nameForFile(file)
+		if !ok || back != name {
+			t.Errorf("round trip %q -> %q -> %q (ok=%v)", name, file, back, ok)
+		}
+	}
+	// The temp prefix is reserved: no graph name may produce a file
+	// Open's crash-sweep would delete.
+	for _, name := range []string{".tmp-x", ".tmp-", "."} {
+		if file := fileForName(name); len(file) >= len(tmpPrefix) && file[:len(tmpPrefix)] == tmpPrefix {
+			t.Errorf("fileForName(%q) = %q collides with the temp prefix", name, file)
+		}
+	}
+}
+
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"12345"), []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openCatalog(t, Config{Dir: dir})
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"12345")); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived Open: %v", err)
+	}
+}
+
+// TestConcurrentHydrationEviction hammers one catalog from many
+// goroutines mixing lookups, evictions and deletes — the interleavings
+// the race detector needs to see.
+func TestConcurrentHydrationEviction(t *testing.T) {
+	g := testGraph(1)
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: graphBytes(g) * 3 / 2})
+	mustAdd(t, c, "a", g, true)
+	mustAdd(t, c, "b", testGraph(2), true)
+	mustAdd(t, c, "churn", testGraph(3), true)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				name := []string{"a", "b"}[(w+i)%2]
+				switch i % 4 {
+				case 0:
+					c.Evict(name)
+				case 1:
+					if ok, err := c.Delete("churn"); err != nil {
+						t.Errorf("delete churn: %v", err)
+					} else if ok {
+						if _, err := c.Add("churn", testGraph(3), true); err != nil {
+							t.Errorf("re-add churn: %v", err)
+						}
+					}
+				default:
+					eng, err := c.Engine(name)
+					if err != nil {
+						t.Errorf("engine %s: %v", name, err)
+						return
+					}
+					if eng.Graph().NumEdges() == 0 {
+						t.Error("hydrated an empty graph")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Stats() // must not race with anything above
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Engine(name); err != nil {
+			t.Fatalf("catalog broken after churn: %v", err)
+		}
+	}
+}

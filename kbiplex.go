@@ -37,6 +37,8 @@
 package kbiplex
 
 import (
+	"io"
+
 	"repro/internal/bigraph"
 	"repro/internal/biplex"
 	"repro/internal/gen"
@@ -63,6 +65,21 @@ func NewGraph(numLeft, numRight int, edges [][2]int32) *Graph {
 // comments, 0- or 1-based ids auto-detected — the KONECT format).
 func LoadEdgeList(path string) (*Graph, error) {
 	return bigraph.ReadEdgeListFile(path)
+}
+
+// WriteBinaryGraph serializes g in the checksummed binary snapshot
+// format (magic "KBPGRF1\n"): the format kbiplexd persists graphs in
+// under -data-dir, and the wire format POST /graphs accepts for bodies
+// of type application/x-kbiplex-snapshot. Clients preparing large
+// graphs offline write them once with this and skip text re-parsing.
+func WriteBinaryGraph(w io.Writer, g *Graph) error {
+	return bigraph.WriteBinary(w, g)
+}
+
+// ReadBinaryGraph deserializes a graph written by WriteBinaryGraph,
+// verifying its checksum and structural invariants.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) {
+	return bigraph.ReadBinary(r)
 }
 
 // RandomBipartite generates an Erdős–Rényi bipartite graph with the given
