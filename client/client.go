@@ -1,0 +1,356 @@
+// Package client is the typed Go client of the kbiplexd /v1 API. It
+// wraps the job-oriented query surface — submit a kbiplex.Query
+// against a named graph, poll the job, stream its results — and hides
+// the wire mechanics a hand-rolled consumer gets wrong: URL building,
+// NDJSON framing, and above all resumable delivery. Results returns a
+// standard iterator that records the sequence number of every line it
+// yields and, when the connection dies mid-stream, reconnects at
+// ?cursor=N so the caller sees each solution exactly once without the
+// server re-running anything.
+//
+//	c := client.New("http://localhost:8377")
+//	if err := c.LoadGraph(ctx, "orders", g, true); err != nil { ... }
+//	job, err := c.SubmitJob(ctx, "orders", kbiplex.Query{K: 2, MinLeft: 3, MinRight: 3})
+//	for sol, err := range c.Results(ctx, job.ID) {
+//		if err != nil { ... }
+//		use(sol)
+//	}
+//
+// Graphs upload in the binary snapshot format (kbiplex.WriteBinaryGraph),
+// so large graphs skip text re-parsing on the server.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	kbiplex "repro"
+)
+
+// SnapshotContentType is the POST /v1/graphs media type for binary
+// snapshot bodies (mirrors the server's constant; the client package
+// must not import internal/server).
+const snapshotContentType = "application/x-kbiplex-snapshot"
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// round-trippers).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry tunes the results-stream resume policy: up to attempts
+// consecutive reconnects (default 5), waiting backoff between them
+// (default 200ms). The attempt budget resets whenever a reconnect makes
+// progress, so a long stream survives many distinct disconnects.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *Client) { c.attempts, c.backoff = attempts, backoff }
+}
+
+// Client talks to one kbiplexd base URL. It is safe for concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+// New builds a client for baseURL (e.g. "http://localhost:8377").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:     strings.TrimRight(baseURL, "/"),
+		hc:       http.DefaultClient,
+		attempts: 5,
+		backoff:  200 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Job mirrors the server's job-status document.
+type Job struct {
+	ID        string        `json:"id"`
+	Graph     string        `json:"graph"`
+	State     string        `json:"state"`
+	Query     kbiplex.Query `json:"query"`
+	Results   int64         `json:"results"`
+	Truncated bool          `json:"truncated"`
+	Error     string        `json:"error"`
+	Created   time.Time     `json:"created_at"`
+	Started   *time.Time    `json:"started_at"`
+	Finished  *time.Time    `json:"finished_at"`
+	Stats     *JobStats     `json:"stats"`
+}
+
+// JobStats is the finished run's summary.
+type JobStats struct {
+	Solutions  int64             `json:"solutions"`
+	Algorithm  kbiplex.Algorithm `json:"algorithm"`
+	DurationMS int64             `json:"duration_ms"`
+}
+
+// Terminal reports whether the job has finished (in any way).
+func (j Job) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// APIError is a non-2xx response, decoded from the server's error
+// document when possible.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("kbiplexd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// errorFrom drains resp into an APIError.
+func errorFrom(resp *http.Response) error {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &doc) != nil || doc.Error == "" {
+		doc.Error = string(bytes.TrimSpace(body))
+	}
+	if doc.Error == "" {
+		doc.Error = resp.Status
+	}
+	return &APIError{Status: resp.StatusCode, Message: doc.Error}
+}
+
+// doJSON performs one request and decodes a 2xx JSON response into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return errorFrom(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// LoadGraph uploads g under name in the binary snapshot format;
+// persist=true asks the server to snapshot it to its data directory.
+func (c *Client) LoadGraph(ctx context.Context, name string, g *kbiplex.Graph, persist bool) error {
+	var buf bytes.Buffer
+	if err := kbiplex.WriteBinaryGraph(&buf, g); err != nil {
+		return err
+	}
+	path := "/v1/graphs?name=" + url.QueryEscape(name)
+	if persist {
+		path += "&persist=true"
+	}
+	return c.doJSON(ctx, http.MethodPost, path, &buf, snapshotContentType, nil)
+}
+
+// DeleteGraph unloads name (and its snapshot, if persisted).
+func (c *Client) DeleteGraph(ctx context.Context, name string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, "", nil)
+}
+
+// SubmitJob submits q against the named graph and returns the accepted
+// job (state queued or already running).
+func (c *Client) SubmitJob(ctx context.Context, graph string, q kbiplex.Query) (Job, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return Job{}, err
+	}
+	var job Job
+	err = c.doJSON(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(graph)+"/jobs",
+		bytes.NewReader(body), "application/json", &job)
+	return job, err
+}
+
+// Job fetches the current status document of a job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, "", &job)
+	return job, err
+}
+
+// Jobs lists the server's retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var jobs []Job
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, "", &jobs)
+	return jobs, err
+}
+
+// CancelJob cancels an active job or removes a finished one (the /v1
+// DELETE semantics).
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, "", nil)
+}
+
+// WaitJob polls until the job reaches a terminal state (or ctx ends).
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Results streams a job's solutions from the beginning; see ResultsFrom.
+func (c *Client) Results(ctx context.Context, id string) iter.Seq2[kbiplex.Solution, error] {
+	return c.ResultsFrom(ctx, id, 0)
+}
+
+// ResultsFrom streams a job's solutions starting at cursor, following a
+// live job until it finishes. Delivery is resumable: when the
+// connection dies mid-stream the client reconnects at the cursor of
+// the first undelivered solution, so the sequence yielded is exactly
+// the job's spool suffix, each solution once. After the configured
+// number of consecutive fruitless reconnects — or on any terminal
+// failure (unknown job, job failed, job canceled) — it yields one
+// final (zero Solution, err) pair and stops. Breaking out of the loop
+// closes the underlying response.
+func (c *Client) ResultsFrom(ctx context.Context, id string, cursor int64) iter.Seq2[kbiplex.Solution, error] {
+	return func(yield func(kbiplex.Solution, error) bool) {
+		failures := 0
+		for {
+			progressed, done, err := c.streamOnce(ctx, id, &cursor, yield)
+			if done {
+				return
+			}
+			if err == nil {
+				// Stream ended cleanly but without a trailer verdict (a
+				// proxy or server closing at a frame boundary) — a cut in
+				// different clothes; resume like one.
+				err = fmt.Errorf("results stream for job %s ended without a trailer", id)
+			}
+			var apiErr *APIError
+			if errors.As(err, &apiErr) || ctx.Err() != nil {
+				// Definitive server answer (or our own context died):
+				// retrying cannot help.
+				yield(kbiplex.Solution{}, err)
+				return
+			}
+			if progressed {
+				failures = 0
+			}
+			failures++
+			if failures > c.attempts {
+				yield(kbiplex.Solution{}, fmt.Errorf("results stream for job %s: giving up after %d reconnects: %w", id, failures-1, err))
+				return
+			}
+			select {
+			case <-ctx.Done():
+				yield(kbiplex.Solution{}, ctx.Err())
+				return
+			case <-time.After(c.backoff):
+			}
+		}
+	}
+}
+
+// streamOnce runs one results connection. It advances *cursor past
+// every line it yields; done=true means the iteration is over (job
+// finished and drained, caller broke out, or a terminal error was
+// yielded).
+func (c *Client) streamOnce(ctx context.Context, id string, cursor *int64, yield func(kbiplex.Solution, error) bool) (progressed, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/results?cursor="+strconv.FormatInt(*cursor, 10), nil)
+	if err != nil {
+		return false, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, false, errorFrom(resp)
+	}
+
+	type line struct {
+		// Solution frame.
+		Seq int64   `json:"seq"`
+		L   []int32 `json:"l"`
+		R   []int32 `json:"r"`
+		// Trailer frame.
+		Done       bool   `json:"done"`
+		Error      string `json:"error"`
+		State      string `json:"state"`
+		NextCursor int64  `json:"next_cursor"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return progressed, false, fmt.Errorf("bad NDJSON frame %q: %w", sc.Text(), err)
+		}
+		if l.State != "" {
+			// Trailer: the job's verdict for this stream.
+			if l.Done {
+				return progressed, true, nil
+			}
+			if l.Error != "" {
+				// Either the job itself failed/was canceled, or this
+				// particular stream was drained (server shutdown). Both are
+				// terminal for the iteration; the message says which.
+				yield(kbiplex.Solution{}, fmt.Errorf("job %s: %s (state %s)", id, l.Error, l.State))
+				return progressed, true, nil
+			}
+			return progressed, false, fmt.Errorf("job %s: trailer without verdict (state %s)", id, l.State)
+		}
+		if l.Seq < *cursor {
+			continue // duplicate delivery; skip silently
+		}
+		if l.Seq > *cursor {
+			return progressed, false, fmt.Errorf("job %s: gap in results (seq %d, cursor %d)", id, l.Seq, *cursor)
+		}
+		if !yield(kbiplex.Solution{L: l.L, R: l.R}, nil) {
+			return progressed, true, nil
+		}
+		*cursor++
+		progressed = true
+	}
+	return progressed, false, sc.Err()
+}

@@ -1,0 +1,290 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+	"repro/client"
+	"repro/internal/biplex"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// cutTransport kills results-stream bodies after a fixed number of
+// NDJSON lines, a configured number of times — a deterministic stand-in
+// for a flaky network between client and server.
+type cutTransport struct {
+	base       http.RoundTripper
+	afterLines int
+
+	mu       sync.Mutex
+	cutsLeft int
+	cutsMade int
+}
+
+func (t *cutTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !strings.Contains(req.URL.Path, "/results") {
+		return resp, err
+	}
+	t.mu.Lock()
+	cut := t.cutsLeft > 0
+	if cut {
+		t.cutsLeft--
+		t.cutsMade++
+	}
+	t.mu.Unlock()
+	if cut {
+		resp.Body = &cuttingBody{rc: resp.Body, linesLeft: t.afterLines}
+	}
+	return resp, err
+}
+
+// cuttingBody passes through afterLines newline-terminated lines, then
+// fails every read the way a reset TCP connection would.
+type cuttingBody struct {
+	rc        io.ReadCloser
+	linesLeft int
+}
+
+var errCut = errors.New("connection reset by cutTransport")
+
+func (b *cuttingBody) Read(p []byte) (int, error) {
+	if b.linesLeft <= 0 {
+		return 0, errCut
+	}
+	n, err := b.rc.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' {
+			b.linesLeft--
+			if b.linesLeft == 0 {
+				// Deliver through this newline, then die.
+				return i + 1, nil
+			}
+		}
+	}
+	return n, err
+}
+
+func (b *cuttingBody) Close() error { return b.rc.Close() }
+
+func newServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestEndToEndResume is the PR's acceptance test: upload a graph via
+// the client, submit a job, have the results connection die twice
+// mid-stream, and the resumed iterator must deliver exactly the
+// solution set of a direct Engine/EnumerateAll run — same count, same
+// content, nothing duplicated.
+func TestEndToEndResume(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	ct := &cutTransport{base: ts.Client().Transport, afterLines: 3, cutsLeft: 2}
+	c := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: ct}),
+		client.WithRetry(5, 10*time.Millisecond))
+	ctx := context.Background()
+
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 8 {
+		t.Fatalf("graph too small to survive two cuts meaningfully: %d solutions", len(want))
+	}
+
+	if err := c.LoadGraph(ctx, "er", g, false); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, "er", kbiplex.Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Graph != "er" {
+		t.Fatalf("accepted job doc: %+v", job)
+	}
+
+	var got []kbiplex.Solution
+	for sol, err := range c.Results(ctx, job.ID) {
+		if err != nil {
+			t.Fatalf("results iterator error: %v", err)
+		}
+		got = append(got, sol)
+	}
+	if ct.cutsMade != 2 {
+		t.Fatalf("transport cut %d times, want 2 — the resume path was not exercised", ct.cutsMade)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("client delivered %d solutions, want %d", len(got), len(want))
+	}
+	biplex.SortPairs(got)
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	final, err := c.WaitJob(ctx, job.ID, 10*time.Millisecond)
+	if err != nil || final.State != "done" {
+		t.Fatalf("final job: %+v, %v", final, err)
+	}
+	if final.Stats == nil || final.Stats.Solutions != int64(len(want)) || final.Stats.Algorithm != kbiplex.ITraversal {
+		t.Fatalf("final stats: %+v", final.Stats)
+	}
+	if final.Stats.DurationMS < 0 {
+		t.Fatalf("negative duration: %+v", final.Stats)
+	}
+
+	// DELETE removes the finished job; the id then misses with a typed
+	// 404.
+	if err := c.CancelJob(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Job(ctx, job.ID)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("removed job lookup: %v", err)
+	}
+}
+
+// TestResultsFromOffset: starting at a cursor skips exactly the prefix.
+func TestResultsFromOffset(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	if err := c.LoadGraph(ctx, "er", g, false); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, "er", kbiplex.Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []kbiplex.Solution
+	for sol, err := range c.Results(ctx, job.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sol)
+	}
+	var tail []kbiplex.Solution
+	for sol, err := range c.ResultsFrom(ctx, job.ID, 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, sol)
+	}
+	if len(tail) != len(all)-4 {
+		t.Fatalf("offset stream has %d solutions, want %d", len(tail), len(all)-4)
+	}
+	for i := range tail {
+		if !tail[i].Equal(all[i+4]) {
+			t.Fatalf("offset solution %d differs", i)
+		}
+	}
+	// Breaking out of the loop must not wedge anything (the server sees
+	// the connection close).
+	for range c.Results(ctx, job.ID) {
+		break
+	}
+}
+
+// TestClientErrors: typed errors for unknown jobs/graphs, a canceled
+// job surfacing through the iterator, and give-up after persistent
+// cuts.
+func TestClientErrors(t *testing.T) {
+	ts := newServer(t, server.Config{Jobs: jobs.Config{Workers: 1}})
+	c := client.New(ts.URL, client.WithRetry(2, time.Millisecond))
+	ctx := context.Background()
+
+	if _, err := c.SubmitJob(ctx, "missing", kbiplex.Query{K: 1}); err == nil {
+		t.Fatal("submit against a missing graph succeeded")
+	}
+	var apiErr *client.APIError
+	if _, err := c.Job(ctx, "j-nope"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown job: %v", err)
+	}
+
+	// A failed job (deadline) ends the iterator with one error pair.
+	g := kbiplex.RandomBipartite(150, 150, 4, 9)
+	if err := c.LoadGraph(ctx, "big", g, false); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(ctx, "big", kbiplex.Query{K: 1, Deadline: kbiplex.Duration(30 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for _, err := range c.Results(ctx, job.ID) {
+		if err != nil {
+			sawErr = err
+		}
+	}
+	if sawErr == nil || !strings.Contains(sawErr.Error(), "deadline") {
+		t.Fatalf("deadlined job error: %v", sawErr)
+	}
+
+	// A stream cut on every connection before any line arrives gives up
+	// with a wrapped error instead of retrying forever.
+	if err := c.LoadGraph(ctx, "er", kbiplex.RandomBipartite(12, 12, 2, 3), false); err != nil {
+		t.Fatal(err)
+	}
+	okJob, err := c.SubmitJob(ctx, "er", kbiplex.Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, okJob.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	dead := &cutTransport{base: ts.Client().Transport, afterLines: 0, cutsLeft: 1 << 30}
+	flaky := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: dead}),
+		client.WithRetry(2, time.Millisecond))
+	var gaveUp error
+	for _, err := range flaky.Results(ctx, okJob.ID) {
+		if err != nil {
+			gaveUp = err
+		}
+	}
+	if gaveUp == nil || !strings.Contains(gaveUp.Error(), "giving up") {
+		t.Fatalf("endlessly cut stream: %v, want a giving-up error", gaveUp)
+	}
+
+	// By contrast, a stream that loses its connection after every single
+	// line still completes: the retry budget resets on progress.
+	trickle := &cutTransport{base: ts.Client().Transport, afterLines: 1, cutsLeft: 1 << 30}
+	slow := client.New(ts.URL,
+		client.WithHTTPClient(&http.Client{Transport: trickle}),
+		client.WithRetry(2, time.Millisecond))
+	n := 0
+	for _, err := range slow.Results(ctx, okJob.ID) {
+		if err != nil {
+			t.Fatalf("trickle stream errored: %v", err)
+		}
+		n++
+	}
+	want, _, err := kbiplex.EnumerateAll(kbiplex.RandomBipartite(12, 12, 2, 3), kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("trickle stream delivered %d solutions, want %d", n, len(want))
+	}
+}

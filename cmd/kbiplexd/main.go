@@ -13,10 +13,11 @@
 // CRC-checked binary snapshots under that directory, recovered and
 // warmed at the next boot, and -mem-budget-mb bounds resident graph
 // memory by evicting cold engines (they re-hydrate from snapshot on
-// demand). Endpoints:
+// demand). Endpoints (see package repro/internal/server for the full
+// /v1 job surface, and package repro/client for the typed Go client):
 //
-//	GET    /healthz                  liveness
-//	GET    /stats                    server + store counters
+//	GET    /healthz                  liveness ("draining" during shutdown)
+//	GET    /stats                    server + store + job-pool counters
 //	POST   /graphs                   load a graph (inline edges / random / binary
 //	                                 snapshot body; file paths need -allow-path-load;
 //	                                 persist=true snapshots it under -data-dir)
@@ -24,13 +25,23 @@
 //	GET    /graphs/{name}            graph shape + engine stats
 //	DELETE /graphs/{name}            unload (snapshot included)
 //	GET    /graphs/{name}/enumerate  NDJSON stream of MBPs (k, k_left, k_right, algorithm,
-//	                                 min_left, min_right, max_results, workers)
+//	                                 min_left, min_right, max_results, workers, deadline)
 //	GET    /graphs/{name}/largest    largest balanced MBP (k)
+//	POST   /v1/graphs/{name}/jobs    submit a JSON Query document as a job
+//	GET    /v1/jobs                  list retained jobs
+//	GET    /v1/jobs/{id}             job status + stats
+//	GET    /v1/jobs/{id}/results     NDJSON results from ?cursor=N (resumable)
+//	DELETE /v1/jobs/{id}             cancel (active) / remove (finished)
+//
+// The graph-management routes are mounted under /v1 as well. The job
+// pool is bounded by -job-workers, -job-queue, -job-results and
+// -job-ttl; submissions past the queue depth are rejected with 429.
 //
 // Cancelling a request (client disconnect) or hitting -query-timeout
-// stops the underlying enumeration. SIGINT/SIGTERM shut the server down
-// gracefully: in-flight enumerations abort, and the catalog manifest is
-// flushed before exit.
+// stops the underlying enumeration. SIGINT/SIGTERM drain the daemon
+// gracefully: in-flight NDJSON streams terminate with an error frame
+// naming the shutdown (not a silent TCP cut), running jobs are
+// cancelled, and the catalog manifest is flushed before exit.
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -84,6 +96,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		allowPath    = fs.Bool("allow-path-load", false, "let POST /graphs read edge-list files from server paths")
 		dataDir      = fs.String("data-dir", "", "persistent catalog directory: persist=true graphs snapshot here and are recovered at boot")
 		memBudgetMB  = fs.Int64("mem-budget-mb", 0, "resident graph memory budget in MiB; cold persisted engines are evicted past it (0 = unlimited)")
+		jobWorkers   = fs.Int("job-workers", 0, "concurrent /v1 job executions (0 = default 2)")
+		jobQueue     = fs.Int("job-queue", 0, "admitted-but-waiting /v1 job bound; excess submissions get 429 (0 = default 64)")
+		jobResults   = fs.Int("job-results", 0, "per-job result spool cap; runs are truncated past it (0 = default 262144)")
+		jobTTL       = fs.Duration("job-ttl", 0, "how long finished jobs stay readable (0 = default 10m)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -105,6 +121,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		AllowPathLoad: *allowPath,
 		DataDir:       *dataDir,
 		MemoryBudget:  *memBudgetMB << 20,
+		Jobs: jobs.Config{
+			Workers:    *jobWorkers,
+			QueueDepth: *jobQueue,
+			MaxResults: *jobResults,
+			TTL:        *jobTTL,
+		},
 	})
 	if err != nil {
 		return err
@@ -152,12 +174,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "kbiplexd: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{
-		Handler: srv,
-		// Request contexts derive from ctx, so SIGINT/SIGTERM aborts
-		// in-flight enumerations instead of waiting them out.
-		BaseContext: func(net.Listener) context.Context { return ctx },
-	}
+	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -166,13 +183,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "kbiplexd: shutting down")
+		// Two-phase drain. BeginShutdown cancels every in-flight request
+		// context with a distinguished cause, so long-running NDJSON
+		// streams terminate with an error frame naming the shutdown (and
+		// running jobs finish canceled) instead of being cut mid-line
+		// when the listener dies. Shutdown then waits for those handlers
+		// to flush their final frames.
+		srv.BeginShutdown()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			hs.Close()
 		}
-		// The deferred srv.Close flushes the catalog manifest after the
-		// listener is quiet.
+		// The deferred srv.Close drains the job pool and flushes the
+		// catalog manifest after the listener is quiet.
 		return nil
 	}
 }

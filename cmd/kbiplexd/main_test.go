@@ -208,6 +208,116 @@ func TestRestartRoundTrip(t *testing.T) {
 	}
 }
 
+// TestShutdownDrainsStream is the kbiplexd-level drain regression test:
+// a slow client mid-enumeration must see a final NDJSON error frame
+// naming the shutdown when SIGTERM arrives — not a silently cut
+// connection — and the daemon must still exit within its grace period.
+func TestShutdownDrainsStream(t *testing.T) {
+	base, stop, done := startDaemon(t)
+	body := `{"name":"big","random":{"num_left":150,"num_right":150,"density":4,"seed":9}}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+
+	// Start an effectively endless enumeration and read only a few
+	// lines — a slow client with the stream still open.
+	stream, err := http.Get(base + "/graphs/big/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	for i := 0; i < 3 && sc.Scan(); i++ {
+	}
+
+	stop() // the SIGTERM path
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream cut without a final frame: %v", err)
+	}
+	var frame struct {
+		Done  bool   `json:"done"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &frame); err != nil {
+		t.Fatalf("final frame %q: %v", last, err)
+	}
+	if frame.Done || !strings.Contains(frame.Error, "shutting down") {
+		t.Fatalf("want a shutting-down error frame, got %q", last)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after draining")
+	}
+}
+
+// TestJobFlagsEndToEnd boots the daemon with a bounded job pool and
+// exercises the /v1 surface over real TCP: submit, poll, stream.
+func TestJobFlagsEndToEnd(t *testing.T) {
+	base, stop, done := startDaemon(t, "-job-workers", "1", "-job-queue", "2", "-job-results", "5")
+	defer waitShutdown(t, stop, done)
+	body := `{"name":"er","random":{"num_left":12,"num_right":12,"density":2,"seed":3}}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/v1/graphs/er/jobs", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: status %d, id %q, err %v", resp.StatusCode, job.ID, err)
+	}
+
+	// The -job-results cap truncates the spool at 5.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			State     string `json:"state"`
+			Results   int64  `json:"results"`
+			Truncated bool   `json:"truncated"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.State == "done" {
+			if doc.Results != 5 || !doc.Truncated {
+				t.Fatalf("capped job: %+v, want 5 truncated results", doc)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", doc)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-load", "noequals"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("malformed -load accepted")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"iter"
+	"time"
 
 	"repro/internal/biplex"
 	"repro/internal/core"
@@ -122,8 +123,13 @@ func mergeCancel(ctx context.Context, user func() bool) func() bool {
 // one relay that back-maps ids, counts, and enforces MaxResults both
 // before and after emitting — uniformly, where the pre-redesign code
 // let BTraversal and Inflation check the quota only after the callback.
-func enumerateEnv(ctx context.Context, ev env, o Options, emit func(Solution) bool) (Stats, error) {
-	st := Stats{Algorithm: o.Algorithm}
+// Every entry point returning Stats routes through here or through
+// enumerateParallelEnv, so Stats.Duration is stamped in exactly two
+// places.
+func enumerateEnv(ctx context.Context, ev env, o Options, emit func(Solution) bool) (st Stats, err error) {
+	start := time.Now()
+	defer func() { st.Duration = time.Since(start) }()
+	st = Stats{Algorithm: o.Algorithm}
 	cancel := mergeCancel(ctx, o.Cancel)
 
 	var store core.SolutionStore
@@ -199,10 +205,12 @@ func enumerateEnv(ctx context.Context, ev env, o Options, emit func(Solution) bo
 // normalized and Algorithm must be ITraversal. MaxResults and the Theta
 // filter are enforced inside the parallel driver (its shared, locked
 // counter), so the relay only back-maps.
-func enumerateParallelEnv(ctx context.Context, ev env, o Options, workers int, emit func(Solution) bool) (Stats, error) {
+func enumerateParallelEnv(ctx context.Context, ev env, o Options, workers int, emit func(Solution) bool) (st Stats, err error) {
+	start := time.Now()
+	defer func() { st.Duration = time.Since(start) }()
 	c := ev.reverseOptions(o)
 	c.Cancel = mergeCancel(ctx, o.Cancel)
-	st := Stats{Algorithm: ITraversal}
+	st = Stats{Algorithm: ITraversal}
 	cst, err := core.EnumerateParallel(ev.run, c, workers, func(p Solution) bool {
 		if emit == nil {
 			return true

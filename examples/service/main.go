@@ -1,13 +1,14 @@
-// Service: run the kbiplex HTTP service in-process and query it the way
-// a remote client would — streamed NDJSON enumeration with a deadline,
-// plus the largest-balanced search — all over one shared Engine that
-// caches the graph preprocessing across queries.
+// Service: run the kbiplex HTTP service in-process and drive it through
+// the typed /v1 client the way a remote consumer would — upload a graph
+// as a binary snapshot, submit an enumeration job, stream its results
+// with automatic cursor resume, and read the finished job's stats. The
+// legacy streaming endpoint is also queried once to show both API
+// generations answering from the same engine.
 //
 //	go run ./examples/service
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -16,11 +17,13 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/client"
 	"repro/internal/server"
 )
 
 func main() {
-	// A server with per-query limits, as a deployment would set them.
+	// A server with per-query limits and a bounded job pool, as a
+	// deployment would set them.
 	srv, err := server.New(server.Config{
 		MaxResults:   100_000,
 		QueryTimeout: time.Minute,
@@ -29,65 +32,61 @@ func main() {
 		panic(err)
 	}
 	defer srv.Close()
-	if err := srv.AddGraph("demo", kbiplex.RandomBipartite(300, 300, 3, 7)); err != nil {
-		panic(err)
-	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	// Stream the first MBPs of a large-MBP query; the context deadline
-	// bounds the whole request, and closing the body cancels the
-	// server-side enumeration.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		ts.URL+"/graphs/demo/enumerate?k=1&min_left=3&min_right=3&max_results=5", nil)
-	if err != nil {
-		panic(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		panic(err)
-	}
-	defer resp.Body.Close()
+	c := client.New(ts.URL)
 
-	fmt.Println("== streamed large-MBP query (θ=3, first 5) ==")
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		var line struct {
-			L     []int32 `json:"l"`
-			R     []int32 `json:"r"`
-			Done  bool    `json:"done"`
-			Error string  `json:"error"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+	// Upload the graph in the binary snapshot format — no text
+	// re-parsing server-side.
+	if err := c.LoadGraph(ctx, "demo", kbiplex.RandomBipartite(300, 300, 3, 7), false); err != nil {
+		panic(err)
+	}
+
+	// Submit a large-MBP query as a job: the work is admitted into the
+	// server's pool and survives this client's connection.
+	job, err := c.SubmitJob(ctx, "demo", kbiplex.Query{
+		K: 1, MinLeft: 3, MinRight: 3, MaxResults: 5,
+		Deadline: kbiplex.Duration(20 * time.Second),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("== job %s: large-MBP query (θ=3, first 5) ==\n", job.ID)
+
+	// Stream the results. If this connection died mid-stream the
+	// iterator would reconnect at the cursor of the first undelivered
+	// solution — nothing lost, nothing repeated.
+	for sol, err := range c.Results(ctx, job.ID) {
+		if err != nil {
 			panic(err)
 		}
-		switch {
-		case line.Error != "":
-			panic(line.Error)
-		case line.Done:
-			fmt.Println("stream done")
-		default:
-			fmt.Printf("L=%v R=%v\n", line.L, line.R)
-		}
+		fmt.Printf("L=%v R=%v\n", sol.L, sol.R)
 	}
-	if err := sc.Err(); err != nil {
+	fmt.Println("stream done")
+
+	// The finished job's status document carries the run's stats.
+	final, err := c.Job(ctx, job.ID)
+	if err != nil {
 		panic(err)
 	}
+	fmt.Printf("job state=%s algorithm=%s solutions=%d wall=%dms\n",
+		final.State, final.Stats.Algorithm, final.Stats.Solutions, final.Stats.DurationMS)
 
-	// The same engine now answers the balanced-search endpoint; its
-	// binary-search probes reuse the cached (α,β)-core reductions.
+	// The same engine still answers the legacy balanced-search endpoint;
+	// its binary-search probes reuse the cached (α,β)-core reductions.
 	var largest struct {
 		Found        bool `json:"found"`
 		BalancedSize int  `json:"balanced_size"`
 	}
-	resp2, err := http.Get(ts.URL + "/graphs/demo/largest?k=1")
+	resp, err := http.Get(ts.URL + "/graphs/demo/largest?k=1")
 	if err != nil {
 		panic(err)
 	}
-	defer resp2.Body.Close()
-	if err := json.NewDecoder(resp2.Body).Decode(&largest); err != nil {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&largest); err != nil {
 		panic(err)
 	}
 	fmt.Printf("largest balanced MBP: found=%v min(|L|,|R|)=%d\n", largest.Found, largest.BalancedSize)

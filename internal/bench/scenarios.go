@@ -12,6 +12,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/client"
 	"repro/internal/bicoreindex"
 	"repro/internal/bigraph"
 	"repro/internal/biplex"
@@ -34,6 +35,7 @@ const (
 	seedBuild     = 17
 	seedService   = 23
 	seedStore     = 29
+	seedJobs      = 31
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -59,6 +61,7 @@ func Scenarios() []Scenario {
 		table1Scenario(),
 		delayScenario(),
 		ndjsonStreamScenario(),
+		jobRoundtripScenario(),
 		snapshotRoundtripScenario(),
 	}
 }
@@ -365,6 +368,67 @@ func ndjsonStreamScenario() Scenario {
 			for i := 0; i < b.N; i++ {
 				if bytes, _ := streamOnce(e.client, e.url); bytes != e.bytesPerQ {
 					b.Fatalf("response size changed mid-run: %d vs %d", bytes, e.bytesPerQ)
+				}
+			}
+		},
+	}
+}
+
+// jobRoundtripScenario times the whole /v1 job surface per operation:
+// submit a query document, execute it through the worker pool into the
+// spool, and stream every spooled result back over HTTP with the typed
+// client. The per-op cost is what one fully delivered job costs a
+// deployment.
+func jobRoundtripScenario() Scenario {
+	type env struct {
+		c         *client.Client
+		solutions int64
+	}
+	roundtrip := func(c *client.Client) int64 {
+		job, err := c.SubmitJob(context.Background(), "bench", kbiplex.Query{K: 1})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		var n int64
+		for _, err := range c.Results(context.Background(), job.ID) {
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			n++
+		}
+		// Drop the finished job so the retained-job table stays flat
+		// across iterations.
+		if err := c.CancelJob(context.Background(), job.ID); err != nil {
+			panic("bench: " + err.Error())
+		}
+		return n
+	}
+	setup := sync.OnceValue(func() env {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if err := srv.AddGraph("bench", gen.ER(40, 40, 2, seedJobs)); err != nil {
+			panic("bench: " + err.Error())
+		}
+		// Like the ndjson scenario's server, this one lives for the
+		// benchmark process.
+		ts := httptest.NewServer(srv)
+		c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+		return env{c: c, solutions: roundtrip(c)}
+	})
+	return Scenario{
+		Name:  "server/job-roundtrip",
+		Group: "server",
+		Doc:   "submit a /v1 job, run it through the pool, stream the full spool via the typed client",
+		Quick: true,
+		Count: func() int64 { return setup().solutions },
+		Run: func(b *testing.B) {
+			e := setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := roundtrip(e.c); n != e.solutions {
+					b.Fatalf("job delivered %d solutions, want %d", n, e.solutions)
 				}
 			}
 		},

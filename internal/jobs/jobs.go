@@ -1,0 +1,572 @@
+// Package jobs turns one-shot enumeration runs into first-class,
+// resumable jobs: a client submits a kbiplex.Query against a named
+// graph, a bounded worker pool executes it, and the solutions land in a
+// per-job in-memory spool keyed by monotonically increasing sequence
+// numbers. Delivery is therefore resumable — a reader that lost its
+// connection after sequence N asks for the spool from cursor N and sees
+// exactly the suffix it missed, while the enumeration itself never
+// re-runs.
+//
+// Admission control is explicit and bounded everywhere a client could
+// otherwise grow server memory without limit: the submit queue has a
+// fixed depth (ErrQueueFull past it), the spool is capped per job
+// (Config.MaxResults clamps the query's own cap), retained jobs are
+// bounded in number (ErrTooManyJobs) and expire TTL after finishing,
+// and each run carries the query's deadline (plus Config.MaxDeadline as
+// a ceiling).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kbiplex "repro"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the server layer.
+var (
+	// ErrNotFound reports an unknown (or expired) job id.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull reports that the submit queue is at capacity.
+	ErrQueueFull = errors.New("jobs: submit queue full")
+	// ErrTooManyJobs reports that the retained-job bound is reached.
+	ErrTooManyJobs = errors.New("jobs: too many retained jobs")
+	// ErrDraining reports a submit against a manager that is shutting
+	// down.
+	ErrDraining = errors.New("jobs: manager shutting down")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config bounds a Manager. Zero values take the defaults noted per
+// field.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (default 64).
+	QueueDepth int
+	// MaxResults caps each job's result spool: a query asking for more
+	// (or for everything) is clamped to this many solutions, and the
+	// job is marked truncated when the clamp bit. Default 1<<18; it is
+	// the product of the retained-job bound and the spool cap that
+	// bounds the manager's memory.
+	MaxResults int
+	// MaxJobs bounds retained jobs, running and finished together
+	// (default 256). Submits past it fail with ErrTooManyJobs until
+	// old jobs expire or are deleted.
+	MaxJobs int
+	// TTL is how long a finished job (and its spool) stays readable
+	// (default 10m). Expired jobs are pruned on the next submit or
+	// lookup.
+	TTL time.Duration
+	// MaxDeadline, when positive, caps every job's run time; a query
+	// deadline beyond it (or a query without one) is clamped to it.
+	MaxDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 1 << 18
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.TTL <= 0 {
+		c.TTL = 10 * time.Minute
+	}
+	return c
+}
+
+// Runner executes one admitted query. The server provides one per
+// submit, closed over the graph's engine; emit is safe for concurrent
+// use (the spool append is locked), so parallel drivers may call it
+// from many goroutines.
+type Runner func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error)
+
+// Snapshot is a point-in-time view of one job, safe to retain.
+type Snapshot struct {
+	ID    string
+	Graph string
+	Query kbiplex.Query
+	State State
+	// Results is the spool length so far — equivalently, the first
+	// cursor value past everything currently readable.
+	Results int64
+	// Truncated reports that the spool cap cut the run short of what
+	// the query asked for.
+	Truncated bool
+	// Stats is the finished run's summary (zero while the job is
+	// queued or running).
+	Stats kbiplex.Stats
+	// Err is the terminal error of a failed or canceled job.
+	Err      error
+	Created  time.Time
+	Started  time.Time // zero until running
+	Finished time.Time // zero until terminal
+}
+
+// Job is one submitted enumeration. All fields are private; read
+// through Snapshot and Results.
+type Job struct {
+	id     string
+	graph  string
+	query  kbiplex.Query
+	run    Runner
+	capped bool // cfg.MaxResults clamped the query's own cap
+
+	mu   sync.Mutex
+	cond sync.Cond
+
+	state     State
+	spool     []kbiplex.Solution
+	truncated bool
+	stats     kbiplex.Stats
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancelRequested bool
+	cancelRun       context.CancelCauseFunc // set while running
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Snapshot captures the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.id, Graph: j.graph, Query: j.query,
+		State: j.state, Results: int64(len(j.spool)), Truncated: j.truncated,
+		Stats: j.stats, Err: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// terminalLocked reports whether the job is finished; j.mu must be held.
+func (j *Job) terminalLocked() bool { return j.state.Terminal() }
+
+// Results yields the job's solutions with their sequence numbers,
+// starting at cursor. It follows a live job — blocking (cooperatively
+// with ctx) until more solutions arrive — and ends when the job is
+// terminal and the spool is drained, or when ctx is cancelled. The
+// caller decides, via a final Snapshot, whether the job ended cleanly.
+func (j *Job) Results(ctx context.Context, cursor int64) iter.Seq2[int64, kbiplex.Solution] {
+	return func(yield func(int64, kbiplex.Solution) bool) {
+		if cursor < 0 {
+			cursor = 0
+		}
+		// Wake blocked waiters when the context dies; Broadcast under the
+		// lock so a wakeup cannot slip between a waiter's condition check
+		// and its Wait.
+		stop := context.AfterFunc(ctx, func() {
+			j.mu.Lock()
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		})
+		defer stop()
+		for {
+			j.mu.Lock()
+			for cursor >= int64(len(j.spool)) && !j.terminalLocked() && ctx.Err() == nil {
+				j.cond.Wait()
+			}
+			if cursor < int64(len(j.spool)) {
+				s := j.spool[cursor]
+				j.mu.Unlock()
+				if !yield(cursor, s) {
+					return
+				}
+				cursor++
+				continue
+			}
+			done := j.terminalLocked()
+			j.mu.Unlock()
+			if done || ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// ManagerStats is a point-in-time summary of a manager's activity.
+type ManagerStats struct {
+	Submitted int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	Canceled  int64
+	Queued    int
+	Running   int
+	Retained  int
+}
+
+// Manager owns the worker pool and the retained-job table. Create one
+// with NewManager; it is safe for concurrent use.
+type Manager struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int64
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewManager starts cfg.Workers workers. Cancelling parent (or calling
+// Close) cancels every running job and stops the pool; pass
+// context.Background() when no broader lifecycle applies.
+func NewManager(parent context.Context, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(parent)
+	m := &Manager{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and admits one query. The returned job is already
+// queued; its results can be followed immediately.
+func (m *Manager) Submit(graph string, q kbiplex.Query, run Runner) (*Job, error) {
+	if err := q.Validate(); err != nil {
+		m.rejected.Add(1)
+		return nil, err
+	}
+	j := &Job{
+		graph: graph, query: q, run: run,
+		state: StateQueued, created: time.Now(),
+	}
+	j.cond.L = &j.mu
+
+	m.mu.Lock()
+	// The drain check, the map insert and the enqueue share the mutex
+	// Close sweeps under: either this submit sees the cancelled context
+	// here, or Close's sweep sees the job and finishes it canceled — a
+	// check before the lock could slip a job in after the sweep and
+	// strand it queued forever.
+	if m.ctx.Err() != nil {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.pruneLocked()
+	if len(m.jobs) >= m.cfg.MaxJobs {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrTooManyJobs
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j%08d", m.seq)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	return j, nil
+}
+
+// Get resolves a job id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List snapshots every retained job, newest submission first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	m.pruneLocked()
+	all := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j)
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(all))
+	for i, j := range all {
+		out[i] = j.Snapshot()
+	}
+	// Ids are zero-padded monotonic counters, so lexicographic order is
+	// submission order.
+	slices.SortFunc(out, func(a, b Snapshot) int { return strings.Compare(b.ID, a.ID) })
+	return out
+}
+
+// Cancel requests cancellation: a queued job finishes canceled without
+// running, a running job's context is cancelled, a terminal job is left
+// as it ended (not an error — cancellation is idempotent).
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancelRequested = true
+	switch j.state {
+	case StateQueued:
+		m.finishLocked(j, StateCanceled, context.Canceled)
+	case StateRunning:
+		j.cancelRun(context.Canceled)
+	}
+	return nil
+}
+
+// Remove deletes a terminal job, freeing its spool. Active jobs are
+// refused so a cursor can never dangle while its producer still runs —
+// cancel first.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	terminal := j.terminalLocked()
+	j.mu.Unlock()
+	if !terminal {
+		return errors.New("jobs: job still active; cancel it first")
+	}
+	delete(m.jobs, id)
+	return nil
+}
+
+// Stats summarizes the manager.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{
+		Submitted: m.submitted.Load(),
+		Rejected:  m.rejected.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Canceled:  m.canceled.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st.Retained = len(m.jobs)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	return st
+}
+
+// Close drains the pool: submits start failing, queued jobs finish
+// canceled, running jobs' contexts are cancelled with cause, and Close
+// waits (bounded by ctx) for the workers to exit.
+func (m *Manager) Close(ctx context.Context, cause error) error {
+	m.closeOnce.Do(func() {
+		if cause == nil {
+			cause = ErrDraining
+		}
+		m.cancel(cause)
+		// Queued jobs the workers will never reach (they exit on ctx
+		// cancellation) must not stay "queued" forever.
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			if j.state == StateQueued {
+				m.finishLocked(j, StateCanceled, cause)
+			}
+			j.mu.Unlock()
+		}
+		m.mu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the manager shuts down.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case j := <-m.queue:
+			m.runJob(j)
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// runJob executes one job end to end.
+func (m *Manager) runJob(j *Job) {
+	ctx, cancel := context.WithCancelCause(m.ctx)
+	defer cancel(nil)
+
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued (or swept by Close); nothing to run.
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		m.finishLocked(j, StateCanceled, context.Canceled)
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	q := j.query
+	j.mu.Unlock()
+
+	// Per-job deadline: the query's own, clamped by the manager ceiling.
+	// The manager owns the timer; the runner sees Deadline zero so the
+	// same bound is not applied twice.
+	deadline := time.Duration(q.Deadline)
+	if m.cfg.MaxDeadline > 0 && (deadline == 0 || deadline > m.cfg.MaxDeadline) {
+		deadline = m.cfg.MaxDeadline
+	}
+	q.Deadline = 0
+	runCtx := ctx
+	if deadline > 0 {
+		var cancelDl context.CancelFunc
+		runCtx, cancelDl = context.WithTimeout(ctx, deadline)
+		defer cancelDl()
+	}
+
+	// Spool cap: ask the run for one solution beyond the cap, and stop
+	// it from the emit callback when that probe arrives. The probe is
+	// what distinguishes "truncated at the cap" from "the full solution
+	// set happens to be exactly the cap".
+	if q.MaxResults == 0 || q.MaxResults > m.cfg.MaxResults {
+		j.capped = true
+		q.MaxResults = m.cfg.MaxResults + 1
+	}
+
+	emit := func(s kbiplex.Solution) bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.capped && len(j.spool) >= m.cfg.MaxResults {
+			j.truncated = true
+			return false
+		}
+		j.spool = append(j.spool, s)
+		j.cond.Broadcast()
+		return true
+	}
+	st, err := j.run(runCtx, q, emit)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// The spool is the delivered truth; a truncated run's cap-probe
+	// solution was counted by the enumerator but never spooled.
+	st.Solutions = int64(len(j.spool))
+	j.stats = st
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateDone, nil)
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		// Prefer the cancellation cause (e.g. "server shutting down")
+		// over the bare context error.
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			err = cause
+		}
+		m.finishLocked(j, StateCanceled, err)
+	default:
+		m.finishLocked(j, StateFailed, err)
+	}
+}
+
+// finishLocked moves j to a terminal state; j.mu must be held.
+func (m *Manager) finishLocked(j *Job, s State, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.err = err
+	j.finished = time.Now()
+	j.cond.Broadcast()
+	switch s {
+	case StateDone:
+		m.completed.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCanceled:
+		m.canceled.Add(1)
+	}
+}
+
+// pruneLocked drops finished jobs past their TTL; m.mu must be held.
+func (m *Manager) pruneLocked() {
+	cutoff := time.Now().Add(-m.cfg.TTL)
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := j.terminalLocked() && j.finished.Before(cutoff)
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+		}
+	}
+}

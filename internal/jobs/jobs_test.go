@@ -1,0 +1,344 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+)
+
+// engineRunner adapts a shared test engine to the Runner shape the
+// server wires in.
+func engineRunner(eng *kbiplex.Engine) Runner {
+	return func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		if q.Workers > 1 || q.Workers < 0 {
+			return eng.EnumerateParallel(ctx, q.Options(), q.Workers, emit)
+		}
+		return eng.Enumerate(ctx, q.Options(), emit)
+	}
+}
+
+func testManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m := NewManager(context.Background(), cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := m.Close(ctx, nil); err != nil {
+			t.Errorf("manager close: %v", err)
+		}
+	})
+	return m
+}
+
+// drain collects a job's full result stream from cursor 0.
+func drain(ctx context.Context, j *Job) []kbiplex.Solution {
+	var out []kbiplex.Solution
+	for _, s := range j.Results(ctx, 0) {
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManager(t, Config{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(context.Background(), j)
+	if len(got) != len(want) {
+		t.Fatalf("spooled %d solutions, want %d", len(got), len(want))
+	}
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Err != nil || snap.Results != int64(len(want)) {
+		t.Fatalf("terminal snapshot: %+v", snap)
+	}
+	if snap.Stats.Solutions != int64(len(want)) || snap.Stats.Duration <= 0 {
+		t.Fatalf("stats not carried: %+v", snap.Stats)
+	}
+	if snap.Started.IsZero() || snap.Finished.IsZero() {
+		t.Fatalf("timestamps not stamped: %+v", snap)
+	}
+}
+
+// TestCursorResume reads a prefix, abandons the iterator, and resumes
+// from the cursor: prefix + suffix must equal the full stream.
+func TestCursorResume(t *testing.T) {
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	m := testManager(t, Config{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := drain(context.Background(), j)
+	if len(full) < 6 {
+		t.Fatalf("graph too small for a resume test: %d solutions", len(full))
+	}
+
+	var prefix []kbiplex.Solution
+	var next int64
+	for seq, s := range j.Results(context.Background(), 0) {
+		prefix = append(prefix, s)
+		next = seq + 1
+		if len(prefix) == 3 {
+			break // simulated disconnect
+		}
+	}
+	var suffix []kbiplex.Solution
+	for seq, s := range j.Results(context.Background(), next) {
+		if seq != next {
+			t.Fatalf("resumed stream began at seq %d, want %d", seq, next)
+		}
+		suffix = append(suffix, s)
+		next++
+	}
+	got := append(prefix, suffix...)
+	if len(got) != len(full) {
+		t.Fatalf("resumed concatenation has %d solutions, want %d", len(got), len(full))
+	}
+	for i := range got {
+		if !got[i].Equal(full[i]) {
+			t.Fatalf("solution %d differs after resume: %v vs %v", i, got[i], full[i])
+		}
+	}
+}
+
+func TestQueueFullAndTooManyJobs(t *testing.T) {
+	block := make(chan struct{})
+	slow := func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return kbiplex.Stats{}, ctx.Err()
+	}
+	m := testManager(t, Config{Workers: 1, QueueDepth: 1, MaxJobs: 8})
+	defer close(block)
+	// First job occupies the worker, second the queue slot.
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, slow); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked up the first job, so the queue depth
+	// is deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Running != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, slow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, slow); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull queue: err = %v, want ErrQueueFull", err)
+	}
+	if got := m.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+func TestSpoolCapTruncates(t *testing.T) {
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) <= 4 {
+		t.Fatal("graph too small")
+	}
+	m := testManager(t, Config{MaxResults: 4})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(context.Background(), j)
+	snap := j.Snapshot()
+	if len(got) != 4 || snap.State != StateDone || !snap.Truncated {
+		t.Fatalf("capped run: %d solutions, %+v", len(got), snap)
+	}
+	// An explicit budget below the cap is honored untouched.
+	j2, err := m.Submit("g", kbiplex.Query{K: 1, MaxResults: 2}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j2)
+	if snap := j2.Snapshot(); snap.Results != 2 || snap.Truncated {
+		t.Fatalf("explicit small budget mislabeled: %+v", snap)
+	}
+	// A solution set that is exactly the cap is complete, not truncated
+	// (the cap probe asks the run for one extra and none arrives).
+	exact := testManager(t, Config{MaxResults: len(want)})
+	j3, err := exact.Submit("g", kbiplex.Query{K: 1}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j3)
+	if snap := j3.Snapshot(); snap.Results != int64(len(want)) || snap.Truncated {
+		t.Fatalf("exact-cap run mislabeled: %+v", snap)
+	}
+}
+
+func TestDeadlineCancelsRun(t *testing.T) {
+	// A graph big enough that a full enumeration far outlives the 30ms
+	// deadline.
+	g := kbiplex.RandomBipartite(150, 150, 4, 9)
+	m := testManager(t, Config{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1, Deadline: kbiplex.Duration(30 * time.Millisecond)},
+		engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j)
+	snap := j.Snapshot()
+	if snap.State != StateFailed || !errors.Is(snap.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadlined job: %+v err=%v", snap.State, snap.Err)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	started := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	slow := func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		close(started)
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return kbiplex.Stats{}, ctx.Err()
+	}
+	m := testManager(t, Config{Workers: 1, QueueDepth: 4})
+	running, err := m.Submit("g", kbiplex.Query{K: 1}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit("g", kbiplex.Query{K: 1}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := queued.Snapshot(); snap.State != StateCanceled {
+		t.Fatalf("queued job after cancel: %v", snap.State)
+	}
+	if err := m.Cancel(running.ID()); err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), running) // ends when the job goes terminal
+	if snap := running.Snapshot(); snap.State != StateCanceled {
+		t.Fatalf("running job after cancel: %v", snap.State)
+	}
+	if got := m.Stats().Canceled; got != 2 {
+		t.Fatalf("canceled counter = %d, want 2", got)
+	}
+	// Remove frees the terminal job; a second lookup misses.
+	if err := m.Remove(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(queued.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("removed job still resolvable: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := testManager(t, Config{})
+	if _, err := m.Submit("g", kbiplex.Query{K: -1}, nil); err == nil {
+		t.Fatal("invalid query admitted")
+	}
+	if _, err := m.Get("j-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v", err)
+	}
+}
+
+func TestTTLPrunes(t *testing.T) {
+	g := kbiplex.RandomBipartite(6, 6, 1, 1)
+	m := testManager(t, Config{TTL: time.Millisecond})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j)
+	time.Sleep(5 * time.Millisecond)
+	if _, err := m.Get(j.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired job still resolvable: %v", err)
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	slow := func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return kbiplex.Stats{}, ctx.Err()
+	}
+	m := NewManager(context.Background(), Config{Workers: 1, QueueDepth: 4})
+	running, _ := m.Submit("g", kbiplex.Query{K: 1}, slow)
+	queued, _ := m.Submit("g", kbiplex.Query{K: 1}, slow)
+	cause := errors.New("shutting down for the test")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx, cause); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{running, queued} {
+		if snap := j.Snapshot(); snap.State != StateCanceled {
+			t.Fatalf("job %s after close: %v", snap.ID, snap.State)
+		}
+	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, slow); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestConcurrentSubmitCancelResults hammers one manager from many
+// goroutines — the -race interleaving test the nightly job replays.
+func TestConcurrentSubmitCancelResults(t *testing.T) {
+	g := kbiplex.RandomBipartite(20, 20, 2, 5)
+	eng := kbiplex.NewEngine(g, kbiplex.EngineConfig{})
+	m := testManager(t, Config{Workers: 4, QueueDepth: 64, MaxJobs: 128})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			drain(context.Background(), j)
+		}()
+		go func() {
+			defer wg.Done()
+			if jj, err := m.Submit("g", kbiplex.Query{K: 1, MaxResults: 10}, engineRunner(eng)); err == nil {
+				drain(context.Background(), jj)
+				m.Cancel(jj.ID())
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			m.Cancel(j.ID())
+			j.Snapshot()
+			m.List()
+			m.Stats()
+		}()
+	}
+	wg.Wait()
+	if snap := j.Snapshot(); !snap.State.Terminal() {
+		t.Fatalf("hammered job never terminal: %v", snap.State)
+	}
+}

@@ -7,10 +7,26 @@
 // directory. A memory budget, when set, lets the catalog evict cold
 // engines and re-hydrate them from their snapshots on demand.
 //
-// Endpoints (all responses JSON; enumeration streams NDJSON):
+// The service speaks two API generations over one implementation:
+//
+// Versioned /v1 (job-oriented; see v1.go): enumerations are submitted
+// as jobs carrying a typed JSON Query document, executed by a bounded
+// worker pool (internal/jobs), and delivered from a sequence-numbered
+// result spool so a client that lost its connection resumes with
+// ?cursor=N instead of re-running the query.
+//
+//	POST   /v1/graphs/{name}/jobs         submit a Query document → job
+//	GET    /v1/jobs                       list retained jobs
+//	GET    /v1/jobs/{id}                  job status, progress and stats
+//	GET    /v1/jobs/{id}/results?cursor=N NDJSON results from an offset
+//	DELETE /v1/jobs/{id}                  cancel (active) / remove (finished)
+//
+// The graph-management routes are also mounted under /v1 unchanged.
+// Legacy unversioned endpoints (all responses JSON; enumeration streams
+// NDJSON) are thin adapters over the same Query decode path:
 //
 //	GET    /healthz                       liveness + uptime
-//	GET    /stats                         server, store and per-graph counters
+//	GET    /stats                         server, store, jobs and per-graph counters
 //	GET    /graphs                        list cataloged graphs
 //	POST   /graphs                        load a graph (inline edges, file path,
 //	                                      random, or a binary snapshot body)
@@ -21,7 +37,10 @@
 //
 // Cancellation propagates from the HTTP request context through the
 // engine into internal/core: a client that disconnects (or a server
-// write timeout that fires) stops the underlying enumeration.
+// write timeout that fires) stops the underlying enumeration. Server
+// shutdown (BeginShutdown) additionally cancels every in-flight stream
+// with a distinguished cause, so NDJSON responses end with an error
+// frame naming the shutdown instead of a silent TCP cut.
 package server
 
 import (
@@ -32,13 +51,20 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/jobs"
 	"repro/internal/store"
 )
+
+// ErrShuttingDown is the cancellation cause of every request context
+// once BeginShutdown is called; streaming handlers surface it in their
+// final NDJSON error frame.
+var ErrShuttingDown = errors.New("server shutting down")
 
 // maxSide and maxRandomEdges bound what POST /graphs will materialize:
 // vertex ids and counts are allocation sizes (bigraph offsets grow with
@@ -78,6 +104,9 @@ type Config struct {
 	// (0 = unlimited); the catalog evicts the least-recently-used
 	// persisted engines past it. See store.Config.MemoryBudget.
 	MemoryBudget int64
+	// Jobs bounds the /v1 job manager (worker pool size, queue depth,
+	// spool cap, retention); zero values take the jobs package defaults.
+	Jobs jobs.Config
 }
 
 // Server routes HTTP traffic onto kbiplex engines owned by a persistent
@@ -86,6 +115,12 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	catalog *store.Catalog
+	jobs    *jobs.Manager
+
+	// lifecycle is open until BeginShutdown; every request context is
+	// tied to it so in-flight streams can be drained with a cause.
+	lifecycle context.Context
+	shutdown  context.CancelCauseFunc
 
 	start    time.Time
 	queries  atomic.Int64
@@ -111,21 +146,50 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	lifecycle, shutdown := context.WithCancelCause(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		catalog: catalog,
-		start:   time.Now(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		catalog:   catalog,
+		jobs:      jobs.NewManager(lifecycle, cfg.Jobs),
+		lifecycle: lifecycle,
+		shutdown:  shutdown,
+		start:     time.Now(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
-	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
-	s.mux.HandleFunc("GET /graphs/{name}", s.handleGraphInfo)
-	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
-	s.mux.HandleFunc("GET /graphs/{name}/enumerate", s.handleEnumerate)
-	s.mux.HandleFunc("GET /graphs/{name}/largest", s.handleLargest)
+	// The graph-management routes are mounted both unversioned (legacy)
+	// and under /v1; the job routes are /v1-only.
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc("GET "+prefix+"/graphs", s.handleListGraphs)
+		s.mux.HandleFunc("POST "+prefix+"/graphs", s.handleLoadGraph)
+		s.mux.HandleFunc("GET "+prefix+"/graphs/{name}", s.handleGraphInfo)
+		s.mux.HandleFunc("DELETE "+prefix+"/graphs/{name}", s.handleDeleteGraph)
+		s.mux.HandleFunc("GET "+prefix+"/graphs/{name}/enumerate", s.handleEnumerate)
+		s.mux.HandleFunc("GET "+prefix+"/graphs/{name}/largest", s.handleLargest)
+	}
+	s.mux.HandleFunc("POST /v1/graphs/{name}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	return s, nil
+}
+
+// BeginShutdown starts draining: every in-flight request context is
+// cancelled with ErrShuttingDown (streaming handlers emit a final error
+// frame), running jobs are cancelled with the same cause, and new job
+// submissions are rejected. It does not wait; call Close afterwards to
+// wait for the job workers and flush the catalog. Idempotent.
+func (s *Server) BeginShutdown() { s.shutdown(ErrShuttingDown) }
+
+// requestCtx derives the handler context for r: cancelled when the
+// client hangs up (as before) and additionally, with a distinguished
+// cause, when the server begins shutting down.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.lifecycle, func() { cancel(ErrShuttingDown) })
+	return ctx, func() { stop(); cancel(nil) }
 }
 
 // ServeHTTP implements http.Handler.
@@ -158,9 +222,20 @@ func (s *Server) WarmAll(report func(name string, err error)) {
 // Infos lists the cataloged graphs (resident or not), sorted by name.
 func (s *Server) Infos() []store.Info { return s.catalog.Infos() }
 
-// Close flushes the catalog manifest and releases resident engines.
-// In-flight queries keep the engine references they hold.
-func (s *Server) Close() error { return s.catalog.Close() }
+// Close drains the job pool (cancelling whatever still runs), then
+// flushes the catalog manifest and releases resident engines. In-flight
+// queries keep the engine references they hold. Callers wanting
+// graceful error frames on open streams call BeginShutdown first.
+func (s *Server) Close() error {
+	s.BeginShutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	jerr := s.jobs.Close(ctx, ErrShuttingDown)
+	if cerr := s.catalog.Close(); cerr != nil {
+		return cerr
+	}
+	return jerr
+}
 
 // engine resolves a graph name to its (possibly re-hydrated) engine,
 // writing the HTTP error itself when resolution fails.
@@ -180,8 +255,12 @@ func (s *Server) engine(w http.ResponseWriter, name string) (*kbiplex.Engine, bo
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.lifecycle.Err() != nil {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
@@ -221,11 +300,22 @@ func (s *Server) graphInfos() []graphInfo {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	infos := s.graphInfos()
 	st := s.catalog.Stats()
+	jst := s.jobs.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds":     time.Since(s.start).Seconds(),
 		"queries":            s.queries.Load(),
 		"solutions_streamed": s.streamed.Load(),
 		"graphs":             infos,
+		"jobs": map[string]any{
+			"submitted": jst.Submitted,
+			"rejected":  jst.Rejected,
+			"completed": jst.Completed,
+			"failed":    jst.Failed,
+			"canceled":  jst.Canceled,
+			"queued":    jst.Queued,
+			"running":   jst.Running,
+			"retained":  jst.Retained,
+		},
 		"store": map[string]any{
 			"graphs":         st.Graphs,
 			"persisted":      st.Persisted,
@@ -443,17 +533,16 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 // overflow.
 const maxQueryParam = 1<<31 - 1
 
-// queryOptions parses the enumeration parameters shared by /enumerate
-// and /largest from the URL query string. Values are bounds-checked
-// here so malformed requests fail with a 400 instead of leaking into
-// Options normalization (where, e.g., a negative max_results would
-// silently mean "unlimited").
-func queryOptions(r *http.Request) (kbiplex.Options, int, error) {
-	q := r.URL.Query()
-	var opts kbiplex.Options
-	var workers int
+// queryFromURL parses the legacy query-parameter surface into the same
+// kbiplex.Query document POST /v1/graphs/{name}/jobs accepts, so both
+// generations decode through one path (Query.Validate, mirroring
+// Options.normalize). Values are bounds-checked here so malformed
+// requests fail with a 400 instead of leaking into normalization.
+func queryFromURL(r *http.Request) (kbiplex.Query, error) {
+	params := r.URL.Query()
+	var q kbiplex.Query
 	intField := func(key string, dst *int, minValue int) error {
-		v := q.Get(key)
+		v := params.Get(key)
 		if v == "" {
 			return nil
 		}
@@ -480,30 +569,55 @@ func queryOptions(r *http.Request) (kbiplex.Options, int, error) {
 		dst      *int
 		minValue int
 	}{
-		{"k", &opts.K, 1},
-		{"k_left", &opts.KLeft, 1},
-		{"k_right", &opts.KRight, 1},
-		{"min_left", &opts.MinLeft, 0},
-		{"min_right", &opts.MinRight, 0},
-		{"max_results", &opts.MaxResults, 0},
-		{"workers", &workers, -maxQueryParam},
+		{"k", &q.K, 1},
+		{"k_left", &q.KLeft, 1},
+		{"k_right", &q.KRight, 1},
+		{"min_left", &q.MinLeft, 0},
+		{"min_right", &q.MinRight, 0},
+		{"max_results", &q.MaxResults, 0},
+		{"workers", &q.Workers, -maxQueryParam},
 	} {
 		if err := intField(p.key, p.dst, p.minValue); err != nil {
-			return opts, 0, err
+			return q, err
 		}
 	}
-	if !q.Has("k") && !q.Has("k_left") && !q.Has("k_right") {
-		opts.K = 1
-	}
-	alg, err := kbiplex.ParseAlgorithm(q.Get("algorithm"))
+	alg, err := kbiplex.ParseAlgorithm(params.Get("algorithm"))
 	if err != nil {
-		return opts, 0, err
+		return q, err
 	}
-	opts.Algorithm = alg
-	if workers != 0 && alg != kbiplex.ITraversal {
-		return opts, 0, errors.New("parameter workers requires the iTraversal algorithm")
+	q.Algorithm = alg
+	if v := params.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return q, fmt.Errorf("parameter deadline: want a non-negative duration like 30s, got %q", v)
+		}
+		q.Deadline = kbiplex.Duration(d)
 	}
-	return opts, workers, nil
+	return q, nil
+}
+
+// decodeQuery reads the kbiplex.Query document of a /v1 job submission,
+// applying the same numeric bounds as the URL path.
+func decodeQuery(w http.ResponseWriter, r *http.Request) (kbiplex.Query, error) {
+	var q kbiplex.Query
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return q, fmt.Errorf("decoding query: %w", err)
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"k", q.K}, {"k_left", q.KLeft}, {"k_right", q.KRight},
+		{"min_left", q.MinLeft}, {"min_right", q.MinRight},
+		{"max_results", q.MaxResults}, {"workers", q.Workers}, {"workers", -q.Workers},
+	} {
+		if f.value > maxQueryParam {
+			return q, fmt.Errorf("field %s must be at most %d", f.name, maxQueryParam)
+		}
+	}
+	return q, nil
 }
 
 // solutionLine is one streamed NDJSON solution.
@@ -522,15 +636,55 @@ type summaryLine struct {
 	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
+// runQuery executes one decoded query against an engine, dispatching to
+// the parallel driver when the query asks for workers. It is the single
+// execution path shared by the legacy streaming endpoint and the /v1
+// job runner; emit must be safe for concurrent use when workers are
+// requested.
+func runQuery(ctx context.Context, eng *kbiplex.Engine, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+	if d := time.Duration(q.Deadline); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if q.Workers > 1 || q.Workers < 0 {
+		return eng.EnumerateParallel(ctx, q.Options(), q.Workers, emit)
+	}
+	return eng.Enumerate(ctx, q.Options(), emit)
+}
+
+// shutdownCause rewrites a bare context cancellation to its cause when
+// the cause is more informative (the drain path), so clients read
+// "server shutting down" instead of "context canceled".
+func shutdownCause(ctx context.Context, err error) error {
+	if err == nil || !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	return err
+}
+
+// Trailer names of the legacy streaming endpoint: the run's summary,
+// duplicated from the NDJSON trailer line for clients that read headers
+// rather than frames.
+const (
+	trailerSolutions  = "X-Kbiplex-Solutions"
+	trailerAlgorithm  = "X-Kbiplex-Algorithm"
+	trailerDurationMS = "X-Kbiplex-Duration-Ms"
+	trailerStatus     = "X-Kbiplex-Status"
+)
+
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
-	opts, workers, err := queryOptions(r)
+	q, err := queryFromURL(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Reject unrunnable options while a clean status code is still
+	// Reject unrunnable queries while a clean status code is still
 	// possible; past this point errors travel in the NDJSON trailer.
-	if err := opts.Validate(); err != nil {
+	if err := q.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -539,7 +693,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 
+	w.Header().Set("Trailer", strings.Join([]string{trailerSolutions, trailerAlgorithm, trailerDurationMS, trailerStatus}, ", "))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -547,7 +704,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var streamErr error
+	var mu sync.Mutex // the parallel driver calls emit from many goroutines
 	emit := func(sol kbiplex.Solution) bool {
+		mu.Lock()
+		defer mu.Unlock()
 		if err := enc.Encode(solutionLine{L: sol.L, R: sol.R}); err != nil {
 			streamErr = err
 			return false
@@ -559,33 +719,28 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	var st kbiplex.Stats
-	if workers > 1 || workers < 0 {
-		// The parallel driver calls emit from many goroutines; the
-		// encoder and flusher are not concurrency-safe, so serialize.
-		var mu sync.Mutex
-		st, err = eng.EnumerateParallel(r.Context(), opts, workers, func(sol kbiplex.Solution) bool {
-			mu.Lock()
-			defer mu.Unlock()
-			return emit(sol)
-		})
-	} else {
-		st, err = eng.Enumerate(r.Context(), opts, emit)
-	}
+	st, err := runQuery(ctx, eng, q, emit)
 	if err == nil {
 		err = streamErr
 	}
+	err = shutdownCause(ctx, err)
 
 	sum := summaryLine{
 		Solutions: st.Solutions,
 		Algorithm: st.Algorithm.String(),
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}
+	status := "done"
 	if err != nil {
 		sum.Error = err.Error()
+		status = "error"
 	} else {
 		sum.Done = true
 	}
+	w.Header().Set(trailerSolutions, strconv.FormatInt(st.Solutions, 10))
+	w.Header().Set(trailerAlgorithm, st.Algorithm.String())
+	w.Header().Set(trailerDurationMS, strconv.FormatInt(st.Duration.Milliseconds(), 10))
+	w.Header().Set(trailerStatus, status)
 	enc.Encode(sum)
 	rc.Flush()
 }
@@ -605,8 +760,10 @@ func (s *Server) handleLargest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	start := time.Now()
-	sol, found, err := eng.LargestBalanced(r.Context(), k)
+	sol, found, err := eng.LargestBalanced(ctx, k)
 	if err != nil {
 		status := http.StatusInternalServerError
 		// Covers both the client hanging up and the engine's own

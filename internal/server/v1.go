@@ -1,0 +1,229 @@
+// The /v1 job surface: enumeration as first-class, resumable jobs.
+//
+// A submission POSTs a typed kbiplex.Query JSON document; the job
+// manager (internal/jobs) admits it into a bounded worker pool and
+// spools its solutions under monotonically increasing sequence numbers.
+// Status is polled at GET /v1/jobs/{id}; results stream as NDJSON from
+// GET /v1/jobs/{id}/results?cursor=N, where each line carries its
+// sequence number so a disconnected client resumes from exactly the
+// first line it did not durably receive.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	kbiplex "repro"
+	"repro/internal/jobs"
+)
+
+// jobStats is the finished run's summary inside a job document.
+type jobStats struct {
+	Solutions  int64             `json:"solutions"`
+	Algorithm  kbiplex.Algorithm `json:"algorithm"`
+	DurationMS int64             `json:"duration_ms"`
+}
+
+// jobDoc is the job-status wire document.
+type jobDoc struct {
+	ID    string        `json:"id"`
+	Graph string        `json:"graph"`
+	State jobs.State    `json:"state"`
+	Query kbiplex.Query `json:"query"`
+	// Results is the spool length so far; it is also the lowest cursor
+	// with nothing (yet) behind it.
+	Results   int64      `json:"results"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Created   time.Time  `json:"created_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	Stats     *jobStats  `json:"stats,omitempty"`
+}
+
+func jobDocFrom(snap jobs.Snapshot) jobDoc {
+	doc := jobDoc{
+		ID: snap.ID, Graph: snap.Graph, State: snap.State, Query: snap.Query,
+		Results: snap.Results, Truncated: snap.Truncated, Created: snap.Created,
+	}
+	if snap.Err != nil {
+		doc.Error = snap.Err.Error()
+	}
+	if !snap.Started.IsZero() {
+		doc.Started = &snap.Started
+	}
+	if !snap.Finished.IsZero() {
+		doc.Finished = &snap.Finished
+		doc.Stats = &jobStats{
+			Solutions:  snap.Stats.Solutions,
+			Algorithm:  snap.Stats.Algorithm,
+			DurationMS: snap.Stats.Duration.Milliseconds(),
+		}
+	}
+	return doc
+}
+
+// jobError maps the jobs package's sentinel errors to HTTP statuses.
+func jobError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrTooManyJobs):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, err)
+}
+
+// handleSubmitJob admits one Query document as a job against a graph.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	q, err := decodeQuery(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := q.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	eng, ok := s.engine(w, name)
+	if !ok {
+		return
+	}
+	s.queries.Add(1)
+	job, err := s.jobs.Submit(name, q, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		return runQuery(ctx, eng, q, emit)
+	})
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, jobDocFrom(job.Snapshot()))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	docs := make([]jobDoc, len(snaps))
+	for i, snap := range snaps {
+		docs[i] = jobDocFrom(snap)
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDocFrom(job.Snapshot()))
+}
+
+// handleDeleteJob cancels an active job (retaining it, and its spool,
+// for TTL so late readers see the terminal state) and removes a
+// finished one.
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.jobs.Get(id)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	if job.Snapshot().State.Terminal() {
+		if err := s.jobs.Remove(id); err != nil {
+			// Lost a race with a concurrent delete; report the miss.
+			jobError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := s.jobs.Cancel(id); err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDocFrom(job.Snapshot()))
+}
+
+// resultLine is one spooled solution with its sequence number; resuming
+// clients pass cursor = seq+1 of the last line they processed.
+type resultLine struct {
+	Seq int64   `json:"seq"`
+	L   []int32 `json:"l"`
+	R   []int32 `json:"r"`
+}
+
+// resultsTrailer ends a /v1 results stream. Unlike the legacy summary
+// line it names the job's state and the next cursor, so a client can
+// distinguish "done, everything delivered" from "still running, poll
+// again from next_cursor".
+type resultsTrailer struct {
+	Done       bool       `json:"done,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	State      jobs.State `json:"state"`
+	NextCursor int64      `json:"next_cursor"`
+}
+
+// handleJobResults streams the spool from ?cursor=N (default 0) as
+// NDJSON, following the job live until it finishes. The stream ends
+// with a trailer frame; a connection cut before the trailer is exactly
+// the case cursors exist for.
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	var cursor int64
+	if v := r.URL.Query().Get("cursor"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parameter cursor: want a non-negative integer, got %q", v))
+			return
+		}
+		cursor = n
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	next := cursor
+	for seq, sol := range job.Results(ctx, cursor) {
+		if err := enc.Encode(resultLine{Seq: seq, L: sol.L, R: sol.R}); err != nil {
+			return // client went away; nothing left to tell it
+		}
+		s.streamed.Add(1)
+		rc.Flush()
+		next = seq + 1
+	}
+
+	snap := job.Snapshot()
+	trailer := resultsTrailer{State: snap.State, NextCursor: next}
+	switch {
+	case ctx.Err() != nil:
+		// The iterator ended because this request died (shutdown drain or
+		// client cancel), not because the job finished.
+		trailer.Error = shutdownCause(ctx, ctx.Err()).Error()
+	case snap.State == jobs.StateDone:
+		trailer.Done = true
+	case snap.Err != nil:
+		trailer.Error = snap.Err.Error()
+	default:
+		trailer.Error = fmt.Sprintf("job %s ended in state %s", snap.ID, snap.State)
+	}
+	enc.Encode(trailer)
+	rc.Flush()
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+	"repro/internal/biplex"
+	"repro/internal/jobs"
+)
+
+// submitJob posts a query document and decodes the accepted job doc.
+func submitJob(t *testing.T, ts *httptest.Server, graph, query string) jobDoc {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+graph+"/jobs", "application/json", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, buf.String())
+	}
+	var doc jobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID == "" {
+		t.Fatalf("submit returned no job id: %+v", doc)
+	}
+	return doc
+}
+
+// readResults drains one results response from the given cursor,
+// returning the solutions seen and the final trailer.
+func readResults(t *testing.T, ts *httptest.Server, id string, cursor int64) ([]kbiplex.Solution, resultsTrailer) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/results?cursor=%d", ts.URL, id, cursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	var sols []kbiplex.Solution
+	var trailer resultsTrailer
+	sawTrailer := false
+	next := cursor
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			resultLine
+			resultsTrailer
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.State != "" {
+			trailer, sawTrailer = line.resultsTrailer, true
+			continue
+		}
+		if line.Seq != next {
+			t.Fatalf("out-of-order line: seq %d, want %d", line.Seq, next)
+		}
+		next++
+		sols = append(sols, kbiplex.Solution{L: line.resultLine.L, R: line.resultLine.R})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrailer {
+		t.Fatal("results stream ended without a trailer frame")
+	}
+	return sols, trailer
+}
+
+// TestJobLifecycle: submit → status → full results → delete.
+func TestJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := submitJob(t, ts, "er", `{"k":1}`)
+	if doc.Graph != "er" || doc.Query.K != 1 {
+		t.Fatalf("echoed job doc: %+v", doc)
+	}
+
+	sols, trailer := readResults(t, ts, doc.ID, 0)
+	if !trailer.Done || trailer.State != jobs.StateDone || trailer.NextCursor != int64(len(want)) {
+		t.Fatalf("trailer: %+v (want done at cursor %d)", trailer, len(want))
+	}
+	if len(sols) != len(want) {
+		t.Fatalf("streamed %d solutions, want %d", len(sols), len(want))
+	}
+	biplex.SortPairs(sols)
+	for i := range sols {
+		if !sols[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs: %v vs %v", i, sols[i], want[i])
+		}
+	}
+
+	var status jobDoc
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	if status.State != jobs.StateDone || status.Results != int64(len(want)) || status.Stats == nil {
+		t.Fatalf("terminal status doc: %+v", status)
+	}
+	if status.Stats.Solutions != int64(len(want)) || status.Stats.Algorithm != kbiplex.ITraversal || status.Stats.DurationMS < 0 {
+		t.Fatalf("status stats: %+v", status.Stats)
+	}
+
+	// DELETE removes the finished job; the id stops resolving.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete finished job: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted job still resolves: %d", resp.StatusCode)
+	}
+}
+
+// TestJobResultsCursorResume is the cursor-semantics test: kill the
+// results connection mid-stream, resume from cursor=N, and the
+// concatenation must be exactly the uninterrupted run.
+func TestJobResultsCursorResume(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 6 {
+		t.Fatalf("graph too small for a resume test: %d solutions", len(want))
+	}
+	doc := submitJob(t, ts, "er", `{"k":1}`)
+
+	// First connection: read three solution lines, then hang up.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID+"/results", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix []kbiplex.Solution
+	var next int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(prefix) < 3 {
+		var line resultLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		prefix = append(prefix, kbiplex.Solution{L: line.L, R: line.R})
+		next = line.Seq + 1
+	}
+	cancel() // simulated mid-stream disconnect
+	resp.Body.Close()
+	if len(prefix) != 3 {
+		t.Fatalf("read %d lines before the cut, want 3", len(prefix))
+	}
+
+	// Second connection resumes at the cursor; no solutions are lost or
+	// repeated.
+	suffix, trailer := readResults(t, ts, doc.ID, next)
+	if !trailer.Done {
+		t.Fatalf("resumed stream did not finish: %+v", trailer)
+	}
+	got := append(prefix, suffix...)
+	if len(got) != len(want) {
+		t.Fatalf("prefix+suffix has %d solutions, want %d", len(got), len(want))
+	}
+	biplex.SortPairs(got)
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs after resume: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJobAdmissionControl: a full queue answers 429, an unknown graph
+// 404, malformed documents 400.
+func TestJobAdmissionControl(t *testing.T) {
+	ts := newTestServer(t, Config{
+		Jobs: jobs.Config{Workers: 1, QueueDepth: 1},
+	})
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+
+	submitJob(t, ts, "big", `{"k":1}`) // occupies the worker
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st struct {
+			Jobs struct {
+				Running int `json:"running"`
+			} `json:"jobs"`
+		}
+		getJSON(t, ts.URL+"/stats", &st)
+		if st.Jobs.Running == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	submitJob(t, ts, "big", `{"k":1}`) // occupies the queue slot
+
+	resp, err := http.Post(ts.URL+"/v1/graphs/big/jobs", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull queue: status %d, want 429", resp.StatusCode)
+	}
+
+	for body, want := range map[string]int{
+		`{"k":-1}`:                        http.StatusBadRequest,
+		`{"max_results":-1}`:              http.StatusBadRequest,
+		`{"deadline":"-3s"}`:              http.StatusBadRequest,
+		`{"frobnicate":1}`:                http.StatusBadRequest, // unknown field
+		`{"workers":4,"algorithm":"imb"}`: http.StatusBadRequest,
+		`{"k":2147483648}`:                http.StatusBadRequest, // > 2^31-1
+	} {
+		resp, err := http.Post(ts.URL+"/v1/graphs/big/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("submit %s: status %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/v1/graphs/nope/jobs", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("job against unknown graph: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/j00000001/results?cursor=-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative cursor: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestJobCancel: DELETE on a running job cancels it; the follower
+// stream ends with a canceled trailer, not a hang.
+func TestJobCancel(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+	doc := submitJob(t, ts, "big", `{"k":1}`)
+
+	done := make(chan resultsTrailer, 1)
+	go func() {
+		_, trailer := readResults(t, ts, doc.ID, 0)
+		done <- trailer
+	}()
+	// Give the stream a moment to attach, then cancel the job.
+	time.Sleep(50 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterCancel jobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&afterCancel); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	select {
+	case trailer := <-done:
+		if trailer.Done || trailer.State != jobs.StateCanceled {
+			t.Fatalf("follower trailer after cancel: %+v", trailer)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("results stream did not end after job cancel")
+	}
+	var status jobDoc
+	getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, &status)
+	if status.State != jobs.StateCanceled {
+		t.Fatalf("canceled job state: %v", status.State)
+	}
+}
+
+// TestShutdownDrainsStreams is the drain regression test: a slow client
+// in the middle of a long NDJSON enumeration must receive an error
+// frame naming the shutdown — not a silent TCP cut — when the server
+// begins shutting down.
+func TestShutdownDrainsStreams(t *testing.T) {
+	ts, srv := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+
+	resp, err := http.Get(ts.URL + "/graphs/big/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	// A slow client: read a few lines, then dawdle while the server
+	// decides to shut down.
+	for i := 0; i < 3 && sc.Scan(); i++ {
+	}
+	srv.BeginShutdown()
+
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream cut without a final frame: %v", err)
+	}
+	var sum summaryLine
+	if err := json.Unmarshal([]byte(last), &sum); err != nil {
+		t.Fatalf("last frame %q: %v", last, err)
+	}
+	if sum.Done || !strings.Contains(sum.Error, "shutting down") {
+		t.Fatalf("want a shutting-down error frame, got %+v", sum)
+	}
+
+	// New job submissions are refused while draining.
+	resp2, err := http.Post(ts.URL+"/v1/graphs/big/jobs", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", resp2.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "draining" {
+		t.Fatalf("healthz while draining: %q", health.Status)
+	}
+}
+
+// TestEnumerateTrailers: the legacy streaming endpoint announces and
+// fills the X-Kbiplex-* HTTP trailers.
+func TestEnumerateTrailers(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/graphs/er/enumerate?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Trailers are only visible after the body is fully read.
+	if got := resp.Trailer.Get(trailerSolutions); got != fmt.Sprint(len(want)) {
+		t.Fatalf("%s = %q, want %d", trailerSolutions, got, len(want))
+	}
+	if got := resp.Trailer.Get(trailerAlgorithm); got != "iTraversal" {
+		t.Fatalf("%s = %q", trailerAlgorithm, got)
+	}
+	if got := resp.Trailer.Get(trailerStatus); got != "done" {
+		t.Fatalf("%s = %q", trailerStatus, got)
+	}
+	if resp.Trailer.Get(trailerDurationMS) == "" {
+		t.Fatalf("%s missing", trailerDurationMS)
+	}
+}
+
+// TestV1GraphAliases: the graph-management surface is mounted under /v1
+// too, so /v1-only clients never touch unversioned paths.
+func TestV1GraphAliases(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{"name":"er","random":{"num_left":8,"num_right":8,"density":1.5,"seed":4}}`
+	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("v1 load: status %d", resp.StatusCode)
+	}
+	var list []graphInfo
+	getJSON(t, ts.URL+"/v1/graphs", &list)
+	if len(list) != 1 || list[0].Name != "er" {
+		t.Fatalf("v1 list: %+v", list)
+	}
+	if n := countStreamed(t, ts.URL+"/v1/graphs/er/enumerate?k=1"); n == 0 {
+		t.Fatal("v1 enumerate streamed nothing")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/er", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("v1 delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentJobTraffic exercises submit/status/results/cancel from
+// many goroutines against one server — the HTTP-level companion of the
+// jobs package's race test.
+func TestConcurrentJobTraffic(t *testing.T) {
+	ts := newTestServer(t, Config{Jobs: jobs.Config{Workers: 4, QueueDepth: 64}})
+	loadRandomGraph(t, ts, "er", 15, 15, 2, 5)
+	doc := submitJob(t, ts, "er", `{"k":1}`)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			readResults(t, ts, doc.ID, 0)
+		}()
+		go func() {
+			defer wg.Done()
+			d := submitJob(t, ts, "er", `{"k":1,"max_results":5}`)
+			readResults(t, ts, d.ID, 0)
+		}()
+		go func() {
+			defer wg.Done()
+			getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, nil)
+			getJSON(t, ts.URL+"/v1/jobs", nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLegacyDeadlineParam: the legacy adapter accepts the same deadline
+// the Query document carries, proving the one-decode-path claim.
+func TestLegacyDeadlineParam(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "big", 150, 150, 4, 9)
+	resp, err := http.Get(ts.URL + "/graphs/big/enumerate?k=1&deadline=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last summaryLine
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done || line.Error != "" {
+			last, sawSummary = line, true
+		}
+	}
+	if !sawSummary || last.Done || !strings.Contains(last.Error, "deadline") {
+		t.Fatalf("want a deadline-error trailer, got %+v (seen %v)", last, sawSummary)
+	}
+	resp2, err := http.Get(ts.URL + "/graphs/big/enumerate?k=1&deadline=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus deadline: status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -1,8 +1,11 @@
 package kbiplex
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/abcore"
 	"repro/internal/core"
@@ -39,21 +42,43 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm maps a case-sensitive algorithm name ("iTraversal",
-// "bTraversal", "iMB", "Inflation" — or the all-lowercase forms used by
-// the command-line tools and the HTTP service) to its Algorithm value.
+// ParseAlgorithm maps an algorithm name ("iTraversal", "bTraversal",
+// "iMB", "Inflation", in any capitalization) to its Algorithm value; the
+// empty string selects the default ITraversal.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "", "iTraversal", "itraversal":
+	switch strings.ToLower(name) {
+	case "", "itraversal":
 		return ITraversal, nil
-	case "bTraversal", "btraversal":
+	case "btraversal":
 		return BTraversal, nil
-	case "iMB", "imb":
+	case "imb":
 		return IMB, nil
-	case "Inflation", "inflation":
+	case "inflation":
 		return Inflation, nil
 	}
 	return 0, fmt.Errorf("kbiplex: unknown algorithm %q", name)
+}
+
+// MarshalText encodes the algorithm as its canonical name, so JSON (and
+// any other textual encoding) carries "iTraversal" rather than a bare
+// int that would silently change meaning if the constants were ever
+// reordered.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	switch a {
+	case ITraversal, BTraversal, IMB, Inflation:
+		return []byte(a.String()), nil
+	}
+	return nil, fmt.Errorf("kbiplex: unknown algorithm %v", a)
+}
+
+// UnmarshalText decodes any spelling ParseAlgorithm accepts.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	v, err := ParseAlgorithm(string(text))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
 }
 
 // Options configures an enumeration.
@@ -196,4 +221,100 @@ type Stats struct {
 	Solutions int64
 	// Algorithm echoes the algorithm used.
 	Algorithm Algorithm
+	// Duration is the wall time of the run, measured from entry until the
+	// enumeration returned (including a cancelled or errored run's partial
+	// work). Validation failures report zero.
+	Duration time.Duration
+}
+
+// Duration is a time.Duration that travels over JSON as a Go duration
+// string ("30s", "1m30s"); a bare number is accepted on input as
+// nanoseconds, matching time.Duration's native integer form.
+type Duration time.Duration
+
+// MarshalJSON encodes the duration as its canonical string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON decodes either a duration string or a nanosecond count.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	switch v := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("kbiplex: bad duration %q: %w", v, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case float64:
+		*d = Duration(v)
+		return nil
+	}
+	return fmt.Errorf("kbiplex: duration must be a string or a number, got %s", data)
+}
+
+// Query is the wire form of one enumeration request: the typed JSON
+// document POST /v1/graphs/{name}/jobs accepts, and the structure the
+// legacy query-parameter endpoints decode into, so both surfaces funnel
+// through one validation path (Query.Validate, which itself defers to
+// Options.Validate). The zero value asks for a default K=1 iTraversal
+// enumeration of everything.
+type Query struct {
+	// Algorithm travels as a name ("iTraversal", "bTraversal", "iMB",
+	// "Inflation", any capitalization); empty/omitted means iTraversal.
+	Algorithm Algorithm `json:"algorithm,omitempty"`
+	// K, KLeft and KRight mirror Options. When all three are zero the
+	// query defaults to K=1 (the service-level default), unlike the
+	// stricter Options whose zero value fails validation.
+	K      int `json:"k,omitempty"`
+	KLeft  int `json:"k_left,omitempty"`
+	KRight int `json:"k_right,omitempty"`
+	// MinLeft and MinRight restrict output to large MBPs; see Options.
+	MinLeft  int `json:"min_left,omitempty"`
+	MinRight int `json:"min_right,omitempty"`
+	// MaxResults caps the result count (0 = all, subject to server caps).
+	MaxResults int `json:"max_results,omitempty"`
+	// Workers, when >1 (or <0 for all cores), selects the parallel
+	// driver; requires the ITraversal algorithm.
+	Workers int `json:"workers,omitempty"`
+	// Deadline bounds the run's wall time (0 = none, subject to server
+	// deadlines). Encoded as a duration string, e.g. "30s".
+	Deadline Duration `json:"deadline,omitempty"`
+}
+
+// Options converts the query to enumeration Options, applying the
+// service default of K=1 when no k field is set. Deadline and Workers
+// are not part of Options; they configure the run's context and driver.
+func (q Query) Options() Options {
+	if q.K == 0 && q.KLeft == 0 && q.KRight == 0 {
+		q.K = 1
+	}
+	return Options{
+		K: q.K, KLeft: q.KLeft, KRight: q.KRight,
+		Algorithm: q.Algorithm,
+		MinLeft:   q.MinLeft, MinRight: q.MinRight,
+		MaxResults: q.MaxResults,
+	}
+}
+
+// Validate reports whether the query describes a runnable enumeration.
+// It is stricter than Options.Validate where the wire format demands it:
+// a negative MaxResults is rejected (Options silently treats it as
+// "unlimited") and Workers must pair with ITraversal.
+func (q Query) Validate() error {
+	if q.MaxResults < 0 {
+		return errors.New("kbiplex: max_results must be non-negative")
+	}
+	if q.Deadline < 0 {
+		return errors.New("kbiplex: deadline must be non-negative")
+	}
+	if q.Workers != 0 && q.Algorithm != ITraversal {
+		return errors.New("kbiplex: workers requires the iTraversal algorithm")
+	}
+	return q.Options().Validate()
 }

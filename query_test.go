@@ -1,0 +1,126 @@
+package kbiplex
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAlgorithmTextRoundTrip: names, not ints, on the wire — and every
+// capitalization parses back.
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{ITraversal, BTraversal, IMB, Inflation} {
+		text, err := a.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", a, err)
+		}
+		if string(text) != a.String() {
+			t.Fatalf("MarshalText(%v) = %q, want %q", a, text, a.String())
+		}
+		for _, spelled := range []string{string(text), strings.ToUpper(string(text)), strings.ToLower(string(text))} {
+			var back Algorithm
+			if err := back.UnmarshalText([]byte(spelled)); err != nil || back != a {
+				t.Fatalf("UnmarshalText(%q) = %v, %v; want %v", spelled, back, err, a)
+			}
+		}
+	}
+	if _, err := (Algorithm(99)).MarshalText(); err == nil {
+		t.Fatal("marshalling an unknown algorithm must fail")
+	}
+	var a Algorithm
+	if err := a.UnmarshalText([]byte("quantum")); err == nil {
+		t.Fatal("unmarshalling an unknown algorithm must fail")
+	}
+}
+
+func TestParseAlgorithmCaseInsensitive(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"ITRAVERSAL": ITraversal, "iTrAvErSaL": ITraversal,
+		"BTraversal": BTraversal, "Imb": IMB, "INFLATION": Inflation,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}
+
+// TestQueryJSONRoundTrip: the wire document carries algorithm names and
+// duration strings, and decodes back to the identical query.
+func TestQueryJSONRoundTrip(t *testing.T) {
+	q := Query{
+		Algorithm: BTraversal, K: 2, MinLeft: 3, MinRight: 1,
+		MaxResults: 100, Deadline: Duration(90 * time.Second),
+	}
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"algorithm":"bTraversal"`) || !strings.Contains(s, `"deadline":"1m30s"`) {
+		t.Fatalf("wire form not symbolic: %s", s)
+	}
+	var back Query
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != q {
+		t.Fatalf("round trip changed the query: %+v -> %+v", q, back)
+	}
+	// A bare nanosecond count is accepted for deadline too.
+	var num Query
+	if err := json.Unmarshal([]byte(`{"deadline":1000000000}`), &num); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(num.Deadline) != time.Second {
+		t.Fatalf("numeric deadline = %v, want 1s", time.Duration(num.Deadline))
+	}
+	if err := json.Unmarshal([]byte(`{"deadline":"fast"}`), &num); err == nil {
+		t.Fatal("malformed deadline accepted")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	if err := (Query{}).Validate(); err != nil {
+		t.Fatalf("zero query must default to K=1: %v", err)
+	}
+	if got := (Query{}).Options().K; got != 1 {
+		t.Fatalf("zero query Options().K = %d, want 1", got)
+	}
+	if got := (Query{KLeft: 2, KRight: 3}).Options().K; got != 0 {
+		t.Fatal("per-side budgets must suppress the K default")
+	}
+	for _, bad := range []Query{
+		{K: -1},
+		{K: 1, MaxResults: -5},
+		{K: 1, Deadline: Duration(-time.Second)},
+		{K: 1, Workers: 4, Algorithm: IMB},
+		{K: 1, MinLeft: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid query accepted: %+v", bad)
+		}
+	}
+	if err := (Query{K: 1, Workers: -1}).Validate(); err != nil {
+		t.Fatalf("workers=-1 (all cores) must validate: %v", err)
+	}
+}
+
+// TestStatsDuration: every Stats-returning entry point stamps wall time.
+func TestStatsDuration(t *testing.T) {
+	g := RandomBipartite(12, 12, 2, 3)
+	if _, st, err := EnumerateAll(g, Options{K: 1}); err != nil || st.Duration <= 0 {
+		t.Fatalf("EnumerateAll duration = %v (err %v), want > 0", st.Duration, err)
+	}
+	st, err := EnumerateParallelCtx(context.Background(), g, Options{K: 1}, 2, nil)
+	if err != nil || st.Duration <= 0 {
+		t.Fatalf("EnumerateParallelCtx duration = %v (err %v), want > 0", st.Duration, err)
+	}
+	eng := NewEngine(g, EngineConfig{})
+	st, err = eng.Enumerate(context.Background(), Options{K: 1}, nil)
+	if err != nil || st.Duration <= 0 {
+		t.Fatalf("Engine.Enumerate duration = %v (err %v), want > 0", st.Duration, err)
+	}
+}
