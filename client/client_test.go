@@ -88,6 +88,59 @@ func newServer(t *testing.T, cfg server.Config) *httptest.Server {
 	return ts
 }
 
+// TestSubmitShardedJob checks the client passes shards through the /v1
+// document layer — a sharded job delivers the sequential solution set —
+// and surfaces the server's validation of malformed shard counts as a
+// typed 400 APIError.
+func TestSubmitShardedJob(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadGraph(ctx, "er", g, false); err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := c.SubmitJob(ctx, "er", kbiplex.Query{K: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Query.Shards != 3 {
+		t.Fatalf("accepted job lost shards: %+v", job.Query)
+	}
+	var got []kbiplex.Solution
+	for sol, err := range c.Results(ctx, job.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, sol)
+	}
+	biplex.SortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("sharded job delivered %d solutions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	for _, q := range []kbiplex.Query{
+		{K: 1, Shards: -1},
+		{K: 1, Shards: 2, Workers: 2},
+		{K: 1, Shards: 2, Algorithm: kbiplex.BTraversal},
+	} {
+		var apiErr *client.APIError
+		if _, err := c.SubmitJob(ctx, "er", q); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Errorf("submit %+v: got %v, want APIError 400", q, err)
+		}
+	}
+}
+
 // TestEndToEndResume is the PR's acceptance test: upload a graph via
 // the client, submit a job, have the results connection die twice
 // mid-stream, and the resumed iterator must deliver exactly the

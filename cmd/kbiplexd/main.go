@@ -25,7 +25,8 @@
 //	GET    /graphs/{name}            graph shape + engine stats
 //	DELETE /graphs/{name}            unload (snapshot included)
 //	GET    /graphs/{name}/enumerate  NDJSON stream of MBPs (k, k_left, k_right, algorithm,
-//	                                 min_left, min_right, max_results, workers, deadline)
+//	                                 min_left, min_right, max_results, workers, shards,
+//	                                 deadline)
 //	GET    /graphs/{name}/largest    largest balanced MBP (k)
 //	POST   /v1/graphs/{name}/jobs    submit a JSON Query document as a job
 //	GET    /v1/jobs                  list retained jobs
@@ -36,6 +37,9 @@
 // The graph-management routes are mounted under /v1 as well. The job
 // pool is bounded by -job-workers, -job-queue, -job-results and
 // -job-ttl; submissions past the queue depth are rejected with 429.
+// Queries may pick the in-process sharded runtime with shards=N (or
+// the worker pool with workers=N); -default-shards puts every plain
+// iTraversal query on the sharded path without clients asking.
 //
 // Cancelling a request (client disconnect) or hitting -query-timeout
 // stops the underlying enumeration. SIGINT/SIGTERM drain the daemon
@@ -96,6 +100,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		allowPath    = fs.Bool("allow-path-load", false, "let POST /graphs read edge-list files from server paths")
 		dataDir      = fs.String("data-dir", "", "persistent catalog directory: persist=true graphs snapshot here and are recovered at boot")
 		memBudgetMB  = fs.Int64("mem-budget-mb", 0, "resident graph memory budget in MiB; cold persisted engines are evicted past it (0 = unlimited)")
+		defShards    = fs.Int("default-shards", 0, "run iTraversal queries that pick neither workers nor shards on the sharded runtime with this many shards (0/1 = sequential)")
 		jobWorkers   = fs.Int("job-workers", 0, "concurrent /v1 job executions (0 = default 2)")
 		jobQueue     = fs.Int("job-queue", 0, "admitted-but-waiting /v1 job bound; excess submissions get 429 (0 = default 64)")
 		jobResults   = fs.Int("job-results", 0, "per-job result spool cap; runs are truncated past it (0 = default 262144)")
@@ -121,6 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		AllowPathLoad: *allowPath,
 		DataDir:       *dataDir,
 		MemoryBudget:  *memBudgetMB << 20,
+		DefaultShards: *defShards,
 		Jobs: jobs.Config{
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,

@@ -318,6 +318,51 @@ func TestJobFlagsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDefaultShardsFlag boots the daemon with -default-shards and
+// checks a plain query still streams the full solution set (now through
+// the sharded runtime) and an explicit shards query validates at the
+// URL layer.
+func TestDefaultShardsFlag(t *testing.T) {
+	base, stop, done := startDaemon(t, "-default-shards", "2")
+	defer waitShutdown(t, stop, done)
+	body := `{"name":"er","random":{"num_left":12,"num_right":12,"density":2,"seed":3}}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	count := func(query string) int {
+		resp, err := http.Get(base + "/graphs/er/enumerate?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("enumerate?%s: status %d", query, resp.StatusCode)
+		}
+		n := 0
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			n++
+		}
+		return n - 1 // minus the summary line
+	}
+	plain, explicit := count("k=1"), count("k=1&shards=3")
+	if plain == 0 || plain != explicit {
+		t.Fatalf("default-sharded stream has %d solutions, explicit shards %d", plain, explicit)
+	}
+
+	resp, err = http.Get(base + "/graphs/er/enumerate?k=1&shards=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=-1 accepted: status %d", resp.StatusCode)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-load", "noequals"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("malformed -load accepted")

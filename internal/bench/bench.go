@@ -35,8 +35,8 @@ type Scenario struct {
 	// Name is the stable identifier, "group/short-name"; baselines are
 	// matched by it.
 	Name string
-	// Group is the catalog section: "micro", "figure", "service",
-	// "server" or "store".
+	// Group is the catalog section: "micro", "core", "figure",
+	// "service", "server" or "store".
 	Group string
 	// Doc is the one-line description shown by kbench -list.
 	Doc string

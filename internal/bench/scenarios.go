@@ -36,6 +36,8 @@ const (
 	seedService   = 23
 	seedStore     = 29
 	seedJobs      = 31
+	seedShard     = 37
+	seedShardJob  = 41
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -55,6 +57,8 @@ func Scenarios() []Scenario {
 		enumerateITraversalScenario(),
 		enumerateBTraversalScenario(),
 		enumerateParallelScenario(),
+		enumerateShardedScenario(),
+		shardedJobScenario(),
 		bicoreIndexScenario(),
 		graphBuildScenario(),
 		fig3Scenario(),
@@ -193,6 +197,95 @@ func enumerateParallelScenario() Scenario {
 		Run: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				run()
+			}
+		},
+	}
+}
+
+// enumerateShardedScenario times the in-process sharded runtime on a
+// workload big enough that the multi-core path wins: the same query
+// shape as the single-worker micro/enumerate-itraversal, scaled up to
+// where partitioned expansion amortizes the channel traffic. The
+// deterministic count cross-checks the exact-solution-set guarantee.
+func enumerateShardedScenario() Scenario {
+	eng := sync.OnceValue(func() *kbiplex.Engine {
+		e := kbiplex.NewEngine(gen.ER(40, 40, 2, seedShard), kbiplex.EngineConfig{})
+		e.Warm()
+		return e
+	})
+	run := func() int64 {
+		st, err := eng().EnumerateSharded(context.Background(), kbiplex.Options{K: 1, Shards: 4}, nil)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return st.Solutions
+	}
+	return Scenario{
+		Name:  "core/sharded",
+		Group: "core",
+		Doc:   "full enumeration on the sharded runtime (4 dedup-store shards) through a warmed Engine",
+		Quick: true,
+		Count: run,
+		Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		},
+	}
+}
+
+// shardedJobScenario is server/job-roundtrip with the query routed
+// through the sharded runtime: what one fully delivered sharded job
+// costs a deployment end to end (submit, pool, spool, stream).
+func shardedJobScenario() Scenario {
+	type env struct {
+		c         *client.Client
+		solutions int64
+	}
+	roundtrip := func(c *client.Client) int64 {
+		job, err := c.SubmitJob(context.Background(), "bench", kbiplex.Query{K: 1, Shards: 4})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		var n int64
+		for _, err := range c.Results(context.Background(), job.ID) {
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			n++
+		}
+		if err := c.CancelJob(context.Background(), job.ID); err != nil {
+			panic("bench: " + err.Error())
+		}
+		return n
+	}
+	setup := sync.OnceValue(func() env {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if err := srv.AddGraph("bench", gen.ER(40, 40, 2, seedShardJob)); err != nil {
+			panic("bench: " + err.Error())
+		}
+		// Like the other service scenarios' servers, this one lives for
+		// the benchmark process.
+		ts := httptest.NewServer(srv)
+		c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+		return env{c: c, solutions: roundtrip(c)}
+	})
+	return Scenario{
+		Name:  "server/sharded-job",
+		Group: "server",
+		Doc:   "submit a shards=4 /v1 job, run it on the sharded runtime, stream the full spool",
+		Quick: true,
+		Count: func() int64 { return setup().solutions },
+		Run: func(b *testing.B) {
+			e := setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := roundtrip(e.c); n != e.solutions {
+					b.Fatalf("sharded job delivered %d solutions, want %d", n, e.solutions)
+				}
 			}
 		},
 	}

@@ -191,8 +191,15 @@ type engine struct {
 	store SolutionStore
 	// onChild, when non-nil, replaces recursion: each newly stored
 	// solution is handed to it instead of being visited depth-first
-	// (single-level expansion for the parallel driver).
+	// (single-level expansion for the parallel driver and the sharded
+	// runtime). The pair's slices are freshly allocated per link
+	// (extendLeftOnly/extendBothSides return new result slices), so
+	// ownership transfers to the callback — both drivers queue the pair
+	// without cloning.
 	onChild func(p biplex.Pair)
+	// noDedup marks the admit-all store of single-expansion engines, so
+	// the hot path skips encoding a key nobody will ever compare.
+	noDedup bool
 	stats   Stats
 	emit    EmitFunc
 	stopped bool
@@ -437,9 +444,11 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 		}
 		e.opts.OnLink(from, hp)
 	}
-	e.keyBuf = vskey.Encode(e.keyBuf[:0], hp.L, hp.R)
-	if !e.store.Insert(e.keyBuf) {
-		return // already traversed
+	if !e.noDedup {
+		e.keyBuf = vskey.Encode(e.keyBuf[:0], hp.L, hp.R)
+		if !e.store.Insert(e.keyBuf) {
+			return // already traversed
+		}
 	}
 	e.stats.Stored++
 

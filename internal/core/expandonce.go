@@ -37,14 +37,23 @@ func initialSolution(g *bigraph.Graph, kL, kR int, rightFull bool) biplex.Pair {
 	return biplex.ExtendGreedyLR(g, biplex.Pair{}, kL, kR, nil, nil)
 }
 
-// ExpandOnce runs a single (i)ThreeStep expansion from solution h and
-// hands every discovered link target to sink, without deduplication and
+// Expander runs single (i)ThreeStep expansions without deduplication and
 // without recursing — the primitive a distributed driver needs: the
-// expanding node cannot know which children are new (ownership of the
+// expanding shard cannot know which children are new (ownership of the
 // deduplication store is partitioned), so it forwards every link target
-// to the child's owner. The exclusion strategy is order-dependent and is
-// disabled. sink returning false aborts the expansion.
-func ExpandOnce(g *bigraph.Graph, opts Options, h biplex.Pair, sink func(p biplex.Pair) bool) (Stats, error) {
+// to the child's owner. Unlike the one-shot ExpandOnce, an Expander
+// reuses one traversal engine (and its scratch buffers) across calls,
+// which matters to a shard loop running thousands of expansions. An
+// Expander is single-goroutine; build one per shard or worker.
+//
+// The exclusion strategy is order-dependent and is disabled.
+type Expander struct {
+	e    *engine
+	sink func(p biplex.Pair) bool
+}
+
+// NewExpander validates opts and builds a reusable expander over g.
+func NewExpander(g *bigraph.Graph, opts Options) (*Expander, error) {
 	kL, kR := opts.KLeft, opts.KRight
 	if kL == 0 {
 		kL = opts.K
@@ -53,28 +62,63 @@ func ExpandOnce(g *bigraph.Graph, opts Options, h biplex.Pair, sink func(p biple
 		kR = opts.K
 	}
 	if kL < 1 || kR < 1 {
-		return Stats{}, errors.New("core: K (or KLeft/KRight) must be at least 1")
-	}
-	if sink == nil {
-		return Stats{}, errors.New("core: ExpandOnce requires a sink")
+		return nil, errors.New("core: K (or KLeft/KRight) must be at least 1")
 	}
 	opts.Exclusion = false
 	gT := opts.Transpose
 	if gT == nil {
 		gT = g.Transpose()
 	}
-	e := &engine{g: g, gT: gT, opts: opts, kL: kL, kR: kR, store: admitAll{}}
-	e.onChild = func(p biplex.Pair) {
-		if !sink(p) {
-			e.stopped = true
+	x := &Expander{e: &engine{g: g, gT: gT, opts: opts, kL: kL, kR: kR, store: admitAll{}, noDedup: true}}
+	// One persistent onChild closure; the per-call sink is swapped through
+	// the Expander so Expand allocates nothing.
+	x.e.onChild = func(p biplex.Pair) {
+		if !x.sink(p) {
+			x.e.stopped = true
 		}
 	}
-	e.expand(h, nil, 0)
-	return e.stats, nil
+	return x, nil
+}
+
+// Expand runs one expansion from solution h, handing every discovered
+// link target to sink. Each pair's slices are freshly allocated —
+// ownership transfers to the sink, which may queue or send the pair
+// without cloning (the engine's child construction never reuses result
+// buffers; the parallel driver has always leaned on this). sink
+// returning false aborts the expansion.
+func (x *Expander) Expand(h biplex.Pair, sink func(p biplex.Pair) bool) error {
+	if sink == nil {
+		return errors.New("core: Expand requires a sink")
+	}
+	x.sink = sink
+	x.e.stopped = false
+	x.e.expand(h, nil, 0)
+	x.sink = nil
+	return nil
+}
+
+// Stats reports the counters accumulated across every Expand call.
+func (x *Expander) Stats() Stats { return x.e.stats }
+
+// ExpandOnce runs a single (i)ThreeStep expansion from solution h and
+// hands every discovered link target to sink; see Expander, which this
+// wraps for one-shot callers (building a fresh engine per call).
+func ExpandOnce(g *bigraph.Graph, opts Options, h biplex.Pair, sink func(p biplex.Pair) bool) (Stats, error) {
+	if sink == nil {
+		return Stats{}, errors.New("core: ExpandOnce requires a sink")
+	}
+	x, err := NewExpander(g, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := x.Expand(h, sink); err != nil {
+		return Stats{}, err
+	}
+	return x.Stats(), nil
 }
 
 // admitAll is the store that never deduplicates: every discovered child is
-// considered new, so ExpandOnce reports every link target.
+// considered new, so an expansion reports every link target.
 type admitAll struct{}
 
 func (admitAll) Insert([]byte) bool { return true }

@@ -117,6 +117,69 @@ func TestExpandOnceSinkStop(t *testing.T) {
 	}
 }
 
+// TestExpanderMatchesExpandOnce checks a reused Expander yields exactly
+// the targets of per-call ExpandOnce, solution by solution, and that its
+// stats accumulate across calls.
+func TestExpanderMatchesExpandOnce(t *testing.T) {
+	g := gen.ER(9, 9, 1.8, 4)
+	opts := ITraversal(1)
+	opts.Exclusion = false
+	all, _, err := Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExpander(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, h := range all {
+		want := map[string]int{}
+		if _, err := ExpandOnce(g, opts, h, func(child biplex.Pair) bool {
+			want[string(vskey.Encode(nil, child.L, child.R))]++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		if err := x.Expand(h, func(child biplex.Pair) bool {
+			got[string(vskey.Encode(nil, child.L, child.R))]++
+			total++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("expander found %d distinct targets, ExpandOnce %d", len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("target multiplicity differs for %q: %d vs %d", k, got[k], n)
+			}
+		}
+	}
+	if st := x.Stats(); st.Expansions != int64(len(all)) {
+		t.Fatalf("expander stats count %d expansions, want %d", st.Expansions, len(all))
+	}
+	if total == 0 {
+		t.Fatal("no targets at all (implausible)")
+	}
+}
+
+func TestExpanderValidation(t *testing.T) {
+	g := gen.ER(4, 4, 1, 1)
+	if _, err := NewExpander(g, Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	x, err := NewExpander(g, ITraversal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Expand(biplex.Pair{}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
 func TestExpandOnceValidation(t *testing.T) {
 	g := gen.ER(4, 4, 1, 1)
 	if _, err := ExpandOnce(g, Options{}, biplex.Pair{}, func(biplex.Pair) bool { return true }); err == nil {

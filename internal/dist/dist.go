@@ -1,26 +1,35 @@
-// Package dist simulates a hash-partitioned distributed MBP enumeration —
-// the distributed implementation the paper lists as future work (Section
-// 8), modeled faithfully enough to measure what matters in a real
-// deployment: message volume and ownership balance.
+// Package dist is the in-process sharded MBP enumeration runtime — the
+// distributed implementation the paper lists as future work (Section 8),
+// scaled to one machine: N goroutine shards each own a hash partition of
+// the solution deduplication store and exchange link targets over
+// bounded channels with backpressure.
 //
 // The sparsified solution graph is partitioned by hashing each solution's
-// canonical key over the cluster nodes. A node expands only the solutions
-// it owns; every link target discovered during an expansion is forwarded
-// to the target's hash owner as a message (the expander cannot know
-// whether the target was already traversed — the deduplication store is
-// partitioned with the solutions). The owner deduplicates against its
-// local store and expands each solution exactly once, so the union of all
-// nodes' traversals equals the single-machine traversal's reach and the
-// solution set matches the sequential enumeration exactly.
+// canonical key over the shards. A shard expands only the solutions it
+// owns; every link target discovered during an expansion is forwarded to
+// the target's hash owner (the expander cannot know whether the target
+// was already traversed — the deduplication store is partitioned with
+// the solutions). The owner deduplicates against its local partition and
+// expands each solution exactly once, so the union of all shards'
+// traversals equals the single-machine traversal's reach and the
+// solution set matches the sequential enumeration exactly — the same
+// reachability argument as core.EnumerateParallel, with the shared
+// locked store replaced by partitioned ownership.
+//
+// Enumerate is the real concurrent runtime. Simulate is the original
+// deterministic lock-step model of the same protocol, kept for the
+// message-volume and ownership-balance experiments where reproducible
+// counts matter more than wall clock.
 //
 // The optional sender cache replays a standard combiner optimization:
-// each node remembers the keys it has already forwarded and suppresses
-// repeat messages, trading per-node memory for network volume.
+// each shard remembers the keys it has already forwarded and suppresses
+// repeat messages, trading per-shard memory for message volume.
 package dist
 
 import (
 	"errors"
-	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigraph"
 	"repro/internal/biplex"
@@ -29,157 +38,360 @@ import (
 	"repro/internal/vskey"
 )
 
-// Options configures a simulated run.
+// Options configures a run (concurrent or simulated).
 type Options struct {
-	// Nodes is the cluster size (≥ 1).
+	// Nodes is the shard count (≥ 1).
 	Nodes int
 	// K is the biplex parameter k ≥ 1.
 	K int
+	// KLeft and KRight, when positive, override K per side (the per-side
+	// generalization noted after Definition 2.1).
+	KLeft, KRight int
+	// ThetaL and ThetaR, when positive, emit only large MBPs (|L| ≥
+	// ThetaL, |R| ≥ ThetaR); the traversal applies the Section 5 prunings
+	// compatible with unordered expansion.
+	ThetaL, ThetaR int
 	// MaxResults stops the run after this many solutions were discovered
 	// cluster-wide (0 = enumerate everything).
 	MaxResults int
-	// SenderCache enables the per-node forwarded-key cache that suppresses
-	// duplicate messages to the same owner.
+	// SenderCache enables the per-shard forwarded-key cache that
+	// suppresses duplicate messages to the same owner.
 	SenderCache bool
+	// QueueLen is each shard's inbox capacity (default 256). Senders to a
+	// full inbox block — backpressure — while draining their own inbox,
+	// so a ring of mutually blocked shards always makes progress.
+	// Simulate ignores it (the lock-step model has no channels).
+	QueueLen int
 	// Cancel, when non-nil, is polled between expansions; returning true
-	// aborts the run cooperatively.
+	// aborts the run cooperatively. Enumerate polls it from every shard
+	// goroutine, so it must be safe for concurrent use.
 	Cancel func() bool
+	// Transpose, when non-nil, is g's precomputed transpose.
+	Transpose *bigraph.Graph
 }
 
-// NodeStats reports one node's share of the run.
+// NodeStats reports one shard's share of the run.
 type NodeStats struct {
-	// Owned is the number of solutions whose hash owner is this node.
+	// Owned is the number of emitted solutions whose hash owner is this
+	// shard.
 	Owned int64
-	// Sent is the number of messages this node forwarded to owners.
+	// Sent is the number of link targets this shard forwarded to owners
+	// (its own partition included: a self-owned target is still one
+	// protocol message).
 	Sent int64
-	// Expansions is the number of solution expansions this node ran.
+	// Expansions is the number of solution expansions this shard ran.
 	Expansions int64
 }
 
 // Stats summarizes a finished run.
 type Stats struct {
-	// Solutions is the number of distinct MBPs discovered cluster-wide.
+	// Solutions is the number of distinct MBPs discovered cluster-wide
+	// (after the Theta filter).
 	Solutions int64
 	// Messages is the total number of link targets forwarded to their
 	// hash owners.
 	Messages int64
-	// Nodes holds the per-node breakdown.
+	// Nodes holds the per-shard breakdown.
 	Nodes []NodeStats
 }
 
-// node is one simulated cluster member: its partition of the
-// deduplication store, its work queue, and (optionally) its sender cache.
-type node struct {
-	store btree.Tree
-	queue []biplex.Pair
-	sent  map[string]struct{}
+// normalized validates o, applies defaults, and derives the traversal
+// options: iTraversal without the order-dependent exclusion strategy
+// (iTraversal-ES), the same semantics as the parallel implementation.
+func (o Options) normalized(g *bigraph.Graph) (Options, core.Options, error) {
+	if o.Nodes < 1 {
+		return o, core.Options{}, errors.New("dist: Options.Nodes must be at least 1")
+	}
+	if o.KLeft == 0 {
+		o.KLeft = o.K
+	}
+	if o.KRight == 0 {
+		o.KRight = o.K
+	}
+	if o.KLeft < 1 || o.KRight < 1 {
+		return o, core.Options{}, errors.New("dist: Options.K (or KLeft/KRight) must be at least 1")
+	}
+	o.ThetaL = max(o.ThetaL, 0)
+	o.ThetaR = max(o.ThetaR, 0)
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	copts := core.ITraversal(1)
+	copts.K, copts.KLeft, copts.KRight = 0, o.KLeft, o.KRight
+	copts.Exclusion = false
+	copts.ThetaL, copts.ThetaR = o.ThetaL, o.ThetaR
+	copts.Cancel = o.Cancel
+	copts.Transpose = o.Transpose
+	if copts.Transpose == nil {
+		copts.Transpose = g.Transpose()
+	}
+	return o, copts, nil
 }
 
-// Enumerate runs the simulation and streams every discovered MBP to emit
-// (which may be nil). Emission happens at the owning node's insert, so the
-// order is a deterministic interleaving but not the sequential engine's
-// order; the solution set is identical. The traversal uses iTraversal
-// without the order-dependent exclusion strategy (iTraversal-ES), the same
-// semantics as the parallel implementation.
+// shard is one runtime member: its partition of the deduplication store,
+// its bounded inbox, its work queue, and (optionally) its sender cache.
+// All fields except inbox are touched only by the shard's own goroutine.
+type shard struct {
+	inbox chan biplex.Pair
+	store btree.Tree
+	// localq holds owned, deduplicated solutions awaiting expansion.
+	localq []biplex.Pair
+	// stash holds candidates received while this shard was itself blocked
+	// sending (the deadlock breaker in send); they are processed before
+	// any further expansion.
+	stash  []biplex.Pair
+	sent   map[string]struct{}
+	stats  NodeStats
+	keyBuf []byte
+}
+
+// sharedRuntime is the cross-shard state of one concurrent run.
+type sharedRuntime struct {
+	g      *bigraph.Graph
+	o      Options
+	copts  core.Options
+	shards []*shard
+
+	// pending counts open work units: candidates produced but not yet
+	// fully processed. A duplicate's unit ends at deduplication; a new
+	// solution's unit stays open until its expansion finished (by which
+	// time every child unit is registered), so pending can only reach
+	// zero when the traversal is complete.
+	pending  atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+	stopped  atomic.Bool
+
+	emitMu    sync.Mutex
+	emit      func(biplex.Pair) bool
+	solutions int64
+	messages  atomic.Int64
+}
+
+// Enumerate runs the concurrent sharded runtime and streams every
+// discovered MBP to emit (which may be nil, and is otherwise called from
+// the owning shard's goroutine — concurrently across shards, serialized
+// per call). The pair handed to emit is shared with the runtime's work
+// queue: treat it as read-only and clone it to retain it past the call.
+// Emission order is nondeterministic; the solution set is identical to
+// the sequential enumeration's.
 func Enumerate(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, error) {
-	if o.Nodes < 1 {
-		return Stats{}, errors.New("dist: Options.Nodes must be at least 1")
-	}
-	if o.K < 1 {
-		return Stats{}, errors.New("dist: Options.K must be at least 1")
-	}
-
-	opts := core.ITraversal(o.K)
-	opts.Exclusion = false
-	opts.Transpose = g.Transpose()
-	opts.Cancel = o.Cancel
-
-	st := Stats{Nodes: make([]NodeStats, o.Nodes)}
-	nodes := make([]*node, o.Nodes)
-	for i := range nodes {
-		nodes[i] = &node{}
-		if o.SenderCache {
-			nodes[i].sent = make(map[string]struct{})
-		}
-	}
-	stopped := false
-
-	// deliver hands solution p to its hash owner: dedup, count, emit,
-	// enqueue for expansion. It reports whether the run should continue.
-	deliver := func(p biplex.Pair) bool {
-		key := vskey.Encode(nil, p.L, p.R)
-		own := owner(key, o.Nodes)
-		if !nodes[own].store.Insert(key) {
-			return true // already traversed by its owner
-		}
-		st.Nodes[own].Owned++
-		st.Solutions++
-		if emit != nil && !emit(p) {
-			stopped = true
-			return false
-		}
-		if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
-			stopped = true
-			return false
-		}
-		nodes[own].queue = append(nodes[own].queue, p)
-		return true
-	}
-
-	h0, err := core.InitialSolution(g, opts)
+	o, copts, err := o.normalized(g)
 	if err != nil {
-		return st, err
+		return Stats{}, err
+	}
+	rt := &sharedRuntime{
+		g: g, o: o, copts: copts,
+		shards: make([]*shard, o.Nodes),
+		done:   make(chan struct{}),
+		emit:   emit,
+	}
+	for i := range rt.shards {
+		rt.shards[i] = &shard{inbox: make(chan biplex.Pair, o.QueueLen)}
+		if o.SenderCache {
+			rt.shards[i].sent = make(map[string]struct{})
+		}
+	}
+
+	h0, err := core.InitialSolution(g, copts)
+	if err != nil {
+		return Stats{}, err
 	}
 	// The driver seeds H0 at its owner directly; only link targets
 	// discovered during expansions count as messages.
-	deliver(h0)
+	rt.pending.Store(1)
+	rt.shards[owner(vskey.Encode(nil, h0.L, h0.R), o.Nodes)].inbox <- h0
 
-	// Round-robin scheduling: each node drains one queued solution per
-	// turn, which keeps the simulated cluster in lock-step without
-	// favoring the node that owns H0.
-	for !stopped {
-		idle := true
-		for i, nd := range nodes {
-			if stopped {
-				break
-			}
-			if o.Cancel != nil && o.Cancel() {
-				stopped = true
-				break
-			}
-			if len(nd.queue) == 0 {
-				continue
-			}
-			idle = false
-			h := nd.queue[len(nd.queue)-1]
-			nd.queue = nd.queue[:len(nd.queue)-1]
-			st.Nodes[i].Expansions++
-			_, err := core.ExpandOnce(g, opts, h, func(p biplex.Pair) bool {
-				key := string(vskey.Encode(nil, p.L, p.R))
-				if nd.sent != nil {
-					if _, dup := nd.sent[key]; dup {
-						return true // sender cache: already forwarded
-					}
-					nd.sent[key] = struct{}{}
-				}
-				st.Messages++
-				st.Nodes[i].Sent++
-				return deliver(p.Clone())
-			})
-			if err != nil {
-				return st, err
-			}
-		}
-		if idle {
-			break
-		}
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.shardLoop(i)
+		}()
+	}
+	wg.Wait()
+
+	st := Stats{Solutions: rt.solutions, Messages: rt.messages.Load(), Nodes: make([]NodeStats, o.Nodes)}
+	for i, sh := range rt.shards {
+		st.Nodes[i] = sh.stats
 	}
 	return st, nil
 }
 
-// owner maps a canonical solution key to its hash owner.
+// shardLoop is shard i's goroutine: stashed candidates first, then owned
+// expansions, then blocking on the inbox.
+func (rt *sharedRuntime) shardLoop(i int) {
+	sh := rt.shards[i]
+	x, err := core.NewExpander(rt.g, rt.copts)
+	if err != nil {
+		// normalized() already validated the options; unreachable.
+		rt.stop()
+		return
+	}
+	for {
+		if rt.o.Cancel != nil && rt.o.Cancel() {
+			rt.stop()
+		}
+		if rt.stopped.Load() {
+			return
+		}
+		if n := len(sh.stash); n > 0 {
+			c := sh.stash[n-1]
+			sh.stash = sh.stash[:n-1]
+			rt.deliver(i, c)
+			continue
+		}
+		if n := len(sh.localq); n > 0 {
+			h := sh.localq[n-1]
+			sh.localq = sh.localq[:n-1]
+			sh.stats.Expansions++
+			x.Expand(h, func(p biplex.Pair) bool { return rt.route(i, p) })
+			rt.release() // h's own work unit: its children are all registered
+			continue
+		}
+		select {
+		case c := <-sh.inbox:
+			rt.deliver(i, c)
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// route hands one discovered link target to its hash owner. It runs on
+// shard from's goroutine during an expansion; the expander transfers
+// ownership of the pair (its slices are freshly allocated per link), so
+// it crosses shard boundaries and enters work queues without cloning.
+func (rt *sharedRuntime) route(from int, p biplex.Pair) bool {
+	if rt.stopped.Load() {
+		return false
+	}
+	sh := rt.shards[from]
+	sh.keyBuf = vskey.Encode(sh.keyBuf[:0], p.L, p.R)
+	if sh.sent != nil {
+		if _, dup := sh.sent[string(sh.keyBuf)]; dup {
+			return true // sender cache: already forwarded
+		}
+		sh.sent[string(sh.keyBuf)] = struct{}{}
+	}
+	to := owner(sh.keyBuf, len(rt.shards))
+	rt.messages.Add(1)
+	sh.stats.Sent++
+	if to == from {
+		// Self-owned: dedup in place with the already-encoded key before
+		// opening a work unit — duplicate rediscoveries (the bulk of the
+		// traffic) die right here. A remote owner cannot get this
+		// shortcut; its store lives on the other side of the channel.
+		if !sh.store.Insert(sh.keyBuf) {
+			return !rt.stopped.Load()
+		}
+		if rt.output(p) {
+			sh.stats.Owned++
+		}
+		if rt.stopped.Load() {
+			return false
+		}
+		rt.pending.Add(1)
+		sh.localq = append(sh.localq, p)
+		return true
+	}
+	rt.pending.Add(1)
+	rt.send(sh, to, p)
+	return !rt.stopped.Load()
+}
+
+// send blocks until to's inbox accepts c (backpressure), the run stops,
+// or — the deadlock breaker — this shard's own inbox yields a candidate,
+// which is stashed for later local processing. A cycle of shards all
+// blocked sending therefore always drains itself: every blocked shard
+// keeps freeing its own inbox capacity.
+func (rt *sharedRuntime) send(sh *shard, to int, c biplex.Pair) {
+	for {
+		select {
+		case rt.shards[to].inbox <- c:
+			return
+		case in := <-sh.inbox:
+			sh.stash = append(sh.stash, in)
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// deliver processes one candidate at its owner shard i: dedup against
+// the shard's store partition, count and emit, enqueue for expansion.
+func (rt *sharedRuntime) deliver(i int, c biplex.Pair) {
+	sh := rt.shards[i]
+	sh.keyBuf = vskey.Encode(sh.keyBuf[:0], c.L, c.R)
+	if !sh.store.Insert(sh.keyBuf) {
+		rt.release() // already traversed by this owner: the unit ends here
+		return
+	}
+	if rt.output(c) {
+		sh.stats.Owned++
+	}
+	if rt.stopped.Load() {
+		rt.release()
+		return
+	}
+	// The candidate's work unit stays open until its expansion finishes.
+	sh.localq = append(sh.localq, c)
+}
+
+// output applies the Theta filter and the cluster-wide emit/MaxResults
+// accounting; it reports whether the solution was counted.
+func (rt *sharedRuntime) output(c biplex.Pair) bool {
+	if len(c.L) < rt.o.ThetaL || len(c.R) < rt.o.ThetaR {
+		return false
+	}
+	rt.emitMu.Lock()
+	defer rt.emitMu.Unlock()
+	if rt.stopped.Load() {
+		return false
+	}
+	rt.solutions++
+	stop := false
+	if rt.emit != nil && !rt.emit(c) {
+		stop = true
+	}
+	if rt.o.MaxResults > 0 && rt.solutions >= int64(rt.o.MaxResults) {
+		stop = true
+	}
+	if stop {
+		// Still under emitMu: a concurrent output must observe stopped
+		// before it can count or emit past the quota, or a shard racing
+		// this one could deliver a MaxResults+1'th solution.
+		rt.stop()
+	}
+	return true
+}
+
+// release retires one work unit; the run terminates when none remain.
+func (rt *sharedRuntime) release() {
+	if rt.pending.Add(-1) == 0 {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+}
+
+// stop aborts the run early (emit returned false, MaxResults, cancel).
+func (rt *sharedRuntime) stop() {
+	rt.stopped.Store(true)
+	rt.doneOnce.Do(func() { close(rt.done) })
+}
+
+// owner maps a canonical solution key to its hash shard. FNV-1a is
+// inlined: a hash/fnv hasher would be one heap allocation per discovered
+// link target on the runtime's hottest path.
 func owner(key []byte, nodes int) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32() % uint32(nodes))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h % uint32(nodes))
 }

@@ -1,16 +1,37 @@
 package dist
 
 import (
+	"hash/fnv"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/bigraph"
 	"repro/internal/biplex"
 	"repro/internal/core"
 	"repro/internal/gen"
 )
 
-// TestMatchesSequential checks that the simulated cluster discovers
-// exactly the sequential solution set, for several cluster sizes, with
-// and without the sender cache.
+// runners enumerates both execution modes so every behavioral test runs
+// against the concurrent runtime and the lock-step simulation.
+var runners = []struct {
+	name string
+	run  func(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, error)
+}{
+	{"enumerate", Enumerate},
+	{"simulate", Simulate},
+}
+
+// ownerFNVReference is the stdlib implementation the inlined owner hash
+// must keep matching.
+func ownerFNVReference(key []byte, nodes int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(nodes))
+}
+
+// TestMatchesSequential checks that both modes discover exactly the
+// sequential solution set, for several shard counts, with and without
+// the sender cache, including a tiny inbox that forces backpressure.
 func TestMatchesSequential(t *testing.T) {
 	g := gen.ER(12, 12, 2, 9)
 	want, _, err := core.Collect(g, core.ITraversal(1))
@@ -20,31 +41,76 @@ func TestMatchesSequential(t *testing.T) {
 	if len(want) < 5 {
 		t.Fatalf("test graph too small: %d MBPs", len(want))
 	}
-	for _, nodes := range []int{1, 2, 4} {
-		for _, cache := range []bool{false, true} {
-			var got []biplex.Pair
-			st, err := Enumerate(g, Options{Nodes: nodes, K: 1, SenderCache: cache}, func(p biplex.Pair) bool {
-				got = append(got, p.Clone())
-				return true
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if st.Solutions != int64(len(want)) || len(got) != len(want) {
-				t.Fatalf("nodes=%d cache=%v: %d solutions, want %d", nodes, cache, st.Solutions, len(want))
-			}
-			biplex.SortPairs(got)
-			for i := range want {
-				if !got[i].Equal(want[i]) {
-					t.Fatalf("nodes=%d cache=%v: solution sets differ at %d", nodes, cache, i)
+	for _, r := range runners {
+		for _, nodes := range []int{1, 2, 4} {
+			for _, cache := range []bool{false, true} {
+				for _, queue := range []int{0, 1} {
+					got := make([]biplex.Pair, 0, len(want))
+					// emit may run concurrently across shards; serialize appends.
+					lock := make(chan struct{}, 1)
+					lock <- struct{}{}
+					st, err := r.run(g, Options{Nodes: nodes, K: 1, SenderCache: cache, QueueLen: queue}, func(p biplex.Pair) bool {
+						<-lock
+						got = append(got, p.Clone())
+						lock <- struct{}{}
+						return true
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Solutions != int64(len(want)) || len(got) != len(want) {
+						t.Fatalf("%s nodes=%d cache=%v queue=%d: %d solutions, want %d",
+							r.name, nodes, cache, queue, st.Solutions, len(want))
+					}
+					biplex.SortPairs(got)
+					for i := range want {
+						if !got[i].Equal(want[i]) {
+							t.Fatalf("%s nodes=%d cache=%v: solution sets differ at %d", r.name, nodes, cache, i)
+						}
+					}
+					var owned int64
+					for _, ns := range st.Nodes {
+						owned += ns.Owned
+					}
+					if owned != st.Solutions {
+						t.Fatalf("%s nodes=%d: owned sum %d != solutions %d", r.name, nodes, owned, st.Solutions)
+					}
 				}
 			}
-			var owned int64
-			for _, ns := range st.Nodes {
-				owned += ns.Owned
-			}
-			if owned != st.Solutions {
-				t.Fatalf("nodes=%d: owned sum %d != solutions %d", nodes, owned, st.Solutions)
+		}
+	}
+}
+
+// TestThetaMatchesSequential checks the large-MBP filter against the
+// sequential pruned enumeration.
+func TestThetaMatchesSequential(t *testing.T) {
+	g := gen.ER(14, 14, 2.5, 5)
+	opts := core.ITraversal(1)
+	opts.ThetaL, opts.ThetaR = 3, 3
+	want, _, err := core.Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runners {
+		var got []biplex.Pair
+		lock := make(chan struct{}, 1)
+		lock <- struct{}{}
+		st, err := r.run(g, Options{Nodes: 3, K: 1, ThetaL: 3, ThetaR: 3}, func(p biplex.Pair) bool {
+			<-lock
+			got = append(got, p.Clone())
+			lock <- struct{}{}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solutions != int64(len(want)) {
+			t.Fatalf("%s: %d large MBPs, want %d", r.name, st.Solutions, len(want))
+		}
+		biplex.SortPairs(got)
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s: large-MBP sets differ at %d", r.name, i)
 			}
 		}
 	}
@@ -52,66 +118,146 @@ func TestMatchesSequential(t *testing.T) {
 
 // TestSenderCacheReducesMessages checks the cache never increases and
 // (on a workload with re-discovered links) strictly decreases messages.
+// Message totals of full runs are deterministic in both modes: every
+// owned solution is expanded exactly once, so the discovered link
+// multiset — and the per-shard first-time-forwarded key sets — are
+// fixed by the graph.
 func TestSenderCacheReducesMessages(t *testing.T) {
 	g := gen.ER(14, 14, 2.5, 3)
-	plain, err := Enumerate(g, Options{Nodes: 4, K: 1}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cached, err := Enumerate(g, Options{Nodes: 4, K: 1, SenderCache: true}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cached.Solutions != plain.Solutions {
-		t.Fatalf("solutions differ: %d vs %d", cached.Solutions, plain.Solutions)
-	}
-	if cached.Messages > plain.Messages {
-		t.Fatalf("sender cache increased messages: %d > %d", cached.Messages, plain.Messages)
-	}
-	if plain.Messages <= plain.Solutions {
-		t.Fatalf("workload has no duplicate links (messages %d, solutions %d): test is vacuous", plain.Messages, plain.Solutions)
+	for _, r := range runners {
+		plain, err := r.run(g, Options{Nodes: 4, K: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := r.run(g, Options{Nodes: 4, K: 1, SenderCache: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Solutions != plain.Solutions {
+			t.Fatalf("%s: solutions differ: %d vs %d", r.name, cached.Solutions, plain.Solutions)
+		}
+		if cached.Messages > plain.Messages {
+			t.Fatalf("%s: sender cache increased messages: %d > %d", r.name, cached.Messages, plain.Messages)
+		}
+		if plain.Messages <= plain.Solutions {
+			t.Fatalf("%s: workload has no duplicate links (messages %d, solutions %d): test is vacuous",
+				r.name, plain.Messages, plain.Solutions)
+		}
 	}
 }
 
-// TestMaxResults checks the cluster-wide stop condition.
-func TestMaxResults(t *testing.T) {
+// TestModesAgreeOnMessages checks the concurrent runtime and the
+// simulation count the same full-run message volume without the sender
+// cache (the cache-suppressed volume is also deterministic, but equality
+// across modes additionally needs identical per-shard discovery sets,
+// which both modes share by construction).
+func TestModesAgreeOnMessages(t *testing.T) {
 	g := gen.ER(12, 12, 2, 9)
-	st, err := Enumerate(g, Options{Nodes: 3, K: 1, MaxResults: 4}, nil)
+	conc, err := Enumerate(g, Options{Nodes: 4, K: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Solutions != 4 {
-		t.Fatalf("MaxResults=4 yielded %d solutions", st.Solutions)
+	sim, err := Simulate(g, Options{Nodes: 4, K: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Messages != sim.Messages || conc.Solutions != sim.Solutions {
+		t.Fatalf("modes disagree: enumerate %d msgs/%d sols, simulate %d msgs/%d sols",
+			conc.Messages, conc.Solutions, sim.Messages, sim.Solutions)
+	}
+	for i := range conc.Nodes {
+		if conc.Nodes[i].Owned != sim.Nodes[i].Owned {
+			t.Fatalf("shard %d ownership differs: %d vs %d", i, conc.Nodes[i].Owned, sim.Nodes[i].Owned)
+		}
+	}
+}
+
+// TestMaxResults checks the cluster-wide stop condition, including the
+// seed-only case (a MaxResults-stopped seed must not reach the
+// expansion scheduler).
+func TestMaxResults(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	for _, r := range runners {
+		st, err := r.run(g, Options{Nodes: 3, K: 1, MaxResults: 4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solutions != 4 {
+			t.Fatalf("%s: MaxResults=4 yielded %d solutions", r.name, st.Solutions)
+		}
+	}
+	st, err := Simulate(g, Options{Nodes: 3, K: 1, MaxResults: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp int64
+	for _, ns := range st.Nodes {
+		exp += ns.Expansions
+	}
+	if st.Solutions != 1 || exp != 0 {
+		t.Fatalf("seed filling the quota still scheduled %d expansions (%d solutions)", exp, st.Solutions)
+	}
+}
+
+// TestEmitStop checks that emit returning false stops the run promptly.
+func TestEmitStop(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	for _, r := range runners {
+		var n atomic.Int64
+		st, err := r.run(g, Options{Nodes: 4, K: 1}, func(biplex.Pair) bool {
+			return n.Add(1) < 3
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solutions != 3 {
+			t.Fatalf("%s: emit=false after 3 yielded %d solutions", r.name, st.Solutions)
+		}
 	}
 }
 
 // TestCancel checks cooperative cancellation between expansions.
 func TestCancel(t *testing.T) {
 	g := gen.ER(12, 12, 2, 9)
-	calls := 0
-	st, err := Enumerate(g, Options{Nodes: 2, K: 1, Cancel: func() bool {
-		calls++
-		return calls > 3
-	}}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	full, err := Enumerate(g, Options{Nodes: 2, K: 1}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Solutions >= full.Solutions {
-		t.Fatalf("cancel did not cut the run short: %d vs %d", st.Solutions, full.Solutions)
+	for _, r := range runners {
+		full, err := r.run(g, Options{Nodes: 2, K: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var calls atomic.Int64
+		st, err := r.run(g, Options{Nodes: 2, K: 1, Cancel: func() bool {
+			return calls.Add(1) > 3
+		}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solutions >= full.Solutions {
+			t.Fatalf("%s: cancel did not cut the run short: %d vs %d", r.name, st.Solutions, full.Solutions)
+		}
 	}
 }
 
-// TestValidation checks option validation.
+// TestValidation checks option validation in both modes.
 func TestValidation(t *testing.T) {
 	g := gen.ER(4, 4, 1, 1)
-	if _, err := Enumerate(g, Options{Nodes: 0, K: 1}, nil); err == nil {
-		t.Fatal("Nodes=0 accepted")
+	for _, r := range runners {
+		if _, err := r.run(g, Options{Nodes: 0, K: 1}, nil); err == nil {
+			t.Fatalf("%s: Nodes=0 accepted", r.name)
+		}
+		if _, err := r.run(g, Options{Nodes: 2, K: 0}, nil); err == nil {
+			t.Fatalf("%s: K=0 accepted", r.name)
+		}
 	}
-	if _, err := Enumerate(g, Options{Nodes: 2, K: 0}, nil); err == nil {
-		t.Fatal("K=0 accepted")
+}
+
+// TestOwnerMatchesFNV pins the inlined hash to the stdlib FNV-1a it
+// replaced, so persisted ownership assumptions (and the simulation's
+// recorded balance tables) cannot drift.
+func TestOwnerMatchesFNV(t *testing.T) {
+	keys := [][]byte{nil, {}, []byte("a"), []byte("kbiplex"), {0, 1, 2, 3, 255}}
+	for _, k := range keys {
+		if got, want := owner(k, 7), ownerFNVReference(k, 7); got != want {
+			t.Fatalf("owner(%q) = %d, stdlib fnv says %d", k, got, want)
+		}
 	}
 }

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/vskey"
+)
+
+// simNode is one simulated cluster member: its partition of the
+// deduplication store, its work queue, and (optionally) its sender cache.
+type simNode struct {
+	store btree.Tree
+	queue []biplex.Pair
+	sent  map[string]struct{}
+}
+
+// Simulate runs the deterministic lock-step model of the sharded
+// protocol and streams every discovered MBP to emit (which may be nil;
+// as with Enumerate, the pair is shared with a node's work queue —
+// read-only, clone to retain).
+// One goroutine plays every node in round-robin turns, so the emission
+// interleaving — and with it every counter — is exactly reproducible for
+// a given graph and options: the mode the message-volume and
+// ownership-balance experiments (cmd/experiments ext-dist) are recorded
+// with. Enumerate is the concurrent runtime with the same protocol and
+// the same solution set. QueueLen is ignored (the model has no
+// channels).
+func Simulate(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, error) {
+	o, copts, err := o.normalized(g)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	st := Stats{Nodes: make([]NodeStats, o.Nodes)}
+	nodes := make([]*simNode, o.Nodes)
+	for i := range nodes {
+		nodes[i] = &simNode{}
+		if o.SenderCache {
+			nodes[i].sent = make(map[string]struct{})
+		}
+	}
+	stopped := false
+
+	// deliver hands solution p to its hash owner: dedup, count, emit,
+	// enqueue for expansion. It reports whether the run should continue.
+	deliver := func(p biplex.Pair) bool {
+		key := vskey.Encode(nil, p.L, p.R)
+		own := owner(key, o.Nodes)
+		if !nodes[own].store.Insert(key) {
+			return true // already traversed by its owner
+		}
+		if len(p.L) >= o.ThetaL && len(p.R) >= o.ThetaR {
+			st.Nodes[own].Owned++
+			st.Solutions++
+			if emit != nil && !emit(p) {
+				stopped = true
+				return false
+			}
+			if o.MaxResults > 0 && st.Solutions >= int64(o.MaxResults) {
+				stopped = true
+				return false
+			}
+		}
+		nodes[own].queue = append(nodes[own].queue, p)
+		return true
+	}
+
+	h0, err := core.InitialSolution(g, copts)
+	if err != nil {
+		return st, err
+	}
+	x, err := core.NewExpander(g, copts)
+	if err != nil {
+		return st, err
+	}
+	// The driver seeds H0 at its owner directly; only link targets
+	// discovered during expansions count as messages. A seed that already
+	// fills the quota (or stops the emitter) must not fall into the
+	// scheduling loop.
+	if !deliver(h0) {
+		return st, nil
+	}
+
+	// Round-robin scheduling: each node drains one queued solution per
+	// turn, which keeps the simulated cluster in lock-step without
+	// favoring the node that owns H0.
+	for !stopped {
+		idle := true
+		for i, nd := range nodes {
+			if stopped {
+				break
+			}
+			if o.Cancel != nil && o.Cancel() {
+				stopped = true
+				break
+			}
+			if len(nd.queue) == 0 {
+				continue
+			}
+			idle = false
+			h := nd.queue[len(nd.queue)-1]
+			nd.queue = nd.queue[:len(nd.queue)-1]
+			st.Nodes[i].Expansions++
+			if err := x.Expand(h, func(p biplex.Pair) bool {
+				key := string(vskey.Encode(nil, p.L, p.R))
+				if nd.sent != nil {
+					if _, dup := nd.sent[key]; dup {
+						return true // sender cache: already forwarded
+					}
+					nd.sent[key] = struct{}{}
+				}
+				st.Messages++
+				st.Nodes[i].Sent++
+				// The expander transfers ownership of p; no clone needed
+				// before it enters the owner's store and queue.
+				return deliver(p)
+			}); err != nil {
+				return st, err
+			}
+		}
+		if idle {
+			break
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,243 @@
+// Package exec is the unified query planner and executor every
+// enumeration funnel shares. Before it existed the repository had four
+// divergent execution paths — the package-level sequential funnel, the
+// Engine's cached variant, the parallel driver and the distributed
+// simulation — each re-implementing the (α,β)-core reduction, result
+// limits, cancellation and accounting. Here a query is planned once and
+// executed by a pluggable runner:
+//
+//	graph view → (α,β)-core reduction → traversal strategy → sink/limits
+//	└────────────── Plan (NewPlan / PlanView) ──────────────┘   runner
+//
+// A Plan binds normalized Options to a View: the (possibly core-reduced)
+// execution graph, its transpose, and the vertex-id back-maps into the
+// original graph. NewPlan materializes the default view (the Section 5
+// theta-core for large-MBP queries); PlanView accepts an externally
+// cached view, which is how the Engine's per-(α,β) reduction cache plugs
+// in without exec knowing about caching. Runners — Sequential, Parallel,
+// Sharded — then execute the plan, all emitting through one shared sink
+// that back-maps ids and enforces MaxResults identically everywhere.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/abcore"
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/core"
+)
+
+// Algorithm selects the enumeration algorithm of a plan. The values
+// mirror the public kbiplex.Algorithm constants; the root package maps
+// between the two so exec stays import-cycle-free.
+type Algorithm int
+
+const (
+	// ITraversal is the paper's reverse search with left-anchored
+	// traversal, right-shrinking traversal and the exclusion strategy.
+	ITraversal Algorithm = iota
+	// BTraversal is the unpruned reverse-search baseline.
+	BTraversal
+	// IMB is the backtracking baseline with size-constraint pruning.
+	IMB
+	// Inflation inflates the graph and enumerates maximal (k+1)-plexes.
+	Inflation
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case ITraversal:
+		return "iTraversal"
+	case BTraversal:
+		return "bTraversal"
+	case IMB:
+		return "iMB"
+	case Inflation:
+		return "Inflation"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures one planned query. Callers validate and default
+// user input before planning (the root package's Options.normalize);
+// exec re-checks only what would make a plan unexecutable.
+type Options struct {
+	// Algorithm selects the enumerator.
+	Algorithm Algorithm
+	// KLeft and KRight are the per-side biplex budgets, both ≥ 1.
+	KLeft, KRight int
+	// MinLeft and MinRight, when positive, restrict output to large MBPs.
+	MinLeft, MinRight int
+	// MaxResults stops after this many MBPs (0 = all).
+	MaxResults int
+	// Cancel, when non-nil, is polled during the run; concurrent runners
+	// poll it from several goroutines, so it must be safe for that.
+	Cancel func() bool
+	// SpillDir, when non-empty, backs the sequential reverse-search
+	// deduplication store with sorted run files in that directory.
+	// Concurrent runners ignore it (their stores are in-memory).
+	SpillDir string
+}
+
+// validate rejects options no runner could execute.
+func (o Options) validate() error {
+	if o.KLeft < 1 || o.KRight < 1 {
+		return errors.New("exec: KLeft and KRight must be at least 1")
+	}
+	switch o.Algorithm {
+	case ITraversal, BTraversal, IMB, Inflation:
+	default:
+		return fmt.Errorf("exec: unknown algorithm %v", o.Algorithm)
+	}
+	if o.Algorithm == Inflation && o.KLeft != o.KRight {
+		return errors.New("exec: the Inflation algorithm requires KLeft == KRight")
+	}
+	return nil
+}
+
+// View is the graph-view stage of a plan: the (possibly core-reduced)
+// execution graph, its transpose, and the vertex-id back-maps into the
+// original graph. Views are immutable once built and safe to share
+// across queries — the Engine caches one per (α,β) reduction.
+type View struct {
+	// Run is the graph the enumeration executes on.
+	Run *bigraph.Graph
+	// Transpose is Run's transpose; when nil it is derived on demand
+	// (an O(1) mirror view).
+	Transpose *bigraph.Graph
+	// LBack and RBack map Run's vertex ids back to the original graph's;
+	// nil (with Mapped false) when Run is the original graph.
+	LBack, RBack []int32
+	// Mapped reports whether the view is a reduction needing back-maps.
+	Mapped bool
+}
+
+// NewView materializes the default graph view for a query against g:
+// every MBP satisfying the MinLeft/MinRight thresholds lives inside the
+// (MinRight−k, MinLeft−k)-core and is maximal there iff maximal in g
+// (Section 5), so large-MBP queries run on the smaller core. BTraversal
+// cannot prune small MBPs and keeps the full graph (it post-filters).
+func NewView(g *bigraph.Graph, o Options) View {
+	if (o.MinLeft > 0 || o.MinRight > 0) && o.Algorithm != BTraversal {
+		run, lback, rback := abcore.ThetaCoreLRK(g, o.MinLeft, o.MinRight, o.KLeft, o.KRight)
+		return View{Run: run, LBack: lback, RBack: rback, Mapped: true}
+	}
+	return View{Run: g}
+}
+
+// remap translates a solution of the view's graph back to original
+// vertex ids, cloning so the receiver owns the slices either way.
+func (v View) remap(p biplex.Pair) biplex.Pair {
+	if !v.Mapped {
+		return p.Clone()
+	}
+	q := biplex.Pair{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
+	for i, x := range p.L {
+		q.L[i] = v.LBack[x]
+	}
+	for i, u := range p.R {
+		q.R[i] = v.RBack[u]
+	}
+	return q
+}
+
+// Plan is one planned query: validated options bound to a graph view.
+// Build one with NewPlan or PlanView, execute it with a Runner. A Plan
+// is immutable and may be executed more than once.
+type Plan struct {
+	// Opts are the plan's options (validated).
+	Opts Options
+	// View is the graph view the runners execute on.
+	View View
+}
+
+// NewPlan plans one query against g with the default view.
+func NewPlan(g *bigraph.Graph, o Options) (*Plan, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{Opts: o, View: NewView(g, o)}, nil
+}
+
+// PlanView plans one query over an externally materialized view — the
+// Engine's core-reduction cache path.
+func PlanView(v View, o Options) (*Plan, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if v.Run == nil {
+		return nil, errors.New("exec: PlanView requires a view with a graph")
+	}
+	return &Plan{Opts: o, View: v}, nil
+}
+
+// traversal maps the plan to the internal/core options of the
+// reverse-search algorithms (ITraversal and BTraversal only).
+func (p *Plan) traversal() core.Options {
+	var c core.Options
+	if p.Opts.Algorithm == ITraversal {
+		c = core.ITraversal(1)
+		c.ThetaL, c.ThetaR = p.Opts.MinLeft, p.Opts.MinRight
+		c.MaxResults = p.Opts.MaxResults
+	} else {
+		c = core.BTraversal(1)
+	}
+	c.K, c.KLeft, c.KRight = 0, p.Opts.KLeft, p.Opts.KRight
+	c.Cancel = p.Opts.Cancel
+	c.Transpose = p.View.Transpose
+	return c
+}
+
+// EmitFunc receives each enumerated MBP in original vertex ids; the
+// callee owns the pair. Returning false stops the run. Concurrent
+// runners may call it from several goroutines (calls are serialized by
+// the sink, but emission order is nondeterministic).
+type EmitFunc func(p biplex.Pair) bool
+
+// Stats reports a finished execution.
+type Stats struct {
+	// Solutions is the number of MBPs emitted (after any theta filter).
+	Solutions int64
+	// Messages counts link targets routed between shards (Sharded only).
+	Messages int64
+	// Shards holds the per-shard breakdown (Sharded only).
+	Shards []ShardStats
+}
+
+// sink is the emission relay every runner shares: it back-maps ids,
+// counts, and enforces MaxResults both before and after emitting —
+// uniformly, where the pre-exec funnels each hand-rolled the quota.
+type sink struct {
+	mu   sync.Mutex
+	view View
+	max  int
+	emit EmitFunc
+	n    int64
+}
+
+func (p *Plan) newSink(emit EmitFunc) *sink {
+	return &sink{view: p.View, max: p.Opts.MaxResults, emit: emit}
+}
+
+// relay forwards one solution of the view's graph; it reports whether
+// the run should continue.
+func (s *sink) relay(pr biplex.Pair) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.max > 0 && s.n >= int64(s.max) {
+		return false // quota already filled
+	}
+	s.n++
+	ok := true
+	if s.emit != nil {
+		ok = s.emit(s.view.remap(pr))
+	}
+	if s.max > 0 && s.n >= int64(s.max) {
+		return false
+	}
+	return ok
+}

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// collect runs one plan under a runner and returns the sorted solutions.
+func collect(t *testing.T, p *Plan, r Runner) ([]biplex.Pair, Stats) {
+	t.Helper()
+	var mu sync.Mutex
+	var out []biplex.Pair
+	st, err := r.Run(p, func(pr biplex.Pair) bool {
+		mu.Lock()
+		out = append(out, pr)
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(out)
+	return out, st
+}
+
+// TestRunnersAgree checks every runner produces the sequential solution
+// set for the same plan, on plain and large-MBP (core-reduced) queries.
+func TestRunnersAgree(t *testing.T) {
+	g := gen.ER(14, 14, 2.2, 21)
+	for _, o := range []Options{
+		{Algorithm: ITraversal, KLeft: 1, KRight: 1},
+		{Algorithm: ITraversal, KLeft: 1, KRight: 1, MinLeft: 3, MinRight: 3},
+		{Algorithm: ITraversal, KLeft: 2, KRight: 1},
+	} {
+		p, err := NewPlan(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantSt := collect(t, p, Sequential{})
+		if len(want) == 0 && o.MinLeft == 0 {
+			t.Fatal("no solutions at all (implausible)")
+		}
+		for _, r := range []Runner{
+			Parallel{Workers: 3},
+			Sharded{Shards: 3},
+			Sharded{Shards: 2, QueueLen: 1, SenderCache: true},
+			Sharded{Shards: 3, Simulate: true},
+		} {
+			got, st := collect(t, p, r)
+			if st.Solutions != wantSt.Solutions || len(got) != len(want) {
+				t.Fatalf("%T on %+v: %d solutions, want %d", r, o, st.Solutions, wantSt.Solutions)
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%T on %+v: solution sets differ at %d", r, o, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSequentialAlgorithms checks the four algorithms agree on the
+// solution set through the planner (they enumerate the same MBPs by
+// definition).
+func TestSequentialAlgorithms(t *testing.T) {
+	g := gen.ER(10, 10, 1.8, 8)
+	base, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := collect(t, base, Sequential{})
+	for _, alg := range []Algorithm{BTraversal, IMB, Inflation} {
+		p, err := NewPlan(g, Options{Algorithm: alg, KLeft: 1, KRight: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := collect(t, p, Sequential{})
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d solutions, want %d", alg, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%v: solution sets differ at %d", alg, i)
+			}
+		}
+	}
+}
+
+// TestMaxResultsUniform checks the shared sink clamps every runner to
+// the same quota.
+func TestMaxResultsUniform(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	p, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1, MaxResults: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Runner{Sequential{}, Parallel{Workers: 2}, Sharded{Shards: 2}, Sharded{Shards: 2, Simulate: true}} {
+		_, st := collect(t, p, r)
+		if st.Solutions != 5 {
+			t.Fatalf("%T: MaxResults=5 yielded %d", r, st.Solutions)
+		}
+	}
+}
+
+// TestSpillDir checks the sequential runner spills without changing the
+// solution set, and that concurrent runners simply ignore the spill
+// (their stores are in-memory).
+func TestSpillDir(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	plain, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := collect(t, plain, Sequential{})
+	p, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, p, Sequential{})
+	if len(got) != len(want) {
+		t.Fatalf("spilled run found %d solutions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("spilled solution sets differ at %d", i)
+		}
+	}
+}
+
+// TestViewRemap checks a core-reduced plan reports solutions in
+// original vertex ids.
+func TestViewRemap(t *testing.T) {
+	g := gen.ER(16, 16, 2.5, 4)
+	p, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1, MinLeft: 3, MinRight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, p, Sequential{})
+	opts := core.ITraversal(1)
+	opts.ThetaL, opts.ThetaR = 3, 3
+	want, _, err := core.Collect(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reduced plan found %d large MBPs, direct enumeration %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("remapped solution %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestValidation checks plan validation and the concurrent runners'
+// algorithm restriction.
+func TestValidation(t *testing.T) {
+	g := gen.ER(4, 4, 1, 1)
+	if _, err := NewPlan(g, Options{Algorithm: ITraversal}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewPlan(g, Options{Algorithm: Algorithm(99), KLeft: 1, KRight: 1}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := NewPlan(g, Options{Algorithm: Inflation, KLeft: 1, KRight: 2}); err == nil {
+		t.Fatal("asymmetric Inflation accepted")
+	}
+	if _, err := PlanView(View{}, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1}); err == nil {
+		t.Fatal("graphless view accepted")
+	}
+	p, err := NewPlan(g, Options{Algorithm: BTraversal, KLeft: 1, KRight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Parallel{}).Run(p, nil); err == nil {
+		t.Fatal("Parallel accepted bTraversal")
+	}
+	if _, err := (Sharded{}).Run(p, nil); err == nil {
+		t.Fatal("Sharded accepted bTraversal")
+	}
+}
+
+// TestCancel checks the cancel hook stops every runner early.
+func TestCancel(t *testing.T) {
+	g := gen.ER(14, 14, 2.5, 3)
+	full, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullSt := collect(t, full, Sequential{})
+	for _, mk := range []func(cancel func() bool) Runner{
+		func(func() bool) Runner { return Sequential{} },
+		func(func() bool) Runner { return Parallel{Workers: 2} },
+		func(func() bool) Runner { return Sharded{Shards: 2} },
+	} {
+		stopAfter := int64(3)
+		var n int64
+		var mu sync.Mutex
+		cancel := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			n++
+			return n > stopAfter
+		}
+		p, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1, Cancel: cancel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mk(cancel)
+		st, err := r.Run(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solutions >= fullSt.Solutions {
+			t.Fatalf("%T: cancel did not cut the run short (%d vs %d)", r, st.Solutions, fullSt.Solutions)
+		}
+	}
+}
+
+// TestShardedStats checks the sharded runner surfaces the runtime's
+// message and per-shard accounting.
+func TestShardedStats(t *testing.T) {
+	g := gen.ER(12, 12, 2, 9)
+	p, err := NewPlan(g, Options{Algorithm: ITraversal, KLeft: 1, KRight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := collect(t, p, Sharded{Shards: 3})
+	if len(st.Shards) != 3 {
+		t.Fatalf("expected 3 shard breakdowns, got %d", len(st.Shards))
+	}
+	if st.Messages == 0 {
+		t.Fatal("no messages recorded")
+	}
+	var owned int64
+	for _, ns := range st.Shards {
+		owned += ns.Owned
+	}
+	if owned != st.Solutions {
+		t.Fatalf("owned sum %d != solutions %d", owned, st.Solutions)
+	}
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"errors"
+	"runtime"
+
+	"repro/internal/biplex"
+	"repro/internal/core"
+	"repro/internal/diskstore"
+	"repro/internal/dist"
+	"repro/internal/imb"
+	"repro/internal/inflate"
+	"repro/internal/kplex"
+)
+
+// Runner executes one plan. Implementations are Sequential, Parallel
+// and Sharded; a Runner carries only execution shape (worker counts,
+// queue sizes), never query semantics — those live in the Plan, so the
+// same plan run by any runner yields the same solution set.
+type Runner interface {
+	Run(p *Plan, emit EmitFunc) (Stats, error)
+}
+
+// ShardStats is the per-shard breakdown of a sharded execution.
+type ShardStats = dist.NodeStats
+
+// errNotITraversal is shared by the concurrent runners, which rely on
+// the unordered-expansion correctness argument only iTraversal's
+// solution graph supports.
+var errNotITraversal = errors.New("exec: this runner supports only the ITraversal algorithm")
+
+// Sequential executes the plan in order on the calling goroutine — the
+// only runner supporting all four algorithms, disk-spilled
+// deduplication, and the polynomial-delay guarantee.
+type Sequential struct{}
+
+func (Sequential) Run(p *Plan, emit EmitFunc) (Stats, error) {
+	o := p.Opts
+	s := p.newSink(emit)
+
+	var store core.SolutionStore
+	if o.SpillDir != "" {
+		if o.Algorithm != ITraversal && o.Algorithm != BTraversal {
+			return Stats{}, errors.New("exec: SpillDir applies only to the reverse-search algorithms")
+		}
+		// A modest memtable keeps the memory ceiling low — spilling is the
+		// whole point of asking for a SpillDir.
+		ds, err := diskstore.Open(diskstore.Options{Dir: o.SpillDir, FlushKeys: 1 << 13})
+		if err != nil {
+			return Stats{}, err
+		}
+		defer ds.Close()
+		store = ds
+	}
+
+	var err error
+	switch o.Algorithm {
+	case ITraversal:
+		c := p.traversal()
+		c.Store = store
+		_, err = core.Enumerate(p.View.Run, c, func(pr biplex.Pair) bool { return s.relay(pr) })
+	case BTraversal:
+		c := p.traversal()
+		c.Store = store
+		// bTraversal cannot prune small MBPs (Section 5); post-filter.
+		_, err = core.Enumerate(p.View.Run, c, func(pr biplex.Pair) bool {
+			if len(pr.L) < o.MinLeft || len(pr.R) < o.MinRight {
+				return true
+			}
+			return s.relay(pr)
+		})
+	case IMB:
+		imb.Enumerate(p.View.Run, imb.Options{
+			KLeft: o.KLeft, KRight: o.KRight, ThetaL: o.MinLeft, ThetaR: o.MinRight,
+			MaxResults: o.MaxResults, Cancel: o.Cancel,
+		}, func(pr biplex.Pair) bool { return s.relay(pr) })
+	case Inflation:
+		ig := inflate.Inflate(p.View.Run)
+		kplex.EnumerateMaximalCancel(ig, o.KLeft+1, o.Cancel, func(members []int32) bool {
+			l, r := inflate.Split(append([]int32(nil), members...), p.View.Run.NumLeft())
+			if len(l) < o.MinLeft || len(r) < o.MinRight {
+				return true
+			}
+			return s.relay(biplex.Pair{L: l, R: r})
+		})
+	}
+	return Stats{Solutions: s.n}, err
+}
+
+// Parallel fans one traversal out to a pool of workers sharing a single
+// locked deduplication store (ITraversal only; the exclusion strategy is
+// order-dependent and disabled). Workers ≤ 0 selects GOMAXPROCS.
+type Parallel struct {
+	Workers int
+}
+
+func (r Parallel) Run(p *Plan, emit EmitFunc) (Stats, error) {
+	if p.Opts.Algorithm != ITraversal {
+		return Stats{}, errNotITraversal
+	}
+	s := p.newSink(emit)
+	_, err := core.EnumerateParallel(p.View.Run, p.traversal(), r.Workers, func(pr biplex.Pair) bool {
+		return s.relay(pr)
+	})
+	return Stats{Solutions: s.n}, err
+}
+
+// Sharded partitions the deduplication store across hash-owned shards
+// exchanging link targets over bounded channels (ITraversal only); see
+// internal/dist. Shards ≤ 0 selects GOMAXPROCS. Simulate swaps in the
+// deterministic lock-step model of the same protocol.
+type Sharded struct {
+	// Shards is the shard count (≤ 0 = GOMAXPROCS).
+	Shards int
+	// QueueLen is each shard's inbox capacity (0 = the dist default).
+	QueueLen int
+	// SenderCache enables the per-shard forwarded-key combiner cache.
+	SenderCache bool
+	// Simulate runs the deterministic lock-step model instead of the
+	// concurrent runtime.
+	Simulate bool
+}
+
+func (r Sharded) Run(p *Plan, emit EmitFunc) (Stats, error) {
+	if p.Opts.Algorithm != ITraversal {
+		return Stats{}, errNotITraversal
+	}
+	o := p.Opts
+	shards := r.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := p.newSink(emit)
+	do := dist.Options{
+		Nodes:  shards,
+		K:      0,
+		KLeft:  o.KLeft,
+		KRight: o.KRight,
+		ThetaL: o.MinLeft,
+		ThetaR: o.MinRight,
+		// The sink enforces the quota (identically to every other
+		// runner); the runtime-level cap is a fast-stop hint.
+		MaxResults:  o.MaxResults,
+		SenderCache: r.SenderCache,
+		QueueLen:    r.QueueLen,
+		Cancel:      o.Cancel,
+		Transpose:   p.View.Transpose,
+	}
+	run := dist.Enumerate
+	if r.Simulate {
+		run = dist.Simulate
+	}
+	dst, err := run(p.View.Run, do, func(pr biplex.Pair) bool { return s.relay(pr) })
+	return Stats{Solutions: s.n, Messages: dst.Messages, Shards: dst.Nodes}, err
+}

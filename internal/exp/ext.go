@@ -77,7 +77,7 @@ func ExtDist(c Config) *Table {
 	for _, nodes := range []int{1, 2, 4, 8} {
 		for _, cache := range []bool{false, true} {
 			t0 := time.Now()
-			st, err := dist.Enumerate(g, dist.Options{
+			st, err := dist.Simulate(g, dist.Options{
 				Nodes: nodes, K: 1, MaxResults: c.FirstN, SenderCache: cache,
 			}, nil)
 			if err != nil {

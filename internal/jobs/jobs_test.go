@@ -14,6 +14,9 @@ import (
 // server wires in.
 func engineRunner(eng *kbiplex.Engine) Runner {
 	return func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		if q.Shards > 0 {
+			return eng.EnumerateSharded(ctx, q.Options(), emit)
+		}
 		if q.Workers > 1 || q.Workers < 0 {
 			return eng.EnumerateParallel(ctx, q.Options(), q.Workers, emit)
 		}
@@ -257,8 +260,35 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := m.Submit("g", kbiplex.Query{K: -1}, nil); err == nil {
 		t.Fatal("invalid query admitted")
 	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1, Shards: -1}, nil); err == nil {
+		t.Fatal("negative shards admitted")
+	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1, Shards: 2, Workers: 2}, nil); err == nil {
+		t.Fatal("shards+workers admitted")
+	}
 	if _, err := m.Get("j-nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown id: %v", err)
+	}
+}
+
+// TestShardedJobSpools checks a shards query runs through the pool and
+// spools the full solution set (the runner's emit is concurrency-safe,
+// which the sharded driver exercises from several goroutines).
+func TestShardedJobSpools(t *testing.T) {
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManager(t, Config{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1, Shards: 3}, engineRunner(kbiplex.NewEngine(g, kbiplex.EngineConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := drain(context.Background(), j)
+	snap := j.Snapshot()
+	if snap.State != StateDone || len(sols) != len(want) {
+		t.Fatalf("sharded job: state %s, %d solutions, want done with %d", snap.State, len(sols), len(want))
 	}
 }
 

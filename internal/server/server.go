@@ -104,6 +104,12 @@ type Config struct {
 	// (0 = unlimited); the catalog evicts the least-recently-used
 	// persisted engines past it. See store.Config.MemoryBudget.
 	MemoryBudget int64
+	// DefaultShards, when > 1, runs iTraversal queries that pick neither
+	// workers nor shards on the sharded runtime with this many shards —
+	// the operator's knob (kbiplexd -default-shards) for putting every
+	// plain query on the multi-core path. Queries that set workers or
+	// shards, and non-iTraversal queries, are unaffected.
+	DefaultShards int
 	// Jobs bounds the /v1 job manager (worker pool size, queue depth,
 	// spool cap, retention); zero values take the jobs package defaults.
 	Jobs jobs.Config
@@ -576,6 +582,7 @@ func queryFromURL(r *http.Request) (kbiplex.Query, error) {
 		{"min_right", &q.MinRight, 0},
 		{"max_results", &q.MaxResults, 0},
 		{"workers", &q.Workers, -maxQueryParam},
+		{"shards", &q.Shards, 0},
 	} {
 		if err := intField(p.key, p.dst, p.minValue); err != nil {
 			return q, err
@@ -612,6 +619,7 @@ func decodeQuery(w http.ResponseWriter, r *http.Request) (kbiplex.Query, error) 
 		{"k", q.K}, {"k_left", q.KLeft}, {"k_right", q.KRight},
 		{"min_left", q.MinLeft}, {"min_right", q.MinRight},
 		{"max_results", q.MaxResults}, {"workers", q.Workers}, {"workers", -q.Workers},
+		{"shards", q.Shards},
 	} {
 		if f.value > maxQueryParam {
 			return q, fmt.Errorf("field %s must be at most %d", f.name, maxQueryParam)
@@ -637,15 +645,22 @@ type summaryLine struct {
 }
 
 // runQuery executes one decoded query against an engine, dispatching to
-// the parallel driver when the query asks for workers. It is the single
-// execution path shared by the legacy streaming endpoint and the /v1
-// job runner; emit must be safe for concurrent use when workers are
-// requested.
-func runQuery(ctx context.Context, eng *kbiplex.Engine, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+// the sharded runtime or the parallel driver when the query asks for
+// shards or workers (and applying Config.DefaultShards to iTraversal
+// queries that pick neither). It is the single execution path shared by
+// the legacy streaming endpoint and the /v1 job runner; emit must be
+// safe for concurrent use when shards or workers are requested.
+func (s *Server) runQuery(ctx context.Context, eng *kbiplex.Engine, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
 	if d := time.Duration(q.Deadline); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
+	}
+	if q.Shards == 0 && q.Workers == 0 && s.cfg.DefaultShards > 1 && q.Algorithm == kbiplex.ITraversal {
+		q.Shards = s.cfg.DefaultShards
+	}
+	if q.Shards > 0 {
+		return eng.EnumerateSharded(ctx, q.Options(), emit)
 	}
 	if q.Workers > 1 || q.Workers < 0 {
 		return eng.EnumerateParallel(ctx, q.Options(), q.Workers, emit)
@@ -719,7 +734,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	st, err := runQuery(ctx, eng, q, emit)
+	st, err := s.runQuery(ctx, eng, q, emit)
 	if err == nil {
 		err = streamErr
 	}

@@ -159,6 +159,70 @@ func TestEnumerateParallelWorkers(t *testing.T) {
 	}
 }
 
+// streamCount drains one NDJSON enumeration stream, returning the
+// solution count and the summary line.
+func streamCount(t *testing.T, url string) (int, summaryLine) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	n := 0
+	var summary summaryLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line summaryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done || line.Error != "" {
+			summary = line
+			continue
+		}
+		n++
+	}
+	return n, summary
+}
+
+// TestEnumerateShardedParam checks ?shards=N routes the legacy stream
+// through the sharded runtime with an identical solution set.
+func TestEnumerateShardedParam(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, summary := streamCount(t, ts.URL+"/graphs/er/enumerate?k=1&shards=3")
+	if !summary.Done || n != len(want) {
+		t.Fatalf("sharded stream: %d solutions, done=%v, want %d", n, summary.Done, len(want))
+	}
+}
+
+// TestDefaultShards checks Config.DefaultShards puts plain iTraversal
+// queries on the sharded path while leaving explicit drivers and other
+// algorithms alone.
+func TestDefaultShards(t *testing.T) {
+	ts := newTestServer(t, Config{DefaultShards: 2})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, query := range []string{"k=1", "k=1&workers=2", "k=1&algorithm=btraversal"} {
+		n, summary := streamCount(t, ts.URL+"/graphs/er/enumerate?"+query)
+		if !summary.Done || n != len(want) {
+			t.Fatalf("?%s under default shards: %d solutions, done=%v, want %d", query, n, summary.Done, len(want))
+		}
+	}
+}
+
 func TestEnumerateValidation(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	loadRandomGraph(t, ts, "er", 6, 6, 1, 1)
@@ -405,6 +469,12 @@ func TestQueryParamValidation(t *testing.T) {
 		{"k=1&max_results=0", http.StatusOK},                         // explicit "unlimited" stays valid
 		{"k=1&workers=-1", http.StatusOK},                            // negative workers = all cores
 		{"k=1&min_left=2&min_right=2&max_results=3", http.StatusOK},
+		{"k=1&shards=-1", http.StatusBadRequest},                     // unlike workers, negative shards is meaningless
+		{"k=1&shards=2147483648", http.StatusBadRequest},             // > 2^31-1
+		{"k=1&shards=2&workers=2", http.StatusBadRequest},            // one driver at a time
+		{"k=1&shards=2&algorithm=btraversal", http.StatusBadRequest}, // sharded runtime is iTraversal-only
+		{"k=1&shards=0", http.StatusOK},                              // explicit "sequential" stays valid
+		{"k=1&shards=2", http.StatusOK},
 	}
 	for _, tc := range cases {
 		resp, err := http.Get(ts.URL + "/graphs/er/enumerate?" + tc.query)

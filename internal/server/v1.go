@@ -100,7 +100,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	job, err := s.jobs.Submit(name, q, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
-		return runQuery(ctx, eng, q, emit)
+		return s.runQuery(ctx, eng, q, emit)
 	})
 	if err != nil {
 		jobError(w, err)

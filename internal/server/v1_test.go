@@ -140,6 +140,58 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobShardsQuery checks the /v1 JSON document layer accepts and
+// reports shards: a sharded job runs to the sequential solution set and
+// echoes shards in its query document; malformed shard counts are
+// rejected at decode/validate time with 400.
+func TestJobShardsQuery(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	loadRandomGraph(t, ts, "er", 12, 12, 2, 3)
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	want, _, err := kbiplex.EnumerateAll(g, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := submitJob(t, ts, "er", `{"k":1,"shards":3}`)
+	if doc.Query.Shards != 3 {
+		t.Fatalf("job doc does not report shards: %+v", doc.Query)
+	}
+	sols, trailer := readResults(t, ts, doc.ID, 0)
+	if !trailer.Done || len(sols) != len(want) {
+		t.Fatalf("sharded job delivered %d solutions (done=%v), want %d", len(sols), trailer.Done, len(want))
+	}
+	biplex.SortPairs(sols)
+	for i := range sols {
+		if !sols[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs: %v vs %v", i, sols[i], want[i])
+		}
+	}
+	var status jobDoc
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	if status.Query.Shards != 3 {
+		t.Fatalf("terminal status doc lost shards: %+v", status.Query)
+	}
+
+	for _, body := range []string{
+		`{"k":1,"shards":-1}`,
+		`{"k":1,"shards":2147483648}`,
+		`{"k":1,"shards":2,"workers":2}`,
+		`{"k":1,"shards":2,"algorithm":"btraversal"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/graphs/er/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
 // TestJobResultsCursorResume is the cursor-semantics test: kill the
 // results connection mid-stream, resume from cursor=N, and the
 // concatenation must be exactly the uninterrupted run.

@@ -22,8 +22,10 @@
 //	}
 //
 // Breaking out of the loop stops the enumeration; a context deadline or
-// cancellation aborts it mid-run. The callback forms EnumerateCtx and
-// EnumerateParallelCtx expose the same runs with explicit Stats, and
+// cancellation aborts it mid-run. The callback forms EnumerateCtx,
+// EnumerateParallelCtx and EnumerateShardedCtx (a worker pool over one
+// shared store, and the in-process sharded runtime with a
+// hash-partitioned store) expose the same runs with explicit Stats, and
 // EnumerateAll collects everything into a sorted slice.
 //
 // Services that answer many queries over the same graph should build an

@@ -7,8 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/abcore"
-	"repro/internal/core"
+	"repro/internal/exec"
 )
 
 // Algorithm selects the enumeration algorithm.
@@ -99,6 +98,12 @@ type Options struct {
 	MinLeft, MinRight int
 	// MaxResults stops after this many MBPs (0 = all).
 	MaxResults int
+	// Shards, when positive, is the shard count the sharded entry points
+	// (EnumerateShardedCtx, Engine.EnumerateSharded) hash-partition the
+	// deduplication store across; 0 lets them pick GOMAXPROCS. It
+	// requires the ITraversal algorithm. The sequential and parallel
+	// entry points ignore it.
+	Shards int
 	// Cancel, when non-nil, is polled during the run; returning true
 	// aborts the enumeration cooperatively.
 	//
@@ -137,6 +142,12 @@ func (o Options) normalize() (Options, error) {
 	if o.MaxResults < 0 {
 		o.MaxResults = 0
 	}
+	if o.Shards < 0 {
+		o.Shards = 0
+	}
+	if o.Shards > 0 && o.Algorithm != ITraversal {
+		return o, errors.New("kbiplex: Options.Shards requires the ITraversal algorithm")
+	}
 	if o.Algorithm == Inflation && o.KLeft != o.KRight {
 		return o, errors.New("kbiplex: the Inflation algorithm requires KLeft == KRight")
 	}
@@ -159,60 +170,21 @@ func (o Options) Validate() error {
 	return err
 }
 
-// env is one prepared enumeration: the (possibly core-reduced) graph the
-// run executes on, the vertex-id back-maps into the original graph, and
-// an optional precomputed transpose. The package-level entry points
-// build one per call; an Engine serves them from its caches.
-type env struct {
-	run          *Graph
-	transpose    *Graph // run's transpose, when already known
-	lback, rback []int32
-	mapped       bool
-}
-
-// prepare applies the large-MBP preprocessing to a normalized o: every
-// qualifying MBP lives inside the (MinRight-k, MinLeft-k)-core, and
-// core-maximal implies g-maximal for them, so the enumeration can run on
-// the (smaller) core. BTraversal cannot prune small MBPs (Section 5) and
-// post-filters instead.
-func prepare(g *Graph, o Options) env {
-	if (o.MinLeft > 0 || o.MinRight > 0) && o.Algorithm != BTraversal {
-		run, lback, rback := abcore.ThetaCoreLRK(g, o.MinLeft, o.MinRight, o.KLeft, o.KRight)
-		return env{run: run, lback: lback, rback: rback, mapped: true}
+// execOptions maps a normalized o to the planner's options. The two
+// Algorithm enums mirror each other value for value (a unit test pins
+// the correspondence), so the conversion is a cast; cancel is the merged
+// context/Options.Cancel poll.
+func (o Options) execOptions(cancel func() bool) exec.Options {
+	return exec.Options{
+		Algorithm:  exec.Algorithm(o.Algorithm),
+		KLeft:      o.KLeft,
+		KRight:     o.KRight,
+		MinLeft:    o.MinLeft,
+		MinRight:   o.MinRight,
+		MaxResults: o.MaxResults,
+		Cancel:     cancel,
+		SpillDir:   o.SpillDir,
 	}
-	return env{run: g}
-}
-
-// remap translates a solution of the reduced graph back to original
-// vertex ids, cloning so the caller owns the slices either way.
-func (ev env) remap(p Solution) Solution {
-	if !ev.mapped {
-		return p.Clone()
-	}
-	q := Solution{L: make([]int32, len(p.L)), R: make([]int32, len(p.R))}
-	for i, v := range p.L {
-		q.L[i] = ev.lback[v]
-	}
-	for i, u := range p.R {
-		q.R[i] = ev.rback[u]
-	}
-	return q
-}
-
-// reverseOptions maps a normalized o to the internal/core options of the
-// reverse-search algorithms (ITraversal and BTraversal only).
-func (ev env) reverseOptions(o Options) core.Options {
-	var c core.Options
-	if o.Algorithm == ITraversal {
-		c = core.ITraversal(1)
-		c.ThetaL, c.ThetaR = o.MinLeft, o.MinRight
-		c.MaxResults = o.MaxResults
-	} else {
-		c = core.BTraversal(1)
-	}
-	c.K, c.KLeft, c.KRight = 0, o.KLeft, o.KRight
-	c.Transpose = ev.transpose
-	return c
 }
 
 // Stats summarizes a finished run.
@@ -282,6 +254,11 @@ type Query struct {
 	// Workers, when >1 (or <0 for all cores), selects the parallel
 	// driver; requires the ITraversal algorithm.
 	Workers int `json:"workers,omitempty"`
+	// Shards, when positive, selects the in-process sharded runtime with
+	// that many dedup-store shards; requires the ITraversal algorithm and
+	// is mutually exclusive with workers. Servers may apply a default to
+	// queries that choose neither (kbiplexd -default-shards).
+	Shards int `json:"shards,omitempty"`
 	// Deadline bounds the run's wall time (0 = none, subject to server
 	// deadlines). Encoded as a duration string, e.g. "30s".
 	Deadline Duration `json:"deadline,omitempty"`
@@ -299,6 +276,7 @@ func (q Query) Options() Options {
 		Algorithm: q.Algorithm,
 		MinLeft:   q.MinLeft, MinRight: q.MinRight,
 		MaxResults: q.MaxResults,
+		Shards:     q.Shards,
 	}
 }
 
@@ -315,6 +293,15 @@ func (q Query) Validate() error {
 	}
 	if q.Workers != 0 && q.Algorithm != ITraversal {
 		return errors.New("kbiplex: workers requires the iTraversal algorithm")
+	}
+	if q.Shards < 0 {
+		return errors.New("kbiplex: shards must be non-negative")
+	}
+	if q.Shards > 0 && q.Algorithm != ITraversal {
+		return errors.New("kbiplex: shards requires the iTraversal algorithm")
+	}
+	if q.Shards > 0 && q.Workers != 0 {
+		return errors.New("kbiplex: workers and shards are mutually exclusive")
 	}
 	return q.Options().Validate()
 }

@@ -1,0 +1,195 @@
+package kbiplex
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/biplex"
+	"repro/internal/exec"
+)
+
+// TestEnumerateShardedMatchesSequential checks the sharded funnels —
+// package-level and engine — produce exactly the sequential solution
+// set, for plain and large-MBP (core-reduced) queries and several shard
+// counts.
+func TestEnumerateShardedMatchesSequential(t *testing.T) {
+	g := RandomBipartite(24, 24, 2, 15)
+	e := NewEngine(g, EngineConfig{})
+	for _, opts := range []Options{
+		{K: 1},
+		{K: 1, Shards: 1},
+		{K: 1, Shards: 4},
+		{K: 1, MinLeft: 3, MinRight: 3, Shards: 3},
+	} {
+		want, _, err := EnumerateAll(g, Options{K: opts.K, MinLeft: opts.MinLeft, MinRight: opts.MinRight})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func(func(Solution) bool) (Stats, error){
+			"package": func(emit func(Solution) bool) (Stats, error) {
+				return EnumerateShardedCtx(context.Background(), g, opts, emit)
+			},
+			"engine": func(emit func(Solution) bool) (Stats, error) {
+				return e.EnumerateSharded(context.Background(), opts, emit)
+			},
+		} {
+			var mu sync.Mutex
+			var got []Solution
+			st, err := run(func(s Solution) bool {
+				mu.Lock()
+				got = append(got, s)
+				mu.Unlock()
+				return true
+			})
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if st.Algorithm != ITraversal {
+				t.Fatalf("%s %+v: stats algorithm %v", name, opts, st.Algorithm)
+			}
+			if int(st.Solutions) != len(want) || len(got) != len(want) {
+				t.Fatalf("%s %+v: %d solutions, want %d", name, opts, st.Solutions, len(want))
+			}
+			biplex.SortPairs(got)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%s %+v: solution sets differ at %d", name, opts, i)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedCancellation checks ctx cancellation surfaces as the
+// context's error from the sharded funnel.
+func TestShardedCancellation(t *testing.T) {
+	g := RandomBipartite(30, 30, 2.5, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err := EnumerateShardedCtx(ctx, g, Options{K: 1, Shards: 2}, func(Solution) bool {
+		n++
+		if n == 2 {
+			cancel()
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled sharded run returned %v", err)
+	}
+}
+
+// TestShardedOptionsValidation checks the Shards field's rules at the
+// Options layer: negative clamps to zero, and a positive count demands
+// the ITraversal algorithm.
+func TestShardedOptionsValidation(t *testing.T) {
+	if err := (Options{K: 1, Shards: -3}).Validate(); err != nil {
+		t.Fatalf("negative Shards should clamp, got %v", err)
+	}
+	if err := (Options{K: 1, Shards: 2, Algorithm: BTraversal}).Validate(); err == nil {
+		t.Fatal("Shards with bTraversal accepted")
+	}
+	g := RandomBipartite(6, 6, 1, 1)
+	if _, err := EnumerateShardedCtx(context.Background(), g, Options{K: 1, Algorithm: IMB}, nil); err == nil {
+		t.Fatal("sharded iMB run accepted")
+	}
+	if st, err := EnumerateShardedCtx(context.Background(), g, Options{}, nil); err == nil {
+		t.Fatal("K=0 accepted")
+	} else if st.Algorithm != ITraversal {
+		t.Fatalf("error stats algorithm %v", st.Algorithm)
+	}
+}
+
+// TestParallelStatsAlgorithmStamped is the regression test for the
+// parallel funnels returning Stats{} with an unstamped Algorithm on
+// their error paths, where the sequential funnel stamps it.
+func TestParallelStatsAlgorithmStamped(t *testing.T) {
+	g := RandomBipartite(6, 6, 1, 1)
+	e := NewEngine(g, EngineConfig{})
+	ctx := context.Background()
+
+	// Normalize failure (K=0): the requested algorithm must be echoed.
+	for name, run := range map[string]func(Options) (Stats, error){
+		"package": func(o Options) (Stats, error) { return EnumerateParallelCtx(ctx, g, o, 2, nil) },
+		"engine":  func(o Options) (Stats, error) { return e.EnumerateParallel(ctx, o, 2, nil) },
+	} {
+		st, err := run(Options{Algorithm: IMB})
+		if err == nil {
+			t.Fatalf("%s: K=0 accepted", name)
+		}
+		if st.Algorithm != IMB {
+			t.Fatalf("%s: normalize-error stats carry algorithm %v, want %v (as Enumerate does)", name, st.Algorithm, IMB)
+		}
+		// Unsupported-algorithm failure: same contract.
+		st, err = run(Options{K: 1, Algorithm: Inflation})
+		if err == nil {
+			t.Fatalf("%s: parallel Inflation accepted", name)
+		}
+		if st.Algorithm != Inflation {
+			t.Fatalf("%s: algorithm-error stats carry %v, want %v", name, st.Algorithm, Inflation)
+		}
+	}
+}
+
+// TestEngineReleaseRacesInFlightQueries drives Release against live
+// parallel and sharded queries; under -race this is the regression net
+// for the documented guarantee that in-flight queries keep the cached
+// views they hold while Release drops the cache underneath them.
+func TestEngineReleaseRacesInFlightQueries(t *testing.T) {
+	g := RandomBipartite(26, 26, 2, 11)
+	e := NewEngine(g, EngineConfig{})
+	opts := Options{K: 1, MinLeft: 2, MinRight: 2} // engages the core cache
+	want, _, err := EnumerateAll(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Release()
+			}
+		}
+	}()
+
+	for i := 0; i < 4; i++ {
+		for name, run := range map[string]func(func(Solution) bool) (Stats, error){
+			"parallel": func(emit func(Solution) bool) (Stats, error) {
+				return e.EnumerateParallel(context.Background(), opts, 2, emit)
+			},
+			"sharded": func(emit func(Solution) bool) (Stats, error) {
+				o := opts
+				o.Shards = 2
+				return e.EnumerateSharded(context.Background(), o, emit)
+			},
+		} {
+			st, err := run(nil)
+			if err != nil {
+				t.Errorf("%s under Release: %v", name, err)
+			}
+			if int(st.Solutions) != len(want) {
+				t.Errorf("%s under Release: %d solutions, want %d", name, st.Solutions, len(want))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestExecAlgorithmAlignment pins the value-for-value correspondence
+// between the public Algorithm enum and the planner's, which
+// Options.execOptions converts by cast.
+func TestExecAlgorithmAlignment(t *testing.T) {
+	for _, a := range []Algorithm{ITraversal, BTraversal, IMB, Inflation} {
+		if got := exec.Algorithm(a).String(); got != a.String() {
+			t.Fatalf("exec.Algorithm(%d) = %s, kbiplex says %s", int(a), got, a.String())
+		}
+	}
+}
