@@ -182,17 +182,68 @@ func (c *Client) DeleteGraph(ctx context.Context, name string) error {
 	return c.doJSON(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, "", nil)
 }
 
+// CacheInfo is the server's result-cache verdict for one submission.
+type CacheInfo struct {
+	// Status echoes the X-Kbiplex-Cache header: "hit" when the job was
+	// born done from a cached spool, "miss" when it ran fresh, "" when
+	// the server has no result cache or the pair is not cacheable.
+	Status string
+	// ETag is the strong validator for this (graph content, query)
+	// pair. Passing it back as SubmitJobCached's ifNoneMatch asks the
+	// server to answer 304 instead of minting a job when the cached
+	// result is still current.
+	ETag string
+	// NotModified reports a 304 answer: the validator still names a
+	// cached result and no job was created (the returned Job is zero).
+	NotModified bool
+}
+
 // SubmitJob submits q against the named graph and returns the accepted
 // job (state queued or already running).
 func (c *Client) SubmitJob(ctx context.Context, graph string, q kbiplex.Query) (Job, error) {
+	job, _, err := c.SubmitJobCached(ctx, graph, q, "")
+	return job, err
+}
+
+// SubmitJobCached is SubmitJob plus the /v1 caching surface: it sends
+// ifNoneMatch (when non-empty) as an If-None-Match header and reports
+// the server's cache verdict. With a matching validator the server
+// answers 304 without creating a job — info.NotModified is true and the
+// Job is zero; the caller already holds the results the etag names.
+func (c *Client) SubmitJobCached(ctx context.Context, graph string, q kbiplex.Query, ifNoneMatch string) (Job, CacheInfo, error) {
 	body, err := json.Marshal(q)
 	if err != nil {
-		return Job{}, err
+		return Job{}, CacheInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/graphs/"+url.PathEscape(graph)+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return Job{}, CacheInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Job{}, CacheInfo{}, err
+	}
+	defer resp.Body.Close()
+	info := CacheInfo{
+		Status: resp.Header.Get("X-Kbiplex-Cache"),
+		ETag:   resp.Header.Get("ETag"),
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		info.NotModified = true
+		io.Copy(io.Discard, resp.Body)
+		return Job{}, info, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return Job{}, CacheInfo{}, errorFrom(resp)
 	}
 	var job Job
-	err = c.doJSON(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(graph)+"/jobs",
-		bytes.NewReader(body), "application/json", &job)
-	return job, err
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	return job, info, err
 }
 
 // Job fetches the current status document of a job.

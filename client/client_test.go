@@ -341,3 +341,85 @@ func TestClientErrors(t *testing.T) {
 		t.Fatalf("trickle stream delivered %d solutions, want %d", n, len(want))
 	}
 }
+
+// TestSubmitJobCached drives the client's caching surface end to end: a
+// first submission is a miss carrying an ETag, the repeat is a hit born
+// done with identical results, and revalidating with the etag yields a
+// 304 without minting a job.
+func TestSubmitJobCached(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+	g := kbiplex.RandomBipartite(14, 14, 2, 7)
+	if err := c.LoadGraph(ctx, "er", g, false); err != nil {
+		t.Fatal(err)
+	}
+	q := kbiplex.Query{K: 1, MinLeft: 2, MinRight: 2}
+
+	job, info, err := c.SubmitJobCached(ctx, "er", q, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "miss" || info.ETag == "" || info.NotModified {
+		t.Fatalf("first submission: %+v, want a miss with an etag", info)
+	}
+	if _, err := c.WaitJob(ctx, job.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var first []kbiplex.Solution
+	for sol, err := range c.Results(ctx, job.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, sol)
+	}
+
+	// Admission happens on the worker goroutine after the job finishes;
+	// poll until the repeat actually hits.
+	deadline := time.Now().Add(10 * time.Second)
+	var repeat client.Job
+	var again client.CacheInfo
+	for {
+		repeat, again, err = c.SubmitJobCached(ctx, "er", q, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Status == "hit" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if again.Status != "hit" || again.ETag != info.ETag {
+		t.Fatalf("repeat submission: %+v, want a hit with etag %s", again, info.ETag)
+	}
+	if repeat.State != "done" {
+		t.Fatalf("cache-hit job born in state %s, want done", repeat.State)
+	}
+	var second []kbiplex.Solution
+	for sol, err := range c.Results(ctx, repeat.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		second = append(second, sol)
+	}
+	if len(second) != len(first) || len(first) == 0 {
+		t.Fatalf("cached job delivered %d solutions, fresh run %d", len(second), len(first))
+	}
+
+	_, reval, err := c.SubmitJobCached(ctx, "er", q, again.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reval.NotModified || reval.Status != "hit" {
+		t.Fatalf("revalidation: %+v, want a 304 hit", reval)
+	}
+
+	// A stale validator (different query's etag) must run, not 304.
+	_, fresh, err := c.SubmitJobCached(ctx, "er", kbiplex.Query{K: 1, MinLeft: 3, MinRight: 3}, again.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NotModified {
+		t.Fatal("mismatched If-None-Match answered 304")
+	}
+}

@@ -37,6 +37,10 @@
 // The graph-management routes are mounted under /v1 as well. The job
 // pool is bounded by -job-workers, -job-queue, -job-results and
 // -job-ttl; submissions past the queue depth are rejected with 429.
+// Repeat queries are answered from a result cache keyed by graph
+// content and canonical query: -result-cache-mb budgets it in MiB
+// (0 disables), and -result-cache-persist carries popular spools
+// across restarts under <data-dir>/rescache.
 // Queries may pick the in-process sharded runtime with shards=N (or
 // the worker pool with workers=N); -default-shards puts every plain
 // iTraversal query on the sharded path without clients asking.
@@ -105,6 +109,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobQueue     = fs.Int("job-queue", 0, "admitted-but-waiting /v1 job bound; excess submissions get 429 (0 = default 64)")
 		jobResults   = fs.Int("job-results", 0, "per-job result spool cap; runs are truncated past it (0 = default 262144)")
 		jobTTL       = fs.Duration("job-ttl", 0, "how long finished jobs stay readable (0 = default 10m)")
+		cacheMB      = fs.Int64("result-cache-mb", 64, "result-cache budget in MiB for repeat-query spools (0 = disabled)")
+		cachePersist = fs.Bool("result-cache-persist", false, "persist popular result-cache spools under <data-dir>/rescache across restarts (needs -data-dir)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -118,15 +124,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *memBudgetMB != 0 && *dataDir == "" {
 		return errors.New("-mem-budget-mb needs -data-dir (eviction re-hydrates from snapshots)")
 	}
+	if *cachePersist && *dataDir == "" {
+		return errors.New("-result-cache-persist needs -data-dir (the cache log lives under it)")
+	}
+	// The flag speaks operator language (MiB, 0 = off); the server config
+	// speaks bytes (0 = its own default, negative = disabled).
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
 
 	srv, err := server.New(server.Config{
-		MaxResults:    *maxResults,
-		QueryTimeout:  *queryTimeout,
-		SpillDir:      *spill,
-		AllowPathLoad: *allowPath,
-		DataDir:       *dataDir,
-		MemoryBudget:  *memBudgetMB << 20,
-		DefaultShards: *defShards,
+		MaxResults:         *maxResults,
+		QueryTimeout:       *queryTimeout,
+		SpillDir:           *spill,
+		AllowPathLoad:      *allowPath,
+		DataDir:            *dataDir,
+		MemoryBudget:       *memBudgetMB << 20,
+		DefaultShards:      *defShards,
+		ResultCacheBytes:   cacheBytes,
+		ResultCachePersist: *cachePersist,
 		Jobs: jobs.Config{
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,

@@ -376,6 +376,9 @@ func TestFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-mem-budget-mb", "64"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("-mem-budget-mb without -data-dir accepted")
 	}
+	if err := run(context.Background(), []string{"-result-cache-persist"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-result-cache-persist without -data-dir accepted")
+	}
 }
 
 // TestLoadCollidesWithPersistedGraph: a -load flag naming a persisted
@@ -409,5 +412,96 @@ func TestLoadCollidesWithPersistedGraph(t *testing.T) {
 	defer c2.Close()
 	if _, err := c2.Engine("toy"); err != nil {
 		t.Fatalf("snapshot damaged by refused boot: %v", err)
+	}
+}
+
+// TestResultCacheFlagRestart is the cache-persistence acceptance test at
+// the daemon level: with -result-cache-persist, a query made hot before
+// shutdown is answered by the restarted process as a cache hit — the job
+// is born done from the persisted spool, no enumeration runs.
+func TestResultCacheFlagRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "catalog")
+	base, stop, done := startDaemon(t, "-data-dir", dataDir, "-result-cache-persist")
+	body := `{"name":"er","random":{"num_left":12,"num_right":12,"density":2,"seed":3},"persist":true}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	submit := func(base string) (status int, verdict, state string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/graphs/er/jobs", "application/json", strings.NewReader(`{"k":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("X-Kbiplex-Cache"), doc.State
+	}
+
+	if _, verdict, _ := submit(base); verdict != "miss" {
+		t.Fatalf("first submission verdict %q, want miss", verdict)
+	}
+	// Admission lands on the worker goroutine after the job finishes;
+	// wait for a repeat submission to actually hit before shutting down.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, verdict, _ := submit(base); verdict == "hit" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("repeat submission never hit the cache")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitShutdown(t, stop, done)
+
+	base2, stop2, done2 := startDaemon(t, "-data-dir", dataDir, "-result-cache-persist")
+	defer waitShutdown(t, stop2, done2)
+	status, verdict, state := submit(base2)
+	if status != http.StatusAccepted || verdict != "hit" || state != "done" {
+		t.Fatalf("post-restart submission: status %d verdict %q state %q, want a born-done hit", status, verdict, state)
+	}
+}
+
+// TestResultCacheDisabledFlag: -result-cache-mb 0 switches the cache
+// off — no verdict header, no result_cache stats section.
+func TestResultCacheDisabledFlag(t *testing.T) {
+	base, stop, done := startDaemon(t, "-result-cache-mb", "0")
+	defer waitShutdown(t, stop, done)
+	body := `{"name":"er","random":{"num_left":12,"num_right":12,"density":2,"seed":3}}`
+	resp, err := http.Post(base+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/graphs/er/jobs", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if v := resp.Header.Get("X-Kbiplex-Cache"); v != "" {
+		t.Fatalf("disabled cache still reports verdict %q", v)
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["result_cache"]; ok {
+		t.Fatal("disabled cache still publishes a result_cache stats section")
 	}
 }

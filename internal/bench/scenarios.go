@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -38,6 +39,7 @@ const (
 	seedJobs      = 31
 	seedShard     = 37
 	seedShardJob  = 41
+	seedCache     = 43
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -59,6 +61,7 @@ func Scenarios() []Scenario {
 		enumerateParallelScenario(),
 		enumerateShardedScenario(),
 		shardedJobScenario(),
+		cachedJobZipfScenario(),
 		bicoreIndexScenario(),
 		graphBuildScenario(),
 		fig3Scenario(),
@@ -260,7 +263,10 @@ func shardedJobScenario() Scenario {
 		return n
 	}
 	setup := sync.OnceValue(func() env {
-		srv, err := server.New(server.Config{})
+		// The result cache is off here: this scenario times the real
+		// execution path every iteration, not a cached replay (that is
+		// server/cached-job-zipf's job).
+		srv, err := server.New(server.Config{ResultCacheBytes: -1})
 		if err != nil {
 			panic("bench: " + err.Error())
 		}
@@ -287,6 +293,110 @@ func shardedJobScenario() Scenario {
 					b.Fatalf("sharded job delivered %d solutions, want %d", n, e.solutions)
 				}
 			}
+		},
+	}
+}
+
+// cachedJobZipfScenario replays a zipfian repeat mix of 16 query shapes
+// through the /v1 surface with the result cache on: the hot head of the
+// distribution is served from cached spools (jobs born done, no planner
+// or traversal work) while the cold tail runs fresh and gets admitted.
+// The per-op cost is what a realistic skewed workload pays per job, and
+// the reported hit_ratio metric is the cross-checkable cache signal —
+// with the head pre-warmed it must land well above 0.5.
+func cachedJobZipfScenario() Scenario {
+	const poolSize = 16
+	type env struct {
+		c       *client.Client
+		queries []kbiplex.Query
+		hot     int64
+	}
+	// roundtrip submits one query, streams whatever spool the job ends
+	// with, and drops the finished job; hit reports the cache verdict.
+	roundtrip := func(c *client.Client, q kbiplex.Query) (hit bool, n int64) {
+		ctx := context.Background()
+		job, info, err := c.SubmitJobCached(ctx, "bench", q, "")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		for _, err := range c.Results(ctx, job.ID) {
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			n++
+		}
+		if err := c.CancelJob(ctx, job.ID); err != nil {
+			panic("bench: " + err.Error())
+		}
+		return info.Status == "hit", n
+	}
+	setup := sync.OnceValue(func() env {
+		srv, err := server.New(server.Config{}) // result cache on by default
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if err := srv.AddGraph("bench", gen.ER(30, 30, 2, seedCache)); err != nil {
+			panic("bench: " + err.Error())
+		}
+		// Like the other service scenarios' servers, this one lives for
+		// the benchmark process.
+		ts := httptest.NewServer(srv)
+		e := env{c: client.New(ts.URL, client.WithHTTPClient(ts.Client()))}
+		for i := 0; i < poolSize; i++ {
+			e.queries = append(e.queries, kbiplex.Query{
+				K: 1, MinLeft: 1 + i%4, MinRight: 1 + i/4,
+			})
+		}
+		// Pre-warm the two hottest shapes, and wait until a revalidation
+		// answers 304 — admission lands on the worker goroutine after the
+		// job finishes, so "submitted once" is not yet "cached".
+		for i := 0; i < 2; i++ {
+			if _, n := roundtrip(e.c, e.queries[i]); i == 0 {
+				e.hot = n
+			}
+			etag, deadline := "", time.Now().Add(15*time.Second)
+			for {
+				job, info, err := e.c.SubmitJobCached(context.Background(), "bench", e.queries[i], etag)
+				if err != nil {
+					panic("bench: " + err.Error())
+				}
+				if info.NotModified {
+					break
+				}
+				etag = info.ETag
+				if _, err := e.c.WaitJob(context.Background(), job.ID, time.Millisecond); err != nil {
+					panic("bench: " + err.Error())
+				}
+				if err := e.c.CancelJob(context.Background(), job.ID); err != nil {
+					panic("bench: " + err.Error())
+				}
+				if time.Now().After(deadline) {
+					panic("bench: cache admission never landed")
+				}
+			}
+		}
+		return e
+	})
+	return Scenario{
+		Name:  "server/cached-job-zipf",
+		Group: "server",
+		Doc:   "zipfian repeat mix of 16 /v1 query shapes against the result cache; reports hit_ratio",
+		Quick: true,
+		Count: func() int64 { return setup().hot },
+		Run: func(b *testing.B) {
+			e := setup()
+			// Reseeded per pass: the draw sequence (and so the mix) is
+			// deterministic for a given iteration count.
+			zipf := rand.NewZipf(rand.New(rand.NewSource(seedCache)), 1.5, 1, poolSize-1)
+			hits := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hit, _ := roundtrip(e.c, e.queries[zipf.Uint64()])
+				if hit {
+					hits++
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(b.N), "hit_ratio")
 		},
 	}
 }
@@ -429,7 +539,10 @@ func ndjsonStreamScenario() Scenario {
 		solutions int64
 	}
 	setup := sync.OnceValue(func() env {
-		srv, err := server.New(server.Config{})
+		// The result cache is off here: this scenario times the real
+		// execution path every iteration, not a cached replay (that is
+		// server/cached-job-zipf's job).
+		srv, err := server.New(server.Config{ResultCacheBytes: -1})
 		if err != nil {
 			panic("bench: " + err.Error())
 		}
@@ -497,7 +610,10 @@ func jobRoundtripScenario() Scenario {
 		return n
 	}
 	setup := sync.OnceValue(func() env {
-		srv, err := server.New(server.Config{})
+		// The result cache is off here: this scenario times the real
+		// execution path every iteration, not a cached replay (that is
+		// server/cached-job-zipf's job).
+		srv, err := server.New(server.Config{ResultCacheBytes: -1})
 		if err != nil {
 			panic("bench: " + err.Error())
 		}

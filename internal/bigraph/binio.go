@@ -29,8 +29,24 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		return err
 	}
+	sum32, err := writePayload(bw, g)
+	if err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], sum32)
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writePayload writes the checksummed section of the binary format (the
+// varint header, degrees and delta-coded adjacency) to w and returns its
+// CRC.
+func writePayload(w io.Writer, g *Graph) (uint32, error) {
 	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(bw, crc)
+	mw := io.MultiWriter(w, crc)
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(x uint64) error {
 		n := binary.PutUvarint(buf[:], x)
@@ -38,34 +54,44 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		return err
 	}
 	if err := writeUvarint(uint64(g.NumLeft())); err != nil {
-		return err
+		return 0, err
 	}
 	if err := writeUvarint(uint64(g.NumRight())); err != nil {
-		return err
+		return 0, err
 	}
 	if err := writeUvarint(uint64(g.NumEdges())); err != nil {
-		return err
+		return 0, err
 	}
 	for v := int32(0); v < int32(g.NumLeft()); v++ {
 		if err := writeUvarint(uint64(g.DegL(v))); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	for v := int32(0); v < int32(g.NumLeft()); v++ {
 		prev := int64(-1)
 		for _, u := range g.NeighL(v) {
 			if err := writeUvarint(uint64(int64(u) - prev)); err != nil {
-				return err
+				return 0, err
 			}
 			prev = int64(u)
 		}
 	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err := bw.Write(sum[:]); err != nil {
-		return err
+	return crc.Sum32(), nil
+}
+
+// PayloadCRC computes the checksum WriteBinary would embed for g without
+// materializing the serialization: the graph's content fingerprint. Two
+// graphs have equal PayloadCRC exactly when their snapshots are
+// byte-identical, so the value recorded in a catalog manifest and the
+// one computed for an in-memory graph are directly comparable.
+func PayloadCRC(g *Graph) uint32 {
+	sum, err := writePayload(io.Discard, g)
+	if err != nil {
+		// io.Discard cannot fail; a non-nil error would mean the format
+		// itself is broken.
+		panic("bigraph: PayloadCRC: " + err.Error())
 	}
-	return bw.Flush()
+	return sum
 }
 
 // ReadBinary deserializes a graph written by WriteBinary, verifying the

@@ -174,3 +174,25 @@ func TestReadBinaryFileMissing(t *testing.T) {
 		t.Fatalf("want a not-exist error, got %v", err)
 	}
 }
+
+// TestPayloadCRCMatchesTrailer: PayloadCRC must equal the checksum
+// WriteBinary embeds, so in-memory fingerprints and snapshot trailers
+// are directly comparable.
+func TestPayloadCRCMatchesTrailer(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	trailer := uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 |
+		uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24
+	if sum := PayloadCRC(g); sum != trailer {
+		t.Fatalf("PayloadCRC = %08x, snapshot trailer = %08x", sum, trailer)
+	}
+	// Different content must fingerprint differently.
+	other := FromEdges(4, 5, [][2]int32{{0, 0}})
+	if PayloadCRC(other) == PayloadCRC(g) {
+		t.Fatal("distinct graphs share a payload CRC")
+	}
+}

@@ -59,6 +59,20 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Tier is a job's admission class. Two tiers keep cheap interactive
+// reads from queuing behind cold bulk enumerations: each tier has its
+// own submit queue and the workers drain the fast queue first.
+type Tier string
+
+const (
+	// TierBulk is the default: full enumerations with no result bound
+	// worth exploiting.
+	TierBulk Tier = "bulk"
+	// TierFast marks small-capped queries the server expects to finish
+	// quickly (and cache candidates being refreshed).
+	TierFast Tier = "fast"
+)
+
 // Config bounds a Manager. Zero values take the defaults noted per
 // field.
 type Config struct {
@@ -116,6 +130,8 @@ type Snapshot struct {
 	Graph string
 	Query kbiplex.Query
 	State State
+	// Tier is the admission class the job was queued under.
+	Tier Tier
 	// Results is the spool length so far — equivalently, the first
 	// cursor value past everything currently readable.
 	Results int64
@@ -139,6 +155,8 @@ type Job struct {
 	graph  string
 	query  kbiplex.Query
 	run    Runner
+	tier   Tier
+	onDone func(Snapshot, []kbiplex.Solution)
 	capped bool // cfg.MaxResults clamped the query's own cap
 
 	mu   sync.Mutex
@@ -164,9 +182,14 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// snapshotLocked builds a Snapshot; j.mu must be held.
+func (j *Job) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID: j.id, Graph: j.graph, Query: j.query,
-		State: j.state, Results: int64(len(j.spool)), Truncated: j.truncated,
+		State: j.state, Tier: j.tier, Results: int64(len(j.spool)), Truncated: j.truncated,
 		Stats: j.stats, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
@@ -224,9 +247,15 @@ type ManagerStats struct {
 	Completed int64
 	Failed    int64
 	Canceled  int64
-	Queued    int
-	Running   int
-	Retained  int
+	// CachedDone counts jobs born done from a cached spool via
+	// SubmitCached — admissions that cost zero enumeration work.
+	CachedDone int64
+	// Queued counts jobs admitted but not yet running across both
+	// tiers; QueuedFast is the fast tier's share of it.
+	Queued     int
+	QueuedFast int
+	Running    int
+	Retained   int
 }
 
 // Manager owns the worker pool and the retained-job table. Create one
@@ -235,18 +264,20 @@ type Manager struct {
 	cfg    Config
 	ctx    context.Context
 	cancel context.CancelCauseFunc
-	queue  chan *Job
+	queue  chan *Job // bulk tier
+	fast   chan *Job // fast tier, drained preferentially
 	wg     sync.WaitGroup
 
 	mu   sync.Mutex
 	jobs map[string]*Job
 	seq  int64
 
-	submitted atomic.Int64
-	rejected  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
+	submitted  atomic.Int64
+	rejected   atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	cachedDone atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -262,6 +293,7 @@ func NewManager(parent context.Context, cfg Config) *Manager {
 		ctx:    ctx,
 		cancel: cancel,
 		queue:  make(chan *Job, cfg.QueueDepth),
+		fast:   make(chan *Job, cfg.QueueDepth),
 		jobs:   make(map[string]*Job),
 	}
 	m.wg.Add(cfg.Workers)
@@ -271,15 +303,37 @@ func NewManager(parent context.Context, cfg Config) *Manager {
 	return m
 }
 
-// Submit validates and admits one query. The returned job is already
-// queued; its results can be followed immediately.
+// SubmitOptions tune one admission.
+type SubmitOptions struct {
+	// Tier picks the admission queue (default TierBulk).
+	Tier Tier
+	// OnDone, when non-nil, runs after the job reaches StateDone with
+	// the final snapshot and the complete spool — the result cache's
+	// admission hook. The spool is the job's own slice; the callback
+	// must treat it as immutable. It is not called for failed or
+	// canceled jobs, and runs on the worker goroutine without locks
+	// held.
+	OnDone func(Snapshot, []kbiplex.Solution)
+}
+
+// Submit validates and admits one query on the bulk tier. The returned
+// job is already queued; its results can be followed immediately.
 func (m *Manager) Submit(graph string, q kbiplex.Query, run Runner) (*Job, error) {
+	return m.SubmitWith(graph, q, run, SubmitOptions{})
+}
+
+// SubmitWith validates and admits one query with explicit options.
+func (m *Manager) SubmitWith(graph string, q kbiplex.Query, run Runner, opts SubmitOptions) (*Job, error) {
 	if err := q.Validate(); err != nil {
 		m.rejected.Add(1)
 		return nil, err
 	}
+	tier := opts.Tier
+	if tier != TierFast {
+		tier = TierBulk
+	}
 	j := &Job{
-		graph: graph, query: q, run: run,
+		graph: graph, query: q, run: run, tier: tier, onDone: opts.OnDone,
 		state: StateQueued, created: time.Now(),
 	}
 	j.cond.L = &j.mu
@@ -303,8 +357,12 @@ func (m *Manager) Submit(graph string, q kbiplex.Query, run Runner) (*Job, error
 	}
 	m.seq++
 	j.id = fmt.Sprintf("j%08d", m.seq)
+	queue := m.queue
+	if tier == TierFast {
+		queue = m.fast
+	}
 	select {
-	case m.queue <- j:
+	case queue <- j:
 	default:
 		m.mu.Unlock()
 		m.rejected.Add(1)
@@ -315,6 +373,57 @@ func (m *Manager) Submit(graph string, q kbiplex.Query, run Runner) (*Job, error
 	m.submitted.Add(1)
 	return j, nil
 }
+
+// SubmitCached admits a job born done: the spool comes from a result
+// cache, no runner executes, and the job is immediately readable end to
+// end. It still counts against MaxJobs (readers hold cursors into it)
+// and respects draining, but never touches either queue — the fastest
+// admission tier of all. The spool is retained as-is and must not be
+// mutated afterwards.
+func (m *Manager) SubmitCached(graph string, q kbiplex.Query, spool []kbiplex.Solution, st kbiplex.Stats, truncated bool) (*Job, error) {
+	if err := q.Validate(); err != nil {
+		m.rejected.Add(1)
+		return nil, err
+	}
+	j := &Job{
+		graph: graph, query: q, tier: TierFast,
+		state: StateQueued, created: time.Now(),
+	}
+	j.cond.L = &j.mu
+	j.spool = spool
+	j.truncated = truncated
+	j.stats = st
+
+	m.mu.Lock()
+	if m.ctx.Err() != nil {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.pruneLocked()
+	if len(m.jobs) >= m.cfg.MaxJobs {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrTooManyJobs
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j%08d", m.seq)
+	m.jobs[j.id] = j
+	j.mu.Lock()
+	j.started = j.created
+	m.finishLocked(j, StateDone, nil)
+	j.mu.Unlock()
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	m.cachedDone.Add(1)
+	return j, nil
+}
+
+// SpoolCap returns the per-job spool bound (Config.MaxResults after
+// defaulting). Cache layers use it to decide whether a cached spool
+// could have been produced by this manager — a longer one must re-run
+// rather than be replayed past the cap.
+func (m *Manager) SpoolCap() int { return m.cfg.MaxResults }
 
 // Get resolves a job id.
 func (m *Manager) Get(id string) (*Job, error) {
@@ -390,11 +499,12 @@ func (m *Manager) Remove(id string) error {
 // Stats summarizes the manager.
 func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{
-		Submitted: m.submitted.Load(),
-		Rejected:  m.rejected.Load(),
-		Completed: m.completed.Load(),
-		Failed:    m.failed.Load(),
-		Canceled:  m.canceled.Load(),
+		Submitted:  m.submitted.Load(),
+		Rejected:   m.rejected.Load(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Canceled:   m.canceled.Load(),
+		CachedDone: m.cachedDone.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -404,6 +514,9 @@ func (m *Manager) Stats() ManagerStats {
 		switch j.state {
 		case StateQueued:
 			st.Queued++
+			if j.tier == TierFast {
+				st.QueuedFast++
+			}
 		case StateRunning:
 			st.Running++
 		}
@@ -446,11 +559,23 @@ func (m *Manager) Close(ctx context.Context, cause error) error {
 	}
 }
 
-// worker executes queued jobs until the manager shuts down.
+// worker executes queued jobs until the manager shuts down, draining
+// the fast tier first: only when no fast job is waiting does a worker
+// take from the bulk queue, so cheap reads overtake cold enumerations
+// without starving them (a busy fast tier still leaves the other
+// workers' bulk picks running).
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		select {
+		case j := <-m.fast:
+			m.runJob(j)
+			continue
+		default:
+		}
+		select {
+		case j := <-m.fast:
+			m.runJob(j)
 		case j := <-m.queue:
 			m.runJob(j)
 		case <-m.ctx.Done():
@@ -519,7 +644,6 @@ func (m *Manager) runJob(j *Job) {
 	st, err := j.run(runCtx, q, emit)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	// The spool is the delivered truth; a truncated run's cap-probe
 	// solution was counted by the enumerator but never spooled.
 	st.Solutions = int64(len(j.spool))
@@ -536,6 +660,12 @@ func (m *Manager) runJob(j *Job) {
 		m.finishLocked(j, StateCanceled, err)
 	default:
 		m.finishLocked(j, StateFailed, err)
+	}
+	snap := j.snapshotLocked()
+	spool := j.spool
+	j.mu.Unlock()
+	if snap.State == StateDone && j.onDone != nil {
+		j.onDone(snap, spool)
 	}
 }
 

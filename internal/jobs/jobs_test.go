@@ -372,3 +372,132 @@ func TestConcurrentSubmitCancelResults(t *testing.T) {
 		t.Fatalf("hammered job never terminal: %v", snap.State)
 	}
 }
+
+// TestSubmitCachedBornDone: a cached admission is readable end to end
+// with zero runner executions, counted distinctly in the stats.
+func TestSubmitCachedBornDone(t *testing.T) {
+	m := testManager(t, Config{})
+	spool := []kbiplex.Solution{
+		{L: []int32{0}, R: []int32{1}},
+		{L: []int32{2}, R: []int32{3}},
+	}
+	st := kbiplex.Stats{Solutions: 2, Algorithm: kbiplex.ITraversal, Duration: time.Millisecond}
+	j, err := m.SubmitCached("g", kbiplex.Query{K: 1}, spool, st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Err != nil || !snap.Truncated || snap.Tier != TierFast {
+		t.Fatalf("born-done snapshot: %+v", snap)
+	}
+	if snap.Results != 2 || snap.Stats.Solutions != 2 {
+		t.Fatalf("cached spool not carried: %+v", snap)
+	}
+	got := drain(context.Background(), j)
+	if len(got) != 2 || !got[0].Equal(spool[0]) || !got[1].Equal(spool[1]) {
+		t.Fatalf("cached results differ: %+v", got)
+	}
+	ms := m.Stats()
+	if ms.CachedDone != 1 || ms.Completed != 1 || ms.Submitted != 1 {
+		t.Fatalf("stats: %+v", ms)
+	}
+	// Invalid queries are still rejected before touching the cache path.
+	if _, err := m.SubmitCached("g", kbiplex.Query{K: -1}, nil, kbiplex.Stats{}, false); err == nil {
+		t.Fatal("invalid cached submit accepted")
+	}
+}
+
+// TestOnDoneHook: a clean completion hands the hook the final snapshot
+// and the full spool; failed runs never fire it.
+func TestOnDoneHook(t *testing.T) {
+	g := kbiplex.RandomBipartite(12, 12, 2, 3)
+	m := testManager(t, Config{})
+	eng := kbiplex.NewEngine(g, kbiplex.EngineConfig{})
+
+	done := make(chan int, 1)
+	j, err := m.SubmitWith("g", kbiplex.Query{K: 1}, engineRunner(eng), SubmitOptions{
+		OnDone: func(snap Snapshot, spool []kbiplex.Solution) {
+			if snap.State != StateDone || int64(len(spool)) != snap.Results {
+				t.Errorf("hook saw inconsistent completion: %+v with %d solutions", snap, len(spool))
+			}
+			done <- len(spool)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(drain(context.Background(), j))
+	select {
+	case n := <-done:
+		if n != want {
+			t.Fatalf("hook got %d solutions, want %d", n, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDone never fired")
+	}
+
+	fail := func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		return kbiplex.Stats{}, errors.New("boom")
+	}
+	fired := make(chan struct{}, 1)
+	jf, err := m.SubmitWith("g", kbiplex.Query{K: 1}, fail, SubmitOptions{
+		OnDone: func(Snapshot, []kbiplex.Solution) { fired <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), jf)
+	if s := jf.Snapshot(); s.State != StateFailed {
+		t.Fatalf("state = %v, want failed", s.State)
+	}
+	select {
+	case <-fired:
+		t.Fatal("OnDone fired for a failed job")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestFastTierOvertakesBulk: with one worker wedged on a bulk job and
+// both queues holding work, the freed worker must pick the fast job
+// first even though the bulk job was submitted earlier.
+func TestFastTierOvertakesBulk(t *testing.T) {
+	release := make(chan struct{})
+	blocker := func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return kbiplex.Stats{}, nil
+	}
+	order := make(chan Tier, 4)
+	record := func(tier Tier) Runner {
+		return func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+			order <- tier
+			return kbiplex.Stats{}, nil
+		}
+	}
+	m := testManager(t, Config{Workers: 1, QueueDepth: 8})
+	// Wedge the only worker, then queue bulk before fast.
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, blocker); err != nil {
+		t.Fatal(err)
+	}
+	// The wedge may still be in the queue momentarily; wait until it runs.
+	for m.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Submit("g", kbiplex.Query{K: 1}, record(TierBulk)); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := m.SubmitWith("g", kbiplex.Query{K: 1}, record(TierFast), SubmitOptions{Tier: TierFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Queued != 2 || st.QueuedFast != 1 {
+		t.Fatalf("queue stats before release: %+v", st)
+	}
+	close(release)
+	drain(context.Background(), jf)
+	if first := <-order; first != TierFast {
+		t.Fatalf("worker ran %v first, want fast", first)
+	}
+}

@@ -1,0 +1,609 @@
+// Package rescache is the hot-query result cache behind the kbiplex
+// service: a byte-bounded LRU of completed result spools keyed by
+// (graph payload CRC, canonical query). Millions of users mostly repeat
+// the same queries, and a finished job's spool is a perfect
+// materialized answer for any identical (graph snapshot, query) pair —
+// the payload CRC the store manifest already records makes cache
+// validity a single equality check, so a replaced graph can never serve
+// a stale spool: its CRC changes and the old entries simply stop
+// matching.
+//
+// The cache is bounded in bytes, evicts least-recently-used entries
+// past the budget, refuses entries larger than a per-entry cap (one
+// giant spool must not flush the whole working set), and counts hits,
+// misses, admissions, evictions and invalidations for the service's
+// /stats endpoint.
+//
+// With a directory configured the cache is durable in the bitcask
+// style: admissions append CRC-framed records to one log, evictions
+// and invalidations append tombstones, and Open replays the log into
+// memory and rewrites it compacted (the replay doubles as the boot
+// sweep). A truncated or corrupt log — a crash mid-append, a bad disk —
+// is quarantined with a .corrupt suffix and the cache restarts empty:
+// it is a cache, so losing it costs latency, never correctness.
+package rescache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	kbiplex "repro"
+)
+
+// logName is the append-log filename inside Config.Dir.
+const logName = "rescache.log"
+
+// logMagic heads the append-log; Open refuses files without it.
+var logMagic = [8]byte{'K', 'B', 'R', 'S', 'C', 'L', '1', '\n'}
+
+// Record kinds.
+const (
+	recPut = 1 // admit an entry
+	recDel = 2 // tombstone: the entry was evicted or invalidated
+)
+
+// maxRecordBytes bounds one log record at replay time so a corrupt
+// length field cannot demand gigabytes.
+const maxRecordBytes = 1 << 30
+
+// Key identifies one cached result set: the graph snapshot's payload
+// CRC (content fingerprint, from the store manifest or
+// bigraph.PayloadCRC) and the canonicalized query (kbiplex
+// Query.CacheKey).
+type Key struct {
+	GraphCRC uint32
+	Query    string
+}
+
+// ETag renders the key as a strong HTTP entity tag: the result bytes
+// for one ETag are immutable, so If-None-Match revalidation is exact.
+func (k Key) ETag() string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%08x;%s", k.GraphCRC, k.Query))
+}
+
+// Entry is one cached result set: the full spool of a completed run
+// plus the summary a job document reports. Solutions must not be
+// mutated after Put — the cache shares the slice with every Get.
+type Entry struct {
+	Key       Key
+	Solutions []kbiplex.Solution
+	Stats     kbiplex.Stats
+	Truncated bool
+}
+
+// bytes estimates the entry's resident footprint: slice headers plus
+// vertex ids per solution, plus the key string.
+func (e *Entry) bytes() int64 {
+	n := int64(len(e.Key.Query)) + 64
+	for _, s := range e.Solutions {
+		n += SolutionBytes(s)
+	}
+	return n
+}
+
+// Config bounds a cache.
+type Config struct {
+	// MaxBytes caps the estimated resident bytes of cached spools
+	// (default 64 MiB). Admissions past it evict LRU entries.
+	MaxBytes int64
+	// MaxEntryBytes refuses single entries larger than this (default
+	// MaxBytes/8): one giant spool must not flush the working set.
+	MaxEntryBytes int64
+	// Dir, when non-empty, persists the cache as an append-log under it
+	// (created if missing). Empty disables persistence.
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.MaxEntryBytes <= 0 {
+		c.MaxEntryBytes = c.MaxBytes / 8
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Entries and Bytes describe the resident working set; MaxBytes
+	// echoes the budget.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	// Hits and Misses count Get outcomes; Admitted, Evicted and
+	// Invalidated count entries entering and leaving.
+	Hits, Misses                   int64
+	Admitted, Evicted, Invalidated int64
+	// Persisted reports whether an append-log backs the cache;
+	// LogBytes is its current size and Compactions counts rewrites.
+	Persisted   bool
+	LogBytes    int64
+	Compactions int64
+}
+
+// node is one resident entry with its LRU bookkeeping.
+type node struct {
+	entry   Entry
+	size    int64
+	lastUse int64
+}
+
+// Cache is the result cache. Create one with Open; it is safe for
+// concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[Key]*node
+	clock   int64
+	bytes   int64
+	stats   Stats
+
+	log      *os.File // nil when persistence is off or the log failed
+	logBytes int64
+	liveLog  int64 // bytes of live (non-superseded) records in the log
+}
+
+// Open builds a cache, replaying (and compacting) the append-log in
+// cfg.Dir when persistence is configured. A missing directory is
+// created; a corrupt log is quarantined and the cache starts empty.
+func Open(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg, entries: make(map[Key]*node)}
+	c.stats.MaxBytes = cfg.MaxBytes
+	if cfg.Dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rescache: %w", err)
+	}
+	c.stats.Persisted = true
+	path := filepath.Join(cfg.Dir, logName)
+	if err := c.replay(path); err != nil {
+		// Torn or corrupt log: set it aside for inspection and restart
+		// empty. Cached results are reproducible by definition, so the
+		// safe recovery is also the cheap one.
+		os.Rename(path, path+".corrupt")
+		clear(c.entries)
+		c.bytes = 0
+	}
+	// Rewrite compacted: the replayed state becomes the new log and the
+	// dead prefix (superseded puts, tombstoned entries) is dropped.
+	if err := c.compactLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// replay loads the log at path into the cache's in-memory state,
+// honoring the byte budget as it goes (the log can legitimately hold
+// more than fits when the budget shrank between runs). Any framing or
+// checksum error aborts with a non-nil error; the caller quarantines.
+func (c *Cache) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != logMagic {
+		return errors.New("rescache: bad log magic")
+	}
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean end
+			}
+			return err // torn length prefix
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxRecordBytes {
+			return fmt.Errorf("rescache: implausible record length %d", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return err // truncated body
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return err // truncated checksum
+		}
+		if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(body) {
+			return errors.New("rescache: record checksum mismatch")
+		}
+		kind, ent, err := decodeRecord(body)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case recPut:
+			c.admitLocked(ent) // single-threaded during Open; no lock needed
+		case recDel:
+			if n, ok := c.entries[ent.Key]; ok {
+				c.removeLocked(ent.Key, n)
+			}
+		}
+	}
+}
+
+// Get returns the cached entry for k, if any, touching its LRU slot.
+// The returned entry shares its Solutions slice with the cache; callers
+// must treat it as immutable.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.stats.Hits++
+	c.clock++
+	n.lastUse = c.clock
+	return n.entry, true
+}
+
+// Contains reports whether k is cached without counting a hit or a miss
+// — the revalidation path (If-None-Match) asks before deciding how to
+// respond, and only the decision should move the counters.
+func (c *Cache) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
+}
+
+// MaxEntryBytes returns the per-entry admission cap, letting producers
+// stop collecting a spool that can never be admitted.
+func (c *Cache) MaxEntryBytes() int64 { return c.cfg.MaxEntryBytes }
+
+// SolutionBytes is the per-solution share of an entry's size estimate;
+// producers bounding a collection against MaxEntryBytes sum it.
+func SolutionBytes(s kbiplex.Solution) int64 {
+	return 48 + 4*int64(len(s.L)+len(s.R))
+}
+
+// Put admits e, evicting LRU entries past the byte budget, and reports
+// whether the entry was admitted (an entry over the per-entry cap is
+// refused). Admissions and evictions are appended to the log when
+// persistence is on. Re-putting an existing key refreshes the entry.
+func (c *Cache) Put(e Entry) bool {
+	size := e.bytes()
+	if size > c.cfg.MaxEntryBytes {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[e.Key]; ok {
+		// Refresh: the old record becomes dead weight in the log.
+		c.removeQuietLocked(e.Key, old)
+	}
+	c.admitLocked(e)
+	c.stats.Admitted++
+	c.appendLocked(recPut, &e)
+	// Evict past the budget, oldest first; the new entry is never the
+	// victim (it fits by the per-entry cap and was just touched).
+	for c.bytes > c.cfg.MaxBytes {
+		var victim *node
+		var victimKey Key
+		for k, n := range c.entries {
+			if k == e.Key {
+				continue
+			}
+			if victim == nil || n.lastUse < victim.lastUse {
+				victim, victimKey = n, k
+			}
+		}
+		if victim == nil {
+			break
+		}
+		c.removeLocked(victimKey, victim)
+		c.stats.Evicted++
+	}
+	c.maybeCompactLocked()
+	return true
+}
+
+// InvalidateGraph drops every entry cached for the given graph payload
+// CRC and returns how many were dropped. Correctness never depends on
+// it — a replaced graph has a new CRC and old entries stop matching —
+// but dropping them returns their memory immediately.
+func (c *Cache) InvalidateGraph(crc uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for k, n := range c.entries {
+		if k.GraphCRC == crc {
+			c.removeLocked(k, n)
+			c.stats.Invalidated++
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		c.maybeCompactLocked()
+	}
+	return dropped
+}
+
+// admitLocked inserts e without eviction or logging; c.mu must be held
+// (or the cache not yet published, during Open).
+func (c *Cache) admitLocked(e Entry) {
+	if old, ok := c.entries[e.Key]; ok {
+		c.bytes -= old.size
+	}
+	c.clock++
+	n := &node{entry: e, size: e.bytes(), lastUse: c.clock}
+	c.entries[e.Key] = n
+	c.bytes += n.size
+}
+
+// removeLocked drops an entry and appends its tombstone; c.mu held.
+func (c *Cache) removeLocked(k Key, n *node) {
+	c.removeQuietLocked(k, n)
+	c.appendLocked(recDel, &Entry{Key: k})
+}
+
+// removeQuietLocked drops an entry without logging; c.mu held.
+func (c *Cache) removeQuietLocked(k Key, n *node) {
+	delete(c.entries, k)
+	c.bytes -= n.size
+	c.liveLog -= recordBytes(&n.entry)
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.Bytes = c.bytes
+	st.LogBytes = c.logBytes
+	return st
+}
+
+// Close flushes and closes the append-log. The cache must not be used
+// afterwards.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.Sync()
+	if cerr := c.log.Close(); err == nil {
+		err = cerr
+	}
+	c.log = nil
+	return err
+}
+
+// --- append-log encoding ---
+
+// appendLocked writes one record to the log; c.mu held. Log I/O errors
+// disable persistence for the rest of the process (the in-memory cache
+// keeps serving) rather than failing the serving path.
+func (c *Cache) appendLocked(kind byte, e *Entry) {
+	if !c.stats.Persisted || c.log == nil {
+		return
+	}
+	rec := encodeRecord(kind, e)
+	if _, err := c.log.Write(rec); err != nil {
+		c.log.Close()
+		c.log = nil
+		return
+	}
+	c.logBytes += int64(len(rec))
+	if kind == recPut {
+		c.liveLog += int64(len(rec))
+	}
+}
+
+// maybeCompactLocked rewrites the log when dead records dominate it
+// (bitcask-style space reclamation); c.mu held.
+func (c *Cache) maybeCompactLocked() {
+	if c.log == nil || c.logBytes < 1<<20 || c.logBytes < 2*c.liveLog {
+		return
+	}
+	c.compactLocked()
+}
+
+// compactLocked rewrites the log from the live entries via a temp file
+// and atomic rename; c.mu held (or the cache not yet published).
+func (c *Cache) compactLocked() error {
+	if !c.stats.Persisted {
+		return nil
+	}
+	if c.log != nil {
+		c.log.Close()
+		c.log = nil
+	}
+	f, err := os.CreateTemp(c.cfg.Dir, ".tmp-rescache-*")
+	if err != nil {
+		return fmt.Errorf("rescache: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rescache: compacting log: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(logMagic[:]); err != nil {
+		return fail(err)
+	}
+	var total int64 = int64(len(logMagic))
+	for _, n := range c.entries {
+		rec := encodeRecord(recPut, &n.entry)
+		if _, err := bw.Write(rec); err != nil {
+			return fail(err)
+		}
+		total += int64(len(rec))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	path := filepath.Join(c.cfg.Dir, logName)
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	if d, err := os.Open(c.cfg.Dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Reopen for appending; seek position is the end by O_APPEND.
+	log, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("rescache: reopening log: %w", err)
+	}
+	f.Close()
+	c.log = log
+	c.logBytes = total
+	c.liveLog = total - int64(len(logMagic))
+	c.stats.Compactions++
+	return nil
+}
+
+// recordBytes is the encoded size of an entry's put record, used to
+// track the live fraction of the log.
+func recordBytes(e *Entry) int64 {
+	return int64(len(encodeRecord(recPut, e)))
+}
+
+// encodeRecord frames one record: u32 body length, body, u32 CRC(body).
+// The body is kind, graph CRC, the query key, and (for puts) the
+// truncated flag, run stats and the varint-encoded spool.
+func encodeRecord(kind byte, e *Entry) []byte {
+	var body []byte
+	var u [binary.MaxVarintLen64]byte
+	uv := func(x uint64) {
+		n := binary.PutUvarint(u[:], x)
+		body = append(body, u[:n]...)
+	}
+	body = append(body, kind)
+	body = binary.LittleEndian.AppendUint32(body, e.Key.GraphCRC)
+	uv(uint64(len(e.Key.Query)))
+	body = append(body, e.Key.Query...)
+	if kind == recPut {
+		flags := byte(0)
+		if e.Truncated {
+			flags = 1
+		}
+		body = append(body, flags)
+		uv(uint64(e.Stats.Solutions))
+		uv(uint64(e.Stats.Algorithm))
+		uv(uint64(e.Stats.Duration))
+		uv(uint64(len(e.Solutions)))
+		for _, s := range e.Solutions {
+			uv(uint64(len(s.L)))
+			for _, v := range s.L {
+				uv(uint64(uint32(v)))
+			}
+			uv(uint64(len(s.R)))
+			for _, v := range s.R {
+				uv(uint64(uint32(v)))
+			}
+		}
+	}
+	rec := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	rec = append(rec, body...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
+	return rec
+}
+
+// decodeRecord parses a record body (checksum already verified).
+func decodeRecord(body []byte) (byte, Entry, error) {
+	bad := func(what string) (byte, Entry, error) {
+		return 0, Entry{}, fmt.Errorf("rescache: malformed record: %s", what)
+	}
+	pos := 0
+	uv := func() (uint64, bool) {
+		x, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return x, true
+	}
+	if len(body) < 5 {
+		return bad("short body")
+	}
+	kind := body[0]
+	if kind != recPut && kind != recDel {
+		return bad("unknown kind")
+	}
+	var e Entry
+	e.Key.GraphCRC = binary.LittleEndian.Uint32(body[1:5])
+	pos = 5
+	qlen, ok := uv()
+	if !ok || pos+int(qlen) > len(body) {
+		return bad("query key")
+	}
+	e.Key.Query = string(body[pos : pos+int(qlen)])
+	pos += int(qlen)
+	if kind == recDel {
+		return kind, e, nil
+	}
+	if pos >= len(body) {
+		return bad("missing flags")
+	}
+	e.Truncated = body[pos]&1 != 0
+	pos++
+	sols, ok1 := uv()
+	alg, ok2 := uv()
+	dur, ok3 := uv()
+	count, ok4 := uv()
+	if !ok1 || !ok2 || !ok3 || !ok4 || count > uint64(len(body)) {
+		return bad("stats header")
+	}
+	e.Stats = kbiplex.Stats{
+		Solutions: int64(sols),
+		Algorithm: kbiplex.Algorithm(alg),
+		Duration:  time.Duration(dur),
+	}
+	e.Solutions = make([]kbiplex.Solution, 0, count)
+	side := func() ([]int32, bool) {
+		n, ok := uv()
+		if !ok || n > uint64(len(body)) {
+			return nil, false
+		}
+		out := make([]int32, n)
+		for i := range out {
+			v, ok := uv()
+			if !ok {
+				return nil, false
+			}
+			out[i] = int32(uint32(v))
+		}
+		return out, true
+	}
+	for i := uint64(0); i < count; i++ {
+		l, ok := side()
+		if !ok {
+			return bad("solution left side")
+		}
+		r, ok := side()
+		if !ok {
+			return bad("solution right side")
+		}
+		e.Solutions = append(e.Solutions, kbiplex.Solution{L: l, R: r})
+	}
+	return kind, e, nil
+}

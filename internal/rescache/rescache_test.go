@@ -1,0 +1,312 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+)
+
+func entry(crc uint32, query string, n int) Entry {
+	sols := make([]kbiplex.Solution, n)
+	for i := range sols {
+		sols[i] = kbiplex.Solution{L: []int32{int32(i), int32(i + 1)}, R: []int32{int32(i + 2)}}
+	}
+	return Entry{
+		Key:       Key{GraphCRC: crc, Query: query},
+		Solutions: sols,
+		Stats:     kbiplex.Stats{Solutions: int64(n), Algorithm: kbiplex.ITraversal, Duration: 7 * time.Millisecond},
+	}
+}
+
+func TestGetPutCounters(t *testing.T) {
+	c, err := Open(Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{GraphCRC: 1, Query: "q"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Put(entry(1, "q", 3)) {
+		t.Fatal("entry refused")
+	}
+	got, ok := c.Get(k)
+	if !ok || len(got.Solutions) != 3 || got.Stats.Solutions != 3 {
+		t.Fatalf("Get = %+v, %v; want 3 solutions", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Admitted != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("counters off: %+v", st)
+	}
+	// Contains moves nothing.
+	if !c.Contains(k) || c.Contains(Key{GraphCRC: 2, Query: "q"}) {
+		t.Fatal("Contains wrong")
+	}
+	after := c.Stats()
+	if after.Hits != st.Hits || after.Misses != st.Misses {
+		t.Fatalf("Contains moved counters: %+v -> %+v", st, after)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget fits roughly two of the three entries; the untouched one
+	// must be the victim.
+	e := entry(1, "a", 10)
+	size := e.bytes()
+	c, err := Open(Config{MaxBytes: 2*size + size/2, MaxEntryBytes: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(e)
+	c.Put(entry(1, "b", 10))
+	c.Get(Key{GraphCRC: 1, Query: "a"}) // touch a; b is now LRU
+	c.Put(entry(1, "c", 10))
+	if c.Contains(Key{GraphCRC: 1, Query: "b"}) {
+		t.Fatal("LRU entry b survived")
+	}
+	if !c.Contains(Key{GraphCRC: 1, Query: "a"}) || !c.Contains(Key{GraphCRC: 1, Query: "c"}) {
+		t.Fatal("wrong victim evicted")
+	}
+	st := c.Stats()
+	if st.Evicted != 1 || st.Bytes > st.MaxBytes {
+		t.Fatalf("eviction accounting off: %+v", st)
+	}
+	// An entry over the per-entry cap is refused outright.
+	if c.Put(entry(1, "huge", 100)) {
+		t.Fatal("oversized entry admitted")
+	}
+}
+
+func TestInvalidateGraph(t *testing.T) {
+	c, err := Open(Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry(7, "a", 2))
+	c.Put(entry(7, "b", 2))
+	c.Put(entry(8, "a", 2))
+	if n := c.InvalidateGraph(7); n != 2 {
+		t.Fatalf("InvalidateGraph(7) = %d, want 2", n)
+	}
+	if c.Contains(Key{GraphCRC: 7, Query: "a"}) || !c.Contains(Key{GraphCRC: 8, Query: "a"}) {
+		t.Fatal("invalidation hit the wrong graph")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("Invalidated = %d, want 2", st.Invalidated)
+	}
+}
+
+func TestPersistReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry(42, "hot", 5)
+	want.Truncated = true
+	c.Put(want)
+	c.Put(entry(42, "cold", 1))
+	c.InvalidateGraph(0) // no-op, exercises tombstone-free path
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, ok := c2.Get(Key{GraphCRC: 42, Query: "hot"})
+	if !ok {
+		t.Fatal("persisted entry lost across restart")
+	}
+	if len(got.Solutions) != 5 || !got.Truncated || got.Stats.Solutions != 5 ||
+		got.Stats.Algorithm != kbiplex.ITraversal || got.Stats.Duration != 7*time.Millisecond {
+		t.Fatalf("replayed entry mangled: %+v", got)
+	}
+	if got.Solutions[2].L[0] != 2 || got.Solutions[2].R[0] != 4 {
+		t.Fatalf("replayed solutions wrong: %+v", got.Solutions[2])
+	}
+	if st := c2.Stats(); !st.Persisted || st.Entries != 2 || st.LogBytes <= 0 {
+		t.Fatalf("replayed stats off: %+v", st)
+	}
+}
+
+func TestPersistTombstones(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry(1, "stays", 2))
+	c.Put(entry(2, "goes", 2))
+	c.InvalidateGraph(2)
+	c.Close()
+
+	c2, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Contains(Key{GraphCRC: 2, Query: "goes"}) {
+		t.Fatal("tombstoned entry resurrected")
+	}
+	if !c2.Contains(Key{GraphCRC: 1, Query: "stays"}) {
+		t.Fatal("live entry lost")
+	}
+}
+
+// TestCorruptLogQuarantined mirrors the catalog durability tests: a log
+// that fails its checksum is moved aside with a .corrupt suffix and the
+// cache restarts empty.
+func TestCorruptLogQuarantined(t *testing.T) {
+	for name, mangle := range map[string]func(path string, t *testing.T){
+		"flipped byte": func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 0xff
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated": func(path string, t *testing.T) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bad magic": func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("not a rescache log at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Put(entry(9, "x", 4))
+			c.Close()
+			path := filepath.Join(dir, logName)
+			mangle(path, t)
+
+			c2, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+			if err != nil {
+				t.Fatalf("corrupt log must not fail Open: %v", err)
+			}
+			defer c2.Close()
+			if st := c2.Stats(); st.Entries != 0 {
+				t.Fatalf("corrupt log replayed %d entries", st.Entries)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("corrupt log not quarantined: %v", err)
+			}
+			// The cache is usable and durable again after quarantine.
+			c2.Put(entry(9, "y", 1))
+			c2.Close()
+			c3, err := Open(Config{MaxBytes: 1 << 20, Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c3.Close()
+			if !c3.Contains(Key{GraphCRC: 9, Query: "y"}) {
+				t.Fatal("cache not durable after quarantine")
+			}
+		})
+	}
+}
+
+// TestCompaction: dead records (refreshed puts, tombstones) are
+// reclaimed once they dominate the log.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(Config{MaxBytes: 1 << 26, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Churn one key with a large entry until the log crosses the 1 MiB
+	// compaction floor with mostly dead records.
+	for i := 0; i < 300; i++ {
+		c.Put(entry(5, "churn", 200))
+	}
+	st := c.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after churn: %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("churned key duplicated: %+v", st)
+	}
+	got, ok := c.Get(Key{GraphCRC: 5, Query: "churn"})
+	if !ok || len(got.Solutions) != 200 {
+		t.Fatal("entry lost across compaction")
+	}
+}
+
+// TestConcurrentHitAdmitEvict drives Get/Put/InvalidateGraph from many
+// goroutines; run under -race this is the data-race coverage the issue
+// asks for.
+func TestConcurrentHitAdmitEvict(t *testing.T) {
+	c, err := Open(Config{MaxBytes: 1 << 15, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{GraphCRC: uint32(i % 7), Query: "q"}
+				switch i % 4 {
+				case 0:
+					c.Put(entry(k.GraphCRC, k.Query, i%16+1))
+				case 1:
+					if e, ok := c.Get(k); ok && len(e.Solutions) == 0 {
+						t.Error("hit returned empty spool")
+					}
+				case 2:
+					c.Contains(k)
+				default:
+					if i%40 == 3 {
+						c.InvalidateGraph(k.GraphCRC)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Bytes > st.MaxBytes {
+		t.Fatalf("byte accounting out of bounds: %+v", st)
+	}
+	if st.Admitted == 0 || st.Hits == 0 {
+		t.Fatalf("concurrency test exercised nothing: %+v", st)
+	}
+}
+
+func TestMemoryOnlyNoFiles(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(entry(1, "a", 1))
+	if st := c.Stats(); st.Persisted || st.LogBytes != 0 {
+		t.Fatalf("memory-only cache claims persistence: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

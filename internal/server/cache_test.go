@@ -1,0 +1,379 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+)
+
+// submitJobResp posts a query document and returns the raw response
+// (closed) plus the decoded job doc (zero when the response had no
+// body, e.g. 304).
+func submitJobResp(t *testing.T, ts *httptest.Server, graph, query string, header http.Header) (*http.Response, jobDoc) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/"+graph+"/jobs", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc jobDoc
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, doc
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// statsDoc fetches /stats into a generic document.
+func statsDoc(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	getJSON(t, ts.URL+"/stats", &doc)
+	return doc
+}
+
+// cacheStat reads one numeric field of the /stats result_cache section.
+func cacheStat(t *testing.T, ts *httptest.Server, field string) float64 {
+	t.Helper()
+	doc := statsDoc(t, ts)
+	section, ok := doc["result_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no result_cache section: %v", doc)
+	}
+	v, ok := section[field].(float64)
+	if !ok {
+		t.Fatalf("result_cache.%s missing: %v", field, section)
+	}
+	return v
+}
+
+// engineQueries reads the engine's query counter off the per-graph doc.
+func engineQueries(t *testing.T, ts *httptest.Server, graph string) float64 {
+	t.Helper()
+	var doc map[string]any
+	getJSON(t, ts.URL+"/graphs/"+graph, &doc)
+	q, _ := doc["queries"].(float64)
+	return q
+}
+
+// TestJobCacheHit: the second identical submission is served from the
+// cache — job born done, X-Kbiplex-Cache: hit, an ETag, and zero
+// additional engine work.
+func TestJobCacheHit(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "g", 14, 14, 2.5, 7)
+
+	resp1, doc1 := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	if got := resp1.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("first submit %s = %q, want miss", headerCache, got)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("first submit carried no ETag")
+	}
+	want, trailer := readResults(t, ts, doc1.ID, 0)
+	if !trailer.Done {
+		t.Fatalf("first job did not finish cleanly: %+v", trailer)
+	}
+	waitFor(t, "cache admission", func() bool { return cacheStat(t, ts, "admitted") >= 1 })
+	queriesBefore := engineQueries(t, ts, "g")
+
+	resp2, doc2 := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("repeat submit %s = %q, want hit", headerCache, got)
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Fatalf("ETag changed across identical submissions: %q vs %q", resp2.Header.Get("ETag"), etag)
+	}
+	if doc2.State != "done" {
+		t.Fatalf("cached job born in state %q, want done", doc2.State)
+	}
+	got, trailer2 := readResults(t, ts, doc2.ID, 0)
+	if !trailer2.Done || len(got) != len(want) {
+		t.Fatalf("cached job served %d solutions (done=%v), want %d", len(got), trailer2.Done, len(want))
+	}
+	// Zero planner/traversal work: the engine's query counter must not
+	// have moved for the cached submission.
+	if after := engineQueries(t, ts, "g"); after != queriesBefore {
+		t.Fatalf("cached hit ran the engine: queries %v -> %v", queriesBefore, after)
+	}
+	if hits := cacheStat(t, ts, "hits"); hits < 1 {
+		t.Fatalf("result_cache.hits = %v, want >= 1", hits)
+	}
+}
+
+// TestJobSubmitIfNoneMatch: revalidation with the entry's ETag
+// round-trips as 304 without creating a job.
+func TestJobSubmitIfNoneMatch(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "g", 12, 12, 2, 5)
+
+	resp1, doc1 := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	etag := resp1.Header.Get("ETag")
+	readResults(t, ts, doc1.ID, 0)
+	waitFor(t, "cache admission", func() bool { return cacheStat(t, ts, "admitted") >= 1 })
+
+	resp, _ := submitJobResp(t, ts, "g", `{"k":1}`, http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp.StatusCode)
+	}
+	if got := resp.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("304 %s = %q, want hit", headerCache, got)
+	}
+	// A stale ETag (different query) must not revalidate.
+	resp2, doc2 := submitJobResp(t, ts, "g", `{"k":2}`, http.Header{"If-None-Match": {etag}})
+	if resp2.StatusCode != http.StatusAccepted || doc2.ID == "" {
+		t.Fatalf("mismatched If-None-Match did not run the query: %d", resp2.StatusCode)
+	}
+}
+
+// TestCacheKeyURLvsJSONForms: the satellite table test — the URL-form
+// and JSON-form spellings of one query must canonicalize to
+// byte-identical cache keys.
+func TestCacheKeyURLvsJSONForms(t *testing.T) {
+	cases := []struct {
+		name string
+		url  string
+		body string
+		same bool
+	}{
+		{"defaults", "k=1", `{"k":1}`, true},
+		{"k expands per side", "k=2", `{"k_left":2,"k_right":2}`, true},
+		{"algorithm case folds", "algorithm=ITRAVERSAL&k=1", `{"algorithm":"iTraversal","k":1}`, true},
+		{"workers one is sequential", "k=1&workers=1", `{"k":1}`, true},
+		{"deadline excluded", "k=1&deadline=30s", `{"k":1}`, true},
+		{"max_results carried", "k=1&max_results=100", `{"k":1,"max_results":100}`, true},
+		{"shards distinguish", "k=1&shards=4", `{"k":1}`, false},
+		{"k distinguishes", "k=2", `{"k":1}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ru := httptest.NewRequest(http.MethodGet, "/graphs/g/enumerate?"+tc.url, nil)
+			qu, err := queryFromURL(ru)
+			if err != nil {
+				t.Fatalf("queryFromURL(%q): %v", tc.url, err)
+			}
+			rj := httptest.NewRequest(http.MethodPost, "/v1/graphs/g/jobs", strings.NewReader(tc.body))
+			qj, err := decodeQuery(httptest.NewRecorder(), rj)
+			if err != nil {
+				t.Fatalf("decodeQuery(%q): %v", tc.body, err)
+			}
+			ku, kj := qu.CacheKey(), qj.CacheKey()
+			if (ku == kj) != tc.same {
+				t.Fatalf("URL key %q vs JSON key %q, want same=%v", ku, kj, tc.same)
+			}
+		})
+	}
+}
+
+// TestGraphReplaceNeverServesStale: re-POSTing different content under
+// the same name must invalidate the old entries — the repeat query is a
+// miss and returns the new graph's results.
+func TestGraphReplaceNeverServesStale(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "g", 12, 12, 2, 1)
+
+	_, doc1 := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	old, _ := readResults(t, ts, doc1.ID, 0)
+	waitFor(t, "cache admission", func() bool { return cacheStat(t, ts, "admitted") >= 1 })
+
+	// Same name, different content. The repeat query must re-run (the
+	// old content's key no longer matches) — asserted before any other
+	// graph with the new content can populate the cache.
+	loadRandomGraph(t, ts, "g", 16, 16, 3, 99)
+	resp, doc := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	if got := resp.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("post-replace submit %s = %q, want miss", headerCache, got)
+	}
+	got, _ := readResults(t, ts, doc.ID, 0)
+
+	// Ground truth for the new content, computed under a fresh name.
+	loadRandomGraph(t, ts, "fresh", 16, 16, 3, 99)
+	_, docFresh := submitJobResp(t, ts, "fresh", `{"k":1}`, nil)
+	want, _ := readResults(t, ts, docFresh.ID, 0)
+	if len(want) == len(old) {
+		t.Skip("replacement graph happens to have the same solution count; pick different seeds")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-replace query returned %d solutions, want %d (stale would be %d)", len(got), len(want), len(old))
+	}
+	if inv := cacheStat(t, ts, "invalidated"); inv < 1 {
+		t.Fatalf("result_cache.invalidated = %v, want >= 1", inv)
+	}
+	// DELETE also invalidates.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/fresh", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", resp.StatusCode, err)
+	}
+	waitFor(t, "delete invalidation", func() bool { return cacheStat(t, ts, "invalidated") >= 2 })
+}
+
+// TestLegacyEnumerateCache: the unversioned streaming endpoint serves
+// repeats from cache with the hit header and honors If-None-Match.
+func TestLegacyEnumerateCache(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "g", 14, 14, 2.5, 11)
+	url := ts.URL + "/graphs/g/enumerate?k=1"
+
+	resp1, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp1.Body)
+	resp1.Body.Close()
+	if got := resp1.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("first enumerate %s = %q, want miss", headerCache, got)
+	}
+	etag := resp1.Header.Get("ETag")
+	waitFor(t, "cache admission", func() bool { return cacheStat(t, ts, "admitted") >= 1 })
+	queriesBefore := engineQueries(t, ts, "g")
+
+	resp2, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("repeat enumerate %s = %q, want hit", headerCache, got)
+	}
+	if c1, c2 := strings.Count(string(body1), "\n"), strings.Count(string(body2), "\n"); c1 != c2 {
+		t.Fatalf("cached stream has %d lines, fresh had %d", c2, c1)
+	}
+	if after := engineQueries(t, ts, "g"); after != queriesBefore {
+		t.Fatalf("cached enumerate ran the engine: queries %v -> %v", queriesBefore, after)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional enumerate status = %d, want 304", resp3.StatusCode)
+	}
+}
+
+// TestNoStoreHeaders: volatile endpoints must carry Cache-Control:
+// no-store so intermediaries never replay job state or counters.
+func TestNoStoreHeaders(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{})
+	loadRandomGraph(t, ts, "g", 10, 10, 2, 3)
+	doc := submitJob(t, ts, "g", `{"k":1}`)
+
+	for _, path := range []string{"/stats", "/v1/jobs", "/v1/jobs/" + doc.ID} {
+		resp := getJSON(t, ts.URL+path, nil)
+		if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, got)
+		}
+	}
+}
+
+// TestResultCachePersistAcrossRestart: with persistence on, a restart
+// serves the pre-restart hot query from the replayed log — before the
+// graph is even hydrated.
+func TestResultCachePersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, ResultCachePersist: true}
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	body := `{"name":"g","persist":true,"random":{"num_left":14,"num_right":14,"density":2.5,"seed":21}}`
+	resp, err := http.Post(ts1.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("loading graph: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	_, doc := submitJobResp(t, ts1, "g", `{"k":1}`, nil)
+	want, trailer := readResults(t, ts1, doc.ID, 0)
+	if !trailer.Done {
+		t.Fatalf("job did not finish: %+v", trailer)
+	}
+	ts1.Close()
+	if err := srv1.Close(); err != nil { // waits for workers → admission + log flush
+		t.Fatal(err)
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	resp2, doc2 := submitJobResp(t, ts2, "g", `{"k":1}`, nil)
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("post-restart submit %s = %q, want hit", headerCache, got)
+	}
+	if doc2.State != "done" {
+		t.Fatalf("post-restart cached job state %q, want done", doc2.State)
+	}
+	got, _ := readResults(t, ts2, doc2.ID, 0)
+	if len(got) != len(want) {
+		t.Fatalf("post-restart cache served %d solutions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("solution %d differs after restart: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResultCacheDisabled: a negative budget turns the cache off —
+// repeats re-run, no cache headers, no /stats section.
+func TestResultCacheDisabled(t *testing.T) {
+	ts, _ := newTestServerPair(t, Config{ResultCacheBytes: -1})
+	loadRandomGraph(t, ts, "g", 10, 10, 2, 3)
+	resp, doc := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	if h := resp.Header.Get(headerCache); h != "" {
+		t.Fatalf("disabled cache still sets %s=%q", headerCache, h)
+	}
+	readResults(t, ts, doc.ID, 0)
+	resp2, _ := submitJobResp(t, ts, "g", `{"k":1}`, nil)
+	if h := resp2.Header.Get(headerCache); h != "" {
+		t.Fatalf("disabled cache hit on repeat: %s=%q", headerCache, h)
+	}
+	if _, ok := statsDoc(t, ts)["result_cache"]; ok {
+		t.Fatal("/stats exposes result_cache with the cache disabled")
+	}
+}
+
+var _ = kbiplex.Query{} // keep the import stable across edits

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +59,7 @@ import (
 
 	kbiplex "repro"
 	"repro/internal/jobs"
+	"repro/internal/rescache"
 	"repro/internal/store"
 )
 
@@ -113,6 +115,15 @@ type Config struct {
 	// Jobs bounds the /v1 job manager (worker pool size, queue depth,
 	// spool cap, retention); zero values take the jobs package defaults.
 	Jobs jobs.Config
+	// ResultCacheBytes caps the hot-query result cache (internal/
+	// rescache): completed spools are cached under (graph payload CRC,
+	// canonical query) and repeat queries are served with zero planner
+	// work. 0 takes the default (64 MiB); negative disables the cache.
+	ResultCacheBytes int64
+	// ResultCachePersist, with a DataDir, persists popular spools in an
+	// append-log under DataDir/rescache so a restart still serves its
+	// pre-restart hot queries from cache.
+	ResultCachePersist bool
 }
 
 // Server routes HTTP traffic onto kbiplex engines owned by a persistent
@@ -122,6 +133,7 @@ type Server struct {
 	mux     *http.ServeMux
 	catalog *store.Catalog
 	jobs    *jobs.Manager
+	results *rescache.Cache // nil when the result cache is disabled
 
 	// lifecycle is open until BeginShutdown; every request context is
 	// tied to it so in-flight streams can be drained with a cause.
@@ -152,12 +164,25 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var results *rescache.Cache
+	if cfg.ResultCacheBytes >= 0 {
+		dir := ""
+		if cfg.ResultCachePersist && cfg.DataDir != "" {
+			dir = filepath.Join(cfg.DataDir, "rescache")
+		}
+		results, err = rescache.Open(rescache.Config{MaxBytes: cfg.ResultCacheBytes, Dir: dir})
+		if err != nil {
+			catalog.Close()
+			return nil, err
+		}
+	}
 	lifecycle, shutdown := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		catalog:   catalog,
 		jobs:      jobs.NewManager(lifecycle, cfg.Jobs),
+		results:   results,
 		lifecycle: lifecycle,
 		shutdown:  shutdown,
 		start:     time.Now(),
@@ -237,6 +262,11 @@ func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	jerr := s.jobs.Close(ctx, ErrShuttingDown)
+	if s.results != nil {
+		if rerr := s.results.Close(); rerr != nil && jerr == nil {
+			jerr = rerr
+		}
+	}
 	if cerr := s.catalog.Close(); cerr != nil {
 		return cerr
 	}
@@ -258,6 +288,57 @@ func (s *Server) engine(w http.ResponseWriter, name string) (*kbiplex.Engine, bo
 		return nil, false
 	}
 	return eng, true
+}
+
+// headerCache reports how the result cache treated a query: "hit" when
+// a cached spool was served without planner work, "miss" when it ran.
+const headerCache = "X-Kbiplex-Cache"
+
+// fastResultsCap is the admission-tier split: a query asking for at
+// most this many results is queued on the fast tier so it never waits
+// behind a cold full enumeration.
+const fastResultsCap = 4096
+
+// cacheKey resolves (graph, query) to the result-cache key. ok=false
+// means the pair is not cacheable: the cache is disabled, the graph is
+// unknown, or its content fingerprint is unrecorded (a pre-upgrade
+// manifest entry).
+func (s *Server) cacheKey(graph string, q kbiplex.Query) (rescache.Key, bool) {
+	if s.results == nil {
+		return rescache.Key{}, false
+	}
+	info, ok := s.catalog.Info(graph)
+	if !ok || info.CRC32 == 0 {
+		return rescache.Key{}, false
+	}
+	return rescache.Key{GraphCRC: info.CRC32, Query: q.CacheKey()}, true
+}
+
+// invalidateResults drops cached spools for a graph content fingerprint
+// (after a DELETE or a replacing load). Correctness never depends on
+// the call — a changed graph has a new CRC and old entries stop
+// matching — but dropping them returns the memory immediately.
+func (s *Server) invalidateResults(crc uint32) {
+	if s.results != nil && crc != 0 {
+		s.results.InvalidateGraph(crc)
+	}
+}
+
+// etagMatches reports whether an If-None-Match header revalidates etag
+// (strong comparison; "*" matches anything per RFC 9110).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, c := range strings.Split(header, ",") {
+		if strings.TrimSpace(c) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -307,20 +388,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	infos := s.graphInfos()
 	st := s.catalog.Stats()
 	jst := s.jobs.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	// Counters change under the responder's feet; an intermediary
+	// replaying them would misreport the server.
+	w.Header().Set("Cache-Control", "no-store")
+	doc := map[string]any{
 		"uptime_seconds":     time.Since(s.start).Seconds(),
 		"queries":            s.queries.Load(),
 		"solutions_streamed": s.streamed.Load(),
 		"graphs":             infos,
 		"jobs": map[string]any{
-			"submitted": jst.Submitted,
-			"rejected":  jst.Rejected,
-			"completed": jst.Completed,
-			"failed":    jst.Failed,
-			"canceled":  jst.Canceled,
-			"queued":    jst.Queued,
-			"running":   jst.Running,
-			"retained":  jst.Retained,
+			"submitted":   jst.Submitted,
+			"rejected":    jst.Rejected,
+			"completed":   jst.Completed,
+			"failed":      jst.Failed,
+			"canceled":    jst.Canceled,
+			"cached_done": jst.CachedDone,
+			"queued":      jst.Queued,
+			"queued_fast": jst.QueuedFast,
+			"running":     jst.Running,
+			"retained":    jst.Retained,
 		},
 		"store": map[string]any{
 			"graphs":         st.Graphs,
@@ -332,7 +418,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hydrations":     st.Hydrations,
 			"evictions":      st.Evictions,
 		},
-	})
+	}
+	if s.results != nil {
+		cst := s.results.Stats()
+		doc["result_cache"] = map[string]any{
+			"entries":     cst.Entries,
+			"bytes":       cst.Bytes,
+			"max_bytes":   cst.MaxBytes,
+			"hits":        cst.Hits,
+			"misses":      cst.Misses,
+			"admitted":    cst.Admitted,
+			"evicted":     cst.Evicted,
+			"invalidated": cst.Invalidated,
+			"persisted":   cst.Persisted,
+			"log_bytes":   cst.LogBytes,
+			"compactions": cst.Compactions,
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -456,12 +559,20 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // finishLoad registers the decoded graph and writes the 201 response.
+// A load that replaces an existing graph with different content drops
+// the old content's cached results.
 func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph, persist bool) {
+	old, hadOld := s.catalog.Info(name)
 	var err error
 	if persist {
 		err = s.AddGraphPersist(name, g)
 	} else {
 		err = s.AddGraph(name, g)
+	}
+	if err == nil && hadOld {
+		if now, ok := s.catalog.Info(name); ok && now.CRC32 != old.CRC32 {
+			s.invalidateResults(old.CRC32)
+		}
 	}
 	if err != nil {
 		// The request itself was already validated (name, decoded graph),
@@ -522,6 +633,7 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	info, hadInfo := s.catalog.Info(name)
 	ok, err := s.catalog.Delete(name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -530,6 +642,9 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
 		return
+	}
+	if hadInfo {
+		s.invalidateResults(info.CRC32)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -703,7 +818,29 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	eng, ok := s.engine(w, r.PathValue("name"))
+	name := r.PathValue("name")
+	key, cacheable := s.cacheKey(name, q)
+	if cacheable {
+		// The cache is consulted before the engine is even resolved: a
+		// fully cached repeat query never hydrates an evicted graph, let
+		// alone plans a traversal.
+		etag := key.ETag()
+		if etagMatches(r.Header.Get("If-None-Match"), etag) && s.results.Contains(key) {
+			s.queries.Add(1)
+			setCachedHeaders(w, etag, "hit")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// A truncated entry was clamped by the job manager's spool cap,
+		// which is not this endpoint's bound — run it fresh instead of
+		// replaying a cut that does not apply here.
+		if ent, ok := s.results.Get(key); ok && !ent.Truncated {
+			s.queries.Add(1)
+			s.streamCachedEnumeration(w, etag, ent)
+			return
+		}
+	}
+	eng, ok := s.engine(w, name)
 	if !ok {
 		return
 	}
@@ -713,9 +850,19 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Trailer", strings.Join([]string{trailerSolutions, trailerAlgorithm, trailerDurationMS, trailerStatus}, ", "))
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if cacheable {
+		setCachedHeaders(w, key.ETag(), "miss")
+	}
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+
+	// A clean completion is a cache admission: collect the stream while
+	// it stays under the cache's per-entry cap, and stop collecting (not
+	// streaming) past it.
+	var collected []kbiplex.Solution
+	var collectedBytes int64
+	collecting := cacheable
 
 	start := time.Now()
 	var streamErr error
@@ -726,6 +873,14 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(solutionLine{L: sol.L, R: sol.R}); err != nil {
 			streamErr = err
 			return false
+		}
+		if collecting {
+			collectedBytes += rescache.SolutionBytes(sol)
+			if collectedBytes > s.results.MaxEntryBytes() {
+				collecting, collected = false, nil
+			} else {
+				collected = append(collected, sol)
+			}
 		}
 		s.streamed.Add(1)
 		// Flush per solution: enumeration delay, not buffering, should
@@ -739,6 +894,9 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		err = streamErr
 	}
 	err = shutdownCause(ctx, err)
+	if err == nil && collecting {
+		s.results.Put(rescache.Entry{Key: key, Solutions: collected, Stats: st})
+	}
 
 	sum := summaryLine{
 		Solutions: st.Solutions,
@@ -757,6 +915,46 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(trailerDurationMS, strconv.FormatInt(st.Duration.Milliseconds(), 10))
 	w.Header().Set(trailerStatus, status)
 	enc.Encode(sum)
+	rc.Flush()
+}
+
+// setCachedHeaders stamps the conditional-request surface of a
+// cacheable enumeration response: the key's strong ETag, the hit/miss
+// verdict, and a Cache-Control that keeps revalidation with the origin
+// (results are immutable per ETag, but graph replacement mints new
+// ones).
+func setCachedHeaders(w http.ResponseWriter, etag, verdict string) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set(headerCache, verdict)
+	w.Header().Set("Cache-Control", "private, must-revalidate")
+}
+
+// streamCachedEnumeration answers the legacy enumerate surface from a
+// cached spool: the same NDJSON frames and trailers, zero engine work.
+func (s *Server) streamCachedEnumeration(w http.ResponseWriter, etag string, ent rescache.Entry) {
+	w.Header().Set("Trailer", strings.Join([]string{trailerSolutions, trailerAlgorithm, trailerDurationMS, trailerStatus}, ", "))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	setCachedHeaders(w, etag, "hit")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	for _, sol := range ent.Solutions {
+		if err := enc.Encode(solutionLine{L: sol.L, R: sol.R}); err != nil {
+			return
+		}
+		s.streamed.Add(1)
+	}
+	n := int64(len(ent.Solutions))
+	w.Header().Set(trailerSolutions, strconv.FormatInt(n, 10))
+	w.Header().Set(trailerAlgorithm, ent.Stats.Algorithm.String())
+	w.Header().Set(trailerDurationMS, strconv.FormatInt(time.Since(start).Milliseconds(), 10))
+	w.Header().Set(trailerStatus, "done")
+	enc.Encode(summaryLine{
+		Done: true, Solutions: n,
+		Algorithm: ent.Stats.Algorithm.String(),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
 	rc.Flush()
 }
 

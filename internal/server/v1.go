@@ -20,6 +20,7 @@ import (
 
 	kbiplex "repro"
 	"repro/internal/jobs"
+	"repro/internal/rescache"
 )
 
 // jobStats is the finished run's summary inside a job document.
@@ -83,6 +84,13 @@ func jobError(w http.ResponseWriter, err error) {
 }
 
 // handleSubmitJob admits one Query document as a job against a graph.
+//
+// The result cache sits in front of the planner here: a hit births the
+// job already done with the cached spool (no queue, no engine, not even
+// a hydration), a revalidation (If-None-Match carrying the entry's
+// ETag) short-circuits to 304 without creating a job at all, and a miss
+// runs normally with an on-completion hook that admits the finished
+// spool for the next repeat.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	q, err := decodeQuery(w, r)
 	if err != nil {
@@ -94,17 +102,59 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	key, cacheable := s.cacheKey(name, q)
+	if cacheable {
+		etag := key.ETag()
+		if etagMatches(r.Header.Get("If-None-Match"), etag) && s.results.Contains(key) {
+			s.queries.Add(1)
+			setCachedHeaders(w, etag, "hit")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// A spool longer than this manager's cap cannot have come from
+		// it (the legacy surface admitted it under a looser bound);
+		// replaying it would overshoot the cap, so run fresh instead.
+		if ent, ok := s.results.Get(key); ok && len(ent.Solutions) <= s.jobs.SpoolCap() {
+			job, err := s.jobs.SubmitCached(name, q, ent.Solutions, ent.Stats, ent.Truncated)
+			if err != nil {
+				jobError(w, err)
+				return
+			}
+			s.queries.Add(1)
+			setCachedHeaders(w, etag, "hit")
+			w.Header().Set("Location", "/v1/jobs/"+job.ID())
+			writeJSON(w, http.StatusAccepted, jobDocFrom(job.Snapshot()))
+			return
+		}
+	}
 	eng, ok := s.engine(w, name)
 	if !ok {
 		return
 	}
 	s.queries.Add(1)
-	job, err := s.jobs.Submit(name, q, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+	var opts jobs.SubmitOptions
+	if c := q.Canonical(); c.MaxResults > 0 && c.MaxResults <= fastResultsCap {
+		// Small-capped queries take the fast tier: they finish quickly
+		// and must not wait behind cold full enumerations.
+		opts.Tier = jobs.TierFast
+	}
+	if cacheable {
+		opts.OnDone = func(snap jobs.Snapshot, spool []kbiplex.Solution) {
+			s.results.Put(rescache.Entry{
+				Key: key, Solutions: spool,
+				Stats: snap.Stats, Truncated: snap.Truncated,
+			})
+		}
+	}
+	job, err := s.jobs.SubmitWith(name, q, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
 		return s.runQuery(ctx, eng, q, emit)
-	})
+	}, opts)
 	if err != nil {
 		jobError(w, err)
 		return
+	}
+	if cacheable {
+		setCachedHeaders(w, key.ETag(), "miss")
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID())
 	writeJSON(w, http.StatusAccepted, jobDocFrom(job.Snapshot()))
@@ -116,6 +166,8 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	for i, snap := range snaps {
 		docs[i] = jobDocFrom(snap)
 	}
+	// Job state is volatile; an intermediary must never replay it.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, docs)
 }
 
@@ -125,6 +177,9 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		jobError(w, err)
 		return
 	}
+	// Progress counters and state change between polls; only result
+	// payloads (keyed by ETag on submission) are cacheable.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, jobDocFrom(job.Snapshot()))
 }
 
@@ -196,6 +251,9 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// A cursor-parameterized partial stream of a possibly-running job is
+	// volatile; replaying it would hand a resumer a stale suffix.
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)

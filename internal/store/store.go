@@ -83,10 +83,15 @@ type Config struct {
 
 // Info describes one cataloged graph without forcing hydration.
 type Info struct {
-	Name      string
-	NumLeft   int
-	NumRight  int
-	NumEdges  int
+	Name     string
+	NumLeft  int
+	NumRight int
+	NumEdges int
+	// CRC32 is the graph's payload checksum — the content fingerprint
+	// result caches key on. Persisted graphs carry the manifest-recorded
+	// snapshot trailer; ephemeral graphs compute the identical value in
+	// memory at Add time.
+	CRC32     uint32
 	Persisted bool // has an on-disk snapshot to re-hydrate from
 	Resident  bool // engine currently in memory
 }
@@ -345,6 +350,11 @@ func (c *Catalog) Add(name string, g *kbiplex.Graph, persist bool) (*kbiplex.Eng
 	e := &entry{persisted: persist}
 	e.Name = name
 	e.NumLeft, e.NumRight, e.NumEdges = g.NumLeft(), g.NumRight(), g.NumEdges()
+	if !persist {
+		// No snapshot will record the checksum, so fingerprint the graph
+		// in memory: result caches key on it either way.
+		e.CRC32 = bigraph.PayloadCRC(g)
+	}
 	var tmp string
 	if persist {
 		// The slow part — serializing the graph — runs unlocked so bulk
@@ -648,7 +658,7 @@ func (c *Catalog) Info(name string) (Info, bool) {
 func (c *Catalog) infoLocked(e *entry) Info {
 	return Info{
 		Name: e.Name, NumLeft: e.NumLeft, NumRight: e.NumRight, NumEdges: e.NumEdges,
-		Persisted: e.persisted, Resident: e.eng != nil,
+		CRC32: e.CRC32, Persisted: e.persisted, Resident: e.eng != nil,
 	}
 }
 

@@ -306,3 +306,26 @@ func TestConcurrentHydrationEviction(t *testing.T) {
 		}
 	}
 }
+
+// TestInfoCRC32: the content fingerprint is exposed for both persisted
+// and ephemeral graphs, and identical content yields identical CRCs —
+// the equality the result cache keys on.
+func TestInfoCRC32(t *testing.T) {
+	c := openCatalog(t, Config{Dir: t.TempDir()})
+	mustAdd(t, c, "p", testGraph(3), true)
+	mustAdd(t, c, "e", testGraph(3), false)
+	mustAdd(t, c, "other", testGraph(4), false)
+
+	p, _ := c.Info("p")
+	e, _ := c.Info("e")
+	other, _ := c.Info("other")
+	if p.CRC32 == 0 || e.CRC32 == 0 {
+		t.Fatalf("unrecorded CRCs: persisted %08x, ephemeral %08x", p.CRC32, e.CRC32)
+	}
+	if p.CRC32 != e.CRC32 {
+		t.Fatalf("same content, different CRCs: persisted %08x vs ephemeral %08x", p.CRC32, e.CRC32)
+	}
+	if other.CRC32 == p.CRC32 {
+		t.Fatal("different content shares a CRC")
+	}
+}

@@ -305,3 +305,48 @@ func (q Query) Validate() error {
 	}
 	return q.Options().Validate()
 }
+
+// Canonical returns the query with every service default filled in, so
+// that any two queries describing the same enumeration compare equal
+// regardless of which optional fields the client spelled out:
+//
+//   - the k budgets are resolved per side (KLeft/KRight defaulted from
+//     K, the all-zero query defaulted to K=1) and K itself is cleared —
+//     {K: 2} and {KLeft: 2, KRight: 2} canonicalize identically;
+//   - Workers 1 becomes 0 (both run the sequential driver) and every
+//     "all cores" request (any negative value) becomes -1;
+//   - the Algorithm is already canonical by construction: both decode
+//     paths parse names case-insensitively into the enum.
+//
+// Deadline is preserved but is an execution bound, not part of the
+// result set's identity; CacheKey excludes it.
+func (q Query) Canonical() Query {
+	if q.K == 0 && q.KLeft == 0 && q.KRight == 0 {
+		q.K = 1
+	}
+	if q.KLeft == 0 {
+		q.KLeft = q.K
+	}
+	if q.KRight == 0 {
+		q.KRight = q.K
+	}
+	q.K = 0
+	if q.Workers == 1 {
+		q.Workers = 0
+	}
+	if q.Workers < 0 {
+		q.Workers = -1
+	}
+	return q
+}
+
+// CacheKey renders the canonicalized query as a deterministic string:
+// two queries share a key exactly when Canonical maps them to the same
+// value. Deadline is excluded — a completed result set satisfies any
+// deadline — so repeat queries differing only in their time budget share
+// cached results.
+func (q Query) CacheKey() string {
+	c := q.Canonical()
+	return fmt.Sprintf("%s;kl=%d;kr=%d;ml=%d;mr=%d;max=%d;w=%d;sh=%d",
+		c.Algorithm, c.KLeft, c.KRight, c.MinLeft, c.MinRight, c.MaxResults, c.Workers, c.Shards)
+}

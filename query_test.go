@@ -124,3 +124,37 @@ func TestStatsDuration(t *testing.T) {
 		t.Fatalf("Engine.Enumerate duration = %v (err %v), want > 0", st.Duration, err)
 	}
 }
+
+// TestQueryCanonical: equivalent spellings of one enumeration share a
+// canonical form and therefore a cache key; distinct enumerations do
+// not.
+func TestQueryCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Query
+		same bool
+	}{
+		{"zero-query defaults to k=1", Query{}, Query{K: 1}, true},
+		{"k expands per side", Query{K: 2}, Query{KLeft: 2, KRight: 2}, true},
+		{"one side spelled, other defaulted", Query{K: 2, KLeft: 3}, Query{KLeft: 3, KRight: 2}, true},
+		{"workers 1 is sequential", Query{K: 1, Workers: 1}, Query{K: 1}, true},
+		{"all negative workers mean all cores", Query{K: 1, Workers: -4}, Query{K: 1, Workers: -1}, true},
+		{"deadline is not part of the key", Query{K: 1, Deadline: Duration(time.Second)}, Query{K: 1}, true},
+		{"different k differs", Query{K: 1}, Query{K: 2}, false},
+		{"shards differ from sequential", Query{K: 1, Shards: 4}, Query{K: 1}, false},
+		{"workers differ from sequential", Query{K: 1, Workers: 4}, Query{K: 1}, false},
+		{"algorithm differs", Query{K: 1, Algorithm: BTraversal}, Query{K: 1}, false},
+		{"max_results differs", Query{K: 1, MaxResults: 5}, Query{K: 1}, false},
+	}
+	for _, tc := range cases {
+		ka, kb := tc.a.CacheKey(), tc.b.CacheKey()
+		if (ka == kb) != tc.same {
+			t.Errorf("%s: CacheKey %q vs %q, want same=%v", tc.name, ka, kb, tc.same)
+		}
+	}
+	// Canonical is idempotent: a canonical query maps to itself.
+	q := Query{K: 2, Workers: -3, Deadline: Duration(time.Minute)}.Canonical()
+	if q != q.Canonical() {
+		t.Fatalf("Canonical not idempotent: %+v vs %+v", q, q.Canonical())
+	}
+}
