@@ -90,11 +90,14 @@ type Job struct {
 	Query     kbiplex.Query `json:"query"`
 	Results   int64         `json:"results"`
 	Truncated bool          `json:"truncated"`
-	Error     string        `json:"error"`
-	Created   time.Time     `json:"created_at"`
-	Started   *time.Time    `json:"started_at"`
-	Finished  *time.Time    `json:"finished_at"`
-	Stats     *JobStats     `json:"stats"`
+	// Epoch is the graph's mutation epoch at submission: the content
+	// version this job's results are consistent with (see MutateEdges).
+	Epoch    uint64     `json:"epoch"`
+	Error    string     `json:"error"`
+	Created  time.Time  `json:"created_at"`
+	Started  *time.Time `json:"started_at"`
+	Finished *time.Time `json:"finished_at"`
+	Stats    *JobStats  `json:"stats"`
 }
 
 // JobStats is the finished run's summary.
@@ -120,6 +123,7 @@ type APIError struct {
 	Message string
 }
 
+// Error implements the error interface.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("kbiplexd: %s (HTTP %d)", e.Message, e.Status)
 }
@@ -180,6 +184,69 @@ func (c *Client) LoadGraph(ctx context.Context, name string, g *kbiplex.Graph, p
 // DeleteGraph unloads name (and its snapshot, if persisted).
 func (c *Client) DeleteGraph(ctx context.Context, name string) error {
 	return c.doJSON(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, "", nil)
+}
+
+// EdgeOp is one edge mutation in a MutateEdges batch.
+type EdgeOp struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// L and R are the edge's left and right vertex ids; ids past the
+	// graph's current sides grow it.
+	L int32 `json:"l"`
+	R int32 `json:"r"`
+}
+
+// MutationResult reports how the server applied one mutation batch.
+type MutationResult struct {
+	Graph string `json:"graph"`
+	// Epoch is the graph's content version after this batch. Every
+	// accepted batch advances it by one; jobs record the epoch they were
+	// submitted at (Job.Epoch), so comparing the two tells whether a
+	// job's results predate a given mutation.
+	Epoch    uint64 `json:"epoch"`
+	Applied  int    `json:"applied"`
+	Noops    int    `json:"noops"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	// Compacted reports that this batch pushed the journaled delta past
+	// the server's threshold and the graph was folded into a fresh base
+	// snapshot.
+	Compacted bool `json:"compacted"`
+	NumLeft   int  `json:"num_left"`
+	NumRight  int  `json:"num_right"`
+	NumEdges  int  `json:"num_edges"`
+	// CRC32 is the new content fingerprint; cached results are keyed by
+	// it, so a changed CRC means earlier ETags stopped matching.
+	CRC32 uint32 `json:"crc32"`
+}
+
+// MutateEdges applies an ordered batch of edge inserts and deletes to a
+// loaded graph (POST /v1/graphs/{name}/edges). The batch is journaled
+// before it is acknowledged: on a persisted graph it survives a server
+// restart even before the next snapshot compaction. Running jobs are
+// unaffected — they keep streaming the epoch they started on.
+func (c *Client) MutateEdges(ctx context.Context, graph string, ops []EdgeOp) (MutationResult, error) {
+	body, err := json.Marshal(struct {
+		Ops []EdgeOp `json:"ops"`
+	}{ops})
+	if err != nil {
+		return MutationResult{}, err
+	}
+	var res MutationResult
+	err = c.doJSON(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(graph)+"/edges", bytes.NewReader(body), "application/json", &res)
+	return res, err
+}
+
+// InsertEdge inserts the single edge (l, r); inserting a present edge
+// is a counted no-op.
+func (c *Client) InsertEdge(ctx context.Context, graph string, l, r int32) (MutationResult, error) {
+	return c.MutateEdges(ctx, graph, []EdgeOp{{Op: "insert", L: l, R: r}})
+}
+
+// DeleteEdge deletes the single edge (l, r); deleting an absent edge is
+// a counted no-op.
+func (c *Client) DeleteEdge(ctx context.Context, graph string, l, r int32) (MutationResult, error) {
+	return c.MutateEdges(ctx, graph, []EdgeOp{{Op: "delete", L: l, R: r}})
 }
 
 // CacheInfo is the server's result-cache verdict for one submission.

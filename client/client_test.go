@@ -423,3 +423,88 @@ func TestSubmitJobCached(t *testing.T) {
 		t.Fatal("mismatched If-None-Match answered 304")
 	}
 }
+
+// TestMutateEdges drives the mutation surface end to end: inserts and
+// deletes change what jobs enumerate, epochs advance per batch, and a
+// job submitted before a mutation is labeled with the older epoch.
+func TestMutateEdges(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+	g := kbiplex.RandomBipartite(10, 10, 2, 11)
+	if err := c.LoadGraph(ctx, "dyn", g, false); err != nil {
+		t.Fatal(err)
+	}
+
+	preJob, err := c.SubmitJob(ctx, "dyn", kbiplex.Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preJob.Epoch != 0 {
+		t.Fatalf("pre-mutation job epoch = %d", preJob.Epoch)
+	}
+
+	// Ids past the loaded sides grow the graph, so this is never a noop.
+	res, err := c.MutateEdges(ctx, "dyn", []client.EdgeOp{
+		{Op: "insert", L: 10, R: 10},
+		{Op: "insert", L: 10, R: 10}, // duplicate: counted no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.Inserted != 1 || res.Noops != 1 || res.NumLeft != 11 || res.NumRight != 11 {
+		t.Fatalf("mutation result %+v", res)
+	}
+	if res.NumEdges != g.NumEdges()+1 {
+		t.Fatalf("num_edges = %d, want %d", res.NumEdges, g.NumEdges()+1)
+	}
+
+	if res, err = c.DeleteEdge(ctx, "dyn", 10, 10); err != nil || res.Deleted != 1 || res.Epoch != 2 {
+		t.Fatalf("DeleteEdge: %+v, %v", res, err)
+	}
+	if res, err = c.InsertEdge(ctx, "dyn", 10, 10); err != nil || res.Inserted != 1 || res.Epoch != 3 {
+		t.Fatalf("InsertEdge: %+v, %v", res, err)
+	}
+
+	postJob, err := c.SubmitJob(ctx, "dyn", kbiplex.Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postJob.Epoch != 3 {
+		t.Fatalf("post-mutation job epoch = %d, want 3", postJob.Epoch)
+	}
+	var got []kbiplex.Solution
+	for sol, err := range c.Results(ctx, postJob.ID) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, sol)
+	}
+	// The mutated graph has the extra vertex pair; enumerate it directly
+	// for the expected set.
+	ng := kbiplex.NewGraph(11, 11, append(edgeList(g), [2]int32{10, 10}))
+	want, _, err := kbiplex.EnumerateAll(ng, kbiplex.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-mutation job delivered %d solutions, want %d", len(got), len(want))
+	}
+
+	// Server-side validation surfaces as a typed 400.
+	var apiErr *client.APIError
+	if _, err := c.MutateEdges(ctx, "dyn", []client.EdgeOp{{Op: "upsert", L: 0, R: 0}}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad op: got %v, want APIError 400", err)
+	}
+}
+
+// edgeList flattens a graph back into its edge pairs.
+func edgeList(g *kbiplex.Graph) [][2]int32 {
+	var edges [][2]int32
+	for v := int32(0); int(v) < g.NumLeft(); v++ {
+		for _, u := range g.NeighL(v) {
+			edges = append(edges, [2]int32{v, u})
+		}
+	}
+	return edges
+}

@@ -1,0 +1,275 @@
+// Command doclint is the repository's documentation gate, run in CI
+// alongside gofmt and go vet. It enforces two things:
+//
+//   - Every exported identifier in the package directories named on the
+//     command line carries a doc comment. The public surfaces growing
+//     fastest (internal/mutate, client) are the default targets in CI;
+//     an undocumented export fails the lint job, not a review cycle.
+//
+//   - The curl examples in the README stay runnable: every `-d '...'`
+//     payload inside a fenced code block is extracted and strictly
+//     decoded against the wire document its endpoint expects — a
+//     kbiplex.Query for /jobs submissions, the mutation document for
+//     /edges. A README drifting from the API fails here, not in a
+//     user's terminal.
+//
+// Usage:
+//
+//	doclint [-readme README.md] ./internal/mutate ./client
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+
+	kbiplex "repro"
+)
+
+func main() {
+	readme := flag.String("readme", "", "also smoke-check the curl example payloads in this markdown file")
+	flag.Parse()
+
+	var problems []string
+	for _, dir := range flag.Args() {
+		p, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if *readme != "" {
+		p, err := lintReadme(*readme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir reports every exported top-level identifier in dir's
+// non-test files that lacks a doc comment.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// exportedReceiver reports whether a function is package-level or a
+// method on an exported type (methods on unexported types are not part
+// of the documented surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers appear as IndexExpr/IndexListExpr around the
+	// named type.
+	switch x := t.(type) {
+	case *ast.IndexExpr:
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// lintGenDecl checks type/const/var declarations: each exported name
+// needs a doc comment on its spec or on the declaration group.
+func lintGenDecl(d *ast.GenDecl, report func(pos token.Pos, kind, name string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+				report(sp.Pos(), "type", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range sp.Names {
+				if name.IsExported() && sp.Doc == nil && d.Doc == nil {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// edgeOpDoc and mutationBody mirror the POST /v1/graphs/{name}/edges
+// wire document (internal/server's mutateRequest); doclint keeps its
+// own copy because the server's is unexported — if they drift, the
+// README examples fail here, which is exactly the signal wanted.
+type edgeOpDoc struct {
+	Op string `json:"op"`
+	L  *int32 `json:"l"`
+	R  *int32 `json:"r"`
+}
+
+type mutationBody struct {
+	Op  string      `json:"op"`
+	L   *int32      `json:"l"`
+	R   *int32      `json:"r"`
+	Ops []edgeOpDoc `json:"ops"`
+}
+
+// payloadRe pulls the single-quoted -d argument out of a joined curl
+// command line.
+var payloadRe = regexp.MustCompile(`-d\s+'([^']*)'`)
+
+// lintReadme extracts every curl `-d '...'` payload from fenced code
+// blocks and validates it against the endpoint the command targets.
+func lintReadme(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	inFence := false
+	joined := "" // backslash-continued command accumulated so far
+	startLine := 0
+	checked := 0
+	for i, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			joined = ""
+			continue
+		}
+		if !inFence {
+			continue
+		}
+		if joined == "" {
+			startLine = i + 1
+		}
+		if strings.HasSuffix(trimmed, "\\") {
+			joined += strings.TrimSuffix(trimmed, "\\") + " "
+			continue
+		}
+		cmd := joined + trimmed
+		joined = ""
+		if !strings.Contains(cmd, "curl") {
+			continue
+		}
+		m := payloadRe.FindStringSubmatch(cmd)
+		if m == nil {
+			continue
+		}
+		var verr error
+		switch {
+		case strings.Contains(cmd, "/jobs"):
+			verr = validateQueryDoc(m[1])
+		case strings.Contains(cmd, "/edges"):
+			verr = validateMutationDoc(m[1])
+		default:
+			continue
+		}
+		checked++
+		if verr != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: curl example payload invalid: %v", path, startLine, verr))
+		}
+	}
+	if checked == 0 {
+		// The gate only means something while examples exist; their
+		// wholesale disappearance is itself README rot.
+		problems = append(problems, fmt.Sprintf("%s: no curl -d examples found for /jobs or /edges", path))
+	}
+	return problems, nil
+}
+
+// validateQueryDoc strict-decodes a /v1 job submission payload exactly
+// like the server does (DisallowUnknownFields + Query.Validate).
+func validateQueryDoc(payload string) error {
+	var q kbiplex.Query
+	dec := json.NewDecoder(strings.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return err
+	}
+	return q.Validate()
+}
+
+// validateMutationDoc strict-decodes a /v1 edge-mutation payload and
+// applies the server's structural rule: exactly one of a single op or
+// a batch, every op named and complete.
+func validateMutationDoc(payload string) error {
+	var m mutationBody
+	dec := json.NewDecoder(strings.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return err
+	}
+	single := m.Op != "" || m.L != nil || m.R != nil
+	if single == (len(m.Ops) > 0) {
+		return errors.New("want exactly one of a single op (op, l, r) or a batch (ops)")
+	}
+	check := func(op string, l, r *int32) error {
+		if op != "insert" && op != "delete" {
+			return fmt.Errorf("op must be \"insert\" or \"delete\", got %q", op)
+		}
+		if l == nil || r == nil {
+			return errors.New("an op needs both l and r")
+		}
+		return nil
+	}
+	if single {
+		return check(m.Op, m.L, m.R)
+	}
+	for _, op := range m.Ops {
+		if err := check(op.Op, op.L, op.R); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -29,6 +29,7 @@
 //	                                 deadline)
 //	GET    /graphs/{name}/largest    largest balanced MBP (k)
 //	POST   /v1/graphs/{name}/jobs    submit a JSON Query document as a job
+//	POST   /v1/graphs/{name}/edges   insert/delete edges (single op or batch)
 //	GET    /v1/jobs                  list retained jobs
 //	GET    /v1/jobs/{id}             job status + stats
 //	GET    /v1/jobs/{id}/results     NDJSON results from ?cursor=N (resumable)
@@ -44,6 +45,14 @@
 // Queries may pick the in-process sharded runtime with shards=N (or
 // the worker pool with workers=N); -default-shards puts every plain
 // iTraversal query on the sharded path without clients asking.
+//
+// Graphs are dynamic: POST /v1/graphs/{name}/edges journals edge
+// mutations through a per-graph write-ahead log under
+// <data-dir>/journal, replayed at the next boot, and each batch
+// advances the graph's epoch (running jobs keep the epoch they started
+// on). -journal-compact-ops tunes when the accumulated delta folds into
+// a fresh snapshot; -journal-no-sync trades the per-batch fsync for
+// write speed. See docs/OPERATIONS.md for the full operational story.
 //
 // Cancelling a request (client disconnect) or hitting -query-timeout
 // stops the underlying enumeration. SIGINT/SIGTERM drain the daemon
@@ -111,6 +120,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobTTL       = fs.Duration("job-ttl", 0, "how long finished jobs stay readable (0 = default 10m)")
 		cacheMB      = fs.Int64("result-cache-mb", 64, "result-cache budget in MiB for repeat-query spools (0 = disabled)")
 		cachePersist = fs.Bool("result-cache-persist", false, "persist popular result-cache spools under <data-dir>/rescache across restarts (needs -data-dir)")
+		compactOps   = fs.Int("journal-compact-ops", 0, "mutation-journal ops per graph before the delta compacts into a fresh snapshot (0 = default 4096)")
+		noSync       = fs.Bool("journal-no-sync", false, "skip the per-batch mutation-journal fsync (faster writes; a host crash can lose recent batches)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -144,6 +155,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultShards:      *defShards,
 		ResultCacheBytes:   cacheBytes,
 		ResultCachePersist: *cachePersist,
+		JournalCompactOps:  *compactOps,
+		JournalNoSync:      *noSync,
 		Jobs: jobs.Config{
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,

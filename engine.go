@@ -81,8 +81,25 @@ func NewEngine(g *Graph, cfg EngineConfig) *Engine {
 	return &Engine{g: g, cfg: cfg, cores: make(map[coreKey]*coreEntry)}
 }
 
+// NewEngineWithIndex is NewEngine seeded with a pre-built
+// core-decomposition index for g. The mutation path uses it to carry an
+// incrementally maintained index (bicoreindex.Update) into the next
+// epoch's engine instead of paying a full rebuild on the first
+// large-MBP query after every edit batch. The index must describe g
+// exactly; a nil idx degrades to NewEngine.
+func NewEngineWithIndex(g *Graph, cfg EngineConfig, idx *bicoreindex.Index) *Engine {
+	e := NewEngine(g, cfg)
+	e.idx = idx
+	return e
+}
+
 // Graph returns the engine's graph snapshot.
 func (e *Engine) Graph() *Graph { return e.g }
+
+// CoreIndex returns the engine's (α,β)-core decomposition index, or nil
+// if no query has needed it yet (or Release dropped it). Callers must
+// treat it as immutable.
+func (e *Engine) CoreIndex() *bicoreindex.Index { return e.idxLoaded() }
 
 // Warm materializes the engine's shared per-graph view state ahead of
 // the first query. Today that is only the transpose — an O(1) mirror

@@ -40,6 +40,7 @@ const (
 	seedShard     = 37
 	seedShardJob  = 41
 	seedCache     = 43
+	seedMutate    = 47
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -69,6 +70,7 @@ func Scenarios() []Scenario {
 		delayScenario(),
 		ndjsonStreamScenario(),
 		jobRoundtripScenario(),
+		mutateReadMixScenario(),
 		snapshotRoundtripScenario(),
 	}
 }
@@ -639,6 +641,119 @@ func jobRoundtripScenario() Scenario {
 				if n := roundtrip(e.c); n != e.solutions {
 					b.Fatalf("job delivered %d solutions, want %d", n, e.solutions)
 				}
+			}
+		},
+	}
+}
+
+// --- server: mutation + read interleaving ---
+
+func mutateReadMixScenario() Scenario {
+	type env struct {
+		c        *client.Client
+		hc       *http.Client
+		url      string
+		c1, c0   int64 // expected counts after insert / after delete
+		ins, del []client.EdgeOp
+	}
+	const query = "/graphs/bench/enumerate?k=1"
+	// The inserted block sits past the base graph's sides, so every
+	// insert is effective and every delete exactly reverts it — each
+	// iteration is self-inverse and the expected counts are fixed.
+	setup := sync.OnceValue(func() env {
+		g := gen.ER(24, 24, 2, seedMutate)
+		var ins, del []client.EdgeOp
+		var edits, undo []bigraph.Edit
+		for i := int32(0); i < 4; i++ {
+			for j := int32(0); j < 2; j++ {
+				l, r := 24+i, 24+j
+				ins = append(ins, client.EdgeOp{Op: "insert", L: l, R: r})
+				del = append(del, client.EdgeOp{Op: "delete", L: l, R: r})
+				edits = append(edits, bigraph.Edit{V: l, U: r})
+				undo = append(undo, bigraph.Edit{Del: true, V: l, U: r})
+			}
+		}
+		gPlus, _, err := bigraph.ApplyEdits(g, edits)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		gBack, _, err := bigraph.ApplyEdits(gPlus, undo)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		count := func(gr *bigraph.Graph) int64 {
+			sols, _, err := kbiplex.EnumerateAll(gr, kbiplex.Options{K: 1})
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			return int64(len(sols))
+		}
+		dir, err := os.MkdirTemp("", "kbench-mutate-")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		// A persisted graph with the compaction threshold set to exactly
+		// one iteration's op volume (two 8-op batches): the mix exercises
+		// the journal, the copy-on-write swap AND one snapshot fold per
+		// iteration, deterministically. The dir lives for the benchmark
+		// process, like the store scenario's.
+		srv, err := server.New(server.Config{DataDir: dir, JournalCompactOps: 16})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if err := srv.AddGraphPersist("bench", g); err != nil {
+			panic("bench: " + err.Error())
+		}
+		ts := httptest.NewServer(srv)
+		return env{
+			c: client.New(ts.URL, client.WithHTTPClient(ts.Client())), hc: ts.Client(), url: ts.URL + query,
+			c1: count(gPlus), c0: count(gBack), ins: ins, del: del,
+		}
+	})
+	// roundtrip is one insert → read → delete → read cycle; it returns
+	// how many reads served counts that do not match the graph content
+	// their epoch promises (must stay 0) and how many compactions fired.
+	roundtrip := func(e env) (stale, compactions int64) {
+		res, err := e.c.MutateEdges(context.Background(), "bench", e.ins)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if res.Compacted {
+			compactions++
+		}
+		if _, lines := streamOnce(e.hc, e.url); lines-1 != e.c1 {
+			stale++
+		}
+		if res, err = e.c.MutateEdges(context.Background(), "bench", e.del); err != nil {
+			panic("bench: " + err.Error())
+		}
+		if res.Compacted {
+			compactions++
+		}
+		if _, lines := streamOnce(e.hc, e.url); lines-1 != e.c0 {
+			stale++
+		}
+		return stale, compactions
+	}
+	return Scenario{
+		Name:  "server/mutate-read-mix",
+		Group: "server",
+		Doc:   "interleaved /v1 edge mutations and repeat enumerations: journal append, epoch swap, compaction; stale_serves must be 0",
+		Quick: true,
+		Count: func() int64 { e := setup(); return e.c1 + e.c0 },
+		Run: func(b *testing.B) {
+			e := setup()
+			var stale, compactions int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, c := roundtrip(e)
+				stale += s
+				compactions += c
+			}
+			b.ReportMetric(float64(stale), "stale_serves")
+			b.ReportMetric(float64(compactions), "compactions")
+			if stale != 0 {
+				b.Fatalf("%d reads served counts inconsistent with their epoch", stale)
 			}
 		},
 	}

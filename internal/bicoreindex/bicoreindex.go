@@ -67,6 +67,64 @@ func Build(g *bigraph.Graph) *Index {
 	return idx
 }
 
+// Update computes the decomposition of g — a graph derived from idx's
+// graph by one edit batch — reusing every row of idx the batch provably
+// cannot affect, instead of rebuilding all of them. The two bounds come
+// from bigraph.EditResult: the maximum over the batch's effective edits
+// of each endpoint's degree before or after the edit, per side.
+//
+// Why the bound is sound: the α-sweep row for a given α peels after
+// filtering left vertices with degree < α. Only the changed edges'
+// left endpoints have different degrees between the two graphs, and
+// when max(oldDeg, newDeg) < α each such endpoint falls to the initial
+// filter in both graphs — taking all changed edges with it — so the
+// residual graphs (and hence the whole row) coincide. Rows
+// 1..touchedLeftMaxDeg are recomputed; rows above are copied.
+// Symmetrically for the β sweep with the right-endpoint bound. The
+// result is exact: Update(g, …) equals Build(g), only cheaper when the
+// batch touches low-degree vertices.
+func (idx *Index) Update(g *bigraph.Graph, touchedLeftMaxDeg, touchedRightMaxDeg int) *Index {
+	return &Index{
+		g:      g,
+		betaL:  updateSide(g, touchedLeftMaxDeg, idx.betaL),
+		alphaR: updateSide(g.Transpose(), touchedRightMaxDeg, idx.alphaR),
+	}
+}
+
+// updateSide recomputes decomposition rows 1..cut for g's left side and
+// extends each vertex's row vector with the reusable suffix from old.
+// Per-vertex rows are contiguous α-prefixes (core containment is
+// monotone in α), so a vertex reuses its old suffix exactly when it
+// survived every recomputed row.
+func updateSide(g *bigraph.Graph, cut int, old [][]int32) [][]int32 {
+	out := make([][]int32, g.NumLeft())
+	for alpha := 1; alpha <= cut; alpha++ {
+		betaOf, _, any := maxBetaForAlpha(g, alpha)
+		if !any {
+			// The (alpha,1)-core is empty, so every higher row is empty
+			// too; nothing above the cut can survive either (those rows
+			// equal the old ones, which monotonicity would then contradict).
+			return out
+		}
+		for v, b := range betaOf {
+			if b > 0 {
+				out[v] = append(out[v], b)
+			}
+		}
+	}
+	for v := range out {
+		// Vertices beyond the old graph are new: all their edges are part
+		// of the batch, so their degree is ≤ cut and no reusable row exists.
+		if v >= len(old) {
+			continue
+		}
+		if len(out[v]) == cut && len(old[v]) > cut {
+			out[v] = append(out[v], old[v][cut:]...)
+		}
+	}
+	return out
+}
+
 // maxBetaForAlpha computes, for a fixed α, the maximum β per surviving
 // vertex: betaOfL[v] (resp. betaOfR[u]) is the largest β with v (resp. u)
 // in the (α,β)-core, or 0 if the vertex is not even in the (α,1)-core.

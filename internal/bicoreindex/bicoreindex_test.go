@@ -1,6 +1,7 @@
 package bicoreindex
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/abcore"
@@ -208,4 +209,53 @@ func BenchmarkQueryVsPeel(b *testing.B) {
 			abcore.Core(g, 3, 3)
 		}
 	})
+}
+
+// TestUpdateMatchesBuild drives random edit batches through
+// bigraph.ApplyEdits and checks that the incrementally maintained index
+// is identical to a from-scratch Build of the new graph.
+func TestUpdateMatchesBuild(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := gen.ER(18, 22, 3, seed)
+		idx := Build(g)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for step := 0; step < 6; step++ {
+			var batch []bigraph.Edit
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				batch = append(batch, bigraph.Edit{
+					Del: rng.Intn(2) == 0,
+					V:   int32(rng.Intn(g.NumLeft() + 2)),
+					U:   int32(rng.Intn(g.NumRight() + 2)),
+				})
+			}
+			ng, res, err := bigraph.ApplyEdits(g, batch)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			got := idx.Update(ng, res.TouchedLeftMaxDeg, res.TouchedRightMaxDeg)
+			want := Build(ng)
+			if !sameIndex(got, want) {
+				t.Fatalf("seed %d step %d: incremental index diverged after batch %+v (bounds L=%d R=%d)",
+					seed, step, batch, res.TouchedLeftMaxDeg, res.TouchedRightMaxDeg)
+			}
+			g, idx = ng, got
+		}
+	}
+}
+
+func sameIndex(a, b *Index) bool {
+	if len(a.betaL) != len(b.betaL) || len(a.alphaR) != len(b.alphaR) {
+		return false
+	}
+	for v := range a.betaL {
+		if !equalIDs(a.betaL[v], b.betaL[v]) {
+			return false
+		}
+	}
+	for u := range a.alphaR {
+		if !equalIDs(a.alphaR[u], b.alphaR[u]) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,196 @@
+package bigraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edit is one edge mutation: insert (Del false) or delete (Del true) of
+// the edge between left vertex V and right vertex U. Edits against the
+// current graph state are idempotent set operations — inserting a
+// present edge or deleting an absent one is a no-op — which is what
+// makes journal replay safe to repeat.
+type Edit struct {
+	Del  bool
+	V, U int32
+}
+
+// EditResult summarizes one ApplyEdits call. Inserted and Deleted count
+// the edits that changed the graph; Noops counts the rest (inserts of
+// present edges, deletes of absent ones, and later edits in the batch
+// superseded by an earlier one touching the same edge — the batch is
+// applied in order, so the last edit per edge decides its presence).
+//
+// TouchedLeftMaxDeg and TouchedRightMaxDeg bound the incremental
+// (α,β)-core maintenance: each is the maximum, over the endpoints of
+// effective edits on that side, of the endpoint's degree before or
+// after the batch. A core-decomposition row for a threshold strictly
+// above the bound provably cannot change (see bicoreindex.Update).
+type EditResult struct {
+	Inserted, Deleted, Noops int
+	TouchedLeftMaxDeg        int
+	TouchedRightMaxDeg       int
+}
+
+// ApplyEdits returns a new immutable graph with the batch applied in
+// order, leaving g untouched — the copy-on-write step behind epoch
+// versioning: readers holding g keep a consistent snapshot while the
+// returned graph serves the next epoch. Vertex ids beyond the current
+// sides grow the graph; negative ids are rejected. The cost is
+// O(|E| + |edits| log |edits|): one merge pass over the CSR arrays.
+func ApplyEdits(g *Graph, edits []Edit) (*Graph, EditResult, error) {
+	var res EditResult
+	if len(edits) == 0 {
+		return g, res, nil
+	}
+	numLeft, numRight := g.numLeft, g.numRight
+	for _, e := range edits {
+		if e.V < 0 || e.U < 0 {
+			return nil, res, fmt.Errorf("bigraph: edit (%d,%d) has a negative vertex id", e.V, e.U)
+		}
+		if int(e.V) >= numLeft {
+			numLeft = int(e.V) + 1
+		}
+		if int(e.U) >= numRight {
+			numRight = int(e.U) + 1
+		}
+	}
+
+	// Resolve the batch to one effective edit per edge: walk in order,
+	// tracking each touched edge's evolving presence, so duplicate and
+	// mutually cancelling edits count as no-ops instead of corrupting the
+	// merge below.
+	type key struct{ v, u int32 }
+	has := func(v, u int32) bool {
+		return int(v) < g.numLeft && int(u) < g.numRight && g.HasEdge(v, u)
+	}
+	present := make(map[key]bool, len(edits))
+	for _, e := range edits {
+		k := key{e.V, e.U}
+		was, seen := present[k]
+		if !seen {
+			was = has(e.V, e.U)
+		}
+		if e.Del == !was {
+			// Deleting an absent edge or inserting a present one.
+			res.Noops++
+			if !seen {
+				present[k] = was
+			}
+			continue
+		}
+		present[k] = !e.Del
+		if e.Del {
+			res.Deleted++
+		} else {
+			res.Inserted++
+		}
+	}
+	// Cancelled pairs (insert then delete of an absent edge, or the
+	// reverse on a present one) leave the edge as it started; drop them
+	// from the merge and fold the double count back into noops.
+	ins := make([]Edit, 0, len(present))
+	del := make([]Edit, 0)
+	for k, want := range present {
+		was := has(k.v, k.u)
+		switch {
+		case want && !was:
+			ins = append(ins, Edit{V: k.v, U: k.u})
+		case !want && was:
+			del = append(del, Edit{Del: true, V: k.v, U: k.u})
+		}
+	}
+	if extra := res.Inserted + res.Deleted - len(ins) - len(del); extra > 0 {
+		res.Noops += extra
+		// Re-derive the effective counts from the surviving edits.
+		res.Inserted, res.Deleted = len(ins), len(del)
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return g, res, nil
+	}
+
+	byLeft := func(a, b Edit) bool {
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.U < b.U
+	}
+	sort.Slice(ins, func(i, j int) bool { return byLeft(ins[i], ins[j]) })
+	sort.Slice(del, func(i, j int) bool { return byLeft(del[i], del[j]) })
+
+	ng := &Graph{numLeft: numLeft, numRight: numRight}
+	ng.offL = make([]int64, numLeft+1)
+	ng.offR = make([]int64, numRight+1)
+	ng.adjL = make([]int32, 0, len(g.adjL)+len(ins)-len(del))
+
+	// Merge pass per left vertex: existing neighbors minus deletions,
+	// union insertions, all order-preserving (both inputs sorted).
+	di, ii := 0, 0
+	for v := int32(0); int(v) < numLeft; v++ {
+		var old []int32
+		if int(v) < g.numLeft {
+			old = g.NeighL(v)
+		}
+		oi := 0
+		for oi < len(old) || (ii < len(ins) && ins[ii].V == v) {
+			// Emit pending insertions that sort before the next survivor.
+			if ii < len(ins) && ins[ii].V == v && (oi >= len(old) || ins[ii].U < old[oi]) {
+				ng.adjL = append(ng.adjL, ins[ii].U)
+				ii++
+				continue
+			}
+			u := old[oi]
+			oi++
+			if di < len(del) && del[di].V == v && del[di].U == u {
+				di++
+				continue
+			}
+			ng.adjL = append(ng.adjL, u)
+		}
+		ng.offL[v+1] = int64(len(ng.adjL))
+	}
+
+	// Derive the right-side CSR by counting sort over adjL — filling in
+	// v-ascending order keeps every right adjacency list sorted, exactly
+	// as Builder.Build does.
+	for v := int32(0); int(v) < numLeft; v++ {
+		for _, u := range ng.adjL[ng.offL[v]:ng.offL[v+1]] {
+			ng.offR[u+1]++
+		}
+	}
+	for u := 1; u <= numRight; u++ {
+		ng.offR[u] += ng.offR[u-1]
+	}
+	ng.adjR = make([]int32, len(ng.adjL))
+	nextR := make([]int64, numRight)
+	for v := int32(0); int(v) < numLeft; v++ {
+		for _, u := range ng.adjL[ng.offL[v]:ng.offL[v+1]] {
+			ng.adjR[ng.offR[u]+nextR[u]] = v
+			nextR[u]++
+		}
+	}
+
+	// Touched-degree bounds for incremental core maintenance, over the
+	// effective edits only (a fully cancelled batch leaves every row
+	// intact).
+	maxDeg := func(side int, deg func(*Graph, int32) int, id int32, bound *int) {
+		od := 0
+		if int(id) < side {
+			od = deg(g, id)
+		}
+		nd := deg(ng, id)
+		if od > *bound {
+			*bound = od
+		}
+		if nd > *bound {
+			*bound = nd
+		}
+	}
+	degL := func(gr *Graph, v int32) int { return gr.DegL(v) }
+	degR := func(gr *Graph, u int32) int { return gr.DegR(u) }
+	for _, e := range append(append([]Edit(nil), ins...), del...) {
+		maxDeg(g.numLeft, degL, e.V, &res.TouchedLeftMaxDeg)
+		maxDeg(g.numRight, degR, e.U, &res.TouchedRightMaxDeg)
+	}
+	return ng, res, nil
+}

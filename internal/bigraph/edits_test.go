@@ -1,0 +1,196 @@
+package bigraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildFromSet turns an edge set into a graph sized to cover every id.
+func buildFromSet(edges map[[2]int32]bool, minL, minR int) *Graph {
+	var b Builder
+	b.SetSize(minL, minR)
+	for e, on := range edges {
+		if on {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	return b.Build()
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumLeft() != b.NumLeft() || a.NumRight() != b.NumRight() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); int(v) < a.NumLeft(); v++ {
+		an, bn := a.NeighL(v), b.NeighL(v)
+		if len(an) != len(bn) {
+			return false
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyEditsTable(t *testing.T) {
+	var b Builder
+	b.SetSize(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	g := b.Build()
+
+	t.Run("empty batch returns the same graph", func(t *testing.T) {
+		ng, res, err := ApplyEdits(g, nil)
+		if err != nil || ng != g || res != (EditResult{}) {
+			t.Fatalf("got %v %+v %v", ng, res, err)
+		}
+	})
+	t.Run("noop insert and delete", func(t *testing.T) {
+		ng, res, err := ApplyEdits(g, []Edit{{V: 0, U: 0}, {Del: true, V: 2, U: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inserted != 0 || res.Deleted != 0 || res.Noops != 2 {
+			t.Fatalf("counts: %+v", res)
+		}
+		if ng != g {
+			t.Fatal("all-noop batch should return the original graph")
+		}
+	})
+	t.Run("cancelling pair is a noop", func(t *testing.T) {
+		ng, res, err := ApplyEdits(g, []Edit{{V: 2, U: 2}, {Del: true, V: 2, U: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inserted != 0 || res.Deleted != 0 || res.Noops != 2 {
+			t.Fatalf("counts: %+v", res)
+		}
+		if ng != g {
+			t.Fatal("cancelled batch should return the original graph")
+		}
+	})
+	t.Run("insert grows the sides", func(t *testing.T) {
+		ng, res, err := ApplyEdits(g, []Edit{{V: 5, U: 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ng.NumLeft() != 6 || ng.NumRight() != 8 || !ng.HasEdge(5, 7) {
+			t.Fatalf("growth wrong: %v", ng)
+		}
+		if res.Inserted != 1 || res.TouchedLeftMaxDeg != 1 || res.TouchedRightMaxDeg != 1 {
+			t.Fatalf("counts: %+v", res)
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("delete and reinsert applies the last edit", func(t *testing.T) {
+		ng, res, err := ApplyEdits(g, []Edit{{Del: true, V: 0, U: 0}, {V: 0, U: 0}, {Del: true, V: 1, U: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ng.HasEdge(0, 0) || ng.HasEdge(1, 1) {
+			t.Fatal("final presence wrong")
+		}
+		if res.Deleted != 1 || res.Inserted != 0 || res.Noops != 2 {
+			t.Fatalf("counts: %+v", res)
+		}
+	})
+	t.Run("touched degree bounds cover both endpoints", func(t *testing.T) {
+		// Deleting (0,1): left 0 has old degree 2, right 1 has old degree 2.
+		_, res, err := ApplyEdits(g, []Edit{{Del: true, V: 0, U: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TouchedLeftMaxDeg != 2 || res.TouchedRightMaxDeg != 2 {
+			t.Fatalf("bounds: %+v", res)
+		}
+	})
+	t.Run("negative id rejected", func(t *testing.T) {
+		if _, _, err := ApplyEdits(g, []Edit{{V: -1, U: 0}}); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("base graph mutated: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("base graph mutated: %v", g)
+	}
+}
+
+// TestApplyEditsRandom cross-checks ApplyEdits against replaying the
+// batch onto a plain edge set and rebuilding.
+func TestApplyEditsRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		edges := make(map[[2]int32]bool)
+		var b Builder
+		b.SetSize(12, 14)
+		for i := 0; i < 40; i++ {
+			v, u := int32(rng.Intn(12)), int32(rng.Intn(14))
+			edges[[2]int32{v, u}] = true
+		}
+		for e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		g := b.Build()
+
+		// A batch mixing inserts (some of present edges), deletes (some of
+		// absent edges), duplicates, and side-growing ids.
+		var batch []Edit
+		want := make(map[[2]int32]bool, len(edges))
+		for e := range edges {
+			want[e] = true
+		}
+		maxL, maxR := int32(g.NumLeft()), int32(g.NumRight())
+		for i := 0; i < 30; i++ {
+			e := Edit{
+				Del: rng.Intn(3) == 0,
+				V:   int32(rng.Intn(int(maxL) + 3)),
+				U:   int32(rng.Intn(int(maxR) + 3)),
+			}
+			batch = append(batch, e)
+			k := [2]int32{e.V, e.U}
+			if e.Del {
+				delete(want, k)
+			} else {
+				want[k] = true
+			}
+		}
+		ng, res, err := ApplyEdits(g, batch)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid result: %v", seed, err)
+		}
+		ref := buildFromSet(want, ng.NumLeft(), ng.NumRight())
+		if !sameGraph(ng, ref) {
+			t.Fatalf("seed %d: merged graph %v != rebuilt %v", seed, ng, ref)
+		}
+		if res.Inserted+res.Deleted+res.Noops != len(batch) {
+			t.Fatalf("seed %d: counts %+v do not cover batch of %d", seed, res, len(batch))
+		}
+		if got := ng.NumEdges() - g.NumEdges(); got != res.Inserted-res.Deleted {
+			t.Fatalf("seed %d: edge delta %d != inserted-deleted %+v", seed, got, res)
+		}
+		// Idempotence: replaying the same effective state is all noops.
+		replay := make([]Edit, 0, len(batch))
+		for _, e := range batch {
+			replay = append(replay, e)
+		}
+		ng2, _, err := ApplyEdits(ng, replay[len(replay)-1:])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		last := replay[len(replay)-1]
+		if ng.HasEdge(last.V, last.U) == !last.Del && ng2 != ng {
+			t.Fatalf("seed %d: idempotent replay should be a noop", seed)
+		}
+	}
+}

@@ -142,7 +142,12 @@ type Snapshot struct {
 	// queued or running).
 	Stats kbiplex.Stats
 	// Err is the terminal error of a failed or canceled job.
-	Err      error
+	Err error
+	// Epoch is the graph epoch the job was submitted against: the
+	// version of the graph its results are consistent with. A job keeps
+	// streaming its epoch's snapshot even if the graph mutates while it
+	// runs (the server pins the engine it captured at submission).
+	Epoch    uint64
 	Created  time.Time
 	Started  time.Time // zero until running
 	Finished time.Time // zero until terminal
@@ -156,6 +161,7 @@ type Job struct {
 	query  kbiplex.Query
 	run    Runner
 	tier   Tier
+	epoch  uint64
 	onDone func(Snapshot, []kbiplex.Solution)
 	capped bool // cfg.MaxResults clamped the query's own cap
 
@@ -188,7 +194,7 @@ func (j *Job) Snapshot() Snapshot {
 // snapshotLocked builds a Snapshot; j.mu must be held.
 func (j *Job) snapshotLocked() Snapshot {
 	return Snapshot{
-		ID: j.id, Graph: j.graph, Query: j.query,
+		ID: j.id, Graph: j.graph, Query: j.query, Epoch: j.epoch,
 		State: j.state, Tier: j.tier, Results: int64(len(j.spool)), Truncated: j.truncated,
 		Stats: j.stats, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
@@ -314,6 +320,9 @@ type SubmitOptions struct {
 	// canceled jobs, and runs on the worker goroutine without locks
 	// held.
 	OnDone func(Snapshot, []kbiplex.Solution)
+	// Epoch stamps the job with the graph epoch it runs against (see
+	// Snapshot.Epoch).
+	Epoch uint64
 }
 
 // Submit validates and admits one query on the bulk tier. The returned
@@ -334,7 +343,7 @@ func (m *Manager) SubmitWith(graph string, q kbiplex.Query, run Runner, opts Sub
 	}
 	j := &Job{
 		graph: graph, query: q, run: run, tier: tier, onDone: opts.OnDone,
-		state: StateQueued, created: time.Now(),
+		epoch: opts.Epoch, state: StateQueued, created: time.Now(),
 	}
 	j.cond.L = &j.mu
 
@@ -380,13 +389,13 @@ func (m *Manager) SubmitWith(graph string, q kbiplex.Query, run Runner, opts Sub
 // and respects draining, but never touches either queue — the fastest
 // admission tier of all. The spool is retained as-is and must not be
 // mutated afterwards.
-func (m *Manager) SubmitCached(graph string, q kbiplex.Query, spool []kbiplex.Solution, st kbiplex.Stats, truncated bool) (*Job, error) {
+func (m *Manager) SubmitCached(graph string, q kbiplex.Query, spool []kbiplex.Solution, st kbiplex.Stats, truncated bool, opts SubmitOptions) (*Job, error) {
 	if err := q.Validate(); err != nil {
 		m.rejected.Add(1)
 		return nil, err
 	}
 	j := &Job{
-		graph: graph, query: q, tier: TierFast,
+		graph: graph, query: q, tier: TierFast, epoch: opts.Epoch,
 		state: StateQueued, created: time.Now(),
 	}
 	j.cond.L = &j.mu

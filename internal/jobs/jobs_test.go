@@ -382,7 +382,7 @@ func TestSubmitCachedBornDone(t *testing.T) {
 		{L: []int32{2}, R: []int32{3}},
 	}
 	st := kbiplex.Stats{Solutions: 2, Algorithm: kbiplex.ITraversal, Duration: time.Millisecond}
-	j, err := m.SubmitCached("g", kbiplex.Query{K: 1}, spool, st, true)
+	j, err := m.SubmitCached("g", kbiplex.Query{K: 1}, spool, st, true, SubmitOptions{Epoch: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,6 +393,9 @@ func TestSubmitCachedBornDone(t *testing.T) {
 	if snap.Results != 2 || snap.Stats.Solutions != 2 {
 		t.Fatalf("cached spool not carried: %+v", snap)
 	}
+	if snap.Epoch != 3 {
+		t.Fatalf("epoch not carried: %+v", snap)
+	}
 	got := drain(context.Background(), j)
 	if len(got) != 2 || !got[0].Equal(spool[0]) || !got[1].Equal(spool[1]) {
 		t.Fatalf("cached results differ: %+v", got)
@@ -402,7 +405,7 @@ func TestSubmitCachedBornDone(t *testing.T) {
 		t.Fatalf("stats: %+v", ms)
 	}
 	// Invalid queries are still rejected before touching the cache path.
-	if _, err := m.SubmitCached("g", kbiplex.Query{K: -1}, nil, kbiplex.Stats{}, false); err == nil {
+	if _, err := m.SubmitCached("g", kbiplex.Query{K: -1}, nil, kbiplex.Stats{}, false, SubmitOptions{}); err == nil {
 		t.Fatal("invalid cached submit accepted")
 	}
 }

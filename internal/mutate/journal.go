@@ -1,0 +1,320 @@
+// The per-graph write-ahead journal: a CRC32-framed append log in the
+// same bitcask style as internal/rescache's cache log. One file per
+// mutated graph holds a header record naming the base snapshot (epoch
+// and payload CRC) followed by one record per accepted mutation batch,
+// so the graph's current epoch is implicit: base epoch + record count.
+//
+// Replay is conservative: a torn or corrupt tail is quarantined to a
+// sibling .corrupt file and truncated away (the good prefix still
+// replays), and a file whose magic or header cannot be read is
+// quarantined whole — recovery never panics and never invents data.
+package mutate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// journalMagic identifies a kbiplex mutation journal, version 1.
+var journalMagic = [8]byte{'K', 'B', 'M', 'U', 'T', 'J', '1', '\n'}
+
+const (
+	recHeader byte = 0x00 // base-snapshot binding: epoch + payload CRC
+	recBatch  byte = 0x01 // one mutation batch: count + ops
+
+	// maxRecord bounds a single framed record; anything larger is treated
+	// as corruption rather than an allocation request.
+	maxRecord = 1 << 26
+)
+
+// journal is one graph's open write-ahead log.
+type journal struct {
+	path     string
+	f        *os.File
+	syncEach bool
+	records  int   // batch records currently in the file
+	size     int64 // file size (next append offset)
+}
+
+// replayInfo reports what openJournal found on disk.
+type replayInfo struct {
+	BaseEpoch uint64
+	BaseCRC   uint32
+	Batches   [][]Op
+	Ops       int
+	// TruncatedTail reports that a torn or corrupt tail was quarantined
+	// and cut; QuarantinedLog that the whole file was unreadable and the
+	// journal restarted empty.
+	TruncatedTail  bool
+	QuarantinedLog bool
+}
+
+// openJournal opens (or creates) the journal at path and replays it.
+// A fresh journal binds to base epoch 0 and baseCRC.
+func openJournal(path string, syncEach bool, baseCRC uint32) (*journal, replayInfo, error) {
+	var info replayInfo
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return nil, info, err
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		j := &journal{path: path, syncEach: syncEach}
+		if err := j.reset(0, baseCRC); err != nil {
+			return nil, info, err
+		}
+		info.BaseCRC = baseCRC
+		return j, info, nil
+	case err != nil:
+		return nil, info, err
+	}
+
+	good, rep, readable := replay(raw)
+	info = rep
+	if !readable {
+		// Unreadable magic or header: quarantine the whole file and start
+		// over. The base snapshot is still intact in the catalog; only the
+		// un-compacted delta (and its epochs) is lost, which is exactly
+		// what the quarantine file preserves for forensics.
+		if err := os.WriteFile(path+".corrupt", raw, 0o666); err != nil {
+			return nil, info, err
+		}
+		info.QuarantinedLog = true
+		j := &journal{path: path, syncEach: syncEach}
+		if err := j.reset(0, baseCRC); err != nil {
+			return nil, info, err
+		}
+		info.BaseEpoch, info.BaseCRC, info.Batches, info.Ops = 0, baseCRC, nil, 0
+		return j, info, nil
+	}
+	if good < int64(len(raw)) {
+		// Torn tail (crash mid-append) or bit rot past the good prefix:
+		// save the bad bytes, truncate, and continue from the prefix.
+		if err := os.WriteFile(path+".corrupt", raw[good:], 0o666); err != nil {
+			return nil, info, err
+		}
+		if err := os.Truncate(path, good); err != nil {
+			return nil, info, err
+		}
+		info.TruncatedTail = true
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, info, err
+	}
+	return &journal{
+		path: path, f: f, syncEach: syncEach,
+		records: len(info.Batches), size: good,
+	}, info, nil
+}
+
+// replay decodes raw. good is the byte offset of the last fully valid
+// record; readable is false when not even the magic + header parse (the
+// caller quarantines the whole file then).
+func replay(raw []byte) (good int64, info replayInfo, readable bool) {
+	if len(raw) < len(journalMagic) || [8]byte(raw[:8]) != journalMagic {
+		return 0, info, false
+	}
+	off := int64(len(journalMagic))
+	first := true
+	for int(off) < len(raw) {
+		body, next, ok := readFrame(raw, off)
+		if !ok {
+			if first {
+				return 0, info, false
+			}
+			return off, info, true
+		}
+		if first {
+			if len(body) != 13 || body[0] != recHeader {
+				return 0, info, false
+			}
+			info.BaseEpoch = binary.LittleEndian.Uint64(body[1:9])
+			info.BaseCRC = binary.LittleEndian.Uint32(body[9:13])
+			first = false
+			off = next
+			continue
+		}
+		ops, ok := decodeBatch(body)
+		if !ok {
+			return off, info, true
+		}
+		info.Batches = append(info.Batches, ops)
+		info.Ops += len(ops)
+		off = next
+	}
+	if first {
+		return 0, info, false // magic only, no header record
+	}
+	return off, info, true
+}
+
+// readFrame decodes one [len | body | crc] frame at off.
+func readFrame(raw []byte, off int64) (body []byte, next int64, ok bool) {
+	if int64(len(raw))-off < 8 {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(raw[off:]))
+	if n == 0 || n > maxRecord || int64(len(raw))-off-8 < n {
+		return nil, 0, false
+	}
+	body = raw[off+4 : off+4+n]
+	sum := binary.LittleEndian.Uint32(raw[off+4+n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, 0, false
+	}
+	return body, off + 8 + n, true
+}
+
+// appendFrame frames body and appends it to buf.
+func appendFrame(buf, body []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+}
+
+func encodeHeader(baseEpoch uint64, baseCRC uint32) []byte {
+	body := make([]byte, 13)
+	body[0] = recHeader
+	binary.LittleEndian.PutUint64(body[1:], baseEpoch)
+	binary.LittleEndian.PutUint32(body[9:], baseCRC)
+	return body
+}
+
+func encodeBatch(ops []Op) []byte {
+	body := []byte{recBatch}
+	body = binary.AppendUvarint(body, uint64(len(ops)))
+	for _, op := range ops {
+		var flags byte
+		if op.Del {
+			flags |= 1
+		}
+		body = append(body, flags)
+		body = binary.AppendUvarint(body, op.TS)
+		body = binary.AppendUvarint(body, uint64(op.L))
+		body = binary.AppendUvarint(body, uint64(op.R))
+	}
+	return body
+}
+
+func decodeBatch(body []byte) ([]Op, bool) {
+	if len(body) < 1 || body[0] != recBatch {
+		return nil, false
+	}
+	body = body[1:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 || count > maxRecord {
+		return nil, false
+	}
+	body = body[n:]
+	ops := make([]Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(body) < 1 {
+			return nil, false
+		}
+		op := Op{Del: body[0]&1 != 0}
+		body = body[1:]
+		var fields [3]uint64
+		for f := range fields {
+			v, n := binary.Uvarint(body)
+			if n <= 0 {
+				return nil, false
+			}
+			fields[f] = v
+			body = body[n:]
+		}
+		if fields[1] > 1<<31-1 || fields[2] > 1<<31-1 {
+			return nil, false
+		}
+		op.TS, op.L, op.R = fields[0], int32(fields[1]), int32(fields[2])
+		ops = append(ops, op)
+	}
+	return ops, len(body) == 0
+}
+
+// append journals one batch; with syncEach the record is fsynced before
+// the mutation is acknowledged.
+func (j *journal) append(ops []Op) error {
+	frame := appendFrame(nil, encodeBatch(ops))
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("mutate: appending to %s: %w", j.path, err)
+	}
+	if j.syncEach {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	j.records++
+	j.size += int64(len(frame))
+	return nil
+}
+
+// reset atomically replaces the journal with a fresh one bound to the
+// just-compacted base snapshot: write a temp file, fsync, rename over,
+// fsync the directory — the same publish discipline as store snapshots.
+func (j *journal) reset(baseEpoch uint64, baseCRC uint32) error {
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	buf := append([]byte(nil), journalMagic[:]...)
+	buf = appendFrame(buf, encodeHeader(baseEpoch, baseCRC))
+	dir, base := filepath.Split(j.path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+base+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	j.f, j.records, j.size = f, 0, int64(len(buf))
+	return nil
+}
+
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// remove closes and deletes the journal (graph deleted or replaced).
+func (j *journal) remove() error {
+	j.close()
+	if err := os.Remove(j.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so a rename survives power
+// loss; filesystems that reject directory fsync are tolerated.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,381 @@
+// Package mutate turns the repository's immutable graph snapshots into
+// dynamic graphs. Each mutated graph owns a write-ahead journal (see
+// journal.go) and an in-memory delta of edge insert/delete ops ordered
+// by per-graph logical timestamps with last-writer-wins tombstone
+// semantics — the valuestore discipline: a delete is a timestamped
+// tombstone, not an erasure, so concurrent writers racing on the same
+// edge resolve deterministically by timestamp.
+//
+// Every accepted batch advances the graph's epoch. The serving layer
+// pairs an epoch with an immutable graph + engine (copy-on-write), so
+// readers that started before a mutation keep streaming their pinned
+// epoch's consistent view while new queries see the new one. Once the
+// journaled delta crosses a threshold, the caller compacts: the live
+// graph is snapshotted through the catalog's atomic-rename path and the
+// journal resets to a fresh header binding that snapshot — replaying a
+// journal whose ops were already compacted is harmless because edge
+// set operations are idempotent (bigraph.ApplyEdits no-ops them).
+package mutate
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bigraph"
+)
+
+// fileForName maps a graph name to its journal path: URL path escaping
+// keeps arbitrary names filesystem-safe (the same scheme as the store's
+// snapshot files), and a leading dot is re-escaped so a journal can
+// never collide with an in-flight temp file.
+func fileForName(dir, name string) string {
+	esc := url.PathEscape(name)
+	if strings.HasPrefix(esc, ".") {
+		esc = "%2E" + esc[1:]
+	}
+	return filepath.Join(dir, esc+".wal")
+}
+
+// Op is one journaled edge mutation: an insert or (Del) a tombstone for
+// the edge (L, R), stamped with the graph's logical timestamp TS.
+type Op struct {
+	Del  bool
+	L, R int32
+	TS   uint64
+}
+
+// DefaultCompactOps is the journaled-op threshold past which the caller
+// should compact the delta into a fresh snapshot.
+const DefaultCompactOps = 4096
+
+// Config tunes a Manager.
+type Config struct {
+	// Dir is the journal directory, normally <data-dir>/journal. Empty
+	// means memory-only: mutations work but do not survive a restart
+	// (matching ephemeral graphs, which have no base snapshot either).
+	Dir string
+	// CompactOps is the per-graph journaled-op count that makes
+	// NeedCompact true; 0 means DefaultCompactOps.
+	CompactOps int
+	// Sync fsyncs the journal after every batch before acknowledging it.
+	Sync bool
+}
+
+// Stats is a point-in-time snapshot of a Manager's counters.
+type Stats struct {
+	// Graphs counts graphs with open mutation state.
+	Graphs int `json:"graphs"`
+	// Batches and Ops count accepted mutation batches and the raw ops in
+	// them; Noops counts ops that did not change their graph.
+	Batches int64 `json:"batches"`
+	Ops     int64 `json:"ops"`
+	Noops   int64 `json:"noops"`
+	// Compactions counts delta folds into a fresh base (snapshot writes
+	// for persisted graphs, in-memory folds for ephemeral ones).
+	Compactions int64 `json:"compactions"`
+	// ReplayedOps counts ops recovered from journals at boot.
+	ReplayedOps int64 `json:"replayed_ops"`
+	// TruncatedTails and QuarantinedLogs count recovery actions: torn
+	// journal tails cut away, and whole journals set aside as .corrupt.
+	TruncatedTails  int64 `json:"truncated_tails"`
+	QuarantinedLogs int64 `json:"quarantined_logs"`
+	// JournalRecords and JournalBytes sum over open journals.
+	JournalRecords int64 `json:"journal_records"`
+	JournalBytes   int64 `json:"journal_bytes"`
+}
+
+// Manager owns per-graph mutation state for one server.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	graphs map[string]*State
+
+	batches, ops, noops atomic.Int64
+	compactions         atomic.Int64
+	replayedOps         atomic.Int64
+	truncatedTails      atomic.Int64
+	quarantinedLogs     atomic.Int64
+}
+
+// NewManager returns a Manager; with cfg.Dir set it is durable.
+func NewManager(cfg Config) *Manager {
+	if cfg.CompactOps <= 0 {
+		cfg.CompactOps = DefaultCompactOps
+	}
+	return &Manager{cfg: cfg, graphs: make(map[string]*State)}
+}
+
+// Recovered describes what opening a graph's journal found.
+type Recovered struct {
+	// Epoch is the graph's epoch after replay (base epoch + records).
+	Epoch uint64
+	// BaseCRC is the snapshot payload CRC the journal was bound to.
+	BaseCRC uint32
+	// Edits is the LWW-resolved delta in timestamp order; applying it to
+	// the base snapshot reproduces the epoch's graph.
+	Edits []bigraph.Edit
+	// Ops counts raw journal ops replayed.
+	Ops int
+	// TruncatedTail and QuarantinedLog report recovery actions taken.
+	TruncatedTail, QuarantinedLog bool
+}
+
+// JournalPath returns where the graph's journal lives (empty for a
+// memory-only manager).
+func (m *Manager) JournalPath(name string) string {
+	if m.cfg.Dir == "" {
+		return ""
+	}
+	return fileForName(m.cfg.Dir, name)
+}
+
+// Open returns the graph's mutation state, creating it if needed. For
+// persisted graphs on a durable manager the journal is opened and
+// replayed; baseCRC binds a freshly created journal to the graph's
+// current snapshot. Open is idempotent: a second call returns the live
+// state with an empty Recovered.
+func (m *Manager) Open(name string, persisted bool, baseCRC uint32) (*State, Recovered, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.graphs[name]; ok {
+		return st, Recovered{Epoch: st.Epoch()}, nil
+	}
+	st := &State{m: m, name: name, delta: make(map[[2]int32]Op)}
+	var rec Recovered
+	if persisted && m.cfg.Dir != "" {
+		j, info, err := openJournal(m.JournalPath(name), m.cfg.Sync, baseCRC)
+		if err != nil {
+			return nil, rec, fmt.Errorf("mutate: opening journal for %q: %w", name, err)
+		}
+		st.j = j
+		st.epoch = info.BaseEpoch + uint64(len(info.Batches))
+		for _, batch := range info.Batches {
+			for _, op := range batch {
+				st.fold(op)
+			}
+		}
+		st.deltaOps = info.Ops
+		rec = Recovered{
+			Epoch: st.epoch, BaseCRC: info.BaseCRC, Edits: st.deltaEdits(), Ops: info.Ops,
+			TruncatedTail: info.TruncatedTail, QuarantinedLog: info.QuarantinedLog,
+		}
+		m.replayedOps.Add(int64(info.Ops))
+		if info.TruncatedTail {
+			m.truncatedTails.Add(1)
+		}
+		if info.QuarantinedLog {
+			m.quarantinedLogs.Add(1)
+		}
+	}
+	m.graphs[name] = st
+	return st, rec, nil
+}
+
+// HasJournal reports whether a journal file exists for the graph, so
+// boot recovery can skip graphs that were never mutated.
+func (m *Manager) HasJournal(name string) bool {
+	p := m.JournalPath(name)
+	if p == "" {
+		return false
+	}
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// Lookup returns the graph's open mutation state, or nil.
+func (m *Manager) Lookup(name string) *State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.graphs[name]
+}
+
+// Drop discards the graph's mutation state and deletes its journal —
+// the path for graph delete and whole-graph replace, both of which
+// reset the graph's history (and its epoch) by definition.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	st, ok := m.graphs[name]
+	delete(m.graphs, name)
+	m.mu.Unlock()
+	if ok && st.j != nil {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.j.remove()
+	}
+	// A journal may exist on disk without live state (never-mutated graph
+	// being deleted); remove it too so a future graph under the same name
+	// does not inherit stale history.
+	if p := m.JournalPath(name); p != "" {
+		return (&journal{path: p}).remove()
+	}
+	return nil
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Batches: m.batches.Load(), Ops: m.ops.Load(), Noops: m.noops.Load(),
+		Compactions: m.compactions.Load(), ReplayedOps: m.replayedOps.Load(),
+		TruncatedTails: m.truncatedTails.Load(), QuarantinedLogs: m.quarantinedLogs.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.Graphs = len(m.graphs)
+	for _, st := range m.graphs {
+		st.mu.Lock()
+		if st.j != nil {
+			s.JournalRecords += int64(st.j.records)
+			s.JournalBytes += st.j.size
+		}
+		st.mu.Unlock()
+	}
+	return s
+}
+
+// Close closes every open journal.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for _, st := range m.graphs {
+		st.mu.Lock()
+		if st.j != nil {
+			if err := st.j.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		st.mu.Unlock()
+	}
+	return first
+}
+
+// State is one graph's mutation state: its journal, epoch, logical
+// clock, and the LWW delta since the last compaction. All mutations of
+// a graph serialize through its State.
+type State struct {
+	m    *Manager
+	name string
+
+	mu       sync.Mutex
+	j        *journal // nil when memory-only
+	epoch    uint64
+	clock    uint64          // last issued logical timestamp
+	delta    map[[2]int32]Op // LWW-resolved ops since the base snapshot
+	deltaOps int             // raw ops journaled since the base snapshot
+}
+
+// Epoch returns the graph's current epoch.
+func (s *State) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Apply accepts one mutation batch: it stamps the edits with fresh
+// logical timestamps, appends them durably to the journal, folds them
+// into the delta, advances the epoch, and then runs commit — still
+// under the graph's mutation lock, so the epoch's graph swap is atomic
+// with respect to other writers — passing the stamped ops and the new
+// epoch. commit installs the new epoch's graph; if it fails the epoch
+// stands (the journal already holds the batch) and the error is
+// returned. needCompact reports whether the delta has crossed the
+// compaction threshold after this batch.
+func (s *State) Apply(edits []bigraph.Edit, commit func(ops []Op, epoch uint64) error) (epoch uint64, needCompact bool, err error) {
+	if len(edits) == 0 {
+		return 0, false, fmt.Errorf("mutate: empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := make([]Op, len(edits))
+	for i, e := range edits {
+		s.clock++
+		ops[i] = Op{Del: e.Del, L: e.V, R: e.U, TS: s.clock}
+	}
+	if s.j != nil {
+		if err := s.j.append(ops); err != nil {
+			return 0, false, err
+		}
+	}
+	for _, op := range ops {
+		s.fold(op)
+	}
+	s.deltaOps += len(ops)
+	s.epoch++
+	s.m.batches.Add(1)
+	s.m.ops.Add(int64(len(ops)))
+	if commit != nil {
+		if err := commit(ops, s.epoch); err != nil {
+			return s.epoch, false, err
+		}
+	}
+	return s.epoch, s.deltaOps >= s.m.cfg.CompactOps, nil
+}
+
+// CountNoops feeds the apply result's noop count back into the stats.
+func (s *State) CountNoops(n int) { s.m.noops.Add(int64(n)) }
+
+// Compact folds the delta into a fresh base: persist runs under the
+// mutation lock and must publish the graph's current content as the new
+// base snapshot, returning its payload CRC (for ephemeral graphs it
+// just returns the live CRC — the fold is memory-only). On success the
+// journal is atomically reset to a header binding the current epoch to
+// that snapshot and the delta clears. The epoch does not change:
+// compaction rewrites history's storage, not its content.
+func (s *State) Compact(persist func() (uint32, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	crc, err := persist()
+	if err != nil {
+		return err
+	}
+	if s.j != nil {
+		if err := s.j.reset(s.epoch, crc); err != nil {
+			return err
+		}
+	}
+	s.delta = make(map[[2]int32]Op)
+	s.deltaOps = 0
+	s.m.compactions.Add(1)
+	return nil
+}
+
+// DeltaOps returns the raw op count journaled since the last compaction.
+func (s *State) DeltaOps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaOps
+}
+
+// fold applies one op to the LWW delta; callers hold s.mu (or own s
+// exclusively during Open).
+func (s *State) fold(op Op) {
+	k := [2]int32{op.L, op.R}
+	if prev, ok := s.delta[k]; ok && prev.TS > op.TS {
+		return
+	}
+	if op.TS > s.clock {
+		s.clock = op.TS
+	}
+	s.delta[k] = op
+}
+
+// deltaEdits renders the LWW delta as an edit batch in timestamp order.
+func (s *State) deltaEdits() []bigraph.Edit {
+	ops := make([]Op, 0, len(s.delta))
+	for _, op := range s.delta {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].TS < ops[j].TS })
+	edits := make([]bigraph.Edit, len(ops))
+	for i, op := range ops {
+		edits[i] = bigraph.Edit{Del: op.Del, V: op.L, U: op.R}
+	}
+	return edits
+}

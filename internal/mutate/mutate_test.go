@@ -1,0 +1,223 @@
+package mutate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bigraph"
+)
+
+func mustApply(t *testing.T, st *State, edits ...bigraph.Edit) (uint64, bool) {
+	t.Helper()
+	epoch, compact, err := st.Apply(edits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch, compact
+}
+
+func TestApplyAdvancesEpochAndDelta(t *testing.T) {
+	m := NewManager(Config{})
+	st, rec, err := m.Open("g", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 0 || st.Epoch() != 0 {
+		t.Fatalf("fresh state at epoch %d", rec.Epoch)
+	}
+	var gotOps []Op
+	epoch, _, err := st.Apply([]bigraph.Edit{{V: 1, U: 2}, {Del: true, V: 3, U: 4}}, func(ops []Op, e uint64) error {
+		gotOps = append(gotOps, ops...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || st.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", epoch)
+	}
+	if len(gotOps) != 2 || gotOps[0].TS >= gotOps[1].TS {
+		t.Fatalf("timestamps not monotonic: %+v", gotOps)
+	}
+	if e2, _ := mustApply(t, st, bigraph.Edit{Del: true, V: 1, U: 2}); e2 != 2 {
+		t.Fatalf("epoch = %d, want 2", e2)
+	}
+	// LWW: the tombstone supersedes the insert for (1,2).
+	st.mu.Lock()
+	op := st.delta[[2]int32{1, 2}]
+	st.mu.Unlock()
+	if !op.Del {
+		t.Fatalf("delta for (1,2) = %+v, want tombstone", op)
+	}
+	if st.DeltaOps() != 3 {
+		t.Fatalf("deltaOps = %d, want 3", st.DeltaOps())
+	}
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{Dir: dir, Sync: true})
+	st, _, err := m.Open("orders", true, 0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, st, bigraph.Edit{V: 0, U: 0}, bigraph.Edit{V: 1, U: 1})
+	mustApply(t, st, bigraph.Edit{Del: true, V: 0, U: 0})
+	m.Close()
+
+	// A second manager (a restart) replays to the same epoch and the same
+	// LWW-resolved delta.
+	m2 := NewManager(Config{Dir: dir})
+	st2, rec, err := m2.Open("orders", true, 0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 2 || st2.Epoch() != 2 {
+		t.Fatalf("replayed epoch = %d, want 2", rec.Epoch)
+	}
+	if rec.BaseCRC != 0xdeadbeef {
+		t.Fatalf("base CRC = %#x", rec.BaseCRC)
+	}
+	if rec.Ops != 3 || len(rec.Edits) != 2 {
+		t.Fatalf("replay: %+v", rec)
+	}
+	// Timestamp order must put the tombstone for (0,0) after nothing else
+	// touching it; final presence: (0,0) deleted, (1,1) inserted.
+	want := map[[2]int32]bool{{0, 0}: false, {1, 1}: true}
+	for _, e := range rec.Edits {
+		if present, ok := want[[2]int32{e.V, e.U}]; !ok || present == e.Del {
+			t.Fatalf("unexpected edit %+v", e)
+		}
+	}
+	// The clock resumes past the replayed timestamps.
+	var gotTS uint64
+	st2.Apply([]bigraph.Edit{{V: 9, U: 9}}, func(ops []Op, _ uint64) error {
+		gotTS = ops[0].TS
+		return nil
+	})
+	if gotTS <= 3 {
+		t.Fatalf("clock did not resume: ts=%d", gotTS)
+	}
+}
+
+func TestJournalTornTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{Dir: dir, Sync: true})
+	st, _, err := m.Open("g", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, st, bigraph.Edit{V: 0, U: 0})
+	mustApply(t, st, bigraph.Edit{V: 1, U: 1})
+	m.Close()
+
+	path := m.JournalPath("g")
+	// Simulate a crash mid-append: garbage after the good records.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xff, 0xfe})
+	f.Close()
+
+	m2 := NewManager(Config{Dir: dir})
+	_, rec, err := m2.Open("g", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	if rec.Epoch != 2 || rec.Ops != 2 {
+		t.Fatalf("good prefix lost: %+v", rec)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if got := m2.Stats().TruncatedTails; got != 1 {
+		t.Fatalf("TruncatedTails = %d", got)
+	}
+}
+
+func TestJournalCorruptHeaderQuarantinesWholeLog(t *testing.T) {
+	dir := t.TempDir()
+	path := fileForName(dir, "g")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Dir: dir})
+	st, rec, err := m.Open("g", true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.QuarantinedLog || rec.Epoch != 0 || st.Epoch() != 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The restarted journal accepts new batches.
+	if e, _ := mustApply(t, st, bigraph.Edit{V: 1, U: 1}); e != 1 {
+		t.Fatalf("epoch = %d", e)
+	}
+}
+
+func TestCompactResetsJournalAndKeepsEpoch(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{Dir: dir, CompactOps: 3})
+	st, _, err := m.Open("g", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, st, bigraph.Edit{V: 0, U: 0}, bigraph.Edit{V: 1, U: 1})
+	_, compact := mustApply(t, st, bigraph.Edit{V: 2, U: 2})
+	if !compact {
+		t.Fatal("threshold of 3 ops not reported")
+	}
+	if err := st.Compact(func() (uint32, error) { return 0xabcd, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 2 || st.DeltaOps() != 0 {
+		t.Fatalf("after compact: epoch=%d deltaOps=%d", st.Epoch(), st.DeltaOps())
+	}
+	m.Close()
+
+	m2 := NewManager(Config{Dir: dir})
+	_, rec, err := m2.Open("g", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 2 || rec.Ops != 0 || rec.BaseCRC != 0xabcd {
+		t.Fatalf("restart after compact: %+v", rec)
+	}
+}
+
+func TestDropRemovesJournal(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{Dir: dir})
+	st, _, err := m.Open("g", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, st, bigraph.Edit{V: 0, U: 0})
+	if !m.HasJournal("g") {
+		t.Fatal("journal missing before drop")
+	}
+	if err := m.Drop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if m.HasJournal("g") {
+		t.Fatal("journal survived drop")
+	}
+	if m.Lookup("g") != nil {
+		t.Fatal("state survived drop")
+	}
+	ents, _ := os.ReadDir(filepath.Join(dir))
+	for _, e := range ents {
+		t.Logf("leftover: %s", e.Name())
+	}
+}

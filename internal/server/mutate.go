@@ -1,0 +1,263 @@
+// The /v1 mutation surface: dynamic graphs over immutable snapshots.
+//
+// POST /v1/graphs/{name}/edges accepts one edge op ({"op":"insert",
+// "l":0,"r":1}) or a batch ({"ops":[...]}). Each accepted batch is
+// journaled through internal/mutate (write-ahead, CRC-framed, replayed
+// at boot), applied copy-on-write to the graph, and advances the
+// graph's epoch. Queries running against the previous epoch keep the
+// engine they captured at submission — they stream a consistent
+// snapshot — while new queries resolve the swapped-in engine. Cached
+// results for the old payload CRC are invalidated exactly like a graph
+// replace, and once the journaled delta crosses the compaction
+// threshold the live graph is snapshotted through the store's
+// atomic-rename path and the journal resets.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/bicoreindex"
+	"repro/internal/bigraph"
+	"repro/internal/mutate"
+	"repro/internal/store"
+)
+
+// maxMutationOps bounds one batch; larger mutations should be a graph
+// replace (POST /graphs), which rewrites the snapshot wholesale.
+const maxMutationOps = 1 << 16
+
+// edgeOpDoc is one mutation op on the wire.
+type edgeOpDoc struct {
+	Op string `json:"op"` // "insert" or "delete"
+	L  int32  `json:"l"`
+	R  int32  `json:"r"`
+}
+
+// mutateRequest is the POST /v1/graphs/{name}/edges body: exactly one
+// of a single inline op (op/l/r) or a batch (ops).
+type mutateRequest struct {
+	Op  string      `json:"op,omitempty"`
+	L   *int32      `json:"l,omitempty"`
+	R   *int32      `json:"r,omitempty"`
+	Ops []edgeOpDoc `json:"ops,omitempty"`
+}
+
+// mutationDoc is the mutation response: the batch's outcome and the
+// graph's new identity. Epoch advances once per accepted batch (even an
+// all-noop one — the batch is journaled either way); CRC32 is the new
+// content fingerprint result caches key on.
+type mutationDoc struct {
+	Graph     string `json:"graph"`
+	Epoch     uint64 `json:"epoch"`
+	Applied   int    `json:"applied"`
+	Noops     int    `json:"noops"`
+	Inserted  int    `json:"inserted"`
+	Deleted   int    `json:"deleted"`
+	Compacted bool   `json:"compacted,omitempty"`
+	NumLeft   int    `json:"num_left"`
+	NumRight  int    `json:"num_right"`
+	NumEdges  int    `json:"num_edges"`
+	CRC32     uint32 `json:"crc32"`
+}
+
+// decodeMutation parses and validates the request body into an ordered
+// edit batch.
+func decodeMutation(w http.ResponseWriter, r *http.Request) ([]bigraph.Edit, error) {
+	var req mutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding body: %w", err)
+	}
+	single := req.Op != "" || req.L != nil || req.R != nil
+	if single == (len(req.Ops) > 0) {
+		return nil, errors.New("want exactly one of a single op (op, l, r) or a batch (ops)")
+	}
+	docs := req.Ops
+	if single {
+		if req.L == nil || req.R == nil {
+			return nil, errors.New("a single op needs op, l and r")
+		}
+		docs = []edgeOpDoc{{Op: req.Op, L: *req.L, R: *req.R}}
+	}
+	if len(docs) > maxMutationOps {
+		return nil, fmt.Errorf("batch of %d ops exceeds the limit of %d; replace the graph instead", len(docs), maxMutationOps)
+	}
+	edits := make([]bigraph.Edit, len(docs))
+	for i, d := range docs {
+		var del bool
+		switch d.Op {
+		case "insert":
+		case "delete":
+			del = true
+		default:
+			return nil, fmt.Errorf("ops[%d]: op must be \"insert\" or \"delete\", got %q", i, d.Op)
+		}
+		if d.L < 0 || d.R < 0 {
+			return nil, fmt.Errorf("ops[%d]: vertex ids must be non-negative", i)
+		}
+		if int(d.L) >= maxSide || int(d.R) >= maxSide {
+			return nil, fmt.Errorf("ops[%d]: vertex ids must be below %d", i, maxSide)
+		}
+		edits[i] = bigraph.Edit{Del: del, V: d.L, U: d.R}
+	}
+	return edits, nil
+}
+
+// handleMutateEdges applies one mutation batch to a graph.
+func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	edits, err := decodeMutation(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, ok := s.catalog.Info(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
+		return
+	}
+	// Resolve the engine up front so a cold graph hydrates (and its
+	// failure surfaces) before anything is journaled.
+	if _, ok := s.engine(w, name); !ok {
+		return
+	}
+	st, _, err := s.mut.Open(name, info.Persisted, info.CRC32)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	var doc mutationDoc
+	doc.Graph = name
+	epoch, needCompact, err := st.Apply(edits, func(ops []mutate.Op, epoch uint64) error {
+		// Runs under the graph's mutation lock: the read of the current
+		// engine, the copy-on-write merge and the catalog swap are atomic
+		// with respect to concurrent writers. Readers are never blocked —
+		// they either hold the old engine or resolve the new one.
+		cur, err := s.catalog.Engine(name)
+		if err != nil {
+			return err
+		}
+		oldInfo, _ := s.catalog.Info(name)
+		ng, res, err := bigraph.ApplyEdits(cur.Graph(), edits)
+		if err != nil {
+			return err
+		}
+		doc.Applied = res.Inserted + res.Deleted
+		doc.Inserted, doc.Deleted, doc.Noops = res.Inserted, res.Deleted, res.Noops
+		st.CountNoops(res.Noops)
+		newInfo := oldInfo
+		if ng != cur.Graph() {
+			// Carry the core-decomposition index forward incrementally
+			// instead of letting the next large-MBP query rebuild it.
+			var idx *bicoreindex.Index
+			if old := cur.CoreIndex(); old != nil {
+				idx = old.Update(ng, res.TouchedLeftMaxDeg, res.TouchedRightMaxDeg)
+			}
+			if _, newInfo, err = s.catalog.SwapResident(name, ng, idx); err != nil {
+				return err
+			}
+			// The old content's cached results are unreachable by key (the
+			// CRC changed) — drop them now, exactly like a graph replace.
+			if newInfo.CRC32 != oldInfo.CRC32 {
+				s.invalidateResults(oldInfo.CRC32)
+			}
+		}
+		doc.NumLeft, doc.NumRight, doc.NumEdges, doc.CRC32 = newInfo.NumLeft, newInfo.NumRight, newInfo.NumEdges, newInfo.CRC32
+		return nil
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	doc.Epoch = epoch
+	if needCompact {
+		// Compaction is synchronous and best-effort: the batch is already
+		// durable in the journal, so a failed snapshot write only defers
+		// the fold to a later batch.
+		if err := s.compactGraph(name, st, info.Persisted); err == nil {
+			doc.Compacted = true
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// compactGraph folds a graph's mutation delta into a fresh base
+// snapshot through the store's temp-file + atomic-rename path, then
+// resets the journal. For ephemeral graphs there is no snapshot; the
+// fold just clears the delta. The epoch is unchanged — compaction
+// rewrites storage, not content — and so is the payload CRC, so cached
+// results stay valid.
+func (s *Server) compactGraph(name string, st *mutate.State, persisted bool) error {
+	return st.Compact(func() (uint32, error) {
+		cur, err := s.catalog.Engine(name)
+		if err != nil {
+			return 0, err
+		}
+		if persisted {
+			if _, err := s.catalog.Add(name, cur.Graph(), true); err != nil {
+				return 0, err
+			}
+		}
+		now, ok := s.catalog.Info(name)
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", store.ErrNotFound, name)
+		}
+		return now.CRC32, nil
+	})
+}
+
+// graphEpoch returns a graph's current mutation epoch (0 when it was
+// never mutated this run and has no journal).
+func (s *Server) graphEpoch(name string) uint64 {
+	if st := s.mut.Lookup(name); st != nil {
+		return st.Epoch()
+	}
+	return 0
+}
+
+// recoverMutations replays every persisted graph's journal at boot:
+// the base snapshot hydrates, the LWW-resolved delta re-applies, and
+// the graph resumes at the epoch it had before the restart. Per-graph
+// failures go to report (when non-nil) and do not stop the sweep — a
+// graph whose snapshot will not hydrate keeps failing per query, same
+// as without a journal.
+func (s *Server) recoverMutations(report func(name string, err error)) {
+	for _, info := range s.catalog.Infos() {
+		if !info.Persisted || !s.mut.HasJournal(info.Name) {
+			continue
+		}
+		_, rec, err := s.mut.Open(info.Name, true, info.CRC32)
+		if err != nil {
+			if report != nil {
+				report(info.Name, err)
+			}
+			continue
+		}
+		if len(rec.Edits) == 0 {
+			continue
+		}
+		eng, err := s.catalog.Engine(info.Name)
+		if err != nil {
+			if report != nil {
+				report(info.Name, fmt.Errorf("replaying mutation journal: %w", err))
+			}
+			continue
+		}
+		ng, _, err := bigraph.ApplyEdits(eng.Graph(), rec.Edits)
+		if err == nil && ng != eng.Graph() {
+			_, _, err = s.catalog.SwapResident(info.Name, ng, nil)
+		}
+		if err != nil && report != nil {
+			report(info.Name, fmt.Errorf("replaying mutation journal: %w", err))
+		}
+	}
+}

@@ -16,10 +16,18 @@
 // ?cursor=N instead of re-running the query.
 //
 //	POST   /v1/graphs/{name}/jobs         submit a Query document → job
+//	POST   /v1/graphs/{name}/edges        mutate a graph (insert/delete edges)
 //	GET    /v1/jobs                       list retained jobs
 //	GET    /v1/jobs/{id}                  job status, progress and stats
 //	GET    /v1/jobs/{id}/results?cursor=N NDJSON results from an offset
 //	DELETE /v1/jobs/{id}                  cancel (active) / remove (finished)
+//
+// Graphs are dynamic: POST /v1/graphs/{name}/edges journals edge
+// inserts and deletes through a per-graph write-ahead log
+// (internal/mutate, replayed at boot), swaps in an updated engine
+// copy-on-write, and advances the graph's epoch. Jobs record the epoch
+// current at submission; a job racing a mutation keeps streaming the
+// consistent snapshot it started on. See mutate.go.
 //
 // The graph-management routes are also mounted under /v1 unchanged.
 // Legacy unversioned endpoints (all responses JSON; enumeration streams
@@ -59,6 +67,7 @@ import (
 
 	kbiplex "repro"
 	"repro/internal/jobs"
+	"repro/internal/mutate"
 	"repro/internal/rescache"
 	"repro/internal/store"
 )
@@ -124,6 +133,15 @@ type Config struct {
 	// append-log under DataDir/rescache so a restart still serves its
 	// pre-restart hot queries from cache.
 	ResultCachePersist bool
+	// JournalCompactOps is the per-graph mutation-delta size (journaled
+	// ops since the last base snapshot) past which a mutation compacts
+	// the live graph into a fresh snapshot and resets the journal. 0
+	// takes the internal/mutate default (4096).
+	JournalCompactOps int
+	// JournalNoSync skips the per-batch fsync on the mutation journal:
+	// faster writes, but a host crash can lose the most recent batches
+	// (the framing still recovers the intact prefix).
+	JournalNoSync bool
 }
 
 // Server routes HTTP traffic onto kbiplex engines owned by a persistent
@@ -134,6 +152,7 @@ type Server struct {
 	catalog *store.Catalog
 	jobs    *jobs.Manager
 	results *rescache.Cache // nil when the result cache is disabled
+	mut     *mutate.Manager // per-graph mutation journals and epochs
 
 	// lifecycle is open until BeginShutdown; every request context is
 	// tied to it so in-flight streams can be drained with a cause.
@@ -176,6 +195,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	journalDir := ""
+	if cfg.DataDir != "" {
+		journalDir = filepath.Join(cfg.DataDir, "journal")
+	}
 	lifecycle, shutdown := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -183,10 +206,14 @@ func New(cfg Config) (*Server, error) {
 		catalog:   catalog,
 		jobs:      jobs.NewManager(lifecycle, cfg.Jobs),
 		results:   results,
+		mut:       mutate.NewManager(mutate.Config{Dir: journalDir, CompactOps: cfg.JournalCompactOps, Sync: !cfg.JournalNoSync}),
 		lifecycle: lifecycle,
 		shutdown:  shutdown,
 		start:     time.Now(),
 	}
+	// Re-apply any journaled mutations over the recovered snapshots so
+	// the graphs resume at their pre-restart epoch and content.
+	s.recoverMutations(nil)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	// The graph-management routes are mounted both unversioned (legacy)
@@ -200,6 +227,7 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET "+prefix+"/graphs/{name}/largest", s.handleLargest)
 	}
 	s.mux.HandleFunc("POST /v1/graphs/{name}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutateEdges)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
@@ -267,6 +295,7 @@ func (s *Server) Close() error {
 			jerr = rerr
 		}
 	}
+	s.mut.Close()
 	if cerr := s.catalog.Close(); cerr != nil {
 		return cerr
 	}
@@ -362,6 +391,7 @@ type graphInfo struct {
 	NumEdges  int    `json:"num_edges"`
 	Persisted bool   `json:"persisted"`
 	Resident  bool   `json:"resident"`
+	Epoch     uint64 `json:"epoch"`
 	Queries   int64  `json:"queries"`
 	Active    int64  `json:"active_queries"`
 	Solutions int64  `json:"solutions_served"`
@@ -373,7 +403,7 @@ func (s *Server) graphInfos() []graphInfo {
 	for _, info := range infos {
 		gi := graphInfo{
 			Name: info.Name, NumLeft: info.NumLeft, NumRight: info.NumRight, NumEdges: info.NumEdges,
-			Persisted: info.Persisted, Resident: info.Resident,
+			Persisted: info.Persisted, Resident: info.Resident, Epoch: s.graphEpoch(info.Name),
 		}
 		if eng, ok := s.catalog.EngineIfResident(info.Name); ok {
 			st := eng.Stats()
@@ -418,6 +448,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hydrations":     st.Hydrations,
 			"evictions":      st.Evictions,
 		},
+	}
+	mst := s.mut.Stats()
+	doc["mutations"] = map[string]any{
+		"graphs":           mst.Graphs,
+		"batches":          mst.Batches,
+		"ops":              mst.Ops,
+		"noops":            mst.Noops,
+		"compactions":      mst.Compactions,
+		"replayed_ops":     mst.ReplayedOps,
+		"truncated_tails":  mst.TruncatedTails,
+		"quarantined_logs": mst.QuarantinedLogs,
+		"journal_records":  mst.JournalRecords,
+		"journal_bytes":    mst.JournalBytes,
 	}
 	if s.results != nil {
 		cst := s.results.Stats()
@@ -563,6 +606,13 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) {
 // the old content's cached results.
 func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph, persist bool) {
 	old, hadOld := s.catalog.Info(name)
+	// A replace restarts the graph's mutation history at epoch 0. The
+	// journal is dropped before the new snapshot lands: if the process
+	// dies in between, booting with the old content rewound to its base
+	// beats replaying the old content's ops onto the new content.
+	if hadOld {
+		s.mut.Drop(name)
+	}
 	var err error
 	if persist {
 		err = s.AddGraphPersist(name, g)
@@ -614,7 +664,7 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := map[string]any{
 		"name": name, "num_left": info.NumLeft, "num_right": info.NumRight, "num_edges": info.NumEdges,
-		"persisted": info.Persisted, "resident": info.Resident,
+		"persisted": info.Persisted, "resident": info.Resident, "epoch": s.graphEpoch(name),
 	}
 	// Engine counters only exist while the engine is resident; a cold
 	// (recovered or evicted) graph still answers from the manifest.
@@ -646,6 +696,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	if hadInfo {
 		s.invalidateResults(info.CRC32)
 	}
+	s.mut.Drop(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 

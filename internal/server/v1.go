@@ -38,19 +38,24 @@ type jobDoc struct {
 	Query kbiplex.Query `json:"query"`
 	// Results is the spool length so far; it is also the lowest cursor
 	// with nothing (yet) behind it.
-	Results   int64      `json:"results"`
-	Truncated bool       `json:"truncated,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Created   time.Time  `json:"created_at"`
-	Started   *time.Time `json:"started_at,omitempty"`
-	Finished  *time.Time `json:"finished_at,omitempty"`
-	Stats     *jobStats  `json:"stats,omitempty"`
+	Results   int64 `json:"results"`
+	Truncated bool  `json:"truncated,omitempty"`
+	// Epoch is the graph's mutation epoch at submission: the content
+	// version this job's results are consistent with. A mutation racing
+	// the job advances the graph past this epoch without disturbing the
+	// job's snapshot.
+	Epoch    uint64     `json:"epoch"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created_at"`
+	Started  *time.Time `json:"started_at,omitempty"`
+	Finished *time.Time `json:"finished_at,omitempty"`
+	Stats    *jobStats  `json:"stats,omitempty"`
 }
 
 func jobDocFrom(snap jobs.Snapshot) jobDoc {
 	doc := jobDoc{
 		ID: snap.ID, Graph: snap.Graph, State: snap.State, Query: snap.Query,
-		Results: snap.Results, Truncated: snap.Truncated, Created: snap.Created,
+		Results: snap.Results, Truncated: snap.Truncated, Epoch: snap.Epoch, Created: snap.Created,
 	}
 	if snap.Err != nil {
 		doc.Error = snap.Err.Error()
@@ -115,7 +120,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		// it (the legacy surface admitted it under a looser bound);
 		// replaying it would overshoot the cap, so run fresh instead.
 		if ent, ok := s.results.Get(key); ok && len(ent.Solutions) <= s.jobs.SpoolCap() {
-			job, err := s.jobs.SubmitCached(name, q, ent.Solutions, ent.Stats, ent.Truncated)
+			job, err := s.jobs.SubmitCached(name, q, ent.Solutions, ent.Stats, ent.Truncated,
+				jobs.SubmitOptions{Epoch: s.graphEpoch(name)})
 			if err != nil {
 				jobError(w, err)
 				return
@@ -132,7 +138,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	var opts jobs.SubmitOptions
+	// Stamp the epoch the job's engine reference pins. The read is not
+	// atomic with the engine resolution above, so a mutation racing this
+	// submission can skew the label by one; the spool itself is always
+	// internally consistent — it streams from exactly one engine.
+	opts := jobs.SubmitOptions{Epoch: s.graphEpoch(name)}
 	if c := q.Canonical(); c.MaxResults > 0 && c.MaxResults <= fastResultsCap {
 		// Small-capped queries take the fast tier: they finish quickly
 		// and must not wait behind cold full enumerations.

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/bicoreindex"
 	"repro/internal/bigraph"
 )
 
@@ -150,6 +151,17 @@ type entry struct {
 	bytes   int64 // footprint estimate while resident
 	lastUse int64 // catalog clock value of the last Engine/Add touch
 	deleted bool  // set by Delete; late hydrations must not resurrect
+
+	// dirty marks a persisted entry whose resident engine has diverged
+	// from its snapshot (mutations applied since the last compaction).
+	// The manifestEntry keeps describing the on-disk snapshot — boot
+	// hydration must still pass its CRC check, with the mutation journal
+	// re-applying the delta — while the live* fields describe what is
+	// actually being served. Dirty entries are pinned: evicting one would
+	// silently rewind the graph to its stale snapshot.
+	dirty                bool
+	liveCRC              uint32
+	liveL, liveR, liveEd int
 }
 
 // Catalog is a set of named graphs with durable snapshots and
@@ -579,7 +591,10 @@ func (c *Catalog) evictForBudgetLocked(keep *entry) {
 	for c.stats.ResidentBytes > c.cfg.MemoryBudget {
 		var victim *entry
 		for _, e := range c.entries {
-			if e == keep || e.eng == nil || !e.persisted {
+			// Dirty entries are unevictable: their snapshot is stale, so a
+			// re-hydration would lose the mutation delta mid-run (journal
+			// replay only happens at boot).
+			if e == keep || e.eng == nil || !e.persisted || e.dirty {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -613,12 +628,57 @@ func (c *Catalog) Evict(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[name]
-	if !ok || !e.persisted || e.eng == nil {
+	if !ok || !e.persisted || e.eng == nil || e.dirty {
 		return false
 	}
 	c.dropResidentLocked(e)
 	c.stats.Evictions++
 	return true
+}
+
+// SwapResident replaces name's resident engine with one serving g — the
+// epoch-advance step of a mutation batch. The snapshot and manifest are
+// left untouched (the write-ahead journal owns durability of the delta;
+// compaction through Add later reconciles disk with memory), so the
+// entry is marked dirty: pinned against eviction and reporting g's live
+// shape and payload CRC from Info. idx optionally seeds the new
+// engine's core-decomposition index (see kbiplex.NewEngineWithIndex).
+// The previous engine is NOT released: in-flight queries keep streaming
+// from it — that is what pins their epoch — and its caches die with
+// their last reference.
+func (c *Catalog) SwapResident(name string, g *kbiplex.Graph, idx *bicoreindex.Index) (*kbiplex.Engine, Info, error) {
+	eng := kbiplex.NewEngineWithIndex(g, c.cfg.Engine, idx)
+	eng.Warm()
+	crc := bigraph.PayloadCRC(g)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, Info{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if e.eng != nil {
+		// Account the old engine's memory out without releasing it (see
+		// the doc comment); pinned readers still use its caches.
+		c.stats.ResidentBytes -= e.bytes
+		e.eng = nil
+		e.bytes = 0
+	}
+	e.eng = eng
+	e.bytes = graphBytes(g)
+	c.stats.ResidentBytes += e.bytes
+	c.clock++
+	e.lastUse = c.clock
+	if e.persisted {
+		e.dirty = true
+	} else {
+		// Ephemeral entries have no snapshot to diverge from; their
+		// recorded shape simply becomes the new graph's.
+		e.NumLeft, e.NumRight, e.NumEdges, e.CRC32 = g.NumLeft(), g.NumRight(), g.NumEdges(), crc
+	}
+	e.liveCRC, e.liveL, e.liveR, e.liveEd = crc, g.NumLeft(), g.NumRight(), g.NumEdges()
+	c.evictForBudgetLocked(e)
+	return eng, c.infoLocked(e), nil
 }
 
 // Delete removes name from the catalog: the engine is released, the
@@ -656,6 +716,12 @@ func (c *Catalog) Info(name string) (Info, bool) {
 }
 
 func (c *Catalog) infoLocked(e *entry) Info {
+	if e.dirty {
+		return Info{
+			Name: e.Name, NumLeft: e.liveL, NumRight: e.liveR, NumEdges: e.liveEd,
+			CRC32: e.liveCRC, Persisted: e.persisted, Resident: e.eng != nil,
+		}
+	}
 	return Info{
 		Name: e.Name, NumLeft: e.NumLeft, NumRight: e.NumRight, NumEdges: e.NumEdges,
 		CRC32: e.CRC32, Persisted: e.persisted, Resident: e.eng != nil,

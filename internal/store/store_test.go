@@ -329,3 +329,66 @@ func TestInfoCRC32(t *testing.T) {
 		t.Fatal("different content shares a CRC")
 	}
 }
+
+func TestSwapResidentDirtyPinning(t *testing.T) {
+	dir := t.TempDir()
+	c := openCatalog(t, Config{Dir: dir})
+	oldEng := mustAdd(t, c, "g", testGraph(1), true)
+	before, _ := c.Info("g")
+
+	ng := testGraph(2)
+	newEng, info, err := c.SwapResident("g", ng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newEng == oldEng {
+		t.Fatal("swap returned the old engine")
+	}
+	if info.CRC32 == before.CRC32 {
+		t.Fatal("live CRC did not change")
+	}
+	if info.NumEdges != ng.NumEdges() || !info.Resident || !info.Persisted {
+		t.Fatalf("live info wrong: %+v", info)
+	}
+	// The old engine keeps serving its pinned readers.
+	if solutionsOf(t, oldEng) == 0 || solutionsOf(t, newEng) == 0 {
+		t.Fatal("an engine went dead across the swap")
+	}
+	// Dirty entries refuse eviction: the snapshot on disk is stale.
+	if c.Evict("g") {
+		t.Fatal("evicted a dirty entry")
+	}
+	got, err := c.Engine("g")
+	if err != nil || got != newEng {
+		t.Fatalf("Engine() = %v, %v; want the swapped engine", got, err)
+	}
+
+	// The manifest still records the base snapshot: a reopened catalog
+	// hydrates the ORIGINAL graph (its CRC check must pass) — journal
+	// replay, owned by the caller, is what reapplies the delta.
+	c.Close()
+	c2 := openCatalog(t, Config{Dir: dir})
+	info2, ok := c2.Info("g")
+	if !ok || info2.CRC32 != before.CRC32 {
+		t.Fatalf("reopened info %+v, want base CRC %08x", info2, before.CRC32)
+	}
+	if _, err := c2.Engine("g"); err != nil {
+		t.Fatalf("hydrating base snapshot after dirty shutdown: %v", err)
+	}
+}
+
+func TestSwapResidentEphemeral(t *testing.T) {
+	c := openCatalog(t, Config{})
+	mustAdd(t, c, "g", testGraph(1), false)
+	ng := testGraph(3)
+	_, info, err := c.SwapResident("g", ng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumEdges != ng.NumEdges() || info.Persisted {
+		t.Fatalf("info: %+v", info)
+	}
+	if _, _, err := c.SwapResident("missing", ng, nil); err == nil {
+		t.Fatal("swap of unknown graph must fail")
+	}
+}
