@@ -6,6 +6,7 @@
 //
 //	kbench [-quick|-full] [-run regexp] [-o report.json]
 //	       [-baseline BENCH_PR3.json [-threshold 0.25] [-time-threshold 0]]
+//	kbench -scaling [-quick|-full] [-o report.json]
 //	kbench -list
 //
 // Exit codes: 0 success, 1 baseline regression, 2 usage or runtime error.
@@ -18,6 +19,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 
 	"repro/internal/bench"
 )
@@ -38,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threshold = fs.Float64("threshold", 0.25, "tolerated relative allocs/op growth for -baseline (0 = strict, negative disables)")
 		timeThr   = fs.Float64("time-threshold", 0, "when >0, also gate -baseline on relative ns/op growth (same-machine baselines only)")
 		list      = fs.Bool("list", false, "list the scenario catalog and exit")
+		scaling   = fs.Bool("scaling", false, "replay the parallel and sharded workloads across workers/shards 1,2,4,8 and add a scaling section to the report; alone it skips the scenario sweep")
 		quiet     = fs.Bool("q", false, "suppress per-scenario progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,14 +88,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		cfg.Progress = func(line string) { fmt.Fprintln(stderr, line) }
 	}
-	rep, err := bench.Run(cfg)
-	if err != nil {
-		fmt.Fprintf(stderr, "kbench: %v\n", err)
-		return 2
+
+	// -scaling with no explicit scenario selection runs only the curves;
+	// combined with -quick/-full/-run it appends the section to a normal
+	// sweep.
+	scalingOnly := *scaling && !*quick && !*full && *filter == ""
+	var rep *bench.Report
+	if scalingOnly {
+		rep = &bench.Report{
+			Schema:    bench.SchemaVersion,
+			Profile:   "scaling",
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+		}
+	} else {
+		var err error
+		rep, err = bench.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			return 2
+		}
+		if len(rep.Scenarios) == 0 {
+			fmt.Fprintln(stderr, "kbench: no scenarios selected")
+			return 2
+		}
 	}
-	if len(rep.Scenarios) == 0 {
-		fmt.Fprintln(stderr, "kbench: no scenarios selected")
-		return 2
+	if *scaling {
+		sc, err := bench.RunScaling(nil, cfg.Progress)
+		if err != nil {
+			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			return 2
+		}
+		rep.Scaling = sc
 	}
 
 	data, err := bench.EncodeReport(rep)

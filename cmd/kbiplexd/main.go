@@ -5,6 +5,7 @@
 //	kbiplexd -addr :8377 -load orders=orders.txt -load web=web.txt
 //	kbiplexd -data-dir /var/lib/kbiplex -mem-budget-mb 4096
 //	kbiplexd -max-results 10000 -query-timeout 30s -spill /var/tmp/kbiplex
+//	kbiplexd -pprof-addr localhost:6060
 //
 // Graphs preloaded with -load (and any loaded later via POST /graphs)
 // are each wrapped in a query engine that caches the transpose and
@@ -69,6 +70,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -122,6 +124,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cachePersist = fs.Bool("result-cache-persist", false, "persist popular result-cache spools under <data-dir>/rescache across restarts (needs -data-dir)")
 		compactOps   = fs.Int("journal-compact-ops", 0, "mutation-journal ops per graph before the delta compacts into a fresh snapshot (0 = default 4096)")
 		noSync       = fs.Bool("journal-no-sync", false, "skip the per-batch mutation-journal fsync (faster writes; a host crash can lose recent batches)")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off). The profiling listener is unauthenticated — bind it to loopback or a management network, never the service address")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -202,6 +205,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "kbiplexd: loaded %s: |L|=%d |R|=%d |E|=%d\n",
 			name, g.NumLeft(), g.NumRight(), g.NumEdges())
+	}
+
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so exposure is an explicit
+		// operator decision, separate from the service address, and an
+		// overloaded service port cannot starve profile collection. The
+		// mux carries only the pprof routes — nothing else ever hangs off
+		// this listener.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		defer pln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(pln, mux)
+		fmt.Fprintf(stdout, "kbiplexd: pprof on %s\n", pln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

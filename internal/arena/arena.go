@@ -1,0 +1,103 @@
+// Package arena provides a bump allocator for the int32 vertex-id
+// slices of the enumeration hot path.
+//
+// The traversal engine extends every local solution into a full one,
+// then either discards the extension (dedup hit, exclusion prune) or
+// retains it as a solution. Retentions are the minority by a wide
+// margin, yet the extension routines used to heap-allocate their result
+// slices unconditionally — the single largest allocation site of the
+// engine. With an arena the discipline becomes: candidate sets and
+// scratch results are bump-allocated against a Mark, retained solutions
+// are cloned out to the heap (ownership transfer, see core's emit and
+// onChild contracts), and the whole region is released in O(1) when the
+// expansion step — or the shard's work unit — retires.
+//
+// An Arena is single-goroutine, like the engine that owns it. Release
+// follows stack discipline: marks must be released in LIFO order, which
+// the engine's recursion satisfies by construction.
+package arena
+
+const (
+	// minChunk keeps tiny first allocations from fragmenting into many
+	// chunks; one chunk handles thousands of typical solution slices.
+	minChunk = 8192
+	// maxChunk bounds the growth doubling so a pathological run does not
+	// hold multi-hundred-MB chunks after Release.
+	maxChunk = 1 << 20
+)
+
+// Arena is a chunked bump allocator handing out []int32 scratch. The
+// zero value is ready to use.
+type Arena struct {
+	chunks [][]int32
+	ci     int // index of the active chunk
+	off    int // words used in the active chunk
+	next   int // size of the next chunk to allocate
+}
+
+// Mark is a position in the arena; Release rewinds to it.
+type Mark struct {
+	ci, off int
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Make returns a slice with length 0 and capacity n carved out of the
+// arena. Appending beyond n spills the slice to the heap silently —
+// callers size n exactly. n must be non-negative.
+func (a *Arena) Make(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	for a.ci < len(a.chunks) {
+		c := a.chunks[a.ci]
+		if a.off+n <= len(c) {
+			s := c[a.off : a.off : a.off+n]
+			a.off += n
+			return s
+		}
+		a.ci++
+		a.off = 0
+	}
+	size := a.next
+	if size < minChunk {
+		size = minChunk
+	}
+	if size < n {
+		size = n
+	}
+	if a.next = size * 2; a.next > maxChunk {
+		a.next = maxChunk
+	}
+	c := make([]int32, size)
+	a.chunks = append(a.chunks, c)
+	a.ci = len(a.chunks) - 1
+	a.off = n
+	return c[0:0:n]
+}
+
+// Mark captures the current position.
+func (a *Arena) Mark() Mark { return Mark{ci: a.ci, off: a.off} }
+
+// Release rewinds the arena to m, reclaiming every Make since in O(1).
+// The reclaimed slices must no longer be referenced. Marks release in
+// LIFO order.
+func (a *Arena) Release(m Mark) {
+	a.ci, a.off = m.ci, m.off
+}
+
+// Reset reclaims everything, keeping the chunks for reuse.
+func (a *Arena) Reset() {
+	a.ci, a.off = 0, 0
+}
+
+// Footprint reports the total words currently held by the arena's
+// chunks, a capacity-planning observability hook.
+func (a *Arena) Footprint() int {
+	n := 0
+	for _, c := range a.chunks {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package arena
+
+import "testing"
+
+func TestMakeSizesAndIsolation(t *testing.T) {
+	a := New()
+	s1 := append(a.Make(3), 1, 2, 3)
+	s2 := append(a.Make(2), 4, 5)
+	if cap(s1) != 3 || cap(s2) != 2 {
+		t.Fatalf("caps = %d, %d; want 3, 2", cap(s1), cap(s2))
+	}
+	if s1[0] != 1 || s1[2] != 3 || s2[0] != 4 || s2[1] != 5 {
+		t.Fatalf("slices overlap: %v %v", s1, s2)
+	}
+	// Appending past capacity must spill to the heap, not clobber the
+	// neighbor.
+	s1 = append(s1, 9)
+	if s2[0] != 4 {
+		t.Fatalf("append spill clobbered neighbor: %v", s2)
+	}
+	if a.Make(0) != nil {
+		t.Fatal("Make(0) should be nil")
+	}
+}
+
+func TestMarkRelease(t *testing.T) {
+	a := New()
+	m0 := a.Mark()
+	_ = append(a.Make(100), 7)
+	m1 := a.Mark()
+	big := a.Make(minChunk * 2) // forces a fresh oversized chunk
+	if cap(big) != minChunk*2 {
+		t.Fatalf("oversized Make cap = %d", cap(big))
+	}
+	a.Release(m1)
+	// Reuse must hand back the same region the released slice occupied.
+	again := a.Make(minChunk * 2)
+	if cap(again) != minChunk*2 {
+		t.Fatalf("post-release Make cap = %d", cap(again))
+	}
+	a.Release(m0)
+	s := append(a.Make(1), 42)
+	if s[0] != 42 {
+		t.Fatal("post-release slice unusable")
+	}
+	before := a.Footprint()
+	a.Reset()
+	if a.Footprint() != before {
+		t.Fatal("Reset must keep chunks")
+	}
+}
+
+func TestManySmall(t *testing.T) {
+	a := New()
+	var all [][]int32
+	for i := 0; i < 10000; i++ {
+		s := append(a.Make(4), int32(i), int32(i+1), int32(i+2), int32(i+3))
+		all = append(all, s)
+	}
+	for i, s := range all {
+		if s[0] != int32(i) || s[3] != int32(i+3) {
+			t.Fatalf("slice %d corrupted: %v", i, s)
+		}
+	}
+}

@@ -70,6 +70,10 @@ type Report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	Scenarios []Result `json:"scenarios"`
+	// Scaling is the optional multi-core scaling section (kbench
+	// -scaling). Compare ignores it: the curves describe the machine,
+	// not the code, and gate nothing.
+	Scaling *ScalingReport `json:"scaling,omitempty"`
 }
 
 // RunConfig selects and observes a harness run.

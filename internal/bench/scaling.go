@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	kbiplex "repro"
+	"repro/internal/gen"
+)
+
+// ScalingLevels is the concurrency ladder the scaling mode replays:
+// workers (parallel driver) and shards (sharded runtime) take each of
+// these values in turn.
+var ScalingLevels = []int{1, 2, 4, 8}
+
+// ScalingPoint is one (concurrency, time) measurement of a curve.
+type ScalingPoint struct {
+	// Concurrency is the workers / shards setting of this run.
+	Concurrency int `json:"concurrency"`
+	// Iters and NsPerOp come from testing.Benchmark, like a Result.
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Count is the run's solution count — identical across the whole
+	// curve by construction; recorded per point as the cross-check.
+	Count int64 `json:"count"`
+	// Speedup is point-1's ns/op divided by this point's, i.e. the
+	// classic speedup-over-sequential ratio (1.0 at concurrency 1).
+	Speedup float64 `json:"speedup"`
+}
+
+// ScalingCurve is one scenario replayed across the concurrency ladder.
+type ScalingCurve struct {
+	// Name is the catalog scenario the curve replays.
+	Name string `json:"name"`
+	// Param says what Concurrency varies: "workers" or "shards".
+	Param  string         `json:"param"`
+	Points []ScalingPoint `json:"points"`
+}
+
+// ScalingReport is the optional "scaling" section of a kbench report.
+// The hardware context matters more here than anywhere else in the
+// report — a flat curve on GOMAXPROCS=1 is expected, not a regression —
+// so the section records it explicitly.
+type ScalingReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Curves     []ScalingCurve `json:"curves"`
+}
+
+// RunScaling measures the multi-core scaling story: the parallel driver
+// (micro/enumerate-parallel's workload) across worker counts and the
+// sharded runtime (core/sharded's workload) across shard counts, each
+// on the same graph and seed as the catalog scenario it replays. The
+// solution count must agree across every level of a curve — a
+// disagreement means a concurrency bug, and is returned as an error,
+// not a slow point.
+//
+// GOMAXPROCS is honored, never overridden: the point of the mode is to
+// record what the current machine delivers, and the report carries the
+// setting so curves from different machines are not compared blindly.
+func RunScaling(levels []int, progress func(line string)) (*ScalingReport, error) {
+	if len(levels) == 0 {
+		levels = ScalingLevels
+	}
+	rep := &ScalingReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	parallel := kbiplex.NewEngine(gen.ER(50, 50, 2, seedParallel), kbiplex.EngineConfig{})
+	parallel.Warm()
+	curve, err := scalingCurve("micro/enumerate-parallel", "workers", levels, progress, func(w int) (int64, error) {
+		st, err := parallel.EnumerateParallel(context.Background(), kbiplex.Options{K: 1}, w, nil)
+		if err != nil {
+			return 0, err
+		}
+		return st.Solutions, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Curves = append(rep.Curves, curve)
+
+	sharded := kbiplex.NewEngine(gen.ER(40, 40, 2, seedShard), kbiplex.EngineConfig{})
+	sharded.Warm()
+	curve, err = scalingCurve("core/sharded", "shards", levels, progress, func(s int) (int64, error) {
+		st, err := sharded.EnumerateSharded(context.Background(), kbiplex.Options{K: 1, Shards: s}, nil)
+		if err != nil {
+			return 0, err
+		}
+		return st.Solutions, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Curves = append(rep.Curves, curve)
+	return rep, nil
+}
+
+// scalingCurve measures one workload across the concurrency ladder.
+func scalingCurve(name, param string, levels []int, progress func(line string), run func(c int) (int64, error)) (ScalingCurve, error) {
+	curve := ScalingCurve{Name: name, Param: param}
+	for _, c := range levels {
+		if c < 1 {
+			return curve, fmt.Errorf("bench: scaling level %d out of range", c)
+		}
+		// Untimed warm-up run doubles as the count cross-check.
+		count, err := run(c)
+		if err != nil {
+			return curve, fmt.Errorf("bench: %s at %s=%d: %w", name, param, c, err)
+		}
+		if len(curve.Points) > 0 && count != curve.Points[0].Count {
+			return curve, fmt.Errorf("bench: %s count diverged: %d solutions at %s=%d, %d at %s=%d",
+				name, curve.Points[0].Count, param, curve.Points[0].Concurrency, count, param, c)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("scaling %s %s=%d", name, param, c))
+		}
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, err := run(c)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if n != count {
+					runErr = fmt.Errorf("count diverged mid-run: %d vs %d", n, count)
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return curve, fmt.Errorf("bench: %s at %s=%d: %w", name, param, c, runErr)
+		}
+		pt := ScalingPoint{Concurrency: c, Iters: br.N, Count: count}
+		if br.N > 0 {
+			pt.NsPerOp = float64(br.T.Nanoseconds()) / float64(br.N)
+		}
+		if base := curve.Points; len(base) == 0 {
+			pt.Speedup = 1
+		} else if pt.NsPerOp > 0 {
+			pt.Speedup = base[0].NsPerOp / pt.NsPerOp
+		}
+		curve.Points = append(curve.Points, pt)
+		if progress != nil {
+			progress(fmt.Sprintf("  %s %s=%d: %.0f ns/op, speedup %.2fx, count=%d",
+				name, param, c, pt.NsPerOp, pt.Speedup, count))
+		}
+	}
+	return curve, nil
+}

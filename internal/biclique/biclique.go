@@ -31,10 +31,14 @@ func Enumerate(g *bigraph.Graph, opts Options, emit func(biplex.Pair) bool) int6
 	e.lset = bitset.New(g.NumLeft())
 	e.rset = bitset.New(g.NumRight())
 	n := g.NumLeft() + g.NumRight()
+	e.pool = bitset.NewPool(n)
+	// leftMask holds the left half of the combined id space; a single
+	// IntersectCount against it splits a candidate set by side without
+	// walking its members.
+	e.leftMask = bitset.New(g.NumLeft())
+	e.leftMask.Fill()
 	cand := bitset.New(n)
-	for i := 0; i < n; i++ {
-		cand.Add(i)
-	}
+	cand.Fill()
 	e.recurse(cand, bitset.New(n))
 	return e.solutions
 }
@@ -48,6 +52,8 @@ type enumerator struct {
 
 	lset, rset *bitset.Set
 	nl, nr     int
+	pool       *bitset.Pool // recycles the per-branch cand/excl sets
+	leftMask   *bitset.Set
 }
 
 func (e *enumerator) canAdd(x int) bool {
@@ -103,17 +109,11 @@ func (e *enumerator) recurse(cand, excl *bitset.Set) {
 		e.stopped = true
 		return
 	}
-	// Size pruning.
+	// Size pruning: split the candidate set by side with one masked
+	// popcount pass per side instead of a per-member walk.
 	if e.opts.ThetaL > 0 || e.opts.ThetaR > 0 {
-		candL, candR := 0, 0
-		cand.ForEach(func(x int) bool {
-			if x < e.g.NumLeft() {
-				candL++
-			} else {
-				candR++
-			}
-			return true
-		})
+		candL := bitset.IntersectCount(cand, e.leftMask)
+		candR := cand.Count() - candL
 		if e.nl+candL < e.opts.ThetaL || e.nr+candR < e.opts.ThetaR {
 			return
 		}
@@ -144,14 +144,14 @@ func (e *enumerator) recurse(cand, excl *bitset.Set) {
 
 	if e.canAdd(x) {
 		e.add(x)
-		candIn := bitset.New(cand.Cap())
+		candIn := e.pool.Get()
 		cand.ForEach(func(y int) bool {
 			if y != x && e.canAdd(y) {
 				candIn.Add(y)
 			}
 			return true
 		})
-		exclIn := bitset.New(excl.Cap())
+		exclIn := e.pool.Get()
 		excl.ForEach(func(y int) bool {
 			if e.canAdd(y) {
 				exclIn.Add(y)
@@ -160,14 +160,18 @@ func (e *enumerator) recurse(cand, excl *bitset.Set) {
 		})
 		e.recurse(candIn, exclIn)
 		e.remove(x)
+		e.pool.Put(candIn)
+		e.pool.Put(exclIn)
 		if e.stopped {
 			return
 		}
 	}
 
-	candOut := cand.Clone()
+	candOut := e.pool.GetCopy(cand)
 	candOut.Remove(x)
-	exclOut := excl.Clone()
+	exclOut := e.pool.GetCopy(excl)
 	exclOut.Add(x)
 	e.recurse(candOut, exclOut)
+	e.pool.Put(candOut)
+	e.pool.Put(exclOut)
 }

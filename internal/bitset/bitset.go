@@ -109,11 +109,16 @@ func (s *Set) Union(o *Set) {
 	}
 }
 
-// Intersect sets s = s ∩ o.
+// Intersect sets s = s ∩ o. Ids beyond o's capacity are cleared: a
+// shorter operand behaves as the set it is, not as a mask over its own
+// words only.
 func (s *Set) Intersect(o *Set) {
 	s.checkCap(o)
 	for i, w := range o.words {
 		s.words[i] &= w
+	}
+	for i := len(o.words); i < len(s.words); i++ {
+		s.words[i] = 0
 	}
 }
 
@@ -189,16 +194,21 @@ func (s *Set) ForEach(fn func(id int) bool) {
 }
 
 // AppendTo appends the ids of the set, ascending, to dst and returns the
-// extended slice.
+// extended slice. It iterates words directly — no per-id closure call —
+// which is what makes materializing a solution a memcpy-speed operation.
 func (s *Set) AppendTo(dst []int32) []int32 {
-	s.ForEach(func(id int) bool {
-		dst = append(dst, int32(id))
-		return true
-	})
+	for wi, w := range s.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
 	return dst
 }
 
-// Slice returns the ids in the set in ascending order.
+// Slice returns the ids in the set in ascending order: one Count pass to
+// size the allocation, one word pass to fill it.
 func (s *Set) Slice() []int32 {
 	return s.AppendTo(make([]int32, 0, s.Count()))
 }

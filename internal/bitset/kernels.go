@@ -1,0 +1,114 @@
+package bitset
+
+import "math/bits"
+
+// Destination-form and counting kernels. The enumeration hot paths used
+// to spell set algebra as Clone()-then-mutate — two passes over the
+// words plus one heap allocation per operation — or materialized an
+// intermediate set only to count it or test it for emptiness. The
+// kernels below fuse those spellings into single word-level passes with
+// no allocation.
+//
+// Capacity contract (matching checkCap): the destination's capacity
+// must be at least the first operand's, and every further operand's
+// capacity must not exceed the first's. Words the shorter operand lacks
+// are treated as zero, exactly as Clone-then-mutate would leave them.
+
+// IntersectInto sets dst = a ∩ b in one pass. dst may alias a or b.
+func IntersectInto(dst, a, b *Set) {
+	dst.checkDst(a)
+	a.checkCap(b)
+	m := len(b.words)
+	for i, w := range a.words[:m] {
+		dst.words[i] = w & b.words[i]
+	}
+	for i := m; i < len(a.words); i++ {
+		dst.words[i] = 0
+	}
+	dst.zeroPast(len(a.words))
+}
+
+// UnionInto sets dst = a ∪ b in one pass. dst may alias a or b.
+func UnionInto(dst, a, b *Set) {
+	dst.checkDst(a)
+	a.checkCap(b)
+	m := len(b.words)
+	for i, w := range a.words[:m] {
+		dst.words[i] = w | b.words[i]
+	}
+	copy(dst.words[m:len(a.words)], a.words[m:])
+	dst.zeroPast(len(a.words))
+}
+
+// SubtractInto sets dst = a \ b in one pass. dst may alias a or b.
+func SubtractInto(dst, a, b *Set) {
+	dst.checkDst(a)
+	a.checkCap(b)
+	m := len(b.words)
+	for i, w := range a.words[:m] {
+		dst.words[i] = w &^ b.words[i]
+	}
+	copy(dst.words[m:len(a.words)], a.words[m:])
+	dst.zeroPast(len(a.words))
+}
+
+// IntersectCount returns |a ∩ b| without materializing the intersection.
+func IntersectCount(a, b *Set) int {
+	m := len(a.words)
+	if len(b.words) < m {
+		m = len(b.words)
+	}
+	c := 0
+	for i := 0; i < m; i++ {
+		c += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return c
+}
+
+// IntersectAny3 reports whether a ∩ b ∩ c is non-empty, in one fused
+// pass with no intermediate set.
+func IntersectAny3(a, b, c *Set) bool {
+	m := len(a.words)
+	if len(b.words) < m {
+		m = len(b.words)
+	}
+	if len(c.words) < m {
+		m = len(c.words)
+	}
+	for i := 0; i < m; i++ {
+		if a.words[i]&b.words[i]&c.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill adds every id in [0, Cap()) to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := uint(s.n) % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Words exposes the backing word slice, least-significant id first.
+// Callers must treat it as read-only; it is the word-granularity
+// iteration surface the traversal kernels batch over.
+func (s *Set) Words() []uint64 { return s.words }
+
+// checkDst verifies that dst can hold every word of operand a.
+func (s *Set) checkDst(a *Set) {
+	if len(a.words) > len(s.words) {
+		panic("bitset: operand capacity exceeds destination")
+	}
+}
+
+// zeroPast zeroes every destination word from index n on, so a result
+// over a shorter operand leaves no stale bits in a longer destination.
+func (s *Set) zeroPast(n int) {
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}

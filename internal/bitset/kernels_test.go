@@ -1,0 +1,195 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive Clone-then-mutate spellings the kernels replace; the differential
+// fuzz test below holds the kernels to exactly these semantics.
+func naiveIntersect(a, b *Set) *Set { c := a.Clone(); c.Intersect(b); return c }
+func naiveUnion(a, b *Set) *Set     { c := a.Clone(); c.Union(b); return c }
+func naiveSubtract(a, b *Set) *Set  { c := a.Clone(); c.Subtract(b); return c }
+
+func randomSet(rng *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b, c := randomSet(rng, n), randomSet(rng, n), randomSet(rng, n)
+		checkKernels(t, a, b, c)
+	}
+}
+
+func TestKernelsShorterOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 65 + rng.Intn(300)
+		a := randomSet(rng, n)
+		b := randomSet(rng, 1+rng.Intn(n)) // strictly smaller capacity allowed
+		checkKernels(t, a, b, randomSet(rng, 1+rng.Intn(n)))
+	}
+}
+
+func checkKernels(t *testing.T, a, b, c *Set) {
+	t.Helper()
+	dst := New(a.Cap())
+	IntersectInto(dst, a, b)
+	if want := naiveIntersect(a, b); !dst.Equal(want) {
+		t.Fatalf("IntersectInto(%v, %v) = %v, want %v", a, b, dst, want)
+	}
+	if got, want := IntersectCount(a, b), naiveIntersect(a, b).Count(); got != want {
+		t.Fatalf("IntersectCount(%v, %v) = %d, want %d", a, b, got, want)
+	}
+	UnionInto(dst, a, b)
+	if want := naiveUnion(a, b); !dst.Equal(want) {
+		t.Fatalf("UnionInto(%v, %v) = %v, want %v", a, b, dst, want)
+	}
+	SubtractInto(dst, a, b)
+	if want := naiveSubtract(a, b); !dst.Equal(want) {
+		t.Fatalf("SubtractInto(%v, %v) = %v, want %v", a, b, dst, want)
+	}
+	ab := naiveIntersect(a, b)
+	if got, want := IntersectAny3(a, b, c), !naiveIntersect(ab, c).Empty(); got != want {
+		t.Fatalf("IntersectAny3(%v, %v, %v) = %v, want %v", a, b, c, got, want)
+	}
+	// Aliased destination: dst == a.
+	alias := a.Clone()
+	IntersectInto(alias, alias, b)
+	if want := naiveIntersect(a, b); !alias.Equal(want) {
+		t.Fatalf("aliased IntersectInto = %v, want %v", alias, want)
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("Fill: Count() = %d, want %d", s.Count(), n)
+		}
+		if n > 0 && s.Next(0) != 0 {
+			t.Fatalf("Fill: Next(0) = %d, want 0", s.Next(0))
+		}
+		// No stray bit beyond capacity: clearing all valid ids must empty it.
+		for i := 0; i < n; i++ {
+			s.Remove(i)
+		}
+		if !s.Empty() {
+			t.Fatalf("Fill set a bit beyond capacity %d", n)
+		}
+	}
+}
+
+func TestKernelCapacityPanics(t *testing.T) {
+	big, small := New(130), New(64)
+	cases := map[string]func(){
+		"IntersectInto-dst":  func() { IntersectInto(small, big, big) },
+		"UnionInto-dst":      func() { UnionInto(small, big, big) },
+		"SubtractInto-dst":   func() { SubtractInto(small, big, big) },
+		"IntersectInto-oper": func() { IntersectInto(big, small, big) },
+		"UnionInto-oper":     func() { UnionInto(big, small, big) },
+		"SubtractInto-oper":  func() { SubtractInto(big, small, big) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: capacity mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzBitsetKernels cross-checks every destination-form and counting
+// kernel against the naive Clone-then-mutate spelling on fuzz-chosen
+// sets, including mismatched (smaller-operand) capacities.
+func FuzzBitsetKernels(f *testing.F) {
+	f.Add(uint16(64), uint16(64), []byte{0xff, 0x01}, []byte{0x10, 0x80}, []byte{0x0f})
+	f.Add(uint16(130), uint16(3), []byte{0xaa}, []byte{0x55}, []byte{})
+	f.Add(uint16(1), uint16(1), []byte{}, []byte{}, []byte{0x01})
+	f.Fuzz(func(t *testing.T, na, nb uint16, abits, bbits, cbits []byte) {
+		// Cap sizes so the fuzzer explores word boundaries, not allocation.
+		nA := 1 + int(na)%512
+		nB := 1 + int(nb)%512
+		if nB > nA {
+			nA, nB = nB, nA // operand capacity must not exceed the first's
+		}
+		fill := func(n int, raw []byte) *Set {
+			s := New(n)
+			for i, by := range raw {
+				for b := 0; b < 8; b++ {
+					if by&(1<<b) != 0 {
+						if id := i*8 + b; id < n {
+							s.Add(id)
+						}
+					}
+				}
+			}
+			return s
+		}
+		a, b, c := fill(nA, abits), fill(nB, bbits), fill(nB, cbits)
+
+		dst := New(nA)
+		IntersectInto(dst, a, b)
+		if want := naiveIntersect(a, b); !dst.Equal(want) {
+			t.Fatalf("IntersectInto mismatch: got %v want %v", dst, want)
+		}
+		if got, want := IntersectCount(a, b), naiveIntersect(a, b).Count(); got != want {
+			t.Fatalf("IntersectCount = %d, want %d", got, want)
+		}
+		UnionInto(dst, a, b)
+		if want := naiveUnion(a, b); !dst.Equal(want) {
+			t.Fatalf("UnionInto mismatch: got %v want %v", dst, want)
+		}
+		SubtractInto(dst, a, b)
+		if want := naiveSubtract(a, b); !dst.Equal(want) {
+			t.Fatalf("SubtractInto mismatch: got %v want %v", dst, want)
+		}
+		ab := naiveIntersect(a, b)
+		if got, want := IntersectAny3(a, b, c), !naiveIntersect(ab, c).Empty(); got != want {
+			t.Fatalf("IntersectAny3 = %v, want %v", got, want)
+		}
+		// AppendTo/Slice word iteration vs the closure-based ForEach.
+		var viaForEach []int32
+		a.ForEach(func(id int) bool { viaForEach = append(viaForEach, int32(id)); return true })
+		got := a.Slice()
+		if len(got) != len(viaForEach) {
+			t.Fatalf("Slice len %d, ForEach len %d", len(got), len(viaForEach))
+		}
+		for i := range got {
+			if got[i] != viaForEach[i] {
+				t.Fatalf("Slice[%d] = %d, ForEach saw %d", i, got[i], viaForEach[i])
+			}
+		}
+		// Mismatched-capacity panic coverage matching checkCap semantics:
+		// an operand with MORE WORDS than the receiver/destination must
+		// panic (checkCap compares word counts, not bit capacities).
+		if (nB+63)/64 < (nA+63)/64 {
+			mustPanic := func(name string, fn func()) {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s with oversized operand did not panic", name)
+					}
+				}()
+				fn()
+			}
+			small := New(nB)
+			// Destination too small for the first operand.
+			mustPanic("IntersectInto", func() { IntersectInto(small, a, b) })
+			// Second operand exceeds the first.
+			mustPanic("UnionInto", func() { UnionInto(small, small, a) })
+		}
+	})
+}

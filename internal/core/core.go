@@ -18,8 +18,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
+	"repro/internal/arena"
 	"repro/internal/bigraph"
 	"repro/internal/biplex"
 	"repro/internal/bitset"
@@ -214,6 +216,54 @@ type engine struct {
 	raLtight  []int32            // rightAddable's tight-member scratch
 	raSeen    map[int32]struct{} // rightAddable's candidate dedup
 	missLFree []map[int32]int    // expandSide's per-frame δ̄(u, L) maps
+
+	// ar carves the extension result slices out of bump-allocated
+	// chunks. processLocal marks before extending, clones the slices to
+	// the heap only when the child solution is retained, and releases
+	// the whole region otherwise — the Mark/Release pairing nests with
+	// the recursion, so the stack discipline holds by construction.
+	ar arena.Arena
+	// frameFree recycles expandSide frames (and their emit closures):
+	// one closure per frame instead of one per EnumAlmostSat call, and
+	// zero once the free list warms up.
+	frameFree []*expandFrame
+	// easRuns and extSc keep the two highest-frequency scratch
+	// structures engine-owned rather than in the package sync.Pools: a
+	// GC cycle cannot drain them, so the engine's steady-state
+	// allocation count is deterministic (the CI allocation gates pin
+	// it). extSc needs no stack — extension calls on one engine never
+	// overlap — while EAS re-enters through the recursion and gets a
+	// LIFO free list.
+	easRuns easRunStack
+	extSc   extendScratch
+	// frontPool / frontPoolT recycle the per-frame expansion frontier
+	// bitsets (one pool per orientation: the mirrored pass of
+	// bTraversal runs over gT, whose left side is g's right side).
+	frontPool, frontPoolT *bitset.Pool
+}
+
+// getFront returns a frontier bitset of capacity g.NumLeft() for the
+// requested orientation; frames at different recursion depths hold
+// fronts concurrently, so each orientation's pool is a stack.
+func (e *engine) getFront(mirrored bool) *bitset.Set {
+	if mirrored {
+		if e.frontPoolT == nil {
+			e.frontPoolT = bitset.NewPool(e.gT.NumLeft())
+		}
+		return e.frontPoolT.Get()
+	}
+	if e.frontPool == nil {
+		e.frontPool = bitset.NewPool(e.g.NumLeft())
+	}
+	return e.frontPool.Get()
+}
+
+func (e *engine) putFront(mirrored bool, s *bitset.Set) {
+	if mirrored {
+		e.frontPoolT.Put(s)
+	} else {
+		e.frontPool.Put(s)
+	}
 }
 
 // getExcl returns a cleared exclusion set from the engine's pool.
@@ -247,6 +297,46 @@ func (e *engine) getMissL() map[int32]int {
 
 func (e *engine) putMissL(m map[int32]int) {
 	e.missLFree = append(e.missLFree, m)
+}
+
+// expandFrame carries one expandSide frame's loop state into the EAS
+// emit callback. Hoisting the callback here — built once per frame,
+// reading the current candidate from fr.v — removes the closure
+// allocation from the per-vertex inner loop; recycling frames through
+// the engine free list removes it from the frame setup too. Frames at
+// different recursion depths are live simultaneously, so the free list
+// is a stack, like missLFree.
+type expandFrame struct {
+	e        *engine
+	g        *bigraph.Graph
+	h        biplex.Pair
+	excl     *bitset.Set
+	depth    int
+	mirrored bool
+	v        int32
+	emit     easEmit
+}
+
+func (e *engine) getFrame() *expandFrame {
+	if k := len(e.frameFree); k > 0 {
+		fr := e.frameFree[k-1]
+		e.frameFree[k-1] = nil
+		e.frameFree = e.frameFree[:k-1]
+		return fr
+	}
+	fr := &expandFrame{e: e}
+	fr.emit = func(lp, rp []int32) bool {
+		fr.e.processLocal(fr.g, fr.h, fr.v, lp, rp, fr.excl, fr.depth, fr.mirrored)
+		return !fr.e.stopped
+	}
+	return fr
+}
+
+func (e *engine) putFrame(fr *expandFrame) {
+	// Drop references into the caller's graph and solution; the frame
+	// and its closure stay warm.
+	fr.g, fr.h, fr.excl = nil, biplex.Pair{}, nil
+	e.frameFree = append(e.frameFree, fr)
 }
 
 func (e *engine) run() {
@@ -348,40 +438,61 @@ func (e *engine) expandSide(g *bigraph.Graph, h biplex.Pair, excl *bitset.Set, d
 		missL[u] = len(h.L) - sortedIntersectCount(g.NeighR(u), h.L)
 	}
 
-	for v := int32(0); v < int32(g.NumLeft()); v++ {
-		if e.stopped {
-			return
-		}
-		if e.opts.Cancel != nil && e.opts.Cancel() {
-			e.stopped = true
-			return
-		}
-		if sortedContains(h.L, v) {
+	// Batched expansion frontier: the per-vertex membership and exclusion
+	// tests collapse into word-level set algebra up front — fill, clear
+	// the |L| member bits, subtract the exclusion set in one fused pass —
+	// and the loop then walks set bits in word-granularity chunks. Within
+	// this frame excl only ever gains v itself (children mutate copies),
+	// so the snapshot taken here is exact.
+	front := e.getFront(mirrored)
+	defer e.putFront(mirrored, front)
+	front.Fill()
+	for _, v := range h.L {
+		front.Remove(int(v))
+	}
+	if excl != nil {
+		front.Subtract(excl)
+	}
+	fr := e.getFrame()
+	defer e.putFrame(fr)
+	fr.g, fr.h, fr.excl, fr.depth, fr.mirrored = g, h, excl, depth, mirrored
+
+	words := front.Words()
+	for wi, w := range words {
+		if w == 0 {
 			continue
 		}
-		if excl != nil && excl.Contains(int(v)) {
-			continue // exclusion strategy: v's solutions were covered
-		}
-		degInR := sortedIntersectCount(g.NeighL(v), h.R)
-		if thetaR > 0 && degInR+kL < thetaR {
-			continue // almost-satisfying graph pruning (Section 5)
-		}
-		in := easInput{
-			g: g, kL: kL, kR: kR, L: h.L, R: h.R, missL: missL, v: v,
-			variant: e.opts.Variant, cancel: e.opts.Cancel,
-		}
-		if thetaR > 0 {
-			in.minRight = thetaR
-		}
-		e.stats.EASCalls++
-		locals, _ := enumAlmostSat(in, func(lp, rp []int32) bool {
-			e.processLocal(g, h, v, lp, rp, excl, depth, mirrored)
-			return !e.stopped
-		})
-		e.stats.LocalSolutions += int64(locals)
+		base := int32(wi * 64)
+		for w != 0 {
+			v := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			if e.stopped {
+				return
+			}
+			if e.opts.Cancel != nil && e.opts.Cancel() {
+				e.stopped = true
+				return
+			}
+			degInR := sortedIntersectCount(g.NeighL(v), h.R)
+			if thetaR > 0 && degInR+kL < thetaR {
+				continue // almost-satisfying graph pruning (Section 5)
+			}
+			in := easInput{
+				g: g, kL: kL, kR: kR, L: h.L, R: h.R, missL: missL, v: v,
+				variant: e.opts.Variant, cancel: e.opts.Cancel,
+				runs: &e.easRuns,
+			}
+			if thetaR > 0 {
+				in.minRight = thetaR
+			}
+			e.stats.EASCalls++
+			fr.v = v
+			locals, _ := enumAlmostSat(in, fr.emit)
+			e.stats.LocalSolutions += int64(locals)
 
-		if excl != nil && !e.stopped {
-			excl.Add(int(v))
+			if excl != nil && !e.stopped {
+				excl.Add(int(v))
+			}
 		}
 	}
 }
@@ -404,12 +515,22 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 		return // non-right-shrinking link (Algorithm 2 line 7)
 	}
 
-	// Step 3: extension to a maximal k-biplex.
+	// Step 3: extension to a maximal k-biplex. The result slices (and
+	// every fixpoint intermediate of extendBothSides) are bump-allocated
+	// against mark; most candidates are discarded below — exclusion
+	// prune or dedup hit — and release the whole region in O(1). Only a
+	// retained child is cloned out to the heap, which is what keeps the
+	// ownership-transfer contract of emit/onChild intact.
+	mark := e.ar.Mark()
 	var hl, hr []int32
 	if e.opts.RightShrinking {
-		hl, hr = extendLeftOnly(g, lcur, rp, kL, kR), rp
+		hl, hr = extendLeftOnly(g, lcur, rp, kL, kR, &e.ar, &e.extSc), rp
 	} else {
-		hl, hr = extendBothSides(g, lcur, rp, kL, kR)
+		gT := e.gT
+		if mirrored {
+			gT = e.g // g is already the transpose in the mirrored pass
+		}
+		hl, hr = extendBothSides(g, gT, lcur, rp, kL, kR, &e.ar, &e.extSc)
 	}
 
 	if excl != nil {
@@ -421,6 +542,7 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 			}
 		}
 		if blocked {
+			e.ar.Release(mark)
 			return // exclusion strategy prunes this link
 		}
 	}
@@ -429,14 +551,19 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 		e.stats.Links++
 	}
 
-	var hp biplex.Pair
+	// The dedup key is encoded in canonical (unmirrored) orientation
+	// straight from the arena slices; cloning waits until the child is
+	// known to be new.
+	keyL, keyR := hl, hr
 	if mirrored {
-		hp = biplex.Pair{L: append([]int32(nil), hr...), R: hl}
-	} else {
-		hp = biplex.Pair{L: hl, R: append([]int32(nil), hr...)}
+		keyL, keyR = hr, hl
 	}
-
+	var hp biplex.Pair
 	if e.opts.OnLink != nil {
+		// The OnLink hook receives heap pairs (package solgraph retains
+		// them); hooked runs pay the clone before the dedup check, like
+		// they always did.
+		hp = biplex.Pair{L: append([]int32(nil), keyL...), R: append([]int32(nil), keyR...)}
 		from := h
 		if mirrored {
 			// h arrived in the transposed orientation; swap it back.
@@ -445,11 +572,16 @@ func (e *engine) processLocal(g *bigraph.Graph, h biplex.Pair, v int32, lp, rp [
 		e.opts.OnLink(from, hp)
 	}
 	if !e.noDedup {
-		e.keyBuf = vskey.Encode(e.keyBuf[:0], hp.L, hp.R)
+		e.keyBuf = vskey.Encode(e.keyBuf[:0], keyL, keyR)
 		if !e.store.Insert(e.keyBuf) {
+			e.ar.Release(mark)
 			return // already traversed
 		}
 	}
+	if hp.L == nil {
+		hp = biplex.Pair{L: append([]int32(nil), keyL...), R: append([]int32(nil), keyR...)}
+	}
+	e.ar.Release(mark)
 	e.stats.Stored++
 
 	if e.onChild != nil {
@@ -627,5 +759,5 @@ func Describe(o Options) string {
 
 // sortInt32 sorts ids ascending (exported-size helper for tests).
 func sortInt32(a []int32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	slices.Sort(a)
 }

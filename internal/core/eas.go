@@ -63,7 +63,31 @@ type easInput struct {
 	variant  EASVariant
 	// cancel, when non-nil, aborts the enumeration cooperatively.
 	cancel func() bool
+	// runs, when non-nil, supplies the easRun scratch instead of the
+	// shared sync.Pool. An engine passes its own free list here: unlike
+	// a sync.Pool, it cannot be drained by a GC cycle, which keeps the
+	// hot path's allocation count deterministic run to run (the
+	// benchmark gates rely on that).
+	runs *easRunStack
 }
+
+// easRunStack is a single-goroutine free list of easRun scratch. The
+// stack discipline matches the call structure: enumAlmostSat re-enters
+// through emit → processLocal → visit → expandSide, so runs at
+// different depths are live at once and release in LIFO order.
+type easRunStack struct{ free []*easRun }
+
+func (s *easRunStack) get() *easRun {
+	if k := len(s.free); k > 0 {
+		e := s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+		return e
+	}
+	return new(easRun)
+}
+
+func (s *easRunStack) put(e *easRun) { s.free = append(s.free, e) }
 
 // easEmit receives each local solution: Lp ⊆ L (sorted, v NOT included)
 // and Rp ⊆ R (sorted). The slices are only valid during the call.
@@ -85,18 +109,29 @@ func enumAlmostSat(in easInput, emit easEmit) (int, bool) {
 	if in.variant == EASInflation {
 		return enumAlmostSatInflation(in, emit)
 	}
-	e := easPool.Get().(*easRun)
+	runs := in.runs
+	var e *easRun
+	if runs != nil {
+		e = runs.get()
+	} else {
+		e = easPool.Get().(*easRun)
+	}
 	e.easInput = in
 	e.emit = emit
 	e.count = 0
 	e.stopped = false
+	e.prime(len(in.L)+1, len(in.R)+1)
 	e.r1, e.r2, e.rsel = e.r1[:0], e.r2[:0], e.rsel[:0]
 	defer func() {
 		// Drop references into the caller's graph and solution before
 		// pooling; the scratch buffers keep their capacity.
 		e.easInput = easInput{}
 		e.emit = nil
-		easPool.Put(e)
+		if runs != nil {
+			runs.put(e)
+		} else {
+			easPool.Put(e)
+		}
 	}()
 
 	// Partition R into Rkeep = Γ(v, R) (in every local solution, Lemma
@@ -135,10 +170,10 @@ type easRun struct {
 	stopped bool
 
 	// Per-R'' scratch, rebuilt by processRSel.
-	rp      []int32       // R' = rkeep ∪ R''
-	rselBuf []int32       // sorted copy of rsel
-	rtight  []int32       // {u ∈ R'' : δ̄(u, L) = k}
-	missRp  map[int32]int // δ̄(v', R') for v' ∈ L
+	rp      []int32 // R' = rkeep ∪ R''
+	rselBuf []int32 // sorted copy of rsel
+	rtight  []int32 // {u ∈ R'' : δ̄(u, L) = k}
+	missRp  []int   // δ̄(L[i], R') positional over L — no map on the hot path
 	lremo   []int32
 	minimal [][]int32 // successful minimal removal sets (L2.0 pruning)
 	lsel    []int32   // currently selected removal set L̄
@@ -149,6 +184,41 @@ type easRun struct {
 	ltight  []int32
 	lbarBuf []int32
 	lpBuf   []int32
+
+	// primeL/primeR record the solution shape the scratch slices were
+	// last sized for (see prime).
+	primeL, primeR int
+}
+
+// prime sizes every scratch slice for a solution shape of nL left and
+// nR right members, carving them all from one block so a fresh easRun
+// costs two allocations instead of a dozen append-growth chains. The
+// engine traversal holds one easRun live per recursion level, so this
+// warm-up cost is paid per level per run and dominates the engine's
+// residual allocation count. The carved capacities are working sizes,
+// not hard limits — an append past one spills to the heap safely.
+func (e *easRun) prime(nL, nR int) {
+	if e.primeL >= nL && e.primeR >= nR {
+		return
+	}
+	if nL < e.primeL {
+		nL = e.primeL
+	}
+	if nR < e.primeR {
+		nR = e.primeR
+	}
+	block := make([]int32, 8*nR+5*nL)
+	take := func(n int) []int32 {
+		s := block[0:0:n]
+		block = block[n:]
+		return s
+	}
+	e.rkeep, e.renum, e.r1, e.r2 = take(nR), take(nR), take(nR), take(nR)
+	e.rsel, e.rp, e.rselBuf, e.rtight = take(nR), take(nR), take(nR), take(nR)
+	e.ltight, e.lbarBuf, e.lpBuf = take(nL), take(nL), take(nL)
+	e.lremo, e.lsel = take(nL), take(nL)
+	e.missRp = make([]int, 0, nL)
+	e.primeL, e.primeR = nL, nR
 }
 
 // enumR1 enumerates R” ⊆ renum with |R”| ≤ k (refined enumeration on R,
@@ -285,14 +355,10 @@ func (e *easRun) processRSel() {
 		}
 	}
 
-	// δ̄(v', R') for every v' ∈ L.
-	if e.missRp == nil {
-		e.missRp = make(map[int32]int, len(e.L))
-	} else {
-		clear(e.missRp)
-	}
+	// δ̄(v', R') for every v' ∈ L, positional over the sorted L.
+	e.missRp = e.missRp[:0]
 	for _, vp := range e.L {
-		e.missRp[vp] = len(e.rp) - sortedIntersectCount(e.g.NeighL(vp), e.rp)
+		e.missRp = append(e.missRp, len(e.rp)-sortedIntersectCount(e.g.NeighL(vp), e.rp))
 	}
 
 	// Lremo: left vertices missing at least one Rtight member. The break
@@ -399,11 +465,11 @@ func (e *easRun) tryCandidate(rsel []int32) {
 	// Ltight: members of L' already at k misses w.r.t. R'; any addable
 	// right vertex must connect all of them.
 	ltight := e.ltight[:0]
-	for _, vp := range e.L {
+	for i, vp := range e.L {
 		if len(e.lsel) > 0 && sortedContains32(e.lsel, vp) {
 			continue
 		}
-		if e.missRp[vp] == e.kL {
+		if e.missRp[i] == e.kL {
 			ltight = append(ltight, vp)
 		}
 	}

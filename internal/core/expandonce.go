@@ -32,7 +32,8 @@ func initialSolution(g *bigraph.Graph, kL, kR int, rightFull bool) biplex.Pair {
 		for i := range r {
 			r[i] = int32(i)
 		}
-		return biplex.Pair{L: extendLeftOnly(g, nil, r, kL, kR), R: r}
+		// nil arena: H0 is retained for the whole run.
+		return biplex.Pair{L: extendLeftOnly(g, nil, r, kL, kR, nil, nil), R: r}
 	}
 	return biplex.ExtendGreedyLR(g, biplex.Pair{}, kL, kR, nil, nil)
 }

@@ -1,17 +1,18 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/bigraph"
 )
 
 // extendScratch bundles the transient buffers of one extendLeftOnly
 // call. The function is the engine's hottest and does not recurse, so a
 // call checks a scratch out of extendPool, uses it exclusively, and
-// returns it before returning — only the result slice is freshly
-// allocated (it is retained by callers as part of a solution).
+// returns it before returning — only the result slice leaves the call,
+// bump-allocated from the caller's arena (heap when ar is nil).
 type extendScratch struct {
 	missArr  []int
 	missPos  []int32
@@ -40,9 +41,20 @@ var extendPool = sync.Pool{New: func() any { return new(extendScratch) }}
 // This avoids maps for small right sides entirely: candidate counting
 // sorts the concatenated neighbor lists of R, and the per-member miss
 // counters are positional over the sorted R.
-func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
-	sc := extendPool.Get().(*extendScratch)
-	defer extendPool.Put(sc)
+//
+// The result slice is carved out of ar when non-nil: the caller owns
+// the extension's lifetime (it is either discarded wholesale or cloned
+// out on retention) and releases the arena region in O(1). A nil ar
+// falls back to heap allocation for callers that retain the result
+// directly (the initial solution, tests).
+// A non-nil sc supplies the scratch buffers directly — an engine passes
+// its own (the call never overlaps another on the same engine), keeping
+// the hot path off the GC-drainable sync.Pool; nil falls back to it.
+func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int, ar *arena.Arena, sc *extendScratch) []int32 {
+	if sc == nil {
+		sc = extendPool.Get().(*extendScratch)
+		defer extendPool.Put(sc)
+	}
 
 	// Miss counts of right members are computed lazily: only positions a
 	// candidate actually misses are ever needed (at most kL per
@@ -133,9 +145,18 @@ func extendLeftOnly(g *bigraph.Graph, L, R []int32, kL, kR int) []int32 {
 	}
 	sc.added, sc.missPos = added, missPos
 	if len(added) == 0 {
-		return append([]int32(nil), L...)
+		return append(allocIDs(ar, len(L)), L...)
 	}
-	return sortedMerge(make([]int32, 0, len(L)+len(added)), L, added)
+	return sortedMerge(allocIDs(ar, len(L)+len(added)), L, added)
+}
+
+// allocIDs returns an empty id slice of capacity n from the arena, or
+// the heap when ar is nil.
+func allocIDs(ar *arena.Arena, n int) []int32 {
+	if ar != nil {
+		return ar.Make(n)
+	}
+	return make([]int32, 0, n)
 }
 
 // leftCandidates returns, ascending, the left vertices outside L that
@@ -197,7 +218,10 @@ func leftCandidates(g *bigraph.Graph, L, R []int32, kL int, sc *extendScratch) [
 		all = append(all, g.NeighR(u)...)
 	}
 	sc.all = all
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// slices.Sort, not sort.Slice: the reflect-based swapper and the
+	// comparison closure were two heap allocations per call in the
+	// engine's hottest loop.
+	slices.Sort(all)
 	for i, w := range all {
 		if i > 0 && all[i-1] == w {
 			continue
@@ -212,14 +236,15 @@ func leftCandidates(g *bigraph.Graph, L, R []int32, kL int, sc *extendScratch) [
 // extendBothSides grows the (kL, kR)-biplex (L, R) to a maximal one by
 // alternately scanning both sides in ascending order until a fixpoint, the
 // extension used by the frameworks that do not employ right-shrinking
-// traversal. On the transposed pass the side budgets swap.
-func extendBothSides(g *bigraph.Graph, L, R []int32, kL, kR int) ([]int32, []int32) {
-	curL := append([]int32(nil), L...)
-	curR := append([]int32(nil), R...)
-	gT := g.Transpose()
+// traversal. On the transposed pass the side budgets swap. gT is g's
+// transpose, passed in so the fixpoint loop does not rebuild the mirror
+// view per call. Every intermediate of the fixpoint iteration lives in
+// ar — the caller releases them all at once.
+func extendBothSides(g, gT *bigraph.Graph, L, R []int32, kL, kR int, ar *arena.Arena, sc *extendScratch) ([]int32, []int32) {
+	curL, curR := L, R
 	for {
-		nl := extendLeftOnly(g, curL, curR, kL, kR)
-		nr := extendLeftOnly(gT, curR, nl, kR, kL)
+		nl := extendLeftOnly(g, curL, curR, kL, kR, ar, sc)
+		nr := extendLeftOnly(gT, curR, nl, kR, kL, ar, sc)
 		if len(nl) == len(curL) && len(nr) == len(curR) {
 			return nl, nr
 		}

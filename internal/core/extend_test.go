@@ -21,7 +21,7 @@ func TestExtendLeftOnlyMaximal(t *testing.T) {
 		for i := range r {
 			r[i] = int32(i)
 		}
-		l := extendLeftOnly(g, nil, r, k, k)
+		l := extendLeftOnly(g, nil, r, k, k, nil, nil)
 		if !biplex.IsBiplex(g, l, r, k) {
 			t.Fatalf("extension broke the biplex: (%v,%v)", l, r)
 		}
@@ -38,8 +38,8 @@ func TestExtendLeftOnlyMaximal(t *testing.T) {
 func TestExtendLeftOnlyDeterministic(t *testing.T) {
 	g := gen.ER(8, 8, 2, 4)
 	r := []int32{0, 1, 2}
-	a := extendLeftOnly(g, nil, r, 1, 1)
-	b := extendLeftOnly(g, nil, r, 1, 1)
+	a := extendLeftOnly(g, nil, r, 1, 1, nil, nil)
+	b := extendLeftOnly(g, nil, r, 1, 1, nil, nil)
 	if !eqIDs(a, b) {
 		t.Fatal("extension not deterministic")
 	}
@@ -53,7 +53,7 @@ func TestExtendLeftOnlySmallR(t *testing.T) {
 	// (misses ≤ 1), but the right vertex can tolerate only one missing
 	// left member, so the result is bounded by deg(u)+k.
 	r := []int32{0}
-	l := extendLeftOnly(g, nil, r, 1, 1)
+	l := extendLeftOnly(g, nil, r, 1, 1, nil, nil)
 	if !biplex.IsBiplex(g, l, r, 1) {
 		t.Fatalf("result (%v,%v) not a 1-biplex", l, r)
 	}
@@ -73,7 +73,7 @@ func TestExtendBothSidesMatchesGreedy(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		g := gen.ER(6, 6, 1.5, rng.Int63())
 		k := 1
-		l, r := extendBothSides(g, nil, nil, k, k)
+		l, r := extendBothSides(g, g.Transpose(), nil, nil, k, k, nil, nil)
 		if !biplex.IsBiplex(g, l, r, k) || !biplex.IsMaximal(g, l, r, k) {
 			t.Fatalf("extendBothSides produced non-maximal (%v,%v)", l, r)
 		}

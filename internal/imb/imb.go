@@ -54,10 +54,11 @@ func Enumerate(g *bigraph.Graph, opts Options, emit func(biplex.Pair) bool) Stat
 	// "two prefix trees" of the original algorithm correspond to the two
 	// segments of this set-enumeration order.
 	n := g.NumLeft() + g.NumRight()
+	e.pool = bitset.NewPool(n)
+	e.leftMask = bitset.New(g.NumLeft())
+	e.leftMask.Fill()
 	cand := bitset.New(n)
-	for i := 0; i < n; i++ {
-		cand.Add(i)
-	}
+	cand.Fill()
 	e.recurse(cand, bitset.New(n))
 	return e.stats
 }
@@ -72,6 +73,8 @@ type enumerator struct {
 
 	lset, rset *bitset.Set
 	nl, nr     int
+	pool       *bitset.Pool // recycles the per-branch cand/excl sets
+	leftMask   *bitset.Set  // left half of the combined id space
 }
 
 // canAdd reports whether combined-id x can join the current k-biplex.
@@ -108,15 +111,9 @@ func (e *enumerator) sizeBoundOK(cand *bitset.Set) bool {
 	if e.opts.ThetaL == 0 && e.opts.ThetaR == 0 {
 		return true
 	}
-	candL, candR := 0, 0
-	cand.ForEach(func(x int) bool {
-		if x < e.g.NumLeft() {
-			candL++
-		} else {
-			candR++
-		}
-		return true
-	})
+	// One masked popcount pass splits the candidates by side.
+	candL := bitset.IntersectCount(cand, e.leftMask)
+	candR := cand.Count() - candL
 	return e.nl+candL >= e.opts.ThetaL && e.nr+candR >= e.opts.ThetaR
 }
 
@@ -163,17 +160,18 @@ func (e *enumerator) recurse(cand, excl *bitset.Set) {
 		return
 	}
 
-	// Branch 1: include x (only if the result stays a k-biplex).
+	// Branch 1: include x (only if the result stays a k-biplex). The
+	// branch sets are pooled; at most two live per recursion level.
 	if e.canAdd(x) {
 		e.add(x)
-		candIn := bitset.New(cand.Cap())
+		candIn := e.pool.Get()
 		cand.ForEach(func(y int) bool {
 			if y != x && e.canAdd(y) {
 				candIn.Add(y)
 			}
 			return true
 		})
-		exclIn := bitset.New(excl.Cap())
+		exclIn := e.pool.Get()
 		excl.ForEach(func(y int) bool {
 			if e.canAdd(y) {
 				exclIn.Add(y)
@@ -182,15 +180,19 @@ func (e *enumerator) recurse(cand, excl *bitset.Set) {
 		})
 		e.recurse(candIn, exclIn)
 		e.remove(x)
+		e.pool.Put(candIn)
+		e.pool.Put(exclIn)
 		if e.stopped {
 			return
 		}
 	}
 
 	// Branch 2: exclude x.
-	candOut := cand.Clone()
+	candOut := e.pool.GetCopy(cand)
 	candOut.Remove(x)
-	exclOut := excl.Clone()
+	exclOut := e.pool.GetCopy(excl)
 	exclOut.Add(x)
 	e.recurse(candOut, exclOut)
+	e.pool.Put(candOut)
+	e.pool.Put(exclOut)
 }

@@ -67,11 +67,9 @@ func EnumerateMaximalCancel(g *Graph, k int, cancel func() bool, emit func(membe
 	if g.n == 0 {
 		return
 	}
-	e := &enumerator{g: g, k: k, emit: emit, cancel: cancel}
+	e := &enumerator{g: g, k: k, emit: emit, cancel: cancel, pool: bitset.NewPool(g.n)}
 	cand := bitset.New(g.n)
-	for i := 0; i < g.n; i++ {
-		cand.Add(i)
-	}
+	cand.Fill()
 	e.run(newState(g.n), cand, bitset.New(g.n))
 }
 
@@ -82,7 +80,8 @@ type enumerator struct {
 	cancel  func() bool
 	stopped bool
 	buf     []int32
-	ops     int // coarse work counter driving extra cancel polls
+	ops     int          // coarse work counter driving extra cancel polls
+	pool    *bitset.Pool // recycles the per-branch cand/excl sets
 }
 
 // pollCancel samples the cancel hook roughly every 4096 units of work so
@@ -180,9 +179,12 @@ func (e *enumerator) run(s *state, cand, excl *bitset.Set) {
 		return
 	}
 
-	// Branch 1: include u.
+	// Branch 1: include u. The branch sets come from the enumerator's
+	// pool — each recursion level holds at most two live sets, so the
+	// pool's high-water mark tracks the recursion depth instead of the
+	// branch count.
 	s.add(e.g, u)
-	candIn := bitset.New(cand.Cap())
+	candIn := e.pool.Get()
 	cand.ForEach(func(w int) bool {
 		if e.pollCancel(s.size) {
 			return false
@@ -194,9 +196,10 @@ func (e *enumerator) run(s *state, cand, excl *bitset.Set) {
 	})
 	if e.stopped {
 		s.remove(e.g, u)
+		e.pool.Put(candIn)
 		return
 	}
-	exclIn := bitset.New(excl.Cap())
+	exclIn := e.pool.Get()
 	excl.ForEach(func(x int) bool {
 		if e.canAdd(s, x) {
 			exclIn.Add(x)
@@ -205,16 +208,20 @@ func (e *enumerator) run(s *state, cand, excl *bitset.Set) {
 	})
 	e.run(s, candIn, exclIn)
 	s.remove(e.g, u)
+	e.pool.Put(candIn)
+	e.pool.Put(exclIn)
 	if e.stopped {
 		return
 	}
 
 	// Branch 2: exclude u.
-	candOut := cand.Clone()
+	candOut := e.pool.GetCopy(cand)
 	candOut.Remove(u)
-	exclOut := excl.Clone()
+	exclOut := e.pool.GetCopy(excl)
 	exclOut.Add(u)
 	e.run(s, candOut, exclOut)
+	e.pool.Put(candOut)
+	e.pool.Put(exclOut)
 }
 
 // IsKPlex reports whether the vertex set s is a k-plex of g.
