@@ -144,17 +144,43 @@ func errorFrom(resp *http.Response) error {
 }
 
 // doJSON performs one request and decodes a 2xx JSON response into out.
+//
+// Two bits of cluster-awareness live here rather than in every caller.
+// Idempotent GETs are retried once, after the stream-resume backoff, on
+// a 503: a node being drained for a rolling restart answers its last
+// requests with 503, and one retry is usually the difference between a
+// spurious caller error and landing on the node post-restart (or on a
+// load balancer's next backend). And 307 redirects — how a cluster node
+// bounces a misplaced graph request to its placement owner, named in
+// X-Kbiplex-Node — are followed by the underlying http.Client: request
+// bodies here are bytes readers, so net/http can replay them across the
+// hop.
 func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	attempt := func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		return c.hc.Do(req)
+	}
+	resp, err := attempt()
 	if err != nil {
 		return err
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
+	if resp.StatusCode == http.StatusServiceUnavailable && method == http.MethodGet && ctx.Err() == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff):
+		}
+		if resp, err = attempt(); err != nil {
+			return err
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -507,4 +508,84 @@ func edgeList(g *kbiplex.Graph) [][2]int32 {
 		}
 	}
 	return edges
+}
+
+// TestRetryOn503 checks the drain-tolerance contract of doJSON: an
+// idempotent GET answered 503 (a node draining for a rolling restart)
+// is retried exactly once after the backoff, while a 503 on a mutating
+// request surfaces immediately — replaying a mutation blind could apply
+// it twice.
+func TestRetryOn503(t *testing.T) {
+	var mu sync.Mutex
+	hits := map[string]int{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits[r.Method]++
+		n := hits[r.Method]
+		mu.Unlock()
+		if r.Method == http.MethodGet && n > 1 {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `[]`)
+			return
+		}
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithRetry(3, 5*time.Millisecond))
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("GET through a draining node: %v", err)
+	}
+	mu.Lock()
+	gets := hits[http.MethodGet]
+	mu.Unlock()
+	if gets != 2 {
+		t.Fatalf("GET hit the server %d times, want 2 (one retry)", gets)
+	}
+
+	_, err := c.MutateEdges(context.Background(), "g", []client.EdgeOp{{Op: "insert", L: 1, R: 2}})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("POST on a draining node: %v, want a 503 APIError", err)
+	}
+	mu.Lock()
+	posts := hits[http.MethodPost]
+	mu.Unlock()
+	if posts != 1 {
+		t.Fatalf("POST hit the server %d times, want 1 (no blind replay)", posts)
+	}
+}
+
+// TestFollowsPlacementRedirect checks that the underlying http.Client
+// replays JSON request bodies across a 307 placement redirect
+// (X-Kbiplex-Node), since doJSON builds them from bytes readers.
+func TestFollowsPlacementRedirect(t *testing.T) {
+	var ops int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var doc struct {
+			Ops []client.EdgeOp `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ops = int32(len(doc.Ops))
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"epoch":1,"applied":1}`)
+	}))
+	t.Cleanup(owner.Close)
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Kbiplex-Node", "b")
+		http.Redirect(w, r, owner.URL+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(front.Close)
+
+	c := client.New(front.URL)
+	res, err := c.MutateEdges(context.Background(), "g", []client.EdgeOp{{Op: "insert", L: 1, R: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || ops != 1 {
+		t.Fatalf("redirected mutation: result %+v, owner saw %d ops", res, ops)
+	}
 }

@@ -3,8 +3,9 @@
 //
 //   - Every exported identifier in the package directories named on the
 //     command line carries a doc comment. The public surfaces growing
-//     fastest (internal/mutate, client) are the default targets in CI;
-//     an undocumented export fails the lint job, not a review cycle.
+//     fastest (internal/mutate, client, internal/cluster) are the
+//     default targets in CI; an undocumented export fails the lint
+//     job, not a review cycle.
 //
 //   - The curl examples in the README stay runnable: every `-d '...'`
 //     payload inside a fenced code block is extracted and strictly
@@ -15,7 +16,7 @@
 //
 // Usage:
 //
-//	doclint [-readme README.md] ./internal/mutate ./client
+//	doclint [-readme README.md] ./internal/mutate ./client ./internal/cluster
 package main
 
 import (

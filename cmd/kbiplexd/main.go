@@ -78,6 +78,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/server"
 )
@@ -104,6 +105,41 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// clusterConfig assembles the -cluster-* flags into a cluster config,
+// nil when clustering is off. The peer table format is
+// id=rpcaddr@httpaddr, comma-separated; the HTTP address is what other
+// requests get redirected to, so it must be reachable by clients, not
+// just by peers.
+func clusterConfig(nodeID, listen, peers, dir, dataDir string) (*cluster.Config, error) {
+	if nodeID == "" {
+		if listen != "" || peers != "" || dir != "" {
+			return nil, errors.New("-cluster-listen/-cluster-peers/-cluster-dir need -cluster-node-id")
+		}
+		return nil, nil
+	}
+	if listen == "" {
+		return nil, errors.New("-cluster-node-id needs -cluster-listen")
+	}
+	if dir == "" && dataDir == "" {
+		return nil, errors.New("clustering needs -cluster-dir or -data-dir (the replicated op log lives there)")
+	}
+	cfg := &cluster.Config{NodeID: nodeID, Listen: listen, Dir: dir}
+	if peers != "" {
+		for _, ent := range strings.Split(peers, ",") {
+			id, addrs, ok := strings.Cut(strings.TrimSpace(ent), "=")
+			if !ok {
+				return nil, fmt.Errorf("-cluster-peers entry %q: want id=rpcaddr@httpaddr", ent)
+			}
+			rpcAddr, httpAddr, _ := strings.Cut(addrs, "@")
+			if rpcAddr == "" {
+				return nil, fmt.Errorf("-cluster-peers entry %q: missing rpc address", ent)
+			}
+			cfg.Peers = append(cfg.Peers, cluster.PeerConfig{ID: id, RPCAddr: rpcAddr, HTTPAddr: httpAddr})
+		}
+	}
+	return cfg, nil
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("kbiplexd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -125,6 +161,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		compactOps   = fs.Int("journal-compact-ops", 0, "mutation-journal ops per graph before the delta compacts into a fresh snapshot (0 = default 4096)")
 		noSync       = fs.Bool("journal-no-sync", false, "skip the per-batch mutation-journal fsync (faster writes; a host crash can lose recent batches)")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off). The profiling listener is unauthenticated — bind it to loopback or a management network, never the service address")
+		clusterID    = fs.String("cluster-node-id", "", "this node's id in a static cluster membership; setting it turns clustering on (needs -cluster-listen)")
+		clusterAddr  = fs.String("cluster-listen", "", "cluster RPC listen address (host:port), e.g. :8378")
+		clusterPeers = fs.String("cluster-peers", "", "static peer table: comma-separated id=rpcaddr@httpaddr entries, e.g. b=10.0.0.2:8378@10.0.0.2:8377")
+		clusterDir   = fs.String("cluster-dir", "", "replicated op-log directory (default <data-dir>/cluster)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable)")
@@ -147,6 +187,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
+	clusterCfg, err := clusterConfig(*clusterID, *clusterAddr, *clusterPeers, *clusterDir, *dataDir)
+	if err != nil {
+		return err
+	}
 
 	srv, err := server.New(server.Config{
 		MaxResults:         *maxResults,
@@ -160,6 +204,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ResultCachePersist: *cachePersist,
 		JournalCompactOps:  *compactOps,
 		JournalNoSync:      *noSync,
+		Cluster:            clusterCfg,
 		Jobs: jobs.Config{
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,

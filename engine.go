@@ -207,6 +207,28 @@ func (e *Engine) EnumerateSharded(ctx context.Context, opts Options, emit func(S
 	})
 }
 
+// EnumerateRunner runs one query under an externally constructed
+// exec.Runner — the seam the cluster layer uses to execute a query
+// through its Remote runner while still getting the engine's cached
+// (α,β)-core views, limits and accounting. Only the ITraversal
+// algorithm is supported (every non-sequential runner refuses the
+// others), the engine never spills (concurrent stores are in-memory),
+// and emit may be called from the runner's goroutines.
+func (e *Engine) EnumerateRunner(ctx context.Context, opts Options, r exec.Runner, emit func(Solution) bool) (Stats, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return Stats{Algorithm: opts.Algorithm}, err
+	}
+	if o.Algorithm != ITraversal {
+		return Stats{Algorithm: o.Algorithm}, errors.New("kbiplex: EnumerateRunner supports only the ITraversal algorithm")
+	}
+	o = e.limit(o)
+	o.SpillDir = ""
+	return e.query(ctx, o, false, func(ctx context.Context, o Options) (Stats, error) {
+		return e.runView(ctx, r, o, emit)
+	})
+}
+
 // runView plans o over the engine's cached graph view and executes it
 // under r; o must be normalized and limited.
 func (e *Engine) runView(ctx context.Context, r exec.Runner, o Options, emit func(Solution) bool) (Stats, error) {

@@ -167,6 +167,8 @@ func runPlan(ctx context.Context, r exec.Runner, p *exec.Plan, o Options, emit f
 	}
 	est, err := r.Run(p, emitFn)
 	st.Solutions = est.Solutions
+	st.Messages = est.Messages
+	st.Shards = est.Shards
 	if err == nil {
 		err = ctx.Err()
 	}

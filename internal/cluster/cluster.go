@@ -1,0 +1,658 @@
+// Package cluster turns kbiplexd into a multi-node system: a static
+// membership table with rendezvous placement (placement.go), a CRC-framed
+// TCP RPC transport with health pings and typed ErrNodeDown (rpc.go), a
+// replicated catalog op log so every node converges on the same graph
+// catalog (replog.go), and the distributed query runtime that fans a
+// sharded enumeration out over the membership and exchanges link targets
+// over RPC instead of channels (query.go).
+//
+// Membership is configuration — there is no consensus, no elections, no
+// dynamic joins. Every node is told the full node table at startup and
+// rendezvous hashing makes all of them agree on placement without
+// talking. What the wire carries is therefore only data: health pings
+// with op-log head vectors, op-log records, and query supersteps.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bigraph"
+)
+
+// PeerConfig names one remote member of the static node table.
+type PeerConfig struct {
+	// ID is the peer's node id.
+	ID string
+	// RPCAddr is the peer's cluster RPC address (host:port).
+	RPCAddr string
+	// HTTPAddr is the peer's public HTTP base (host:port), used for
+	// misplaced-request redirects.
+	HTTPAddr string
+}
+
+// GraphSource lets the cluster read graphs out of the serving layer —
+// the query runtime resolves a fanned-out query's graph through it.
+type GraphSource interface {
+	// ClusterGraph returns the resident graph and its payload CRC, or an
+	// error when the graph is unknown or unloadable.
+	ClusterGraph(name string) (g *bigraph.Graph, crc uint32, err error)
+}
+
+// Applier applies replicated catalog operations to the serving layer.
+// Implementations must be idempotent per record — a node that lost its
+// op-log tail re-applies recovered records against a catalog that may
+// already reflect them.
+type Applier interface {
+	// ApplyGraphPut creates or replaces a graph from a binary snapshot.
+	ApplyGraphPut(name string, persist bool, snapshot []byte) error
+	// ApplyGraphDelete removes a graph; unknown names are not an error.
+	ApplyGraphDelete(name string) error
+	// ApplyMutate applies one edge-mutation batch to a graph.
+	ApplyMutate(name string, ops []EdgeOp) error
+}
+
+// Config configures one cluster node.
+type Config struct {
+	// NodeID is this node's unique id in the membership table.
+	NodeID string
+	// Listen is the RPC listen address; ignored when Listener is set.
+	Listen string
+	// Listener, when non-nil, is a pre-bound RPC listener (tests bind
+	// 127.0.0.1:0 first so the peer table can carry real addresses).
+	Listener net.Listener
+	// HTTPAddr is this node's public HTTP base. Informational: redirect
+	// targets come from each node's own peer table, not from the wire.
+	HTTPAddr string
+	// Peers is the static membership, excluding this node.
+	Peers []PeerConfig
+	// Dir holds the replicated op logs; created if missing.
+	Dir string
+	// Source resolves graphs for distributed queries; required.
+	Source GraphSource
+	// Applier applies replicated catalog operations; required.
+	Applier Applier
+	// CallTimeout bounds one RPC round trip (default 5s).
+	CallTimeout time.Duration
+	// Retries is the per-call redial budget (default 2).
+	Retries int
+	// Backoff is the initial retry backoff, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// PingInterval is the health/replication heartbeat period
+	// (default 2s).
+	PingInterval time.Duration
+}
+
+// Node is one running cluster member.
+type Node struct {
+	cfg     Config
+	ln      net.Listener
+	members []string // sorted node ids, self included
+	peers   map[string]*peer
+
+	// Replication state, all guarded by repMu: per-origin logs, the
+	// highest head advertised per origin, and per-peer push cursors.
+	repMu sync.Mutex
+	logs  map[string]*opLog
+	known map[string]uint64
+
+	jobsMu sync.Mutex
+	jobs   map[string]*jobState
+	jobSeq atomic.Int64
+
+	requests atomic.Int64
+
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	stopCh chan struct{}
+	notify chan struct{} // wakes the replication pusher
+}
+
+// Start validates cfg, opens the op logs, binds the RPC listener, and
+// launches the accept and health loops. Close releases everything.
+func Start(cfg Config) (*Node, error) {
+	if !validNodeID(cfg.NodeID) {
+		return nil, fmt.Errorf("cluster: invalid node id %q", cfg.NodeID)
+	}
+	if cfg.Source == nil || cfg.Applier == nil {
+		return nil, errors.New("cluster: Config.Source and Config.Applier are required")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.PingInterval <= 0 {
+		cfg.PingInterval = 2 * time.Second
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("cluster: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	n := &Node{
+		cfg:    cfg,
+		peers:  make(map[string]*peer, len(cfg.Peers)),
+		logs:   make(map[string]*opLog, len(cfg.Peers)+1),
+		known:  make(map[string]uint64),
+		jobs:   make(map[string]*jobState),
+		conns:  make(map[net.Conn]struct{}),
+		stopCh: make(chan struct{}),
+		notify: make(chan struct{}, 1),
+	}
+	n.members = append(n.members, cfg.NodeID)
+	for _, pc := range cfg.Peers {
+		if !validNodeID(pc.ID) {
+			return nil, fmt.Errorf("cluster: invalid peer id %q", pc.ID)
+		}
+		if pc.ID == cfg.NodeID || n.peers[pc.ID] != nil {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", pc.ID)
+		}
+		n.peers[pc.ID] = &peer{
+			id: pc.ID, addr: pc.RPCAddr, httpAddr: pc.HTTPAddr,
+			selfID: cfg.NodeID, timeout: cfg.CallTimeout,
+			retries: cfg.Retries, backoff: cfg.Backoff,
+		}
+		n.members = append(n.members, pc.ID)
+	}
+	sort.Strings(n.members)
+
+	for _, id := range n.members {
+		lg, err := openOpLog(logPath(cfg.Dir, id))
+		if err != nil {
+			n.closeLogs()
+			return nil, err
+		}
+		n.logs[id] = lg
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", cfg.Listen); err != nil {
+			n.closeLogs()
+			return nil, err
+		}
+	}
+	n.ln = ln
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.healthLoop()
+	return n, nil
+}
+
+// ID returns this node's id.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// Addr returns the bound RPC address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Members returns the full sorted membership, self included.
+func (n *Node) Members() []string { return append([]string(nil), n.members...) }
+
+// Close shuts the node down: stops the loops, closes the listener, every
+// connection (inbound and outbound), and the op logs. It blocks until
+// the node's goroutines exit.
+func (n *Node) Close() error {
+	n.connMu.Lock()
+	if n.closed {
+		n.connMu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stopCh)
+	for c := range n.conns {
+		c.Close()
+	}
+	n.connMu.Unlock()
+	n.ln.Close()
+	for _, p := range n.peers {
+		p.mu.Lock()
+		p.dropLocked()
+		p.mu.Unlock()
+	}
+	n.wg.Wait()
+	n.jobsMu.Lock()
+	n.jobs = map[string]*jobState{}
+	n.jobsMu.Unlock()
+	n.closeLogs()
+	return nil
+}
+
+func (n *Node) closeLogs() {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	for _, lg := range n.logs {
+		lg.close()
+	}
+	n.logs = map[string]*opLog{}
+}
+
+// OwnerOf returns the member owning graph placement for name, with its
+// HTTP base when the owner is a peer (empty for self). Every node
+// computes the same answer from the shared membership table.
+func (n *Node) OwnerOf(name string) (id, httpAddr string, self bool) {
+	id = Owner(n.members, name)
+	if id == n.cfg.NodeID {
+		return id, "", true
+	}
+	if p := n.peers[id]; p != nil {
+		return id, p.httpAddr, false
+	}
+	return id, "", false
+}
+
+// LivePeers returns the sorted ids of peers whose last call succeeded.
+func (n *Node) LivePeers() []string { return n.livePeerIDs() }
+
+// PeerUp reports whether the last RPC to peer id succeeded. Unknown ids
+// (including this node's own) report false.
+func (n *Node) PeerUp(id string) bool {
+	p := n.peers[id]
+	return p != nil && p.up.Load()
+}
+
+// livePeerIDs returns the ids of peers whose last call succeeded.
+func (n *Node) livePeerIDs() []string {
+	ids := make([]string, 0, len(n.peers))
+	for id, p := range n.peers {
+		if p.up.Load() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// healthLoop pings every peer on the heartbeat, pulls replication gaps
+// the pings reveal, pushes pending own-origin records, and sweeps
+// abandoned query jobs.
+func (n *Node) healthLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		n.pingRound()
+		n.pushPending()
+		n.sweepJobs()
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.notify:
+		case <-t.C:
+		}
+	}
+}
+
+// kick wakes the health loop without waiting for the heartbeat (a fresh
+// propose wants its push now, not in PingInterval).
+func (n *Node) kick() {
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+}
+
+// heads snapshots the local per-origin head vector.
+func (n *Node) heads() map[string]uint64 {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	h := make(map[string]uint64, len(n.logs))
+	for origin, lg := range n.logs {
+		h[origin] = lg.head()
+	}
+	return h
+}
+
+// pingRound pings every peer once, learning head vectors and pulling any
+// gaps they reveal.
+func (n *Node) pingRound() {
+	payload := encodeHeads(n.heads())
+	for _, p := range n.peers {
+		resp, err := p.call(mtPing, payload)
+		if err != nil {
+			continue
+		}
+		theirs, err := decodeHeads(resp)
+		if err != nil {
+			continue
+		}
+		n.noteHeads(theirs)
+		n.pullGaps(p, theirs)
+	}
+}
+
+// noteHeads records the highest head each origin is known to have
+// reached anywhere in the cluster — the basis of the lag numbers.
+func (n *Node) noteHeads(heads map[string]uint64) {
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	for origin, seq := range heads {
+		if n.logs[origin] == nil {
+			continue // not a member; ignore unknown origins
+		}
+		if seq > n.known[origin] {
+			n.known[origin] = seq
+		}
+	}
+}
+
+// pullGaps fetches from p every record of every origin whose advertised
+// head exceeds the local log, applying strictly in order. This is the
+// catch-up path: it restores a truncated tail (own origin included) and
+// brings a reconnecting node level without the origin being alive.
+func (n *Node) pullGaps(p *peer, theirs map[string]uint64) {
+	for origin, theirHead := range theirs {
+		for {
+			n.repMu.Lock()
+			lg := n.logs[origin]
+			if lg == nil || lg.head() >= theirHead {
+				n.repMu.Unlock()
+				break
+			}
+			from := lg.head() + 1
+			n.repMu.Unlock()
+
+			req := appendString(nil, origin)
+			req = appendUvarint(req, from)
+			req = appendUvarint(req, 64) // batch size
+			resp, err := p.call(mtRepFetch, req)
+			if err != nil {
+				return
+			}
+			recs, err := decodeRecords(resp)
+			if err != nil || len(recs) == 0 {
+				return
+			}
+			for _, rec := range recs {
+				if err := n.applyRecord(origin, rec); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// pushPending pushes any own-origin records a peer has not acknowledged.
+// Push cursors live on the peers (learned from mtRepAppend responses);
+// a rejected or unreachable peer is left for the pull path to finish.
+func (n *Node) pushPending() {
+	self := n.cfg.NodeID
+	n.repMu.Lock()
+	head := n.logs[self].head()
+	n.repMu.Unlock()
+	for _, p := range n.peers {
+		for {
+			acked := p.ackedSelf.Load()
+			if acked >= head {
+				break
+			}
+			n.repMu.Lock()
+			rec := n.logs[self].get(acked + 1)
+			n.repMu.Unlock()
+			body := appendString(nil, self)
+			body = append(body, encodeRecord(rec)...)
+			resp, err := p.call(mtRepAppend, body)
+			if err != nil {
+				break
+			}
+			r := &reader{b: resp}
+			theirHead := r.uvarint()
+			if r.err != nil || theirHead <= acked {
+				break
+			}
+			p.ackedSelf.Store(theirHead)
+		}
+	}
+}
+
+// applyRecord applies one record of origin's log in sequence order:
+// hand it to the Applier, then append it to the local mirror. Duplicates
+// (seq ≤ head) are ignored; gaps are an error the pull path repairs.
+func (n *Node) applyRecord(origin string, rec Record) error {
+	n.repMu.Lock()
+	lg := n.logs[origin]
+	if lg == nil {
+		n.repMu.Unlock()
+		return fmt.Errorf("cluster: unknown origin %q", origin)
+	}
+	head := lg.head()
+	n.repMu.Unlock()
+	if rec.Seq <= head {
+		return nil
+	}
+	if rec.Seq != head+1 {
+		return fmt.Errorf("cluster: record seq %d after head %d for origin %s", rec.Seq, head, origin)
+	}
+	if err := n.apply(rec); err != nil {
+		return err
+	}
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	return n.logs[origin].append(rec)
+}
+
+// apply dispatches one record to the Applier.
+func (n *Node) apply(rec Record) error {
+	switch rec.Kind {
+	case OpPut:
+		return n.cfg.Applier.ApplyGraphPut(rec.Name, rec.Persist, rec.Payload)
+	case OpDelete:
+		return n.cfg.Applier.ApplyGraphDelete(rec.Name)
+	case OpMutate:
+		ops, err := DecodeEdgeOps(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return n.cfg.Applier.ApplyMutate(rec.Name, ops)
+	}
+	return fmt.Errorf("cluster: unknown op kind %d", rec.Kind)
+}
+
+// Propose appends one catalog operation to this node's own-origin log
+// and schedules its push to every peer. The caller has already applied
+// the operation locally through the serving layer; peers apply it via
+// the Applier when the record reaches them.
+func (n *Node) Propose(kind OpKind, name string, persist bool, payload []byte) error {
+	n.repMu.Lock()
+	lg := n.logs[n.cfg.NodeID]
+	rec := Record{Seq: lg.head() + 1, Kind: kind, Name: name, Persist: persist, Payload: payload}
+	err := lg.append(rec)
+	n.repMu.Unlock()
+	if err != nil {
+		return err
+	}
+	n.kick()
+	return nil
+}
+
+// handlePing answers a heartbeat: note the sender's head vector, reply
+// with ours. The pull side of replication rides these vectors.
+func (n *Node) handlePing(_ string, payload []byte) ([]byte, error) {
+	theirs, err := decodeHeads(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.noteHeads(theirs)
+	return encodeHeads(n.heads()), nil
+}
+
+// handleRepAppend applies one pushed record. Only a record's origin
+// pushes it (mirrors are filled by the pull path), so the claimed origin
+// must be the authenticated remote. The response is our head for that
+// origin — the pusher's cursor.
+func (n *Node) handleRepAppend(remote string, payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	origin := r.string()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if origin != remote {
+		return nil, fmt.Errorf("cluster: %s pushed a record claiming origin %s", remote, origin)
+	}
+	rec, err := decodeRecord(r.b)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.applyRecord(origin, rec); err != nil {
+		return nil, err
+	}
+	n.repMu.Lock()
+	head := n.logs[origin].head()
+	n.repMu.Unlock()
+	return appendUvarint(nil, head), nil
+}
+
+// handleRepFetch serves a batch of records from a local log mirror —
+// any node can serve any origin's records it holds.
+func (n *Node) handleRepFetch(payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	origin := r.string()
+	from := r.uvarint()
+	limit := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if limit == 0 || limit > 1024 {
+		limit = 64
+	}
+	n.repMu.Lock()
+	defer n.repMu.Unlock()
+	lg := n.logs[origin]
+	if lg == nil {
+		return nil, fmt.Errorf("cluster: unknown origin %q", origin)
+	}
+	var recs []Record
+	for seq := from; seq <= lg.head() && uint64(len(recs)) < limit; seq++ {
+		recs = append(recs, lg.get(seq))
+	}
+	return encodeRecords(recs), nil
+}
+
+// encodeRecords encodes a record batch for mtRepFetch responses.
+func encodeRecords(recs []Record) []byte {
+	b := appendUvarint(nil, uint64(len(recs)))
+	for _, rec := range recs {
+		b = appendBytes(b, encodeRecord(rec))
+	}
+	return b
+}
+
+// decodeRecords decodes an mtRepFetch response.
+func decodeRecords(payload []byte) ([]Record, error) {
+	r := &reader{b: payload}
+	count := r.uvarint()
+	if count > 1<<20 {
+		return nil, errors.New("cluster: oversized record batch")
+	}
+	recs := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		body := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// PeerStatus is one peer's health and replication state for /stats.
+type PeerStatus struct {
+	// ID is the peer's node id.
+	ID string `json:"id"`
+	// RPCAddr is the peer's cluster RPC address.
+	RPCAddr string `json:"rpc_addr"`
+	// HTTPAddr is the peer's public HTTP base.
+	HTTPAddr string `json:"http_addr"`
+	// Up reports whether the last call to the peer succeeded.
+	Up bool `json:"up"`
+	// LastSeenMs is the time since the last successful call, in
+	// milliseconds (-1 when the peer has never answered).
+	LastSeenMs int64 `json:"last_seen_ms"`
+	// Calls and Failures count RPC attempts to this peer.
+	Calls int64 `json:"calls"`
+	// Failures counts failed RPC attempts to this peer.
+	Failures int64 `json:"failures"`
+}
+
+// Status is the cluster section of /stats.
+type Status struct {
+	// NodeID is this node's id.
+	NodeID string `json:"node_id"`
+	// Members is the full sorted membership table.
+	Members []string `json:"members"`
+	// RPCRequests counts inbound RPC requests served.
+	RPCRequests int64 `json:"rpc_requests"`
+	// Applied is the local per-origin op-log head vector.
+	Applied map[string]uint64 `json:"applied"`
+	// Lag is, per origin, how many records the cluster is known to have
+	// that this node has not applied yet.
+	Lag map[string]uint64 `json:"replication_lag"`
+	// Peers holds per-peer health.
+	Peers []PeerStatus `json:"peers"`
+}
+
+// Status snapshots the node for /stats.
+func (n *Node) Status() Status {
+	st := Status{
+		NodeID:      n.cfg.NodeID,
+		Members:     n.Members(),
+		RPCRequests: n.requests.Load(),
+		Applied:     n.heads(),
+		Lag:         map[string]uint64{},
+	}
+	n.repMu.Lock()
+	for origin, seen := range n.known {
+		if lg := n.logs[origin]; lg != nil && seen > lg.head() {
+			st.Lag[origin] = seen - lg.head()
+		}
+	}
+	n.repMu.Unlock()
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := n.peers[id]
+		ps := PeerStatus{
+			ID: id, RPCAddr: p.addr, HTTPAddr: p.httpAddr,
+			Up: p.up.Load(), Calls: p.calls.Load(), Failures: p.failures.Load(),
+			LastSeenMs: -1,
+		}
+		if ts := p.lastSeen.Load(); ts > 0 {
+			ps.LastSeenMs = time.Since(time.Unix(0, ts)).Milliseconds()
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}
+
+// appendUvarint appends v as a uvarint (a shorthand used all over the
+// wire encodings).
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bigraph"
+)
+
+// testEnv is an in-memory GraphSource + Applier that records every
+// replicated operation it is asked to apply.
+type testEnv struct {
+	mu      sync.Mutex
+	graphs  map[string]*bigraph.Graph
+	crcs    map[string]uint32
+	applied []string
+	puts    map[string][]byte
+}
+
+func newTestEnv() *testEnv {
+	return &testEnv{graphs: map[string]*bigraph.Graph{}, crcs: map[string]uint32{}, puts: map[string][]byte{}}
+}
+
+func (e *testEnv) ClusterGraph(name string) (*bigraph.Graph, uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := e.graphs[name]
+	if g == nil {
+		return nil, 0, fmt.Errorf("no graph %q", name)
+	}
+	return g, e.crcs[name], nil
+}
+
+func (e *testEnv) ApplyGraphPut(name string, persist bool, snapshot []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applied = append(e.applied, "put:"+name)
+	e.puts[name] = append([]byte(nil), snapshot...)
+	return nil
+}
+
+func (e *testEnv) ApplyGraphDelete(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applied = append(e.applied, "delete:"+name)
+	return nil
+}
+
+func (e *testEnv) ApplyMutate(name string, ops []EdgeOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.applied = append(e.applied, fmt.Sprintf("mutate:%s:%d", name, len(ops)))
+	return nil
+}
+
+func (e *testEnv) trace() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.applied...)
+}
+
+// startNodes brings up n in-process cluster members on loopback with a
+// fast heartbeat, one testEnv each.
+func startNodes(t *testing.T, n int, envs []*testEnv, ping time.Duration) []*Node {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+	}
+	base := t.TempDir()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i)
+		var peers []PeerConfig
+		for j := range lns {
+			if j == i {
+				continue
+			}
+			peers = append(peers, PeerConfig{
+				ID:       fmt.Sprintf("n%d", j),
+				RPCAddr:  lns[j].Addr().String(),
+				HTTPAddr: "127.0.0.1:0", // unused at this layer
+			})
+		}
+		dir := filepath.Join(base, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		node, err := Start(Config{
+			NodeID: id, Listener: lns[i], Peers: peers, Dir: dir,
+			Source: envs[i], Applier: envs[i],
+			CallTimeout: 2 * time.Second, Retries: 1,
+			Backoff: 5 * time.Millisecond, PingInterval: ping,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitPeersUp waits until every node has successfully called every
+// other.
+func waitPeersUp(t *testing.T, nodes []*Node) {
+	t.Helper()
+	waitFor(t, 5*time.Second, "all peers up", func() bool {
+		for _, n := range nodes {
+			if len(n.livePeerIDs()) != len(nodes)-1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestReplicationPushAndOrder(t *testing.T) {
+	envs := []*testEnv{newTestEnv(), newTestEnv()}
+	nodes := startNodes(t, 2, envs, 25*time.Millisecond)
+	a, b := nodes[0], nodes[1]
+
+	if err := a.Propose(OpPut, "g", true, []byte("snapshot-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Propose(OpMutate, "g", false, EncodeEdgeOps([]EdgeOp{{L: 1, R: 2}, {Del: true, L: 0, R: 0}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Propose(OpDelete, "g", false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 5*time.Second, "b to mirror a's log", func() bool {
+		return b.heads()["n0"] == 3
+	})
+	want := []string{"put:g", "mutate:g:2", "delete:g"}
+	got := envs[1].trace()
+	if len(got) != len(want) {
+		t.Fatalf("b applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("b applied %v, want %v", got, want)
+		}
+	}
+	envs[1].mu.Lock()
+	payload := string(envs[1].puts["g"])
+	envs[1].mu.Unlock()
+	if payload != "snapshot-v1" {
+		t.Fatalf("replicated put payload = %q", payload)
+	}
+	// The proposer applied locally through its own serving layer — the
+	// op log must NOT re-apply own-origin records.
+	if tr := envs[0].trace(); len(tr) != 0 {
+		t.Fatalf("origin re-applied its own records: %v", tr)
+	}
+	// Replication settled: no lag reported on either side.
+	if st := b.Status(); len(st.Lag) != 0 {
+		t.Fatalf("b reports lag %v after convergence", st.Lag)
+	}
+}
+
+func TestPullCatchUpAfterRestartAndTornTail(t *testing.T) {
+	envs := []*testEnv{newTestEnv(), newTestEnv()}
+	nodes := startNodes(t, 2, envs, 25*time.Millisecond)
+	a, b := nodes[0], nodes[1]
+
+	for i := 1; i <= 3; i++ {
+		if err := a.Propose(OpPut, fmt.Sprintf("g%d", i), false, []byte("snap")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "initial convergence", func() bool { return b.heads()["n0"] == 3 })
+
+	// Take B down, tear the tail of its mirror of A's log, and propose
+	// one more record while it is gone.
+	addrB := b.ln.Addr().String()
+	dirB := b.cfg.Dir
+	b.Close()
+	mirror := logPath(dirB, "n0")
+	info, err := os.Stat(mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(mirror, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Propose(OpPut, "g4", false, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart B on the same address and directory. Its mirror reopens at
+	// head 2 (torn record quarantined); the pull path must restore
+	// records 3 and 4 from A.
+	b2, err := Start(Config{
+		NodeID: "n1", Listen: addrB,
+		Peers:  []PeerConfig{{ID: "n0", RPCAddr: a.ln.Addr().String()}},
+		Dir:    dirB,
+		Source: envs[1], Applier: envs[1],
+		CallTimeout: 2 * time.Second, Retries: 1,
+		Backoff: 5 * time.Millisecond, PingInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	if _, err := os.Stat(mirror + ".corrupt"); err != nil {
+		t.Fatalf("torn tail was not quarantined: %v", err)
+	}
+	waitFor(t, 5*time.Second, "resync to head 4", func() bool { return b2.heads()["n0"] == 4 })
+	// Records 3 and 4 re-applied after the truncation (record 3 for the
+	// second time — the Applier contract makes that safe).
+	var reapplied int
+	for _, tr := range envs[1].trace() {
+		if tr == "put:g3" {
+			reapplied++
+		}
+	}
+	if reapplied != 2 {
+		t.Fatalf("record 3 applied %d times across tear+resync, want 2 (trace %v)", reapplied, envs[1].trace())
+	}
+}
+
+func TestCallOnDeadPeerIsErrNodeDown(t *testing.T) {
+	envs := []*testEnv{newTestEnv(), newTestEnv()}
+	nodes := startNodes(t, 2, envs, 25*time.Millisecond)
+	a, b := nodes[0], nodes[1]
+	waitPeersUp(t, nodes)
+
+	b.Close()
+	p := a.peers["n1"]
+	_, err := p.call(mtPing, encodeHeads(nil))
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("call to closed peer: %v, want ErrNodeDown", err)
+	}
+	if p.up.Load() {
+		t.Fatal("peer still marked up after exhausted retries")
+	}
+}
+
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		envs := []*testEnv{newTestEnv(), newTestEnv(), newTestEnv()}
+		nodes := startNodes(t, 3, envs, 20*time.Millisecond)
+		waitPeersUp(t, nodes)
+		if err := nodes[0].Propose(OpPut, "g", false, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 5*time.Second, "replication", func() bool {
+			return nodes[1].heads()["n0"] == 1 && nodes[2].heads()["n0"] == 1
+		})
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	// Close blocks on the node WaitGroups, so only runtime background
+	// goroutines should remain; give the scheduler a moment to retire
+	// the last ones.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+func TestStartRejectsBadConfig(t *testing.T) {
+	env := newTestEnv()
+	if _, err := Start(Config{NodeID: "bad/id", Listen: "127.0.0.1:0", Dir: t.TempDir(), Source: env, Applier: env}); err == nil {
+		t.Fatal("invalid node id accepted")
+	}
+	if _, err := Start(Config{NodeID: "a", Listen: "127.0.0.1:0", Dir: t.TempDir(), Source: env, Applier: env,
+		Peers: []PeerConfig{{ID: "a", RPCAddr: "127.0.0.1:1"}}}); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+	if _, err := Start(Config{NodeID: "a", Listen: "127.0.0.1:0", Source: env, Applier: env}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+	if _, err := Start(Config{NodeID: "a", Listen: "127.0.0.1:0", Dir: t.TempDir()}); err == nil {
+		t.Fatal("missing Source/Applier accepted")
+	}
+}

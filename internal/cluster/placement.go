@@ -1,0 +1,89 @@
+// Rendezvous (highest-random-weight) placement: every node scores every
+// key independently with one hash and the highest score owns the key, so
+// the whole cluster agrees on ownership with no coordination, no token
+// ring to rebalance, and minimal disruption — removing a member reassigns
+// only the keys that member owned, to the runner-up each key already
+// agreed on. The cluster uses it twice: graph → node (which node serves
+// a graph's misplaced-request redirects) and shard → node (which node
+// owns each logical shard of a fanned-out query).
+package cluster
+
+import "strconv"
+
+// score is the rendezvous weight of member for key: FNV-1a over
+// key\x00member, inlined for the same reason as internal/dist's owner —
+// a hash/fnv hasher would be a heap allocation per lookup.
+func score(member, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Owner returns the member with the highest rendezvous score for key,
+// or "" when members is empty. Ties (astronomically unlikely with a
+// 64-bit score) break toward the lexically smaller member so every node
+// still agrees.
+func Owner(members []string, key string) string {
+	best, bestScore := "", uint64(0)
+	for _, m := range members {
+		s := score(m, key)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Rank returns members ordered by descending rendezvous score for key:
+// Rank(...)[0] is the owner, Rank(...)[1] the failover target, and so
+// on. The input slice is not modified.
+func Rank(members []string, key string) []string {
+	out := append([]string(nil), members...)
+	// Insertion sort: membership tables are a handful of nodes, and the
+	// comparison (two hashes) is cheap enough that asymptotics never
+	// matter here.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			si, sj := score(out[j], key), score(out[j-1], key)
+			if si > sj || (si == sj && out[j] < out[j-1]) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// shardKey names logical shard i of a graph's fanned-out query for the
+// shard → node rendezvous placement.
+func shardKey(graph string, shard int) string {
+	return graph + "#" + strconv.Itoa(shard)
+}
+
+// shardMap assigns each of shards logical shards to a participant index
+// by rendezvous-hashing the shard's key over the participant node ids.
+func shardMap(parts []string, graph string, shards int) []int {
+	index := make(map[string]int, len(parts))
+	for i, id := range parts {
+		index[id] = i
+	}
+	m := make([]int, shards)
+	for i := range m {
+		m[i] = index[Owner(parts, shardKey(graph, i))]
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	shuffled := []string{"c", "a", "d", "b"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		o1 := Owner(members, key)
+		o2 := Owner(shuffled, key)
+		if o1 != o2 {
+			t.Fatalf("key %q: owner %q with one order, %q with another", key, o1, o2)
+		}
+	}
+}
+
+func TestOwnerCoversAllMembers(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	hits := map[string]int{}
+	for i := 0; i < 600; i++ {
+		hits[Owner(members, fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		if hits[m] == 0 {
+			t.Fatalf("member %q never chosen across 600 keys: %v", m, hits)
+		}
+	}
+}
+
+func TestOwnerStableUnderMembershipGrowth(t *testing.T) {
+	// Rendezvous property: adding a member only moves keys TO the new
+	// member, never between old ones.
+	old := []string{"a", "b", "c"}
+	grown := []string{"a", "b", "c", "d"}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := Owner(old, key), Owner(grown, key)
+		if after != before && after != "d" {
+			t.Fatalf("key %q moved %q → %q when only %q joined", key, before, after, "d")
+		}
+	}
+}
+
+func TestRankIsPermutationOfMembers(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := Rank(members, "some-graph")
+	if len(r) != len(members) {
+		t.Fatalf("rank has %d entries, want %d", len(r), len(members))
+	}
+	seen := map[string]bool{}
+	for _, id := range r {
+		if seen[id] {
+			t.Fatalf("duplicate %q in rank %v", id, r)
+		}
+		seen[id] = true
+	}
+	if r[0] != Owner(members, "some-graph") {
+		t.Fatalf("rank[0] = %q, Owner = %q", r[0], Owner(members, "some-graph"))
+	}
+}
+
+func TestShardMapAgreesAcrossNodes(t *testing.T) {
+	// Every node computes the shard→participant map locally; the whole
+	// protocol rests on them agreeing.
+	parts := []string{"n0", "n1", "n2"}
+	m1 := shardMap(parts, "g", 16)
+	m2 := shardMap([]string{"n0", "n1", "n2"}, "g", 16)
+	if len(m1) != 16 {
+		t.Fatalf("shard map has %d entries, want 16", len(m1))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("shard %d maps to %d and %d on two nodes", i, m1[i], m2[i])
+		}
+		if m1[i] < 0 || m1[i] >= len(parts) {
+			t.Fatalf("shard %d maps to out-of-range participant %d", i, m1[i])
+		}
+	}
+}
+
+func TestKeyShardInRange(t *testing.T) {
+	for shards := 1; shards <= 7; shards++ {
+		for i := 0; i < 100; i++ {
+			s := keyShard([]byte(fmt.Sprintf("key-%d", i)), shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("keyShard out of range: %d of %d", s, shards)
+			}
+		}
+	}
+}
+
+func TestValidNodeID(t *testing.T) {
+	for _, ok := range []string{"a", "node-1", "n_0.west", "A9"} {
+		if !validNodeID(ok) {
+			t.Errorf("validNodeID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "a b", "é", string(make([]byte, 65))} {
+		if validNodeID(bad) {
+			t.Errorf("validNodeID(%q) = true, want false", bad)
+		}
+	}
+}

@@ -1,0 +1,540 @@
+// The distributed query runtime: the cross-shard link-target exchange
+// that internal/dist runs over channels, carried over the cluster's RPC
+// transport instead. The protocol is bulk-synchronous supersteps driven
+// by the coordinator (the node that received the query):
+//
+//	JobStart   → every participant rebuilds the query's graph view and
+//	             allocates its dedup-store partitions
+//	JobDeliver → the coordinator seeds H0 at its owner; thereafter
+//	             participants deliver link targets peer-to-peer
+//	JobStep    → each participant drains its inbox, expands every owned
+//	             solution to exhaustion, flushes remote-bound targets to
+//	             their owners, and reports forwarded counts + the
+//	             solutions it discovered
+//	JobFinish  → teardown (also on error paths, and by the TTL sweeper
+//	             when a coordinator dies mid-query)
+//
+// A step RPC returns only after the participant's own deliver RPCs
+// completed, so when a round's replies are all in, every message of that
+// round sits in some participant's inbox: the round-r messages are
+// processed in round r+1, and the run terminates exactly when a round
+// forwards nothing — the lock-step termination rule of dist.Simulate,
+// stretched over a network.
+//
+// Participants operate in view vertex ids. Each rebuilds the view with
+// exec.NewView, which is deterministic given the same graph — and "same
+// graph" is enforced by the coordinator sending the graph's payload CRC
+// with JobStart: a peer whose catalog lags replication refuses the job
+// with ErrGraphMismatch instead of silently enumerating a different
+// graph. Solutions travel back to the coordinator as canonical vskey
+// bytes and leave through the planner's shared sink, which back-maps ids
+// and enforces MaxResults exactly as every single-process runner does.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bigraph"
+	"repro/internal/biplex"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exec"
+	"repro/internal/vskey"
+)
+
+// ErrGraphMismatch reports that a participant's copy of the query's
+// graph has a different payload CRC than the coordinator's — usually
+// replication lag. The query fails closed rather than merging solution
+// sets of two different graphs.
+var ErrGraphMismatch = fmt.Errorf("cluster: graph content mismatch (replication lag?)")
+
+// jobTTL is how long an idle job survives before the sweeper reclaims
+// it — the backstop for coordinators that died mid-query.
+const jobTTL = 2 * time.Minute
+
+// jobState is one participant's share of a distributed query. The inbox
+// is filled by concurrent deliver RPCs under mu; every other field is
+// touched only while the job's step runs (the coordinator never overlaps
+// steps for one job, and the expander is single-goroutine by contract).
+type jobState struct {
+	mu      sync.Mutex
+	inbox   [][]byte
+	touched time.Time
+
+	g      *bigraph.Graph // the view's run graph
+	x      *core.Expander
+	copts  core.Options
+	minL   int
+	minR   int
+	shards int
+	parts  []string
+	self   int
+	smap   []int
+	stores []btree.Tree
+	sent   map[string]struct{}
+	stats  dist.NodeStats
+	sols   [][]byte
+}
+
+// touch refreshes the TTL clock; callers hold js.mu or own the step.
+func (js *jobState) touch() { js.touched = time.Now() }
+
+// keyShard maps a canonical solution key to its logical shard — FNV-1a
+// exactly as internal/dist's owner, but over the job's logical shard
+// count (logical shards then map to participants by rendezvous).
+func keyShard(key []byte, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// QueryExec fans one planned query out over the cluster; it is the
+// exec.RemoteExec implementation the server hands to the exec.Remote
+// runner, carrying what the Plan does not: which graph this is and the
+// payload CRC participants must match.
+type QueryExec struct {
+	// Node is the coordinating cluster node.
+	Node *Node
+	// Graph is the catalog name of the queried graph.
+	Graph string
+	// CRC is the graph's payload CRC32 (the catalog's content hash).
+	CRC uint32
+	// Shards is the logical shard count (≤ 0 = one per participant).
+	Shards int
+}
+
+// RunRemote executes the plan's traversal across self plus every live
+// peer and relays each discovered solution (in view ids) exactly once.
+func (q QueryExec) RunRemote(p *exec.Plan, relay func(biplex.Pair) bool) (exec.Stats, error) {
+	n := q.Node
+	parts := append(n.livePeerIDs(), n.cfg.NodeID)
+	sort.Strings(parts)
+	shards := q.Shards
+	if shards <= 0 {
+		shards = len(parts)
+	}
+	job := fmt.Sprintf("%s-%d", n.cfg.NodeID, n.jobSeq.Add(1))
+	o := p.Opts
+
+	started := make([]string, 0, len(parts))
+	finish := func() {
+		fin := appendString(nil, job)
+		for _, id := range started {
+			n.callPart(id, mtJobFinish, fin) // best effort
+		}
+	}
+
+	for i, id := range parts {
+		payload := encodeJobStart(job, q.Graph, q.CRC, o, shards, parts, i)
+		if _, err := n.callPart(id, mtJobStart, payload); err != nil {
+			finish()
+			return exec.Stats{}, fmt.Errorf("cluster: start on %s: %w", id, err)
+		}
+		started = append(started, id)
+	}
+	defer finish()
+
+	// Seed H0 at its owner. The coordinator always participates, so its
+	// own jobState carries the view and options H0 derives from.
+	n.jobsMu.Lock()
+	js := n.jobs[job]
+	n.jobsMu.Unlock()
+	h0, err := core.InitialSolution(js.g, js.copts)
+	if err != nil {
+		return exec.Stats{}, err
+	}
+	h0key := vskey.Encode(nil, h0.L, h0.R)
+	seed := appendString(nil, job)
+	seed = appendUvarint(seed, 1)
+	seed = appendBytes(seed, h0key)
+	owner := parts[shardMap(parts, q.Graph, shards)[keyShard(h0key, shards)]]
+	if _, err := n.callPart(owner, mtJobDeliver, seed); err != nil {
+		return exec.Stats{}, fmt.Errorf("cluster: seed on %s: %w", owner, err)
+	}
+
+	stepPayload := appendString(nil, job)
+	perPart := make([]dist.NodeStats, len(parts))
+	var stats exec.Stats
+	for {
+		type result struct {
+			rep stepReply
+			err error
+		}
+		results := make([]result, len(parts))
+		var wg sync.WaitGroup
+		for i, id := range parts {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				resp, err := n.callPart(id, mtJobStep, stepPayload)
+				if err != nil {
+					results[i] = result{err: err}
+					return
+				}
+				rep, err := decodeStepReply(resp)
+				results[i] = result{rep: rep, err: err}
+			}(i, id)
+		}
+		wg.Wait()
+
+		var forwarded uint64
+		for i, res := range results {
+			if res.err != nil {
+				return exec.Stats{}, fmt.Errorf("cluster: step on %s: %w", parts[i], res.err)
+			}
+			forwarded += res.rep.forwarded
+			perPart[i] = res.rep.stats
+			for _, key := range res.rep.sols {
+				l, r, derr := vskey.Decode(key)
+				if derr != nil {
+					return exec.Stats{}, fmt.Errorf("cluster: solution from %s: %w", parts[i], derr)
+				}
+				if !relay(biplex.Pair{L: l, R: r}) {
+					// Quota filled or the emitter stopped the run: a clean
+					// early finish, same as every single-process runner.
+					stats.Shards = perPart
+					stats.Messages = sumSent(perPart)
+					return stats, nil
+				}
+			}
+		}
+		if forwarded == 0 {
+			break
+		}
+	}
+	stats.Shards = perPart
+	stats.Messages = sumSent(perPart)
+	return stats, nil
+}
+
+// sumSent totals the routed link targets across participants.
+func sumSent(parts []dist.NodeStats) int64 {
+	var s int64
+	for _, ps := range parts {
+		s += ps.Sent
+	}
+	return s
+}
+
+// callPart routes one job RPC: peers over the transport, self through
+// the same dispatch path minus the socket.
+func (n *Node) callPart(id string, t byte, payload []byte) ([]byte, error) {
+	if id == n.cfg.NodeID {
+		body := make([]byte, 0, 1+len(payload))
+		body = append(body, t)
+		body = append(body, payload...)
+		return n.dispatch(id, body)
+	}
+	p := n.peers[id]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: unknown participant %q", id)
+	}
+	return p.call(t, payload)
+}
+
+// encodeJobStart encodes an mtJobStart payload. The shard→participant
+// map is not sent: every participant recomputes it from (parts, graph,
+// shards) by rendezvous, which is the agreement property under test
+// every time a query runs.
+func encodeJobStart(job, graph string, crc uint32, o exec.Options, shards int, parts []string, selfIdx int) []byte {
+	b := appendString(nil, job)
+	b = appendString(b, graph)
+	b = appendUvarint(b, uint64(crc))
+	b = appendUvarint(b, uint64(o.KLeft))
+	b = appendUvarint(b, uint64(o.KRight))
+	b = appendUvarint(b, uint64(o.MinLeft))
+	b = appendUvarint(b, uint64(o.MinRight))
+	b = appendUvarint(b, uint64(shards))
+	b = appendUvarint(b, uint64(len(parts)))
+	for _, id := range parts {
+		b = appendString(b, id)
+	}
+	b = appendUvarint(b, uint64(selfIdx))
+	return b
+}
+
+// handleJobStart opens a participant's share of a distributed query.
+func (n *Node) handleJobStart(payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	job := r.string()
+	graph := r.string()
+	crc := uint32(r.uvarint())
+	kl := int(r.uvarint())
+	kr := int(r.uvarint())
+	minL := int(r.uvarint())
+	minR := int(r.uvarint())
+	shards := int(r.uvarint())
+	nparts := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if shards < 1 || nparts < 1 || nparts > 1024 {
+		return nil, fmt.Errorf("cluster: bad job geometry (%d shards, %d participants)", shards, nparts)
+	}
+	parts := make([]string, nparts)
+	for i := range parts {
+		parts[i] = r.string()
+	}
+	selfIdx := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if selfIdx < 0 || selfIdx >= nparts || parts[selfIdx] != n.cfg.NodeID {
+		return nil, fmt.Errorf("cluster: job %s addressed to %q at index %d", job, n.cfg.NodeID, selfIdx)
+	}
+
+	g, haveCRC, err := n.cfg.Source.ClusterGraph(graph)
+	if err != nil {
+		return nil, err
+	}
+	if haveCRC != crc {
+		return nil, fmt.Errorf("%w: graph %q is %08x here, coordinator has %08x", ErrGraphMismatch, graph, haveCRC, crc)
+	}
+
+	o := exec.Options{Algorithm: exec.ITraversal, KLeft: kl, KRight: kr, MinLeft: minL, MinRight: minR}
+	view := exec.NewView(g, o)
+	copts := core.ITraversal(1)
+	copts.K, copts.KLeft, copts.KRight = 0, kl, kr
+	copts.Exclusion = false
+	copts.ThetaL, copts.ThetaR = minL, minR
+	x, err := core.NewExpander(view.Run, copts)
+	if err != nil {
+		return nil, err
+	}
+
+	js := &jobState{
+		g: view.Run, x: x, copts: copts,
+		minL: minL, minR: minR,
+		shards: shards, parts: parts, self: selfIdx,
+		smap:   shardMap(parts, graph, shards),
+		stores: make([]btree.Tree, shards),
+		sent:   make(map[string]struct{}),
+	}
+	js.touch()
+	n.jobsMu.Lock()
+	defer n.jobsMu.Unlock()
+	if n.jobs[job] != nil {
+		return nil, fmt.Errorf("cluster: duplicate job %s", job)
+	}
+	n.jobs[job] = js
+	return nil, nil
+}
+
+// lookupJob fetches a live job.
+func (n *Node) lookupJob(job string) (*jobState, error) {
+	n.jobsMu.Lock()
+	defer n.jobsMu.Unlock()
+	js := n.jobs[job]
+	if js == nil {
+		return nil, fmt.Errorf("cluster: unknown job %q", job)
+	}
+	return js, nil
+}
+
+// handleJobDeliver inboxes a batch of link-target keys for the next
+// step. Deliveries land mid-step (the sender is stepping concurrently);
+// only the inbox is touched, under the job's mutex.
+func (n *Node) handleJobDeliver(payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	job := r.string()
+	count := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	js, err := n.lookupJob(job)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		keys = append(keys, append([]byte(nil), key...))
+	}
+	js.mu.Lock()
+	js.inbox = append(js.inbox, keys...)
+	js.touch()
+	js.mu.Unlock()
+	return nil, nil
+}
+
+// stepReply is one participant's superstep report.
+type stepReply struct {
+	forwarded uint64
+	stats     dist.NodeStats
+	sols      [][]byte
+}
+
+// handleJobStep runs one superstep: drain the inbox, expand owned
+// solutions to exhaustion (self-owned discoveries loop back in), then
+// flush remote-bound targets to their owners. The deliver RPCs complete
+// before this handler returns — the property the coordinator's
+// termination rule stands on.
+func (n *Node) handleJobStep(payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	job := r.string()
+	if r.err != nil {
+		return nil, r.err
+	}
+	js, err := n.lookupJob(job)
+	if err != nil {
+		return nil, err
+	}
+
+	// The inbox high-water is measured at drain time: a round's peak is
+	// the moment every previous-round delivery has landed, which is
+	// exactly now. Measuring here (not in the deliver handler) keeps
+	// js.stats single-goroutine — delivers land concurrently with the
+	// step's reply encoding, which reads the stats unlocked.
+	js.mu.Lock()
+	inbox := js.inbox
+	js.inbox = nil
+	if d := int64(len(inbox)); d > js.stats.InboxHW {
+		js.stats.InboxHW = d
+	}
+	js.touch()
+	js.mu.Unlock()
+
+	var localq []biplex.Pair
+	for _, key := range inbox {
+		js.admit(key, &localq)
+	}
+
+	outbox := make(map[int][][]byte)
+	for len(localq) > 0 {
+		h := localq[len(localq)-1]
+		localq = localq[:len(localq)-1]
+		js.stats.Expansions++
+		js.x.Expand(h, func(p biplex.Pair) bool {
+			key := vskey.Encode(nil, p.L, p.R)
+			if _, dup := js.sent[string(key)]; dup {
+				js.stats.Combined++
+				return true
+			}
+			js.sent[string(key)] = struct{}{}
+			dest := js.smap[keyShard(key, js.shards)]
+			js.stats.Sent++
+			if dest == js.self {
+				js.admit(key, &localq)
+			} else {
+				outbox[dest] = append(outbox[dest], key)
+			}
+			return true
+		})
+	}
+
+	var forwarded uint64
+	for dest, keys := range outbox {
+		b := appendString(nil, job)
+		b = appendUvarint(b, uint64(len(keys)))
+		for _, key := range keys {
+			b = appendBytes(b, key)
+		}
+		if _, err := n.callPart(js.parts[dest], mtJobDeliver, b); err != nil {
+			return nil, fmt.Errorf("deliver to %s: %w", js.parts[dest], err)
+		}
+		forwarded += uint64(len(keys))
+	}
+
+	sols := js.sols
+	js.sols = nil
+	out := appendUvarint(nil, forwarded)
+	out = appendUvarint(out, uint64(js.stats.Owned))
+	out = appendUvarint(out, uint64(js.stats.Sent))
+	out = appendUvarint(out, uint64(js.stats.Expansions))
+	out = appendUvarint(out, uint64(js.stats.Combined))
+	out = appendUvarint(out, uint64(js.stats.InboxHW))
+	out = appendUvarint(out, uint64(len(sols)))
+	for _, key := range sols {
+		out = appendBytes(out, key)
+	}
+	return out, nil
+}
+
+// decodeStepReply decodes a superstep report.
+func decodeStepReply(payload []byte) (stepReply, error) {
+	r := &reader{b: payload}
+	var rep stepReply
+	rep.forwarded = r.uvarint()
+	rep.stats.Owned = int64(r.uvarint())
+	rep.stats.Sent = int64(r.uvarint())
+	rep.stats.Expansions = int64(r.uvarint())
+	rep.stats.Combined = int64(r.uvarint())
+	rep.stats.InboxHW = int64(r.uvarint())
+	count := r.uvarint()
+	if r.err != nil {
+		return rep, r.err
+	}
+	rep.sols = make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key := r.bytes()
+		if r.err != nil {
+			return rep, r.err
+		}
+		rep.sols = append(rep.sols, append([]byte(nil), key...))
+	}
+	return rep, nil
+}
+
+// admit delivers one canonical key at its owning participant: dedup
+// against the key's logical-shard store partition, record the solution
+// if it clears the theta filter, and queue it for expansion. Runs only
+// on the stepping goroutine.
+func (js *jobState) admit(key []byte, localq *[]biplex.Pair) {
+	s := keyShard(key, js.shards)
+	if js.smap[s] != js.self {
+		return // misrouted; the owner will (re)discover it
+	}
+	if !js.stores[s].Insert(key) {
+		return // already traversed here
+	}
+	l, r, err := vskey.Decode(key)
+	if err != nil {
+		return
+	}
+	if len(l) >= js.minL && len(r) >= js.minR {
+		js.stats.Owned++
+		js.sols = append(js.sols, append([]byte(nil), key...))
+	}
+	*localq = append(*localq, biplex.Pair{L: l, R: r})
+}
+
+// handleJobFinish tears a job down.
+func (n *Node) handleJobFinish(payload []byte) ([]byte, error) {
+	r := &reader{b: payload}
+	job := r.string()
+	if r.err != nil {
+		return nil, r.err
+	}
+	n.jobsMu.Lock()
+	delete(n.jobs, job)
+	n.jobsMu.Unlock()
+	return nil, nil
+}
+
+// sweepJobs reclaims jobs whose coordinator went silent past jobTTL.
+func (n *Node) sweepJobs() {
+	n.jobsMu.Lock()
+	defer n.jobsMu.Unlock()
+	for id, js := range n.jobs {
+		js.mu.Lock()
+		stale := time.Since(js.touched) > jobTTL
+		js.mu.Unlock()
+		if stale {
+			delete(n.jobs, id)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/biplex"
+	"repro/internal/exec"
+	"repro/internal/gen"
+)
+
+// queryPair returns a two-node cluster whose envs share one graph under
+// the given CRCs, plus a plan for it.
+func queryPair(t *testing.T, o exec.Options, crcA, crcB uint32, ping time.Duration) ([]*Node, *exec.Plan) {
+	t.Helper()
+	g := gen.ER(14, 14, 2.2, 21)
+	envs := []*testEnv{newTestEnv(), newTestEnv()}
+	envs[0].graphs["g"], envs[0].crcs["g"] = g, crcA
+	envs[1].graphs["g"], envs[1].crcs["g"] = g, crcB
+	nodes := startNodes(t, 2, envs, ping)
+	p, err := exec.NewPlan(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, p
+}
+
+// runSorted collects a runner's solution set, sorted canonically.
+func runSorted(t *testing.T, p *exec.Plan, r exec.Runner) ([]biplex.Pair, exec.Stats) {
+	t.Helper()
+	var out []biplex.Pair
+	st, err := r.Run(p, func(pr biplex.Pair) bool {
+		out = append(out, pr)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biplex.SortPairs(out)
+	return out, st
+}
+
+func TestDistributedQueryEqualsSequential(t *testing.T) {
+	for _, o := range []exec.Options{
+		{Algorithm: exec.ITraversal, KLeft: 1, KRight: 1},
+		{Algorithm: exec.ITraversal, KLeft: 1, KRight: 1, MinLeft: 3, MinRight: 3},
+	} {
+		nodes, p := queryPair(t, o, 0xABCD, 0xABCD, 25*time.Millisecond)
+		waitPeersUp(t, nodes)
+
+		want, _ := runSorted(t, p, exec.Sequential{})
+		if len(want) == 0 && o.MinLeft == 0 {
+			t.Fatal("no solutions at all (implausible)")
+		}
+		got, st := runSorted(t, p, exec.Remote{Exec: QueryExec{Node: nodes[0], Graph: "g", CRC: 0xABCD, Shards: 4}})
+		if len(got) != len(want) {
+			t.Fatalf("options %+v: distributed found %d solutions, sequential %d", o, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("options %+v: solution sets differ at %d: %v vs %v", o, i, got[i], want[i])
+			}
+		}
+		if len(st.Shards) != 2 {
+			t.Fatalf("expected per-participant stats for 2 nodes, got %d", len(st.Shards))
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+func TestDistributedQueryMaxResults(t *testing.T) {
+	o := exec.Options{Algorithm: exec.ITraversal, KLeft: 1, KRight: 1, MaxResults: 3}
+	nodes, p := queryPair(t, o, 7, 7, 25*time.Millisecond)
+	waitPeersUp(t, nodes)
+
+	var got int
+	_, err := exec.Remote{Exec: QueryExec{Node: nodes[0], Graph: "g", CRC: 7, Shards: 4}}.Run(p, func(biplex.Pair) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("MaxResults=3 emitted %d solutions", got)
+	}
+	// The early finish must tear the job down on every participant.
+	for _, n := range nodes {
+		waitFor(t, 2*time.Second, "job teardown", func() bool {
+			n.jobsMu.Lock()
+			defer n.jobsMu.Unlock()
+			return len(n.jobs) == 0
+		})
+	}
+}
+
+func TestDistributedQueryGraphMismatch(t *testing.T) {
+	o := exec.Options{Algorithm: exec.ITraversal, KLeft: 1, KRight: 1}
+	nodes, p := queryPair(t, o, 1, 2, 25*time.Millisecond) // B lags replication
+	waitPeersUp(t, nodes)
+
+	_, err := exec.Remote{Exec: QueryExec{Node: nodes[0], Graph: "g", CRC: 1, Shards: 2}}.Run(p, func(biplex.Pair) bool { return true })
+	if err == nil {
+		t.Fatal("query succeeded across mismatched graph copies")
+	}
+	// App-level errors cross the wire as text, so the typed
+	// ErrGraphMismatch survives only as its message.
+	if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("error does not name the mismatch: %v", err)
+	}
+}
+
+func TestDistributedQueryPeerDeath(t *testing.T) {
+	// A huge heartbeat keeps the health loop from noticing the kill; the
+	// query itself must surface the typed ErrNodeDown.
+	o := exec.Options{Algorithm: exec.ITraversal, KLeft: 1, KRight: 1}
+	nodes, p := queryPair(t, o, 5, 5, time.Hour)
+	a, b := nodes[0], nodes[1]
+	a.pingRound()
+	if len(a.livePeerIDs()) != 1 {
+		t.Fatal("peer not up after ping round")
+	}
+	b.Close()
+
+	_, err := exec.Remote{Exec: QueryExec{Node: a, Graph: "g", CRC: 5, Shards: 2}}.Run(p, func(biplex.Pair) bool { return true })
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("query against killed peer: %v, want ErrNodeDown", err)
+	}
+	// The coordinator's own job share must not linger.
+	waitFor(t, 2*time.Second, "job teardown", func() bool {
+		a.jobsMu.Lock()
+		defer a.jobsMu.Unlock()
+		return len(a.jobs) == 0
+	})
+}

@@ -1,0 +1,345 @@
+// The replicated catalog op log. Every node keeps one append-only log
+// per origin node (its own plus one mirror per peer) under the cluster
+// directory, file format `KBCLOG1\n` followed by the journal frame
+// layout ([u32 len | body | u32 crc]) shared with internal/mutate's
+// KBMUTJ1. A catalog operation — graph create/replace, delete, or a
+// mutation batch — is proposed on the node that served it, appended to
+// that node's own-origin log, pushed to peers (mtRepAppend), and applied
+// by each peer strictly in sequence order. Lagging peers catch up by
+// pulling: pings exchange per-origin head vectors, and any node that
+// sees a higher head than its own fetches the gap (mtRepFetch) from
+// whichever peer advertised it — so a node that lost its tail (crash,
+// torn frame) resyncs from the cluster without the origin having to be
+// alive.
+//
+// A torn tail is handled exactly as the mutation journal handles one:
+// the damaged bytes are quarantined to a `.corrupt` sibling, the file is
+// truncated at the last whole frame, and the missing records come back
+// over the wire. There is no consensus here — two nodes accepting
+// conflicting writes for the same graph name diverge, and the
+// OPERATIONS.md recovery matrix says how to notice and repair that —
+// but per-origin sequencing makes replication itself deterministic.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// logMagic identifies a cluster op-log file, version 1.
+var logMagic = [8]byte{'K', 'B', 'C', 'L', 'O', 'G', '1', '\n'}
+
+// OpKind discriminates the catalog operations a Record can carry.
+type OpKind byte
+
+// The catalog operation kinds.
+const (
+	// OpPut creates or replaces a graph; the payload is a binary graph
+	// snapshot (the KBPGRF1 format).
+	OpPut OpKind = 1
+	// OpDelete removes a graph; the payload is empty.
+	OpDelete OpKind = 2
+	// OpMutate applies an edge-mutation batch; the payload is an
+	// EncodeEdgeOps encoding.
+	OpMutate OpKind = 3
+)
+
+// Record is one replicated catalog operation. Seq numbers are contiguous
+// from 1 per origin; Name is the graph the operation targets; Persist
+// carries the graph's persistence flag for OpPut.
+type Record struct {
+	// Seq is the record's position in its origin's log, starting at 1.
+	Seq uint64
+	// Kind is the operation.
+	Kind OpKind
+	// Name is the target graph.
+	Name string
+	// Persist is OpPut's persistence flag.
+	Persist bool
+	// Payload is the operation body (snapshot bytes or edge-op encoding).
+	Payload []byte
+}
+
+// EdgeOp is one edge insertion or deletion inside an OpMutate batch.
+type EdgeOp struct {
+	// Del selects deletion; otherwise the edge is inserted.
+	Del bool
+	// L and R are the edge's endpoints.
+	L, R int32
+}
+
+// EncodeEdgeOps encodes a mutation batch into an OpMutate payload.
+func EncodeEdgeOps(ops []EdgeOp) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(ops)))
+	for _, op := range ops {
+		if op.Del {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, uint64(uint32(op.L)))
+		b = binary.AppendUvarint(b, uint64(uint32(op.R)))
+	}
+	return b
+}
+
+// DecodeEdgeOps decodes an OpMutate payload.
+func DecodeEdgeOps(payload []byte) ([]EdgeOp, error) {
+	r := &reader{b: payload}
+	n := r.uvarint()
+	if n > uint64(len(payload)) { // each op is ≥ 3 bytes; cheap sanity cap
+		return nil, errors.New("cluster: edge-op count exceeds payload")
+	}
+	ops := make([]EdgeOp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		del := r.byte()
+		l := r.uvarint()
+		rr := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		ops = append(ops, EdgeOp{Del: del == 1, L: int32(uint32(l)), R: int32(uint32(rr))})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return ops, nil
+}
+
+// encodeRecord encodes a record into a frame body.
+func encodeRecord(rec Record) []byte {
+	b := binary.AppendUvarint(nil, rec.Seq)
+	b = append(b, byte(rec.Kind))
+	b = appendString(b, rec.Name)
+	if rec.Persist {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendBytes(b, rec.Payload)
+	return b
+}
+
+// decodeRecord decodes a frame body back into a record.
+func decodeRecord(body []byte) (Record, error) {
+	r := &reader{b: body}
+	rec := Record{
+		Seq:  r.uvarint(),
+		Kind: OpKind(r.byte()),
+		Name: r.string(),
+	}
+	rec.Persist = r.byte() == 1
+	rec.Payload = append([]byte(nil), r.bytes()...)
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if len(r.b) != 0 {
+		return Record{}, fmt.Errorf("cluster: %d trailing record bytes", len(r.b))
+	}
+	return rec, nil
+}
+
+// opLog is one origin's on-disk log plus its in-memory record mirror.
+// Catalog operations are low-volume (graph loads and mutation batches,
+// not per-edge traffic), so the whole log stays resident; replication
+// fetches are served from memory. Access is guarded by Node.repMu.
+type opLog struct {
+	path string
+	f    *os.File
+	recs []Record
+}
+
+// head is the sequence number of the last record (0 when empty).
+func (l *opLog) head() uint64 { return uint64(len(l.recs)) }
+
+// get returns the record with sequence seq (1-based).
+func (l *opLog) get(seq uint64) Record { return l.recs[seq-1] }
+
+// openOpLog opens (creating if absent) the log at path and replays it.
+// A torn or corrupt tail is quarantined to path+".corrupt" and truncated
+// away — the missing records return over the wire via the pull path.
+func openOpLog(path string) (*opLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &opLog{path: path, f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(logMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != logMagic {
+		f.Close()
+		return nil, fmt.Errorf("cluster: %s: not a KBCLOG1 op log", path)
+	}
+	off := int64(len(logMagic))
+	for {
+		rec, n, rerr := readLogFrame(f)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Damaged tail: quarantine the bytes from the last whole frame
+			// on, truncate, and let replication restore the records.
+			if qerr := quarantineTail(f, path, off, info.Size()); qerr != nil {
+				f.Close()
+				return nil, qerr
+			}
+			break
+		}
+		if rec.Seq != uint64(len(l.recs))+1 {
+			f.Close()
+			return nil, fmt.Errorf("cluster: %s: record seq %d after head %d", path, rec.Seq, len(l.recs))
+		}
+		l.recs = append(l.recs, rec)
+		off += n
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// readLogFrame reads one frame at the file's current offset, returning
+// the decoded record and the frame's byte length.
+func readLogFrame(f *os.File) (Record, int64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = errors.New("cluster: torn frame header")
+		}
+		return Record{}, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return Record{}, 0, fmt.Errorf("cluster: bad log frame length %d", n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(f, body); err != nil {
+		return Record{}, 0, errors.New("cluster: torn frame body")
+	}
+	sum := binary.LittleEndian.Uint32(body[n:])
+	body = body[:n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, 0, errors.New("cluster: log frame CRC mismatch")
+	}
+	rec, err := decodeRecord(body)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, int64(n) + 8, nil
+}
+
+// quarantineTail copies file bytes [off, size) to path+".corrupt" and
+// truncates the log at off — the mutation journal's recovery idiom.
+func quarantineTail(f *os.File, path string, off, size int64) error {
+	tail := make([]byte, size-off)
+	if _, err := f.ReadAt(tail, off); err != nil && err != io.EOF {
+		return err
+	}
+	if err := os.WriteFile(path+".corrupt", tail, 0o644); err != nil {
+		return err
+	}
+	if err := f.Truncate(off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// append durably appends rec, which must carry sequence head+1.
+func (l *opLog) append(rec Record) error {
+	if rec.Seq != l.head()+1 {
+		return fmt.Errorf("cluster: append seq %d to log at head %d", rec.Seq, l.head())
+	}
+	body := encodeRecord(rec)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.recs = append(l.recs, rec)
+	return nil
+}
+
+// close releases the log's file handle.
+func (l *opLog) close() error { return l.f.Close() }
+
+// logPath names origin's log file under dir. Node ids are restricted to
+// [A-Za-z0-9._-] at config validation, so the id is filesystem-safe.
+func logPath(dir, origin string) string {
+	return filepath.Join(dir, origin+".oplog")
+}
+
+// validNodeID reports whether id is usable as a node id (non-empty,
+// filesystem- and wire-safe).
+func validNodeID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(id, ".")
+}
+
+// --- wire encodings for the replication messages ---
+
+// encodeHeads encodes a per-origin head vector.
+func encodeHeads(heads map[string]uint64) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(heads)))
+	for origin, seq := range heads {
+		b = appendString(b, origin)
+		b = binary.AppendUvarint(b, seq)
+	}
+	return b
+}
+
+// decodeHeads decodes a per-origin head vector.
+func decodeHeads(payload []byte) (map[string]uint64, error) {
+	r := &reader{b: payload}
+	n := r.uvarint()
+	if n > 1<<16 {
+		return nil, errors.New("cluster: oversized head vector")
+	}
+	heads := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		origin := r.string()
+		seq := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		heads[origin] = seq
+	}
+	return heads, nil
+}

@@ -1,0 +1,384 @@
+// The cluster's RPC transport: length-prefixed, CRC-framed request/
+// response messages over plain TCP, the same framing idiom as the
+// KBMUTJ1 mutation journal and the KBRSCL1 cache log, lifted onto a
+// socket. A connection opens with an 8-byte magic and a framed node-id
+// handshake in each direction; after that the dialing side writes one
+// request frame and reads one response frame at a time (calls on a peer
+// serialize on the connection — the cluster's messages are either tiny
+// control frames or already-batched shard exchanges, so pipelining would
+// buy latency nothing and cost a correlation header).
+//
+// Frame layout, as in the journals:
+//
+//	[u32 len | body | u32 crc32(body)]
+//
+// A request body starts with a one-byte message type; a response body
+// starts with a one-byte verdict (OK or error, the error carrying its
+// message as text). Any framing violation — bad magic, bad CRC, a length
+// past the cap — poisons the connection: both sides drop it, and the
+// dialer's retry/backoff path builds a fresh one.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rpcMagic identifies a kbiplex cluster RPC connection, version 1.
+var rpcMagic = [8]byte{'K', 'B', 'C', 'R', 'P', 'C', '1', '\n'}
+
+// ErrNodeDown reports that a peer could not be reached after the
+// transport's retries; errors.Is(err, ErrNodeDown) identifies it through
+// any wrapping. A query fanned out over a peer that dies mid-run fails
+// with this cause rather than hanging.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// maxFrame bounds one RPC frame. Graph snapshots travel inside op-log
+// replication frames, so the cap is sized for them; anything larger is
+// treated as a framing violation, not an allocation request.
+const maxFrame = 1 << 27
+
+// Request message types. Responses reuse the frame format with a
+// verdict byte instead.
+const (
+	mtPing       byte = 0x10 // health + op-log head exchange
+	mtRepAppend  byte = 0x11 // push one op-log record to a peer
+	mtRepFetch   byte = 0x12 // pull op-log records (tail resync)
+	mtJobStart   byte = 0x20 // open a distributed query on a participant
+	mtJobDeliver byte = 0x21 // hand link targets to their owning node
+	mtJobStep    byte = 0x22 // run one exchange superstep
+	mtJobFinish  byte = 0x23 // close a distributed query
+)
+
+// Response verdicts.
+const (
+	respOK  byte = 0x00
+	respErr byte = 0x01
+)
+
+// writeFrame frames body onto w.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readRPCFrame reads one frame from r, rejecting oversize lengths and
+// CRC mismatches.
+func readRPCFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("cluster: bad frame length %d", n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	sum := binary.LittleEndian.Uint32(body[n:])
+	body = body[:n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errors.New("cluster: frame CRC mismatch")
+	}
+	return body, nil
+}
+
+// handshake exchanges magic + node id on a fresh connection. Each side
+// writes first, then reads: the exchange is symmetric, so neither side
+// can deadlock waiting for the other to speak.
+func handshake(conn net.Conn, br *bufio.Reader, selfID string, deadline time.Time) (string, error) {
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(rpcMagic[:]); err != nil {
+		return "", err
+	}
+	if err := writeFrame(conn, []byte(selfID)); err != nil {
+		return "", err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", err
+	}
+	if magic != rpcMagic {
+		return "", errors.New("cluster: bad RPC magic")
+	}
+	id, err := readRPCFrame(br)
+	if err != nil {
+		return "", err
+	}
+	return string(id), nil
+}
+
+// peer is the dialing side of one cluster member: a lazily-built
+// connection, the retry/backoff policy around it, and health state.
+type peer struct {
+	id       string
+	addr     string // RPC address
+	httpAddr string // HTTP base for misplaced-request redirects
+
+	selfID  string
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	mu   sync.Mutex // serializes calls on the connection
+	conn net.Conn
+	br   *bufio.Reader
+
+	up       atomic.Bool
+	lastSeen atomic.Int64 // unix nanos of the last successful call
+	calls    atomic.Int64
+	failures atomic.Int64
+
+	// ackedSelf is the push cursor: the highest own-origin op-log seq
+	// this peer has acknowledged applying.
+	ackedSelf atomic.Uint64
+}
+
+// connectLocked dials and handshakes; callers hold p.mu.
+func (p *peer) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	id, err := handshake(conn, br, p.selfID, time.Now().Add(p.timeout))
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if id != p.id {
+		conn.Close()
+		return fmt.Errorf("cluster: %s answered as %q, want %q", p.addr, id, p.id)
+	}
+	p.conn, p.br = conn, br
+	return nil
+}
+
+// dropLocked poisons the connection; callers hold p.mu.
+func (p *peer) dropLocked() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn, p.br = nil, nil
+	}
+}
+
+// call performs one request/response round trip, retrying with backoff
+// on transport failures. After the attempts are exhausted the peer is
+// marked down and the error wraps ErrNodeDown. An application-level
+// error (the peer answered, but with respErr) is returned as-is and does
+// not mark the peer down.
+func (p *peer) call(t byte, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls.Add(1)
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, t)
+	body = append(body, payload...)
+	var lastErr error
+	backoff := p.backoff
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if p.conn == nil {
+			if lastErr = p.connectLocked(); lastErr != nil {
+				continue
+			}
+		}
+		p.conn.SetDeadline(time.Now().Add(p.timeout))
+		if lastErr = writeFrame(p.conn, body); lastErr != nil {
+			p.dropLocked()
+			continue
+		}
+		resp, err := readRPCFrame(p.br)
+		if err != nil {
+			lastErr = err
+			p.dropLocked()
+			continue
+		}
+		p.conn.SetDeadline(time.Time{})
+		p.up.Store(true)
+		p.lastSeen.Store(time.Now().UnixNano())
+		if len(resp) == 0 {
+			p.failures.Add(1)
+			return nil, errors.New("cluster: empty response")
+		}
+		if resp[0] == respErr {
+			p.failures.Add(1)
+			return nil, fmt.Errorf("cluster: %s: %s", p.id, resp[1:])
+		}
+		return resp[1:], nil
+	}
+	p.dropLocked()
+	p.up.Store(false)
+	p.failures.Add(1)
+	return nil, fmt.Errorf("%w: %s (%s): %v", ErrNodeDown, p.id, p.addr, lastErr)
+}
+
+// serveConn handles one accepted connection: handshake, then a request/
+// response loop until the connection dies or the node closes.
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	remote, err := handshake(conn, br, n.cfg.NodeID, time.Now().Add(n.cfg.CallTimeout))
+	if err != nil {
+		return
+	}
+	for {
+		body, err := readRPCFrame(br)
+		if err != nil {
+			return
+		}
+		n.requests.Add(1)
+		resp, herr := n.dispatch(remote, body)
+		out := make([]byte, 0, 1+len(resp))
+		if herr != nil {
+			out = append(out, respErr)
+			out = append(out, herr.Error()...)
+		} else {
+			out = append(out, respOK)
+			out = append(out, resp...)
+		}
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.CallTimeout))
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// dispatch routes one decoded request to its handler.
+func (n *Node) dispatch(remote string, body []byte) ([]byte, error) {
+	if len(body) == 0 {
+		return nil, errors.New("empty request")
+	}
+	t, payload := body[0], body[1:]
+	switch t {
+	case mtPing:
+		return n.handlePing(remote, payload)
+	case mtRepAppend:
+		return n.handleRepAppend(remote, payload)
+	case mtRepFetch:
+		return n.handleRepFetch(payload)
+	case mtJobStart:
+		return n.handleJobStart(payload)
+	case mtJobDeliver:
+		return n.handleJobDeliver(payload)
+	case mtJobStep:
+		return n.handleJobStep(payload)
+	case mtJobFinish:
+		return n.handleJobFinish(payload)
+	}
+	return nil, fmt.Errorf("unknown message type 0x%02x", t)
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.connMu.Lock()
+		if n.closed {
+			n.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+			n.connMu.Lock()
+			delete(n.conns, conn)
+			n.connMu.Unlock()
+		}()
+	}
+}
+
+// --- small wire-encoding helpers shared by the message payloads ---
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends a uvarint-length-prefixed byte slice.
+func appendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// reader decodes the helpers' encodings with sticky error state.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = errors.New("cluster: truncated uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.err = errors.New("cluster: truncated field")
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) string() string { return string(r.bytes()) }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.err = errors.New("cluster: truncated byte")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}

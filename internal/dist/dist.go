@@ -70,17 +70,26 @@ type Options struct {
 	Transpose *bigraph.Graph
 }
 
-// NodeStats reports one shard's share of the run.
+// NodeStats reports one shard's share of the run. The JSON tags are the
+// /stats wire names: single-process sharded runs and cluster runs report
+// through the same section shape.
 type NodeStats struct {
 	// Owned is the number of emitted solutions whose hash owner is this
 	// shard.
-	Owned int64
+	Owned int64 `json:"owned"`
 	// Sent is the number of link targets this shard forwarded to owners
 	// (its own partition included: a self-owned target is still one
 	// protocol message).
-	Sent int64
+	Sent int64 `json:"sent"`
 	// Expansions is the number of solution expansions this shard ran.
-	Expansions int64
+	Expansions int64 `json:"expansions"`
+	// Combined is the number of link targets the sender cache suppressed
+	// before they became messages (0 when the cache is off).
+	Combined int64 `json:"combined"`
+	// InboxHW is the shard inbox's high-water mark: the largest queue
+	// depth observed at a receive. Sustained values near QueueLen mean
+	// the shard is the backpressure bottleneck.
+	InboxHW int64 `json:"inbox_hw"`
 }
 
 // Stats summarizes a finished run.
@@ -252,6 +261,12 @@ func (rt *sharedRuntime) shardLoop(i int) {
 		}
 		select {
 		case c := <-sh.inbox:
+			// Receiver-side high-water sample: this candidate plus what is
+			// still queued behind it. Only the owning goroutine reads the
+			// channel, so the sample is race-free.
+			if d := int64(len(sh.inbox)) + 1; d > sh.stats.InboxHW {
+				sh.stats.InboxHW = d
+			}
 			rt.deliver(i, c)
 		case <-rt.done:
 			return
@@ -271,6 +286,7 @@ func (rt *sharedRuntime) route(from int, p biplex.Pair) bool {
 	sh.keyBuf = vskey.Encode(sh.keyBuf[:0], p.L, p.R)
 	if sh.sent != nil {
 		if _, dup := sh.sent[string(sh.keyBuf)]; dup {
+			sh.stats.Combined++
 			return true // sender cache: already forwarded
 		}
 		sh.sent[string(sh.keyBuf)] = struct{}{}
@@ -312,6 +328,9 @@ func (rt *sharedRuntime) send(sh *shard, to int, c biplex.Pair) {
 		case rt.shards[to].inbox <- c:
 			return
 		case in := <-sh.inbox:
+			if d := int64(len(sh.inbox)) + 1; d > sh.stats.InboxHW {
+				sh.stats.InboxHW = d
+			}
 			sh.stash = append(sh.stash, in)
 		case <-rt.done:
 			return

@@ -64,6 +64,11 @@ func Simulate(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, 
 			}
 		}
 		nodes[own].queue = append(nodes[own].queue, p)
+		// The lock-step model has no channels; its inbox high-water is the
+		// owner's work-queue depth at delivery.
+		if d := int64(len(nodes[own].queue)); d > st.Nodes[own].InboxHW {
+			st.Nodes[own].InboxHW = d
+		}
 		return true
 	}
 
@@ -107,6 +112,7 @@ func Simulate(g *bigraph.Graph, o Options, emit func(biplex.Pair) bool) (Stats, 
 				key := string(vskey.Encode(nil, p.L, p.R))
 				if nd.sent != nil {
 					if _, dup := nd.sent[key]; dup {
+						st.Nodes[i].Combined++
 						return true // sender cache: already forwarded
 					}
 					nd.sent[key] = struct{}{}

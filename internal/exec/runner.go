@@ -121,6 +121,42 @@ type Sharded struct {
 	Simulate bool
 }
 
+// RemoteExec is the seam the cluster layer plugs into: an implementation
+// fans the plan's traversal out across nodes and relays every discovered
+// solution — in view vertex ids, exactly once — back to the caller. The
+// relay returning false asks for a clean early stop (quota filled or the
+// emitter quit). Implementations live outside exec (internal/cluster's
+// QueryExec) so the planner stays free of transport concerns.
+type RemoteExec interface {
+	// RunRemote executes p's traversal remotely, relaying view-id
+	// solutions; the returned Stats carry Messages and Shards (Solutions
+	// is recomputed by the Remote runner's sink).
+	RunRemote(p *Plan, relay func(pr biplex.Pair) bool) (Stats, error)
+}
+
+// Remote executes the plan across cluster nodes through a RemoteExec
+// (ITraversal only, like every concurrent runner). Solutions merge
+// through the same sink as local runners — back-mapping and MaxResults
+// behave identically whether the traversal ran in-process or on peers.
+type Remote struct {
+	// Exec is the cluster-side fan-out implementation.
+	Exec RemoteExec
+}
+
+// Run implements Runner.
+func (r Remote) Run(p *Plan, emit EmitFunc) (Stats, error) {
+	if p.Opts.Algorithm != ITraversal {
+		return Stats{}, errNotITraversal
+	}
+	if r.Exec == nil {
+		return Stats{}, errors.New("exec: Remote requires an Exec")
+	}
+	s := p.newSink(emit)
+	st, err := r.Exec.RunRemote(p, func(pr biplex.Pair) bool { return s.relay(pr) })
+	st.Solutions = s.n
+	return st, err
+}
+
 func (r Sharded) Run(p *Plan, emit EmitFunc) (Stats, error) {
 	if p.Opts.Algorithm != ITraversal {
 		return Stats{}, errNotITraversal

@@ -1,0 +1,227 @@
+// The cluster face of the server: how one kbiplexd joins a static
+// multi-node membership (internal/cluster) and what crosses the seam in
+// each direction.
+//
+// Outbound, the server is the cluster's GraphSource (peers executing a
+// fanned-out query resolve the graph and its payload CRC here) and its
+// Applier (replicated catalog records — graph puts, deletes and edge
+// mutation batches — land on the same code paths the HTTP handlers
+// use, so a replicated op and a local op are indistinguishable to the
+// catalog). Inbound, the HTTP handlers propose every local catalog
+// change to the op log, route sharded iTraversal queries through the
+// exec.Remote runner when live peers exist, and 307-redirect misplaced
+// stateless graph reads to the rendezvous owner's HTTP address with an
+// X-Kbiplex-Node header naming it.
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	kbiplex "repro"
+	"repro/internal/bigraph"
+	"repro/internal/cluster"
+	"repro/internal/exec"
+	"repro/internal/store"
+)
+
+// headerNode names the placement owner of a redirected graph request so
+// clients (and humans with curl -v) can see where they were sent.
+const headerNode = "X-Kbiplex-Node"
+
+// clusterHooks adapts the Server to the cluster package's GraphSource
+// and Applier seams. Applier methods reuse the handlers' own apply
+// paths, which are idempotent per record the way replication requires:
+// a put replaces wholesale, a delete ignores missing graphs, and edge
+// mutations have set semantics.
+type clusterHooks struct{ s *Server }
+
+// ClusterGraph implements cluster.GraphSource: resolve the (possibly
+// cold) engine and the catalog's content fingerprint for a fanned-out
+// query.
+func (h clusterHooks) ClusterGraph(name string) (*bigraph.Graph, uint32, error) {
+	eng, err := h.s.catalog.Engine(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, ok := h.s.catalog.Info(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", store.ErrNotFound, name)
+	}
+	return eng.Graph(), info.CRC32, nil
+}
+
+// ApplyGraphPut implements cluster.Applier: decode the replicated
+// snapshot and register it exactly like a local load. Persistence
+// degrades to memory-only on nodes without a data directory — the
+// replicated op log itself re-delivers the graph after a restart.
+func (h clusterHooks) ApplyGraphPut(name string, persist bool, snapshot []byte) error {
+	g, err := kbiplex.ReadBinaryGraph(bytes.NewReader(snapshot))
+	if err != nil {
+		return fmt.Errorf("decoding replicated snapshot for %q: %w", name, err)
+	}
+	if persist && h.s.cfg.DataDir == "" {
+		persist = false
+	}
+	return h.s.addGraph(name, g, persist)
+}
+
+// ApplyGraphDelete implements cluster.Applier. A name this node never
+// had (or already dropped) is a successful no-op, so re-applied records
+// converge.
+func (h clusterHooks) ApplyGraphDelete(name string) error {
+	info, had := h.s.catalog.Info(name)
+	ok, err := h.s.catalog.Delete(name)
+	if err != nil {
+		return err
+	}
+	if ok && had {
+		h.s.invalidateResults(info.CRC32)
+	}
+	h.s.mut.Drop(name)
+	return nil
+}
+
+// ApplyMutate implements cluster.Applier: one replicated edge batch
+// runs through the same journaled copy-on-write path as a local POST
+// /v1/graphs/{name}/edges. A batch for a graph this node has not seen
+// yet (its put rode a different origin's log and has not arrived)
+// errors, which parks the origin's replication cursor until the pull
+// path retries after the put lands.
+func (h clusterHooks) ApplyMutate(name string, ops []cluster.EdgeOp) error {
+	edits := make([]bigraph.Edit, len(ops))
+	for i, op := range ops {
+		edits[i] = bigraph.Edit{Del: op.Del, V: op.L, U: op.R}
+	}
+	_, err := h.s.applyEdits(name, edits)
+	return err
+}
+
+// startCluster joins the configured cluster, wiring this server in as
+// the node's graph source and op-log applier. Called from New after the
+// catalog and journals are recovered, so replicated records arriving
+// immediately apply against the restored state.
+func (s *Server) startCluster(cc cluster.Config) error {
+	hooks := clusterHooks{s}
+	cc.Source = hooks
+	cc.Applier = hooks
+	node, err := cluster.Start(cc)
+	if err != nil {
+		return err
+	}
+	s.cluster = node
+	return nil
+}
+
+// propose best-effort replicates one local catalog change. The change
+// is already applied and durable locally; an op-log append failure (a
+// full disk under the cluster directory) means peers will not learn of
+// it, which surfaces as replication lag in /stats rather than as a
+// failure of the request that caused it.
+func (s *Server) propose(kind cluster.OpKind, name string, persist bool, payload []byte) {
+	if s.cluster == nil {
+		return
+	}
+	s.cluster.Propose(kind, name, persist, payload)
+}
+
+// proposePut snapshots g and replicates it as a put record.
+func (s *Server) proposePut(name string, g *kbiplex.Graph, persist bool) {
+	if s.cluster == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := kbiplex.WriteBinaryGraph(&buf, g); err != nil {
+		return
+	}
+	s.propose(cluster.OpPut, name, persist, buf.Bytes())
+}
+
+// proposeMutate replicates one applied edge batch as a mutate record.
+func (s *Server) proposeMutate(name string, edits []bigraph.Edit) {
+	if s.cluster == nil {
+		return
+	}
+	ops := make([]cluster.EdgeOp, len(edits))
+	for i, e := range edits {
+		ops[i] = cluster.EdgeOp{Del: e.Del, L: e.V, R: e.U}
+	}
+	s.propose(cluster.OpMutate, name, false, cluster.EncodeEdgeOps(ops))
+}
+
+// redirectToOwner reroutes a misplaced stateless graph request to its
+// rendezvous owner with a 307 (method and body preserved), naming the
+// owner in X-Kbiplex-Node. Requests are served locally when this node
+// owns the graph or the owner is unreachable — replication gives every
+// node the full catalog, so locality is a preference, not a
+// requirement.
+func (s *Server) redirectToOwner(w http.ResponseWriter, r *http.Request, name string) bool {
+	if s.cluster == nil {
+		return false
+	}
+	id, httpAddr, self := s.cluster.OwnerOf(name)
+	if self || httpAddr == "" || !s.cluster.PeerUp(id) {
+		return false
+	}
+	u := *r.URL
+	u.Scheme = "http"
+	u.Host = httpAddr
+	w.Header().Set(headerNode, id)
+	http.Redirect(w, r, u.String(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// clusterQuery runs one sharded iTraversal query across the live
+// membership through the exec.Remote runner, ok=false when the query
+// should fall back to a local runner (no cluster, no live peers, or an
+// unfingerprinted graph).
+func (s *Server) clusterQuery(ctx context.Context, eng *kbiplex.Engine, name string, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, bool, error) {
+	if s.cluster == nil || q.Algorithm != kbiplex.ITraversal || len(s.cluster.LivePeers()) == 0 {
+		return kbiplex.Stats{}, false, nil
+	}
+	info, ok := s.catalog.Info(name)
+	if !ok || info.CRC32 == 0 {
+		return kbiplex.Stats{}, false, nil
+	}
+	st, err := eng.EnumerateRunner(ctx, q.Options(), exec.Remote{Exec: cluster.QueryExec{
+		Node: s.cluster, Graph: name, CRC: info.CRC32, Shards: q.Shards,
+	}}, emit)
+	return st, true, err
+}
+
+// recordDist folds one sharded (in-process or cluster) run's per-shard
+// stats into the /stats "dist" section: cumulative message and combiner
+// counters plus the most recent per-shard breakdown.
+func (s *Server) recordDist(st kbiplex.Stats) {
+	if len(st.Shards) == 0 {
+		return
+	}
+	var combined int64
+	for _, sh := range st.Shards {
+		combined += sh.Combined
+	}
+	s.distMu.Lock()
+	s.distQueries++
+	s.distMessages += st.Messages
+	s.distCombined += combined
+	s.distLast = st.Shards
+	s.distMu.Unlock()
+}
+
+// distSection snapshots the accumulated sharded-run counters for
+// /stats; ok=false when no sharded query has run yet.
+func (s *Server) distSection() (map[string]any, bool) {
+	s.distMu.Lock()
+	defer s.distMu.Unlock()
+	if s.distQueries == 0 {
+		return nil, false
+	}
+	return map[string]any{
+		"queries":     s.distQueries,
+		"messages":    s.distMessages,
+		"combined":    s.distCombined,
+		"last_shards": s.distLast,
+	}, true
+}

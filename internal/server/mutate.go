@@ -107,7 +107,8 @@ func decodeMutation(w http.ResponseWriter, r *http.Request) ([]bigraph.Edit, err
 	return edits, nil
 }
 
-// handleMutateEdges applies one mutation batch to a graph.
+// handleMutateEdges applies one mutation batch to a graph and
+// replicates it to the cluster.
 func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	edits, err := decodeMutation(w, r)
@@ -115,20 +116,37 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	doc, err := s.applyEdits(name, edits)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.proposeMutate(name, edits)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// applyEdits journals and applies one validated edit batch to a graph —
+// the single mutation path, shared by the HTTP handler above and the
+// cluster's replicated-mutate applier. Edits have set semantics
+// (inserting a present edge or deleting an absent one is a noop), so
+// re-applying a batch is idempotent on content.
+func (s *Server) applyEdits(name string, edits []bigraph.Edit) (mutationDoc, error) {
 	info, ok := s.catalog.Info(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q", name))
-		return
+		return mutationDoc{}, fmt.Errorf("%w: no graph %q", store.ErrNotFound, name)
 	}
 	// Resolve the engine up front so a cold graph hydrates (and its
 	// failure surfaces) before anything is journaled.
-	if _, ok := s.engine(w, name); !ok {
-		return
+	if _, err := s.catalog.Engine(name); err != nil {
+		return mutationDoc{}, err
 	}
 	st, _, err := s.mut.Open(name, info.Persisted, info.CRC32)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return mutationDoc{}, err
 	}
 
 	var doc mutationDoc
@@ -171,12 +189,7 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, store.ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
-		return
+		return mutationDoc{}, err
 	}
 	doc.Epoch = epoch
 	if needCompact {
@@ -187,7 +200,7 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 			doc.Compacted = true
 		}
 	}
-	writeJSON(w, http.StatusOK, doc)
+	return doc, nil
 }
 
 // compactGraph folds a graph's mutation delta into a fresh base

@@ -66,6 +66,7 @@ import (
 	"time"
 
 	kbiplex "repro"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/mutate"
 	"repro/internal/rescache"
@@ -142,6 +143,13 @@ type Config struct {
 	// faster writes, but a host crash can lose the most recent batches
 	// (the framing still recovers the intact prefix).
 	JournalNoSync bool
+	// Cluster, when non-nil, joins this server to a static multi-node
+	// membership (see internal/cluster): catalog changes replicate to
+	// peers through an op log, sharded iTraversal queries fan out over
+	// RPC, and misplaced stateless graph reads 307-redirect to their
+	// rendezvous owner. The server fills the config's Source and Applier
+	// seams itself; Dir defaults to <DataDir>/cluster when unset.
+	Cluster *cluster.Config
 }
 
 // Server routes HTTP traffic onto kbiplex engines owned by a persistent
@@ -153,6 +161,17 @@ type Server struct {
 	jobs    *jobs.Manager
 	results *rescache.Cache // nil when the result cache is disabled
 	mut     *mutate.Manager // per-graph mutation journals and epochs
+	cluster *cluster.Node   // nil outside cluster deployments
+
+	// Sharded-run reporting (/stats "dist"): cumulative counters plus
+	// the last run's per-shard breakdown, one section whether the query
+	// ran on the in-process sharded runtime or fanned out to the
+	// cluster.
+	distMu       sync.Mutex
+	distQueries  int64
+	distMessages int64
+	distCombined int64
+	distLast     []kbiplex.ShardStats
 
 	// lifecycle is open until BeginShutdown; every request context is
 	// tied to it so in-flight streams can be drained with a cause.
@@ -232,6 +251,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		if cc.Dir == "" && cfg.DataDir != "" {
+			cc.Dir = filepath.Join(cfg.DataDir, "cluster")
+		}
+		// The cluster starts last: recovery above restored the catalog
+		// and journals, so replicated records arriving on the very first
+		// heartbeat apply against current state.
+		if err := s.startCluster(cc); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -287,6 +319,12 @@ func (s *Server) Infos() []store.Info { return s.catalog.Infos() }
 // graceful error frames on open streams call BeginShutdown first.
 func (s *Server) Close() error {
 	s.BeginShutdown()
+	// The cluster node goes first: no replicated record may apply, and
+	// no inbound query RPC may resolve an engine, while the catalog is
+	// tearing down beneath them.
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	jerr := s.jobs.Close(ctx, ErrShuttingDown)
@@ -462,6 +500,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"journal_records":  mst.JournalRecords,
 		"journal_bytes":    mst.JournalBytes,
 	}
+	if sec, ok := s.distSection(); ok {
+		doc["dist"] = sec
+	}
+	if s.cluster != nil {
+		doc["cluster"] = s.cluster.Status()
+	}
 	if s.results != nil {
 		cst := s.results.Stats()
 		doc["result_cache"] = map[string]any{
@@ -601,10 +645,11 @@ func (s *Server) handleLoadSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.finishLoad(w, name, g, persist)
 }
 
-// finishLoad registers the decoded graph and writes the 201 response.
-// A load that replaces an existing graph with different content drops
-// the old content's cached results.
-func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph, persist bool) {
+// addGraph registers g under name: the mutation journal of any replaced
+// graph is dropped, and a replace with different content invalidates the
+// old content's cached results. Shared by the HTTP load path and the
+// cluster's replicated-put applier.
+func (s *Server) addGraph(name string, g *kbiplex.Graph, persist bool) error {
 	old, hadOld := s.catalog.Info(name)
 	// A replace restarts the graph's mutation history at epoch 0. The
 	// journal is dropped before the new snapshot lands: if the process
@@ -624,6 +669,13 @@ func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph
 			s.invalidateResults(old.CRC32)
 		}
 	}
+	return err
+}
+
+// finishLoad registers the decoded graph, replicates it to the cluster,
+// and writes the 201 response.
+func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph, persist bool) {
+	err := s.addGraph(name, g, persist)
 	if err != nil {
 		// The request itself was already validated (name, decoded graph),
 		// so a catalog failure here is the server's fault — a full disk,
@@ -636,6 +688,7 @@ func (s *Server) finishLoad(w http.ResponseWriter, name string, g *kbiplex.Graph
 		writeError(w, status, err)
 		return
 	}
+	s.proposePut(name, g, persist)
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"name": name, "num_left": g.NumLeft(), "num_right": g.NumRight(), "num_edges": g.NumEdges(),
 		"persisted": persist,
@@ -665,6 +718,7 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{
 		"name": name, "num_left": info.NumLeft, "num_right": info.NumRight, "num_edges": info.NumEdges,
 		"persisted": info.Persisted, "resident": info.Resident, "epoch": s.graphEpoch(name),
+		"crc32": info.CRC32,
 	}
 	// Engine counters only exist while the engine is resident; a cold
 	// (recovered or evicted) graph still answers from the manifest.
@@ -697,6 +751,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		s.invalidateResults(info.CRC32)
 	}
 	s.mut.Drop(name)
+	s.propose(cluster.OpDelete, name, false, nil)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -813,10 +868,13 @@ type summaryLine struct {
 // runQuery executes one decoded query against an engine, dispatching to
 // the sharded runtime or the parallel driver when the query asks for
 // shards or workers (and applying Config.DefaultShards to iTraversal
-// queries that pick neither). It is the single execution path shared by
-// the legacy streaming endpoint and the /v1 job runner; emit must be
-// safe for concurrent use when shards or workers are requested.
-func (s *Server) runQuery(ctx context.Context, eng *kbiplex.Engine, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+// queries that pick neither). Sharded queries on a cluster node with
+// live peers fan out across the membership instead of across local
+// goroutines — same solution set, reported through the same stats. It
+// is the single execution path shared by the legacy streaming endpoint
+// and the /v1 job runner; emit must be safe for concurrent use when
+// shards or workers are requested.
+func (s *Server) runQuery(ctx context.Context, eng *kbiplex.Engine, name string, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
 	if d := time.Duration(q.Deadline); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -826,7 +884,13 @@ func (s *Server) runQuery(ctx context.Context, eng *kbiplex.Engine, q kbiplex.Qu
 		q.Shards = s.cfg.DefaultShards
 	}
 	if q.Shards > 0 {
-		return eng.EnumerateSharded(ctx, q.Options(), emit)
+		if st, ok, err := s.clusterQuery(ctx, eng, name, q, emit); ok {
+			s.recordDist(st)
+			return st, err
+		}
+		st, err := eng.EnumerateSharded(ctx, q.Options(), emit)
+		s.recordDist(st)
+		return st, err
 	}
 	if q.Workers > 1 || q.Workers < 0 {
 		return eng.EnumerateParallel(ctx, q.Options(), q.Workers, emit)
@@ -870,6 +934,9 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if s.redirectToOwner(w, r, name) {
+		return
+	}
 	key, cacheable := s.cacheKey(name, q)
 	if cacheable {
 		// The cache is consulted before the engine is even resolved: a
@@ -940,7 +1007,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	st, err := s.runQuery(ctx, eng, q, emit)
+	st, err := s.runQuery(ctx, eng, name, q, emit)
 	if err == nil {
 		err = streamErr
 	}
@@ -1019,7 +1086,11 @@ func (s *Server) handleLargest(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	eng, ok := s.engine(w, r.PathValue("name"))
+	name := r.PathValue("name")
+	if s.redirectToOwner(w, r, name) {
+		return
+	}
+	eng, ok := s.engine(w, name)
 	if !ok {
 		return
 	}

@@ -157,7 +157,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	job, err := s.jobs.SubmitWith(name, q, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
-		return s.runQuery(ctx, eng, q, emit)
+		return s.runQuery(ctx, eng, name, q, emit)
 	}, opts)
 	if err != nil {
 		jobError(w, err)

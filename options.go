@@ -197,7 +197,19 @@ type Stats struct {
 	// enumeration returned (including a cancelled or errored run's partial
 	// work). Validation failures report zero.
 	Duration time.Duration
+	// Messages counts link targets routed between shards; zero for the
+	// sequential and parallel runners, which have no shards to route
+	// between.
+	Messages int64
+	// Shards holds the per-shard breakdown of a sharded or cluster run
+	// (nil otherwise). For a cluster run each entry is one participant
+	// node's share.
+	Shards []ShardStats
 }
+
+// ShardStats is one shard's (or, for a cluster query, one participant
+// node's) share of a sharded run; see exec.ShardStats.
+type ShardStats = exec.ShardStats
 
 // Duration is a time.Duration that travels over JSON as a Go duration
 // string ("30s", "1m30s"); a bare number is accepted on input as
