@@ -13,8 +13,15 @@
 // is durable: graphs loaded with persist=true are written as
 // CRC-checked binary snapshots under that directory, recovered and
 // warmed at the next boot, and -mem-budget-mb bounds resident graph
-// memory by evicting cold engines (they re-hydrate from snapshot on
-// demand). Endpoints (see package repro/internal/server for the full
+// memory. -storage-tier picks what happens past the budget: under auto
+// (the default) cold graphs demote to zero-copy mmap views of their
+// snapshots — still serving, heap cost near zero — and promote back to
+// heap arrays when they get hot again; mmap serves every persisted
+// graph mapped; heap restores the classic evict-and-rehydrate policy.
+// /v1 job results past an in-RAM watermark can spill to CRC-framed
+// segment files with -spool-spill-dir and -spool-mem-bytes, so jobs
+// much larger than memory stay resumable by cursor.
+// Endpoints (see package repro/internal/server for the full
 // /v1 job surface, and package repro/client for the typed Go client):
 //
 //	GET    /healthz                  liveness ("draining" during shutdown)
@@ -81,6 +88,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -158,6 +166,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobTTL       = fs.Duration("job-ttl", 0, "how long finished jobs stay readable (0 = default 10m)")
 		cacheMB      = fs.Int64("result-cache-mb", 64, "result-cache budget in MiB for repeat-query spools (0 = disabled)")
 		cachePersist = fs.Bool("result-cache-persist", false, "persist popular result-cache spools under <data-dir>/rescache across restarts (needs -data-dir)")
+		storageTier  = fs.String("storage-tier", "", "catalog residency policy: heap (always parse into RAM), mmap (serve snapshots zero-copy from page cache), or auto (demote cold graphs to mmap under budget pressure, promote hot ones back; the default)")
+		spoolSpill   = fs.String("spool-spill-dir", "", "directory for /v1 job result spools past the in-RAM watermark; stale segments are swept at boot (empty = spools stay in memory)")
+		spoolMem     = fs.Int64("spool-mem-bytes", 0, "per-job in-RAM spool watermark in bytes before results spill to -spool-spill-dir (0 = default 4 MiB)")
 		compactOps   = fs.Int("journal-compact-ops", 0, "mutation-journal ops per graph before the delta compacts into a fresh snapshot (0 = default 4096)")
 		noSync       = fs.Bool("journal-no-sync", false, "skip the per-batch mutation-journal fsync (faster writes; a host crash can lose recent batches)")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off). The profiling listener is unauthenticated — bind it to loopback or a management network, never the service address")
@@ -181,6 +192,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *cachePersist && *dataDir == "" {
 		return errors.New("-result-cache-persist needs -data-dir (the cache log lives under it)")
 	}
+	switch *storageTier {
+	case "", string(store.TierHeap), string(store.TierMapped), string(store.TierAuto):
+	default:
+		return fmt.Errorf("-storage-tier %q: want heap, mmap or auto", *storageTier)
+	}
+	if *storageTier == string(store.TierMapped) && *dataDir == "" {
+		return errors.New("-storage-tier mmap needs -data-dir (mapped views serve straight from snapshots)")
+	}
+	if *spoolMem != 0 && *spoolSpill == "" {
+		return errors.New("-spool-mem-bytes needs -spool-spill-dir (it is the spill watermark)")
+	}
 	// The flag speaks operator language (MiB, 0 = off); the server config
 	// speaks bytes (0 = its own default, negative = disabled).
 	cacheBytes := *cacheMB << 20
@@ -199,6 +221,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		AllowPathLoad:      *allowPath,
 		DataDir:            *dataDir,
 		MemoryBudget:       *memBudgetMB << 20,
+		StorageTier:        store.Tier(*storageTier),
 		DefaultShards:      *defShards,
 		ResultCacheBytes:   cacheBytes,
 		ResultCachePersist: *cachePersist,
@@ -206,10 +229,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		JournalNoSync:      *noSync,
 		Cluster:            clusterCfg,
 		Jobs: jobs.Config{
-			Workers:    *jobWorkers,
-			QueueDepth: *jobQueue,
-			MaxResults: *jobResults,
-			TTL:        *jobTTL,
+			Workers:       *jobWorkers,
+			QueueDepth:    *jobQueue,
+			MaxResults:    *jobResults,
+			TTL:           *jobTTL,
+			SpillDir:      *spoolSpill,
+			SpoolMemBytes: *spoolMem,
 		},
 	})
 	if err != nil {

@@ -379,6 +379,15 @@ func TestFlagValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-result-cache-persist"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("-result-cache-persist without -data-dir accepted")
 	}
+	if err := run(context.Background(), []string{"-storage-tier", "paged"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown -storage-tier accepted")
+	}
+	if err := run(context.Background(), []string{"-storage-tier", "mmap"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-storage-tier mmap without -data-dir accepted")
+	}
+	if err := run(context.Background(), []string{"-spool-mem-bytes", "1024"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-spool-mem-bytes without -spool-spill-dir accepted")
+	}
 }
 
 // TestLoadCollidesWithPersistedGraph: a -load flag naming a persisted

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -41,6 +42,7 @@ const (
 	seedShardJob  = 41
 	seedCache     = 43
 	seedMutate    = 47
+	seedOOM       = 53
 )
 
 // benchExpConfig scales the figure runners down to benchmark size, like
@@ -72,6 +74,7 @@ func Scenarios() []Scenario {
 		jobRoundtripScenario(),
 		mutateReadMixScenario(),
 		snapshotRoundtripScenario(),
+		oomPressureScenario(),
 	}
 }
 
@@ -809,6 +812,154 @@ func snapshotRoundtripScenario() Scenario {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				roundtrip()
+			}
+		},
+	}
+}
+
+// --- store: out-of-core serving under memory pressure ---
+
+// oomPressureScenario drives a working set four times the catalog's
+// memory budget through the default auto tier: six persisted graphs are
+// queried round-robin, so the catalog continuously demotes cold graphs
+// to zero-copy mmap views and promotes reheated ones back, and a
+// spill-enabled jobs manager pushes one job's results through a tiny
+// in-RAM watermark. Every query's solution count is compared against an
+// unbudgeted reference pass — the reported count_mismatches metric must
+// stay 0 — and demotions/promotions/spill_bytes are reported for the CI
+// gate to assert the machinery actually engaged.
+func oomPressureScenario() Scenario {
+	const numGraphs = 6
+	type env struct {
+		cat   *store.Catalog
+		names []string
+		want  []int64
+		spill int64 // spill bytes from the jobs-manager leg
+		total int64 // sum of reference counts, the cross-check count
+	}
+	graph := func(i int) *bigraph.Graph {
+		return gen.ER(48, 48, 2, seedOOM+int64(i))
+	}
+	count := func(eng *kbiplex.Engine, name string) int64 {
+		var n int64
+		if _, err := eng.Enumerate(context.Background(), kbiplex.Options{K: 1}, func(kbiplex.Solution) bool {
+			n++
+			return true
+		}); err != nil {
+			panic("bench: enumerating " + name + ": " + err.Error())
+		}
+		return n
+	}
+	setup := sync.OnceValue(func() env {
+		// Reference pass: an unbudgeted catalog sizes the working set
+		// and pins the per-graph solution counts every budgeted query
+		// must reproduce.
+		refDir, err := os.MkdirTemp("", "kbench-oom-ref-")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		ref, err := store.Open(store.Config{Dir: refDir})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		e := env{}
+		for i := 0; i < numGraphs; i++ {
+			name := fmt.Sprintf("g%d", i)
+			eng, err := ref.Add(name, graph(i), true)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			n := count(eng, name)
+			e.names = append(e.names, name)
+			e.want = append(e.want, n)
+			e.total += n
+		}
+		workingSet := ref.Stats().ResidentBytes
+		ref.Close()
+
+		// The measured catalog gets a quarter of the working set, so at
+		// most one or two graphs fit on the heap at a time; like the
+		// other leaked servers above, it lives for the process.
+		dir, err := os.MkdirTemp("", "kbench-oom-")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		e.cat, err = store.Open(store.Config{Dir: dir, MemoryBudget: workingSet / 4})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		for i, name := range e.names {
+			if _, err := e.cat.Add(name, graph(i), true); err != nil {
+				panic("bench: " + err.Error())
+			}
+		}
+
+		// Jobs-manager leg: one job pushed through a 1 KiB watermark
+		// spills its spool to disk; the streamed-back count must match
+		// the reference too.
+		spillDir, err := os.MkdirTemp("", "kbench-oom-spool-")
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		m := jobs.NewManager(context.Background(), jobs.Config{SpillDir: spillDir, SpoolMemBytes: 1 << 10})
+		eng, err := e.cat.Engine(e.names[0])
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		j, err := m.Submit(e.names[0], kbiplex.Query{K: 1}, func(ctx context.Context, q kbiplex.Query, emit func(kbiplex.Solution) bool) (kbiplex.Stats, error) {
+			return eng.Enumerate(ctx, q.Options(), emit)
+		})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		var streamed int64
+		for range j.Results(context.Background(), 0) {
+			streamed++
+		}
+		if streamed != e.want[0] {
+			panic(fmt.Sprintf("bench: spilled job streamed %d solutions, reference says %d", streamed, e.want[0]))
+		}
+		if !j.Snapshot().Spilled {
+			panic("bench: oom-pressure job never spilled; watermark too high")
+		}
+		e.spill = m.Stats().SpillBytes
+		return e
+	})
+	// round queries every graph once against the budgeted catalog and
+	// returns how many counts diverged from the reference.
+	round := func(e env) int64 {
+		var mismatches int64
+		for i, name := range e.names {
+			eng, err := e.cat.Engine(name)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			if count(eng, name) != e.want[i] {
+				mismatches++
+			}
+		}
+		return mismatches
+	}
+	return Scenario{
+		Name:  "store/oom-pressure",
+		Group: "store",
+		Doc:   "round-robin queries over a working set 4x the memory budget: demote/promote churn plus a disk-spilled job, counts cross-checked against an unbudgeted reference",
+		Quick: true,
+		Count: func() int64 { return setup().total },
+		Run: func(b *testing.B) {
+			e := setup()
+			var mismatches int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mismatches += round(e)
+			}
+			st := e.cat.Stats()
+			b.ReportMetric(float64(st.Demotions), "demotions")
+			b.ReportMetric(float64(st.Promotions), "promotions")
+			b.ReportMetric(float64(e.spill), "spill_bytes")
+			b.ReportMetric(float64(mismatches), "count_mismatches")
+			if mismatches != 0 {
+				b.Fatalf("%d budgeted queries diverged from the unbudgeted reference", mismatches)
 			}
 		},
 	}

@@ -110,6 +110,21 @@ func (g *Graph) Transpose() *Graph {
 	}
 }
 
+// Clone returns a deep copy of g whose CSR arrays are freshly allocated
+// on the Go heap. Its use is promoting a graph served from mapped
+// (mmap-backed) storage back to heap residency: the copy is a plain
+// memcpy of the four arrays, with no re-parse.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		numLeft:  g.numLeft,
+		numRight: g.numRight,
+		offL:     append([]int64(nil), g.offL...),
+		adjL:     append([]int32(nil), g.adjL...),
+		offR:     append([]int64(nil), g.offR...),
+		adjR:     append([]int32(nil), g.adjR...),
+	}
+}
+
 // Builder accumulates edges and produces an immutable Graph. Duplicate
 // edges are coalesced. The zero value is ready to use.
 type Builder struct {

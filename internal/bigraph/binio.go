@@ -94,13 +94,23 @@ func PayloadCRC(g *Graph) uint32 {
 	return sum
 }
 
-// ReadBinary deserializes a graph written by WriteBinary, verifying the
+// ReadBinary deserializes a graph written by WriteBinary or
+// WriteBinaryV2 (the magic selects the decoder), verifying the
 // checksum and CSR invariants.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("bigraph: binary: short magic: %w", err)
+	}
+	if m == binMagicV2 {
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("bigraph: binary v2: %w", err)
+		}
+		data := make([]byte, 0, 8+len(rest))
+		data = append(data, m[:]...)
+		return readBinaryV2(append(data, rest...))
 	}
 	if m != binMagic {
 		return nil, fmt.Errorf("bigraph: binary: bad magic")

@@ -1,0 +1,343 @@
+package bigraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+)
+
+// Binary graph format v2: the mmap-friendly sibling of the v1 varint
+// format. Where v1 optimizes for wire size (delta-coded varints that
+// must be parsed into heap arrays), v2 lays the four CSR arrays out
+// verbatim, each starting at an 8-byte-aligned offset, so a reader can
+// map the file and serve adjacency straight from the page cache with
+// zero parse and zero copy.
+//
+// Layout (little-endian, all offsets from the start of the file):
+//
+//	0    magic "KBPGRF2\n"
+//	8    u64 numLeft | u64 numRight | u64 numEdges | u64 sectionCount (= 4)
+//	40   section table: sectionCount × (u64 offset, u64 byteLength)
+//	104  sections, in order offL, adjL, offR, adjR:
+//	       offL (numLeft+1)  × i64    adjL numEdges × i32
+//	       offR (numRight+1) × i64    adjR numEdges × i32
+//	     every section starts 8-byte-aligned; i32 sections are
+//	     zero-padded to the next 8-byte boundary
+//	tail u32 section CRC32 (IEEE, over bytes [8, tail))
+//	     u32 payload CRC32 — the v1 content fingerprint (PayloadCRC)
+//
+// The final four bytes carry the same content fingerprint a v1 snapshot
+// ends with, so everything keyed on a snapshot's trailing checksum
+// (catalog manifests, result caches, cluster CRC checks) is format-
+// agnostic: two snapshots of the same graph carry the same trailer in
+// either format.
+//
+// Alignment is a format invariant, not an accident of the current
+// writer: the section table is validated against the canonical layout
+// on read, so a v2 file whose sections are not 8-byte-aligned is
+// rejected as corrupt. Tests pin the offsets.
+var binMagicV2 = [8]byte{'K', 'B', 'P', 'G', 'R', 'F', '2', '\n'}
+
+const (
+	// v2SectionCount is the fixed number of sections (offL, adjL, offR,
+	// adjR).
+	v2SectionCount = 4
+	// v2HeaderSize is where the first section starts: magic + counts +
+	// section table. It is a multiple of 8 by construction.
+	v2HeaderSize = 8 + 4*8 + v2SectionCount*16
+)
+
+// v2Section is one section's placement in the file.
+type v2Section struct{ off, len int64 }
+
+// pad8 rounds n up to the next multiple of 8.
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
+
+// v2Layout computes the canonical section placement and total file size
+// for a graph of the given shape.
+func v2Layout(numLeft, numRight int, numEdges int64) (secs [v2SectionCount]v2Section, total int64) {
+	off := int64(v2HeaderSize)
+	secs[0] = v2Section{off, 8 * int64(numLeft+1)}
+	off += secs[0].len // i64 section, already a multiple of 8
+	secs[1] = v2Section{off, 4 * numEdges}
+	off += pad8(secs[1].len)
+	secs[2] = v2Section{off, 8 * int64(numRight+1)}
+	off += secs[2].len
+	secs[3] = v2Section{off, 4 * numEdges}
+	off += pad8(secs[3].len)
+	return secs, off + 8 // + section CRC + payload CRC
+}
+
+// WriteBinaryV2 serializes g in the aligned v2 format. WriteBinary (v1)
+// remains the compact wire encoding; v2 is what the catalog writes to
+// disk so snapshots can be mmapped.
+func WriteBinaryV2(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binMagicV2[:]); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	secs, _ := v2Layout(g.numLeft, g.numRight, int64(g.NumEdges()))
+	var hdr [v2HeaderSize - 8]byte
+	le := binary.LittleEndian
+	le.PutUint64(hdr[0:], uint64(g.numLeft))
+	le.PutUint64(hdr[8:], uint64(g.numRight))
+	le.PutUint64(hdr[16:], uint64(g.NumEdges()))
+	le.PutUint64(hdr[24:], v2SectionCount)
+	for i, s := range secs {
+		le.PutUint64(hdr[32+16*i:], uint64(s.off))
+		le.PutUint64(hdr[40+16*i:], uint64(s.len))
+	}
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeInt64s(mw, g.offL); err != nil {
+		return err
+	}
+	if err := writeInt32sPadded(mw, g.adjL); err != nil {
+		return err
+	}
+	if err := writeInt64s(mw, g.offR); err != nil {
+		return err
+	}
+	if err := writeInt32sPadded(mw, g.adjR); err != nil {
+		return err
+	}
+	var tail [8]byte
+	le.PutUint32(tail[0:], crc.Sum32())
+	le.PutUint32(tail[4:], PayloadCRC(g))
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeInt64s streams vals little-endian through a reusable chunk.
+func writeInt64s(w io.Writer, vals []int64) error {
+	var buf [1 << 13]byte
+	for len(vals) > 0 {
+		n := min(len(vals), len(buf)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(vals[i]))
+		}
+		if _, err := w.Write(buf[: 8*n : 8*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// writeInt32sPadded streams vals little-endian, then zero-pads to the
+// next 8-byte boundary.
+func writeInt32sPadded(w io.Writer, vals []int32) error {
+	var buf [1 << 13]byte
+	total := int64(4 * len(vals))
+	for len(vals) > 0 {
+		n := min(len(vals), len(buf)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[i]))
+		}
+		if _, err := w.Write(buf[: 4*n : 4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	if pad := pad8(total) - total; pad > 0 {
+		var zeros [8]byte
+		if _, err := w.Write(zeros[:pad]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// v2File is a validated view into a v2 snapshot's bytes.
+type v2File struct {
+	numLeft, numRight int
+	numEdges          int64
+	secs              [v2SectionCount]v2Section
+}
+
+// parseV2 validates data as a complete v2 snapshot: magic, plausible
+// counts, the canonical (aligned) section table, exact file size, and
+// the section CRC. It does not yet look inside the sections.
+func parseV2(data []byte) (v2File, error) {
+	var f v2File
+	if len(data) < v2HeaderSize+8 {
+		return f, fmt.Errorf("bigraph: binary v2: file too short (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != binMagicV2 {
+		return f, fmt.Errorf("bigraph: binary v2: bad magic")
+	}
+	le := binary.LittleEndian
+	numLeft := le.Uint64(data[8:])
+	numRight := le.Uint64(data[16:])
+	numEdges := le.Uint64(data[24:])
+	const maxSide = 1 << 31
+	if numLeft > maxSide || numRight > maxSide || numEdges > (1<<40) {
+		return f, fmt.Errorf("bigraph: binary v2: implausible sizes %d/%d/%d", numLeft, numRight, numEdges)
+	}
+	if n := le.Uint64(data[32:]); n != v2SectionCount {
+		return f, fmt.Errorf("bigraph: binary v2: want %d sections, got %d", v2SectionCount, n)
+	}
+	f.numLeft, f.numRight, f.numEdges = int(numLeft), int(numRight), int64(numEdges)
+	want, total := v2Layout(f.numLeft, f.numRight, f.numEdges)
+	if int64(len(data)) != total {
+		return f, fmt.Errorf("bigraph: binary v2: file is %d bytes, layout needs %d", len(data), total)
+	}
+	for i := range want {
+		got := v2Section{
+			off: int64(le.Uint64(data[40+16*i:])),
+			len: int64(le.Uint64(data[48+16*i:])),
+		}
+		if got != want[i] {
+			// The canonical layout is what guarantees alignment; a table
+			// that disagrees with it is corrupt (or adversarial), not an
+			// alternative encoding.
+			return f, fmt.Errorf("bigraph: binary v2: section %d at (%d,%d), canonical layout says (%d,%d)",
+				i, got.off, got.len, want[i].off, want[i].len)
+		}
+		f.secs[i] = got
+	}
+	if sum := crc32.ChecksumIEEE(data[8 : total-8]); sum != le.Uint32(data[total-8:]) {
+		return f, fmt.Errorf("bigraph: binary v2: section checksum mismatch")
+	}
+	return f, nil
+}
+
+// validateCSRShape checks the structural invariants needed for every
+// accessor to stay in bounds: monotone offsets ending at numEdges, and
+// strictly ascending in-range adjacency per row. Unlike Validate it
+// skips the O(E log d) adjL↔adjR cross-membership check — the section
+// CRC already covers files our writer produced, and a forged file that
+// passes this check can at worst return inconsistent mirrors, never a
+// fault.
+func validateCSRShape(numLeft, numRight int, offL []int64, adjL []int32, offR []int64, adjR []int32) error {
+	if len(adjL) != len(adjR) {
+		return fmt.Errorf("bigraph: adjacency arrays disagree: %d vs %d", len(adjL), len(adjR))
+	}
+	check := func(side string, n, peer int, off []int64, adj []int32) error {
+		if len(off) != n+1 {
+			return fmt.Errorf("bigraph: %s offset array has %d entries, want %d", side, len(off), n+1)
+		}
+		if off[0] != 0 {
+			return fmt.Errorf("bigraph: %s offsets must start at 0", side)
+		}
+		for i := 0; i < n; i++ {
+			if off[i+1] < off[i] {
+				return fmt.Errorf("bigraph: %s offsets decrease at %d", side, i)
+			}
+		}
+		if off[n] != int64(len(adj)) {
+			return fmt.Errorf("bigraph: %s offsets end at %d, adjacency has %d entries", side, off[n], len(adj))
+		}
+		for i := 0; i < n; i++ {
+			row := adj[off[i]:off[i+1]]
+			for j, u := range row {
+				if u < 0 || int(u) >= peer {
+					return fmt.Errorf("bigraph: %s vertex %d has out-of-range neighbor %d", side, i, u)
+				}
+				if j > 0 && row[j-1] >= u {
+					return fmt.Errorf("bigraph: %s vertex %d adjacency not strictly sorted", side, i)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("left", numLeft, numRight, offL, adjL); err != nil {
+		return err
+	}
+	return check("right", numRight, numLeft, offR, adjR)
+}
+
+// readBinaryV2 decodes a complete v2 snapshot into heap-owned arrays —
+// the parse path used when mapping is unavailable (or undesired) and
+// for byte-stream readers. Unlike MapBinaryV2 it also recomputes the
+// content fingerprint and checks it against the trailer, preserving
+// v1's property that a full parse self-verifies end to end (catalog
+// rescans quarantine on this); the mapped path skips that O(E) pass
+// and leaves the trailer to the manifest comparison.
+func readBinaryV2(data []byte) (*Graph, error) {
+	f, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	sec := func(i int) []byte { return data[f.secs[i].off : f.secs[i].off+f.secs[i].len] }
+	g := &Graph{
+		numLeft:  f.numLeft,
+		numRight: f.numRight,
+		offL:     decodeInt64s(sec(0)),
+		adjL:     decodeInt32s(sec(1)),
+		offR:     decodeInt64s(sec(2)),
+		adjR:     decodeInt32s(sec(3)),
+	}
+	if err := validateCSRShape(g.numLeft, g.numRight, g.offL, g.adjL, g.offR, g.adjR); err != nil {
+		return nil, fmt.Errorf("bigraph: binary v2: %w", err)
+	}
+	if trailer := binary.LittleEndian.Uint32(data[len(data)-4:]); trailer != PayloadCRC(g) {
+		return nil, fmt.Errorf("bigraph: binary v2: payload checksum mismatch")
+	}
+	return g, nil
+}
+
+func decodeInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func decodeInt32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// MapBinaryV2 builds a Graph whose CSR arrays alias data directly —
+// typically an mmap of a v2 snapshot — after validating the layout, the
+// section CRC and the structural invariants (so a corrupt or truncated
+// file errors here instead of faulting in a traversal). data must start
+// 8-byte-aligned (page-aligned mappings always do), must not be
+// modified, and must outlive every use of the returned graph, including
+// transposes and engines built over it; the caller owns the unmap.
+func MapBinaryV2(data []byte) (*Graph, error) {
+	f, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(data)))%8 != 0 {
+		return nil, fmt.Errorf("bigraph: binary v2: mapped base not 8-byte-aligned")
+	}
+	castInt64 := func(s v2Section) []int64 {
+		if s.len == 0 {
+			return []int64{}
+		}
+		return unsafe.Slice((*int64)(unsafe.Pointer(&data[s.off])), s.len/8)
+	}
+	castInt32 := func(s v2Section) []int32 {
+		if s.len == 0 {
+			return []int32{}
+		}
+		return unsafe.Slice((*int32)(unsafe.Pointer(&data[s.off])), s.len/4)
+	}
+	g := &Graph{
+		numLeft:  f.numLeft,
+		numRight: f.numRight,
+		offL:     castInt64(f.secs[0]),
+		adjL:     castInt32(f.secs[1]),
+		offR:     castInt64(f.secs[2]),
+		adjR:     castInt32(f.secs[3]),
+	}
+	if err := validateCSRShape(g.numLeft, g.numRight, g.offL, g.adjL, g.offR, g.adjR); err != nil {
+		return nil, fmt.Errorf("bigraph: binary v2: %w", err)
+	}
+	return g, nil
+}

@@ -14,6 +14,14 @@
 // bounded in number (ErrTooManyJobs) and expire TTL after finishing,
 // and each run carries the query's deadline (plus Config.MaxDeadline as
 // a ceiling).
+//
+// With Config.SpillDir set the spool bound decouples from RAM: once a
+// job's in-memory tail passes Config.SpoolMemBytes it is flushed to a
+// CRC-framed append-only segment file, cursor reads seek into the
+// segment transparently, and the file is unlinked when the job is
+// removed or expires (stale segments from a crashed process are swept
+// at startup). Spill I/O failures degrade the job to memory-only
+// spooling rather than failing it.
 package jobs
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"os"
 	"slices"
 	"strings"
 	"sync"
@@ -47,10 +56,15 @@ var (
 type State string
 
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
+	// StateQueued marks a job admitted but not yet started.
+	StateQueued State = "queued"
+	// StateRunning marks a job currently executing on a worker.
+	StateRunning State = "running"
+	// StateDone marks a job that ran to completion.
+	StateDone State = "done"
+	// StateFailed marks a job whose runner returned an error.
+	StateFailed State = "failed"
+	// StateCanceled marks a job stopped by cancellation or drain.
 	StateCanceled State = "canceled"
 )
 
@@ -82,9 +96,10 @@ type Config struct {
 	QueueDepth int
 	// MaxResults caps each job's result spool: a query asking for more
 	// (or for everything) is clamped to this many solutions, and the
-	// job is marked truncated when the clamp bit. Default 1<<18; it is
-	// the product of the retained-job bound and the spool cap that
-	// bounds the manager's memory.
+	// job is marked truncated when the clamp bit. Default 1<<18, or
+	// 1<<22 when SpillDir is set (spilled spools are bounded by disk,
+	// not RAM); it is the product of the retained-job bound and the
+	// spool cap that bounds the manager's memory.
 	MaxResults int
 	// MaxJobs bounds retained jobs, running and finished together
 	// (default 256). Submits past it fail with ErrTooManyJobs until
@@ -97,6 +112,14 @@ type Config struct {
 	// MaxDeadline, when positive, caps every job's run time; a query
 	// deadline beyond it (or a query without one) is clamped to it.
 	MaxDeadline time.Duration
+	// SpillDir, when non-empty, enables disk spill: result spools past
+	// SpoolMemBytes flush to per-job segment files under it. The
+	// directory is created if missing; stale segments in it are swept
+	// when the manager starts.
+	SpillDir string
+	// SpoolMemBytes is the in-RAM watermark per job before its spool
+	// spills (default 4<<20 when SpillDir is set; ignored otherwise).
+	SpoolMemBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +130,14 @@ func (c Config) withDefaults() Config {
 		c.QueueDepth = 64
 	}
 	if c.MaxResults <= 0 {
-		c.MaxResults = 1 << 18
+		if c.SpillDir != "" {
+			c.MaxResults = 1 << 22
+		} else {
+			c.MaxResults = 1 << 18
+		}
+	}
+	if c.SpillDir != "" && c.SpoolMemBytes <= 0 {
+		c.SpoolMemBytes = 4 << 20
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
@@ -138,6 +168,9 @@ type Snapshot struct {
 	// Truncated reports that the spool cap cut the run short of what
 	// the query asked for.
 	Truncated bool
+	// Spilled reports that part of the spool lives in a disk segment
+	// rather than RAM (cursor reads are unaffected, just slower).
+	Spilled bool
 	// Stats is the finished run's summary (zero while the job is
 	// queued or running).
 	Stats kbiplex.Stats
@@ -169,7 +202,7 @@ type Job struct {
 	cond sync.Cond
 
 	state     State
-	spool     []kbiplex.Solution
+	spool     resultSpool
 	truncated bool
 	stats     kbiplex.Stats
 	err       error
@@ -195,8 +228,9 @@ func (j *Job) Snapshot() Snapshot {
 func (j *Job) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID: j.id, Graph: j.graph, Query: j.query, Epoch: j.epoch,
-		State: j.state, Tier: j.tier, Results: int64(len(j.spool)), Truncated: j.truncated,
-		Stats: j.stats, Err: j.err,
+		State: j.state, Tier: j.tier, Results: j.spool.size(), Truncated: j.truncated,
+		Spilled: j.spool.spilled(),
+		Stats:   j.stats, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 }
@@ -225,12 +259,17 @@ func (j *Job) Results(ctx context.Context, cursor int64) iter.Seq2[int64, kbiple
 		defer stop()
 		for {
 			j.mu.Lock()
-			for cursor >= int64(len(j.spool)) && !j.terminalLocked() && ctx.Err() == nil {
+			for cursor >= j.spool.size() && !j.terminalLocked() && ctx.Err() == nil {
 				j.cond.Wait()
 			}
-			if cursor < int64(len(j.spool)) {
-				s := j.spool[cursor]
+			if cursor < j.spool.size() {
+				s, err := j.spool.get(cursor)
 				j.mu.Unlock()
+				if err != nil {
+					// A torn or unreadable spill record ends this reader's
+					// stream; the job itself is unaffected.
+					return
+				}
 				if !yield(cursor, s) {
 					return
 				}
@@ -256,6 +295,12 @@ type ManagerStats struct {
 	// CachedDone counts jobs born done from a cached spool via
 	// SubmitCached — admissions that cost zero enumeration work.
 	CachedDone int64
+	// SpilledJobs counts jobs whose spool reached disk, SpillBytes the
+	// cumulative bytes written to spool segments, and SpillErrors the
+	// spill I/O failures (each such job degraded to memory-only).
+	SpilledJobs int64
+	SpillBytes  int64
+	SpillErrors int64
 	// Queued counts jobs admitted but not yet running across both
 	// tiers; QueuedFast is the fast tier's share of it.
 	Queued     int
@@ -278,12 +323,15 @@ type Manager struct {
 	jobs map[string]*Job
 	seq  int64
 
-	submitted  atomic.Int64
-	rejected   atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	canceled   atomic.Int64
-	cachedDone atomic.Int64
+	submitted   atomic.Int64
+	rejected    atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	canceled    atomic.Int64
+	cachedDone  atomic.Int64
+	spilledJobs atomic.Int64
+	spillBytes  atomic.Int64
+	spillErrors atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -293,6 +341,10 @@ type Manager struct {
 // context.Background() when no broader lifecycle applies.
 func NewManager(parent context.Context, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	if cfg.SpillDir != "" {
+		os.MkdirAll(cfg.SpillDir, 0o755)
+		sweepSpoolDir(cfg.SpillDir)
+	}
 	ctx, cancel := context.WithCancelCause(parent)
 	m := &Manager{
 		cfg:    cfg,
@@ -399,7 +451,7 @@ func (m *Manager) SubmitCached(graph string, q kbiplex.Query, spool []kbiplex.So
 		state: StateQueued, created: time.Now(),
 	}
 	j.cond.L = &j.mu
-	j.spool = spool
+	j.spool.mem = spool
 	j.truncated = truncated
 	j.stats = st
 
@@ -502,18 +554,24 @@ func (m *Manager) Remove(id string) error {
 		return errors.New("jobs: job still active; cancel it first")
 	}
 	delete(m.jobs, id)
+	j.mu.Lock()
+	j.spool.destroy()
+	j.mu.Unlock()
 	return nil
 }
 
 // Stats summarizes the manager.
 func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{
-		Submitted:  m.submitted.Load(),
-		Rejected:   m.rejected.Load(),
-		Completed:  m.completed.Load(),
-		Failed:     m.failed.Load(),
-		Canceled:   m.canceled.Load(),
-		CachedDone: m.cachedDone.Load(),
+		Submitted:   m.submitted.Load(),
+		Rejected:    m.rejected.Load(),
+		Completed:   m.completed.Load(),
+		Failed:      m.failed.Load(),
+		Canceled:    m.canceled.Load(),
+		CachedDone:  m.cachedDone.Load(),
+		SpilledJobs: m.spilledJobs.Load(),
+		SpillBytes:  m.spillBytes.Load(),
+		SpillErrors: m.spillErrors.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -642,11 +700,23 @@ func (m *Manager) runJob(j *Job) {
 	emit := func(s kbiplex.Solution) bool {
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		if j.capped && len(j.spool) >= m.cfg.MaxResults {
+		if j.capped && j.spool.size() >= int64(m.cfg.MaxResults) {
 			j.truncated = true
 			return false
 		}
-		j.spool = append(j.spool, s)
+		j.spool.push(s)
+		if m.cfg.SpillDir != "" && j.spool.err == nil && j.spool.memBytes > m.cfg.SpoolMemBytes {
+			first := j.spool.f == nil
+			n, err := j.spool.flush(m.cfg.SpillDir, j.id)
+			if err != nil {
+				m.spillErrors.Add(1)
+			} else {
+				m.spillBytes.Add(n)
+				if first {
+					m.spilledJobs.Add(1)
+				}
+			}
+		}
 		j.cond.Broadcast()
 		return true
 	}
@@ -655,7 +725,7 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Lock()
 	// The spool is the delivered truth; a truncated run's cap-probe
 	// solution was counted by the enumerator but never spooled.
-	st.Solutions = int64(len(j.spool))
+	st.Solutions = j.spool.size()
 	j.stats = st
 	switch {
 	case err == nil:
@@ -671,9 +741,13 @@ func (m *Manager) runJob(j *Job) {
 		m.finishLocked(j, StateFailed, err)
 	}
 	snap := j.snapshotLocked()
-	spool := j.spool
+	spool := j.spool.mem
+	spilled := j.spool.spilled()
 	j.mu.Unlock()
-	if snap.State == StateDone && j.onDone != nil {
+	// Spilled jobs skip cache admission: their spool is no longer one
+	// in-memory slice, and a result set that outgrew RAM here would
+	// outgrow the cache's budget too.
+	if snap.State == StateDone && j.onDone != nil && !spilled {
 		j.onDone(snap, spool)
 	}
 }
@@ -697,12 +771,16 @@ func (m *Manager) finishLocked(j *Job, s State, err error) {
 	}
 }
 
-// pruneLocked drops finished jobs past their TTL; m.mu must be held.
+// pruneLocked drops finished jobs past their TTL, unlinking any spool
+// segment with them; m.mu must be held.
 func (m *Manager) pruneLocked() {
 	cutoff := time.Now().Add(-m.cfg.TTL)
 	for id, j := range m.jobs {
 		j.mu.Lock()
 		expired := j.terminalLocked() && j.finished.Before(cutoff)
+		if expired {
+			j.spool.destroy()
+		}
 		j.mu.Unlock()
 		if expired {
 			delete(m.jobs, id)

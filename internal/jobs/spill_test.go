@@ -1,0 +1,188 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	kbiplex "repro"
+)
+
+// spillGraph is dense enough to emit a few thousand solutions — plenty
+// to cross a tiny spill watermark many times over.
+func spillGraph() *kbiplex.Graph { return kbiplex.RandomBipartite(24, 24, 4, 17) }
+
+func spillConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{SpillDir: t.TempDir(), SpoolMemBytes: 512}
+}
+
+// TestSpillRoundtrip: a spool that crosses the watermark spills to a
+// segment file, and cursor reads — from zero and resumed mid-stream —
+// return the identical solution sequence a memory-only run produces.
+func TestSpillRoundtrip(t *testing.T) {
+	g := spillGraph()
+	eng := kbiplex.NewEngine(g, kbiplex.EngineConfig{})
+
+	mem := testManager(t, Config{})
+	jm, err := mem.Submit("g", kbiplex.Query{K: 1}, engineRunner(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(context.Background(), jm)
+
+	cfg := spillConfig(t)
+	m := testManager(t, cfg)
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(context.Background(), j)
+	if len(got) != len(want) {
+		t.Fatalf("spilled run streamed %d solutions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("solution %d diverged across spill: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	snap := j.Snapshot()
+	if !snap.Spilled {
+		t.Fatalf("run never spilled — watermark not exercised: %+v", snap)
+	}
+	st := m.Stats()
+	if st.SpilledJobs != 1 || st.SpillBytes == 0 || st.SpillErrors != 0 {
+		t.Fatalf("spill counters: %+v", st)
+	}
+
+	// Resume from the middle: the cursor seeks into the segment.
+	mid := int64(len(want) / 2)
+	var suffix []kbiplex.Solution
+	for _, s := range j.Results(context.Background(), mid) {
+		suffix = append(suffix, s)
+	}
+	if len(suffix) != len(want)-int(mid) {
+		t.Fatalf("resume at %d streamed %d, want %d", mid, len(suffix), len(want)-int(mid))
+	}
+	if fmt.Sprint(suffix[0]) != fmt.Sprint(want[mid]) {
+		t.Fatalf("resume started at the wrong record: %v vs %v", suffix[0], want[mid])
+	}
+}
+
+// TestSpillSegmentLifecycle: the segment exists while the job is
+// readable and is unlinked by Remove.
+func TestSpillSegmentLifecycle(t *testing.T) {
+	cfg := spillConfig(t)
+	m := testManager(t, cfg)
+	eng := kbiplex.NewEngine(spillGraph(), kbiplex.EngineConfig{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j)
+
+	seg := filepath.Join(cfg.SpillDir, j.ID()+spoolExt)
+	if _, err := os.Stat(seg); err != nil {
+		t.Fatalf("segment missing while job readable: %v", err)
+	}
+	if err := m.Remove(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatalf("Remove left the segment behind: %v", err)
+	}
+}
+
+// TestSpillTTLUnlinks: TTL expiry prunes the job and its segment file.
+func TestSpillTTLUnlinks(t *testing.T) {
+	cfg := spillConfig(t)
+	cfg.TTL = 20 * time.Millisecond
+	m := testManager(t, cfg)
+	eng := kbiplex.NewEngine(spillGraph(), kbiplex.EngineConfig{})
+	j, err := m.Submit("g", kbiplex.Query{K: 1}, engineRunner(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j)
+	seg := filepath.Join(cfg.SpillDir, j.ID()+spoolExt)
+
+	time.Sleep(3 * cfg.TTL)
+	if _, err := m.Get(j.ID()); err != ErrNotFound { // Get prunes
+		t.Fatalf("expired job still resolvable: %v", err)
+	}
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatalf("TTL prune left the segment behind: %v", err)
+	}
+}
+
+// TestSpillSweepAtStartup: stale segments from a dead process are swept
+// when a manager starts on the same dir.
+func TestSpillSweepAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "j00000042"+spoolExt)
+	if err := os.WriteFile(stale, []byte("left behind"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testManager(t, Config{SpillDir: dir})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("startup did not sweep stale segment: %v", err)
+	}
+}
+
+// TestSpilledJobSkipsOnDone: cache admission receives only jobs whose
+// spool stayed in memory.
+func TestSpilledJobSkipsOnDone(t *testing.T) {
+	cfg := spillConfig(t)
+	m := testManager(t, cfg)
+	eng := kbiplex.NewEngine(spillGraph(), kbiplex.EngineConfig{})
+	called := make(chan struct{}, 1)
+	j, err := m.SubmitWith("g", kbiplex.Query{K: 1}, engineRunner(eng), SubmitOptions{
+		OnDone: func(Snapshot, []kbiplex.Solution) { called <- struct{}{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(context.Background(), j)
+	if !j.Snapshot().Spilled {
+		t.Fatal("test graph did not spill; watermark too high")
+	}
+	select {
+	case <-called:
+		t.Fatal("OnDone ran for a spilled job")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSpillRecordRoundtrip pins the record framing, including empty
+// sides.
+func TestSpillRecordRoundtrip(t *testing.T) {
+	for _, s := range []kbiplex.Solution{
+		{L: []int32{1, 2, 3}, R: []int32{4, 5}},
+		{L: []int32{}, R: []int32{7}},
+		{},
+	} {
+		buf := spillRecord(nil, s)
+		got, err := decodeSpillRecord(buf)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", s, err)
+		}
+		if fmt.Sprint(got.L) != fmt.Sprint(s.L) && (len(got.L) != 0 || len(s.L) != 0) {
+			t.Fatalf("L diverged: %v vs %v", got.L, s.L)
+		}
+		if fmt.Sprint(got.R) != fmt.Sprint(s.R) && (len(got.R) != 0 || len(s.R) != 0) {
+			t.Fatalf("R diverged: %v vs %v", got.R, s.R)
+		}
+		// A flipped byte anywhere in the frame must be detected.
+		for i := range buf {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 0x20
+			if _, err := decodeSpillRecord(mut); err == nil && i >= 8 {
+				t.Fatalf("bit flip at %d accepted", i)
+			}
+		}
+	}
+}

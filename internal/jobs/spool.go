@@ -1,0 +1,186 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	kbiplex "repro"
+)
+
+// spoolExt suffixes per-job spill files in Config.SpillDir. NewManager
+// sweeps leftovers from a previous process; job ids restart per manager,
+// so an old file must never be readable under a new job's id.
+const spoolExt = ".spool"
+
+// resultSpool is a job's result log: an in-RAM tail plus, once the tail
+// outgrows the configured watermark, a CRC-framed append-only segment
+// file holding the spilled prefix. Sequence numbers are stable across
+// the spill — record i lives either at offs[i] in the file (i < base)
+// or at mem[i-base] — so cursors resume identically whether or not the
+// job spilled under them. All methods require the owning Job's mutex.
+//
+// Spill I/O failures degrade, never fail the job: the first write error
+// is recorded, the spool stops spilling, and results accumulate in
+// memory as if no spill dir were configured. A read error ends that
+// reader's stream early (the record count in snapshots is unaffected).
+type resultSpool struct {
+	mem  []kbiplex.Solution // records [base, base+len(mem))
+	base int64              // sequence number of mem[0]
+
+	memBytes int64 // estimated heap bytes held by mem
+
+	f        *os.File
+	path     string
+	offs     []int64 // byte offset of each spilled record; len(offs) == base
+	fileSize int64
+	err      error // first spill I/O error; sticky
+}
+
+// size returns the total number of records, spilled and in-memory.
+func (sp *resultSpool) size() int64 { return sp.base + int64(len(sp.mem)) }
+
+// solutionBytes estimates one solution's heap footprint: two slice
+// headers plus the int32 payloads, rounded with a small struct overhead.
+func solutionBytes(s kbiplex.Solution) int64 {
+	return 64 + 4*int64(len(s.L)+len(s.R))
+}
+
+// push appends one solution to the in-RAM tail.
+func (sp *resultSpool) push(s kbiplex.Solution) {
+	sp.mem = append(sp.mem, s)
+	sp.memBytes += solutionBytes(s)
+}
+
+// spillRecord frames one solution for the segment file:
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//	payload: u32 |L| | u32 |R| | |L| × i32 | |R| × i32   (little-endian)
+func spillRecord(dst []byte, s kbiplex.Solution) []byte {
+	payloadLen := 8 + 4*len(s.L) + 4*len(s.R)
+	start := len(dst)
+	dst = append(dst, make([]byte, 8+payloadLen)...)
+	le := binary.LittleEndian
+	p := dst[start+8:]
+	le.PutUint32(p[0:], uint32(len(s.L)))
+	le.PutUint32(p[4:], uint32(len(s.R)))
+	for i, v := range s.L {
+		le.PutUint32(p[8+4*i:], uint32(v))
+	}
+	off := 8 + 4*len(s.L)
+	for i, v := range s.R {
+		le.PutUint32(p[off+4*i:], uint32(v))
+	}
+	le.PutUint32(dst[start:], uint32(payloadLen))
+	le.PutUint32(dst[start+4:], crc32.ChecksumIEEE(p))
+	return dst
+}
+
+// decodeSpillRecord inverts spillRecord, verifying the frame CRC.
+func decodeSpillRecord(b []byte) (kbiplex.Solution, error) {
+	var s kbiplex.Solution
+	if len(b) < 16 {
+		return s, fmt.Errorf("jobs: spool record too short (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	payloadLen := int(le.Uint32(b[0:]))
+	if payloadLen != len(b)-8 {
+		return s, fmt.Errorf("jobs: spool record length %d does not match frame %d", payloadLen, len(b)-8)
+	}
+	p := b[8:]
+	if crc32.ChecksumIEEE(p) != le.Uint32(b[4:]) {
+		return s, fmt.Errorf("jobs: spool record checksum mismatch")
+	}
+	nL, nR := int(le.Uint32(p[0:])), int(le.Uint32(p[4:]))
+	if 8+4*nL+4*nR != payloadLen {
+		return s, fmt.Errorf("jobs: spool record counts %d/%d overflow payload %d", nL, nR, payloadLen)
+	}
+	s.L = make([]int32, nL)
+	s.R = make([]int32, nR)
+	for i := range s.L {
+		s.L[i] = int32(le.Uint32(p[8+4*i:]))
+	}
+	off := 8 + 4*nL
+	for i := range s.R {
+		s.R[i] = int32(le.Uint32(p[off+4*i:]))
+	}
+	return s, nil
+}
+
+// flush spills the whole in-RAM tail to the segment file and releases
+// it. On the first error the spool goes memory-only for good: the tail
+// is kept and keeps growing, exactly as if no spill dir were set.
+func (sp *resultSpool) flush(dir, id string) (written int64, err error) {
+	if sp.err != nil || len(sp.mem) == 0 {
+		return 0, sp.err
+	}
+	if sp.f == nil {
+		sp.path = filepath.Join(dir, id+spoolExt)
+		f, err := os.OpenFile(sp.path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+		if err != nil {
+			sp.err = err
+			return 0, err
+		}
+		sp.f = f
+	}
+	buf := make([]byte, 0, sp.memBytes+16*int64(len(sp.mem)))
+	offs := make([]int64, 0, len(sp.mem))
+	for _, s := range sp.mem {
+		offs = append(offs, sp.fileSize+int64(len(buf)))
+		buf = spillRecord(buf, s)
+	}
+	if _, err := sp.f.WriteAt(buf, sp.fileSize); err != nil {
+		sp.err = err
+		return 0, err
+	}
+	sp.fileSize += int64(len(buf))
+	sp.offs = append(sp.offs, offs...)
+	sp.base += int64(len(sp.mem))
+	sp.mem = nil // release, don't reuse: readers may still alias popped records
+	sp.memBytes = 0
+	return int64(len(buf)), nil
+}
+
+// get returns record i, reading spilled records back with one
+// positioned read. Requires 0 <= i < size().
+func (sp *resultSpool) get(i int64) (kbiplex.Solution, error) {
+	if i >= sp.base {
+		return sp.mem[i-sp.base], nil
+	}
+	end := sp.fileSize
+	if i+1 < int64(len(sp.offs)) {
+		end = sp.offs[i+1]
+	}
+	buf := make([]byte, end-sp.offs[i])
+	if _, err := sp.f.ReadAt(buf, sp.offs[i]); err != nil {
+		return kbiplex.Solution{}, fmt.Errorf("jobs: reading spool record %d: %w", i, err)
+	}
+	return decodeSpillRecord(buf)
+}
+
+// spilled reports whether any records live on disk.
+func (sp *resultSpool) spilled() bool { return sp.base > 0 }
+
+// destroy closes and unlinks the segment file, if any. The spool must
+// not be read afterwards.
+func (sp *resultSpool) destroy() {
+	if sp.f != nil {
+		sp.f.Close()
+		os.Remove(sp.path)
+		sp.f = nil
+	}
+}
+
+// sweepSpoolDir removes stale *.spool segments a previous process left
+// behind; their jobs died with it.
+func sweepSpoolDir(dir string) {
+	if dir == "" {
+		return
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "*"+spoolExt))
+	for _, p := range stale {
+		os.Remove(p)
+	}
+}

@@ -113,9 +113,14 @@ type Config struct {
 	// on the next start. Empty disables persistence.
 	DataDir string
 	// MemoryBudget caps the estimated resident bytes of loaded graphs
-	// (0 = unlimited); the catalog evicts the least-recently-used
+	// (0 = unlimited); the catalog reclaims the least-recently-used
 	// persisted engines past it. See store.Config.MemoryBudget.
 	MemoryBudget int64
+	// StorageTier selects the catalog's residency policy — heap arrays,
+	// zero-copy mmap views of snapshots, or (the default) automatic
+	// demotion/promotion between the two under memory pressure. See
+	// store.Tier.
+	StorageTier store.Tier
 	// DefaultShards, when > 1, runs iTraversal queries that pick neither
 	// workers nor shards on the sharded runtime with this many shards —
 	// the operator's knob (kbiplexd -default-shards) for putting every
@@ -193,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 	catalog, err := store.Open(store.Config{
 		Dir:          cfg.DataDir,
 		MemoryBudget: cfg.MemoryBudget,
+		Tier:         cfg.StorageTier,
 		Engine: kbiplex.EngineConfig{
 			MaxResults: cfg.MaxResults,
 			Timeout:    cfg.QueryTimeout,
@@ -429,6 +435,9 @@ type graphInfo struct {
 	NumEdges  int    `json:"num_edges"`
 	Persisted bool   `json:"persisted"`
 	Resident  bool   `json:"resident"`
+	// Residency names the graph's storage tier: "resident" (heap),
+	// "mapped" (served zero-copy from its snapshot), or "cold".
+	Residency string `json:"residency"`
 	Epoch     uint64 `json:"epoch"`
 	Queries   int64  `json:"queries"`
 	Active    int64  `json:"active_queries"`
@@ -441,7 +450,8 @@ func (s *Server) graphInfos() []graphInfo {
 	for _, info := range infos {
 		gi := graphInfo{
 			Name: info.Name, NumLeft: info.NumLeft, NumRight: info.NumRight, NumEdges: info.NumEdges,
-			Persisted: info.Persisted, Resident: info.Resident, Epoch: s.graphEpoch(info.Name),
+			Persisted: info.Persisted, Resident: info.Resident, Residency: info.Residency,
+			Epoch: s.graphEpoch(info.Name),
 		}
 		if eng, ok := s.catalog.EngineIfResident(info.Name); ok {
 			st := eng.Stats()
@@ -465,26 +475,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"solutions_streamed": s.streamed.Load(),
 		"graphs":             infos,
 		"jobs": map[string]any{
-			"submitted":   jst.Submitted,
-			"rejected":    jst.Rejected,
-			"completed":   jst.Completed,
-			"failed":      jst.Failed,
-			"canceled":    jst.Canceled,
-			"cached_done": jst.CachedDone,
-			"queued":      jst.Queued,
-			"queued_fast": jst.QueuedFast,
-			"running":     jst.Running,
-			"retained":    jst.Retained,
+			"submitted":    jst.Submitted,
+			"rejected":     jst.Rejected,
+			"completed":    jst.Completed,
+			"failed":       jst.Failed,
+			"canceled":     jst.Canceled,
+			"cached_done":  jst.CachedDone,
+			"queued":       jst.Queued,
+			"queued_fast":  jst.QueuedFast,
+			"running":      jst.Running,
+			"retained":     jst.Retained,
+			"spilled_jobs": jst.SpilledJobs,
+			"spill_bytes":  jst.SpillBytes,
+			"spill_errors": jst.SpillErrors,
 		},
 		"store": map[string]any{
 			"graphs":         st.Graphs,
 			"persisted":      st.Persisted,
 			"resident":       st.Resident,
+			"mapped":         st.Mapped,
 			"resident_bytes": st.ResidentBytes,
+			"mapped_bytes":   st.MappedBytes,
 			"memory_budget":  st.MemoryBudget,
+			"tier":           string(st.Tier),
 			"hits":           st.Hits,
 			"hydrations":     st.Hydrations,
 			"evictions":      st.Evictions,
+			"demotions":      st.Demotions,
+			"promotions":     st.Promotions,
 		},
 	}
 	mst := s.mut.Stats()
@@ -717,8 +735,8 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := map[string]any{
 		"name": name, "num_left": info.NumLeft, "num_right": info.NumRight, "num_edges": info.NumEdges,
-		"persisted": info.Persisted, "resident": info.Resident, "epoch": s.graphEpoch(name),
-		"crc32": info.CRC32,
+		"persisted": info.Persisted, "resident": info.Resident, "residency": info.Residency,
+		"epoch": s.graphEpoch(name), "crc32": info.CRC32,
 	}
 	// Engine counters only exist while the engine is resident; a cold
 	// (recovered or evicted) graph still answers from the manifest.

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestGraphInfoResidencyAndTierStats: with a data dir and the mmap
+// storage tier, a persisted graph reports residency "mapped" from
+// GET /graphs/{name}, and /stats carries the out-of-core counters for
+// both the store (tier, mapped, demotions, promotions) and the jobs
+// manager (spilled_jobs, spill_bytes).
+func TestGraphInfoResidencyAndTierStats(t *testing.T) {
+	if runtime.GOOS == "windows" || runtime.GOOS == "plan9" {
+		t.Skip("no mmap on this platform")
+	}
+	ts := newTestServer(t, Config{DataDir: t.TempDir(), StorageTier: "mmap"})
+	body := `{"name":"oc","random":{"num_left":10,"num_right":10,"density":2,"seed":4},"persist":true}`
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("persist load: status %d", resp.StatusCode)
+	}
+
+	var info struct {
+		Residency string `json:"residency"`
+	}
+	if resp := getJSON(t, ts.URL+"/graphs/oc", &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph info: status %d", resp.StatusCode)
+	}
+	if info.Residency != "mapped" {
+		t.Fatalf("mmap-tier residency %q, want mapped", info.Residency)
+	}
+
+	var st struct {
+		Store map[string]any `json:"store"`
+		Jobs  map[string]any `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Store["tier"] != "mmap" {
+		t.Fatalf("stats tier %v, want mmap", st.Store["tier"])
+	}
+	for _, key := range []string{"mapped", "mapped_bytes", "demotions", "promotions"} {
+		if _, ok := st.Store[key]; !ok {
+			t.Fatalf("stats store section missing %q: %+v", key, st.Store)
+		}
+	}
+	if n, ok := st.Store["mapped"].(float64); !ok || n != 1 {
+		t.Fatalf("stats mapped %v, want 1", st.Store["mapped"])
+	}
+	for _, key := range []string{"spilled_jobs", "spill_bytes", "spill_errors"} {
+		if _, ok := st.Jobs[key]; !ok {
+			t.Fatalf("stats jobs section missing %q: %+v", key, st.Jobs)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+
+	kbiplex "repro"
+	"repro/internal/bigraph"
+)
+
+// GraphData is one graph's backing storage: the seam between the
+// catalog's residency machinery and where the CSR arrays actually live.
+// Two implementations exist — heap arrays decoded from a snapshot, and
+// an mmap of a v2 snapshot served straight from the page cache. Engines
+// (and through them every exec.View a runner reads) are built over
+// Graph(), so the query path is storage-agnostic and pays no interface
+// call per access.
+type GraphData interface {
+	// Graph returns the CSR graph backed by this storage.
+	Graph() *kbiplex.Graph
+	// Tier names the storage tier: "heap" or "mapped".
+	Tier() string
+	// HeapBytes estimates the Go-heap bytes held by the CSR arrays
+	// (zero for mapped storage).
+	HeapBytes() int64
+	// MappedBytes is the size of the backing file mapping (zero for
+	// heap storage).
+	MappedBytes() int64
+}
+
+// heapData is the classic in-memory backing: CSR arrays owned by the Go
+// heap, decoded from a snapshot (or built directly from a load).
+type heapData struct{ g *kbiplex.Graph }
+
+func (h heapData) Graph() *kbiplex.Graph { return h.g }
+func (h heapData) Tier() string          { return "heap" }
+func (h heapData) HeapBytes() int64      { return graphBytes(h.g) }
+func (h heapData) MappedBytes() int64    { return 0 }
+
+// mappedData serves a graph zero-copy from an mmap of its v2 snapshot:
+// the CSR slices alias the mapping, so "hydration" is a page-table
+// update and cold adjacency is paged in on first touch. The mapping is
+// unmapped by a finalizer on the graph, not by any explicit close: an
+// engine swapped out by a demotion or deletion may still be streaming
+// to in-flight queries, and those hold the graph (directly or through
+// its O(1) transpose view) until they finish.
+type mappedData struct {
+	g    *kbiplex.Graph
+	size int64
+	// crc is the snapshot's trailing content fingerprint, compared
+	// against the manifest before the mapping is served.
+	crc uint32
+}
+
+func (m *mappedData) Graph() *kbiplex.Graph { return m.g }
+func (m *mappedData) Tier() string          { return "mapped" }
+func (m *mappedData) HeapBytes() int64      { return 0 }
+func (m *mappedData) MappedBytes() int64    { return m.size }
+
+// errNotMappable reports a snapshot the mmap fast path cannot serve —
+// a v1 (varint) snapshot, or any snapshot on a platform without mmap.
+// It is not corruption: the parse path still reads the file.
+var errNotMappable = errors.New("store: snapshot not mappable")
+
+// openMapped maps path as a v2 snapshot and builds a graph over the
+// mapping. It returns errNotMappable for v1 snapshots and unsupported
+// platforms; any other error means the file claims to be v2 but failed
+// validation (truncated, bit-rotted, or forged) — the caller decides
+// whether that quarantines the file.
+func openMapped(path string) (*mappedData, error) {
+	if !mmapSupported() {
+		return nil, errNotMappable
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("%s: reading magic: %w", path, err)
+	}
+	if magic != [8]byte{'K', 'B', 'P', 'G', 'R', 'F', '2', '\n'} {
+		return nil, errNotMappable
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("%s: mmap: %w", path, err)
+	}
+	g, err := bigraph.MapBinaryV2(data)
+	if err != nil {
+		munmapFile(data)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// The mapping lives exactly as long as the graph built over it. The
+	// finalizer closure captures data, which keeps the mapping's slice
+	// header (not the graph) reachable until the graph itself dies.
+	runtime.SetFinalizer(g, func(*bigraph.Graph) { munmapFile(data) })
+	return &mappedData{
+		g:    g,
+		size: size,
+		crc:  binary.LittleEndian.Uint32(data[size-4:]),
+	}, nil
+}

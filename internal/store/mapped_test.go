@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	kbiplex "repro"
+	"repro/internal/bigraph"
+)
+
+// solutionSet enumerates through an engine and returns the canonical
+// sorted solution list — a stronger fingerprint than the count, for
+// pinning that a tier change serves byte-identical results.
+func solutionSet(t *testing.T, eng *kbiplex.Engine, k int) []string {
+	t.Helper()
+	var out []string
+	_, err := eng.Enumerate(context.Background(), kbiplex.Options{K: k}, func(s kbiplex.Solution) bool {
+		out = append(out, s.String())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func requireSameSolutions(t *testing.T, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("solution count diverged: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("solution %d diverged: %q vs %q", i, want[i], got[i])
+		}
+	}
+}
+
+// TestMappedTierServes: under TierMapped a persisted add is served from
+// an mmap view immediately, and a cold reopen hydrates mapped too —
+// with the exact solution set the heap tier produces.
+func TestMappedTierServes(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	g := testGraph(11)
+	heap := openCatalog(t, Config{Dir: t.TempDir(), Tier: TierHeap})
+	want := solutionSet(t, mustAdd(t, heap, "ref", g, true), 1)
+
+	c := openCatalog(t, Config{Dir: dir, Tier: TierMapped})
+	eng := mustAdd(t, c, "g", g, true)
+	requireSameSolutions(t, want, solutionSet(t, eng, 1))
+	info, _ := c.Info("g")
+	if info.Residency != "mapped" {
+		t.Fatalf("mapped-tier add residency %q, want mapped", info.Residency)
+	}
+	st := c.Stats()
+	if st.Mapped != 1 || st.Resident != 0 || st.MappedBytes == 0 || st.Demotions != 1 {
+		t.Fatalf("mapped-tier stats after add: %+v", st)
+	}
+	c.Close()
+
+	c2 := openCatalog(t, Config{Dir: dir, Tier: TierMapped})
+	eng2, err := c2.Engine("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSolutions(t, want, solutionSet(t, eng2, 1))
+	if st := c2.Stats(); st.Mapped != 1 || st.Hydrations != 1 {
+		t.Fatalf("cold mapped hydration stats: %+v", st)
+	}
+}
+
+// TestDemotionUnderBudget: under the default auto tier, budget pressure
+// demotes the LRU graph to a mapped view instead of evicting it — it
+// keeps serving (the identical solution set) without a re-hydration.
+func TestDemotionUnderBudget(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	g1, g2 := testGraph(1), testGraph(2)
+	budget := graphBytes(g1) + graphBytes(g2)/2
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget})
+	want := solutionSet(t, mustAdd(t, c, "one", g1, true), 1)
+	mustAdd(t, c, "two", g2, true)
+
+	st := c.Stats()
+	if st.Demotions != 1 || st.Evictions != 0 || st.Mapped != 1 || st.Resident != 1 {
+		t.Fatalf("expected the budget to demote, not evict: %+v", st)
+	}
+	if st.ResidentBytes > budget {
+		t.Fatalf("demotion left heap estimate %d over budget %d", st.ResidentBytes, budget)
+	}
+	info, _ := c.Info("one")
+	if !info.Resident || info.Residency != "mapped" {
+		t.Fatalf("demoted graph should still be serving as mapped: %+v", info)
+	}
+	eng, err := c.Engine("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSolutions(t, want, solutionSet(t, eng, 1))
+	if st := c.Stats(); st.Hydrations != 0 {
+		t.Fatalf("demoted graph should serve without re-hydrating: %+v", st)
+	}
+}
+
+// TestPromotionAfterHits: repeated hits on a demoted graph promote it
+// back to the heap under TierAuto.
+func TestPromotionAfterHits(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	g1, g2 := testGraph(1), testGraph(2)
+	// Budget fits either graph alone, so promotion demotes the other.
+	budget := graphBytes(g1) + graphBytes(g2)/2
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget})
+	want := solutionSet(t, mustAdd(t, c, "one", g1, true), 1)
+	mustAdd(t, c, "two", g2, true)
+
+	for i := 0; i < promoteHeat; i++ {
+		if _, err := c.Engine("one"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("expected %d hits to promote: %+v", promoteHeat, st)
+	}
+	info, _ := c.Info("one")
+	if info.Residency != "resident" {
+		t.Fatalf("promoted graph residency %q, want resident: %+v", info.Residency, info)
+	}
+	eng, err := c.Engine("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSolutions(t, want, solutionSet(t, eng, 1))
+}
+
+// TestConcurrentEnumerateWhileDemoting hammers a graph with enumerations
+// while the catalog demotes and promotes it underneath — the -race
+// nightly runs this; any reader observing a torn engine swap or a
+// munmapped page would fail here.
+func TestConcurrentEnumerateWhileDemoting(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	g1, g2 := testGraph(1), testGraph(2)
+	budget := graphBytes(g1) + graphBytes(g2)/2
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget})
+	want := solutionSet(t, mustAdd(t, c, "hot", g1, true), 1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng, err := c.Engine("hot")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := solutionSet(t, eng, 1)
+				if len(got) != len(want) {
+					t.Errorf("reader saw %d solutions, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	// Churn residency: each add of "churn" pressures "hot" toward a
+	// demotion, and the readers' own hits drive promotions back.
+	for i := 0; i < 30; i++ {
+		mustAdd(t, c, "churn", g2, true)
+	}
+	close(stop)
+	wg.Wait()
+	st := c.Stats()
+	if st.Demotions == 0 {
+		t.Fatalf("churn never demoted, test exercised nothing: %+v", st)
+	}
+}
+
+// TestCorruptMappedQuarantine: a v2 snapshot that fails validation at
+// mapped-open time is set aside as .corrupt (the rebuildManifest
+// convention) instead of being retried or faulting.
+func TestCorruptMappedQuarantine(t *testing.T) {
+	if !mmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	c := openCatalog(t, Config{Dir: dir, Tier: TierMapped})
+	mustAdd(t, c, "g", testGraph(5), true)
+	c.Close()
+
+	path := filepath.Join(dir, fileForName("g"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[v2HeaderSizeForTest()+3] ^= 0x10 // flip a bit inside offL
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openCatalog(t, Config{Dir: dir, Tier: TierMapped})
+	if _, err := c2.Engine("g"); err == nil || !strings.Contains(err.Error(), ".corrupt") {
+		t.Fatalf("corrupt mapped snapshot served, or not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not set aside: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in place: %v", err)
+	}
+}
+
+// v2HeaderSizeForTest mirrors bigraph's v2 header size without exporting
+// it: magic + 4 counts + 4×(offset,len).
+func v2HeaderSizeForTest() int { return 8 + 4*8 + 4*16 }
+
+// TestV1SnapshotFallsBackToParse: a catalog dir holding a v1 snapshot
+// (written by an older build) still serves under TierMapped — the
+// mapped open reports not-mappable and the parse path hydrates it.
+func TestV1SnapshotFallsBackToParse(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(9)
+	path := filepath.Join(dir, fileForName("old"))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigraph.WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c := openCatalog(t, Config{Dir: dir, Tier: TierMapped})
+	eng, err := c.Engine("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionsOf(t, eng); got == 0 {
+		t.Fatal("v1 fallback served an empty graph")
+	}
+	info, _ := c.Info("old")
+	if info.Residency != "resident" {
+		t.Fatalf("v1 snapshot residency %q, want resident (heap fallback)", info.Residency)
+	}
+	if infos := c.Infos(); len(infos) != 1 || infos[0].Name != "old" {
+		t.Fatalf("rebuild did not adopt the v1 snapshot: %+v", infos)
+	}
+}
+
+// FuzzMappedSnapshotOpen feeds arbitrary bytes to the mapped-open path:
+// whatever the input, it must return an error or a graph whose every
+// accessor stays in bounds — never fault. Truncations and bit flips of
+// a valid snapshot seed the corpus.
+func FuzzMappedSnapshotOpen(f *testing.F) {
+	g := kbiplex.RandomBipartite(9, 9, 2, 42)
+	var buf bytes.Buffer
+	_ = bigraph.WriteBinaryV2(&buf, g)
+	pristine := buf.Bytes()
+	f.Add(pristine)
+	f.Add(pristine[:len(pristine)/2])
+	f.Add(pristine[:9])
+	for i := 8; i < len(pristine); i += 37 {
+		mut := append([]byte(nil), pristine...)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.kbg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		md, err := openMapped(path)
+		if err != nil {
+			return
+		}
+		// Accepted: walking the whole CSR (both orientations) must stay
+		// in bounds over the mapping.
+		got := md.Graph()
+		for _, gg := range []*kbiplex.Graph{got, got.Transpose()} {
+			var sum int64
+			for v := int32(0); v < int32(gg.NumLeft()); v++ {
+				for _, u := range gg.NeighL(v) {
+					sum += int64(u)
+					_ = gg.NeighR(u)
+				}
+			}
+			_ = sum
+			_ = fmt.Sprintf("%v", gg)
+		}
+	})
+}

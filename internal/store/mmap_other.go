@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can serve snapshots from
+// a file mapping; here it cannot, so every tier degrades to heap
+// residency (mapped opens report errNotMappable and the catalog falls
+// back to the parse path or plain eviction).
+func mmapSupported() bool { return false }
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) {}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can serve snapshots from
+// a file mapping.
+func mmapSupported() bool { return true }
+
+// mmapFile maps size bytes of f read-only. The returned slice stays
+// valid after f is closed and until munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile.
+func munmapFile(data []byte) { syscall.Munmap(data) }

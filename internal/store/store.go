@@ -16,12 +16,24 @@
 //
 // In memory the catalog manages one kbiplex.Engine per graph under an
 // optional byte budget: engines hydrate from their snapshot on first
-// use, a clock-ordered LRU evicts the coldest persisted engines when
-// the estimated resident bytes exceed the budget, and evicted graphs
+// use, a clock-ordered LRU reclaims the coldest persisted engines when
+// the estimated resident bytes exceed the budget, and reclaimed graphs
 // re-hydrate transparently on the next query. Ephemeral graphs (added
 // with persist=false) have no snapshot to fall back on and are never
 // evicted. Hit, hydration and eviction counters are exposed through
 // Stats for the service's /stats endpoint.
+//
+// Storage tiers (Config.Tier) decide where a resident graph's CSR
+// arrays live. The heap tier decodes snapshots into Go-heap arrays —
+// the classic behavior. The mapped tier serves v2 snapshots zero-copy
+// from an mmap: the kernel pages adjacency in on demand and can drop
+// clean pages under its own memory pressure, so a catalog can serve
+// working sets far larger than the process budget. The default auto
+// tier starts graphs on the heap and, instead of evicting an LRU
+// victim outright, first demotes it to a mapped view — it keeps
+// serving queries (slower, straight off the page cache) and is
+// promoted back to the heap after enough hits. Demotions, promotions
+// and per-tier byte counts are exposed through Stats.
 package store
 
 import (
@@ -47,9 +59,15 @@ import (
 // manifests written by an incompatible build.
 const ManifestSchema = "kbcatalog/v1"
 
-// SnapshotFormat names the snapshot encoding recorded per manifest
-// entry (the bigraph binio magic, sans newline).
+// SnapshotFormat names the v1 snapshot encoding (varint-delta payload)
+// recorded per manifest entry (the bigraph binio magic, sans newline).
+// The catalog still reads v1 snapshots but no longer writes them.
 const SnapshotFormat = "kbpgrf1"
+
+// SnapshotFormatV2 names the sectioned, 8-byte-aligned v2 snapshot
+// encoding — the format new snapshots are written in, and the only one
+// the mapped storage tier can serve zero-copy.
+const SnapshotFormatV2 = "kbpgrf2"
 
 // snapshotExt is the snapshot filename suffix.
 const snapshotExt = ".kbg"
@@ -67,6 +85,28 @@ var ErrNotFound = errors.New("store: graph not found")
 // ErrNoDir reports a persistence request against a memory-only catalog.
 var ErrNoDir = errors.New("store: persistence disabled (catalog has no data directory)")
 
+// Tier selects the storage tier policy for resident graphs.
+type Tier string
+
+const (
+	// TierAuto (the default) keeps hot graphs on the heap and demotes
+	// cold ones to mapped views under memory pressure instead of
+	// evicting them; a demoted graph is promoted back after repeated
+	// hits. On platforms without mmap it behaves exactly like TierHeap.
+	TierAuto Tier = "auto"
+	// TierHeap always decodes snapshots into heap arrays and evicts
+	// outright under pressure — the pre-tier behavior.
+	TierHeap Tier = "heap"
+	// TierMapped serves every persisted graph from an mmap of its v2
+	// snapshot and never promotes; heap residency is used only for
+	// ephemeral graphs, v1 snapshots, and platforms without mmap.
+	TierMapped Tier = "mmap"
+)
+
+// promoteHeat is how many Engine hits a mapped graph needs under
+// TierAuto before it is promoted back to the heap.
+const promoteHeat = 4
+
 // Config configures a catalog.
 type Config struct {
 	// Dir is the data directory for snapshots and the manifest; it is
@@ -80,6 +120,9 @@ type Config struct {
 	MemoryBudget int64
 	// Engine configures every engine the catalog builds.
 	Engine kbiplex.EngineConfig
+	// Tier selects the storage tier policy (see Tier). Empty means
+	// TierAuto.
+	Tier Tier
 }
 
 // Info describes one cataloged graph without forcing hydration.
@@ -94,24 +137,37 @@ type Info struct {
 	// memory at Add time.
 	CRC32     uint32
 	Persisted bool // has an on-disk snapshot to re-hydrate from
-	Resident  bool // engine currently in memory
+	Resident  bool // engine currently in memory (either tier)
+	// Residency names where the graph is being served from: "resident"
+	// (heap arrays), "mapped" (zero-copy mmap view), or "cold" (no
+	// engine; next query hydrates).
+	Residency string
 }
 
 // Stats is a point-in-time snapshot of the catalog's counters.
 type Stats struct {
 	// Graphs, Persisted and Resident count cataloged graphs, ones with
-	// on-disk snapshots, and ones with an engine in memory.
-	Graphs, Persisted, Resident int
-	// ResidentBytes is the estimated memory held by resident graph
-	// snapshots (CSR arrays; engine caches are not included).
-	ResidentBytes int64
+	// on-disk snapshots, and ones with heap-resident engines; Mapped
+	// counts graphs served from mmap views.
+	Graphs, Persisted, Resident, Mapped int
+	// ResidentBytes is the estimated Go-heap memory held by resident
+	// graph snapshots (CSR arrays; engine caches are not included).
+	// MappedBytes is the total size of mmap'd snapshot files backing
+	// mapped graphs — page-cache residency the kernel manages, not
+	// process heap, so it is never counted against MemoryBudget.
+	ResidentBytes, MappedBytes int64
 	// MemoryBudget echoes Config.MemoryBudget.
 	MemoryBudget int64
-	// Hits counts Engine calls answered by a resident engine,
-	// Hydrations counts snapshot loads (cold opens and re-hydrations
-	// after eviction), and Evictions counts engines dropped under
-	// memory pressure or by Evict.
+	// Hits counts Engine calls answered by a resident engine (either
+	// tier), Hydrations counts snapshot loads (cold opens and
+	// re-hydrations after eviction), and Evictions counts engines
+	// dropped entirely under memory pressure or by Evict.
 	Hits, Hydrations, Evictions int64
+	// Demotions counts heap engines downgraded to mapped views;
+	// Promotions counts mapped views upgraded back to the heap.
+	Demotions, Promotions int64
+	// Tier echoes the catalog's effective tier policy.
+	Tier Tier
 }
 
 // manifest is the on-disk catalog index.
@@ -148,9 +204,11 @@ type entry struct {
 
 	hydrate sync.Mutex // held while loading the snapshot
 	eng     *kbiplex.Engine
-	bytes   int64 // footprint estimate while resident
-	lastUse int64 // catalog clock value of the last Engine/Add touch
-	deleted bool  // set by Delete; late hydrations must not resurrect
+	data    GraphData // backing storage of eng's graph; nil iff eng is nil
+	bytes   int64     // heap footprint estimate while resident (0 when mapped)
+	heat    int       // Engine hits since demotion; drives auto promotion
+	lastUse int64     // catalog clock value of the last Engine/Add touch
+	deleted bool      // set by Delete; late hydrations must not resurrect
 
 	// dirty marks a persisted entry whose resident engine has diverged
 	// from its snapshot (mutations applied since the last compaction).
@@ -167,7 +225,8 @@ type entry struct {
 // Catalog is a set of named graphs with durable snapshots and
 // budget-managed engines. It is safe for concurrent use.
 type Catalog struct {
-	cfg Config
+	cfg  Config
+	tier Tier // resolved from cfg.Tier (empty → TierAuto)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -180,8 +239,18 @@ type Catalog struct {
 // snapshots are read on first use (or via Warm). See the package
 // comment for the crash-recovery behavior.
 func Open(cfg Config) (*Catalog, error) {
-	c := &Catalog{cfg: cfg, entries: make(map[string]*entry)}
+	tier := cfg.Tier
+	if tier == "" {
+		tier = TierAuto
+	}
+	switch tier {
+	case TierAuto, TierHeap, TierMapped:
+	default:
+		return nil, fmt.Errorf("store: unknown storage tier %q (want %q, %q or %q)", tier, TierAuto, TierHeap, TierMapped)
+	}
+	c := &Catalog{cfg: cfg, tier: tier, entries: make(map[string]*entry)}
 	c.stats.MemoryBudget = cfg.MemoryBudget
+	c.stats.Tier = tier
 	if cfg.Dir == "" {
 		return c, nil
 	}
@@ -272,7 +341,7 @@ func rebuildManifest(dir string) (manifest, error) {
 			continue
 		}
 		m.Graphs = append(m.Graphs, manifestEntry{
-			Name: name, File: filepath.Base(p), Format: SnapshotFormat,
+			Name: name, File: filepath.Base(p), Format: snapshotFormat(p),
 			NumLeft: g.NumLeft(), NumRight: g.NumRight(), NumEdges: g.NumEdges(),
 			CRC32: sum, SavedUnix: time.Now().Unix(),
 		})
@@ -295,8 +364,26 @@ func readSnapshotChecked(path string) (*bigraph.Graph, uint32, error) {
 	return g, sum, nil
 }
 
+// snapshotFormat sniffs a snapshot's format name from its magic. A
+// rebuild must record the format the file actually is, not the one
+// this build writes: a v1 snapshot adopted as v2 would confuse nothing
+// today (readers dispatch on magic) but would lie to operators.
+func snapshotFormat(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotFormat
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil &&
+		magic == [8]byte{'K', 'B', 'P', 'G', 'R', 'F', '2', '\n'} {
+		return SnapshotFormatV2
+	}
+	return SnapshotFormat
+}
+
 // snapshotChecksum reads a snapshot's embedded payload CRC — the
-// trailing four little-endian bytes of the binio format.
+// trailing four little-endian bytes of both binio formats.
 func snapshotChecksum(path string) (uint32, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -380,12 +467,13 @@ func (c *Catalog) Add(name string, g *kbiplex.Graph, persist bool) (*kbiplex.Eng
 			return nil, err
 		}
 		e.File = fileForName(name)
-		e.Format = SnapshotFormat
+		e.Format = SnapshotFormatV2
 		e.SavedUnix = time.Now().Unix()
 	}
 	eng := kbiplex.NewEngine(g, c.cfg.Engine)
 	eng.Warm()
 	e.eng = eng
+	e.data = heapData{g}
 	e.bytes = graphBytes(g)
 
 	c.mu.Lock()
@@ -427,6 +515,15 @@ func (c *Catalog) Add(name string, g *kbiplex.Graph, persist bool) (*kbiplex.Eng
 			return nil, err
 		}
 	}
+	if persist && c.tier == TierMapped {
+		// The mapped tier serves straight off the snapshot it just
+		// published: demote now so the load's heap copy is released
+		// immediately rather than on first memory pressure. The heap
+		// engine is returned if the demotion cannot (platform, I/O).
+		if c.demoteLocked(e) {
+			eng = e.eng
+		}
+	}
 	return eng, nil
 }
 
@@ -444,7 +541,7 @@ func (c *Catalog) writeTempSnapshot(g *kbiplex.Graph) (string, uint32, error) {
 		os.Remove(tmp)
 		return "", 0, fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	if err := bigraph.WriteBinary(f, g); err != nil {
+	if err := bigraph.WriteBinaryV2(f, g); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -519,7 +616,10 @@ func (c *Catalog) writeManifestLocked() error {
 
 // Engine returns name's engine, hydrating it from its snapshot if it is
 // not resident. Concurrent callers for the same cold graph share one
-// load; callers for other graphs are never blocked by it.
+// load; callers for other graphs are never blocked by it. Under
+// TierMapped a cold v2 snapshot hydrates as an mmap view (a page-table
+// update, not a parse); under TierAuto repeated hits on a demoted graph
+// promote it back to the heap.
 func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
@@ -531,6 +631,12 @@ func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
 	e.lastUse = c.clock
 	if e.eng != nil {
 		c.stats.Hits++
+		if c.tier == TierAuto && e.data != nil && e.data.Tier() == "mapped" {
+			e.heat++
+			if e.heat >= promoteHeat {
+				c.promoteLocked(e)
+			}
+		}
 		eng := e.eng
 		c.mu.Unlock()
 		return eng, nil
@@ -552,7 +658,29 @@ func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
 	}
 	c.mu.Unlock()
 
-	g, sum, err := readSnapshotChecked(filepath.Join(c.cfg.Dir, e.File))
+	path := filepath.Join(c.cfg.Dir, e.File)
+	if c.tier == TierMapped {
+		md, err := openMapped(path)
+		switch {
+		case err == nil:
+			if e.CRC32 != 0 && md.crc != e.CRC32 {
+				return nil, fmt.Errorf("store: hydrating %q: snapshot checksum %08x does not match manifest %08x", name, md.crc, e.CRC32)
+			}
+			return c.publishHydrated(e, name, kbiplex.NewEngine(md.Graph(), c.cfg.Engine), md)
+		case errors.Is(err, errNotMappable):
+			// A v1 snapshot, or no mmap on this platform: the parse path
+			// below still serves it (from the heap).
+		case errors.Is(err, os.ErrNotExist):
+			return nil, fmt.Errorf("store: hydrating %q: %w", name, err)
+		default:
+			// The file claims the v2 magic but failed validation —
+			// truncated or bit-rotted. Set it aside like rebuildManifest
+			// does rather than retrying a read that can never succeed.
+			os.Rename(path, path+".corrupt")
+			return nil, fmt.Errorf("store: hydrating %q: corrupt snapshot set aside as %s: %w", name, filepath.Base(path)+".corrupt", err)
+		}
+	}
+	g, sum, err := readSnapshotChecked(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: hydrating %q: %w", name, err)
 	}
@@ -563,17 +691,25 @@ func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
 	if e.CRC32 != 0 && sum != e.CRC32 {
 		return nil, fmt.Errorf("store: hydrating %q: snapshot checksum %08x does not match manifest %08x", name, sum, e.CRC32)
 	}
-	eng := kbiplex.NewEngine(g, c.cfg.Engine)
-	eng.Warm()
+	return c.publishHydrated(e, name, kbiplex.NewEngine(g, c.cfg.Engine), heapData{g})
+}
 
+// publishHydrated warms eng and publishes it as e's resident engine
+// backed by data, doing the hydration bookkeeping for either tier. It
+// takes c.mu itself (the caller holds only e.hydrate).
+func (c *Catalog) publishHydrated(e *entry, name string, eng *kbiplex.Engine, data GraphData) (*kbiplex.Engine, error) {
+	eng.Warm()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.deleted {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	e.eng = eng
-	e.bytes = graphBytes(g)
+	e.data = data
+	e.bytes = data.HeapBytes()
+	e.heat = 0
 	c.stats.ResidentBytes += e.bytes
+	c.stats.MappedBytes += data.MappedBytes()
 	c.stats.Hydrations++
 	c.clock++
 	e.lastUse = c.clock
@@ -581,9 +717,70 @@ func (c *Catalog) Engine(name string) (*kbiplex.Engine, error) {
 	return eng, nil
 }
 
-// evictForBudgetLocked evicts least-recently-used persisted engines
-// until the resident estimate fits the budget. keep (the entry being
-// served) and ephemeral entries are never evicted. Caller holds c.mu.
+// demoteLocked downgrades a heap-resident persisted entry to a mapped
+// view of its snapshot, reporting whether it did. The entry keeps
+// serving queries throughout: the new engine is built over the mapping
+// before the old one is released, and in-flight readers of the old
+// engine finish on its (heap) graph. Demotion re-opens the snapshot
+// under c.mu — an accepted cost, since the open is O(|E|) validation
+// with no allocation and no page faults beyond the touched headers.
+// Caller holds c.mu.
+func (c *Catalog) demoteLocked(e *entry) bool {
+	if e.eng == nil || !e.persisted || e.dirty || e.data == nil || e.data.Tier() != "heap" {
+		return false
+	}
+	md, err := openMapped(filepath.Join(c.cfg.Dir, e.File))
+	if err != nil {
+		return false // platform, I/O or validation: stay on the heap
+	}
+	if e.CRC32 != 0 && md.crc != e.CRC32 {
+		return false
+	}
+	eng := kbiplex.NewEngine(md.Graph(), c.cfg.Engine)
+	eng.Warm()
+	old := e.eng
+	e.eng = eng
+	e.data = md
+	c.stats.ResidentBytes -= e.bytes
+	e.bytes = 0
+	c.stats.MappedBytes += md.MappedBytes()
+	e.heat = 0
+	c.stats.Demotions++
+	old.Release()
+	return true
+}
+
+// promoteLocked upgrades a mapped entry back to heap residency: the
+// CSR arrays are memcpy'd out of the mapping (no re-parse) and a fresh
+// engine is built over them. The old mapped engine is released but its
+// mapping stays valid for in-flight readers; the munmap happens via
+// finalizer once the last of them drops the graph. Caller holds c.mu.
+func (c *Catalog) promoteLocked(e *entry) {
+	if e.eng == nil || e.data == nil || e.data.Tier() != "mapped" {
+		return
+	}
+	g := e.data.Graph().Clone()
+	eng := kbiplex.NewEngine(g, c.cfg.Engine)
+	eng.Warm()
+	old := e.eng
+	c.stats.MappedBytes -= e.data.MappedBytes()
+	e.eng = eng
+	e.data = heapData{g}
+	e.bytes = graphBytes(g)
+	c.stats.ResidentBytes += e.bytes
+	e.heat = 0
+	c.stats.Promotions++
+	old.Release()
+	c.evictForBudgetLocked(e)
+}
+
+// evictForBudgetLocked reclaims least-recently-used persisted heap
+// engines until the heap-resident estimate fits the budget. Under
+// TierAuto and TierMapped a victim is first demoted to a mapped view
+// (it keeps serving, off the page cache); only when demotion is not
+// possible — no mmap on this platform, a v1 snapshot, an I/O error —
+// is it evicted outright. keep (the entry being served), ephemeral and
+// already-mapped entries are never touched. Caller holds c.mu.
 func (c *Catalog) evictForBudgetLocked(keep *entry) {
 	if c.cfg.MemoryBudget <= 0 {
 		return
@@ -593,8 +790,9 @@ func (c *Catalog) evictForBudgetLocked(keep *entry) {
 		for _, e := range c.entries {
 			// Dirty entries are unevictable: their snapshot is stale, so a
 			// re-hydration would lose the mutation delta mid-run (journal
-			// replay only happens at boot).
-			if e == keep || e.eng == nil || !e.persisted || e.dirty {
+			// replay only happens at boot). Mapped entries (bytes == 0)
+			// hold no budgeted heap; reclaiming them frees nothing.
+			if e == keep || e.eng == nil || !e.persisted || e.dirty || e.bytes == 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -604,21 +802,29 @@ func (c *Catalog) evictForBudgetLocked(keep *entry) {
 		if victim == nil {
 			return
 		}
+		if c.tier != TierHeap && c.demoteLocked(victim) {
+			continue
+		}
 		c.dropResidentLocked(victim)
 		c.stats.Evictions++
 	}
 }
 
-// dropResidentLocked releases an entry's resident engine, returning its
-// cache memory. Caller holds c.mu.
+// dropResidentLocked releases an entry's resident engine (either tier),
+// returning its memory accounting. Caller holds c.mu.
 func (c *Catalog) dropResidentLocked(e *entry) {
 	if e.eng == nil {
 		return
 	}
 	e.eng.Release()
 	e.eng = nil
+	if e.data != nil {
+		c.stats.MappedBytes -= e.data.MappedBytes()
+		e.data = nil
+	}
 	c.stats.ResidentBytes -= e.bytes
 	e.bytes = 0
+	e.heat = 0
 }
 
 // Evict drops name's resident engine, keeping its snapshot, and reports
@@ -659,13 +865,20 @@ func (c *Catalog) SwapResident(name string, g *kbiplex.Graph, idx *bicoreindex.I
 	}
 	if e.eng != nil {
 		// Account the old engine's memory out without releasing it (see
-		// the doc comment); pinned readers still use its caches.
+		// the doc comment); pinned readers still use its caches. A mapped
+		// predecessor's mmap likewise stays valid for its readers — the
+		// munmap finalizer fires when the last of them drops the graph.
 		c.stats.ResidentBytes -= e.bytes
+		if e.data != nil {
+			c.stats.MappedBytes -= e.data.MappedBytes()
+		}
 		e.eng = nil
 		e.bytes = 0
 	}
 	e.eng = eng
+	e.data = heapData{g}
 	e.bytes = graphBytes(g)
+	e.heat = 0
 	c.stats.ResidentBytes += e.bytes
 	c.clock++
 	e.lastUse = c.clock
@@ -716,15 +929,23 @@ func (c *Catalog) Info(name string) (Info, bool) {
 }
 
 func (c *Catalog) infoLocked(e *entry) Info {
+	res := "cold"
+	switch {
+	case e.eng == nil:
+	case e.data != nil && e.data.Tier() == "mapped":
+		res = "mapped"
+	default:
+		res = "resident"
+	}
 	if e.dirty {
 		return Info{
 			Name: e.Name, NumLeft: e.liveL, NumRight: e.liveR, NumEdges: e.liveEd,
-			CRC32: e.liveCRC, Persisted: e.persisted, Resident: e.eng != nil,
+			CRC32: e.liveCRC, Persisted: e.persisted, Resident: e.eng != nil, Residency: res,
 		}
 	}
 	return Info{
 		Name: e.Name, NumLeft: e.NumLeft, NumRight: e.NumRight, NumEdges: e.NumEdges,
-		CRC32: e.CRC32, Persisted: e.persisted, Resident: e.eng != nil,
+		CRC32: e.CRC32, Persisted: e.persisted, Resident: e.eng != nil, Residency: res,
 	}
 }
 
@@ -785,7 +1006,11 @@ func (c *Catalog) Stats() Stats {
 		if e.persisted {
 			st.Persisted++
 		}
-		if e.eng != nil {
+		switch {
+		case e.eng == nil:
+		case e.data != nil && e.data.Tier() == "mapped":
+			st.Mapped++
+		default:
 			st.Resident++
 		}
 	}

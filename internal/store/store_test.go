@@ -146,13 +146,14 @@ func TestDeleteReleasesEngine(t *testing.T) {
 	}
 }
 
-// TestEvictionUnderBudget: with a budget fitting roughly one graph, the
-// second add evicts the first, and the evicted graph transparently
-// re-hydrates on demand.
+// TestEvictionUnderBudget: with a budget fitting roughly one graph and
+// the heap tier, the second add evicts the first, and the evicted graph
+// transparently re-hydrates on demand. (Under the default auto tier the
+// victim is demoted to a mapped view instead — see mapped_test.go.)
 func TestEvictionUnderBudget(t *testing.T) {
 	g1, g2 := testGraph(1), testGraph(2)
 	budget := graphBytes(g1) + graphBytes(g2)/2
-	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget})
+	c := openCatalog(t, Config{Dir: t.TempDir(), MemoryBudget: budget, Tier: TierHeap})
 	want1 := solutionsOf(t, mustAdd(t, c, "one", g1, true))
 	mustAdd(t, c, "two", g2, true)
 
